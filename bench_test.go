@@ -1,0 +1,354 @@
+package tvsched
+
+// One benchmark per table and figure of the paper. Each bench regenerates
+// its artifact end-to-end (workload generation, pipeline simulation, energy
+// accounting, or gate-level analysis) and reports the headline quantity as a
+// custom metric, so `go test -bench=.` doubles as a compact reproduction
+// run. cmd/tvbench prints the full rows; EXPERIMENTS.md records the
+// paper-vs-measured comparison at full scale.
+
+import (
+	"fmt"
+	"testing"
+
+	"tvsched/internal/core"
+	"tvsched/internal/experiments"
+	"tvsched/internal/fault"
+	"tvsched/internal/pipeline"
+	"tvsched/internal/sensitize"
+	"tvsched/internal/ssta"
+	"tvsched/internal/tep"
+	"tvsched/internal/workload"
+)
+
+// benchCfg sizes the architectural benches: large enough for stable shapes,
+// small enough that the full bench suite completes in minutes.
+func benchCfg() experiments.Config {
+	return experiments.Config{Insts: 60000, Warmup: 20000, Seed: 1, Parallel: true}
+}
+
+// BenchmarkTable1 regenerates Table 1: per-benchmark fault rates and
+// Razor/EP overheads in both faulty environments.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchCfg())
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var avgEP float64
+		for _, r := range rows {
+			avgEP += r.EPHigh.Perf
+		}
+		b.ReportMetric(avgEP/float64(len(rows)), "avg-EP-ov-%@0.97V")
+	}
+}
+
+func benchFigure(b *testing.B, fn func(*experiments.Suite) (experiments.FigureData, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchCfg())
+		fig, err := fn(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Reduction(), "overhead-reduction-%")
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: performance overhead of ABS/FFS/CDS
+// normalized to EP at 1.04 V (paper: 87% average reduction).
+func BenchmarkFigure4(b *testing.B) {
+	benchFigure(b, (*experiments.Suite).Figure4)
+}
+
+// BenchmarkFigure5 regenerates Figure 5: ED overhead normalized to EP at
+// 1.04 V (paper: 82% average reduction).
+func BenchmarkFigure5(b *testing.B) {
+	benchFigure(b, (*experiments.Suite).Figure5)
+}
+
+// BenchmarkFigure8 regenerates Figure 8: performance overhead normalized to
+// EP at 0.97 V (paper: 88% average reduction).
+func BenchmarkFigure8(b *testing.B) {
+	benchFigure(b, (*experiments.Suite).Figure8)
+}
+
+// BenchmarkFigure9 regenerates Figure 9: ED overhead normalized to EP at
+// 0.97 V (paper: 83% average reduction).
+func BenchmarkFigure9(b *testing.B) {
+	benchFigure(b, (*experiments.Suite).Figure9)
+}
+
+// BenchmarkTable2 regenerates Table 2: area/power overhead of the VTE from
+// the structural scheduler and core model.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2()
+		b.ReportMetric(rows[2].SchedArea, "CDS-sched-area-%")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: gate counts and logic depths of the
+// four synthesized components.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3()
+		b.ReportMetric(float64(rows[1].Gates), "alu-gates")
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7: sensitized-path commonality of the
+// six SPEC2000 benchmarks on the four components (paper averages
+// 87.4/89/92.4/90%).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure7(1)
+		b.ReportMetric(100*d.Averages[sensitize.CompALU], "ALU-commonality-%")
+	}
+}
+
+// BenchmarkAblationCT sweeps the CDL criticality threshold around the
+// paper's best value (CT=8, §3.5.2) on the CDS scheme.
+func BenchmarkAblationCT(b *testing.B) {
+	prof, _ := workload.ByName("sjeng")
+	for _, ct := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("CT%d", ct), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gen, err := workload.NewGenerator(prof, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := pipeline.DefaultConfig()
+				cfg.Scheme = core.CDS
+				cfg.CT = ct
+				cfg.MispredictRate = prof.MispredictRate
+				fc := fault.DefaultConfig(1)
+				fc.Bias = prof.FaultBias
+				p, err := pipeline.New(cfg, gen, fault.New(fc), fault.VHighFault)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.PrefillData(gen.WarmRegion())
+				if err := p.Warmup(15000); err != nil {
+					b.Fatal(err)
+				}
+				st, err := p.Run(50000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(st.IPC(), "IPC")
+				b.ReportMetric(float64(st.CriticalMarks), "critical-marks")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTEP sweeps the TEP geometry: coverage is what the
+// violation-aware schemes live on, and both capacity (aliasing) and history
+// bits (contexts per PC) move it.
+func BenchmarkAblationTEP(b *testing.B) {
+	prof, _ := workload.ByName("gcc")
+	cases := []struct {
+		name string
+		cfg  tep.Config
+	}{
+		{"256x2", tep.Config{Entries: 256, HistoryBits: 2}},
+		{"1024x4", tep.Config{Entries: 1024, HistoryBits: 4}},
+		{"4096x2", tep.Config{Entries: 4096, HistoryBits: 2}},
+		{"4096x8", tep.Config{Entries: 4096, HistoryBits: 8}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gen, err := workload.NewGenerator(prof, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := pipeline.DefaultConfig()
+				cfg.Scheme = core.ABS
+				cfg.TEP = tc.cfg
+				cfg.MispredictRate = prof.MispredictRate
+				fc := fault.DefaultConfig(1)
+				fc.Bias = prof.FaultBias
+				p, err := pipeline.New(cfg, gen, fault.New(fc), fault.VHighFault)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.PrefillData(gen.WarmRegion())
+				if err := p.Warmup(15000); err != nil {
+					b.Fatal(err)
+				}
+				st, err := p.Run(50000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*st.Coverage(), "coverage-%")
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineThroughput measures raw simulator speed (instructions
+// per wall-clock second drive how large a phase is practical).
+func BenchmarkPipelineThroughput(b *testing.B) {
+	prof, _ := workload.ByName("bzip2")
+	gen, _ := workload.NewGenerator(prof, 1)
+	cfg := pipeline.DefaultConfig()
+	cfg.MispredictRate = prof.MispredictRate
+	p, _ := pipeline.New(cfg, gen, fault.New(fault.DefaultConfig(1)), fault.VHighFault)
+	b.ResetTimer()
+	if _, err := p.Run(uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSSTA measures the Monte-Carlo timing analysis on the largest
+// component.
+func BenchmarkSSTA(b *testing.B) {
+	nl := sensitize.CompALU.Netlist()
+	for i := 0; i < b.N; i++ {
+		r := ssta.Analyze(nl, ssta.DefaultVariation(), fault.VHighFault, 10, uint64(i))
+		_ = r.MuPlus2Sigma()
+	}
+}
+
+// BenchmarkAblationReplay compares the two unpredicted-violation recovery
+// mechanisms (DESIGN.md §7): selective RazorII-style in-place replay vs
+// architectural flush-and-refetch, under Razor where every violation
+// replays.
+func BenchmarkAblationReplay(b *testing.B) {
+	for _, full := range []bool{false, true} {
+		name := "selective"
+		if full {
+			name = "fullflush"
+		}
+		b.Run(name, func(b *testing.B) {
+			prof, _ := workload.ByName("bzip2")
+			for i := 0; i < b.N; i++ {
+				gen, err := workload.NewGenerator(prof, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := pipeline.DefaultConfig()
+				cfg.Scheme = core.Razor
+				cfg.MispredictRate = prof.MispredictRate
+				cfg.FullFlushReplay = full
+				fc := fault.DefaultConfig(1)
+				fc.Bias = prof.FaultBias
+				p, err := pipeline.New(cfg, gen, fault.New(fc), fault.VHighFault)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.PrefillData(gen.WarmRegion())
+				if err := p.Warmup(15000); err != nil {
+					b.Fatal(err)
+				}
+				st, err := p.Run(50000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(st.IPC(), "IPC")
+				b.ReportMetric(float64(st.SquashedInsts), "squashed")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWidth measures how the VTE's overhead reduction scales
+// with machine width: narrower machines have less architectural slack to
+// absorb confined violations, so the ABS-vs-EP gap should narrow on the
+// little core and widen on the big one.
+func BenchmarkAblationWidth(b *testing.B) {
+	prof, _ := workload.ByName("bzip2")
+	cfgs := []struct {
+		name string
+		cfg  pipeline.Config
+	}{
+		{"little2wide", pipeline.LittleConfig()},
+		{"core1-4wide", pipeline.DefaultConfig()},
+		{"big6wide", pipeline.BigConfig()},
+	}
+	for _, tc := range cfgs {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ipc := func(scheme core.Scheme, vdd float64) float64 {
+					gen, err := workload.NewGenerator(prof, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := tc.cfg
+					cfg.Scheme = scheme
+					cfg.MispredictRate = prof.MispredictRate
+					fc := fault.DefaultConfig(1)
+					fc.Bias = prof.FaultBias
+					p, err := pipeline.New(cfg, gen, fault.New(fc), vdd)
+					if err != nil {
+						b.Fatal(err)
+					}
+					p.PrefillData(gen.WarmRegion())
+					if err := p.Warmup(15000); err != nil {
+						b.Fatal(err)
+					}
+					st, err := p.Run(50000)
+					if err != nil {
+						b.Fatal(err)
+					}
+					return st.IPC()
+				}
+				free := ipc(core.ABS, fault.VNominal)
+				ep := free/ipc(core.EP, fault.VHighFault) - 1
+				abs := free/ipc(core.ABS, fault.VHighFault) - 1
+				if ep > 0 {
+					b.ReportMetric(100*(1-abs/ep), "overhead-reduction-%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPredictor compares the paper's table TEP against the
+// perceptron extension inside the full pipeline, reporting end-to-end
+// violation coverage.
+func BenchmarkAblationPredictor(b *testing.B) {
+	prof, _ := workload.ByName("gcc")
+	cases := []struct {
+		name string
+		mk   func() tep.Predictor
+	}{
+		{"tableTEP", nil},
+		{"perceptron", func() tep.Predictor { return tep.NewPerceptron(tep.DefaultPerceptronConfig()) }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gen, err := workload.NewGenerator(prof, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := pipeline.DefaultConfig()
+				cfg.Scheme = core.ABS
+				cfg.MispredictRate = prof.MispredictRate
+				if tc.mk != nil {
+					cfg.NewPredictor = tc.mk
+				}
+				fc := fault.DefaultConfig(1)
+				fc.Bias = prof.FaultBias
+				p, err := pipeline.New(cfg, gen, fault.New(fc), fault.VHighFault)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.PrefillData(gen.WarmRegion())
+				if err := p.Warmup(15000); err != nil {
+					b.Fatal(err)
+				}
+				st, err := p.Run(50000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*st.Coverage(), "coverage-%")
+				b.ReportMetric(st.IPC(), "IPC")
+			}
+		})
+	}
+}

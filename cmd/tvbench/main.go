@@ -1,0 +1,149 @@
+// Command tvbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tvbench                    # everything
+//	tvbench -exp table1        # one experiment
+//	tvbench -n 1000000         # paper-scale 1M-instruction phases
+//
+// Experiments: table1, fig4, fig5, fig8, fig9, table2, table3, fig7, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tvsched/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: table1 fig4 fig5 fig8 fig9 table2 table3 fig7 all")
+		n       = flag.Uint64("n", 300000, "committed instructions per phase")
+		warmup  = flag.Uint64("warmup", 50000, "warmup instructions per phase")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		serial  = flag.Bool("serial", false, "disable parallel simulation")
+		plot    = flag.Bool("plot", false, "render figures as ASCII bar charts")
+		jsonOut = flag.String("json", "", "also write all computed artifacts as JSON to this file")
+		csvDir  = flag.String("csvdir", "", "also write CSVs (table1.csv, fig*.csv) into this directory")
+		svgDir  = flag.String("svgdir", "", "also write figures as SVG bar charts into this directory")
+		seeds   = flag.Int("seeds", 0, "rerun figures across N seeds and report mean±sigma of the reduction")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Insts: *n, Warmup: *warmup, Seed: *seed, Parallel: !*serial}
+	suite := experiments.NewSuite(cfg)
+
+	want := func(id string) bool { return *exp == "all" || *exp == id }
+	ran := false
+	report := experiments.Report{Config: cfg}
+
+	writeCSV := func(name string, fn func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		check(os.MkdirAll(*csvDir, 0o755))
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		check(err)
+		defer f.Close()
+		check(fn(f))
+	}
+
+	if want("table1") {
+		rows, err := suite.Table1()
+		check(err)
+		fmt.Println(experiments.FormatTable1(rows))
+		report.Table1 = rows
+		writeCSV("table1.csv", func(f *os.File) error { return experiments.WriteTable1CSV(f, rows) })
+		ran = true
+	}
+	figs := []struct {
+		id   string
+		fn   func() (experiments.FigureData, error)
+		slot **experiments.FigureData
+	}{
+		{"fig4", suite.Figure4, &report.Figure4},
+		{"fig5", suite.Figure5, &report.Figure5},
+		{"fig8", suite.Figure8, &report.Figure8},
+		{"fig9", suite.Figure9, &report.Figure9},
+	}
+	for _, f := range figs {
+		if want(f.id) {
+			data, err := f.fn()
+			check(err)
+			if *plot {
+				fmt.Println(experiments.PlotFigure(data))
+			} else {
+				fmt.Println(experiments.FormatFigure(data))
+			}
+			d := data
+			*f.slot = &d
+			writeCSV(f.id+".csv", func(file *os.File) error { return experiments.WriteFigureCSV(file, d) })
+			if *svgDir != "" {
+				check(os.MkdirAll(*svgDir, 0o755))
+				sf, err := os.Create(filepath.Join(*svgDir, f.id+".svg"))
+				check(err)
+				check(experiments.WriteFigureSVG(sf, d))
+				check(sf.Close())
+			}
+			if *seeds > 1 {
+				var seedList []uint64
+				for s := uint64(1); s <= uint64(*seeds); s++ {
+					seedList = append(seedList, s)
+				}
+				vals, mean, sigma, err := experiments.ReductionCI(f.id, cfg, seedList)
+				check(err)
+				fmt.Printf("%s reduction across %d seeds: %.1f%% ± %.1f%% %v\n\n",
+					f.id, *seeds, mean, sigma, fmtVals(vals))
+			}
+			ran = true
+		}
+	}
+	if want("table3") {
+		rows := experiments.Table3()
+		fmt.Println(experiments.FormatTable3(rows))
+		report.Table3 = rows
+		ran = true
+	}
+	if want("table2") {
+		rows := experiments.Table2()
+		fmt.Println(experiments.FormatTable2(rows))
+		report.Table2 = rows
+		ran = true
+	}
+	if want("fig7") {
+		d := experiments.Figure7(*seed)
+		fmt.Println(experiments.FormatFigure7(d))
+		report.Figure7 = experiments.Figure7ToJSON(d)
+		ran = true
+	}
+	if ran && *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		check(err)
+		check(report.WriteJSON(f))
+		check(f.Close())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "tvbench: unknown experiment %q (want %s)\n",
+			*exp, strings.Join([]string{"table1", "fig4", "fig5", "fig8", "fig9", "table2", "table3", "fig7", "all"}, "|"))
+		os.Exit(2)
+	}
+}
+
+func fmtVals(vals []float64) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprintf("%.1f", v)
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvbench:", err)
+		os.Exit(1)
+	}
+}

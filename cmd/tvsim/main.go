@@ -1,0 +1,153 @@
+// Command tvsim runs one benchmark under one timing-error handling scheme at
+// one supply voltage and prints the resulting statistics. It is the
+// single-experiment entry point; cmd/tvbench regenerates the paper's full
+// tables and figures.
+//
+// Usage:
+//
+//	tvsim -bench bzip2 -scheme ABS -vdd 0.97 -n 1000000
+//	tvsim -all -vdd 1.10           # fault-free IPC for every benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tvsched/internal/asm"
+	"tvsched/internal/core"
+	"tvsched/internal/fault"
+	"tvsched/internal/pipeline"
+	"tvsched/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "bzip2", "benchmark name (see -list)")
+		scheme = flag.String("scheme", "ABS", "Razor | EP | ABS | FFS | CDS")
+		vdd    = flag.Float64("vdd", fault.VLowFault, "supply voltage (1.10 fault-free, 1.04 low FR, 0.97 high FR)")
+		n      = flag.Uint64("n", 300000, "committed instructions to simulate")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		all    = flag.Bool("all", false, "run every benchmark")
+		list   = flag.Bool("list", false, "list benchmark names and exit")
+		flush  = flag.Bool("fullflush", false, "use architectural (flush) replay instead of selective")
+		ct     = flag.Int("ct", 8, "CDL criticality threshold (paper best: 8)")
+		tepN   = flag.Int("tep-entries", 4096, "TEP table entries (power of two)")
+		tepH   = flag.Int("tep-history", 2, "branch-history bits folded into the TEP index")
+		asmF   = flag.String("asm", "", "run the assembly kernel in this file instead of a benchmark profile")
+		bias   = flag.Float64("bias", 1.0, "fault susceptibility multiplier for -asm kernels")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	sch, err := core.ParseScheme(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asmF != "" {
+		if err := runAsm(*asmF, sch, *vdd, *n, *seed, *bias); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	benches := []string{*bench}
+	if *all {
+		benches = workload.Names()
+	}
+	fmt.Printf("%-12s %-6s vdd=%.2f n=%d\n", "benchmark", sch, *vdd, *n)
+	fmt.Printf("%-12s %7s %7s %8s %8s %8s %8s %8s\n",
+		"", "IPC", "FR%", "cover%", "replays", "gstall", "confined", "cycles")
+	o := options{flush: *flush, ct: *ct, tepEntries: *tepN, tepHistory: *tepH}
+	for _, name := range benches {
+		st, err := run(name, sch, *vdd, *n, *seed, o)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %7.3f %7.2f %8.1f %8d %8d %8d %8d\n",
+			name, st.IPC(), 100*st.FaultRate(), 100*st.Coverage(),
+			st.Replays, st.GlobalStalls, st.ConfinedEvents, st.Cycles)
+	}
+}
+
+// options carries the machine-configuration flags.
+type options struct {
+	flush                  bool
+	ct                     int
+	tepEntries, tepHistory int
+}
+
+func run(name string, sch core.Scheme, vdd float64, n, seed uint64, opts options) (pipeline.Stats, error) {
+	prof, ok := workload.ByName(name)
+	if !ok {
+		return pipeline.Stats{}, fmt.Errorf("unknown benchmark %q", name)
+	}
+	gen, err := workload.NewGenerator(prof, seed)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Scheme = sch
+	cfg.MispredictRate = prof.MispredictRate
+	cfg.Seed = seed
+	cfg.FullFlushReplay = opts.flush
+	cfg.CT = opts.ct
+	cfg.TEP.Entries = opts.tepEntries
+	cfg.TEP.HistoryBits = opts.tepHistory
+	fc := fault.DefaultConfig(seed)
+	fc.Bias = prof.FaultBias
+	p, err := pipeline.New(cfg, gen, fault.New(fc), vdd)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	p.PrefillData(gen.WarmRegion())
+	if err := p.Warmup(n / 4); err != nil {
+		return pipeline.Stats{}, err
+	}
+	return p.Run(n)
+}
+
+// runAsm simulates a kernel file through the mini-ISA interpreter.
+func runAsm(path string, sch core.Scheme, vdd float64, n, seed uint64, bias float64) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	m := asm.NewMachine(prog)
+	cfg := pipeline.DefaultConfig()
+	cfg.Scheme = sch
+	cfg.Seed = seed
+	fc := fault.DefaultConfig(seed)
+	fc.Bias = bias
+	p, err := pipeline.New(cfg, m, fault.New(fc), vdd)
+	if err != nil {
+		return err
+	}
+	if err := p.Warmup(n / 4); err != nil {
+		return err
+	}
+	st, err := p.Run(n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%d static insts, %d restarts) under %v at %.2fV:\n",
+		path, prog.Len(), m.Restarts(), sch, vdd)
+	fmt.Printf("  IPC %.3f  FR %.2f%%  coverage %.1f%%  replays %d\n",
+		st.IPC(), 100*st.FaultRate(), 100*st.Coverage(), st.Replays)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tvsim:", err)
+	os.Exit(1)
+}

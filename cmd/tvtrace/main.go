@@ -1,0 +1,170 @@
+// Command tvtrace records and inspects committed-instruction traces in the
+// repository's binary format (internal/trace), decoupling workload
+// generation from simulation and letting externally produced traces drive
+// the pipeline model.
+//
+// Usage:
+//
+//	tvtrace -gen -bench sjeng -n 500000 -o sjeng.tvtr   # record a trace
+//	tvtrace -info sjeng.tvtr                            # summarize a trace
+//	tvtrace -run sjeng.tvtr -scheme ABS -vdd 0.97       # simulate from file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tvsched/internal/core"
+	"tvsched/internal/fault"
+	"tvsched/internal/isa"
+	"tvsched/internal/pipeline"
+	"tvsched/internal/trace"
+	"tvsched/internal/workload"
+)
+
+func main() {
+	var (
+		gen    = flag.Bool("gen", false, "generate a trace from a workload profile")
+		info   = flag.String("info", "", "summarize the given trace file")
+		runF   = flag.String("run", "", "simulate the given trace file")
+		bench  = flag.String("bench", "bzip2", "workload profile for -gen")
+		n      = flag.Uint64("n", 300000, "instructions to record (-gen) or simulate (-run)")
+		out    = flag.String("o", "trace.tvtr", "output file for -gen")
+		scheme = flag.String("scheme", "ABS", "handling scheme for -run")
+		vdd    = flag.Float64("vdd", fault.VHighFault, "supply voltage for -run")
+		seed   = flag.Uint64("seed", 1, "generation/simulation seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen:
+		if err := generate(*bench, *out, *n, *seed); err != nil {
+			fatal(err)
+		}
+	case *info != "":
+		if err := summarize(*info); err != nil {
+			fatal(err)
+		}
+	case *runF != "":
+		if err := simulate(*runF, *scheme, *vdd, *n, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(bench, out string, n, seed uint64) error {
+	prof, ok := workload.ByName(bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", bench)
+	}
+	g, err := workload.NewGenerator(prof, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, n)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := w.Write(g.Next()); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d instructions to %s (%.2f bytes/inst)\n",
+		n, out, float64(st.Size())/float64(n))
+	return nil
+}
+
+func summarize(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var counts [isa.NumClasses]uint64
+	pcs := map[uint64]struct{}{}
+	var total, taken uint64
+	for {
+		in, err := r.Read()
+		if err != nil {
+			break
+		}
+		counts[in.Class]++
+		pcs[in.PC] = struct{}{}
+		total++
+		if in.Taken {
+			taken++
+		}
+	}
+	fmt.Printf("%s: %d instructions (declared %d), %d static PCs\n",
+		path, total, r.DeclaredCount(), len(pcs))
+	for c := isa.IntALU; c < isa.NumClasses; c++ {
+		fmt.Printf("  %-7s %9d (%.1f%%)\n", c, counts[c], 100*float64(counts[c])/float64(total))
+	}
+	if counts[isa.Branch] > 0 {
+		fmt.Printf("  taken branches: %.1f%%\n", 100*float64(taken)/float64(counts[isa.Branch]))
+	}
+	return nil
+}
+
+func simulate(path, schemeName string, vdd float64, n, seed uint64) error {
+	sch, err := core.ParseScheme(schemeName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	src := trace.NewSource(r)
+	cfg := pipeline.DefaultConfig()
+	cfg.Scheme = sch
+	cfg.Seed = seed
+	p, err := pipeline.New(cfg, src, fault.New(fault.DefaultConfig(seed)), vdd)
+	if err != nil {
+		return err
+	}
+	if err := p.Warmup(n / 4); err != nil {
+		return err
+	}
+	st, err := p.Run(n)
+	if err != nil {
+		return err
+	}
+	if src.Err != nil {
+		return fmt.Errorf("trace decode: %w", src.Err)
+	}
+	fmt.Printf("%s under %v at %.2fV: IPC %.3f, FR %.2f%%, coverage %.1f%%\n",
+		path, sch, vdd, st.IPC(), 100*st.FaultRate(), 100*st.Coverage())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tvtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// policycompare reproduces the paper's central comparison on one benchmark:
+// all five timing-error handling schemes side by side in a faulty
+// environment, with overheads relative to fault-free execution — the
+// per-benchmark content of Table 1 and Figures 4/8.
+//
+//	go run ./examples/policycompare            # sjeng at 0.97 V
+//	go run ./examples/policycompare mcf 1.04
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"tvsched"
+)
+
+func main() {
+	bench := "sjeng"
+	vdd := tvsched.VHighFault
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		v, err := strconv.ParseFloat(os.Args[2], 64)
+		if err != nil {
+			log.Fatalf("bad voltage %q: %v", os.Args[2], err)
+		}
+		vdd = v
+	}
+
+	schemes := []tvsched.Scheme{tvsched.Razor, tvsched.EP, tvsched.ABS, tvsched.FFS, tvsched.CDS}
+	cs, err := tvsched.Compare(bench, vdd, schemes, 200000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s @ %.2fV — overheads vs fault-free execution\n", bench, vdd)
+	fmt.Printf("%-6s %8s %12s %12s %14s\n", "scheme", "IPC", "perf ovhd", "ED ovhd", "vs EP (perf)")
+	var epOv float64
+	for _, c := range cs {
+		if c.Scheme == tvsched.EP {
+			epOv = c.PerfOverhead
+		}
+	}
+	for _, c := range cs {
+		rel := "-"
+		if epOv > 0 && c.Scheme != tvsched.Razor && c.Scheme != tvsched.EP {
+			rel = fmt.Sprintf("%.2fx", c.PerfOverhead/epOv)
+		}
+		fmt.Printf("%-6v %8.3f %11.2f%% %11.2f%% %14s\n",
+			c.Scheme, c.IPC, 100*c.PerfOverhead, 100*c.EDOverhead, rel)
+	}
+	fmt.Println("\nThe violation-aware schemes (ABS/FFS/CDS) confine each predicted")
+	fmt.Println("violation to the faulty instruction and its dependents; EP stalls the")
+	fmt.Println("whole pipeline per violation and Razor replays every one of them.")
+}

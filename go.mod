@@ -1,0 +1,3 @@
+module tvsched
+
+go 1.22

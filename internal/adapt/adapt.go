@@ -1,0 +1,125 @@
+// Package adapt quantifies the trade the paper's introduction motivates:
+// "microprocessors can operate at a tighter frequency, where predictable
+// errors frequently occur and are tolerated with minimal performance loss."
+// We hold frequency fixed and scale the supply instead (the dual knob): as
+// VDD drops, switching and leakage energy fall steeply, but sensitized paths
+// start missing timing and the handling scheme pays overhead cycles. The
+// energy-optimal operating point is where those slopes cross — and it moves
+// to substantially lower voltages under violation-aware scheduling than
+// under stall- or replay-based tolerance, because the overhead slope is an
+// order of magnitude flatter.
+package adapt
+
+import (
+	"fmt"
+	"sort"
+
+	"tvsched/internal/core"
+	"tvsched/internal/energy"
+	"tvsched/internal/experiments"
+	"tvsched/internal/fault"
+)
+
+// Point is one characterized operating point.
+type Point struct {
+	VDD       float64
+	IPC       float64
+	FaultRate float64 // fraction of committed instructions
+	// PerfOverhead is the IPC degradation versus the nominal fault-free run.
+	PerfOverhead float64
+	// EnergyPJ is total energy at this supply (voltage-scaled).
+	EnergyPJ float64
+	// EDP is the voltage-scaled energy-delay product (pJ·cycles).
+	EDP float64
+}
+
+// Curve is a characterized scheme: its operating points, ordered from the
+// nominal supply downward.
+type Curve struct {
+	Bench  string
+	Scheme core.Scheme
+	Points []Point
+}
+
+// DefaultGrid returns the voltage sweep used by the examples: nominal down
+// through the paper's two faulty environments.
+func DefaultGrid() []float64 {
+	return []float64{fault.VNominal, 1.08, 1.06, fault.VLowFault, 1.02, 1.00, 0.985, fault.VHighFault}
+}
+
+// Characterize sweeps the grid for one benchmark and scheme. The nominal
+// point doubles as the fault-free baseline for overhead computation.
+func Characterize(bench string, scheme core.Scheme, grid []float64, cfg experiments.Config) (Curve, error) {
+	if len(grid) == 0 {
+		grid = DefaultGrid()
+	}
+	grid = append([]float64(nil), grid...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(grid)))
+	if grid[0] < fault.VNominal {
+		grid = append([]float64{fault.VNominal}, grid...)
+	}
+
+	c := Curve{Bench: bench, Scheme: scheme}
+	var base experiments.Run
+	for i, v := range grid {
+		r, err := experiments.Simulate(bench, scheme, v, cfg)
+		if err != nil {
+			return Curve{}, fmt.Errorf("adapt: %s/%v@%.3f: %w", bench, scheme, v, err)
+		}
+		if i == 0 {
+			base = r
+		}
+		scaled := energy.ScaleToVoltage(r.Energy, v, fault.VNominal)
+		c.Points = append(c.Points, Point{
+			VDD:          v,
+			IPC:          r.Stats.IPC(),
+			FaultRate:    r.Stats.FaultRate(),
+			PerfOverhead: r.PerfOverhead(&base),
+			EnergyPJ:     scaled.TotalPJ(),
+			EDP:          scaled.EDP(),
+		})
+	}
+	return c, nil
+}
+
+// Best returns the operating point with the lowest energy-delay product.
+func (c *Curve) Best() Point {
+	if len(c.Points) == 0 {
+		return Point{}
+	}
+	best := c.Points[0]
+	for _, p := range c.Points[1:] {
+		if p.EDP < best.EDP {
+			best = p
+		}
+	}
+	return best
+}
+
+// BestUnder returns the lowest-EDP point whose performance overhead stays
+// under the budget (e.g. 0.05 for "give up at most 5% performance").
+func (c *Curve) BestUnder(perfBudget float64) Point {
+	if len(c.Points) == 0 {
+		return Point{}
+	}
+	best := c.Points[0] // nominal always satisfies the budget (overhead 0)
+	for _, p := range c.Points[1:] {
+		if p.PerfOverhead <= perfBudget && p.EDP < best.EDP {
+			best = p
+		}
+	}
+	return best
+}
+
+// EDPSaving returns the fractional EDP improvement of the curve's best point
+// versus its nominal point.
+func (c *Curve) EDPSaving() float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	nominal := c.Points[0].EDP
+	if nominal == 0 {
+		return 0
+	}
+	return 1 - c.Best().EDP/nominal
+}

@@ -1,0 +1,104 @@
+package adapt
+
+import (
+	"testing"
+
+	"tvsched/internal/core"
+	"tvsched/internal/experiments"
+	"tvsched/internal/fault"
+)
+
+func quickCfg() experiments.Config {
+	return experiments.Config{Insts: 30000, Warmup: 10000, Seed: 1, Parallel: true}
+}
+
+func TestCharacterizeBasics(t *testing.T) {
+	c, err := Characterize("bzip2", core.ABS, []float64{fault.VNominal, fault.VLowFault, fault.VHighFault}, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) != 3 {
+		t.Fatalf("points %d", len(c.Points))
+	}
+	// Grid must be sorted nominal-first.
+	if c.Points[0].VDD != fault.VNominal {
+		t.Fatalf("first point %v", c.Points[0].VDD)
+	}
+	if c.Points[0].FaultRate != 0 || c.Points[0].PerfOverhead != 0 {
+		t.Fatal("nominal point must be fault- and overhead-free")
+	}
+	// Fault rate grows and energy falls as voltage drops.
+	for i := 1; i < len(c.Points); i++ {
+		if c.Points[i].FaultRate < c.Points[i-1].FaultRate {
+			t.Fatalf("fault rate not monotone at %v", c.Points[i].VDD)
+		}
+		if c.Points[i].EnergyPJ >= c.Points[i-1].EnergyPJ*1.02 {
+			t.Fatalf("energy not falling at %v", c.Points[i].VDD)
+		}
+	}
+}
+
+func TestCharacterizeUnsortedGridAndMissingNominal(t *testing.T) {
+	c, err := Characterize("mcf", core.ABS, []float64{fault.VHighFault, fault.VLowFault}, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Points[0].VDD != fault.VNominal {
+		t.Fatal("nominal point not prepended")
+	}
+	if c.Points[1].VDD != fault.VLowFault || c.Points[2].VDD != fault.VHighFault {
+		t.Fatal("grid not sorted descending")
+	}
+}
+
+func TestViolationAwareMovesOperatingPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep is slow in -short mode")
+	}
+	grid := []float64{fault.VNominal, fault.VLowFault, fault.VHighFault}
+	abs, err := Characterize("bzip2", core.ABS, grid, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	razor, err := Characterize("bzip2", core.Razor, grid, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's motivation, quantified: the violation-aware scheme's
+	// energy-optimal point sits at or below the replay scheme's, and saves
+	// at least as much EDP.
+	if abs.Best().VDD > razor.Best().VDD {
+		t.Fatalf("ABS best point %vV above Razor's %vV", abs.Best().VDD, razor.Best().VDD)
+	}
+	if abs.EDPSaving() < razor.EDPSaving() {
+		t.Fatalf("ABS EDP saving %v below Razor's %v", abs.EDPSaving(), razor.EDPSaving())
+	}
+	// ABS should actually profit from undervolting on this benchmark.
+	if abs.EDPSaving() <= 0.05 {
+		t.Fatalf("ABS EDP saving %v too small", abs.EDPSaving())
+	}
+}
+
+func TestBestUnderBudget(t *testing.T) {
+	c := Curve{Points: []Point{
+		{VDD: 1.10, PerfOverhead: 0, EDP: 100},
+		{VDD: 1.04, PerfOverhead: 0.02, EDP: 80},
+		{VDD: 0.97, PerfOverhead: 0.12, EDP: 70},
+	}}
+	if p := c.BestUnder(0.05); p.VDD != 1.04 {
+		t.Fatalf("BestUnder(5%%) picked %v", p.VDD)
+	}
+	if p := c.BestUnder(0.20); p.VDD != 0.97 {
+		t.Fatalf("BestUnder(20%%) picked %v", p.VDD)
+	}
+	if p := c.BestUnder(0); p.VDD != 1.10 {
+		t.Fatalf("BestUnder(0) picked %v", p.VDD)
+	}
+}
+
+func TestEmptyCurve(t *testing.T) {
+	var c Curve
+	if c.Best() != (Point{}) || c.BestUnder(1) != (Point{}) || c.EDPSaving() != 0 {
+		t.Fatal("empty curve must degrade gracefully")
+	}
+}

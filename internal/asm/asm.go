@@ -1,0 +1,345 @@
+// Package asm provides a small MIPS-flavored assembly language and an
+// architectural interpreter, so custom kernels — pointer chases, streaming
+// loops, reductions — can drive the pipeline model directly instead of going
+// through the stochastic workload generator. The interpreter executes
+// instructions functionally (register values, memory contents, branch
+// outcomes) and emits the committed dynamic stream as a pipeline Source.
+//
+// Syntax (one instruction per line; '#' or ';' start comments):
+//
+//	label:
+//	  li   r1, 0x1000        # load immediate
+//	  addi r2, r1, 8         # add immediate
+//	  add  r3, r1, r2        # also: sub and or xor slt
+//	  mul  r4, r3, r2
+//	  div  r4, r3, r2
+//	  ld   r5, 16(r1)        # load from [r1+16]
+//	  st   r5, 0(r1)         # store to  [r1+0]
+//	  beq  r1, r2, label     # also: bne blt bge
+//	  j    label             # unconditional jump
+//	  halt                   # restart from the top (sources are infinite)
+//
+// Registers are r0..r31; r0 reads as zero and ignores writes. Values are
+// 64-bit; loads/stores move whole values at byte addresses.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tvsched/internal/isa"
+)
+
+// CodeBase is the virtual address of the first assembled instruction.
+const CodeBase = 0x0040_0000
+
+type opcode uint8
+
+const (
+	opLI opcode = iota
+	opADDI
+	opADD
+	opSUB
+	opAND
+	opOR
+	opXOR
+	opSLT
+	opMUL
+	opDIV
+	opLD
+	opST
+	opBEQ
+	opBNE
+	opBLT
+	opBGE
+	opJ
+	opHALT
+	opSLL
+	opSRL
+	opSRA
+	opMV
+	opNOP
+)
+
+var opNames = map[string]opcode{
+	"li": opLI, "addi": opADDI, "add": opADD, "sub": opSUB,
+	"and": opAND, "or": opOR, "xor": opXOR, "slt": opSLT,
+	"sll": opSLL, "srl": opSRL, "sra": opSRA,
+	"mul": opMUL, "div": opDIV,
+	"ld": opLD, "st": opST,
+	"beq": opBEQ, "bne": opBNE, "blt": opBLT, "bge": opBGE,
+	"j": opJ, "halt": opHALT,
+	"mv": opMV, "nop": opNOP,
+}
+
+// decoded is one assembled instruction.
+type decoded struct {
+	op      opcode
+	rd      int8  // destination (LI/ADDI/ALU/MUL/DIV/LD); value reg for ST
+	rs, rt  int8  // sources
+	imm     int64 // immediate / memory offset
+	target  int   // branch/jump target (instruction index)
+	srcLine int   // 1-based source line, for diagnostics
+}
+
+// Program is an assembled kernel.
+type Program struct {
+	insts  []decoded
+	labels map[string]int
+	// data holds initial memory contents from .word directives.
+	data map[uint64]uint64
+}
+
+// Len returns the static instruction count.
+func (p *Program) Len() int { return len(p.insts) }
+
+// SyntaxError describes an assembly failure with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errAt(line int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble parses and resolves a program.
+func Assemble(src string) (*Program, error) {
+	p := &Program{labels: make(map[string]int), data: make(map[uint64]uint64)}
+	var dataCursor uint64
+	type fixup struct {
+		inst  int
+		label string
+		line  int
+	}
+	var fixups []fixup
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if !validLabel(label) {
+				return nil, errAt(lineNo+1, "invalid label %q", label)
+			}
+			if _, dup := p.labels[label]; dup {
+				return nil, errAt(lineNo+1, "duplicate label %q", label)
+			}
+			p.labels[label] = len(p.insts)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.Fields(line)
+		mnemonic := strings.ToLower(fields[0])
+
+		// Data directives: ".org addr" positions the data cursor and
+		// ".word v, v, ..." deposits 64-bit words at it.
+		if mnemonic == ".org" || mnemonic == ".word" {
+			args := splitArgs(strings.TrimSpace(strings.TrimPrefix(line, fields[0])))
+			if len(args) == 0 {
+				return nil, errAt(lineNo+1, "%s needs operands", mnemonic)
+			}
+			vals := make([]uint64, len(args))
+			for i, a := range args {
+				v, err := strconv.ParseInt(a, 0, 64)
+				if err != nil {
+					return nil, errAt(lineNo+1, "bad value %q", a)
+				}
+				vals[i] = uint64(v)
+			}
+			if mnemonic == ".org" {
+				if len(vals) != 1 {
+					return nil, errAt(lineNo+1, ".org takes one address")
+				}
+				dataCursor = vals[0]
+			} else {
+				for _, v := range vals {
+					p.data[dataCursor] = v
+					dataCursor += 8
+				}
+			}
+			continue
+		}
+
+		op, ok := opNames[mnemonic]
+		if !ok {
+			return nil, errAt(lineNo+1, "unknown instruction %q", mnemonic)
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		args := splitArgs(rest)
+		d := decoded{op: op, rd: -1, rs: -1, rt: -1, srcLine: lineNo + 1}
+
+		reg := func(s string) (int8, error) {
+			s = strings.ToLower(strings.TrimSpace(s))
+			if !strings.HasPrefix(s, "r") {
+				return 0, errAt(lineNo+1, "expected register, got %q", s)
+			}
+			n, err := strconv.Atoi(s[1:])
+			if err != nil || n < 0 || n >= isa.NumArchRegs {
+				return 0, errAt(lineNo+1, "bad register %q", s)
+			}
+			return int8(n), nil
+		}
+		imm := func(s string) (int64, error) {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+			if err != nil {
+				return 0, errAt(lineNo+1, "bad immediate %q", s)
+			}
+			return v, nil
+		}
+		need := func(n int) error {
+			if len(args) != n {
+				return errAt(lineNo+1, "%s takes %d operands, got %d", mnemonic, n, len(args))
+			}
+			return nil
+		}
+
+		var err error
+		switch op {
+		case opLI:
+			if err = need(2); err == nil {
+				if d.rd, err = reg(args[0]); err == nil {
+					d.imm, err = imm(args[1])
+				}
+			}
+		case opADDI:
+			if err = need(3); err == nil {
+				if d.rd, err = reg(args[0]); err == nil {
+					if d.rs, err = reg(args[1]); err == nil {
+						d.imm, err = imm(args[2])
+					}
+				}
+			}
+		case opADD, opSUB, opAND, opOR, opXOR, opSLT, opMUL, opDIV:
+			if err = need(3); err == nil {
+				if d.rd, err = reg(args[0]); err == nil {
+					if d.rs, err = reg(args[1]); err == nil {
+						d.rt, err = reg(args[2])
+					}
+				}
+			}
+		case opSLL, opSRL, opSRA:
+			if err = need(3); err == nil {
+				if d.rd, err = reg(args[0]); err == nil {
+					if d.rs, err = reg(args[1]); err == nil {
+						d.imm, err = imm(args[2])
+					}
+				}
+			}
+		case opMV:
+			if err = need(2); err == nil {
+				if d.rd, err = reg(args[0]); err == nil {
+					d.rs, err = reg(args[1])
+				}
+			}
+		case opNOP:
+			err = need(0)
+		case opLD, opST:
+			if err = need(2); err == nil {
+				if d.rd, err = reg(args[0]); err == nil {
+					d.rs, d.imm, err = parseMem(args[1], lineNo+1, reg)
+				}
+			}
+		case opBEQ, opBNE, opBLT, opBGE:
+			if err = need(3); err == nil {
+				if d.rs, err = reg(args[0]); err == nil {
+					if d.rt, err = reg(args[1]); err == nil {
+						fixups = append(fixups, fixup{len(p.insts), strings.TrimSpace(args[2]), lineNo + 1})
+					}
+				}
+			}
+		case opJ:
+			if err = need(1); err == nil {
+				fixups = append(fixups, fixup{len(p.insts), strings.TrimSpace(args[0]), lineNo + 1})
+			}
+		case opHALT:
+			err = need(0)
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.insts = append(p.insts, d)
+	}
+
+	if len(p.insts) == 0 {
+		return nil, errAt(1, "empty program")
+	}
+	for _, f := range fixups {
+		idx, ok := p.labels[f.label]
+		if !ok {
+			return nil, errAt(f.line, "undefined label %q", f.label)
+		}
+		p.insts[f.inst].target = idx
+	}
+	return p, nil
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitArgs splits on commas, tolerating spaces.
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// parseMem parses "offset(rN)" operands.
+func parseMem(s string, line int, reg func(string) (int8, error)) (int8, int64, error) {
+	open := strings.Index(s, "(")
+	closeP := strings.LastIndex(s, ")")
+	if open < 0 || closeP < open {
+		return 0, 0, errAt(line, "expected offset(reg), got %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	off := int64(0)
+	if offStr != "" {
+		v, err := strconv.ParseInt(offStr, 0, 64)
+		if err != nil {
+			return 0, 0, errAt(line, "bad offset %q", offStr)
+		}
+		off = v
+	}
+	r, err := reg(s[open+1 : closeP])
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, off, nil
+}

@@ -1,0 +1,281 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"tvsched/internal/isa"
+)
+
+const sumKernel = `
+# sum the first r2 integers into r3
+    li   r1, 0          ; i
+    li   r2, 100        ; n
+    li   r3, 0          ; acc
+loop:
+    add  r3, r3, r1
+    addi r1, r1, 1
+    blt  r1, r2, loop
+    halt
+`
+
+func TestAssembleAndRunSum(t *testing.T) {
+	p, err := Assemble(sumKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	// Step until the kernel halts once (the machine then wraps and would
+	// recompute, so check the register right at the boundary).
+	for i := 0; i < 10000 && m.Restarts() == 0; i++ {
+		m.Step()
+	}
+	if m.Restarts() != 1 {
+		t.Fatal("halt never reached")
+	}
+	if got := m.Reg(3); got != 4950 { // 0+1+...+99
+		t.Fatalf("sum = %d, want 4950", got)
+	}
+}
+
+func TestMemoryKernel(t *testing.T) {
+	src := `
+    li  r1, 0x1000      ; src
+    li  r2, 0x2000      ; dst
+    li  r3, 0           ; i
+    li  r4, 8           ; n
+copy:
+    ld  r5, 0(r1)
+    st  r5, 0(r2)
+    addi r1, r1, 8
+    addi r2, r2, 8
+    addi r3, r3, 1
+    blt r3, r4, copy
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	for i := uint64(0); i < 8; i++ {
+		m.Poke(0x1000+8*i, 100+i)
+	}
+	m.RunPure(p.Len() * 12)
+	for i := uint64(0); i < 8; i++ {
+		if got := m.Peek(0x2000 + 8*i); got != 100+i {
+			t.Fatalf("dst[%d] = %d", i, got)
+		}
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	src := `
+    li  r1, 7
+    li  r2, 3
+    add r3, r1, r2
+    sub r4, r1, r2
+    and r5, r1, r2
+    or  r6, r1, r2
+    xor r7, r1, r2
+    slt r8, r2, r1
+    slt r9, r1, r2
+    mul r10, r1, r2
+    div r11, r1, r2
+    div r12, r1, r0     ; divide by zero -> 0
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	m.RunPure(p.Len())
+	want := map[int]uint64{3: 10, 4: 4, 5: 3, 6: 7, 7: 4, 8: 1, 9: 0, 10: 21, 11: 2, 12: 0}
+	for r, v := range want {
+		if got := m.Reg(r); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	src := `
+    li  r0, 42
+    add r1, r0, r0
+    halt
+`
+	p, _ := Assemble(src)
+	m := NewMachine(p)
+	m.RunPure(3)
+	if m.Reg(0) != 0 || m.Reg(1) != 0 {
+		t.Fatalf("r0 not hardwired: r0=%d r1=%d", m.Reg(0), m.Reg(1))
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	src := `
+    li  r1, 5
+    li  r2, 5
+    li  r10, 0
+    beq r1, r2, eq      ; taken
+    li  r10, 99
+eq: bne r1, r2, bad     ; not taken
+    bge r1, r2, ge      ; taken
+    li  r10, 99
+ge: addi r10, r10, 1
+    halt
+bad:
+    li r10, 77
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	m.RunPure(8)
+	if m.Reg(10) != 1 {
+		t.Fatalf("branch path wrong: r10 = %d", m.Reg(10))
+	}
+}
+
+func TestTraceRecordsWellFormed(t *testing.T) {
+	p, err := Assemble(sumKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	var prev isa.Inst
+	for i := 0; i < 2000; i++ {
+		in := m.Next()
+		if err := in.Validate(); err != nil {
+			t.Fatalf("record %d invalid: %v (%+v)", i, err, in)
+		}
+		if i > 0 && prev.NextPC != in.PC {
+			t.Fatalf("NextPC chain broken at %d: %#x -> %#x", i, prev.NextPC, in.PC)
+		}
+		prev = in
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"frob r1, r2", "unknown instruction"},
+		{"add r1, r2", "takes 3 operands"},
+		{"add r1, r2, r99", "bad register"},
+		{"li r1, zebra", "bad immediate"},
+		{"beq r1, r2, nowhere", `undefined label "nowhere"`},
+		{"ld r1, r2", "expected offset(reg)"},
+		{"dup: li r1, 1\ndup: li r1, 2", "duplicate label"},
+		{"9bad: li r1, 1", "invalid label"},
+		{"", "empty program"},
+		{"halt extra", "takes 0 operands"},
+	}
+	for _, tc := range cases {
+		_, err := Assemble(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Assemble(%q) error = %v, want %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestSyntaxErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("li r1, 1\nli r2, 2\nbogus\n")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 3 {
+		t.Fatalf("line %d, want 3", se.Line)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p, _ := Assemble(sumKernel)
+	dis := p.Disassemble()
+	for _, want := range []string{"li", "add", "blt", "0x00400000"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestFallThroughWraps(t *testing.T) {
+	p, _ := Assemble("li r1, 1\naddi r1, r1, 1")
+	m := NewMachine(p)
+	m.RunPure(10)
+	if m.Restarts() < 4 {
+		t.Fatalf("restarts %d", m.Restarts())
+	}
+}
+
+func BenchmarkInterpreter(b *testing.B) {
+	p, _ := Assemble(sumKernel)
+	m := NewMachine(p)
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+func TestShiftsAndMv(t *testing.T) {
+	src := `
+    li  r1, 0x80
+    sll r2, r1, 4
+    srl r3, r1, 3
+    li  r4, -16
+    sra r5, r4, 2
+    mv  r6, r2
+    nop
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	m.RunPure(p.Len())
+	if m.Reg(2) != 0x800 || m.Reg(3) != 0x10 {
+		t.Fatalf("shifts wrong: %#x %#x", m.Reg(2), m.Reg(3))
+	}
+	if int64(m.Reg(5)) != -4 {
+		t.Fatalf("sra wrong: %d", int64(m.Reg(5)))
+	}
+	if m.Reg(6) != 0x800 {
+		t.Fatalf("mv wrong: %#x", m.Reg(6))
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	src := `
+.org 0x1000
+.word 11, 22, 33
+.org 0x2000
+.word 0xdeadbeef
+    li r1, 0x1000
+    ld r2, 8(r1)
+    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	if m.Peek(0x1000) != 11 || m.Peek(0x1010) != 33 || m.Peek(0x2000) != 0xdeadbeef {
+		t.Fatal("data not deposited")
+	}
+	m.RunPure(3)
+	if m.Reg(2) != 22 {
+		t.Fatalf("ld from .word data = %d", m.Reg(2))
+	}
+}
+
+func TestDataDirectiveErrors(t *testing.T) {
+	for _, src := range []string{".org", ".word", ".org 1, 2", ".word zebra"} {
+		if _, err := Assemble(src + "\nhalt"); err == nil {
+			t.Errorf("%q accepted", src)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlwaysTakenLearns(t *testing.T) {
+	p := New(DefaultConfig())
+	pc, target := uint64(0x400), uint64(0x800)
+	// Train.
+	for i := 0; i < 10; i++ {
+		p.Update(pc, true, target)
+	}
+	taken, tgt := p.Predict(pc)
+	if !taken || tgt != target {
+		t.Fatalf("after training: taken=%v target=%#x", taken, tgt)
+	}
+}
+
+func TestAlwaysNotTakenLearns(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x400)
+	for i := 0; i < 10; i++ {
+		p.Update(pc, false, 0)
+	}
+	if taken, _ := p.Predict(pc); taken {
+		t.Fatal("predicts taken after not-taken training")
+	}
+}
+
+func TestAlternatingPatternWithHistory(t *testing.T) {
+	// gshare with global history learns strict alternation.
+	p := New(DefaultConfig())
+	pc, target := uint64(0x1000), uint64(0x2000)
+	correct := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		taken := i%2 == 0
+		if p.Update(pc, taken, target) {
+			correct++
+		}
+	}
+	// After warmup the pattern is fully predictable; allow warmup slack.
+	if correct < n*9/10 {
+		t.Fatalf("alternating pattern only %d/%d correct", correct, n)
+	}
+}
+
+func TestMispredictCounting(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x40)
+	p.Update(pc, true, 0x80) // BTB cold: target unknown -> mispredict
+	if p.Stats.Branches != 1 {
+		t.Fatalf("branches %d", p.Stats.Branches)
+	}
+	if p.Stats.Mispredicts == 0 {
+		t.Fatal("cold taken branch with unknown target must mispredict")
+	}
+}
+
+func TestHistoryShifts(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Update(0x40, true, 0x80)
+	if p.History()&1 != 1 {
+		t.Fatal("history LSB should be 1 after taken")
+	}
+	p.Update(0x40, false, 0)
+	if p.History()&1 != 0 {
+		t.Fatal("history LSB should be 0 after not-taken")
+	}
+	if (p.History()>>1)&1 != 1 {
+		t.Fatal("previous outcome should have shifted up")
+	}
+}
+
+func TestRAS(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.PopRAS() != 0 {
+		t.Fatal("empty RAS should return 0")
+	}
+	p.PushRAS(0x100)
+	p.PushRAS(0x200)
+	if v := p.PopRAS(); v != 0x200 {
+		t.Fatalf("RAS pop = %#x", v)
+	}
+	if v := p.PopRAS(); v != 0x100 {
+		t.Fatalf("RAS pop = %#x", v)
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASEntries = 4
+	p := New(cfg)
+	for i := 0; i < 10; i++ {
+		p.PushRAS(uint64(i))
+	}
+	// Deep pushes overwrite; pops must still return the most recent ones.
+	if v := p.PopRAS(); v != 9 {
+		t.Fatalf("top of wrapped RAS = %d", v)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Update(0x40, true, 0x80)
+	p.PushRAS(1)
+	p.Reset()
+	if p.Stats.Branches != 0 || p.History() != 0 || p.PopRAS() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	var s Stats
+	if s.MispredictRate() != 0 {
+		t.Fatal("zero-branch rate")
+	}
+	s = Stats{Branches: 100, Mispredicts: 7}
+	if s.MispredictRate() != 0.07 {
+		t.Fatalf("rate %v", s.MispredictRate())
+	}
+}
+
+func TestOracleNoiseDeterminism(t *testing.T) {
+	a := NewOracleNoise(0.05, 99)
+	b := NewOracleNoise(0.05, 99)
+	for i := 0; i < 1000; i++ {
+		if a.Mispredict() != b.Mispredict() {
+			t.Fatal("oracle noise not deterministic")
+		}
+	}
+}
+
+func TestOracleNoiseRate(t *testing.T) {
+	o := NewOracleNoise(0.1, 5)
+	n, miss := 100000, 0
+	for i := 0; i < n; i++ {
+		if o.Mispredict() {
+			miss++
+		}
+	}
+	rate := float64(miss) / float64(n)
+	if rate < 0.09 || rate > 0.11 {
+		t.Fatalf("oracle rate %v, want ~0.1", rate)
+	}
+	if o.Rate() != 0.1 {
+		t.Fatalf("Rate() = %v", o.Rate())
+	}
+}
+
+func TestOracleNoiseZero(t *testing.T) {
+	o := NewOracleNoise(0, 1)
+	for i := 0; i < 100; i++ {
+		if o.Mispredict() {
+			t.Fatal("zero-rate oracle mispredicted")
+		}
+	}
+}
+
+// Property: history register always fits within HistoryBits.
+func TestHistoryBoundedProperty(t *testing.T) {
+	p := New(Config{HistoryBits: 8, BTBEntries: 64, RASEntries: 4})
+	f := func(pc uint64, taken bool) bool {
+		p.Update(pc, taken, pc+4)
+		return p.History() < (1 << 8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Stats.Mispredicts never exceeds Stats.Branches.
+func TestStatsSanityProperty(t *testing.T) {
+	p := New(DefaultConfig())
+	f := func(pc uint64, taken bool) bool {
+		p.Update(pc&0xffff, taken, (pc^0xabc)&0xffff)
+		return p.Stats.Mispredicts <= p.Stats.Branches
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPredictUpdate(b *testing.B) {
+	p := New(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i%512) * 4
+		p.Predict(pc)
+		p.Update(pc, i%3 == 0, pc+16)
+	}
+}

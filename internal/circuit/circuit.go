@@ -1,0 +1,305 @@
+// Package circuit provides the gate-level substrate for the paper's
+// supplemental study (§S1): combinational netlists, functional evaluation in
+// topological order, toggle tracking (which gates change state between two
+// consecutive input vectors — the definition behind the φ/ψ commonality
+// metric), and structural metrics (gate count, logic depth) reported in
+// Table 3. It plays the role Cadence NC-Verilog plays in the paper's
+// cross-layer methodology (Figure 6).
+package circuit
+
+import "fmt"
+
+// GateType enumerates the standard-cell functions used by the netlist
+// builders.
+type GateType uint8
+
+const (
+	And GateType = iota
+	Or
+	Nand
+	Nor
+	Xor
+	Xnor
+	Not
+	Buf
+	// Mux2 selects In[1] when In[0] is false and In[2] when In[0] is true.
+	Mux2
+	NumGateTypes
+)
+
+// String returns the cell name.
+func (t GateType) String() string {
+	switch t {
+	case And:
+		return "and"
+	case Or:
+		return "or"
+	case Nand:
+		return "nand"
+	case Nor:
+		return "nor"
+	case Xor:
+		return "xor"
+	case Xnor:
+		return "xnor"
+	case Not:
+		return "not"
+	case Buf:
+		return "buf"
+	case Mux2:
+		return "mux2"
+	default:
+		return fmt.Sprintf("gate(%d)", uint8(t))
+	}
+}
+
+// Gate is one cell instance. Inputs are node ids: ids below the netlist's
+// NumInputs refer to primary inputs; higher ids refer to earlier gates'
+// outputs (the netlist is topologically ordered by construction).
+type Gate struct {
+	Type GateType
+	In   []int
+}
+
+// Netlist is a combinational circuit.
+type Netlist struct {
+	Name      string
+	NumInputs int
+	Gates     []Gate
+	Outputs   []int
+}
+
+// NumGates returns the cell count.
+func (n *Netlist) NumGates() int { return len(n.Gates) }
+
+// NumNodes returns inputs + gates.
+func (n *Netlist) NumNodes() int { return n.NumInputs + len(n.Gates) }
+
+// nodeID converts a gate index to its node id.
+func (n *Netlist) nodeID(gateIdx int) int { return n.NumInputs + gateIdx }
+
+// Validate checks topological ordering and reference validity.
+func (n *Netlist) Validate() error {
+	for i, g := range n.Gates {
+		if len(g.In) == 0 {
+			return fmt.Errorf("circuit %s: gate %d has no inputs", n.Name, i)
+		}
+		want := map[GateType]int{Not: 1, Buf: 1, Mux2: 3}
+		if w, ok := want[g.Type]; ok && len(g.In) != w {
+			return fmt.Errorf("circuit %s: gate %d (%v) has %d inputs, want %d",
+				n.Name, i, g.Type, len(g.In), w)
+		}
+		if !ok2in(g.Type) && len(g.In) < 1 {
+			return fmt.Errorf("circuit %s: gate %d underdriven", n.Name, i)
+		}
+		for _, in := range g.In {
+			if in < 0 || in >= n.nodeID(i) {
+				return fmt.Errorf("circuit %s: gate %d references node %d (not topological)",
+					n.Name, i, in)
+			}
+		}
+	}
+	for _, o := range n.Outputs {
+		if o < 0 || o >= n.NumNodes() {
+			return fmt.Errorf("circuit %s: output node %d out of range", n.Name, o)
+		}
+	}
+	return nil
+}
+
+func ok2in(t GateType) bool {
+	switch t {
+	case Not, Buf, Mux2:
+		return false
+	default:
+		return true
+	}
+}
+
+// State is the evaluation scratch for one netlist: one bool per node.
+type State []bool
+
+// NewState allocates evaluation state for n.
+func (n *Netlist) NewState() State { return make(State, n.NumNodes()) }
+
+// Eval computes all node values for the given primary inputs, storing them
+// in st (which must come from NewState). It returns st for chaining.
+func (n *Netlist) Eval(inputs []bool, st State) State {
+	if len(inputs) != n.NumInputs {
+		panic(fmt.Sprintf("circuit %s: %d inputs, want %d", n.Name, len(inputs), n.NumInputs))
+	}
+	copy(st, inputs)
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		var v bool
+		switch g.Type {
+		case And, Nand:
+			v = true
+			for _, in := range g.In {
+				v = v && st[in]
+			}
+			if g.Type == Nand {
+				v = !v
+			}
+		case Or, Nor:
+			v = false
+			for _, in := range g.In {
+				v = v || st[in]
+			}
+			if g.Type == Nor {
+				v = !v
+			}
+		case Xor, Xnor:
+			v = false
+			for _, in := range g.In {
+				v = v != st[in]
+			}
+			if g.Type == Xnor {
+				v = !v
+			}
+		case Not:
+			v = !st[g.In[0]]
+		case Buf:
+			v = st[g.In[0]]
+		case Mux2:
+			if st[g.In[0]] {
+				v = st[g.In[2]]
+			} else {
+				v = st[g.In[1]]
+			}
+		}
+		st[n.nodeID(i)] = v
+	}
+	return st
+}
+
+// OutputValues extracts the output bits from an evaluated state.
+func (n *Netlist) OutputValues(st State) []bool {
+	out := make([]bool, len(n.Outputs))
+	for i, o := range n.Outputs {
+		out[i] = st[o]
+	}
+	return out
+}
+
+// Toggles compares two evaluated states and appends to dst the gate indices
+// whose outputs differ — the gates that "change state" in the §S1 sense when
+// the circuit input moves from one vector to the next.
+func (n *Netlist) Toggles(prev, cur State, dst []int) []int {
+	for i := range n.Gates {
+		id := n.nodeID(i)
+		if prev[id] != cur[id] {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// LogicDepth returns the maximum number of gates on any input-to-output
+// path, the metric of Table 3.
+func (n *Netlist) LogicDepth() int {
+	depth := make([]int, n.NumNodes())
+	max := 0
+	for i := range n.Gates {
+		d := 0
+		for _, in := range n.Gates[i].In {
+			if depth[in] > d {
+				d = depth[in]
+			}
+		}
+		depth[n.nodeID(i)] = d + 1
+	}
+	for _, o := range n.Outputs {
+		if depth[o] > max {
+			max = depth[o]
+		}
+	}
+	return max
+}
+
+// CountByType returns the per-cell-type histogram (for the power model).
+func (n *Netlist) CountByType() [NumGateTypes]int {
+	var c [NumGateTypes]int
+	for i := range n.Gates {
+		c[n.Gates[i].Type]++
+	}
+	return c
+}
+
+// Builder incrementally constructs a topologically ordered netlist.
+type Builder struct {
+	nl Netlist
+}
+
+// NewBuilder starts a netlist with the given name and primary input count.
+func NewBuilder(name string, numInputs int) *Builder {
+	return &Builder{nl: Netlist{Name: name, NumInputs: numInputs}}
+}
+
+// Input returns the node id of primary input i.
+func (b *Builder) Input(i int) int {
+	if i < 0 || i >= b.nl.NumInputs {
+		panic("circuit: input index out of range")
+	}
+	return i
+}
+
+// Gate appends a cell and returns its node id.
+func (b *Builder) Gate(t GateType, in ...int) int {
+	b.nl.Gates = append(b.nl.Gates, Gate{Type: t, In: in})
+	return b.nl.NumInputs + len(b.nl.Gates) - 1
+}
+
+// Not, And2, Or2, Xor2, Mux are convenience wrappers.
+func (b *Builder) Not(a int) int         { return b.Gate(Not, a) }
+func (b *Builder) And2(x, y int) int     { return b.Gate(And, x, y) }
+func (b *Builder) Or2(x, y int) int      { return b.Gate(Or, x, y) }
+func (b *Builder) Xor2(x, y int) int     { return b.Gate(Xor, x, y) }
+func (b *Builder) Mux(s, a0, a1 int) int { return b.Gate(Mux2, s, a0, a1) }
+
+// ReduceAnd builds a balanced AND tree over the nodes.
+func (b *Builder) ReduceAnd(nodes []int) int { return b.reduce(And, nodes) }
+
+// ReduceOr builds a balanced OR tree over the nodes.
+func (b *Builder) ReduceOr(nodes []int) int { return b.reduce(Or, nodes) }
+
+func (b *Builder) reduce(t GateType, nodes []int) int {
+	if len(nodes) == 0 {
+		panic("circuit: reduce over empty set")
+	}
+	for len(nodes) > 1 {
+		var next []int
+		for i := 0; i+1 < len(nodes); i += 2 {
+			next = append(next, b.Gate(t, nodes[i], nodes[i+1]))
+		}
+		if len(nodes)%2 == 1 {
+			next = append(next, nodes[len(nodes)-1])
+		}
+		nodes = next
+	}
+	return nodes[0]
+}
+
+// Output marks a node as a primary output.
+func (b *Builder) Output(node int) {
+	b.nl.Outputs = append(b.nl.Outputs, node)
+}
+
+// Build finalizes the netlist, validating it.
+func (b *Builder) Build() (*Netlist, error) {
+	nl := b.nl
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return &nl, nil
+}
+
+// MustBuild finalizes, panicking on structural errors (builders are
+// program constants).
+func (b *Builder) MustBuild() *Netlist {
+	nl, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return nl
+}

@@ -1,0 +1,179 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// xorNet builds a 2-input XOR from NAND gates (the classic 4-NAND XOR).
+func xorNet(t *testing.T) *Netlist {
+	t.Helper()
+	b := NewBuilder("xor4nand", 2)
+	a, c := b.Input(0), b.Input(1)
+	n1 := b.Gate(Nand, a, c)
+	n2 := b.Gate(Nand, a, n1)
+	n3 := b.Gate(Nand, c, n1)
+	n4 := b.Gate(Nand, n2, n3)
+	b.Output(n4)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestXorFromNands(t *testing.T) {
+	nl := xorNet(t)
+	st := nl.NewState()
+	for _, tc := range []struct{ a, b, want bool }{
+		{false, false, false}, {false, true, true},
+		{true, false, true}, {true, true, false},
+	} {
+		nl.Eval([]bool{tc.a, tc.b}, st)
+		if got := nl.OutputValues(st)[0]; got != tc.want {
+			t.Fatalf("xor(%v,%v) = %v", tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestGateTypes(t *testing.T) {
+	b := NewBuilder("alltypes", 3)
+	x, y, z := b.Input(0), b.Input(1), b.Input(2)
+	ids := []int{
+		b.Gate(And, x, y), b.Gate(Or, x, y), b.Gate(Nand, x, y),
+		b.Gate(Nor, x, y), b.Gate(Xor, x, y), b.Gate(Xnor, x, y),
+		b.Not(x), b.Gate(Buf, x), b.Mux(z, x, y),
+	}
+	for _, id := range ids {
+		b.Output(id)
+	}
+	nl := b.MustBuild()
+	st := nl.NewState()
+	check := func(x, y, z bool, want []bool) {
+		nl.Eval([]bool{x, y, z}, st)
+		got := nl.OutputValues(st)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("inputs (%v,%v,%v): output %d = %v, want %v", x, y, z, i, got[i], want[i])
+			}
+		}
+	}
+	// and or nand nor xor xnor not buf mux
+	check(true, false, false, []bool{false, true, true, false, true, false, false, true, true})
+	check(true, true, true, []bool{true, true, false, false, false, true, false, true, true})
+	check(false, true, true, []bool{false, true, true, false, true, false, true, false, true})
+}
+
+func TestLogicDepth(t *testing.T) {
+	nl := xorNet(t)
+	if d := nl.LogicDepth(); d != 3 {
+		t.Fatalf("4-NAND XOR depth = %d, want 3", d)
+	}
+}
+
+func TestToggles(t *testing.T) {
+	nl := xorNet(t)
+	prev := nl.Eval([]bool{false, false}, nl.NewState())
+	cur := nl.Eval([]bool{false, true}, nl.NewState())
+	tg := nl.Toggles(prev, cur, nil)
+	if len(tg) == 0 {
+		t.Fatal("input change toggled no gates")
+	}
+	// Same input twice: no toggles.
+	cur2 := nl.Eval([]bool{false, true}, nl.NewState())
+	if tg2 := nl.Toggles(cur, cur2, nil); len(tg2) != 0 {
+		t.Fatalf("identical inputs toggled %d gates", len(tg2))
+	}
+}
+
+func TestReduceTrees(t *testing.T) {
+	b := NewBuilder("reduce", 7)
+	var ins []int
+	for i := 0; i < 7; i++ {
+		ins = append(ins, b.Input(i))
+	}
+	b.Output(b.ReduceAnd(ins))
+	b.Output(b.ReduceOr(ins))
+	nl := b.MustBuild()
+	st := nl.NewState()
+
+	all := []bool{true, true, true, true, true, true, true}
+	nl.Eval(all, st)
+	if out := nl.OutputValues(st); !out[0] || !out[1] {
+		t.Fatal("all-ones reduce")
+	}
+	one := make([]bool, 7)
+	one[3] = true
+	nl.Eval(one, st)
+	if out := nl.OutputValues(st); out[0] || !out[1] {
+		t.Fatal("single-one reduce")
+	}
+	nl.Eval(make([]bool, 7), st)
+	if out := nl.OutputValues(st); out[0] || out[1] {
+		t.Fatal("all-zero reduce")
+	}
+	// Balanced tree depth: ceil(log2(7)) = 3.
+	if d := nl.LogicDepth(); d != 3 {
+		t.Fatalf("reduce depth %d, want 3", d)
+	}
+}
+
+func TestValidateRejectsForwardRefs(t *testing.T) {
+	nl := &Netlist{Name: "bad", NumInputs: 1, Gates: []Gate{{Type: Not, In: []int{2}}}}
+	if err := nl.Validate(); err == nil {
+		t.Fatal("forward reference accepted")
+	}
+	nl2 := &Netlist{Name: "bad2", NumInputs: 1, Gates: []Gate{{Type: Mux2, In: []int{0, 0}}}}
+	if err := nl2.Validate(); err == nil {
+		t.Fatal("underdriven mux accepted")
+	}
+	nl3 := &Netlist{Name: "bad3", NumInputs: 1, Outputs: []int{5}}
+	if err := nl3.Validate(); err == nil {
+		t.Fatal("dangling output accepted")
+	}
+}
+
+func TestCountByType(t *testing.T) {
+	nl := xorNet(t)
+	c := nl.CountByType()
+	if c[Nand] != 4 {
+		t.Fatalf("nand count %d", c[Nand])
+	}
+	if nl.NumGates() != 4 {
+		t.Fatalf("gate count %d", nl.NumGates())
+	}
+}
+
+// Property: evaluation is deterministic and Toggles(x, x) is empty.
+func TestEvalDeterministicProperty(t *testing.T) {
+	nl := xorNet(t)
+	f := func(a, b bool) bool {
+		s1 := nl.Eval([]bool{a, b}, nl.NewState())
+		s2 := nl.Eval([]bool{a, b}, nl.NewState())
+		return len(nl.Toggles(s1, s2, nil)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateTypeString(t *testing.T) {
+	for g := And; g < NumGateTypes; g++ {
+		if g.String() == "" {
+			t.Fatalf("empty name for %d", g)
+		}
+	}
+}
+
+func BenchmarkEvalXor(b *testing.B) {
+	bld := NewBuilder("bench", 2)
+	x, y := bld.Input(0), bld.Input(1)
+	bld.Output(bld.Xor2(x, y))
+	nl := bld.MustBuild()
+	st := nl.NewState()
+	in := []bool{true, false}
+	for i := 0; i < b.N; i++ {
+		in[0] = !in[0]
+		nl.Eval(in, st)
+	}
+}

@@ -1,0 +1,169 @@
+// Package core implements the paper's primary contribution: the Violation
+// Tolerant Enhancement (VTE) of the issue stage and the violation-aware
+// instruction scheduling algorithms of §3 — Age Based Selection (ABS),
+// Faulty First Selection (FFS) and Criticality Driven Selection (CDS) — along
+// with the comparative schemes they are evaluated against (Razor instruction
+// replay and Error Padding stalls).
+//
+// The package is deliberately free of simulator plumbing: it defines the
+// scheduling-visible state of an issue-queue entry, the selection-priority
+// logic (§3.5.1), the Functional Unit State Register (§3.3.3), the
+// Criticality Detection Logic (§3.5.2), and the decision table mapping a
+// (scheme, predicted?, stage) triple to the micro-architectural response
+// (§2.2, §3.3). The pipeline simulator consumes these pieces.
+package core
+
+import (
+	"fmt"
+
+	"tvsched/internal/isa"
+)
+
+// Scheme identifies a timing-error handling scheme (§5, "Comparative
+// Schemes").
+type Scheme uint8
+
+const (
+	// Razor fires an instruction replay for every error in the system [3];
+	// it does not use the TEP.
+	Razor Scheme = iota
+	// EP (Error Padding) is the baseline: it introduces a whole-pipeline
+	// stall cycle for each predicted error, similar to [12, 13].
+	EP
+	// ABS is violation-aware scheduling with age-based selection.
+	ABS
+	// FFS is violation-aware scheduling with faulty-first selection.
+	FFS
+	// CDS is violation-aware scheduling with criticality-driven selection.
+	CDS
+	// NumSchemes is the number of schemes.
+	NumSchemes
+)
+
+// String returns the scheme name as used in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case Razor:
+		return "Razor"
+	case EP:
+		return "EP"
+	case ABS:
+		return "ABS"
+	case FFS:
+		return "FFS"
+	case CDS:
+		return "CDS"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(s))
+	}
+}
+
+// ParseScheme converts a name (case-sensitive, as printed by String) to a
+// Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	for s := Razor; s < NumSchemes; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// UsesTEP reports whether the scheme consults the Timing Error Predictor.
+// Razor is purely reactive.
+func (s Scheme) UsesTEP() bool { return s != Razor }
+
+// Confined reports whether the scheme uses the violation-aware scheduling
+// framework (penalty confined to the faulty instruction and its dependents).
+func (s Scheme) Confined() bool { return s == ABS || s == FFS || s == CDS }
+
+// Policy returns the issue-selection policy the scheme uses. Fault-free
+// execution and the EP baseline use age-based selection (§4.2).
+func (s Scheme) Policy() Policy {
+	switch s {
+	case FFS:
+		return FaultyFirst
+	case CDS:
+		return CriticalityDriven
+	default:
+		return AgeBased
+	}
+}
+
+// Action is the micro-architectural response to a timing violation.
+type Action uint8
+
+const (
+	// ActNone: proceed normally (no violation, or prediction suppressed).
+	ActNone Action = iota
+	// ActConfined: the VTE response — the instruction occupies its stage one
+	// extra cycle, its resource slot is frozen for the following cycle, and
+	// its tag broadcast is delayed one cycle (§3.1, §3.2).
+	ActConfined
+	// ActGlobalStall: the EP response — the whole pipeline stalls one cycle
+	// while the faulty stage completes in two.
+	ActGlobalStall
+	// ActFrontStall: the in-order-engine response (§2.2) — rename/dispatch/
+	// retire recirculate their inputs for one cycle; the OoO engine runs on.
+	ActFrontStall
+	// ActReplay: error recovery by instruction replay, as in Razor (§2.1.2).
+	ActReplay
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActConfined:
+		return "confined"
+	case ActGlobalStall:
+		return "global-stall"
+	case ActFrontStall:
+		return "front-stall"
+	case ActReplay:
+		return "replay"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// Respond is the decision table of §2.2 and §3.3: given the handling scheme,
+// whether the violation was predicted early by the TEP, and the pipe stage
+// it occurs in, it returns the response the machine takes.
+//
+//   - Unpredicted violations always trigger replay (all schemes; Razor
+//     predicts nothing so everything replays).
+//   - Predicted violations in fetch/decode cannot be mitigated by the TEP
+//     path and replay as well (§2.2) — rare in practice [17].
+//   - Predicted violations in the in-order engine (rename/dispatch/retire)
+//     are tolerated by a localized stall under every TEP-using scheme.
+//   - Predicted violations in the OoO engine are the interesting case:
+//     EP stalls the whole pipeline; ABS/FFS/CDS confine the penalty.
+func Respond(s Scheme, predicted bool, stage isa.Stage) Action {
+	if !predicted || !s.UsesTEP() {
+		return ActReplay
+	}
+	switch {
+	case stage.ReplayOnly():
+		return ActReplay
+	case stage.StallTolerable():
+		if s == EP {
+			return ActGlobalStall
+		}
+		return ActFrontStall
+	case stage.InOoOEngine():
+		if s == EP {
+			return ActGlobalStall
+		}
+		return ActConfined
+	default:
+		return ActReplay
+	}
+}
+
+// Schemes returns all schemes in paper order.
+func Schemes() []Scheme { return []Scheme{Razor, EP, ABS, FFS, CDS} }
+
+// Proposed returns the paper's three proposed schemes.
+func Proposed() []Scheme { return []Scheme{ABS, FFS, CDS} }

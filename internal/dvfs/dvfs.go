@@ -1,0 +1,141 @@
+// Package dvfs implements a closed-loop error-rate-driven voltage governor —
+// the classic companion to timing-speculative designs (Razor's "self-tuning
+// DVS" [Das et al., JSSC'06]) and the online realization of the operating-
+// point headroom the paper's introduction motivates. The governor samples
+// the machine's violation rate over fixed instruction windows and walks the
+// supply voltage toward a target band: below the band there is unused timing
+// margin (step down, save energy); above it the handling overhead grows
+// (step up). With violation-aware scheduling the tolerable band is far wider
+// than with stall- or replay-based handling, so the governor settles lower.
+package dvfs
+
+import (
+	"fmt"
+
+	"tvsched/internal/pipeline"
+)
+
+// Policy parameterizes the control loop.
+type Policy struct {
+	// TargetLo and TargetHi bound the per-window fault rate (fraction of
+	// committed instructions) the governor steers into.
+	TargetLo, TargetHi float64
+	// StepV is the voltage step per adjustment (volts).
+	StepV float64
+	// VMin and VMax clamp the walk.
+	VMin, VMax float64
+	// Window is the sample length in committed instructions.
+	Window uint64
+}
+
+// DefaultPolicy targets the paper's low-fault-rate regime (1-3% violations),
+// stepping 10 mV per 20k-instruction window within [0.95, 1.10] V.
+func DefaultPolicy() Policy {
+	return Policy{
+		TargetLo: 0.01, TargetHi: 0.03,
+		StepV: 0.010,
+		VMin:  0.95, VMax: 1.10,
+		Window: 20000,
+	}
+}
+
+// Validate reports parameter errors.
+func (p *Policy) Validate() error {
+	if p.TargetLo < 0 || p.TargetHi <= p.TargetLo {
+		return fmt.Errorf("dvfs: bad target band [%v, %v]", p.TargetLo, p.TargetHi)
+	}
+	if p.StepV <= 0 || p.VMin >= p.VMax || p.Window == 0 {
+		return fmt.Errorf("dvfs: bad step/range/window")
+	}
+	return nil
+}
+
+// Sample records one control window.
+type Sample struct {
+	Window    int
+	VDD       float64
+	FaultRate float64
+	IPC       float64
+}
+
+// Governor drives one pipeline instance.
+type Governor struct {
+	p   *pipeline.Pipeline
+	pol Policy
+	vdd float64
+}
+
+// New wraps a pipeline that was constructed at startVDD.
+func New(p *pipeline.Pipeline, startVDD float64, pol Policy) (*Governor, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	return &Governor{p: p, pol: pol, vdd: startVDD}, nil
+}
+
+// VDD returns the current supply voltage.
+func (g *Governor) VDD() float64 { return g.vdd }
+
+// Run executes windows control windows, adjusting the voltage after each,
+// and returns the per-window trace plus the final cumulative statistics.
+func (g *Governor) Run(windows int) ([]Sample, pipeline.Stats, error) {
+	var (
+		trace []Sample
+		prev  pipeline.Stats
+		st    pipeline.Stats
+		err   error
+	)
+	for w := 0; w < windows; w++ {
+		st, err = g.p.Run(g.pol.Window)
+		if err != nil {
+			return trace, st, err
+		}
+		committed := st.Committed - prev.Committed
+		faults := st.Faults - prev.Faults
+		cycles := st.Cycles - prev.Cycles
+		prev = st
+
+		fr := 0.0
+		if committed > 0 {
+			fr = float64(faults) / float64(committed)
+		}
+		ipc := 0.0
+		if cycles > 0 {
+			ipc = float64(committed) / float64(cycles)
+		}
+		trace = append(trace, Sample{Window: w, VDD: g.vdd, FaultRate: fr, IPC: ipc})
+
+		// Walk the supply toward the target band.
+		switch {
+		case fr < g.pol.TargetLo && g.vdd > g.pol.VMin:
+			g.vdd -= g.pol.StepV
+			if g.vdd < g.pol.VMin {
+				g.vdd = g.pol.VMin
+			}
+			g.p.SetVDD(g.vdd)
+		case fr > g.pol.TargetHi && g.vdd < g.pol.VMax:
+			g.vdd += g.pol.StepV
+			if g.vdd > g.pol.VMax {
+				g.vdd = g.pol.VMax
+			}
+			g.p.SetVDD(g.vdd)
+		}
+	}
+	return trace, st, nil
+}
+
+// Settled reports the mean voltage over the last k windows of a trace — the
+// governor's operating point once transients die out.
+func Settled(trace []Sample, k int) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	if k > len(trace) {
+		k = len(trace)
+	}
+	sum := 0.0
+	for _, s := range trace[len(trace)-k:] {
+		sum += s.VDD
+	}
+	return sum / float64(k)
+}

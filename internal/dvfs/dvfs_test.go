@@ -1,0 +1,153 @@
+package dvfs
+
+import (
+	"testing"
+
+	"tvsched/internal/core"
+	"tvsched/internal/fault"
+	"tvsched/internal/pipeline"
+	"tvsched/internal/workload"
+)
+
+func newPipe(t *testing.T, scheme core.Scheme, vdd float64, seed uint64) *pipeline.Pipeline {
+	t.Helper()
+	prof, ok := workload.ByName("bzip2")
+	if !ok {
+		t.Fatal("profile missing")
+	}
+	gen, err := workload.NewGenerator(prof, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.MispredictRate = prof.MispredictRate
+	cfg.Seed = seed
+	fc := fault.DefaultConfig(seed)
+	fc.Bias = prof.FaultBias
+	p, err := pipeline.New(cfg, gen, fault.New(fc), vdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PrefillData(gen.WarmRegion())
+	if err := p.Warmup(20000); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPolicyValidate(t *testing.T) {
+	good := DefaultPolicy()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Policy{
+		{TargetLo: 0.05, TargetHi: 0.01, StepV: 0.01, VMin: 0.9, VMax: 1.1, Window: 100},
+		{TargetLo: 0.01, TargetHi: 0.02, StepV: 0, VMin: 0.9, VMax: 1.1, Window: 100},
+		{TargetLo: 0.01, TargetHi: 0.02, StepV: 0.01, VMin: 1.2, VMax: 1.1, Window: 100},
+		{TargetLo: 0.01, TargetHi: 0.02, StepV: 0.01, VMin: 0.9, VMax: 1.1, Window: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+	}
+	if _, err := New(nil, 1.1, bad[0]); err == nil {
+		t.Error("governor accepted invalid policy")
+	}
+}
+
+func TestGovernorWalksDownFromNominal(t *testing.T) {
+	// Starting fault-free at 1.10V, the governor must discover the unused
+	// margin and walk the voltage down into the target band.
+	p := newPipe(t, core.ABS, fault.VNominal, 3)
+	g, err := New(p, fault.VNominal, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, st, err := g.Run(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed == 0 {
+		t.Fatal("no progress")
+	}
+	if len(trace) != 25 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	if trace[0].VDD != fault.VNominal {
+		t.Fatalf("first window at %v", trace[0].VDD)
+	}
+	settled := Settled(trace, 5)
+	if settled >= fault.VNominal-0.02 {
+		t.Fatalf("governor never undervolted: settled %v", settled)
+	}
+	// The settled fault rate must sit in or near the target band.
+	last := trace[len(trace)-1]
+	if last.FaultRate > 0.08 {
+		t.Fatalf("settled fault rate %v far above band", last.FaultRate)
+	}
+}
+
+func TestGovernorStepsUpWhenHot(t *testing.T) {
+	// Starting deep in the high-fault regime with a tight band, the
+	// governor must raise the voltage.
+	pol := DefaultPolicy()
+	pol.TargetLo, pol.TargetHi = 0.001, 0.005
+	p := newPipe(t, core.ABS, fault.VHighFault, 5)
+	g, err := New(p, fault.VHighFault, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _, err := g.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Settled(trace, 3) <= fault.VHighFault {
+		t.Fatalf("governor never stepped up: %+v", trace[len(trace)-1])
+	}
+}
+
+func TestGovernorDeterministic(t *testing.T) {
+	run := func() []Sample {
+		p := newPipe(t, core.ABS, fault.VNominal, 7)
+		g, _ := New(p, fault.VNominal, DefaultPolicy())
+		trace, _, err := g.Run(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("window %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGovernorRespectsClamp(t *testing.T) {
+	pol := DefaultPolicy()
+	pol.VMin = 1.05
+	p := newPipe(t, core.ABS, fault.VNominal, 9)
+	g, _ := New(p, fault.VNominal, pol)
+	trace, _, err := g.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range trace {
+		if s.VDD < pol.VMin-1e-9 || s.VDD > pol.VMax+1e-9 {
+			t.Fatalf("voltage escaped clamp: %v", s.VDD)
+		}
+	}
+}
+
+func TestSettledEdges(t *testing.T) {
+	if Settled(nil, 5) != 0 {
+		t.Fatal("empty trace")
+	}
+	tr := []Sample{{VDD: 1.0}, {VDD: 1.1}}
+	if got := Settled(tr, 10); got != 1.05 {
+		t.Fatalf("Settled over-short trace = %v", got)
+	}
+}

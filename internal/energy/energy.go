@@ -1,0 +1,163 @@
+// Package energy implements the energy accounting behind the paper's
+// energy-efficiency results (§4.1, §5): per-event dynamic energies are
+// combined with architectural usage counts from the pipeline simulation, plus
+// cycle-proportional leakage and clock-tree energy, in the same way the paper
+// combines architectural usage information with power characteristics from
+// synthesized hardware. Energy efficiency is reported as energy-delay
+// product (ED), matching §5.1.
+//
+// The per-event constants are 45nm-class estimates. Their absolute values
+// matter less than two structural properties the paper's numbers exhibit:
+// (a) static (leakage+clock) energy is roughly a third of total energy, so
+// stall-heavy schemes see ED overheads ~1.3x their performance overheads
+// (compare the Razor and EP perf/ED tuples in Table 1); and (b) the VTE
+// schemes spend a little extra dynamic energy per confined event (the
+// two-cycle CAM windows), so their ED advantage is slightly smaller than
+// their performance advantage (Figure 5 vs Figure 4).
+package energy
+
+import (
+	"tvsched/internal/isa"
+	"tvsched/internal/pipeline"
+)
+
+// Params gives per-event dynamic energies in picojoules and per-cycle static
+// energies.
+type Params struct {
+	// Front end, per instruction.
+	FetchDecode float64
+	Rename      float64
+	IQWrite     float64
+
+	// OoO engine, per event.
+	WakeupBroadcast float64 // CAM tag broadcast + match
+	Select          float64 // per grant
+	RegRead         float64
+
+	// Execution, per operation.
+	ALUOp float64
+	MulOp float64
+	DivOp float64
+	AGen  float64
+
+	// Memory hierarchy, per access reaching the level.
+	L1Access   float64
+	L2Access   float64
+	DRAMAccess float64
+
+	// Completion, per retired instruction.
+	WritebackRetire float64
+
+	// Violation handling extras.
+	ConfinedExtra float64 // second CAM cycle / recirculation per confined event
+	ReplayExtra   float64 // recovery control + re-execution per replay
+
+	// Static, per cycle.
+	Leakage float64
+	Clock   float64
+}
+
+// Default45nm returns the calibration used throughout the reproduction.
+func Default45nm() Params {
+	return Params{
+		FetchDecode:     8,
+		Rename:          3,
+		IQWrite:         4,
+		WakeupBroadcast: 6,
+		Select:          2,
+		RegRead:         4,
+		ALUOp:           10,
+		MulOp:           28,
+		DivOp:           80,
+		AGen:            6,
+		L1Access:        18,
+		L2Access:        180,
+		DRAMAccess:      1800,
+		WritebackRetire: 5,
+		ConfinedExtra:   8,
+		ReplayExtra:     60,
+		Leakage:         18,
+		Clock:           16,
+	}
+}
+
+// Result is the energy accounting of one simulation.
+type Result struct {
+	// DynamicPJ and StaticPJ are the two energy components in picojoules.
+	DynamicPJ float64
+	StaticPJ  float64
+	// Cycles is the run length the static energy was integrated over.
+	Cycles uint64
+	// Committed is the instruction count.
+	Committed uint64
+}
+
+// TotalPJ returns total energy.
+func (r *Result) TotalPJ() float64 { return r.DynamicPJ + r.StaticPJ }
+
+// EPI returns energy per committed instruction in picojoules.
+func (r *Result) EPI() float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	return r.TotalPJ() / float64(r.Committed)
+}
+
+// EDP returns the energy-delay product in picojoule-cycles, the paper's
+// energy-efficiency metric (§5.1).
+func (r *Result) EDP() float64 { return r.TotalPJ() * float64(r.Cycles) }
+
+// Compute derives the energy result from a simulation's statistics.
+func Compute(p Params, st *pipeline.Stats) Result {
+	var dyn float64
+
+	dyn += float64(st.Fetched) * p.FetchDecode
+	dyn += float64(st.Dispatched) * (p.Rename + p.IQWrite)
+	dyn += float64(st.Selected) * (p.Select + p.RegRead)
+	dyn += float64(st.Broadcasts) * p.WakeupBroadcast
+
+	dyn += float64(st.ExecByClass[isa.IntALU]) * p.ALUOp
+	dyn += float64(st.ExecByClass[isa.Branch]) * p.ALUOp
+	dyn += float64(st.ExecByClass[isa.IntMul]) * p.MulOp
+	dyn += float64(st.ExecByClass[isa.IntDiv]) * p.DivOp
+	dyn += float64(st.ExecByClass[isa.Load]+st.ExecByClass[isa.Store]) * p.AGen
+
+	dyn += float64(st.L1I.Accesses+st.L1D.Accesses) * p.L1Access
+	dyn += float64(st.L2.Accesses) * p.L2Access
+	dyn += float64(st.L2.Misses) * p.DRAMAccess
+
+	dyn += float64(st.Committed) * p.WritebackRetire
+	dyn += float64(st.ConfinedEvents) * p.ConfinedExtra
+	dyn += float64(st.Replays) * p.ReplayExtra
+
+	static := float64(st.Cycles) * (p.Leakage + p.Clock)
+
+	return Result{
+		DynamicPJ: dyn,
+		StaticPJ:  static,
+		Cycles:    st.Cycles,
+		Committed: st.Committed,
+	}
+}
+
+// Overhead returns the relative ED overhead of r versus a fault-free
+// baseline: EDP(r)/EDP(base) − 1.
+func Overhead(r, base Result) float64 {
+	if base.EDP() == 0 {
+		return 0
+	}
+	return r.EDP()/base.EDP() - 1
+}
+
+// ScaleToVoltage rescales an energy result computed with the nominal-voltage
+// constants to a different supply: dynamic energy scales as (V/Vnom)²
+// (CV²f switching) and leakage roughly as (V/Vnom)³ (DIBL-dominated
+// subthreshold leakage at 45nm). This is what makes aggressive supply
+// scaling attractive despite rising fault rates — the trade the paper's
+// introduction motivates and internal/adapt quantifies.
+func ScaleToVoltage(r Result, vdd, vnom float64) Result {
+	ratio := vdd / vnom
+	r.DynamicPJ *= ratio * ratio
+	r.StaticPJ *= ratio * ratio * ratio
+	return r
+}

@@ -1,0 +1,152 @@
+package energy
+
+import (
+	"testing"
+
+	"tvsched/internal/isa"
+	"tvsched/internal/pipeline"
+)
+
+func sampleStats() *pipeline.Stats {
+	st := &pipeline.Stats{
+		Cycles:     100000,
+		Committed:  150000,
+		Fetched:    151000,
+		Dispatched: 151000,
+		Selected:   151000,
+		Broadcasts: 120000,
+	}
+	st.ExecByClass[isa.IntALU] = 75000
+	st.ExecByClass[isa.Branch] = 18000
+	st.ExecByClass[isa.IntMul] = 3000
+	st.ExecByClass[isa.IntDiv] = 300
+	st.ExecByClass[isa.Load] = 38000
+	st.ExecByClass[isa.Store] = 16700
+	st.L1D.Accesses = 40000
+	st.L1D.Misses = 1500
+	st.L1I.Accesses = 10000
+	st.L2.Accesses = 1600
+	st.L2.Misses = 100
+	return st
+}
+
+func TestComputePositive(t *testing.T) {
+	r := Compute(Default45nm(), sampleStats())
+	if r.DynamicPJ <= 0 || r.StaticPJ <= 0 {
+		t.Fatalf("non-positive energy: %+v", r)
+	}
+	if r.TotalPJ() != r.DynamicPJ+r.StaticPJ {
+		t.Fatal("total mismatch")
+	}
+}
+
+func TestStaticFractionReasonable(t *testing.T) {
+	// Leakage+clock should be roughly a third of total energy — this is the
+	// property that makes ED overheads ~1.3x performance overheads, as in
+	// Table 1's Razor and EP tuples.
+	r := Compute(Default45nm(), sampleStats())
+	frac := r.StaticPJ / r.TotalPJ()
+	if frac < 0.2 || frac > 0.5 {
+		t.Fatalf("static fraction %v outside [0.2, 0.5]", frac)
+	}
+}
+
+func TestEPI(t *testing.T) {
+	r := Compute(Default45nm(), sampleStats())
+	epi := r.EPI()
+	if epi < 20 || epi > 200 {
+		t.Fatalf("energy per instruction %v pJ implausible for 45nm-class core", epi)
+	}
+	empty := Result{}
+	if empty.EPI() != 0 {
+		t.Fatal("EPI of empty result")
+	}
+}
+
+func TestEDPScalesQuadraticallyWithDelayAtFixedPower(t *testing.T) {
+	st := sampleStats()
+	base := Compute(Default45nm(), st)
+	slow := *st
+	slow.Cycles *= 2
+	r2 := Compute(Default45nm(), &slow)
+	// Doubling cycles doubles static energy and doubles delay: EDP grows by
+	// more than 2x but less than 4x (dynamic part unchanged).
+	ratio := r2.EDP() / base.EDP()
+	if ratio <= 2 || ratio >= 4 {
+		t.Fatalf("EDP ratio %v outside (2, 4)", ratio)
+	}
+}
+
+func TestStallCyclesRaiseEDMoreThanPerf(t *testing.T) {
+	// A scheme that adds 10% cycles with no extra dynamic work (EP-like)
+	// must show ED overhead strictly greater than its performance overhead.
+	st := sampleStats()
+	base := Compute(Default45nm(), st)
+	stalled := *st
+	stalled.Cycles = st.Cycles * 110 / 100
+	r := Compute(Default45nm(), &stalled)
+	edOv := Overhead(r, base)
+	perfOv := 0.10
+	if edOv <= perfOv {
+		t.Fatalf("ED overhead %v not above perf overhead %v", edOv, perfOv)
+	}
+	if edOv > perfOv*1.8 {
+		t.Fatalf("ED overhead %v implausibly high for 10%% stall", edOv)
+	}
+}
+
+func TestConfinedEventsCostEnergy(t *testing.T) {
+	st := sampleStats()
+	base := Compute(Default45nm(), st)
+	vte := *st
+	vte.ConfinedEvents = 10000
+	r := Compute(Default45nm(), &vte)
+	if r.DynamicPJ <= base.DynamicPJ {
+		t.Fatal("confined events must add dynamic energy")
+	}
+}
+
+func TestReplaysCostEnergy(t *testing.T) {
+	st := sampleStats()
+	base := Compute(Default45nm(), st)
+	rz := *st
+	rz.Replays = 5000
+	r := Compute(Default45nm(), &rz)
+	if r.DynamicPJ <= base.DynamicPJ {
+		t.Fatal("replays must add dynamic energy")
+	}
+}
+
+func TestOverheadZeroBaseline(t *testing.T) {
+	if Overhead(Result{DynamicPJ: 1}, Result{}) != 0 {
+		t.Fatal("zero baseline should give zero overhead")
+	}
+}
+
+func TestOverheadIdentity(t *testing.T) {
+	r := Compute(Default45nm(), sampleStats())
+	if ov := Overhead(r, r); ov != 0 {
+		t.Fatalf("self overhead %v", ov)
+	}
+}
+
+func TestScaleToVoltage(t *testing.T) {
+	r := Compute(Default45nm(), sampleStats())
+	low := ScaleToVoltage(r, 0.97, 1.10)
+	if low.DynamicPJ >= r.DynamicPJ || low.StaticPJ >= r.StaticPJ {
+		t.Fatal("lower voltage must reduce both energy components")
+	}
+	ratio := low.DynamicPJ / r.DynamicPJ
+	want := (0.97 / 1.10) * (0.97 / 1.10)
+	if ratio < want*0.999 || ratio > want*1.001 {
+		t.Fatalf("dynamic scaling %v, want %v", ratio, want)
+	}
+	// Leakage scales faster than dynamic.
+	if low.StaticPJ/r.StaticPJ >= ratio {
+		t.Fatal("leakage must scale super-quadratically")
+	}
+	same := ScaleToVoltage(r, 1.10, 1.10)
+	if same != r {
+		t.Fatal("identity scaling changed the result")
+	}
+}

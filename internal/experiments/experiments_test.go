@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tvsched/internal/core"
+	"tvsched/internal/fault"
+)
+
+// quickCfg keeps suite tests fast; the shapes tested here are robust down to
+// short phases.
+func quickCfg() Config {
+	return Config{Insts: 40000, Warmup: 12000, Seed: 1, Parallel: true}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	r, err := Simulate("bzip2", core.ABS, fault.VNominal, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Committed != 40000 {
+		t.Fatalf("committed %d", r.Stats.Committed)
+	}
+	if r.Stats.Faults != 0 {
+		t.Fatal("faults at nominal voltage")
+	}
+	if r.Energy.TotalPJ() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestSimulateUnknownBench(t *testing.T) {
+	if _, err := Simulate("nope", core.ABS, fault.VNominal, quickCfg()); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestOverheadClamping(t *testing.T) {
+	base := Run{}
+	base.Stats.Cycles = 100
+	base.Stats.Committed = 100
+	slow := Run{}
+	slow.Stats.Cycles = 125
+	slow.Stats.Committed = 100
+	if ov := slow.PerfOverhead(&base); ov < 0.24 || ov > 0.26 {
+		t.Fatalf("overhead %v, want 0.25", ov)
+	}
+	// Faster than baseline clamps to zero (noise).
+	if ov := base.PerfOverhead(&slow); ov != 0 {
+		t.Fatalf("negative overhead not clamped: %v", ov)
+	}
+}
+
+func TestSuiteMemoizes(t *testing.T) {
+	s := NewSuite(quickCfg())
+	k := runKey{"mcf", core.ABS, fault.VNominal}
+	a, err := s.get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats || a.Energy != b.Energy {
+		t.Fatal("memoized run differs")
+	}
+	if len(s.runs) != 1 {
+		t.Fatalf("runs cached: %d", len(s.runs))
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite runs are slow in -short mode")
+	}
+	s := NewSuite(quickCfg())
+	rows, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("12 benchmarks expected, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FaultFreeIPC <= 0 {
+			t.Errorf("%s: zero IPC", r.Bench)
+		}
+		// Fault rates grow as voltage drops.
+		if r.FRHigh <= r.FRLow {
+			t.Errorf("%s: FR ordering broken (%v vs %v)", r.Bench, r.FRHigh, r.FRLow)
+		}
+		// Razor costs more than EP in both environments (Table 1's shape).
+		if r.RazorHigh.Perf <= r.EPHigh.Perf {
+			t.Errorf("%s: Razor %v not above EP %v at 0.97V", r.Bench, r.RazorHigh.Perf, r.EPHigh.Perf)
+		}
+		// ED overheads exceed performance overheads (leakage during stalls).
+		if r.EPHigh.ED <= r.EPHigh.Perf {
+			t.Errorf("%s: EP ED %v not above perf %v", r.Bench, r.EPHigh.ED, r.EPHigh.Perf)
+		}
+		// Sanity only: the short phases used in tests have visible
+		// phase-to-phase IPC variance; the full-scale calibration against
+		// Table 1 is recorded in EXPERIMENTS.md (run cmd/tvbench -n 300000).
+		if r.FaultFreeIPC < r.PaperIPC*0.45 || r.FaultFreeIPC > r.PaperIPC*2.2 {
+			t.Errorf("%s: IPC %v far from paper %v", r.Bench, r.FaultFreeIPC, r.PaperIPC)
+		}
+	}
+	txt := FormatTable1(rows)
+	if !strings.Contains(txt, "sjeng") || !strings.Contains(txt, "Razor") {
+		t.Error("formatted table incomplete")
+	}
+}
+
+func TestFigure8Headline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite runs are slow in -short mode")
+	}
+	s := NewSuite(quickCfg())
+	fig, err := s.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 11 {
+		t.Fatalf("Figure 8 drops povray: got %d rows", len(fig.Rows))
+	}
+	// The headline: the proposed schemes eliminate most of EP's overhead
+	// (paper: 88%% average reduction at 0.97V; accept anything above 60%%
+	// for short phases).
+	if red := fig.Reduction(); red < 60 || red > 99 {
+		t.Fatalf("average overhead reduction %v%% outside plausible band", red)
+	}
+	for _, r := range fig.Rows {
+		if r.ABS < 0 || r.ABS > 0.9 {
+			t.Errorf("%s: ABS relative overhead %v implausible", r.Bench, r.ABS)
+		}
+	}
+	txt := FormatFigure(fig)
+	if !strings.Contains(txt, "AVERAGE") {
+		t.Error("figure format missing average")
+	}
+}
+
+func TestTable3Values(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 4 {
+		t.Fatalf("4 components expected")
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Module] = r
+		if r.Gates <= 0 || r.LogicDepth <= 0 {
+			t.Errorf("%s: degenerate metrics", r.Module)
+		}
+	}
+	if byName["alu32"].Gates <= byName["agen"].Gates {
+		t.Error("ALU must have the most gates (Table 3 shape)")
+	}
+	if byName["fwdcheck"].LogicDepth >= byName["iqselect"].LogicDepth {
+		t.Error("forward check must be the shallowest")
+	}
+	if !strings.Contains(FormatTable3(rows), "alu32") {
+		t.Error("format incomplete")
+	}
+}
+
+func TestTable2Values(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 3 {
+		t.Fatal("3 schemes expected")
+	}
+	if rows[0].Scheme != "ABS" || rows[2].Scheme != "CDS" {
+		t.Fatal("scheme order")
+	}
+	if rows[0] != (Table2Row{Scheme: "FFS", SchedArea: rows[0].SchedArea, SchedDyn: rows[0].SchedDyn,
+		SchedLeak: rows[0].SchedLeak, CoreArea: rows[0].CoreArea, CoreDyn: rows[0].CoreDyn, CoreLeak: rows[0].CoreLeak}) {
+		// ABS and FFS rows must carry identical numbers.
+		abs, ffs := rows[0], rows[1]
+		abs.Scheme, ffs.Scheme = "", ""
+		if abs != ffs {
+			t.Error("ABS and FFS must have identical overheads")
+		}
+	}
+	if rows[2].SchedArea <= rows[0].SchedArea*3 {
+		t.Error("CDS must cost several times ABS in scheduler area")
+	}
+	if !strings.Contains(FormatTable2(rows), "core-level") {
+		t.Error("format incomplete")
+	}
+}
+
+func TestFigure7Grid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gate-level grid is slow in -short mode")
+	}
+	d := Figure7(1)
+	if len(d.Results) != 24 {
+		t.Fatalf("6x4 grid expected, got %d", len(d.Results))
+	}
+	for _, avg := range d.Averages {
+		if avg < 0.8 || avg > 0.98 {
+			t.Errorf("component average %v outside band", avg)
+		}
+	}
+	if !strings.Contains(FormatFigure7(d), "vortex") {
+		t.Error("format incomplete")
+	}
+}
+
+func TestReductionCI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep is slow in -short mode")
+	}
+	cfg := Config{Insts: 25000, Warmup: 8000, Parallel: true}
+	vals, mean, sigma, err := ReductionCI("fig8", cfg, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 {
+		t.Fatalf("vals %v", vals)
+	}
+	if mean < 40 || mean > 99 {
+		t.Fatalf("mean reduction %v implausible", mean)
+	}
+	if sigma < 0 {
+		t.Fatalf("sigma %v", sigma)
+	}
+	if _, _, _, err := ReductionCI("nope", cfg, []uint64{1}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if _, _, _, err := ReductionCI("fig8", cfg, nil); err == nil {
+		t.Fatal("empty seeds accepted")
+	}
+}
+
+func TestParallelEqualsSerial(t *testing.T) {
+	// The README promises harness parallelism never changes results.
+	cfgP := Config{Insts: 20000, Warmup: 6000, Seed: 4, Parallel: true}
+	cfgS := cfgP
+	cfgS.Parallel = false
+
+	sp := NewSuite(cfgP)
+	ss := NewSuite(cfgS)
+	keys := keysFor([]core.Scheme{core.EP, core.ABS}, []float64{fault.VHighFault})
+	if err := sp.prefetch(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.prefetch(keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		rp, err := sp.get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := ss.get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Stats != rs.Stats {
+			t.Fatalf("parallel and serial diverge for %+v", k)
+		}
+	}
+}

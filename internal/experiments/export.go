@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file serializes experiment results for downstream tooling: CSV for
+// spreadsheets/plotting scripts and JSON for programmatic consumers.
+
+// WriteTable1CSV emits Table 1 rows as CSV.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"benchmark", "ipc_ff", "paper_ipc",
+		"fr_097", "paper_fr_097", "razor_perf_097", "razor_ed_097", "ep_perf_097", "ep_ed_097",
+		"fr_104", "paper_fr_104", "razor_perf_104", "razor_ed_104", "ep_perf_104", "ep_ed_104",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	for _, r := range rows {
+		rec := []string{
+			r.Bench, f(r.FaultFreeIPC), f(r.PaperIPC),
+			f(r.FRHigh), f(r.PaperFRHigh), f(r.RazorHigh.Perf), f(r.RazorHigh.ED), f(r.EPHigh.Perf), f(r.EPHigh.ED),
+			f(r.FRLow), f(r.PaperFRLow), f(r.RazorLow.Perf), f(r.RazorLow.ED), f(r.EPLow.Perf), f(r.EPLow.ED),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigureCSV emits a figure's bars as CSV.
+func WriteFigureCSV(w io.Writer, fig FigureData) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "abs", "ffs", "cds"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	for _, r := range append(append([]FigureRow(nil), fig.Rows...), fig.Avg) {
+		if err := cw.Write([]string{r.Bench, f(r.ABS), f(r.FFS), f(r.CDS)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Report bundles every artifact for JSON export.
+type Report struct {
+	Config  Config       `json:"config"`
+	Table1  []Table1Row  `json:"table1,omitempty"`
+	Figure4 *FigureData  `json:"figure4,omitempty"`
+	Figure5 *FigureData  `json:"figure5,omitempty"`
+	Figure8 *FigureData  `json:"figure8,omitempty"`
+	Figure9 *FigureData  `json:"figure9,omitempty"`
+	Table2  []Table2Row  `json:"table2,omitempty"`
+	Table3  []Table3Row  `json:"table3,omitempty"`
+	Figure7 *Figure7JSON `json:"figure7,omitempty"`
+}
+
+// Figure7JSON is the JSON-friendly form of the commonality grid.
+type Figure7JSON struct {
+	Cells    []Figure7Cell      `json:"cells"`
+	Averages map[string]float64 `json:"averages"`
+}
+
+// Figure7Cell is one (benchmark, component) measurement.
+type Figure7Cell struct {
+	Benchmark   string  `json:"benchmark"`
+	Component   string  `json:"component"`
+	Commonality float64 `json:"commonality"`
+}
+
+// Figure7ToJSON converts the study output for export.
+func Figure7ToJSON(d Figure7Data) *Figure7JSON {
+	out := &Figure7JSON{Averages: map[string]float64{}}
+	for _, r := range d.Results {
+		out.Cells = append(out.Cells, Figure7Cell{
+			Benchmark:   r.Benchmark,
+			Component:   r.Component.String(),
+			Commonality: r.Commonality,
+		})
+	}
+	for c, v := range d.Averages {
+		out.Averages[c.String()] = v
+	}
+	return out
+}
+
+// WriteJSON emits the report with stable indentation.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PlotFigure renders a figure as ASCII bars (one group per benchmark), for
+// terminal-only environments.
+func PlotFigure(fig FigureData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", fig.Title)
+	maxVal := 0.0
+	rows := append(append([]FigureRow(nil), fig.Rows...), fig.Avg)
+	for _, r := range rows {
+		for _, v := range []float64{r.ABS, r.FFS, r.CDS} {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	const width = 46
+	bar := func(label string, v float64) {
+		n := int(v/maxVal*width + 0.5)
+		fmt.Fprintf(&b, "  %-4s %6.3f %s\n", label, v, strings.Repeat("#", n))
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s\n", r.Bench)
+		bar("ABS", r.ABS)
+		bar("FFS", r.FFS)
+		bar("CDS", r.CDS)
+	}
+	return b.String()
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tvsched/internal/sensitize"
+)
+
+func sampleFigure() FigureData {
+	return FigureData{
+		Title: "test figure",
+		VDD:   0.97,
+		Rows: []FigureRow{
+			{Bench: "a", ABS: 0.1, FFS: 0.2, CDS: 0.15},
+			{Bench: "b", ABS: 0.3, FFS: 0.25, CDS: 0.3},
+		},
+		Avg: FigureRow{Bench: "AVERAGE", ABS: 0.2, FFS: 0.225, CDS: 0.225},
+	}
+}
+
+func TestWriteFigureCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigureCSV(&buf, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // header + 2 rows + average
+		t.Fatalf("records %d", len(recs))
+	}
+	if recs[0][0] != "benchmark" || recs[3][0] != "AVERAGE" {
+		t.Fatalf("layout: %v", recs)
+	}
+	if recs[1][1] != "0.1000" {
+		t.Fatalf("value formatting: %v", recs[1])
+	}
+}
+
+func TestWriteTable1CSV(t *testing.T) {
+	rows := []Table1Row{{
+		Bench: "bzip2", FaultFreeIPC: 1.5, PaperIPC: 1.48,
+		FRHigh: 7.2, PaperFRHigh: 8.92,
+		RazorHigh: Overhead{Perf: 43, ED: 70}, EPHigh: Overhead{Perf: 13, ED: 17},
+		FRLow: 2.0, PaperFRLow: 2.24,
+		RazorLow: Overhead{Perf: 13, ED: 19}, EPLow: Overhead{Perf: 4.4, ED: 5.8},
+	}}
+	var buf bytes.Buffer
+	if err := WriteTable1CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || len(recs[0]) != 15 {
+		t.Fatalf("shape: %dx%d", len(recs), len(recs[0]))
+	}
+	if recs[1][0] != "bzip2" {
+		t.Fatalf("row: %v", recs[1])
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	fig := sampleFigure()
+	rep := Report{
+		Config:  Config{Insts: 1000, Warmup: 100, Seed: 1},
+		Figure8: &fig,
+		Table2:  Table2(),
+		Table3:  Table3(),
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Figure8 == nil || back.Figure8.Rows[1].ABS != 0.3 {
+		t.Fatal("figure lost in round trip")
+	}
+	if len(back.Table3) != 4 || back.Table3[1].Module != "alu32" {
+		t.Fatal("table3 lost in round trip")
+	}
+	if back.Table1 != nil {
+		t.Fatal("omitempty broken")
+	}
+}
+
+func TestFigure7ToJSON(t *testing.T) {
+	d := Figure7Data{
+		Results: []sensitize.Result{
+			{Benchmark: "vortex", Component: sensitize.CompALU, Commonality: 0.97},
+		},
+		Averages: map[sensitize.Component]float64{sensitize.CompALU: 0.9},
+	}
+	j := Figure7ToJSON(d)
+	if len(j.Cells) != 1 || j.Cells[0].Component != "ALU" {
+		t.Fatalf("cells: %+v", j.Cells)
+	}
+	if j.Averages["ALU"] != 0.9 {
+		t.Fatalf("averages: %+v", j.Averages)
+	}
+}
+
+func TestPlotFigure(t *testing.T) {
+	out := PlotFigure(sampleFigure())
+	if !strings.Contains(out, "###") {
+		t.Fatal("no bars rendered")
+	}
+	if !strings.Contains(out, "AVERAGE") {
+		t.Fatal("missing average group")
+	}
+	// The largest value gets the longest bar.
+	lines := strings.Split(out, "\n")
+	maxLen, maxLine := 0, ""
+	for _, l := range lines {
+		if n := strings.Count(l, "#"); n > maxLen {
+			maxLen, maxLine = n, l
+		}
+	}
+	if !strings.Contains(maxLine, "0.300") {
+		t.Fatalf("longest bar not on the max value: %q", maxLine)
+	}
+	// Degenerate all-zero figure must not divide by zero.
+	zero := FigureData{Title: "z", Rows: []FigureRow{{Bench: "x"}}}
+	if out := PlotFigure(zero); !strings.Contains(out, "x") {
+		t.Fatal("zero figure not rendered")
+	}
+}
+
+func TestWriteFigureSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigureSVG(&buf, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// 3 bars per group x 3 groups (2 rows + average) + legend swatches.
+	if n := strings.Count(out, "<rect"); n != 9+3 {
+		t.Fatalf("rect count %d, want 12", n)
+	}
+	if !strings.Contains(out, "AVERAGE") {
+		t.Fatal("missing average group")
+	}
+	// Escaping: a hostile title must not inject markup.
+	evil := sampleFigure()
+	evil.Title = `<script>"x"</script>`
+	buf.Reset()
+	if err := WriteFigureSVG(&buf, evil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	for _, tc := range []struct{ max, want float64 }{
+		{0.05, 0.01}, {0.3, 0.05}, {0.55, 0.1}, {2.4, 0.5}, {30, 5},
+	} {
+		if got := niceStep(tc.max); got != tc.want {
+			t.Errorf("niceStep(%v) = %v, want %v", tc.max, got, tc.want)
+		}
+	}
+}

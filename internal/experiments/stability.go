@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file quantifies measurement stability: the synthetic workloads have
+// phase behaviour, so headline numbers (the figures' average overhead
+// reductions) carry seed-to-seed variance. ReductionCI reruns a figure
+// across seeds and reports the spread — the honest error bar to put next to
+// a paper comparison.
+
+// figureByID maps experiment ids to suite methods.
+func figureByID(s *Suite, id string) (FigureData, error) {
+	switch id {
+	case "fig4":
+		return s.Figure4()
+	case "fig5":
+		return s.Figure5()
+	case "fig8":
+		return s.Figure8()
+	case "fig9":
+		return s.Figure9()
+	default:
+		return FigureData{}, fmt.Errorf("experiments: unknown figure %q", id)
+	}
+}
+
+// ReductionCI reruns figure id across the given seeds and returns the
+// per-seed average overhead reductions (percent) plus their mean and sample
+// standard deviation.
+func ReductionCI(id string, cfg Config, seeds []uint64) (vals []float64, mean, sigma float64, err error) {
+	if len(seeds) == 0 {
+		return nil, 0, 0, fmt.Errorf("experiments: no seeds")
+	}
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		fig, ferr := figureByID(NewSuite(c), id)
+		if ferr != nil {
+			return nil, 0, 0, ferr
+		}
+		vals = append(vals, fig.Reduction())
+	}
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	if len(vals) > 1 {
+		var ss float64
+		for _, v := range vals {
+			ss += (v - mean) * (v - mean)
+		}
+		sigma = math.Sqrt(ss / float64(len(vals)-1))
+	}
+	return vals, mean, sigma, nil
+}

@@ -1,0 +1,300 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5 and the supplement): Table 1 (fault rates and Razor/EP
+// overheads), Figures 4/5 (performance and ED overhead of ABS/FFS/CDS
+// normalized to EP at 1.04 V), Figures 8/9 (the same at 0.97 V), Table 2
+// (VTE area/power overhead), Table 3 (synthesized component characteristics)
+// and Figure 7 (sensitized-path commonality). It is the engine behind
+// cmd/tvbench and the root bench_test.go.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tvsched/internal/core"
+	"tvsched/internal/energy"
+	"tvsched/internal/fault"
+	"tvsched/internal/pipeline"
+	"tvsched/internal/workload"
+)
+
+// Config parameterizes a reproduction run.
+type Config struct {
+	// Insts is the committed-instruction count per simulated phase. The
+	// paper uses 1M-instruction SimPoint phases; smaller counts run faster
+	// with slightly noisier averages.
+	Insts uint64
+	// Warmup is the number of committed instructions simulated (after an L2
+	// working-set prefill) before measurement begins.
+	Warmup uint64
+	// Seed drives all deterministic randomness.
+	Seed uint64
+	// Parallel runs independent simulations across CPUs. Results are
+	// identical either way.
+	Parallel bool
+}
+
+// DefaultConfig returns a configuration sized for interactive use: 300k
+// measured instructions per phase. Pass Insts: 1e6 for paper-scale phases.
+func DefaultConfig() Config {
+	return Config{Insts: 300000, Warmup: 50000, Seed: 1, Parallel: true}
+}
+
+// Run is one simulation outcome.
+type Run struct {
+	Bench  string
+	Scheme core.Scheme
+	VDD    float64
+	Stats  pipeline.Stats
+	Energy energy.Result
+	// Phases holds per-phase measurements when the run was phased
+	// (SimulatePhased); empty for single-phase runs.
+	Phases []PhaseStat
+}
+
+// PhaseStat summarizes one measured phase of a phased run.
+type PhaseStat struct {
+	Cycles    uint64
+	Committed uint64
+	Faults    uint64
+}
+
+// IPC returns the phase's instructions per cycle.
+func (p *PhaseStat) IPC() float64 {
+	if p.Cycles == 0 {
+		return 0
+	}
+	return float64(p.Committed) / float64(p.Cycles)
+}
+
+// FaultRate returns the phase's violations per committed instruction.
+func (p *PhaseStat) FaultRate() float64 {
+	if p.Committed == 0 {
+		return 0
+	}
+	return float64(p.Faults) / float64(p.Committed)
+}
+
+// PerfOverhead returns r's relative IPC degradation versus base.
+func (r *Run) PerfOverhead(base *Run) float64 {
+	if r.Stats.IPC() == 0 {
+		return 0
+	}
+	ov := base.Stats.IPC()/r.Stats.IPC() - 1
+	if ov < 0 {
+		return 0 // measurement noise on sub-permille overheads
+	}
+	return ov
+}
+
+// EDOverhead returns r's relative energy-delay degradation versus base.
+func (r *Run) EDOverhead(base *Run) float64 {
+	ov := energy.Overhead(r.Energy, base.Energy)
+	if ov < 0 {
+		return 0
+	}
+	return ov
+}
+
+// Simulate runs one (benchmark, scheme, voltage) combination as a single
+// measured phase.
+func Simulate(bench string, scheme core.Scheme, vdd float64, cfg Config) (Run, error) {
+	return SimulatePhased(bench, scheme, vdd, cfg, 1)
+}
+
+// SimulatePhased splits the measured run into `phases` consecutive phases of
+// cfg.Insts/phases instructions each, mirroring the SimPoint methodology of
+// §4.2 (multiple representative phases per benchmark). The aggregate Run
+// covers all phases; per-phase IPC/fault-rate deltas ride along so callers
+// can see phase behaviour and variance.
+func SimulatePhased(bench string, scheme core.Scheme, vdd float64, cfg Config, phases int) (Run, error) {
+	prof, ok := workload.ByName(bench)
+	if !ok {
+		return Run{}, fmt.Errorf("experiments: unknown benchmark %q", bench)
+	}
+	gen, err := workload.NewGenerator(prof, cfg.Seed)
+	if err != nil {
+		return Run{}, err
+	}
+	pcfg := pipeline.DefaultConfig()
+	pcfg.Scheme = scheme
+	pcfg.MispredictRate = prof.MispredictRate
+	pcfg.Seed = cfg.Seed
+	fc := fault.DefaultConfig(cfg.Seed)
+	fc.Bias = prof.FaultBias
+	p, err := pipeline.New(pcfg, gen, fault.New(fc), vdd)
+	if err != nil {
+		return Run{}, err
+	}
+	p.PrefillData(gen.WarmRegion())
+	if err := p.Warmup(cfg.Warmup); err != nil {
+		return Run{}, err
+	}
+	if phases < 1 {
+		phases = 1
+	}
+	per := cfg.Insts / uint64(phases)
+	if per == 0 {
+		per = 1
+	}
+	var (
+		st        pipeline.Stats
+		phaseList []PhaseStat
+		prev      pipeline.Stats
+	)
+	for i := 0; i < phases; i++ {
+		n := per
+		if i == phases-1 {
+			n = cfg.Insts - per*uint64(phases-1) // remainder into the last phase
+		}
+		st, err = p.Run(n)
+		if err != nil {
+			return Run{}, err
+		}
+		if phases > 1 {
+			phaseList = append(phaseList, PhaseStat{
+				Cycles:    st.Cycles - prev.Cycles,
+				Committed: st.Committed - prev.Committed,
+				Faults:    st.Faults - prev.Faults,
+			})
+			prev = st
+		}
+	}
+	return Run{
+		Bench:  bench,
+		Scheme: scheme,
+		VDD:    vdd,
+		Stats:  st,
+		Energy: energy.Compute(energy.Default45nm(), &st),
+		Phases: phaseList,
+	}, nil
+}
+
+type runKey struct {
+	bench  string
+	scheme core.Scheme
+	vdd    float64
+}
+
+// Suite memoizes simulation runs so Table 1 and the four figures share them.
+type Suite struct {
+	cfg  Config
+	mu   sync.Mutex
+	runs map[runKey]Run
+}
+
+// NewSuite builds an empty suite.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{cfg: cfg, runs: make(map[runKey]Run)}
+}
+
+// Config returns the suite configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// get returns the memoized run for key, simulating on first use.
+func (s *Suite) get(k runKey) (Run, error) {
+	s.mu.Lock()
+	r, ok := s.runs[k]
+	s.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	r, err := Simulate(k.bench, k.scheme, k.vdd, s.cfg)
+	if err != nil {
+		return Run{}, err
+	}
+	s.mu.Lock()
+	s.runs[k] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// prefetch simulates the given combinations, in parallel when configured.
+func (s *Suite) prefetch(keys []runKey) error {
+	// Drop already-memoized keys.
+	s.mu.Lock()
+	var todo []runKey
+	for _, k := range keys {
+		if _, ok := s.runs[k]; !ok {
+			todo = append(todo, k)
+		}
+	}
+	s.mu.Unlock()
+	if len(todo) == 0 {
+		return nil
+	}
+	workers := 1
+	if s.cfg.Parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > len(todo) {
+			workers = len(todo)
+		}
+	}
+	var (
+		wg   sync.WaitGroup
+		next int
+		nmu  sync.Mutex
+		errs []error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				nmu.Lock()
+				if next >= len(todo) {
+					nmu.Unlock()
+					return
+				}
+				k := todo[next]
+				next++
+				nmu.Unlock()
+				if _, err := s.get(k); err != nil {
+					nmu.Lock()
+					errs = append(errs, err)
+					nmu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// faultFree returns the fault-free baseline run for bench (age-based
+// selection at the nominal supply, §4.2).
+func (s *Suite) faultFree(bench string) (Run, error) {
+	return s.get(runKey{bench, core.ABS, fault.VNominal})
+}
+
+// benches returns the Table 1 benchmark list.
+func benches() []string { return workload.Names() }
+
+// keysFor enumerates the combinations the full evaluation needs.
+func keysFor(schemes []core.Scheme, vdds []float64) []runKey {
+	var keys []runKey
+	for _, b := range benches() {
+		keys = append(keys, runKey{b, core.ABS, fault.VNominal})
+		for _, v := range vdds {
+			for _, sch := range schemes {
+				keys = append(keys, runKey{b, sch, v})
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bench != keys[j].bench {
+			return keys[i].bench < keys[j].bench
+		}
+		if keys[i].scheme != keys[j].scheme {
+			return keys[i].scheme < keys[j].scheme
+		}
+		return keys[i].vdd < keys[j].vdd
+	})
+	return keys
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteFigureSVG renders a figure as a grouped bar chart in standalone SVG —
+// a publication-style rendering of the paper's Figures 4/5/8/9 with no
+// dependencies beyond a browser to view it.
+func WriteFigureSVG(w io.Writer, fig FigureData) error {
+	rows := append(append([]FigureRow(nil), fig.Rows...), fig.Avg)
+
+	const (
+		barW      = 12
+		gap       = 4
+		groupPad  = 18
+		chartH    = 260
+		marginL   = 52
+		marginTop = 40
+		marginBot = 70
+	)
+	groupW := 3*barW + 2*gap + groupPad
+	width := marginL + groupW*len(rows) + 20
+	height := marginTop + chartH + marginBot
+
+	maxVal := 0.0
+	for _, r := range rows {
+		for _, v := range []float64{r.ABS, r.FFS, r.CDS} {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	// Round the axis top up to a tidy step.
+	step := niceStep(maxVal)
+	axisTop := step * math64Ceil(maxVal/step)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13">%s</text>`+"\n", marginL, escape(fig.Title))
+
+	// Y axis with gridlines.
+	for v := 0.0; v <= axisTop+1e-9; v += step {
+		y := marginTop + chartH - int(v/axisTop*float64(chartH))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			marginL, y, width-10, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" fill="#555">%.2f</text>`+"\n",
+			marginL-6, y+4, v)
+	}
+
+	colors := [3]string{"#4878a8", "#e8a33d", "#6aa84f"}
+	names := [3]string{"ABS", "FFS", "CDS"}
+	for gi, r := range rows {
+		x0 := marginL + gi*groupW + groupPad/2
+		vals := [3]float64{r.ABS, r.FFS, r.CDS}
+		for k, v := range vals {
+			h := int(v / axisTop * float64(chartH))
+			x := x0 + k*(barW+gap)
+			y := marginTop + chartH - h
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s %s: %.3f</title></rect>`+"\n",
+				x, y, barW, h, colors[k], escape(r.Bench), names[k], v)
+		}
+		// Rotated benchmark label.
+		lx := x0 + (3*barW+2*gap)/2
+		ly := marginTop + chartH + 12
+		fmt.Fprintf(&b, `<text x="%d" y="%d" transform="rotate(45 %d %d)" fill="#333">%s</text>`+"\n",
+			lx, ly, lx, ly, escape(r.Bench))
+	}
+
+	// Legend.
+	for k, n := range names {
+		x := marginL + k*70
+		y := height - 14
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", x, y-9, colors[k])
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", x+14, y, n)
+	}
+	fmt.Fprintf(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func niceStep(max float64) float64 {
+	for _, s := range []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5} {
+		if max/s <= 6 {
+			return s
+		}
+	}
+	return 10
+}
+
+func math64Ceil(x float64) float64 {
+	i := float64(int64(x))
+	if x > i {
+		return i + 1
+	}
+	return i
+}

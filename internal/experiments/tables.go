@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tvsched/internal/core"
+	"tvsched/internal/fault"
+	"tvsched/internal/workload"
+)
+
+// Overhead is a (performance%, ED%) tuple as reported in Table 1.
+type Overhead struct {
+	Perf float64 // percent
+	ED   float64 // percent
+}
+
+// Table1Row reproduces one row of Table 1: per-benchmark fault-free IPC,
+// and for each faulty environment the fault rate plus the Razor and EP
+// overhead tuples. Paper reference values ride along for comparison.
+type Table1Row struct {
+	Bench        string
+	FaultFreeIPC float64
+
+	FRHigh    float64 // % at 0.97 V
+	RazorHigh Overhead
+	EPHigh    Overhead
+
+	FRLow    float64 // % at 1.04 V
+	RazorLow Overhead
+	EPLow    Overhead
+
+	// Paper values (Table 1) for side-by-side comparison.
+	PaperIPC, PaperFRLow, PaperFRHigh float64
+}
+
+// Table1 regenerates Table 1.
+func (s *Suite) Table1() ([]Table1Row, error) {
+	keys := keysFor([]core.Scheme{core.Razor, core.EP},
+		[]float64{fault.VHighFault, fault.VLowFault})
+	if err := s.prefetch(keys); err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for _, b := range benches() {
+		ff, err := s.faultFree(b)
+		if err != nil {
+			return nil, err
+		}
+		prof, _ := workload.ByName(b)
+		row := Table1Row{
+			Bench:        b,
+			FaultFreeIPC: ff.Stats.IPC(),
+			PaperIPC:     prof.PaperIPC,
+			PaperFRLow:   prof.PaperFRLow,
+			PaperFRHigh:  prof.PaperFRHigh,
+		}
+		fill := func(vdd float64, fr *float64, razor, ep *Overhead) error {
+			rz, err := s.get(runKey{b, core.Razor, vdd})
+			if err != nil {
+				return err
+			}
+			e, err := s.get(runKey{b, core.EP, vdd})
+			if err != nil {
+				return err
+			}
+			*fr = 100 * e.Stats.FaultRate()
+			*razor = Overhead{100 * rz.PerfOverhead(&ff), 100 * rz.EDOverhead(&ff)}
+			*ep = Overhead{100 * e.PerfOverhead(&ff), 100 * e.EDOverhead(&ff)}
+			return nil
+		}
+		if err := fill(fault.VHighFault, &row.FRHigh, &row.RazorHigh, &row.EPHigh); err != nil {
+			return nil, err
+		}
+		if err := fill(fault.VLowFault, &row.FRLow, &row.RazorLow, &row.EPLow); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FigureRow is one bar group of Figures 4/5/8/9: the overhead of each
+// proposed scheme relative to the EP baseline (lower is better).
+type FigureRow struct {
+	Bench         string
+	ABS, FFS, CDS float64 // overhead normalized to EP
+}
+
+// FigureData is a full figure: per-benchmark rows plus the AVERAGE bar.
+type FigureData struct {
+	Title string
+	VDD   float64
+	ED    bool // false: performance overhead; true: energy-delay overhead
+	Rows  []FigureRow
+	Avg   FigureRow
+}
+
+// Reduction returns the average overhead reduction versus EP in percent
+// (the paper's headline 87%/82%/88%/83% numbers).
+func (f *FigureData) Reduction() float64 {
+	mean := (f.Avg.ABS + f.Avg.FFS + f.Avg.CDS) / 3
+	return 100 * (1 - mean)
+}
+
+// figure builds one of the four overhead-comparison figures.
+func (s *Suite) figure(title string, vdd float64, ed bool, benchList []string) (FigureData, error) {
+	keys := keysFor(core.Schemes(), []float64{vdd})
+	if err := s.prefetch(keys); err != nil {
+		return FigureData{}, err
+	}
+	fig := FigureData{Title: title, VDD: vdd, ED: ed}
+	var sum FigureRow
+	for _, b := range benchList {
+		ff, err := s.faultFree(b)
+		if err != nil {
+			return FigureData{}, err
+		}
+		ep, err := s.get(runKey{b, core.EP, vdd})
+		if err != nil {
+			return FigureData{}, err
+		}
+		ov := func(r *Run) float64 {
+			if ed {
+				return r.EDOverhead(&ff)
+			}
+			return r.PerfOverhead(&ff)
+		}
+		epOv := ov(&ep)
+		row := FigureRow{Bench: b}
+		for _, sch := range core.Proposed() {
+			r, err := s.get(runKey{b, sch, vdd})
+			if err != nil {
+				return FigureData{}, err
+			}
+			rel := 0.0
+			if epOv > 0 {
+				rel = ov(&r) / epOv
+			}
+			switch sch {
+			case core.ABS:
+				row.ABS = rel
+			case core.FFS:
+				row.FFS = rel
+			case core.CDS:
+				row.CDS = rel
+			}
+		}
+		fig.Rows = append(fig.Rows, row)
+		sum.ABS += row.ABS
+		sum.FFS += row.FFS
+		sum.CDS += row.CDS
+	}
+	n := float64(len(fig.Rows))
+	fig.Avg = FigureRow{Bench: "AVERAGE", ABS: sum.ABS / n, FFS: sum.FFS / n, CDS: sum.CDS / n}
+	return fig, nil
+}
+
+// Figure4 regenerates Figure 4: performance overhead of ABS/FFS/CDS
+// normalized to EP at the low fault rate (1.04 V). Paper average: ~0.13
+// (87% reduction).
+func (s *Suite) Figure4() (FigureData, error) {
+	return s.figure("Figure 4: relative performance overhead @1.04V", fault.VLowFault, false, benches())
+}
+
+// Figure5 regenerates Figure 5: ED overhead normalized to EP at 1.04 V.
+// Paper average reduction: 82%.
+func (s *Suite) Figure5() (FigureData, error) {
+	return s.figure("Figure 5: relative ED overhead @1.04V", fault.VLowFault, true, benches())
+}
+
+// high-fault-rate figures: the paper drops povray from Figures 8/9.
+func benchesHigh() []string {
+	var out []string
+	for _, b := range benches() {
+		if b != "povray" {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Figure8 regenerates Figure 8: performance overhead normalized to EP at the
+// high fault rate (0.97 V). Paper average reduction: 88%.
+func (s *Suite) Figure8() (FigureData, error) {
+	return s.figure("Figure 8: relative performance overhead @0.97V", fault.VHighFault, false, benchesHigh())
+}
+
+// Figure9 regenerates Figure 9: ED overhead normalized to EP at 0.97 V.
+// Paper average reduction: 83%.
+func (s *Suite) Figure9() (FigureData, error) {
+	return s.figure("Figure 9: relative ED overhead @0.97V", fault.VHighFault, true, benchesHigh())
+}
+
+// FormatTable1 renders Table 1 in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Benchmark Fault Rates and Razor/EP overheads (perf%%, ED%%)\n")
+	fmt.Fprintf(&b, "%-11s %8s | %6s %14s %14s | %6s %14s %14s\n",
+		"benchmark", "IPC(ff)", "FR%.97", "Razor@0.97", "EP@0.97", "FR%1.04", "Razor@1.04", "EP@1.04")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %8.3f | %6.2f (%5.1f,%6.1f) (%5.2f,%6.2f) | %6.2f (%5.1f,%6.1f) (%5.2f,%6.2f)\n",
+			r.Bench, r.FaultFreeIPC,
+			r.FRHigh, r.RazorHigh.Perf, r.RazorHigh.ED, r.EPHigh.Perf, r.EPHigh.ED,
+			r.FRLow, r.RazorLow.Perf, r.RazorLow.ED, r.EPLow.Perf, r.EPLow.ED)
+	}
+	return b.String()
+}
+
+// FormatFigure renders a figure's bar values as text.
+func FormatFigure(f FigureData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (normalized to EP; lower is better)\n", f.Title)
+	fmt.Fprintf(&b, "%-11s %6s %6s %6s\n", "benchmark", "ABS", "FFS", "CDS")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-11s %6.3f %6.3f %6.3f\n", r.Bench, r.ABS, r.FFS, r.CDS)
+	}
+	fmt.Fprintf(&b, "%-11s %6.3f %6.3f %6.3f   => average overhead reduction %.0f%%\n",
+		f.Avg.Bench, f.Avg.ABS, f.Avg.FFS, f.Avg.CDS, f.Reduction())
+	return b.String()
+}

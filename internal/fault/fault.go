@@ -1,0 +1,243 @@
+// Package fault implements the timing-violation model of §4.3. The paper
+// embeds gate-delay information from a SPICE-characterized statistical timing
+// tool into the architectural simulation; we reproduce the same decision
+// structure analytically:
+//
+//   - Every static instruction sensitizes, per pipe stage, a particular set
+//     of logic paths. The 95%-confidence stage delay (µ+2σ over process
+//     variation) for that PC/stage pair is a stable property of the
+//     instruction — this is the path-sensitization locality of §S1 that makes
+//     PC-indexed prediction work. We derive a per-(PC,stage) "margin": the
+//     ratio of that delay to the cycle time at the nominal 1.10 V supply.
+//   - Supply voltage scales all delays by the alpha-power law
+//     D(V) ∝ V/(V−Vth)^α. The baseline is fault-free at 1.10 V; at 1.04 V
+//     a small tail of instructions' sensitized paths exceed the cycle time
+//     (the paper's "low fault rate" environment), and at 0.97 V a larger
+//     tail does ("high fault rate").
+//   - A violation occurs when margin × voltageScale × thermal × (1+jitter)
+//     exceeds 1.0, i.e. when µ+2σ of the sensitized delay exceeds Tclk.
+//     The per-instance jitter models operand-dependent variation in the
+//     sensitized path (the ~10% of gates outside the common core φ measured
+//     in §S1), so borderline PCs violate on most-but-not-all instances and
+//     the TEP sees occasional mispredictions.
+//
+// Violations are concentrated in the CAM-heavy issue wakeup/select and
+// memory (LSQ search) stages, per §3.3.1/§3.3.4 and Sartori & Kumar [16].
+package fault
+
+import (
+	"math"
+
+	"tvsched/internal/isa"
+	"tvsched/internal/rng"
+)
+
+// Supply voltages of the paper's three environments (§4.3).
+const (
+	VNominal   = 1.10 // fault-free baseline
+	VLowFault  = 1.04 // "low fault rate" environment
+	VHighFault = 0.97 // "high fault rate" environment
+)
+
+// Alpha-power-law parameters (Sakurai–Newton), 45nm-class.
+const (
+	vth   = 0.35
+	alpha = 1.3
+)
+
+// DelayScale returns the gate-delay multiplier of supply voltage v relative
+// to the nominal 1.10 V supply: D(v)/D(1.10).
+func DelayScale(v float64) float64 {
+	d := func(v float64) float64 { return v / math.Pow(v-vth, alpha) }
+	return d(v) / d(VNominal)
+}
+
+// Config parameterizes the fault model.
+type Config struct {
+	// Seed drives all deterministic derivations.
+	Seed uint64
+	// TailFraction is the fraction of (PC, stage) pairs — for the most
+	// fault-prone stage — whose sensitized paths fall in the near-critical
+	// tail. Per-benchmark susceptibility multiplies this (Bias).
+	TailFraction float64
+	// Bias is the per-benchmark susceptibility multiplier (≈1.0–2.0);
+	// benchmarks with high inherent ILP exercise deeper CAM matches and show
+	// higher fault rates (paper §5.1, sjeng vs libquantum).
+	Bias float64
+	// Jitter is the 1σ per-dynamic-instance multiplicative delay variation
+	// modeling operand-dependent path differences. Around 0.5–1% reproduces
+	// the ~87–92% common-path fraction of §S1.
+	Jitter float64
+}
+
+// DefaultConfig returns the calibration used for the paper reproduction.
+func DefaultConfig(seed uint64) Config {
+	return Config{Seed: seed, TailFraction: 0.055, Bias: 1.0, Jitter: 0.002}
+}
+
+// Margin tail shape: near-critical margins are uniform in [tailLo, tailHi]
+// at nominal voltage. With DelayScale(1.04)≈1.054 and DelayScale(0.97)≈1.13,
+// thresholds are 1/1.054≈0.949 and 1/1.13≈0.885: the sub-ranges determine
+// the two environments' fault rates. tailHi stays below 1.0 so the 1.10 V
+// baseline is exactly fault-free.
+const (
+	tailLo = 0.860
+	tailHi = 0.968
+)
+
+// stageWeight is the share of near-critical sensitized paths per pipe stage.
+// Nearly all violations land in issue wakeup/select; the LSQ CAM in the
+// memory stage takes most of the rest (§3.3).
+func stageWeight(s isa.Stage) float64 {
+	switch s {
+	case isa.Issue:
+		return 1.00
+	case isa.Memory:
+		return 0.055
+	case isa.RegRead:
+		return 0.012
+	case isa.Execute:
+		return 0.018
+	case isa.Writeback:
+		return 0.008
+	case isa.Rename, isa.Dispatch, isa.Retire:
+		return 0.003 // in-order engine: rare (§2.2)
+	case isa.Fetch, isa.Decode:
+		return 0.001 // thermally stable, violations very rare [17]
+	default:
+		return 0
+	}
+}
+
+// Model derives per-(PC,stage) margins and evaluates violations.
+type Model struct {
+	cfg Config
+}
+
+// New builds a fault model.
+func New(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// hash01 returns a stable uniform value in [0,1) for a composite key.
+func (m *Model) hash01(pc uint64, stage isa.Stage, salt uint64) float64 {
+	h := rng.Mix(m.cfg.Seed ^ rng.Mix(pc) ^ rng.Mix(uint64(stage)+0x1000*salt))
+	return float64(h>>11) / (1 << 53)
+}
+
+// Margin returns the (µ+2σ)/Tclk ratio of the paths instruction pc
+// sensitizes in stage, at the nominal 1.10 V supply. Most pairs sit far from
+// critical; a stage-weighted tail sits near critical.
+func (m *Model) Margin(pc uint64, stage isa.Stage) float64 {
+	pTail := m.cfg.TailFraction * m.cfg.Bias * stageWeight(stage)
+	u := m.hash01(pc, stage, 0)
+	if u < pTail {
+		// Near-critical tail: position within [tailLo, tailHi] from an
+		// independent hash so tail membership and severity are uncorrelated.
+		v := m.hash01(pc, stage, 1)
+		return tailLo + v*(tailHi-tailLo)
+	}
+	// Comfortable paths: 0.45–0.80 of the cycle.
+	return 0.45 + 0.35*m.hash01(pc, stage, 2)
+}
+
+// Violates reports whether the dynamic instance (identified by seq) of
+// instruction pc incurs a timing violation in stage under environment env.
+// The decision applies the paper's µ+2σ criterion with the instance's
+// operand-dependent jitter.
+func (m *Model) Violates(pc uint64, stage isa.Stage, env *Env, seq uint64) bool {
+	margin := m.Margin(pc, stage)
+	if margin < 0.82 {
+		return false // fast path: far from critical at any studied voltage
+	}
+	jitterU := rng.Mix(m.cfg.Seed ^ rng.Mix(pc^0xfeed) ^ rng.Mix(seq) ^ uint64(stage))
+	// Cheap deterministic approximation of a Gaussian: sum of 4 uniforms,
+	// clamped to ±2σ. The clamp, together with tailHi < 1, guarantees the
+	// 1.10 V baseline is exactly fault-free, matching §4.3.
+	g := (unif(jitterU) + unif(jitterU^0xa5a5) + unif(jitterU^0x5a5a) + unif(jitterU^0xffff) - 2) * math.Sqrt(3)
+	if g > 2 {
+		g = 2
+	} else if g < -2 {
+		g = -2
+	}
+	inst := 1 + m.cfg.Jitter*g
+	return margin*env.DelayScale()*inst > 1.0
+}
+
+func unif(h uint64) float64 { return float64(rng.Mix(h)>>11) / (1 << 53) }
+
+// Prone reports whether pc is fault-prone in any stage at supply v (ignoring
+// jitter), and the most critical such stage. The workload and tests use this
+// to reason about expected fault populations.
+func (m *Model) Prone(pc uint64, v float64) (isa.Stage, bool) {
+	scale := DelayScale(v)
+	best, bestMargin := isa.NumStages, 0.0
+	for s := isa.Fetch; s < isa.NumStages; s++ {
+		if mg := m.Margin(pc, s); mg*scale > 1.0 && mg > bestMargin {
+			best, bestMargin = s, mg
+		}
+	}
+	return best, best != isa.NumStages
+}
+
+// Env models the runtime operating conditions: supply voltage plus a slowly
+// wandering thermal factor. It also backs the TEP's sensor gating (§2.1.1):
+// Favorable reports whether conditions admit timing errors at all.
+type Env struct {
+	vdd     float64
+	vScale  float64
+	thermal float64
+	phase   float64
+	walk    float64
+	src     *rng.Source
+}
+
+// NewEnv builds an environment at supply voltage vdd.
+func NewEnv(vdd float64, seed uint64) *Env {
+	return &Env{
+		vdd:     vdd,
+		vScale:  DelayScale(vdd),
+		thermal: 1.0,
+		src:     rng.New(rng.Mix(seed ^ 0x7e47)),
+	}
+}
+
+// VDD returns the supply voltage.
+func (e *Env) VDD() float64 { return e.vdd }
+
+// Step advances the thermal state; call once per simulated cycle (cheap).
+// Temperature wanders on two time scales: a slow periodic component
+// (package-level) and a bounded random walk (local hotspots). The excursion
+// is ±0.4%, enough to modulate borderline paths without moving the fault
+// population wholesale.
+func (e *Env) Step() {
+	e.phase += 2 * math.Pi / 200000
+	if e.phase > 2*math.Pi {
+		e.phase -= 2 * math.Pi
+	}
+	e.walk += (e.src.Float64() - 0.5) * 1e-5
+	if e.walk > 0.002 {
+		e.walk = 0.002
+	} else if e.walk < -0.002 {
+		e.walk = -0.002
+	}
+	e.thermal = 1 + 0.002*math.Sin(e.phase) + e.walk
+}
+
+// DelayScale returns the combined delay multiplier (voltage × thermal)
+// relative to nominal conditions.
+func (e *Env) DelayScale() float64 { return e.vScale * e.thermal }
+
+// Favorable reports whether the thermal/voltage sensors observe conditions
+// under which timing errors can occur; at the nominal 1.10 V supply the
+// sensors gate TEP predictions off.
+func (e *Env) Favorable() bool { return e.vdd < VNominal-1e-9 }
+
+// SetVDD retargets the environment to a new supply voltage, for closed-loop
+// DVFS studies: delay scaling and sensor gating follow immediately; the
+// thermal state is preserved.
+func (e *Env) SetVDD(v float64) {
+	e.vdd = v
+	e.vScale = DelayScale(v)
+}

@@ -1,0 +1,270 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tvsched/internal/isa"
+)
+
+func TestDelayScaleMonotone(t *testing.T) {
+	if DelayScale(VNominal) != 1.0 {
+		t.Fatalf("DelayScale(nominal) = %v", DelayScale(VNominal))
+	}
+	low := DelayScale(VLowFault)
+	high := DelayScale(VHighFault)
+	if !(high > low && low > 1.0) {
+		t.Fatalf("scaling not monotone: low=%v high=%v", low, high)
+	}
+	// Sanity band: ~5% and ~13% stretch.
+	if low < 1.03 || low > 1.08 {
+		t.Fatalf("low-voltage stretch %v outside expected band", low)
+	}
+	if high < 1.10 || high > 1.18 {
+		t.Fatalf("high-fault stretch %v outside expected band", high)
+	}
+}
+
+func TestNominalVoltageFaultFree(t *testing.T) {
+	m := New(DefaultConfig(1))
+	env := NewEnv(VNominal, 1)
+	for pc := uint64(0); pc < 40000; pc += 4 {
+		for s := isa.Issue; s <= isa.Writeback; s++ {
+			if m.Violates(pc, s, env, pc) {
+				t.Fatalf("violation at nominal voltage: pc=%#x stage=%v", pc, s)
+			}
+		}
+	}
+}
+
+// countRate estimates the per-instruction violation rate over the OoO engine
+// for a uniform PC population.
+func countRate(m *Model, v float64, n int) float64 {
+	env := NewEnv(v, 2)
+	faults := 0
+	for i := 0; i < n; i++ {
+		pc := uint64(i) * 4
+		hit := false
+		for s := isa.Issue; s <= isa.Writeback; s++ {
+			if m.Violates(pc, s, env, uint64(i)) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			faults++
+		}
+	}
+	return float64(faults) / float64(n)
+}
+
+func TestFaultRateBands(t *testing.T) {
+	m := New(DefaultConfig(7))
+	low := countRate(m, VLowFault, 50000)
+	high := countRate(m, VHighFault, 50000)
+	// Paper Table 1: 1.4–2.3% at 1.04V, 5.6–10.5% at 0.97V (per committed
+	// instruction, dynamic). Uniform static PCs should land in/near those
+	// bands with Bias=1.
+	if low < 0.008 || low > 0.035 {
+		t.Fatalf("low-voltage fault rate %v outside band", low)
+	}
+	if high < 0.04 || high > 0.13 {
+		t.Fatalf("high-fault-rate %v outside band", high)
+	}
+	if high <= low {
+		t.Fatalf("fault rate must grow as voltage drops: %v vs %v", low, high)
+	}
+}
+
+func TestBiasScalesRate(t *testing.T) {
+	c1 := DefaultConfig(3)
+	c2 := DefaultConfig(3)
+	c2.Bias = 2.0
+	r1 := countRate(New(c1), VHighFault, 30000)
+	r2 := countRate(New(c2), VHighFault, 30000)
+	if r2 < r1*1.5 {
+		t.Fatalf("Bias=2 rate %v not ~2x of %v", r2, r1)
+	}
+}
+
+func TestIssueStageDominates(t *testing.T) {
+	m := New(DefaultConfig(11))
+	counts := map[isa.Stage]int{}
+	for i := 0; i < 60000; i++ {
+		pc := uint64(i) * 4
+		if s, ok := m.Prone(pc, VHighFault); ok {
+			counts[s]++
+		}
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no fault-prone PCs found")
+	}
+	if frac := float64(counts[isa.Issue]) / float64(total); frac < 0.6 {
+		t.Fatalf("issue stage share %v; paper: almost all violations in wakeup/select", frac)
+	}
+	if counts[isa.Memory] == 0 {
+		t.Fatal("memory stage should see some violations (LSQ CAM)")
+	}
+}
+
+func TestPerPCRepeatability(t *testing.T) {
+	// The core premise of the paper (§S1): dynamic instances of the same
+	// static PC behave alike. For fault-prone PCs, the overwhelming majority
+	// of instances must violate; for safe PCs, none (jitter is small).
+	m := New(DefaultConfig(13))
+	env := NewEnv(VHighFault, 13)
+	checked := 0
+	for pc := uint64(0); pc < 400000 && checked < 30; pc += 4 {
+		if s, ok := m.Prone(pc, VHighFault); ok && m.Margin(pc, s) > 0.92 {
+			viol := 0
+			for seq := uint64(0); seq < 1000; seq++ {
+				if m.Violates(pc, s, env, seq) {
+					viol++
+				}
+			}
+			if viol < 800 {
+				t.Fatalf("fault-prone pc %#x violated only %d/1000 instances", pc, viol)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("found no strongly fault-prone PCs to check")
+	}
+}
+
+func TestMarginDeterministic(t *testing.T) {
+	m1 := New(DefaultConfig(21))
+	m2 := New(DefaultConfig(21))
+	for pc := uint64(0); pc < 1000; pc += 4 {
+		if m1.Margin(pc, isa.Issue) != m2.Margin(pc, isa.Issue) {
+			t.Fatal("Margin not deterministic")
+		}
+	}
+}
+
+func TestMarginSeedSensitivity(t *testing.T) {
+	m1 := New(DefaultConfig(1))
+	m2 := New(DefaultConfig(2))
+	same := 0
+	for pc := uint64(0); pc < 1000; pc += 4 {
+		if m1.Margin(pc, isa.Issue) == m2.Margin(pc, isa.Issue) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("margins independent of seed (%d/250 identical)", same)
+	}
+}
+
+func TestEnvThermalBounded(t *testing.T) {
+	env := NewEnv(VLowFault, 5)
+	base := DelayScale(VLowFault)
+	for i := 0; i < 500000; i++ {
+		env.Step()
+		r := env.DelayScale() / base
+		if r < 0.99 || r > 1.01 {
+			t.Fatalf("thermal factor escaped bounds: %v", r)
+		}
+	}
+}
+
+func TestFavorable(t *testing.T) {
+	if NewEnv(VNominal, 1).Favorable() {
+		t.Fatal("nominal voltage must be unfavorable for faults")
+	}
+	if !NewEnv(VLowFault, 1).Favorable() {
+		t.Fatal("1.04V must be favorable")
+	}
+	if !NewEnv(VHighFault, 1).Favorable() {
+		t.Fatal("0.97V must be favorable")
+	}
+}
+
+func TestProneConsistentWithMargin(t *testing.T) {
+	m := New(DefaultConfig(17))
+	scale := DelayScale(VHighFault)
+	for pc := uint64(0); pc < 20000; pc += 4 {
+		s, ok := m.Prone(pc, VHighFault)
+		anyOver := false
+		for st := isa.Fetch; st < isa.NumStages; st++ {
+			if m.Margin(pc, st)*scale > 1 {
+				anyOver = true
+			}
+		}
+		if ok != anyOver {
+			t.Fatalf("Prone(%#x) = %v inconsistent with margins", pc, ok)
+		}
+		if ok && m.Margin(pc, s)*scale <= 1 {
+			t.Fatalf("Prone returned non-violating stage for %#x", pc)
+		}
+	}
+}
+
+// Property: margins are always in (0, 1): the nominal environment never
+// violates by construction.
+func TestMarginRangeProperty(t *testing.T) {
+	m := New(DefaultConfig(31))
+	f := func(pc uint64, sRaw uint8) bool {
+		s := isa.Stage(sRaw % uint8(isa.NumStages))
+		mg := m.Margin(pc, s)
+		return mg > 0 && mg < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Violates is deterministic in all of its inputs.
+func TestViolatesDeterministicProperty(t *testing.T) {
+	m := New(DefaultConfig(37))
+	envA := NewEnv(VHighFault, 1)
+	envB := NewEnv(VHighFault, 1)
+	f := func(pc, seq uint64) bool {
+		return m.Violates(pc, isa.Issue, envA, seq) == m.Violates(pc, isa.Issue, envB, seq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayScaleSmooth(t *testing.T) {
+	// No kinks: monotone decreasing in V over the studied interval.
+	prev := math.Inf(1)
+	for v := 0.95; v <= 1.12; v += 0.005 {
+		s := DelayScale(v)
+		if s >= prev {
+			t.Fatalf("DelayScale not strictly decreasing at V=%v", v)
+		}
+		prev = s
+	}
+}
+
+func BenchmarkViolates(b *testing.B) {
+	m := New(DefaultConfig(1))
+	env := NewEnv(VHighFault, 1)
+	for i := 0; i < b.N; i++ {
+		m.Violates(uint64(i)*4, isa.Issue, env, uint64(i))
+	}
+}
+
+func TestEnvSetVDD(t *testing.T) {
+	env := NewEnv(VNominal, 1)
+	if env.Favorable() {
+		t.Fatal("nominal should be unfavorable")
+	}
+	env.SetVDD(VHighFault)
+	if env.VDD() != VHighFault || !env.Favorable() {
+		t.Fatal("SetVDD did not retarget")
+	}
+	want := DelayScale(VHighFault)
+	got := env.DelayScale()
+	if got < want*0.99 || got > want*1.01 {
+		t.Fatalf("delay scale %v after SetVDD, want ~%v", got, want)
+	}
+}

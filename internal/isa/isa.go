@@ -1,0 +1,195 @@
+// Package isa defines the instruction-set abstraction shared by the workload
+// generator and the pipeline simulator. The reproduction is trace-driven: the
+// workload emits the committed dynamic instruction stream of a synthetic
+// program, and the pipeline model executes it under detailed timing. The ISA
+// is deliberately RISC-like (PISA/MIPS-class, as used by the Fabscalar cores
+// in the paper): 32 integer architectural registers, explicit loads/stores,
+// and functional-unit classes matching Core-1 (single-cycle simple ALU,
+// multi-cycle complex ALU, memory port, branch).
+package isa
+
+import "fmt"
+
+// NumArchRegs is the number of architectural integer registers. Register 0 is
+// hardwired to zero and is never renamed (writes to it are dropped), matching
+// the MIPS-like ISA Fabscalar implements.
+const NumArchRegs = 32
+
+// Class identifies the functional-unit class of an instruction.
+type Class uint8
+
+const (
+	// IntALU is a single-cycle simple ALU operation (add, sub, logic, shift,
+	// compare). These dominate integer codes.
+	IntALU Class = iota
+	// IntMul is a multi-cycle, fully pipelined complex-ALU operation.
+	IntMul
+	// IntDiv is a multi-cycle, non-pipelined complex-ALU operation.
+	IntDiv
+	// Load reads memory through the load-store queue and data cache.
+	Load
+	// Store writes memory at retire; address generation and LSQ insertion
+	// happen in the memory stage.
+	Store
+	// Branch is a conditional or unconditional control transfer resolved in
+	// the execute stage.
+	Branch
+	// NumClasses is the number of instruction classes.
+	NumClasses
+)
+
+// String returns the mnemonic class name.
+func (c Class) String() string {
+	switch c {
+	case IntALU:
+		return "alu"
+	case IntMul:
+		return "mul"
+	case IntDiv:
+		return "div"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// HasDest reports whether instructions of this class produce a register
+// result that must be renamed and broadcast.
+func (c Class) HasDest() bool {
+	switch c {
+	case IntALU, IntMul, IntDiv, Load:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsMem reports whether the class occupies a memory port / LSQ entry.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// Stage identifies a pipe stage of the Core-1 style pipeline. The order
+// matches program flow: the in-order front end (Fetch..Dispatch), the
+// out-of-order engine (Issue..Writeback), and in-order Retire.
+type Stage uint8
+
+const (
+	Fetch Stage = iota
+	Decode
+	Rename
+	Dispatch
+	Issue // wakeup/select; the CAM-heavy stage where most violations occur
+	RegRead
+	Execute
+	Memory
+	Writeback
+	Retire
+	NumStages
+)
+
+// String returns the stage name used in reports.
+func (s Stage) String() string {
+	switch s {
+	case Fetch:
+		return "fetch"
+	case Decode:
+		return "decode"
+	case Rename:
+		return "rename"
+	case Dispatch:
+		return "dispatch"
+	case Issue:
+		return "issue"
+	case RegRead:
+		return "regread"
+	case Execute:
+		return "execute"
+	case Memory:
+		return "memory"
+	case Writeback:
+		return "writeback"
+	case Retire:
+		return "retire"
+	default:
+		return fmt.Sprintf("stage(%d)", uint8(s))
+	}
+}
+
+// InOoOEngine reports whether the stage belongs to the out-of-order engine
+// (Issue through Writeback), the region the paper's violation-aware
+// scheduling framework covers (§2.2).
+func (s Stage) InOoOEngine() bool { return s >= Issue && s <= Writeback }
+
+// StallTolerable reports whether a predicted violation in this stage is
+// handled by the in-order stall mechanism of §2.2 (rename/dispatch/retire).
+func (s Stage) StallTolerable() bool {
+	return s == Rename || s == Dispatch || s == Retire
+}
+
+// ReplayOnly reports whether violations in this stage can only be handled by
+// instruction replay (fetch and decode; §2.2).
+func (s Stage) ReplayOnly() bool { return s == Fetch || s == Decode }
+
+// Inst is one dynamic instruction of the committed path, as produced by the
+// workload generator. Src/Dest are architectural register numbers; -1 (or
+// register 0 for sources) means "none". The pipeline simulator decorates it
+// with rename and timing state in its own DynInst wrapper.
+type Inst struct {
+	PC    uint64 // static instruction address (identifies the TEP entry)
+	Class Class
+	Dest  int8 // architectural destination register, -1 if none
+	Src1  int8 // first source register, -1 if none
+	Src2  int8 // second source register, -1 if none
+
+	// Addr is the effective address for loads/stores.
+	Addr uint64
+	// Taken and Target describe the committed outcome of a branch.
+	Taken  bool
+	Target uint64
+	// NextPC is the address of the next committed instruction (fall-through
+	// or taken target); the front end fetches along this path.
+	NextPC uint64
+}
+
+// Validate checks internal consistency of a generated instruction. It is
+// used by workload tests and by the pipeline's debug mode.
+func (in *Inst) Validate() error {
+	if in.Dest >= NumArchRegs || in.Src1 >= NumArchRegs || in.Src2 >= NumArchRegs {
+		return fmt.Errorf("isa: register out of range in %+v", *in)
+	}
+	if in.Class.HasDest() && in.Dest < 0 {
+		return fmt.Errorf("isa: %v must have a destination", in.Class)
+	}
+	if !in.Class.HasDest() && in.Dest >= 0 {
+		return fmt.Errorf("isa: %v must not have a destination", in.Class)
+	}
+	if in.Class.IsMem() && in.Addr == 0 {
+		return fmt.Errorf("isa: memory op with zero address")
+	}
+	if in.Class != Branch && in.Taken {
+		return fmt.Errorf("isa: non-branch marked taken")
+	}
+	return nil
+}
+
+// Latency returns the execute-stage occupancy in cycles for the class, and
+// whether the functional unit is pipelined, mirroring Core-1's mix of
+// single-cycle and multi-cycle units (§4.1).
+func (c Class) Latency() (cycles int, pipelined bool) {
+	switch c {
+	case IntALU, Branch:
+		return 1, true
+	case IntMul:
+		return 3, true
+	case IntDiv:
+		return 12, false
+	case Load, Store:
+		return 1, true // address generation; cache time is added in Memory
+	default:
+		return 1, true
+	}
+}

@@ -1,0 +1,144 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		IntALU: "alu", IntMul: "mul", IntDiv: "div",
+		Load: "load", Store: "store", Branch: "branch",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := Class(200).String(); got != "class(200)" {
+		t.Errorf("unknown class string %q", got)
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	for _, c := range []Class{IntALU, IntMul, IntDiv, Load} {
+		if !c.HasDest() {
+			t.Errorf("%v should have dest", c)
+		}
+	}
+	for _, c := range []Class{Store, Branch} {
+		if c.HasDest() {
+			t.Errorf("%v should not have dest", c)
+		}
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() {
+		t.Error("load/store must be memory ops")
+	}
+	if IntALU.IsMem() || Branch.IsMem() {
+		t.Error("alu/branch must not be memory ops")
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := []string{"fetch", "decode", "rename", "dispatch", "issue",
+		"regread", "execute", "memory", "writeback", "retire"}
+	for i, w := range want {
+		if got := Stage(i).String(); got != w {
+			t.Errorf("Stage(%d).String() = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestStageRegions(t *testing.T) {
+	ooo := map[Stage]bool{Issue: true, RegRead: true, Execute: true, Memory: true, Writeback: true}
+	for s := Fetch; s < NumStages; s++ {
+		if got := s.InOoOEngine(); got != ooo[s] {
+			t.Errorf("%v.InOoOEngine() = %v", s, got)
+		}
+	}
+	stall := map[Stage]bool{Rename: true, Dispatch: true, Retire: true}
+	for s := Fetch; s < NumStages; s++ {
+		if got := s.StallTolerable(); got != stall[s] {
+			t.Errorf("%v.StallTolerable() = %v", s, got)
+		}
+	}
+	replay := map[Stage]bool{Fetch: true, Decode: true}
+	for s := Fetch; s < NumStages; s++ {
+		if got := s.ReplayOnly(); got != replay[s] {
+			t.Errorf("%v.ReplayOnly() = %v", s, got)
+		}
+	}
+}
+
+// Property: every stage falls in exactly one of the three handling regions,
+// except the untouched in-order Fetch..Decode vs stall vs OoO partition —
+// i.e. the regions never overlap.
+func TestStageRegionsDisjoint(t *testing.T) {
+	for s := Fetch; s < NumStages; s++ {
+		n := 0
+		if s.InOoOEngine() {
+			n++
+		}
+		if s.StallTolerable() {
+			n++
+		}
+		if s.ReplayOnly() {
+			n++
+		}
+		if n > 1 {
+			t.Errorf("stage %v in %d regions", s, n)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Inst{
+		{PC: 4, Class: IntALU, Dest: 3, Src1: 1, Src2: 2},
+		{PC: 8, Class: Load, Dest: 5, Src1: 4, Src2: -1, Addr: 0x1000},
+		{PC: 12, Class: Store, Dest: -1, Src1: 4, Src2: 5, Addr: 0x2000},
+		{PC: 16, Class: Branch, Dest: -1, Src1: 3, Src2: -1, Taken: true, Target: 4},
+	}
+	for _, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", in, err)
+		}
+	}
+	bad := []Inst{
+		{PC: 4, Class: IntALU, Dest: 40, Src1: 1, Src2: 2},             // reg out of range
+		{PC: 4, Class: IntALU, Dest: -1, Src1: 1, Src2: 2},             // missing dest
+		{PC: 4, Class: Store, Dest: 3, Src1: 1, Src2: 2, Addr: 8},      // store with dest
+		{PC: 4, Class: Load, Dest: 3, Src1: 1, Src2: -1},               // zero address
+		{PC: 4, Class: IntALU, Dest: 3, Src1: 1, Src2: 2, Taken: true}, // non-branch taken
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid inst", in)
+		}
+	}
+}
+
+func TestLatency(t *testing.T) {
+	if cy, pipe := IntALU.Latency(); cy != 1 || !pipe {
+		t.Errorf("IntALU latency (%d,%v)", cy, pipe)
+	}
+	if cy, pipe := IntMul.Latency(); cy <= 1 || !pipe {
+		t.Errorf("IntMul latency (%d,%v): must be multi-cycle pipelined", cy, pipe)
+	}
+	if cy, pipe := IntDiv.Latency(); cy <= 1 || pipe {
+		t.Errorf("IntDiv latency (%d,%v): must be multi-cycle non-pipelined", cy, pipe)
+	}
+}
+
+// Property: Latency is always >= 1 for any class value.
+func TestLatencyPositiveProperty(t *testing.T) {
+	f := func(c uint8) bool {
+		cy, _ := Class(c % uint8(NumClasses)).Latency()
+		return cy >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

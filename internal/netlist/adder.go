@@ -1,0 +1,92 @@
+// Package netlist builds gate-level implementations of the four processor
+// components the paper synthesizes for its sensitized-path study (§S1.2.2,
+// Table 3): the 32-bit simple ALU, the issue-queue select logic, the address
+// generation unit (AGEN) and the forward-check logic of the bypass network.
+// Structural metrics (gate count, logic depth) are computed from the built
+// netlists, not transcribed from the paper; exact counts depend on cell
+// mapping, but the components preserve Table 3's ordering — the ALU is by
+// far the largest and deepest, the forward check the shallowest.
+package netlist
+
+import "tvsched/internal/circuit"
+
+// fullAdder builds sum and carry-out for one bit.
+func fullAdder(b *circuit.Builder, a, x, cin int) (sum, cout int) {
+	p := b.Xor2(a, x)
+	sum = b.Xor2(p, cin)
+	g := b.And2(a, x)
+	pc := b.And2(p, cin)
+	cout = b.Or2(g, pc)
+	return sum, cout
+}
+
+// rippleAdder builds an n-bit adder from chained full adders. Depth grows
+// ~2 gates per bit; used where the paper's depth suggests a compact
+// ripple-style mapping (AGEN).
+func rippleAdder(b *circuit.Builder, a, x []int, cin int) (sum []int, cout int) {
+	if len(a) != len(x) {
+		panic("netlist: operand width mismatch")
+	}
+	c := cin
+	sum = make([]int, len(a))
+	for i := range a {
+		sum[i], c = fullAdder(b, a[i], x[i], c)
+	}
+	return sum, c
+}
+
+// claGroup builds a 4-bit carry-lookahead group: sums plus a group carry-out
+// computed in two logic levels from the group's propagate/generate terms.
+func claGroup(b *circuit.Builder, a, x []int, cin int) (sum []int, cout int) {
+	n := len(a)
+	p := make([]int, n)
+	g := make([]int, n)
+	for i := 0; i < n; i++ {
+		p[i] = b.Xor2(a[i], x[i])
+		g[i] = b.And2(a[i], x[i])
+	}
+	// Carries into each bit.
+	c := make([]int, n+1)
+	c[0] = cin
+	for i := 1; i <= n; i++ {
+		// c[i] = g[i-1] | p[i-1]g[i-2] | ... | p[i-1..0]cin
+		terms := []int{g[i-1]}
+		for j := i - 2; j >= 0; j-- {
+			t := g[j]
+			for k := j + 1; k < i; k++ {
+				t = b.And2(t, p[k])
+			}
+			terms = append(terms, t)
+		}
+		t := cin
+		for k := 0; k < i; k++ {
+			t = b.And2(t, p[k])
+		}
+		terms = append(terms, t)
+		c[i] = b.ReduceOr(terms)
+	}
+	sum = make([]int, n)
+	for i := 0; i < n; i++ {
+		sum[i] = b.Xor2(p[i], c[i])
+	}
+	return sum, c[n]
+}
+
+// claAdder builds an n-bit adder from rippled 4-bit CLA groups.
+func claAdder(b *circuit.Builder, a, x []int, cin int) (sum []int, cout int) {
+	if len(a) != len(x) {
+		panic("netlist: operand width mismatch")
+	}
+	sum = make([]int, 0, len(a))
+	c := cin
+	for i := 0; i < len(a); i += 4 {
+		end := i + 4
+		if end > len(a) {
+			end = len(a)
+		}
+		var s []int
+		s, c = claGroup(b, a[i:end], x[i:end], c)
+		sum = append(sum, s...)
+	}
+	return sum, c
+}

@@ -1,0 +1,328 @@
+package netlist
+
+import "tvsched/internal/circuit"
+
+// ALU32 input layout: a[0..31], b[0..31], op[0..2], sub.
+// op selects the result: 0 add/sub, 1 and, 2 or, 3 xor, 4 shift-left,
+// 5 shift-right-logical, 6 shift-right-arithmetic, 7 set-less-than.
+// Shift amount is b[0..4]. Outputs: result[0..31], zero, negative, carry.
+const (
+	ALUInputs = 32 + 32 + 3 + 1
+
+	ALUOpAdd = 0
+	ALUOpAnd = 1
+	ALUOpOr  = 2
+	ALUOpXor = 3
+	ALUOpSll = 4
+	ALUOpSrl = 5
+	ALUOpSra = 6
+	ALUOpSlt = 7
+)
+
+// ALU32 builds the 32-bit simple ALU of §S1.2.2 — the component with the
+// highest logic depth in Table 3. It contains a CLA adder/subtractor, a
+// logic unit, a 5-stage barrel shifter (left, logical right, arithmetic
+// right), set-less-than, and condition flags, merged by a result mux tree.
+func ALU32() *circuit.Netlist {
+	b := circuit.NewBuilder("alu32", ALUInputs)
+	a := make([]int, 32)
+	x := make([]int, 32)
+	for i := 0; i < 32; i++ {
+		a[i] = b.Input(i)
+		x[i] = b.Input(32 + i)
+	}
+	op := []int{b.Input(64), b.Input(65), b.Input(66)}
+	sub := b.Input(67)
+
+	// Adder/subtractor: b xor sub, carry-in sub.
+	xb := make([]int, 32)
+	for i := 0; i < 32; i++ {
+		xb[i] = b.Xor2(x[i], sub)
+	}
+	sum, cout := claAdder(b, a, xb, sub)
+
+	// Logic unit.
+	andv := make([]int, 32)
+	orv := make([]int, 32)
+	xorv := make([]int, 32)
+	for i := 0; i < 32; i++ {
+		andv[i] = b.And2(a[i], x[i])
+		orv[i] = b.Or2(a[i], x[i])
+		xorv[i] = b.Xor2(a[i], x[i])
+	}
+
+	// Barrel shifter: 5 mux stages, direction/arithmetic control from op.
+	// right = op5 or op6; arith = op6. Decode op bits first.
+	notOp0 := b.Not(op[0])
+	notOp1 := b.Not(op[1])
+	notOp2 := b.Not(op[2])
+	dec := func(v int) int { // 3-bit decode of op == v
+		t0, t1, t2 := notOp0, notOp1, notOp2
+		if v&1 != 0 {
+			t0 = op[0]
+		}
+		if v&2 != 0 {
+			t1 = op[1]
+		}
+		if v&4 != 0 {
+			t2 = op[2]
+		}
+		return b.ReduceAnd([]int{t0, t1, t2})
+	}
+	isSll := dec(ALUOpSll)
+	isSrl := dec(ALUOpSrl)
+	isSra := dec(ALUOpSra)
+	isSlt := dec(ALUOpSlt)
+	isAnd := dec(ALUOpAnd)
+	isOr := dec(ALUOpOr)
+	isXor := dec(ALUOpXor)
+	right := b.Or2(isSrl, isSra)
+	arithFill := b.And2(isSra, a[31]) // fill bit for arithmetic right shift
+	zero := b.Xor2(a[0], a[0])        // constant 0
+
+	shifted := make([]int, 32)
+	copy(shifted, a)
+	for s := 0; s < 5; s++ {
+		amt := 1 << s
+		en := x[s] // shift amount bit
+		next := make([]int, 32)
+		for i := 0; i < 32; i++ {
+			// Left-shift source: i-amt; right-shift source: i+amt.
+			var fromL, fromR int
+			if i-amt >= 0 {
+				fromL = shifted[i-amt]
+			} else {
+				fromL = zero
+			}
+			if i+amt < 32 {
+				fromR = shifted[i+amt]
+			} else {
+				fromR = arithFill
+			}
+			moved := b.Mux(right, fromL, fromR)
+			next[i] = b.Mux(en, shifted[i], moved)
+		}
+		shifted = next
+	}
+
+	// Set-less-than: sign of (a - b); the adder already computes a+~b+1 when
+	// sub is asserted, so reuse its sign with overflow correction.
+	overflow := b.ReduceOr([]int{
+		b.ReduceAnd([]int{a[31], xb[31], b.Not(sum[31])}),
+		b.ReduceAnd([]int{b.Not(a[31]), b.Not(xb[31]), sum[31]}),
+	})
+	lt := b.Xor2(sum[31], overflow)
+
+	// Result mux per bit.
+	result := make([]int, 32)
+	isShift := b.ReduceOr([]int{isSll, isSrl, isSra})
+	for i := 0; i < 32; i++ {
+		logic1 := b.Mux(isOr, andv[i], orv[i])
+		logic := b.Mux(isXor, logic1, xorv[i])
+		useLogic := b.ReduceOr([]int{isAnd, isOr, isXor})
+		arith := b.Mux(useLogic, sum[i], logic)
+		sh := b.Mux(isShift, arith, shifted[i])
+		if i == 0 {
+			sh = b.Mux(isSlt, sh, lt)
+		} else {
+			sh = b.Mux(isSlt, sh, zero)
+		}
+		result[i] = sh
+		b.Output(result[i])
+	}
+
+	// Flags.
+	nz := b.ReduceOr(result)
+	b.Output(b.Not(nz)) // zero flag
+	b.Output(result[31])
+	b.Output(cout)
+	return b.MustBuild()
+}
+
+// IQSelectInputs is the input layout of the issue-queue select logic:
+// request[0..31] (one per issue-queue entry).
+const (
+	IQEntries      = 32
+	IQGrants       = 4
+	IQSelectInputs = IQEntries
+)
+
+// IQSelect builds the instruction selection logic of §S1.2.2: given a
+// request vector from the 32 issue-queue entries, it grants up to four
+// (the paper's W=4) in priority order. The implementation ripples a unary
+// 4-token window through the entries two at a time, keeping the critical
+// path near one logic level per entry — the structure behind Table 3's
+// narrow-but-deep select unit.
+func IQSelect() *circuit.Netlist {
+	b := circuit.NewBuilder("iqselect", IQSelectInputs)
+	req := make([]int, IQEntries)
+	for i := range req {
+		req[i] = b.Input(i)
+	}
+	zero := b.Xor2(req[0], req[0])
+
+	// tokens[k] == true means more than k grants remain available.
+	tokens := make([]int, IQGrants+2)
+	one := b.Not(zero)
+	for k := 0; k < IQGrants; k++ {
+		tokens[k] = one
+	}
+	tokens[IQGrants] = zero
+	tokens[IQGrants+1] = zero
+
+	grants := make([]int, IQEntries)
+	for i := 0; i < IQEntries; i += 2 {
+		g0 := b.And2(req[i], tokens[0])
+		// Token state seen by the second entry of the pair. Because the
+		// token window is a monotone unary mask, shifting it by the number
+		// of *requests* (not grants) is exact: once the window is empty,
+		// further shifts are no-ops.
+		t0After := b.Mux(req[i], tokens[0], tokens[1])
+		g1 := b.And2(req[i+1], t0After)
+		grants[i] = g0
+		grants[i+1] = g1
+		mid := make([]int, IQGrants+2)
+		for k := 0; k <= IQGrants; k++ {
+			mid[k] = b.Mux(req[i], tokens[k], tokens[k+1])
+		}
+		mid[IQGrants+1] = zero
+		next := make([]int, IQGrants+2)
+		for k := 0; k < IQGrants; k++ {
+			next[k] = b.Mux(req[i+1], mid[k], mid[k+1])
+		}
+		next[IQGrants] = zero
+		next[IQGrants+1] = zero
+		tokens = next
+	}
+	for _, g := range grants {
+		b.Output(g)
+	}
+	// "Any grant" summary line for the pipeline control.
+	b.Output(b.ReduceOr(grants))
+	return b.MustBuild()
+}
+
+// AGENInputs is the input layout of the address generation unit: base[0..31]
+// then offset[0..15] (sign-extended internally).
+const AGENInputs = 32 + 16
+
+// AGEN builds the effective-address computation of §S1.2.2: a 32-bit
+// base-plus-sign-extended-offset adder built from rippled 2-bit CLA groups,
+// a parallel end-address (+8) adder, and misalignment / cache-line-crossing
+// detection — the checks a load-store unit performs alongside the add. Its
+// many dynamic instances per static PC differ by a small stride, which is
+// why the paper finds high sensitized-path commonality here.
+func AGEN() *circuit.Netlist {
+	b := circuit.NewBuilder("agen", AGENInputs)
+	base := make([]int, 32)
+	for i := range base {
+		base[i] = b.Input(i)
+	}
+	off := make([]int, 32)
+	for i := 0; i < 16; i++ {
+		off[i] = b.Input(32 + i)
+	}
+	signBit := off[15]
+	for i := 16; i < 32; i++ {
+		off[i] = b.Gate(circuit.Buf, signBit)
+	}
+	zero := b.Xor2(base[0], base[0])
+	one := b.Not(zero)
+
+	// Effective address in rippled 2-bit CLA groups (depth ~2.5/group).
+	var sum []int
+	c := zero
+	for i := 0; i < 32; i += 2 {
+		var s []int
+		s, c = claGroup(b, base[i:i+2], off[i:i+2], c)
+		sum = append(sum, s...)
+	}
+	cout := c
+	for _, s := range sum {
+		b.Output(s)
+	}
+	b.Output(cout)
+
+	// End address for the widest access (sum + 8), computed by a parallel
+	// incrementer over bits 3.. (the low bits are unchanged by +8).
+	end := make([]int, 32)
+	copy(end, sum[:3])
+	carry := one
+	for i := 3; i < 32; i++ {
+		end[i] = b.Xor2(sum[i], carry)
+		carry = b.And2(sum[i], carry)
+	}
+	// Cache-line crossing: line index (bits 6..) of end differs from sum's.
+	var diff []int
+	for i := 6; i < 32; i++ {
+		diff = append(diff, b.Xor2(sum[i], end[i]))
+	}
+	b.Output(b.ReduceOr(diff))
+
+	// Misalignment checks for halfword/word/doubleword accesses.
+	b.Output(sum[0])
+	b.Output(b.Or2(sum[0], sum[1]))
+	b.Output(b.ReduceOr([]int{sum[0], sum[1], sum[2]}))
+	return b.MustBuild()
+}
+
+// Forward-check geometry: W results broadcast to the bypass network, each
+// consumer instruction has two source tags; tags are physical register
+// numbers (7 bits for the 96-entry PRF).
+const (
+	FwdResults     = 4
+	FwdSources     = 8 // 4 consumers x 2 source operands
+	FwdTagBits     = 7
+	FwdCheckInputs = FwdResults*FwdTagBits + FwdResults + FwdSources*FwdTagBits
+)
+
+// FwdCheck builds the forward-check logic of §S1.2.2: it compares each of
+// the W results' destination tags against every consumer source tag and
+// raises the bypass-latch enables. Wide but shallow — the smallest logic
+// depth in Table 3.
+func FwdCheck() *circuit.Netlist {
+	b := circuit.NewBuilder("fwdcheck", FwdCheckInputs)
+	resTag := make([][]int, FwdResults)
+	resValid := make([]int, FwdResults)
+	idx := 0
+	for r := 0; r < FwdResults; r++ {
+		resTag[r] = make([]int, FwdTagBits)
+		for k := 0; k < FwdTagBits; k++ {
+			resTag[r][k] = b.Input(idx)
+			idx++
+		}
+	}
+	for r := 0; r < FwdResults; r++ {
+		resValid[r] = b.Input(idx)
+		idx++
+	}
+	srcTag := make([][]int, FwdSources)
+	for s := 0; s < FwdSources; s++ {
+		srcTag[s] = make([]int, FwdTagBits)
+		for k := 0; k < FwdTagBits; k++ {
+			srcTag[s][k] = b.Input(idx)
+			idx++
+		}
+	}
+
+	for s := 0; s < FwdSources; s++ {
+		var matches []int
+		for r := 0; r < FwdResults; r++ {
+			bits := make([]int, FwdTagBits)
+			for k := 0; k < FwdTagBits; k++ {
+				bits[k] = b.Gate(circuit.Xnor, srcTag[s][k], resTag[r][k])
+			}
+			eq := b.ReduceAnd(bits)
+			m := b.And2(eq, resValid[r])
+			matches = append(matches, m)
+			b.Output(m) // per (source, result) bypass-latch enable
+		}
+		b.Output(b.ReduceOr(matches)) // source forwards from somewhere
+	}
+	return b.MustBuild()
+}
+
+// Components returns the four studied netlists in Table 3 order.
+func Components() []*circuit.Netlist {
+	return []*circuit.Netlist{IQSelect(), ALU32(), AGEN(), FwdCheck()}
+}

@@ -1,0 +1,343 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tvsched/internal/circuit"
+	"tvsched/internal/rng"
+)
+
+// aluEval runs the ALU netlist on 32-bit operands.
+func aluEval(t *testing.T, nl *circuit.Netlist, st circuit.State, a, x uint32, op int, sub bool) (uint32, bool, bool, bool) {
+	t.Helper()
+	in := make([]bool, ALUInputs)
+	for i := 0; i < 32; i++ {
+		in[i] = a&(1<<i) != 0
+		in[32+i] = x&(1<<i) != 0
+	}
+	for k := 0; k < 3; k++ {
+		in[64+k] = op&(1<<k) != 0
+	}
+	in[67] = sub
+	nl.Eval(in, st)
+	out := nl.OutputValues(st)
+	var res uint32
+	for i := 0; i < 32; i++ {
+		if out[i] {
+			res |= 1 << i
+		}
+	}
+	return res, out[32], out[33], out[34] // result, zero, neg, carry
+}
+
+func aluRef(a, x uint32, op int, sub bool) uint32 {
+	switch op {
+	case ALUOpAdd:
+		if sub {
+			return a - x
+		}
+		return a + x
+	case ALUOpAnd:
+		return a & x
+	case ALUOpOr:
+		return a | x
+	case ALUOpXor:
+		return a ^ x
+	case ALUOpSll:
+		return a << (x & 31)
+	case ALUOpSrl:
+		return a >> (x & 31)
+	case ALUOpSra:
+		return uint32(int32(a) >> (x & 31))
+	case ALUOpSlt:
+		if int32(a) < int32(x) {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func TestALU32AgainstReference(t *testing.T) {
+	nl := ALU32()
+	st := nl.NewState()
+	src := rng.New(1)
+	for trial := 0; trial < 3000; trial++ {
+		a := uint32(src.Uint64())
+		x := uint32(src.Uint64())
+		op := src.Intn(8)
+		sub := op == ALUOpSlt || (op == ALUOpAdd && src.Bool(0.5))
+		got, zero, neg, _ := aluEval(t, nl, st, a, x, op, sub)
+		want := aluRef(a, x, op, sub)
+		if got != want {
+			t.Fatalf("alu op=%d sub=%v a=%#x b=%#x: got %#x want %#x", op, sub, a, x, got, want)
+		}
+		if zero != (want == 0) {
+			t.Fatalf("zero flag wrong for %#x", want)
+		}
+		if neg != (want&0x8000_0000 != 0) {
+			t.Fatalf("neg flag wrong for %#x", want)
+		}
+	}
+}
+
+func TestALUCarry(t *testing.T) {
+	nl := ALU32()
+	st := nl.NewState()
+	_, _, _, carry := aluEval(t, nl, st, 0xffffffff, 1, ALUOpAdd, false)
+	if !carry {
+		t.Fatal("carry not set on overflowing add")
+	}
+	_, _, _, carry = aluEval(t, nl, st, 1, 1, ALUOpAdd, false)
+	if carry {
+		t.Fatal("carry set on small add")
+	}
+}
+
+func TestIQSelectGrantsFirstFour(t *testing.T) {
+	nl := IQSelect()
+	st := nl.NewState()
+	eval := func(req uint32) (uint32, bool) {
+		in := make([]bool, IQSelectInputs)
+		for i := 0; i < IQEntries; i++ {
+			in[i] = req&(1<<i) != 0
+		}
+		nl.Eval(in, st)
+		out := nl.OutputValues(st)
+		var g uint32
+		for i := 0; i < IQEntries; i++ {
+			if out[i] {
+				g |= 1 << i
+			}
+		}
+		return g, out[IQEntries]
+	}
+	ref := func(req uint32) uint32 {
+		var g uint32
+		granted := 0
+		for i := 0; i < 32 && granted < IQGrants; i++ {
+			if req&(1<<i) != 0 {
+				g |= 1 << i
+				granted++
+			}
+		}
+		return g
+	}
+	cases := []uint32{0, 1, 0x80000000, 0xffffffff, 0xf, 0xf0, 0x11111111, 0x80000001, 0xaaaa5555}
+	src := rng.New(2)
+	for i := 0; i < 2000; i++ {
+		cases = append(cases, src.Uint32())
+	}
+	for _, req := range cases {
+		got, any := eval(req)
+		want := ref(req)
+		if got != want {
+			t.Fatalf("select(%#x) = %#x, want %#x", req, got, want)
+		}
+		if any != (want != 0) {
+			t.Fatalf("any-grant wrong for %#x", req)
+		}
+	}
+}
+
+func TestIQSelectNeverOverGrants(t *testing.T) {
+	nl := IQSelect()
+	st := nl.NewState()
+	f := func(req uint32) bool {
+		in := make([]bool, IQSelectInputs)
+		for i := 0; i < IQEntries; i++ {
+			in[i] = req&(1<<i) != 0
+		}
+		nl.Eval(in, st)
+		out := nl.OutputValues(st)
+		n := 0
+		for i := 0; i < IQEntries; i++ {
+			if out[i] {
+				if req&(1<<i) == 0 {
+					return false // granted a non-requester
+				}
+				n++
+			}
+		}
+		return n <= IQGrants
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAGEN(t *testing.T) {
+	nl := AGEN()
+	st := nl.NewState()
+	eval := func(base uint32, off int16) uint32 {
+		in := make([]bool, AGENInputs)
+		for i := 0; i < 32; i++ {
+			in[i] = base&(1<<i) != 0
+		}
+		for i := 0; i < 16; i++ {
+			in[32+i] = uint16(off)&(1<<i) != 0
+		}
+		nl.Eval(in, st)
+		out := nl.OutputValues(st)
+		var r uint32
+		for i := 0; i < 32; i++ {
+			if out[i] {
+				r |= 1 << i
+			}
+		}
+		return r
+	}
+	src := rng.New(3)
+	for i := 0; i < 3000; i++ {
+		base := uint32(src.Uint64())
+		off := int16(src.Uint64())
+		if got, want := eval(base, off), base+uint32(int32(off)); got != want {
+			t.Fatalf("agen(%#x, %d) = %#x, want %#x", base, off, got, want)
+		}
+	}
+}
+
+func TestFwdCheck(t *testing.T) {
+	nl := FwdCheck()
+	st := nl.NewState()
+	src := rng.New(4)
+	for trial := 0; trial < 1000; trial++ {
+		var resTags [FwdResults]int
+		var valid [FwdResults]bool
+		var srcTags [FwdSources]int
+		in := make([]bool, FwdCheckInputs)
+		idx := 0
+		for r := 0; r < FwdResults; r++ {
+			resTags[r] = src.Intn(96)
+			for k := 0; k < FwdTagBits; k++ {
+				in[idx] = resTags[r]&(1<<k) != 0
+				idx++
+			}
+		}
+		for r := 0; r < FwdResults; r++ {
+			valid[r] = src.Bool(0.7)
+			in[idx] = valid[r]
+			idx++
+		}
+		for s := 0; s < FwdSources; s++ {
+			if src.Bool(0.4) {
+				srcTags[s] = resTags[src.Intn(FwdResults)] // force some matches
+			} else {
+				srcTags[s] = src.Intn(96)
+			}
+			for k := 0; k < FwdTagBits; k++ {
+				in[idx] = srcTags[s]&(1<<k) != 0
+				idx++
+			}
+		}
+		nl.Eval(in, st)
+		out := nl.OutputValues(st)
+		o := 0
+		for s := 0; s < FwdSources; s++ {
+			anyWant := false
+			for r := 0; r < FwdResults; r++ {
+				want := valid[r] && srcTags[s] == resTags[r]
+				if out[o] != want {
+					t.Fatalf("match(s=%d,r=%d) = %v, want %v", s, r, out[o], want)
+				}
+				anyWant = anyWant || want
+				o++
+			}
+			if out[o] != anyWant {
+				t.Fatalf("any-match(s=%d) = %v, want %v", s, out[o], anyWant)
+			}
+			o++
+		}
+	}
+}
+
+func TestTable3Ordering(t *testing.T) {
+	// Table 3's structural shape: the ALU has the most gates and greatest
+	// depth; the forward check is the shallowest; the select unit is deep
+	// relative to its size.
+	sel, alu, agen, fwd := IQSelect(), ALU32(), AGEN(), FwdCheck()
+	if alu.NumGates() <= agen.NumGates() || alu.NumGates() <= fwd.NumGates() || alu.NumGates() <= sel.NumGates() {
+		t.Fatalf("ALU must be largest: alu=%d sel=%d agen=%d fwd=%d",
+			alu.NumGates(), sel.NumGates(), agen.NumGates(), fwd.NumGates())
+	}
+	if d := fwd.LogicDepth(); d >= sel.LogicDepth() || d >= agen.LogicDepth() || d >= alu.LogicDepth() {
+		t.Fatalf("forward check must be shallowest (depth %d)", d)
+	}
+	if alu.LogicDepth() <= sel.LogicDepth() {
+		t.Fatalf("ALU depth %d must exceed select depth %d", alu.LogicDepth(), sel.LogicDepth())
+	}
+}
+
+func TestComponentsValidate(t *testing.T) {
+	for _, nl := range Components() {
+		if err := nl.Validate(); err != nil {
+			t.Errorf("%s: %v", nl.Name, err)
+		}
+		if nl.NumGates() == 0 || nl.LogicDepth() == 0 {
+			t.Errorf("%s: degenerate netlist", nl.Name)
+		}
+	}
+}
+
+func BenchmarkALUEval(b *testing.B) {
+	nl := ALU32()
+	st := nl.NewState()
+	in := make([]bool, ALUInputs)
+	for i := 0; i < b.N; i++ {
+		in[0] = !in[0]
+		nl.Eval(in, st)
+	}
+}
+
+func TestMul32AgainstReference(t *testing.T) {
+	nl := Mul32()
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := nl.NewState()
+	src := rng.New(9)
+	eval := func(a, x uint32) (uint32, bool) {
+		in := make([]bool, Mul32Inputs)
+		for i := 0; i < 32; i++ {
+			in[i] = a&(1<<i) != 0
+			in[32+i] = x&(1<<i) != 0
+		}
+		nl.Eval(in, st)
+		out := nl.OutputValues(st)
+		var r uint32
+		for i := 0; i < 32; i++ {
+			if out[i] {
+				r |= 1 << i
+			}
+		}
+		return r, out[32]
+	}
+	cases := [][2]uint32{{0, 0}, {1, 1}, {0xffffffff, 0xffffffff}, {3, 5}, {1 << 31, 2}}
+	for i := 0; i < 1500; i++ {
+		cases = append(cases, [2]uint32{uint32(src.Uint64()), uint32(src.Uint64())})
+	}
+	for _, c := range cases {
+		got, zero := eval(c[0], c[1])
+		want := c[0] * c[1]
+		if got != want {
+			t.Fatalf("mul(%#x, %#x) = %#x, want %#x", c[0], c[1], got, want)
+		}
+		if zero != (want == 0) {
+			t.Fatalf("zero flag wrong for %#x", want)
+		}
+	}
+}
+
+func TestMul32IsBiggestAndDeep(t *testing.T) {
+	mul := Mul32()
+	alu := ALU32()
+	if mul.NumGates() <= alu.NumGates() {
+		t.Fatalf("multiplier (%d gates) should exceed the simple ALU (%d)",
+			mul.NumGates(), alu.NumGates())
+	}
+	if mul.LogicDepth() <= alu.LogicDepth() {
+		t.Fatalf("multiplier depth %d should exceed ALU depth %d — it is why the complex unit is multi-cycle",
+			mul.LogicDepth(), alu.LogicDepth())
+	}
+}

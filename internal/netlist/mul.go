@@ -1,0 +1,50 @@
+package netlist
+
+import "tvsched/internal/circuit"
+
+// Mul32Inputs is the input layout of the multiplier: a[0..31], b[0..31].
+const Mul32Inputs = 64
+
+// Mul32 builds a 32x32→32 array multiplier — the dominant block of the
+// complex ALU. The partial-product array (1024 AND cells) feeds a
+// carry-save reduction with a ripple final row, the classic dense/deep
+// structure that makes multi-cycle complex-ALU pipelines necessary (§3.3.3)
+// and gives the complex unit its timing criticality. The low 32 product
+// bits are produced (architectural mul).
+func Mul32() *circuit.Netlist {
+	b := circuit.NewBuilder("mul32", Mul32Inputs)
+	a := make([]int, 32)
+	x := make([]int, 32)
+	for i := 0; i < 32; i++ {
+		a[i] = b.Input(i)
+		x[i] = b.Input(32 + i)
+	}
+	zero := b.Xor2(a[0], a[0])
+
+	// pp(i, j) = a[i] & b[j], contributing to product bit i+j. We only need
+	// columns 0..31 for the architectural low half.
+	pp := func(i, j int) int { return b.And2(a[i], x[j]) }
+
+	// Row-by-row carry-save accumulation: sum holds the running low bits.
+	sum := make([]int, 32)
+	for k := 0; k < 32; k++ {
+		sum[k] = pp(k, 0)
+	}
+	for j := 1; j < 32; j++ {
+		carry := zero
+		// Add the j-th shifted partial-product row into sum[j..31].
+		for k := j; k < 32; k++ {
+			p := pp(k-j, j)
+			var s1, c1 int
+			s1, c1 = fullAdder(b, sum[k], p, carry)
+			sum[k] = s1
+			carry = c1
+		}
+	}
+	for _, s := range sum {
+		b.Output(s)
+	}
+	// Zero flag over the low half.
+	b.Output(b.Gate(circuit.Nor, sum...))
+	return b.MustBuild()
+}

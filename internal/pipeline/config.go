@@ -1,0 +1,145 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"tvsched/internal/core"
+	"tvsched/internal/mem"
+	"tvsched/internal/tep"
+)
+
+// Config describes the simulated machine. DefaultConfig matches the paper's
+// Core-1: 4-wide fetch/issue/commit, a 10-stage misprediction loop from fetch
+// to execute, a 32-entry issue queue and 96 physical registers (§4.1, §S1.2.1).
+type Config struct {
+	// Width is the fetch, issue and commit width (W).
+	Width int
+	// FrontDepth is the fetch-to-dispatch latency in cycles. With two issue
+	// stages (wakeup/select) and one register-read stage, execution begins
+	// at stage FrontDepth+4, giving the 10-stage mispredict loop of §4.1.
+	FrontDepth int
+	// FrontQ is the capacity of the in-order front-end buffer.
+	FrontQ int
+	// ROBSize, IQSize are the reorder-buffer and issue-queue capacities.
+	ROBSize, IQSize int
+	// LQSize, SQSize bound in-flight loads and stores.
+	LQSize, SQSize int
+	// NumPhys is the physical register file size; NumPhys−32 results may be
+	// in flight.
+	NumPhys int
+	// SimpleALUs, ComplexALUs, MemPorts are the execute-stage lane counts.
+	SimpleALUs, ComplexALUs, MemPorts int
+	// ReplayBubble is the whole-pipeline recovery stall, in cycles, charged
+	// when an unpredicted violation triggers Razor-style replay (§2.1.2).
+	ReplayBubble int
+	// ReplayLatency is the additional latency, in cycles, the errant
+	// instruction pays to re-execute through the faulty stage via the
+	// recovery path; its dependents wait for the replayed result.
+	ReplayLatency int
+	// FullFlushReplay switches unpredicted-violation recovery from the
+	// default selective (RazorII shadow-latch style: the errant instruction
+	// replays in place) to architectural replay: the errant instruction and
+	// everything younger are squashed and re-fetched. Full flush costs
+	// ~2-3x more per fault and overshoots the paper's Table 1 Razor
+	// overheads; it exists for the ablation in bench_test.go.
+	FullFlushReplay bool
+	// Scheme selects the timing-error handling scheme under test.
+	Scheme core.Scheme
+	// MispredictRate is the per-branch probability of paying the
+	// misprediction loop (per-benchmark, from the workload profile).
+	MispredictRate float64
+	// Seed drives the machine's deterministic randomness (oracle noise).
+	Seed uint64
+	// TEP configures the timing error predictor.
+	TEP tep.Config
+	// NewPredictor, when non-nil, overrides the predictor implementation
+	// (e.g. tep.NewPerceptron for the predictor-design ablation); by default
+	// the table-based TEP of §2.1.1 is built from the TEP config.
+	NewPredictor func() tep.Predictor
+	// CT is the CDL criticality threshold (§3.5.2; paper best: 8).
+	CT int
+	// Hierarchy configures the caches.
+	Hierarchy mem.HierarchyConfig
+}
+
+// DefaultConfig returns the Core-1 machine of §4.1.
+func DefaultConfig() Config {
+	return Config{
+		Width:         4,
+		FrontDepth:    6,
+		FrontQ:        24,
+		ROBSize:       128,
+		IQSize:        32,
+		LQSize:        24,
+		SQSize:        16,
+		NumPhys:       96,
+		SimpleALUs:    3,
+		ComplexALUs:   1,
+		MemPorts:      2,
+		ReplayBubble:  3,
+		ReplayLatency: 8,
+		Scheme:        core.ABS,
+		Seed:          1,
+		TEP:           tep.DefaultConfig(),
+		CT:            core.DefaultCDL().CT,
+		Hierarchy:     mem.DefaultHierarchy(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Width < 1 || c.FrontDepth < 1 || c.FrontQ < c.Width {
+		return fmt.Errorf("pipeline: bad front-end geometry")
+	}
+	if c.ROBSize < c.Width || c.IQSize < 1 || c.LQSize < 1 || c.SQSize < 1 {
+		return fmt.Errorf("pipeline: bad window geometry")
+	}
+	if c.NumPhys <= 32 {
+		return fmt.Errorf("pipeline: need more physical than architectural registers")
+	}
+	if c.SimpleALUs < 1 || c.ComplexALUs < 1 || c.MemPorts < 1 {
+		return fmt.Errorf("pipeline: need at least one lane of each kind")
+	}
+	if c.Scheme >= core.NumSchemes {
+		return fmt.Errorf("pipeline: bad scheme")
+	}
+	if c.CT < 1 {
+		return fmt.Errorf("pipeline: CT must be positive")
+	}
+	return nil
+}
+
+// LittleConfig returns a 2-wide in-order-leaning variant (half the lanes,
+// window and queues of Core-1) for machine-width sensitivity studies: with
+// less architectural slack, confined violations have less room to hide.
+func LittleConfig() Config {
+	c := DefaultConfig()
+	c.Width = 2
+	c.FrontQ = 12
+	c.ROBSize = 48
+	c.IQSize = 16
+	c.LQSize = 12
+	c.SQSize = 8
+	c.NumPhys = 64
+	c.SimpleALUs = 2
+	c.ComplexALUs = 1
+	c.MemPorts = 1
+	return c
+}
+
+// BigConfig returns a 6-wide variant with double the window — the opposite
+// end of the slack spectrum.
+func BigConfig() Config {
+	c := DefaultConfig()
+	c.Width = 6
+	c.FrontQ = 36
+	c.ROBSize = 256
+	c.IQSize = 64
+	c.LQSize = 48
+	c.SQSize = 32
+	c.NumPhys = 192
+	c.SimpleALUs = 4
+	c.ComplexALUs = 2
+	c.MemPorts = 2
+	return c
+}

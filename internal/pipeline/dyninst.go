@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"math"
+
+	"tvsched/internal/isa"
+	"tvsched/internal/tep"
+)
+
+// unknown marks a cycle value not yet determined.
+const unknown = math.MaxUint64
+
+// dynInst is one dynamic instruction in flight. Its identity (Seq, In, fault
+// ground truth, oracle branch outcome) is fixed at first fetch and survives
+// replays; pipeline state is reset when the instruction is squashed.
+type dynInst struct {
+	seq uint64
+	in  isa.Inst
+
+	// Identity decided at first fetch.
+	fault      bool      // ground truth: violates somewhere if given 1 cycle
+	faultStage isa.Stage // the violating stage (most critical if several)
+	mispredict bool      // oracle decision: branch pays the mispredict loop
+	replaySafe bool      // set after a replay; re-execution cannot fault
+	fillAt     uint64    // absolute cycle a load's cache fill completes; a
+	// replayed load pays only the remaining latency (the miss it initiated
+	// keeps being serviced while the pipeline recovers)
+
+	// Front-end state.
+	availAt uint64 // cycle at which dispatch may consume it
+	history uint64 // branch history at (re)fetch, for TEP indexing
+	pred    tep.Prediction
+
+	// Issue-queue state.
+	inIQ      bool
+	timestamp uint8       // 6-bit mod-64 allocation stamp (§3.5)
+	src       [2]*dynInst // producers; nil means the operand is ready
+
+	// Execution state (set at select).
+	issued     bool
+	lane       int
+	selectedAt uint64
+	depReadyAt uint64 // cycle dependents may be selected (tag broadcast)
+	execDoneAt uint64 // execution result produced (branch resolution)
+	completeAt uint64 // ready to retire
+
+	retired bool
+}
+
+// resetPipelineState clears everything a squash must undo, keeping identity.
+func (d *dynInst) resetPipelineState() {
+	d.availAt = unknown
+	d.pred = tep.Prediction{}
+	d.inIQ = false
+	d.timestamp = 0
+	d.src[0], d.src[1] = nil, nil
+	d.issued = false
+	d.lane = 0
+	d.selectedAt = 0
+	d.depReadyAt = unknown
+	d.execDoneAt = unknown
+	d.completeAt = unknown
+	d.retired = false
+}
+
+// operandsReady reports whether both sources are available at cycle, and
+// clears producer links that have broadcast (so retired producers can be
+// collected).
+func (d *dynInst) operandsReady(cycle uint64) bool {
+	ready := true
+	for k := 0; k < 2; k++ {
+		p := d.src[k]
+		if p == nil {
+			continue
+		}
+		if p.depReadyAt <= cycle {
+			d.src[k] = nil
+			continue
+		}
+		ready = false
+	}
+	return ready
+}
+
+// predictedAt reports whether the TEP predicted a violation for this
+// instruction in the given stage.
+func (d *dynInst) predictedAt(stage isa.Stage) bool {
+	return d.pred.Fault && d.pred.Stage == stage
+}
+
+// actualAt reports whether this instruction actually violates in stage
+// (ground truth, ignoring handling), accounting for replay safety.
+func (d *dynInst) actualAt(stage isa.Stage) bool {
+	return d.fault && !d.replaySafe && d.faultStage == stage
+}

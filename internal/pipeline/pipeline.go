@@ -1,0 +1,827 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"tvsched/internal/bpred"
+	"tvsched/internal/core"
+	"tvsched/internal/fault"
+	"tvsched/internal/isa"
+	"tvsched/internal/mem"
+	"tvsched/internal/tep"
+)
+
+// Source supplies the committed dynamic instruction stream (the workload
+// generator implements it).
+type Source interface {
+	Next() isa.Inst
+}
+
+// FaultOracle decides which dynamic instructions violate timing in which
+// stages. fault.Model is the production implementation; tests inject
+// deterministic oracles to exercise specific handling paths.
+type FaultOracle interface {
+	// Violates reports whether dynamic instance seq of the instruction at
+	// pc incurs a timing violation in stage under env.
+	Violates(pc uint64, stage isa.Stage, env *fault.Env, seq uint64) bool
+	// Margin returns the (µ+2σ)/Tclk criticality of the paths pc sensitizes
+	// in stage, used to pick the dominant stage when several violate.
+	Margin(pc uint64, stage isa.Stage) float64
+}
+
+// Pipeline is the simulated machine.
+type Pipeline struct {
+	cfg   Config
+	src   Source
+	model FaultOracle
+	env   *fault.Env
+	hier  *mem.Hierarchy
+	bp    *bpred.Predictor
+	noise *bpred.OracleNoise
+	tep   tep.Predictor
+	fusr  *core.FUSR
+	cdl   core.CDL
+
+	cycle uint64
+	seq   uint64
+	stats Stats
+
+	// Front end.
+	frontQ         []*dynInst
+	pendingNew     *dynInst
+	fetchResumeAt  uint64
+	fetchBlockedBy *dynInst
+	lastFetchLine  uint64
+	fetchLimit     uint64
+	newFetched     uint64
+
+	// Out-of-order engine.
+	rob      []*dynInst // ring buffer
+	robHead  int
+	robCount int
+	iq       []*dynInst
+	iqAlloc  uint8
+	writers  [isa.NumArchRegs]*dynInst
+	freePhys int
+	loads    int
+	stores   int
+	storeAt  map[uint64]int // in-flight store addresses (LSQ forwarding CAM)
+
+	// Violation handling.
+	globalFreeze int
+	frontFreeze  int
+	replayQ      []*dynInst // re-fetch queue (full-flush recovery)
+	pendingFlush *dynInst   // oldest instruction awaiting a flush
+
+	cands []core.Candidate // select-stage scratch
+}
+
+// New builds a pipeline running the given scheme at supply voltage vdd.
+// model is typically *fault.Model (see internal/fault).
+func New(cfg Config, src Source, model FaultOracle, vdd float64) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:           cfg,
+		src:           src,
+		model:         model,
+		env:           fault.NewEnv(vdd, cfg.Seed),
+		hier:          mem.NewHierarchy(cfg.Hierarchy),
+		bp:            bpred.New(bpred.DefaultConfig()),
+		noise:         bpred.NewOracleNoise(cfg.MispredictRate, cfg.Seed^0xbad),
+		tep:           newPredictor(cfg),
+		fusr:          core.NewFUSR(cfg.SimpleALUs, cfg.ComplexALUs, cfg.MemPorts),
+		cdl:           core.CDL{CT: cfg.CT},
+		rob:           make([]*dynInst, cfg.ROBSize),
+		freePhys:      cfg.NumPhys - isa.NumArchRegs,
+		storeAt:       make(map[uint64]int),
+		lastFetchLine: ^uint64(0),
+	}
+	return p, nil
+}
+
+func newPredictor(cfg Config) tep.Predictor {
+	if cfg.NewPredictor != nil {
+		return cfg.NewPredictor()
+	}
+	return tep.New(cfg.TEP)
+}
+
+// Env exposes the operating environment (for tests/diagnostics).
+func (p *Pipeline) Env() *fault.Env { return p.env }
+
+// TEPStats exposes predictor activity counters (zero for non-table
+// predictors).
+func (p *Pipeline) TEPStats() tep.Stats {
+	if t, ok := p.tep.(*tep.TEP); ok {
+		return t.Stats
+	}
+	return tep.Stats{}
+}
+
+// PrefillData installs a data range into the L2 (see mem.Hierarchy.Prefill).
+func (p *Pipeline) PrefillData(base, size uint64) {
+	p.hier.Prefill(base, size)
+}
+
+// Warmup simulates n committed instructions and then discards all
+// statistics while keeping micro-architectural state: cache contents, branch
+// predictor, and TEP training survive. This mirrors the SimPoint methodology
+// of §4.2, where representative phases are measured after warmup rather than
+// from a cold machine.
+func (p *Pipeline) Warmup(n uint64) error {
+	if _, err := p.Run(n); err != nil {
+		return err
+	}
+	p.stats = Stats{}
+	p.hier.L1I.Stats = mem.CacheStats{}
+	p.hier.L1D.Stats = mem.CacheStats{}
+	p.hier.L2.Stats = mem.CacheStats{}
+	if t, ok := p.tep.(*tep.TEP); ok {
+		t.Stats = tep.Stats{}
+	}
+	p.bp.Stats = bpred.Stats{}
+	return nil
+}
+
+// Run simulates until n further instructions commit and returns the
+// statistics accumulated since construction or the last Warmup. It returns
+// an error if forward progress stops (a model bug, guarded so tests fail
+// loudly rather than hang).
+func (p *Pipeline) Run(n uint64) (Stats, error) {
+	p.fetchLimit += n
+	target := p.stats.Committed + n
+	lastCommit, lastCommitCycle := p.stats.Committed, p.cycle
+	for p.stats.Committed < target {
+		p.step()
+		if p.stats.Committed != lastCommit {
+			lastCommit, lastCommitCycle = p.stats.Committed, p.cycle
+		} else if p.cycle-lastCommitCycle > 200000 {
+			return p.stats, fmt.Errorf("pipeline: no commit for 200k cycles at cycle %d (%d/%d committed)",
+				p.cycle, p.stats.Committed, n)
+		}
+	}
+	p.stats.L1I = p.hier.L1I.Stats
+	p.stats.L1D = p.hier.L1D.Stats
+	p.stats.L2 = p.hier.L2.Stats
+	return p.stats, nil
+}
+
+// step advances the machine one clock cycle. Stages run in reverse pipe
+// order so that resources freed in a cycle become visible the next.
+func (p *Pipeline) step() {
+	p.cycle++
+	p.stats.Cycles++
+	p.env.Step()
+
+	// EP whole-pipeline stall: the faulty stage completes in two cycles
+	// while every other stage recirculates its inputs (§2.2, §5). The stall
+	// is a true machine-wide freeze — every in-flight completion, including
+	// outstanding cache fills, slips by the stall cycle.
+	if p.globalFreeze > 0 {
+		p.globalFreeze--
+		p.stats.GlobalStalls++
+		p.shiftInFlight()
+		return
+	}
+
+	p.stats.SumIQOcc += uint64(len(p.iq))
+	p.stats.SumROBOcc += uint64(p.robCount)
+	p.stats.SumFrontQ += uint64(len(p.frontQ))
+
+	if p.pendingFlush != nil {
+		di := p.pendingFlush
+		p.pendingFlush = nil
+		p.flushReplay(di)
+	}
+	p.retire()
+	p.selectIssue()
+
+	// In-order-engine stall (§2.2): rename/dispatch/retire recirculate for
+	// one cycle; the OoO engine above keeps running.
+	if p.frontFreeze > 0 {
+		p.frontFreeze--
+		p.stats.FrontStalls++
+		return
+	}
+	p.dispatch()
+	p.fetch()
+}
+
+// ---------------------------------------------------------------- fetch --
+
+// newDyn pulls the next instruction from the trace and fixes its dynamic
+// identity: fault ground truth (which stage, if any, its sensitized paths
+// violate in at the current voltage) and the oracle branch outcome.
+func (p *Pipeline) newDyn() *dynInst {
+	in := p.src.Next()
+	di := &dynInst{seq: p.seq, in: in}
+	p.seq++
+	di.resetPipelineState()
+
+	// Ground truth: the most critical violating stage, if any.
+	bestMargin := 0.0
+	for s := isa.Fetch; s < isa.NumStages; s++ {
+		if s == isa.Memory && !in.Class.IsMem() {
+			continue
+		}
+		if p.model.Violates(in.PC, s, p.env, di.seq) {
+			if mg := p.model.Margin(in.PC, s); mg > bestMargin {
+				bestMargin = mg
+				di.fault = true
+				di.faultStage = s
+			}
+		}
+	}
+	if di.fault {
+		p.stats.Faults++
+		p.stats.FaultsByStage[di.faultStage]++
+	}
+
+	// Branch outcome and predictor training happen once, at first fetch.
+	if in.Class == isa.Branch {
+		p.bp.Update(in.PC, in.Taken, in.Target)
+		if p.noise.Mispredict() {
+			di.mispredict = true
+			p.stats.BranchMispredicts++
+		}
+	}
+	return di
+}
+
+// peekFetch returns the next instruction to fetch without consuming it:
+// squashed instructions awaiting re-fetch first, then fresh trace
+// instructions up to the run's fetch limit.
+func (p *Pipeline) peekFetch() *dynInst {
+	if len(p.replayQ) > 0 {
+		return p.replayQ[0]
+	}
+	if p.pendingNew == nil && p.newFetched < p.fetchLimit {
+		p.pendingNew = p.newDyn()
+	}
+	return p.pendingNew
+}
+
+func (p *Pipeline) consumeFetch(di *dynInst) {
+	if len(p.replayQ) > 0 && p.replayQ[0] == di {
+		p.replayQ = p.replayQ[1:]
+		return
+	}
+	p.pendingNew = nil
+	p.newFetched++
+}
+
+func (p *Pipeline) fetch() {
+	if p.cycle < p.fetchResumeAt {
+		return
+	}
+	if p.fetchBlockedBy != nil {
+		// Waiting on a mispredicted branch to resolve in execute; redirect
+		// the cycle after resolution.
+		if p.fetchBlockedBy.execDoneAt != unknown && p.fetchBlockedBy.execDoneAt <= p.cycle {
+			p.fetchBlockedBy = nil
+			p.fetchResumeAt = p.cycle + 1
+		}
+		return
+	}
+	for budget := p.cfg.Width; budget > 0 && len(p.frontQ) < p.cfg.FrontQ; budget-- {
+		di := p.peekFetch()
+		if di == nil {
+			return
+		}
+		// Instruction cache: charge the miss latency when crossing into a
+		// new line that is not resident.
+		if line := di.in.PC >> 6; line != p.lastFetchLine {
+			lat := p.hier.InstAccess(di.in.PC)
+			p.lastFetchLine = line
+			if lat > 1 {
+				p.fetchResumeAt = p.cycle + uint64(lat)
+				return
+			}
+		}
+		// Violations in fetch/decode cannot be predicted by the TEP and are
+		// recovered by replay (§2.2); here the instruction simply has not
+		// left the front end, so recovery is a fetch bubble.
+		if !di.replaySafe && di.fault && di.faultStage.ReplayOnly() {
+			di.replaySafe = true
+			p.stats.Mispredicted++
+			p.stats.Replays++
+			p.fetchResumeAt = p.cycle + uint64(p.cfg.ReplayBubble) + 1
+			return
+		}
+		p.consumeFetch(di)
+		p.stats.Fetched++
+		di.availAt = p.cycle + uint64(p.cfg.FrontDepth)
+		di.history = p.bp.History()
+		// TEP access in parallel with decode (§2.1.1).
+		if p.cfg.Scheme.UsesTEP() {
+			di.pred = p.tep.Lookup(di.in.PC, di.history, p.env.Favorable())
+		}
+		p.frontQ = append(p.frontQ, di)
+		if di.mispredict {
+			p.fetchBlockedBy = di
+			return
+		}
+	}
+}
+
+// -------------------------------------------------------------- dispatch --
+
+func (p *Pipeline) dispatch() {
+	for budget := p.cfg.Width; budget > 0 && len(p.frontQ) > 0; budget-- {
+		di := p.frontQ[0]
+		if di.availAt > p.cycle {
+			return
+		}
+		if p.robCount == p.cfg.ROBSize {
+			p.stats.StallROB++
+			return
+		}
+		if len(p.iq) >= p.cfg.IQSize {
+			p.stats.StallIQ++
+			return
+		}
+		switch di.in.Class {
+		case isa.Load:
+			if p.loads >= p.cfg.LQSize {
+				p.stats.StallLSQ++
+				return
+			}
+		case isa.Store:
+			if p.stores >= p.cfg.SQSize {
+				p.stats.StallLSQ++
+				return
+			}
+		}
+		if di.in.Dest > 0 && p.freePhys == 0 {
+			p.stats.StallPhys++
+			return
+		}
+
+		// In-order-engine violations at rename/dispatch (§2.2).
+		for _, st := range [2]isa.Stage{isa.Rename, isa.Dispatch} {
+			if p.cfg.Scheme.UsesTEP() && di.predictedAt(st) {
+				switch core.Respond(p.cfg.Scheme, true, st) {
+				case core.ActFrontStall:
+					p.frontFreeze++
+				case core.ActGlobalStall:
+					p.globalFreeze++
+				}
+				if di.actualAt(st) {
+					p.stats.PredictedFaults++
+					di.replaySafe = true // stall gave the stage its 2nd cycle
+				} else {
+					p.stats.FalsePositives++
+				}
+			} else if di.actualAt(st) {
+				p.recoverInOrder(di)
+				return
+			}
+		}
+
+		p.frontQ = p.frontQ[1:]
+		di.inIQ = true
+		di.timestamp = p.iqAlloc & core.TimestampMask
+		p.iqAlloc++
+		// Register rename: link sources to in-flight producers.
+		for k, reg := range [2]int8{di.in.Src1, di.in.Src2} {
+			if reg > 0 {
+				if w := p.writers[reg]; w != nil && w.depReadyAt > p.cycle {
+					di.src[k] = w
+				}
+			}
+		}
+		if di.in.Dest > 0 {
+			p.writers[di.in.Dest] = di
+			p.freePhys--
+		}
+		p.robPush(di)
+		p.iq = append(p.iq, di)
+		switch di.in.Class {
+		case isa.Load:
+			p.loads++
+		case isa.Store:
+			p.stores++
+			p.storeAt[di.in.Addr]++
+		}
+		p.stats.Dispatched++
+	}
+}
+
+// ---------------------------------------------------------------- issue --
+
+func laneKind(c isa.Class) core.FUKind {
+	return core.KindFor(c.IsMem(), c == isa.IntMul || c == isa.IntDiv)
+}
+
+// selectIssue is the wakeup/select stage with the SLE of §3.5.1: operand-
+// ready entries bid, the policy sets grant lines, and the FUSR gates lane
+// availability.
+func (p *Pipeline) selectIssue() {
+	p.cands = p.cands[:0]
+	for i, di := range p.iq {
+		if di.operandsReady(p.cycle) {
+			p.cands = append(p.cands, core.Candidate{
+				Index:     i,
+				Timestamp: di.timestamp,
+				Faulty:    di.pred.Fault,
+				Critical:  di.pred.Critical,
+			})
+		}
+	}
+	p.stats.SumReadyCands += uint64(len(p.cands))
+	if len(p.cands) == 0 {
+		return
+	}
+	core.Order(p.cfg.Scheme.Policy(), p.cands, p.iqAlloc&core.TimestampMask)
+	grants := 0
+	for _, c := range p.cands {
+		if grants == p.cfg.Width {
+			break
+		}
+		di := p.iq[c.Index]
+		lane := p.fusr.Available(laneKind(di.in.Class), p.cycle)
+		if lane < 0 {
+			continue
+		}
+		p.issueInst(di, lane)
+		grants++
+	}
+	if grants > 0 {
+		kept := p.iq[:0]
+		for _, di := range p.iq {
+			if !di.issued {
+				kept = append(kept, di)
+			}
+		}
+		p.iq = kept
+	}
+}
+
+// issueInst schedules di on lane at the current cycle, applying the
+// violation-aware handling of §3.2/§3.3 for every OoO stage it will
+// traverse, and computes its timing.
+func (p *Pipeline) issueInst(di *dynInst, lane int) {
+	t := p.cycle
+	di.issued = true
+	di.inIQ = false
+	di.selectedAt = t
+	di.lane = lane
+	p.stats.Selected++
+
+	isMem := di.in.Class.IsMem()
+	var extra [isa.NumStages]uint64
+	issueFreeze := false // issue-stage CAM fault: slot freeze is the only cost
+	replayStage := isa.NumStages
+
+	handle := func(stage isa.Stage) {
+		predicted := p.cfg.Scheme.UsesTEP() && di.predictedAt(stage)
+		actual := di.actualAt(stage)
+		if predicted {
+			switch core.Respond(p.cfg.Scheme, true, stage) {
+			case core.ActConfined:
+				if stage == isa.Issue {
+					// §3.3.1: the violation is in the wakeup/select CAM.
+					// The issue slot for the functional unit freezes for one
+					// cycle, so the wakeup lane's inputs stay steady for two
+					// cycles and the CAM computation completes. With the
+					// two-stage issue of Core-1 (wakeup then select), the
+					// extra CAM cycle overlaps the select stage: neither the
+					// faulty instruction nor its dependents are delayed —
+					// the entire cost is the frozen issue slot. (Contrast
+					// execute-stage faults, Figure 2, where the result
+					// itself is late and dependents must be held back.)
+					issueFreeze = true
+				} else {
+					extra[stage] = 1
+				}
+				p.stats.ConfinedEvents++
+			case core.ActGlobalStall:
+				extra[stage] = 1
+				p.globalFreeze++
+			}
+			if actual {
+				p.stats.PredictedFaults++
+				di.replaySafe = true // the extra cycle covers the violation
+			} else {
+				p.stats.FalsePositives++
+			}
+		} else if actual && replayStage == isa.NumStages {
+			replayStage = stage
+		}
+	}
+	handle(isa.Issue)
+	handle(isa.RegRead)
+	handle(isa.Execute)
+	if isMem {
+		handle(isa.Memory)
+	}
+	handle(isa.Writeback)
+
+	// Unpredicted violation: Razor-style error recovery (§2.1.2). The
+	// shadow-latch path corrects the errant computation and the instruction
+	// replays through the faulty stage; recovery control inserts pipeline
+	// bubbles while the replay is set up. Modeled as ReplayLatency extra
+	// cycles on the instruction (its dependents wait for the replayed
+	// result) plus a ReplayBubble whole-pipeline recovery stall. This is
+	// calibrated to the Razor overheads of Table 1; a full flush-and-refetch
+	// recovery overshoots the paper's measured Razor cost substantially.
+	if replayStage != isa.NumStages {
+		if p.cfg.FullFlushReplay {
+			// Architectural replay: squash from the errant instruction and
+			// re-fetch. Deferred to the top of the next cycle so the issue
+			// loop's view of the queue stays stable.
+			if p.pendingFlush == nil || di.seq < p.pendingFlush.seq {
+				p.pendingFlush = di
+			}
+		} else {
+			extra[replayStage] += uint64(p.cfg.ReplayLatency)
+			p.globalFreeze += p.cfg.ReplayBubble
+			p.stats.Replays++
+			p.stats.Mispredicted++
+			di.replaySafe = true
+			if p.cfg.Scheme.UsesTEP() {
+				p.tep.Train(di.in.PC, di.history, true, di.faultStage)
+			}
+		}
+	}
+
+	// Timing. Selected at t; register read at t+1; execution and (for
+	// memory ops) the D-cache/LSQ follow; dependents wake via tag broadcast
+	// (delayed one cycle per confined violation up to the broadcast, §3.2.2).
+	exLat, pipelined := di.in.Class.Latency()
+	rrDone := t + 1 + extra[isa.Issue] + extra[isa.RegRead]
+	execDone := rrDone + uint64(exLat) + extra[isa.Execute]
+	if isMem {
+		memLat := uint64(1)
+		if di.in.Class == isa.Load {
+			switch {
+			case di.fillAt != 0:
+				// Re-execution after a squash: the original miss is still
+				// being serviced (or already filled); pay only the remainder.
+				if execDone < di.fillAt {
+					memLat = di.fillAt - execDone
+				}
+			case p.storeAt[di.in.Addr] > 0:
+				di.fillAt = execDone + 1 // store-to-load forward
+			default:
+				memLat = uint64(p.hier.DataAccess(di.in.Addr))
+				di.fillAt = execDone + memLat
+			}
+		}
+		memDone := execDone + memLat + extra[isa.Memory]
+		di.depReadyAt = memDone
+		di.completeAt = memDone + 1 + extra[isa.Writeback]
+	} else {
+		di.depReadyAt = execDone - 1
+		di.completeAt = execDone + 1 + extra[isa.Writeback]
+	}
+	di.execDoneAt = execDone
+
+	// Functional-unit and slot management (§3.2.3, §3.3).
+	faultyHold := issueFreeze || extra[isa.Issue]+extra[isa.Execute] > 0
+	p.fusr.Issue(lane, t, exLat, pipelined, faultyHold)
+	if faultyHold {
+		p.stats.SlotFreezes++
+	}
+	if extra[isa.RegRead] > 0 {
+		// Register-read port blocked one additional cycle (§3.3.2).
+		p.fusr.Freeze(lane, rrDone)
+		p.stats.SlotFreezes++
+	}
+	if isMem && extra[isa.Memory] > 0 {
+		// No load/store CAM match right behind the faulty one (§3.3.4).
+		p.fusr.Freeze(lane, execDone+1)
+		p.stats.SlotFreezes++
+	}
+	if extra[isa.Writeback] > 0 {
+		// Writeback input slot recirculates (§3.3.5).
+		p.fusr.Freeze(lane, di.completeAt-1)
+		p.stats.SlotFreezes++
+	}
+
+	if di.in.Dest > 0 {
+		p.stats.Broadcasts++
+	}
+	p.stats.ExecByClass[di.in.Class]++
+
+	// Criticality Detection Logic (§3.5.2): count issue-queue tag matches
+	// for this producer and store the determination with the TEP. Only the
+	// CDS scheme builds this hardware (Table 2).
+	if p.cfg.Scheme == core.CDS && di.in.Dest > 0 {
+		matches := 0
+		for _, e := range p.iq {
+			if e.src[0] == di || e.src[1] == di {
+				matches++
+			}
+		}
+		if p.cdl.Critical(matches) {
+			p.tep.SetCritical(di.in.PC, di.history, true)
+			p.stats.CriticalMarks++
+		}
+	}
+
+}
+
+// --------------------------------------------------------------- replay --
+
+// recoverInOrder handles an unpredicted violation in the in-order engine
+// (rename/dispatch): the stage's computation is corrected and re-run while
+// the front end recirculates (§2.2); recovery costs a front-end bubble.
+func (p *Pipeline) recoverInOrder(di *dynInst) {
+	p.stats.Replays++
+	p.stats.Mispredicted++
+	di.replaySafe = true
+	p.frontFreeze += p.cfg.ReplayBubble
+	if p.cfg.Scheme.UsesTEP() {
+		p.tep.Train(di.in.PC, di.history, true, di.faultStage)
+	}
+}
+
+// flushReplay performs architectural replay (Config.FullFlushReplay): the
+// errant instruction and everything younger are squashed, their resources
+// released, and all of them re-fetched in program order.
+func (p *Pipeline) flushReplay(di *dynInst) {
+	if di.retired || !di.issued {
+		return // already squashed by an older flush, or retired
+	}
+	p.stats.Replays++
+	p.stats.Mispredicted++
+	di.replaySafe = true
+	if p.cfg.Scheme.UsesTEP() {
+		p.tep.Train(di.in.PC, di.history, true, di.faultStage)
+	}
+
+	// Squash the ROB suffix from di (inclusive), youngest first.
+	var squashed []*dynInst
+	for p.robCount > 0 {
+		tail := p.rob[(p.robHead+p.robCount-1)%p.cfg.ROBSize]
+		if tail.seq < di.seq {
+			break
+		}
+		p.robCount--
+		p.squash(tail)
+		squashed = append(squashed, tail)
+	}
+	for i, j := 0, len(squashed)-1; i < j; i, j = i+1, j-1 {
+		squashed[i], squashed[j] = squashed[j], squashed[i]
+	}
+	p.stats.SquashedInsts += uint64(len(squashed))
+
+	// Front-end instructions are younger than everything in the ROB.
+	for _, fq := range p.frontQ {
+		fq.resetPipelineState()
+		squashed = append(squashed, fq)
+	}
+	p.frontQ = p.frontQ[:0]
+	p.replayQ = append(squashed, p.replayQ...)
+
+	// Rebuild the rename map from the surviving window.
+	for r := range p.writers {
+		p.writers[r] = nil
+	}
+	for i := 0; i < p.robCount; i++ {
+		e := p.rob[(p.robHead+i)%p.cfg.ROBSize]
+		if e.in.Dest > 0 {
+			p.writers[e.in.Dest] = e
+		}
+	}
+	// Drop squashed issue-queue entries.
+	kept := p.iq[:0]
+	for _, e := range p.iq {
+		if e.inIQ {
+			kept = append(kept, e)
+		}
+	}
+	p.iq = kept
+
+	if p.fetchBlockedBy != nil && p.fetchBlockedBy.seq >= di.seq {
+		p.fetchBlockedBy = nil
+	}
+	p.fetchResumeAt = p.cycle + uint64(p.cfg.ReplayBubble)
+}
+
+// squash releases the resources a dispatched instruction holds.
+func (p *Pipeline) squash(di *dynInst) {
+	if di.inIQ {
+		di.inIQ = false // removed from p.iq by the caller's compaction
+	}
+	if di.in.Dest > 0 {
+		p.freePhys++
+	}
+	switch di.in.Class {
+	case isa.Load:
+		p.loads--
+	case isa.Store:
+		p.stores--
+		if p.storeAt[di.in.Addr] > 1 {
+			p.storeAt[di.in.Addr]--
+		} else {
+			delete(p.storeAt, di.in.Addr)
+		}
+	}
+	di.resetPipelineState()
+}
+
+// --------------------------------------------------------------- retire --
+
+func (p *Pipeline) retire() {
+	for budget := p.cfg.Width; budget > 0 && p.robCount > 0; budget-- {
+		di := p.rob[p.robHead]
+		if !di.issued || di.completeAt == unknown || di.completeAt > p.cycle {
+			return
+		}
+		// Retire-stage violations (§2.2): stall-tolerated when predicted.
+		if p.cfg.Scheme.UsesTEP() && di.predictedAt(isa.Retire) {
+			switch core.Respond(p.cfg.Scheme, true, isa.Retire) {
+			case core.ActFrontStall:
+				p.frontFreeze++
+			case core.ActGlobalStall:
+				p.globalFreeze++
+			}
+			if di.actualAt(isa.Retire) {
+				p.stats.PredictedFaults++
+				di.replaySafe = true
+			} else {
+				p.stats.FalsePositives++
+			}
+		} else if di.actualAt(isa.Retire) {
+			// Unpredicted retire-stage violation: correct and re-run the
+			// retire cycle; the whole machine waits out the recovery.
+			p.stats.Replays++
+			p.stats.Mispredicted++
+			di.replaySafe = true
+			p.globalFreeze += p.cfg.ReplayBubble
+			if p.cfg.Scheme.UsesTEP() {
+				p.tep.Train(di.in.PC, di.history, true, di.faultStage)
+			}
+			return
+		}
+
+		p.robHead = (p.robHead + 1) % p.cfg.ROBSize
+		p.robCount--
+		di.retired = true
+		if di.in.Dest > 0 {
+			p.freePhys++
+		}
+		switch di.in.Class {
+		case isa.Load:
+			p.loads--
+		case isa.Store:
+			p.stores--
+			if p.storeAt[di.in.Addr] > 1 {
+				p.storeAt[di.in.Addr]--
+			} else {
+				delete(p.storeAt, di.in.Addr)
+			}
+			// The store's line is installed at commit; timing is off the
+			// critical path but the cache contents matter to later loads.
+			p.hier.DataAccess(di.in.Addr)
+			p.stats.StoresRetired++
+		}
+		// Train the TEP with ground truth (2-bit counter learn/decay).
+		if p.cfg.Scheme.UsesTEP() {
+			p.tep.Train(di.in.PC, di.history, di.fault, di.faultStage)
+		}
+		p.stats.Committed++
+	}
+}
+
+// shiftInFlight slips every pending event one cycle later, implementing a
+// whole-pipeline recirculation cycle.
+func (p *Pipeline) shiftInFlight() {
+	shift := func(v *uint64) {
+		if *v != unknown && *v > p.cycle {
+			*v++
+		}
+	}
+	for i := 0; i < p.robCount; i++ {
+		di := p.rob[(p.robHead+i)%p.cfg.ROBSize]
+		shift(&di.depReadyAt)
+		shift(&di.execDoneAt)
+		shift(&di.completeAt)
+		if di.fillAt > p.cycle {
+			di.fillAt++
+		}
+	}
+	for _, di := range p.frontQ {
+		shift(&di.availAt)
+	}
+	if p.fetchResumeAt > p.cycle {
+		p.fetchResumeAt++
+	}
+	p.fusr.ShiftAll(p.cycle)
+}
+
+// ------------------------------------------------------------------ rob --
+
+func (p *Pipeline) robPush(di *dynInst) {
+	p.rob[(p.robHead+p.robCount)%p.cfg.ROBSize] = di
+	p.robCount++
+}
+
+// SetVDD retargets the operating voltage mid-run (closed-loop DVFS): newly
+// fetched instructions see the new fault environment; in-flight work is
+// unaffected.
+func (p *Pipeline) SetVDD(v float64) { p.env.SetVDD(v) }

@@ -1,0 +1,92 @@
+package pipeline
+
+import (
+	"tvsched/internal/isa"
+	"tvsched/internal/mem"
+)
+
+// Stats aggregates everything the experiments and the energy model need.
+type Stats struct {
+	// Progress.
+	Cycles    uint64
+	Committed uint64
+
+	// Activity counters (include squashed/replayed work — energy is spent
+	// whether or not the work commits).
+	Fetched       uint64 // instructions entering the front end, incl. refetch
+	Dispatched    uint64
+	Selected      uint64 // issue-stage grants
+	Broadcasts    uint64 // tag broadcasts
+	ExecByClass   [isa.NumClasses]uint64
+	StoresRetired uint64
+
+	// Control flow.
+	BranchMispredicts uint64
+
+	// Timing-violation accounting.
+	Faults          uint64 // dynamic instances whose ground truth violates
+	FaultsByStage   [isa.NumStages]uint64
+	PredictedFaults uint64 // violations handled via early prediction
+	FalsePositives  uint64 // predicted faulty, did not actually violate
+	Mispredicted    uint64 // violations not predicted -> replay
+	Replays         uint64 // replay recoveries triggered
+	SquashedInsts   uint64 // instructions flushed by replays
+	GlobalStalls    uint64 // EP whole-pipeline stall cycles
+	FrontStalls     uint64 // in-order-engine stall cycles (§2.2)
+	ConfinedEvents  uint64 // VTE confined-handling activations
+	SlotFreezes     uint64 // issue-slot/FUSR freezes applied (§3.2.3)
+	CriticalMarks   uint64 // CDL critical determinations stored in the TEP
+
+	// Occupancy diagnostics (per-cycle sums; divide by Cycles for means).
+	SumIQOcc      uint64
+	SumROBOcc     uint64
+	SumReadyCands uint64
+	SumFrontQ     uint64
+
+	// Dispatch stall cycles by cause.
+	StallROB, StallIQ, StallLSQ, StallPhys uint64
+
+	// Memory system snapshot (filled at the end of Run).
+	L1I, L1D, L2 mem.CacheStats
+}
+
+// MeanIQOcc returns the average issue-queue occupancy.
+func (s *Stats) MeanIQOcc() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.SumIQOcc) / float64(s.Cycles)
+}
+
+// MeanROBOcc returns the average reorder-buffer occupancy.
+func (s *Stats) MeanROBOcc() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.SumROBOcc) / float64(s.Cycles)
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// FaultRate returns dynamic violations per committed instruction (the FR of
+// Table 1, as a fraction).
+func (s *Stats) FaultRate() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Faults) / float64(s.Committed)
+}
+
+// Coverage returns the fraction of violations that were predicted early.
+func (s *Stats) Coverage() float64 {
+	if s.Faults == 0 {
+		return 1
+	}
+	return float64(s.PredictedFaults) / float64(s.Faults)
+}

@@ -1,0 +1,131 @@
+// Package power provides the 45nm-class synthesis model behind the paper's
+// area/power results: per-cell area, leakage and switching energy for the
+// standard cells of internal/circuit, plus SRAM and CAM bit cells for the
+// storage-dominated structures. Table 3's component characteristics are
+// computed directly from the built netlists; Table 2's VTE overheads are
+// computed from a structural inventory of the baseline (Error Padding)
+// scheduler and the logic each proposed scheme adds (§S3).
+package power
+
+import "tvsched/internal/circuit"
+
+// Cell characteristics, 45nm-class. Area in µm², leakage in nW at nominal
+// voltage and temperature, switching energy in fJ per output toggle.
+type Cell struct {
+	Area    float64
+	Leakage float64
+	Energy  float64
+}
+
+// CellFor returns the characteristics of a combinational cell type.
+func CellFor(t circuit.GateType) Cell {
+	switch t {
+	case circuit.Not:
+		return Cell{Area: 0.6, Leakage: 2.0, Energy: 0.6}
+	case circuit.Buf:
+		return Cell{Area: 0.7, Leakage: 2.5, Energy: 0.7}
+	case circuit.Nand, circuit.Nor:
+		return Cell{Area: 0.8, Leakage: 3.0, Energy: 0.9}
+	case circuit.And, circuit.Or:
+		return Cell{Area: 1.1, Leakage: 4.0, Energy: 1.1}
+	case circuit.Xor, circuit.Xnor:
+		return Cell{Area: 1.8, Leakage: 6.0, Energy: 1.6}
+	case circuit.Mux2:
+		return Cell{Area: 1.6, Leakage: 5.0, Energy: 1.4}
+	default:
+		return Cell{Area: 1.0, Leakage: 3.5, Energy: 1.0}
+	}
+}
+
+// Storage bit cells.
+var (
+	// SRAMBit is a 6T SRAM bit with its share of decode/precharge.
+	SRAMBit = Cell{Area: 0.55, Leakage: 5.5, Energy: 0.25}
+	// CAMBit is a ternary match cell: storage plus comparator per search
+	// port; the dominant cost of wakeup and LSQ search structures.
+	CAMBit = Cell{Area: 1.9, Leakage: 7, Energy: 1.1}
+	// FlipFlop is a scan D-flop for pipeline and state registers.
+	FlipFlop = Cell{Area: 2.2, Leakage: 7, Energy: 1.8}
+)
+
+// Budget aggregates area (µm²), leakage power (nW) and dynamic energy per
+// cycle (fJ, at the block's activity) for a structure.
+type Budget struct {
+	Area    float64
+	Leakage float64
+	Dynamic float64
+}
+
+// Add accumulates another budget.
+func (b *Budget) Add(o Budget) {
+	b.Area += o.Area
+	b.Leakage += o.Leakage
+	b.Dynamic += o.Dynamic
+}
+
+// Scale returns the budget scaled by k (e.g. for replicated lanes).
+func (b Budget) Scale(k float64) Budget {
+	return Budget{Area: b.Area * k, Leakage: b.Leakage * k, Dynamic: b.Dynamic * k}
+}
+
+// Gates builds a budget for n cells of type t toggling with the given
+// activity (average output toggles per cycle).
+func Gates(t circuit.GateType, n int, activity float64) Budget {
+	c := CellFor(t)
+	fn := float64(n)
+	return Budget{
+		Area:    c.Area * fn,
+		Leakage: c.Leakage * fn,
+		Dynamic: c.Energy * fn * activity,
+	}
+}
+
+// NetlistBudget prices a whole netlist at a uniform activity factor.
+func NetlistBudget(nl *circuit.Netlist, activity float64) Budget {
+	var b Budget
+	counts := nl.CountByType()
+	for t := circuit.And; t < circuit.NumGateTypes; t++ {
+		b.Add(Gates(t, counts[t], activity))
+	}
+	return b
+}
+
+// RAM prices bits of SRAM with the given read/write activity.
+func RAM(bits int, activity float64) Budget {
+	fb := float64(bits)
+	return Budget{
+		Area:    SRAMBit.Area * fb,
+		Leakage: SRAMBit.Leakage * fb,
+		Dynamic: SRAMBit.Energy * fb * activity,
+	}
+}
+
+// CAM prices search-port bit cells with the given search activity.
+func CAM(bits int, activity float64) Budget {
+	fb := float64(bits)
+	return Budget{
+		Area:    CAMBit.Area * fb,
+		Leakage: CAMBit.Leakage * fb,
+		Dynamic: CAMBit.Energy * fb * activity,
+	}
+}
+
+// EmbeddedField prices extra bits folded into an existing RAM array's rows:
+// they share the row's decoders, wordline drivers and sense amps, so area
+// and leakage run below standalone-array cost.
+func EmbeddedField(bits int, activity float64) Budget {
+	b := RAM(bits, activity)
+	b.Area *= 0.6
+	b.Leakage *= 0.6
+	return b
+}
+
+// Flops prices pipeline/state registers.
+func Flops(n int, activity float64) Budget {
+	fn := float64(n)
+	return Budget{
+		Area:    FlipFlop.Area * fn,
+		Leakage: FlipFlop.Leakage * fn,
+		Dynamic: FlipFlop.Energy * fn * activity,
+	}
+}

@@ -1,0 +1,130 @@
+package power
+
+import (
+	"testing"
+
+	"tvsched/internal/circuit"
+	"tvsched/internal/netlist"
+)
+
+func TestCellsPositive(t *testing.T) {
+	for g := circuit.And; g < circuit.NumGateTypes; g++ {
+		c := CellFor(g)
+		if c.Area <= 0 || c.Leakage <= 0 || c.Energy <= 0 {
+			t.Errorf("cell %v has non-positive characteristics: %+v", g, c)
+		}
+	}
+	for _, c := range []Cell{SRAMBit, CAMBit, FlipFlop} {
+		if c.Area <= 0 || c.Leakage <= 0 || c.Energy <= 0 {
+			t.Errorf("storage cell %+v invalid", c)
+		}
+	}
+}
+
+func TestBudgetArithmetic(t *testing.T) {
+	a := Budget{Area: 1, Leakage: 2, Dynamic: 3}
+	b := Budget{Area: 10, Leakage: 20, Dynamic: 30}
+	a.Add(b)
+	if a != (Budget{Area: 11, Leakage: 22, Dynamic: 33}) {
+		t.Fatalf("Add: %+v", a)
+	}
+	if s := a.Scale(2); s != (Budget{Area: 22, Leakage: 44, Dynamic: 66}) {
+		t.Fatalf("Scale: %+v", s)
+	}
+}
+
+func TestActivityOnlyAffectsDynamic(t *testing.T) {
+	idle := Gates(circuit.And, 100, 0)
+	busy := Gates(circuit.And, 100, 1)
+	if idle.Area != busy.Area || idle.Leakage != busy.Leakage {
+		t.Fatal("activity changed area/leakage")
+	}
+	if idle.Dynamic != 0 || busy.Dynamic <= 0 {
+		t.Fatal("dynamic energy wrong")
+	}
+}
+
+func TestEmbeddedFieldCheaper(t *testing.T) {
+	std := RAM(128, 0.1)
+	emb := EmbeddedField(128, 0.1)
+	if emb.Area >= std.Area || emb.Leakage >= std.Leakage {
+		t.Fatal("embedded field must be cheaper than standalone array")
+	}
+	if emb.Dynamic != std.Dynamic {
+		t.Fatal("embedded field dynamic should match (same bit toggles)")
+	}
+}
+
+func TestNetlistBudgetMatchesCounts(t *testing.T) {
+	nl := netlist.FwdCheck()
+	b := NetlistBudget(nl, 0.5)
+	if b.Area <= 0 {
+		t.Fatal("empty budget for a real netlist")
+	}
+	// Area must equal the sum over types.
+	var want float64
+	counts := nl.CountByType()
+	for g := circuit.And; g < circuit.NumGateTypes; g++ {
+		want += CellFor(g).Area * float64(counts[g])
+	}
+	if b.Area != want {
+		t.Fatalf("area %v != %v", b.Area, want)
+	}
+}
+
+func TestSchedulerShareBands(t *testing.T) {
+	// §S3: the scheduler is 3.9% of core area, 8.9% of dynamic power and
+	// 1.2% of leakage. The structural model must land in those bands.
+	area, dyn, leak := SchedulerShare()
+	if area < 2 || area > 6 {
+		t.Errorf("scheduler area share %.1f%% outside band around 3.9%%", area)
+	}
+	if dyn < 6 || dyn > 14 {
+		t.Errorf("scheduler dynamic share %.1f%% outside band around 8.9%%", dyn)
+	}
+	if leak < 0.6 || leak > 3 {
+		t.Errorf("scheduler leakage share %.1f%% outside band around 1.2%%", leak)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	abs := ComputeOverheads(ABSDelta())
+	ffs := ComputeOverheads(FFSDelta())
+	cds := ComputeOverheads(CDSDelta())
+
+	if abs != ffs {
+		t.Error("ABS and FFS share the same fundamental logic (Table 2)")
+	}
+	// ABS scheduler-level overheads are sub-1.5% everywhere.
+	for _, v := range []float64{abs.SchedArea, abs.SchedDynamic, abs.SchedLeakage} {
+		if v <= 0 || v > 1.5 {
+			t.Errorf("ABS scheduler overhead %v%% out of band", v)
+		}
+	}
+	// CDS costs several times ABS in area/leakage (the CDL), but its
+	// clock-gated dynamic overhead stays low.
+	if cds.SchedArea < 4*abs.SchedArea {
+		t.Errorf("CDS area %v%% not well above ABS %v%%", cds.SchedArea, abs.SchedArea)
+	}
+	if cds.SchedArea < 4 || cds.SchedArea > 10 {
+		t.Errorf("CDS scheduler area %v%% outside band around 6.35%%", cds.SchedArea)
+	}
+	if cds.SchedDynamic > 3 {
+		t.Errorf("CDS dynamic %v%% too high (paper: 1.56%%)", cds.SchedDynamic)
+	}
+	// Core level: everything well below 1% (the paper's headline).
+	for _, v := range []float64{cds.CoreArea, cds.CoreDynamic, cds.CoreLeakage,
+		abs.CoreArea, abs.CoreDynamic, abs.CoreLeakage} {
+		if v <= 0 || v >= 1 {
+			t.Errorf("core-level overhead %v%% not sub-1%%", v)
+		}
+	}
+}
+
+func TestCoreDominatesScheduler(t *testing.T) {
+	sched := BaselineScheduler()
+	core := Core()
+	if core.Area < 10*sched.Area {
+		t.Fatal("core must dwarf the scheduler")
+	}
+}

@@ -1,0 +1,195 @@
+// Package rng provides a small, fast, deterministic random number generator
+// used throughout the simulator. Determinism matters: every experiment in the
+// paper reproduction must produce identical results across runs and machines,
+// so we avoid math/rand's global state and version-dependent algorithms.
+//
+// The core generator is SplitMix64 (Steele, Lea, Flood; JPDC 2014), which has
+// a 64-bit state, passes BigCrush when used as described, and — crucially for
+// us — supports cheap stateless "hash-like" evaluation: Derive builds an
+// independent stream from a seed and a key, which the fault model uses to
+// assign stable per-(PC,stage) path delays.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random source with SplitMix64 state.
+// The zero value is a valid source seeded with 0.
+type Source struct {
+	state uint64
+	// spare holds a cached second Gaussian variate from Box-Muller.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Derive returns a new Source whose stream is a deterministic function of the
+// parent seed and key, statistically independent of the parent stream.
+func (s *Source) Derive(key uint64) *Source {
+	return New(Mix(s.state ^ Mix(key)))
+}
+
+// Seed resets the source to the given seed and discards any cached state.
+func (s *Source) Seed(seed uint64) {
+	s.state = seed
+	s.hasSpare = false
+}
+
+// Mix is the SplitMix64 finalizer: a bijective 64-bit mixing function. It is
+// exported so callers can build stable hashes of composite keys, e.g.
+// Mix(pc)^Mix(stage), without constructing a Source.
+func Mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next value in the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (s *Source) Uint32() uint32 { return uint32(s.Uint64() >> 32) }
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, 64-bit variant.
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n). It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Rejection sampling on the high bits to avoid modulo bias.
+	threshold := -n % n
+	for {
+		v := s.Uint64()
+		if v >= threshold {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Norm returns a standard normal variate (mean 0, stddev 1) via Box-Muller.
+func (s *Source) Norm() float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return s.spare
+	}
+	for {
+		u := s.Float64()
+		if u == 0 {
+			continue
+		}
+		v := s.Float64()
+		r := math.Sqrt(-2 * math.Log(u))
+		theta := 2 * math.Pi * v
+		s.spare = r * math.Sin(theta)
+		s.hasSpare = true
+		return r * math.Cos(theta)
+	}
+}
+
+// Gaussian returns a normal variate with the given mean and stddev.
+func (s *Source) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*s.Norm()
+}
+
+// TruncGaussian returns a normal variate truncated to [lo, hi] by rejection;
+// after 64 rejected draws it clamps, which keeps pathological parameters from
+// hanging the simulator.
+func (s *Source) TruncGaussian(mean, stddev, lo, hi float64) float64 {
+	for i := 0; i < 64; i++ {
+		v := s.Gaussian(mean, stddev)
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	return math.Min(hi, math.Max(lo, mean))
+}
+
+// Geometric returns a geometric variate with success probability p: the
+// number of failures before the first success, in {0, 1, 2, ...}.
+func (s *Source) Geometric(p float64) int {
+	if p <= 0 {
+		return 1 << 20 // effectively infinite but bounded
+	}
+	if p >= 1 {
+		return 0
+	}
+	u := s.Float64()
+	if u == 0 {
+		return 0
+	}
+	return int(math.Log(1-u) / math.Log(1-p))
+}
+
+// Exp returns an exponential variate with the given mean.
+func (s *Source) Exp(mean float64) float64 {
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Zipf returns a value in [0, n) following an approximate Zipf distribution
+// with exponent theta (0 < theta): low indices are much more likely. This is
+// the classic inverse-CDF approximation used by YCSB-style generators; it is
+// used to model instruction working-set skew (hot loops vs cold code).
+func (s *Source) Zipf(n int, theta float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse transform on the continuous approximation of the Zipf CDF.
+	u := s.Float64()
+	if theta == 1 {
+		theta = 1.0001 // avoid the harmonic singularity
+	}
+	oneMinus := 1 - theta
+	zeta := (math.Pow(float64(n), oneMinus) - 1) / oneMinus
+	x := math.Pow(u*zeta*oneMinus+1, 1/oneMinus) - 1
+	idx := int(x)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// Perm fills out with a random permutation of [0, len(out)).
+func (s *Source) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}

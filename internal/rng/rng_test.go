@@ -1,0 +1,265 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Derive(1)
+	c2 := parent.Derive(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("derived streams with different keys coincide")
+	}
+	// Deriving the same key twice must give the same stream.
+	d1 := parent.Derive(9)
+	d2 := parent.Derive(9)
+	for i := 0; i < 100; i++ {
+		if d1.Uint64() != d2.Uint64() {
+			t.Fatal("Derive is not deterministic")
+		}
+	}
+}
+
+func TestMixBijectiveSample(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix collision: Mix(%d) == Mix(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(4)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		counts[s.Intn(7)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn(7) bucket %d count %d far from uniform", i, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(5)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("Norm mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("Norm variance %v too far from 1", variance)
+	}
+}
+
+func TestGaussianScaling(t *testing.T) {
+	s := New(6)
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Gaussian(10, 2)
+	}
+	if mean := sum / float64(n); math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Gaussian(10,2) mean %v", mean)
+	}
+}
+
+func TestTruncGaussianBounds(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		v := s.TruncGaussian(0, 5, -1, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("TruncGaussian escaped bounds: %v", v)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(8)
+	p := 0.25
+	n := 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.Geometric(p)
+	}
+	mean := float64(sum) / float64(n)
+	want := (1 - p) / p // 3.0
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric(%v) mean %v, want ~%v", p, mean, want)
+	}
+}
+
+func TestGeometricEdges(t *testing.T) {
+	s := New(9)
+	if v := s.Geometric(1); v != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", v)
+	}
+	if v := s.Geometric(0); v <= 0 {
+		t.Fatalf("Geometric(0) = %d, want large positive", v)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := New(10)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[s.Zipf(100, 0.9)]++
+	}
+	if counts[0] < counts[50] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 100000 {
+		t.Fatalf("Zipf lost samples: %d", total)
+	}
+}
+
+func TestZipfSmallN(t *testing.T) {
+	s := New(11)
+	if v := s.Zipf(1, 0.9); v != 0 {
+		t.Fatalf("Zipf(1) = %d", v)
+	}
+	if v := s.Zipf(0, 0.9); v != 0 {
+		t.Fatalf("Zipf(0) = %d", v)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(12)
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += s.Exp(4)
+	}
+	if mean := sum / float64(n); math.Abs(mean-4) > 0.1 {
+		t.Fatalf("Exp(4) mean %v", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(13)
+	out := make([]int, 32)
+	s.Perm(out)
+	seen := make(map[int]bool)
+	for _, v := range out {
+		if v < 0 || v >= len(out) || seen[v] {
+			t.Fatalf("not a permutation: %v", out)
+		}
+		seen[v] = true
+	}
+}
+
+// Property: Uint64n(n) is always < n for any nonzero n.
+func TestUint64nProperty(t *testing.T) {
+	s := New(14)
+	f := func(n uint64, _ uint8) bool {
+		if n == 0 {
+			n = 1
+		}
+		return s.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mix is a function (same input, same output) and differs for
+// consecutive inputs.
+func TestMixProperty(t *testing.T) {
+	f := func(z uint64) bool {
+		return Mix(z) == Mix(z) && Mix(z) != Mix(z+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Derive with the same key from the same parent state agrees.
+func TestDeriveProperty(t *testing.T) {
+	f := func(seed, key uint64) bool {
+		a := New(seed).Derive(key)
+		b := New(seed).Derive(key)
+		return a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNorm(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Norm()
+	}
+	_ = sink
+}

@@ -1,0 +1,390 @@
+// Package sensitize reproduces the supplemental cross-layer study of §S1:
+// the commonality of sensitized logic paths across dynamic instances of a
+// static instruction. For each static PC we generate the input vectors its
+// dynamic instances apply to a synthesized component (together with the
+// preceding instruction's vector, which sets the internal logic state), run
+// gate-level simulation, and record the set of gates that change state. With
+// φ the gates toggling in every instance and ψ the gates toggling in at
+// least one, the commonality is |φ|/|ψ| (§S1.2); Figure 7 reports the
+// frequency-weighted average per benchmark and component.
+package sensitize
+
+import (
+	"math"
+
+	"tvsched/internal/circuit"
+	"tvsched/internal/netlist"
+	"tvsched/internal/rng"
+)
+
+// Component selects one of the four studied blocks.
+type Component int
+
+const (
+	CompIQSelect Component = iota
+	CompAGEN
+	CompFwdCheck
+	CompALU
+	NumComponents
+)
+
+// String names the component as in Figure 7.
+func (c Component) String() string {
+	switch c {
+	case CompIQSelect:
+		return "IssueQSelect"
+	case CompAGEN:
+		return "AGen"
+	case CompFwdCheck:
+		return "ForwardCheck"
+	case CompALU:
+		return "ALU"
+	default:
+		return "component?"
+	}
+}
+
+// Netlist returns the component's gate-level implementation.
+func (c Component) Netlist() *circuit.Netlist {
+	switch c {
+	case CompIQSelect:
+		return netlist.IQSelect()
+	case CompAGEN:
+		return netlist.AGEN()
+	case CompFwdCheck:
+		return netlist.FwdCheck()
+	default:
+		return netlist.ALU32()
+	}
+}
+
+// Profile models one SPEC2000 integer benchmark's operand behaviour — the
+// input-value locality that drives sensitized-path commonality. VarBits is
+// how many low operand bits differ across dynamic instances of the same
+// static instruction (loop indices and striding addresses change only low
+// bits); FlipP is the probability that a context bit (an unrelated operand
+// bit, an issue-queue occupancy bit, a bypass tag bit) differs between
+// instances.
+type Profile struct {
+	Name    string
+	VarBits int
+	FlipP   float64
+}
+
+// SPEC2000 returns the six benchmarks of Figure 7. vortex operates on a
+// small range of input values (§S1.3) and shows the highest commonality.
+func SPEC2000() []Profile {
+	return []Profile{
+		{Name: "bzip", VarBits: 5, FlipP: 0.016},
+		{Name: "gap", VarBits: 4, FlipP: 0.013},
+		{Name: "gzip", VarBits: 4, FlipP: 0.014},
+		{Name: "mcf", VarBits: 6, FlipP: 0.019},
+		{Name: "parser", VarBits: 6, FlipP: 0.018},
+		{Name: "vortex", VarBits: 2, FlipP: 0.009},
+	}
+}
+
+// ProfileByName looks up a SPEC2000 profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range SPEC2000() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// pcTemplate is the fixed part of a static instruction's component inputs.
+// Dynamic instances vary arithmetically — loop indices increment, addresses
+// stride — so consecutive instances of a PC apply near-identical input
+// transitions, which is precisely the §S1.1 mechanism behind path
+// commonality.
+type pcTemplate struct {
+	comp Component
+	// ALU / AGEN operand fields.
+	opA, opB     uint32
+	strideA      uint32
+	prevA, prevB uint32
+	prevStride   uint32
+	op           int
+	// IQSelect request vectors.
+	reqBase  uint32
+	volatile uint32 // request lines that flicker with occupancy
+	prevReq  uint32
+	// FwdCheck tag fields.
+	resTags  [4]uint8
+	srcTags  [8]uint8
+	valid    uint8
+	tagPool  uint8 // size of the physical-register pool tags rotate through
+	prevTags [4]uint8
+}
+
+// buildTemplate creates a static instruction's input structure. The
+// profile's VarBits bounds the stride magnitude (how many low bits dynamic
+// instances exercise); FlipP sets how often unrelated context bits differ.
+func buildTemplate(c Component, nl *circuit.Netlist, prof Profile, src *rng.Source) pcTemplate {
+	t := pcTemplate{comp: c}
+	switch c {
+	case CompALU:
+		t.opA = src.Uint32()
+		t.opB = src.Uint32()
+		t.strideA = 1 << src.Intn(prof.VarBits)
+		t.prevA = src.Uint32()
+		t.prevB = src.Uint32()
+		t.prevStride = 1 << src.Intn(prof.VarBits)
+		t.op = src.Intn(8)
+	case CompAGEN:
+		t.opA = src.Uint32() &^ 0x7       // base address, aligned
+		t.opB = uint32(src.Intn(1 << 14)) // immediate offset
+		t.strideA = uint32((1 << src.Intn(prof.VarBits)) * 4)
+		t.prevA = src.Uint32() &^ 0x7
+		t.prevB = uint32(src.Intn(1 << 14))
+		t.prevStride = uint32((1 << src.Intn(prof.VarBits)) * 4)
+	case CompIQSelect:
+		// Only a handful of issue-queue entries are operand-ready in a
+		// cycle (the pipeline measures ~2-8 of 32), so the request vector
+		// is sparse and most of the token window survives the ripple.
+		for b := 0; b < 32; b++ {
+			if src.Bool(0.15) {
+				t.reqBase |= 1 << b
+			}
+		}
+		// The canonical cycle-to-cycle change: one entry's ready bit flips.
+		flip := src.Intn(28)
+		t.prevReq = t.reqBase ^ (1 << flip)
+		// Occupancy flicker clusters around the same loop's queue slots, so
+		// deviating instances sensitize cones that overlap the canonical one.
+		for i := 0; i < 2; i++ {
+			t.volatile |= 1 << (flip + 1 + src.Intn(3))
+		}
+	case CompFwdCheck:
+		t.tagPool = uint8(2 + prof.VarBits)
+		base := uint8(src.Intn(96 - int(t.tagPool)))
+		for r := 0; r < 4; r++ {
+			t.resTags[r] = base + uint8(src.Intn(int(t.tagPool)))
+			t.prevTags[r] = base + uint8(src.Intn(int(t.tagPool)))
+		}
+		for sIdx := 0; sIdx < 8; sIdx++ {
+			t.srcTags[sIdx] = base + uint8(src.Intn(int(t.tagPool)))
+		}
+		t.valid = uint8(src.Intn(16))
+	}
+	return t
+}
+
+func put32(out []bool, at int, v uint32) {
+	for i := 0; i < 32; i++ {
+		out[at+i] = v&(1<<i) != 0
+	}
+}
+
+func putN(out []bool, at, n int, v uint64) {
+	for i := 0; i < n; i++ {
+		out[at+i] = v&(1<<i) != 0
+	}
+}
+
+// instanceInputs materializes the (previous, current) input vectors of
+// dynamic instance k.
+func (t *pcTemplate) instanceInputs(k int, nl *circuit.Netlist, prof Profile, src *rng.Source, prev, cur []bool) ([]bool, []bool) {
+	n := nl.NumInputs
+	if cap(prev) < n {
+		prev = make([]bool, n)
+		cur = make([]bool, n)
+	}
+	prev, cur = prev[:n], cur[:n]
+	_ = k
+	// Dynamic operand values cluster strongly (value locality): most
+	// instances repeat the canonical input transition exactly; a minority
+	// deviate by a small stride in the low bits. pDev and the deviation
+	// magnitude carry the per-benchmark input-range differences of §S1.3.
+	pDev := 2.5 * prof.FlipP * float64(prof.VarBits) / 4
+	// Per-component sensitivity: what one deviated instance does to the
+	// toggle set differs by structure (a flipped request line re-routes the
+	// whole token ripple; an ALU operand delta only perturbs a carry cone).
+	switch t.comp {
+	case CompIQSelect:
+		pDev *= 0.18
+	case CompAGEN:
+		pDev *= 0.45
+	case CompFwdCheck:
+		pDev *= 0.60
+	}
+	devA := uint32(0)
+	devP := uint32(0)
+	if src.Bool(pDev) {
+		// The loop stride advances producer and consumer values together,
+		// so the input *transition* — and hence the sensitized path — is
+		// largely preserved; only the low-order carry cone differs.
+		m := uint32(1 << src.Intn(2))
+		devA = m * t.strideA
+		devP = m * t.prevStride
+	}
+	if src.Bool(pDev / 3) {
+		devA += t.strideA // occasional uncorrelated slip
+	}
+	switch t.comp {
+	case CompALU:
+		put32(cur, 0, t.opA+devA)
+		put32(cur, 32, t.opB)
+		putN(cur, 64, 3, uint64(t.op))
+		cur[67] = t.op == 7
+		put32(prev, 0, t.prevA+devP)
+		put32(prev, 32, t.prevB)
+		putN(prev, 64, 3, uint64(t.op))
+		prev[67] = t.op == 7
+	case CompAGEN:
+		put32(cur, 0, t.opA+devA)
+		putN(cur, 32, 16, uint64(t.opB))
+		put32(prev, 0, t.prevA+devP)
+		putN(prev, 32, 16, uint64(t.prevB))
+	case CompIQSelect:
+		req := t.reqBase
+		preq := t.prevReq
+		if src.Bool(pDev) {
+			// One volatile request line differs with queue occupancy.
+			bits := []uint32{}
+			for b := uint32(0); b < 32; b++ {
+				if t.volatile&(1<<b) != 0 {
+					bits = append(bits, b)
+				}
+			}
+			req ^= 1 << bits[src.Intn(len(bits))]
+		}
+		put32(cur, 0, req)
+		put32(prev, 0, preq)
+	case CompFwdCheck:
+		idx := 0
+		write := func(out []bool, tags [4]uint8) {
+			at := 0
+			for r := 0; r < 4; r++ {
+				putN(out, at, 7, uint64(tags[r]))
+				at += 7
+			}
+			for r := 0; r < 4; r++ {
+				out[at] = t.valid&(1<<r) != 0
+				at++
+			}
+			for s := 0; s < 8; s++ {
+				putN(out, at, 7, uint64(t.srcTags[s]))
+				at += 7
+			}
+		}
+		curTags := t.resTags
+		// Renaming occasionally rotates a tag within the small pool.
+		if src.Bool(pDev / 2) {
+			r := src.Intn(4)
+			curTags[r] = t.resTags[r] + 1
+		}
+		write(cur, curTags)
+		write(prev, t.prevTags)
+		_ = idx
+	}
+	return prev, cur
+}
+
+// Result is the commonality of one (benchmark, component) cell of Figure 7.
+type Result struct {
+	Benchmark   string
+	Component   Component
+	Commonality float64 // |φ|/|ψ|, frequency-weighted over static PCs
+	StaticPCs   int
+	Instances   int
+}
+
+// Options sizes the study.
+type Options struct {
+	StaticPCs int // distinct static instructions exercised per component
+	Instances int // dynamic instances per static instruction
+	Seed      uint64
+}
+
+// DefaultOptions matches the scale that stabilizes the averages.
+func DefaultOptions() Options { return Options{StaticPCs: 64, Instances: 24, Seed: 1} }
+
+// Measure computes the sensitized-path commonality of one benchmark on one
+// component.
+func Measure(c Component, prof Profile, opt Options) Result {
+	nl := c.Netlist()
+	src := rng.New(rng.Mix(opt.Seed ^ rng.Mix(uint64(c)<<8)))
+	for _, ch := range prof.Name {
+		src = src.Derive(uint64(ch))
+	}
+	stPrev := nl.NewState()
+	stCur := nl.NewState()
+	phi := make([]bool, nl.NumGates())
+	psi := make([]bool, nl.NumGates())
+	toggled := make([]bool, nl.NumGates())
+	var scratch []int
+	var wSum, cwSum float64
+
+	for pc := 0; pc < opt.StaticPCs; pc++ {
+		tmpl := buildTemplate(c, nl, prof, src)
+		for i := range phi {
+			phi[i] = true
+			psi[i] = false
+		}
+		sawAny := false
+		var prevIn, curIn []bool
+		for k := 0; k < opt.Instances; k++ {
+			prevIn, curIn = tmpl.instanceInputs(k, nl, prof, src, prevIn, curIn)
+			nl.Eval(prevIn, stPrev)
+			nl.Eval(curIn, stCur)
+			scratch = nl.Toggles(stPrev, stCur, scratch[:0])
+			for i := range toggled {
+				toggled[i] = false
+			}
+			for _, g := range scratch {
+				toggled[g] = true
+				psi[g] = true
+			}
+			for i := range phi {
+				phi[i] = phi[i] && toggled[i]
+			}
+			sawAny = sawAny || len(scratch) > 0
+		}
+		if !sawAny {
+			continue
+		}
+		nPhi, nPsi := 0, 0
+		for i := range phi {
+			if psi[i] {
+				nPsi++
+				if phi[i] {
+					nPhi++
+				}
+			}
+		}
+		if nPsi == 0 {
+			continue
+		}
+		// Frequency weight: hot instructions dominate the weighted average
+		// (§S1.3); sub-linear Zipf-like weights by PC rank.
+		w := 1.0 / math.Sqrt(float64(pc+1))
+		wSum += w
+		cwSum += w * float64(nPhi) / float64(nPsi)
+	}
+	res := Result{Benchmark: prof.Name, Component: c,
+		StaticPCs: opt.StaticPCs, Instances: opt.Instances}
+	if wSum > 0 {
+		res.Commonality = cwSum / wSum
+	}
+	return res
+}
+
+// MeasureAll runs the full Figure 7 grid: every SPEC2000 benchmark on every
+// component, plus per-component averages.
+func MeasureAll(opt Options) ([]Result, map[Component]float64) {
+	var out []Result
+	avg := make(map[Component]float64)
+	for c := CompIQSelect; c < NumComponents; c++ {
+		sum := 0.0
+		for _, prof := range SPEC2000() {
+			r := Measure(c, prof, opt)
+			out = append(out, r)
+			sum += r.Commonality
+		}
+		avg[c] = sum / float64(len(SPEC2000()))
+	}
+	return out, avg
+}

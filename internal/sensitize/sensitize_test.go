@@ -1,0 +1,125 @@
+package sensitize
+
+import (
+	"testing"
+)
+
+func TestComponentNames(t *testing.T) {
+	want := map[Component]string{
+		CompIQSelect: "IssueQSelect", CompAGEN: "AGen",
+		CompFwdCheck: "ForwardCheck", CompALU: "ALU",
+	}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestNetlistsResolve(t *testing.T) {
+	for c := CompIQSelect; c < NumComponents; c++ {
+		nl := c.Netlist()
+		if nl == nil || nl.NumGates() == 0 {
+			t.Fatalf("component %v has no netlist", c)
+		}
+	}
+}
+
+func TestSixBenchmarks(t *testing.T) {
+	ps := SPEC2000()
+	if len(ps) != 6 {
+		t.Fatalf("Figure 7 has 6 benchmarks, got %d", len(ps))
+	}
+	want := []string{"bzip", "gap", "gzip", "mcf", "parser", "vortex"}
+	for i, p := range ps {
+		if p.Name != want[i] {
+			t.Errorf("benchmark %d = %s, want %s", i, p.Name, want[i])
+		}
+	}
+	if _, ok := ProfileByName("vortex"); !ok {
+		t.Error("vortex lookup failed")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("bogus profile found")
+	}
+}
+
+func TestZeroVariationPerfectCommonality(t *testing.T) {
+	// With no input variation across instances, every instance sensitizes
+	// exactly the same paths: |φ|/|ψ| == 1.
+	zero := Profile{Name: "zero", VarBits: 2, FlipP: 0}
+	opt := Options{StaticPCs: 8, Instances: 8, Seed: 3}
+	for c := CompIQSelect; c < NumComponents; c++ {
+		r := Measure(c, zero, opt)
+		if r.Commonality != 1.0 {
+			t.Errorf("%v: zero-variation commonality %v", c, r.Commonality)
+		}
+	}
+}
+
+func TestMoreVariationLowersCommonality(t *testing.T) {
+	low := Profile{Name: "low", VarBits: 2, FlipP: 0.005}
+	high := Profile{Name: "high", VarBits: 6, FlipP: 0.08}
+	opt := Options{StaticPCs: 24, Instances: 16, Seed: 5}
+	for c := CompIQSelect; c < NumComponents; c++ {
+		cl := Measure(c, low, opt).Commonality
+		ch := Measure(c, high, opt).Commonality
+		if ch >= cl {
+			t.Errorf("%v: variation did not lower commonality (%v vs %v)", c, ch, cl)
+		}
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	prof, _ := ProfileByName("bzip")
+	opt := Options{StaticPCs: 8, Instances: 8, Seed: 11}
+	a := Measure(CompALU, prof, opt)
+	b := Measure(CompALU, prof, opt)
+	if a != b {
+		t.Fatal("Measure not deterministic")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	// The §S1.3 findings: high commonality (most cells above 0.75, averages
+	// in the high 80s), with vortex the standout (§S1.3 calls out its small
+	// input value range).
+	if testing.Short() {
+		t.Skip("gate-level study is slow in -short mode")
+	}
+	results, avg := MeasureAll(DefaultOptions())
+	if len(results) != 6*int(NumComponents) {
+		t.Fatalf("grid size %d", len(results))
+	}
+	for c := CompIQSelect; c < NumComponents; c++ {
+		if avg[c] < 0.80 || avg[c] > 0.98 {
+			t.Errorf("%v average commonality %v outside the paper's band", c, avg[c])
+		}
+	}
+	// vortex tops every component.
+	for c := CompIQSelect; c < NumComponents; c++ {
+		var vortex, best float64
+		for _, r := range results {
+			if r.Component != c {
+				continue
+			}
+			if r.Benchmark == "vortex" {
+				vortex = r.Commonality
+			}
+			if r.Commonality > best {
+				best = r.Commonality
+			}
+		}
+		if vortex < best-1e-9 {
+			t.Errorf("%v: vortex %v is not the most common (best %v)", c, vortex, best)
+		}
+	}
+}
+
+func BenchmarkMeasureALU(b *testing.B) {
+	prof, _ := ProfileByName("bzip")
+	opt := Options{StaticPCs: 4, Instances: 8, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		Measure(CompALU, prof, opt)
+	}
+}

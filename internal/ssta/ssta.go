@@ -1,0 +1,221 @@
+// Package ssta is the statistical static timing analysis substrate of §4.3:
+// the paper uses an in-house tool with SPICE-characterized gate delay
+// distributions, modeling process variation as Gaussian deviations of
+// transistor length, width and oxide thickness (±20% around nominal). We
+// reproduce that structure analytically: every gate gets a nominal delay by
+// cell type, scaled by a per-gate process-variation factor derived from
+// sampled L/W/tox deviations and by the alpha-power-law supply-voltage
+// factor. Monte-Carlo sampling over process corners yields the distribution
+// of the circuit's critical-path delay; the paper's violation criterion is
+// µ+2σ of the (sensitized) delay against the cycle time.
+package ssta
+
+import (
+	"math"
+
+	"tvsched/internal/circuit"
+	"tvsched/internal/fault"
+	"tvsched/internal/rng"
+)
+
+// NominalDelay returns the unit delay of a cell type in FO4-normalized
+// units (45nm-class relative cell delays).
+func NominalDelay(t circuit.GateType) float64 {
+	switch t {
+	case circuit.Not, circuit.Buf:
+		return 0.7
+	case circuit.Nand, circuit.Nor:
+		return 1.0
+	case circuit.And, circuit.Or:
+		return 1.3 // NAND/NOR + inverter
+	case circuit.Xor, circuit.Xnor:
+		return 1.8
+	case circuit.Mux2:
+		return 1.6
+	default:
+		return 1.0
+	}
+}
+
+// Variation describes the Gaussian process variation of §4.3: transistor
+// length, width and oxide thickness deviate around nominal; the paper
+// assumes ±20% deviation, which we treat as the 3σ excursion.
+type Variation struct {
+	SigmaL, SigmaW, SigmaTox float64
+}
+
+// DefaultVariation returns the ±20% (3σ) assumption of §4.3.
+func DefaultVariation() Variation {
+	s := 0.20 / 3
+	return Variation{SigmaL: s, SigmaW: s, SigmaTox: s}
+}
+
+// gateFactor converts sampled parameter deviations into a delay multiplier:
+// delay grows with channel length and oxide thickness and shrinks with
+// width (first-order alpha-power model).
+func gateFactor(zl, zw, zt float64, v Variation) float64 {
+	f := (1 + v.SigmaL*zl) * (1 + v.SigmaTox*zt) / (1 + v.SigmaW*zw)
+	if f < 0.5 {
+		f = 0.5
+	}
+	return f
+}
+
+// Result summarizes a Monte-Carlo timing run.
+type Result struct {
+	Mean   float64
+	Sigma  float64
+	Min    float64
+	Max    float64
+	Trials int
+}
+
+// MuPlus2Sigma is the paper's 95%-confidence delay (§4.3).
+func (r *Result) MuPlus2Sigma() float64 { return r.Mean + 2*r.Sigma }
+
+// Analyze runs trials Monte-Carlo samples of the critical-path delay of nl
+// at supply voltage vdd, with per-gate process variation v.
+func Analyze(nl *circuit.Netlist, v Variation, vdd float64, trials int, seed uint64) Result {
+	src := rng.New(rng.Mix(seed ^ 0x55a))
+	scale := fault.DelayScale(vdd)
+	res := Result{Min: math.Inf(1), Max: math.Inf(-1), Trials: trials}
+	arrive := make([]float64, nl.NumNodes())
+	var sum, sumSq float64
+	for t := 0; t < trials; t++ {
+		crit := criticalDelay(nl, v, scale, src, arrive, nil)
+		sum += crit
+		sumSq += crit * crit
+		if crit < res.Min {
+			res.Min = crit
+		}
+		if crit > res.Max {
+			res.Max = crit
+		}
+	}
+	res.Mean = sum / float64(trials)
+	variance := sumSq/float64(trials) - res.Mean*res.Mean
+	if variance > 0 {
+		res.Sigma = math.Sqrt(variance)
+	}
+	return res
+}
+
+// AnalyzeSensitized runs Monte-Carlo timing restricted to a sensitized gate
+// subset (the gates toggled by a particular dynamic instance, §S1): only
+// toggled gates contribute delay, giving the per-instance sensitized path
+// delay whose µ+2σ the fault criterion tests.
+func AnalyzeSensitized(nl *circuit.Netlist, sensitized []bool, v Variation, vdd float64, trials int, seed uint64) Result {
+	src := rng.New(rng.Mix(seed ^ 0x5e5))
+	scale := fault.DelayScale(vdd)
+	res := Result{Min: math.Inf(1), Max: math.Inf(-1), Trials: trials}
+	arrive := make([]float64, nl.NumNodes())
+	var sum, sumSq float64
+	for t := 0; t < trials; t++ {
+		crit := criticalDelay(nl, v, scale, src, arrive, sensitized)
+		sum += crit
+		sumSq += crit * crit
+		if crit < res.Min {
+			res.Min = crit
+		}
+		if crit > res.Max {
+			res.Max = crit
+		}
+	}
+	res.Mean = sum / float64(trials)
+	variance := sumSq/float64(trials) - res.Mean*res.Mean
+	if variance > 0 {
+		res.Sigma = math.Sqrt(variance)
+	}
+	return res
+}
+
+// criticalDelay computes one Monte-Carlo sample of the longest path through
+// nl. If sensitized is non-nil, only gates marked true propagate and accrue
+// delay (untoggled gates hold their value and sensitize no path).
+func criticalDelay(nl *circuit.Netlist, v Variation, scale float64, src *rng.Source, arrive []float64, sensitized []bool) float64 {
+	for i := 0; i < nl.NumInputs; i++ {
+		arrive[i] = 0
+	}
+	crit := 0.0
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		id := nl.NumInputs + i
+		if sensitized != nil && !sensitized[i] {
+			arrive[id] = 0
+			continue
+		}
+		in := 0.0
+		for _, p := range g.In {
+			if arrive[p] > in {
+				in = arrive[p]
+			}
+		}
+		d := NominalDelay(g.Type) * gateFactor(src.Norm(), src.Norm(), src.Norm(), v) * scale
+		arrive[id] = in + d
+		if arrive[id] > crit {
+			crit = arrive[id]
+		}
+	}
+	return crit
+}
+
+// NominalCritical returns the zero-variation critical delay at nominal
+// voltage — the number a cycle-time budget would be set against.
+func NominalCritical(nl *circuit.Netlist) float64 {
+	arrive := make([]float64, nl.NumNodes())
+	crit := 0.0
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		id := nl.NumInputs + i
+		in := 0.0
+		for _, p := range g.In {
+			if arrive[p] > in {
+				in = arrive[p]
+			}
+		}
+		arrive[id] = in + NominalDelay(g.Type)
+		if arrive[id] > crit {
+			crit = arrive[id]
+		}
+	}
+	return crit
+}
+
+// VMin finds the minimum supply voltage at which the circuit still meets the
+// cycle budget tclk under the paper's µ+2σ criterion: the largest-delay
+// corner of the search is evaluated by Monte-Carlo at each probe. The search
+// is a bisection over [0.7, 1.3] V to within 1 mV. This is the circuit-level
+// anchor behind the fault model's voltage calibration: a stage whose
+// nominal-voltage µ+2σ sits at fraction m of the cycle first violates at the
+// voltage where DelayScale crosses 1/m.
+func VMin(nl *circuit.Netlist, v Variation, tclk float64, trials int, seed uint64) float64 {
+	meets := func(vdd float64) bool {
+		r := Analyze(nl, v, vdd, trials, seed)
+		return r.MuPlus2Sigma() <= tclk
+	}
+	lo, hi := 0.70, 1.30
+	if !meets(hi) {
+		return hi // budget unmeetable even at the top of the range
+	}
+	if meets(lo) {
+		return lo
+	}
+	for hi-lo > 0.001 {
+		mid := (lo + hi) / 2
+		if meets(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// CycleBudget returns a cycle time that gives the circuit the target margin
+// at the nominal supply: tclk = (µ+2σ at 1.10 V) / margin. A margin of 0.95
+// means the critical sensitized path consumes 95% of the cycle at nominal —
+// the regime the paper's tighter operating points live in.
+func CycleBudget(nl *circuit.Netlist, v Variation, margin float64, trials int, seed uint64) float64 {
+	r := Analyze(nl, v, fault.VNominal, trials, seed)
+	return r.MuPlus2Sigma() / margin
+}

@@ -1,0 +1,152 @@
+package ssta
+
+import (
+	"math"
+	"testing"
+
+	"tvsched/internal/circuit"
+	"tvsched/internal/fault"
+	"tvsched/internal/netlist"
+)
+
+func chainNet(n int) *circuit.Netlist {
+	b := circuit.NewBuilder("chain", 1)
+	node := b.Input(0)
+	for i := 0; i < n; i++ {
+		node = b.Not(node)
+	}
+	b.Output(node)
+	return b.MustBuild()
+}
+
+func TestNominalCriticalChain(t *testing.T) {
+	nl := chainNet(10)
+	want := 10 * NominalDelay(circuit.Not)
+	if got := NominalCritical(nl); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("chain critical %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzeMeanNearNominal(t *testing.T) {
+	nl := chainNet(50)
+	r := Analyze(nl, DefaultVariation(), fault.VNominal, 2000, 1)
+	nom := NominalCritical(nl)
+	if r.Mean < nom*0.95 || r.Mean > nom*1.10 {
+		t.Fatalf("MC mean %v far from nominal %v", r.Mean, nom)
+	}
+	if r.Sigma <= 0 {
+		t.Fatal("no variation observed")
+	}
+	if r.Min >= r.Max {
+		t.Fatal("degenerate min/max")
+	}
+	if r.MuPlus2Sigma() <= r.Mean {
+		t.Fatal("mu+2sigma must exceed mean")
+	}
+}
+
+func TestVoltageScalesDelay(t *testing.T) {
+	nl := chainNet(20)
+	hi := Analyze(nl, DefaultVariation(), fault.VNominal, 500, 2)
+	lo := Analyze(nl, DefaultVariation(), fault.VHighFault, 500, 2)
+	ratio := lo.Mean / hi.Mean
+	want := fault.DelayScale(fault.VHighFault)
+	if ratio < want*0.98 || ratio > want*1.02 {
+		t.Fatalf("voltage stretch %v, want ~%v", ratio, want)
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	nl := chainNet(20)
+	a := Analyze(nl, DefaultVariation(), fault.VNominal, 200, 7)
+	b := Analyze(nl, DefaultVariation(), fault.VNominal, 200, 7)
+	if a != b {
+		t.Fatal("Monte-Carlo not deterministic for fixed seed")
+	}
+}
+
+func TestSensitizedSubsetShorter(t *testing.T) {
+	// Sensitizing only a prefix of the chain must yield a shorter critical
+	// delay than the full circuit.
+	nl := chainNet(40)
+	sens := make([]bool, nl.NumGates())
+	for i := 0; i < 10; i++ {
+		sens[i] = true
+	}
+	full := Analyze(nl, DefaultVariation(), fault.VNominal, 300, 3)
+	part := AnalyzeSensitized(nl, sens, DefaultVariation(), fault.VNominal, 300, 3)
+	if part.Mean >= full.Mean*0.5 {
+		t.Fatalf("10/40 sensitized mean %v not well below full %v", part.Mean, full.Mean)
+	}
+}
+
+func TestSensitizedAllEqualsFull(t *testing.T) {
+	nl := chainNet(15)
+	sens := make([]bool, nl.NumGates())
+	for i := range sens {
+		sens[i] = true
+	}
+	full := Analyze(nl, DefaultVariation(), fault.VNominal, 300, 9)
+	all := AnalyzeSensitized(nl, sens, DefaultVariation(), fault.VNominal, 300, 9)
+	// Different RNG salt streams, so compare distributions loosely.
+	if all.Mean < full.Mean*0.95 || all.Mean > full.Mean*1.05 {
+		t.Fatalf("fully-sensitized mean %v vs full %v", all.Mean, full.Mean)
+	}
+}
+
+func TestComponentTimingOrdering(t *testing.T) {
+	// Deeper components must show larger critical delays.
+	alu := NominalCritical(netlist.ALU32())
+	fwd := NominalCritical(netlist.FwdCheck())
+	sel := NominalCritical(netlist.IQSelect())
+	if !(alu > sel && sel > fwd) {
+		t.Fatalf("delay ordering violated: alu=%v sel=%v fwd=%v", alu, sel, fwd)
+	}
+}
+
+func TestNominalDelayPositive(t *testing.T) {
+	for g := circuit.And; g < circuit.NumGateTypes; g++ {
+		if NominalDelay(g) <= 0 {
+			t.Fatalf("non-positive delay for %v", g)
+		}
+	}
+}
+
+func BenchmarkAnalyzeALU(b *testing.B) {
+	nl := netlist.ALU32()
+	for i := 0; i < b.N; i++ {
+		Analyze(nl, DefaultVariation(), fault.VHighFault, 1, uint64(i))
+	}
+}
+
+func TestVMinMonotoneInBudget(t *testing.T) {
+	nl := netlist.FwdCheck()
+	v := DefaultVariation()
+	tight := CycleBudget(nl, v, 0.98, 200, 1)
+	loose := CycleBudget(nl, v, 0.80, 200, 1)
+	vTight := VMin(nl, v, tight, 200, 1)
+	vLoose := VMin(nl, v, loose, 200, 1)
+	if vTight <= vLoose {
+		t.Fatalf("tighter budget must require higher voltage: %v vs %v", vTight, vLoose)
+	}
+	// A 98%-margin budget must be met at nominal but not far below.
+	if vTight > fault.VNominal {
+		t.Fatalf("98%% margin unmeetable at nominal: VMin %v", vTight)
+	}
+	if vTight < 1.0 {
+		t.Fatalf("98%% margin met implausibly low: VMin %v", vTight)
+	}
+}
+
+func TestVMinExtremes(t *testing.T) {
+	nl := chainNet(10)
+	v := DefaultVariation()
+	// Absurdly tight budget: unmeetable anywhere.
+	if got := VMin(nl, v, 0.001, 50, 1); got != 1.30 {
+		t.Fatalf("unmeetable budget VMin %v, want range top", got)
+	}
+	// Absurdly loose budget: met at the range bottom.
+	if got := VMin(nl, v, 1e9, 50, 1); got != 0.70 {
+		t.Fatalf("trivial budget VMin %v, want range bottom", got)
+	}
+}

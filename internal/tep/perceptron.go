@@ -1,0 +1,153 @@
+package tep
+
+import "tvsched/internal/isa"
+
+// Predictor is the interface the pipeline consumes; the table-based TEP of
+// §2.1.1 is the paper's design, and Perceptron is an extension studying
+// whether history-correlating weights buy coverage (the same question the
+// branch-prediction literature answered for direction prediction).
+type Predictor interface {
+	Lookup(pc, history uint64, favorable bool) Prediction
+	Train(pc, history uint64, fault bool, stage isa.Stage)
+	SetCritical(pc, history uint64, critical bool)
+}
+
+// Static interface checks.
+var (
+	_ Predictor = (*TEP)(nil)
+	_ Predictor = (*Perceptron)(nil)
+)
+
+// PerceptronConfig sizes the perceptron predictor.
+type PerceptronConfig struct {
+	// Rows is the number of weight vectors (power of two), indexed by PC.
+	Rows int
+	// HistoryBits is the number of branch-history inputs per vector.
+	HistoryBits int
+	// Theta is the training threshold: vectors train until the output
+	// magnitude exceeds it (the classic perceptron-predictor rule;
+	// 1.93*H+14 is the literature default).
+	Theta int
+}
+
+// DefaultPerceptronConfig matches the TEP's storage budget order.
+func DefaultPerceptronConfig() PerceptronConfig {
+	h := 8
+	return PerceptronConfig{Rows: 1024, HistoryBits: h, Theta: int(1.93*float64(h)) + 14}
+}
+
+// Perceptron predicts per-PC timing violations from branch history with
+// signed saturating weights. Stage and criticality ride in per-row side
+// fields, as in the table TEP.
+type Perceptron struct {
+	cfg      PerceptronConfig
+	bias     []int16
+	weights  [][]int16
+	stage    []isa.Stage
+	critical []bool
+	mask     uint64
+	Stats    Stats
+}
+
+// NewPerceptron builds the predictor; Rows must be a positive power of two.
+func NewPerceptron(cfg PerceptronConfig) *Perceptron {
+	if cfg.Rows <= 0 || cfg.Rows&(cfg.Rows-1) != 0 {
+		panic("tep: Rows must be a positive power of two")
+	}
+	p := &Perceptron{
+		cfg:      cfg,
+		bias:     make([]int16, cfg.Rows),
+		weights:  make([][]int16, cfg.Rows),
+		stage:    make([]isa.Stage, cfg.Rows),
+		critical: make([]bool, cfg.Rows),
+		mask:     uint64(cfg.Rows - 1),
+	}
+	for i := range p.weights {
+		p.weights[i] = make([]int16, cfg.HistoryBits)
+	}
+	return p
+}
+
+func (p *Perceptron) row(pc uint64) uint64 { return (pc >> 2) & p.mask }
+
+// output computes the dot product of the row's weights with the history.
+func (p *Perceptron) output(row uint64, history uint64) int {
+	sum := int(p.bias[row])
+	w := p.weights[row]
+	for k := 0; k < p.cfg.HistoryBits; k++ {
+		if history&(1<<k) != 0 {
+			sum += int(w[k])
+		} else {
+			sum -= int(w[k])
+		}
+	}
+	return sum
+}
+
+// Lookup predicts a violation when the perceptron output is positive, gated
+// by the sensor conditions like the table TEP.
+func (p *Perceptron) Lookup(pc, history uint64, favorable bool) Prediction {
+	p.Stats.Lookups++
+	r := p.row(pc)
+	pred := Prediction{Critical: p.critical[r]}
+	if !favorable {
+		return pred
+	}
+	if p.output(r, history) > 0 {
+		p.Stats.Predicted++
+		pred.Fault = true
+		pred.Stage = p.stage[r]
+	}
+	return pred
+}
+
+// Train applies the perceptron learning rule with threshold theta.
+func (p *Perceptron) Train(pc, history uint64, fault bool, stage isa.Stage) {
+	p.Stats.Trained++
+	r := p.row(pc)
+	out := p.output(r, history)
+	predicted := out > 0
+	mag := out
+	if mag < 0 {
+		mag = -mag
+	}
+	if predicted == fault && mag > p.cfg.Theta {
+		return // confident and correct: leave the weights alone
+	}
+	dir := int16(-1)
+	if fault {
+		dir = 1
+		p.stage[r] = stage
+	}
+	sat := func(v int16, d int16) int16 {
+		n := v + d
+		if n > 127 {
+			return 127
+		}
+		if n < -128 {
+			return -128
+		}
+		return n
+	}
+	p.bias[r] = sat(p.bias[r], dir)
+	w := p.weights[r]
+	for k := 0; k < p.cfg.HistoryBits; k++ {
+		if history&(1<<k) != 0 {
+			w[k] = sat(w[k], dir)
+		} else {
+			w[k] = sat(w[k], -dir)
+		}
+	}
+}
+
+// SetCritical stores the CDL determination for pc's row.
+func (p *Perceptron) SetCritical(pc, history uint64, critical bool) {
+	p.critical[p.row(pc)] = critical
+}
+
+// StorageBits returns the predictor's storage cost: 8-bit weights plus bias,
+// stage and criticality fields per row.
+func (p *Perceptron) StorageBits() int {
+	perRow := 8*(p.cfg.HistoryBits+1) + 4 + 1
+	return p.cfg.Rows * perRow
+}

@@ -1,0 +1,164 @@
+package tep
+
+import (
+	"testing"
+
+	"tvsched/internal/isa"
+	"tvsched/internal/rng"
+)
+
+func TestPerceptronLearnsAlwaysFaulty(t *testing.T) {
+	p := NewPerceptron(DefaultPerceptronConfig())
+	pc := uint64(0x400)
+	for i := 0; i < 20; i++ {
+		p.Train(pc, uint64(i), true, isa.Issue)
+	}
+	pr := p.Lookup(pc, 21, true)
+	if !pr.Fault || pr.Stage != isa.Issue {
+		t.Fatalf("always-faulty PC not learned: %+v", pr)
+	}
+}
+
+func TestPerceptronLearnsNeverFaulty(t *testing.T) {
+	p := NewPerceptron(DefaultPerceptronConfig())
+	pc := uint64(0x800)
+	for i := 0; i < 20; i++ {
+		p.Train(pc, uint64(i), false, 0)
+	}
+	if p.Lookup(pc, 5, true).Fault {
+		t.Fatal("never-faulty PC predicted faulty")
+	}
+}
+
+func TestPerceptronLearnsHistoryCorrelation(t *testing.T) {
+	// Fault iff history bit 2 is set — linearly separable, so the
+	// perceptron must learn it while a 2-bit counter can only flap.
+	p := NewPerceptron(DefaultPerceptronConfig())
+	pc := uint64(0x1000)
+	src := rng.New(4)
+	for i := 0; i < 400; i++ {
+		h := src.Uint64() & 0xff
+		p.Train(pc, h, h&(1<<2) != 0, isa.Issue)
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		h := src.Uint64() & 0xff
+		want := h&(1<<2) != 0
+		if p.Lookup(pc, h, true).Fault == want {
+			correct++
+		}
+	}
+	if correct < 190 {
+		t.Fatalf("history-correlated pattern only %d/200 correct", correct)
+	}
+}
+
+func TestPerceptronSensorGating(t *testing.T) {
+	p := NewPerceptron(DefaultPerceptronConfig())
+	pc := uint64(0x40)
+	for i := 0; i < 10; i++ {
+		p.Train(pc, 0, true, isa.Memory)
+	}
+	if p.Lookup(pc, 0, false).Fault {
+		t.Fatal("unfavorable conditions must gate prediction")
+	}
+}
+
+func TestPerceptronCriticality(t *testing.T) {
+	p := NewPerceptron(DefaultPerceptronConfig())
+	p.SetCritical(0x40, 0, true)
+	if !p.Lookup(0x40, 0, true).Critical {
+		t.Fatal("criticality lost")
+	}
+}
+
+func TestPerceptronWeightsSaturate(t *testing.T) {
+	p := NewPerceptron(PerceptronConfig{Rows: 16, HistoryBits: 4, Theta: 1000000})
+	// Theta huge => always trains; weights must clamp, not wrap.
+	for i := 0; i < 1000; i++ {
+		p.Train(0x40, 0xf, true, isa.Issue)
+	}
+	r := p.row(0x40)
+	if p.bias[r] != 127 {
+		t.Fatalf("bias %d, want saturated 127", p.bias[r])
+	}
+	for _, w := range p.weights[r] {
+		if w != 127 {
+			t.Fatalf("weight %d not saturated", w)
+		}
+	}
+}
+
+func TestPerceptronBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad Rows accepted")
+		}
+	}()
+	NewPerceptron(PerceptronConfig{Rows: 3})
+}
+
+func TestPerceptronStorage(t *testing.T) {
+	p := NewPerceptron(PerceptronConfig{Rows: 64, HistoryBits: 8, Theta: 20})
+	if got := p.StorageBits(); got != 64*(8*9+5) {
+		t.Fatalf("storage %d", got)
+	}
+}
+
+// comparePredictors measures coverage (fraction of faults predicted) and
+// false-positive rate over a synthetic PC/fault stream with partially
+// history-correlated faults.
+func comparePredictors(t *testing.T, mk func() Predictor) (coverage, fpRate float64) {
+	t.Helper()
+	p := mk()
+	src := rng.New(11)
+	// Branch history in a real front end is loop-repetitive: each hot PC is
+	// reached under a handful of recurring history patterns, not uniform
+	// noise. Model 4 patterns per PC.
+	patterns := make([]uint64, 4)
+	for i := range patterns {
+		patterns[i] = src.Uint64() & 0xff
+	}
+	var faults, covered, cleans, fps int
+	for i := 0; i < 60000; i++ {
+		pc := uint64(src.Zipf(512, 0.9)) * 4
+		h := (patterns[src.Intn(4)] ^ rng.Mix(pc)) & 0xff
+		// Ground truth: 10% of PCs are fault-prone; half of those also
+		// require a history condition.
+		prone := rng.Mix(pc)%10 == 0
+		histCond := rng.Mix(pc)%20 == 0
+		fault := prone && (!histCond || h&1 != 0)
+		pred := p.Lookup(pc, h, true).Fault
+		if fault {
+			faults++
+			if pred {
+				covered++
+			}
+		} else {
+			cleans++
+			if pred {
+				fps++
+			}
+		}
+		p.Train(pc, h, fault, isa.Issue)
+	}
+	return float64(covered) / float64(faults), float64(fps) / float64(cleans)
+}
+
+func TestPerceptronVsTableCoverage(t *testing.T) {
+	tblCov, tblFP := comparePredictors(t, func() Predictor { return New(Config{Entries: 1024, HistoryBits: 8}) })
+	perCov, perFP := comparePredictors(t, func() Predictor { return NewPerceptron(DefaultPerceptronConfig()) })
+	t.Logf("table: coverage %.3f fp %.4f; perceptron: coverage %.3f fp %.4f",
+		tblCov, tblFP, perCov, perFP)
+	if tblCov < 0.5 || perCov < 0.5 {
+		t.Fatalf("implausible coverage: table %.3f perceptron %.3f", tblCov, perCov)
+	}
+	// On history-correlated faults the perceptron should at least match the
+	// table predictor's coverage.
+	if perCov < tblCov-0.05 {
+		t.Fatalf("perceptron coverage %.3f well below table %.3f", perCov, tblCov)
+	}
+	if tblFP > 0.2 || perFP > 0.2 {
+		t.Fatalf("false-positive rates out of hand: %.3f %.3f", tblFP, perFP)
+	}
+}

@@ -1,0 +1,176 @@
+// Package tep implements the Timing Error Predictor of §2.1.1: a tagged
+// prediction table accessed in parallel with decode. It combines features of
+// the Most-Recent-Entry predictor (Xin & Joseph, MICRO'11) and the Timing
+// Violation Predictor (Roy & Chakraborty, DAC'12):
+//
+//   - each entry carries a 2-byte tag derived from the PC;
+//   - the table is indexed by a combination of PC bits and recent branch
+//     outcomes (the front end's global history register);
+//   - a 2-bit saturating counter tracks the violation potential — any
+//     non-zero value predicts an upcoming violation;
+//   - the entry records the faulty pipe stage, so the issue stage knows which
+//     resource to manage (§3.2.1);
+//   - the entry stores the criticality bit learned by the CDL (§3.5.2);
+//   - predictions are gated by favorable thermal/voltage sensor conditions.
+package tep
+
+import "tvsched/internal/isa"
+
+// Config sizes the predictor.
+type Config struct {
+	// Entries is the number of table entries; must be a power of two.
+	Entries int
+	// HistoryBits is how many recent branch outcomes are XOR-folded into the
+	// index.
+	HistoryBits int
+}
+
+// DefaultConfig sizes the predictor so hot static instructions rarely alias:
+// a 4K-entry table (4K × 23 bits ≈ 11.5 KB) with 4 bits of branch history
+// folded into the index. More history bits discriminate more dynamic
+// contexts per PC but each context must observe its first violation before
+// predicting, hurting coverage; 4 bits balances the two effects (see
+// BenchmarkAblationTEP).
+func DefaultConfig() Config { return Config{Entries: 4096, HistoryBits: 2} }
+
+// Prediction is the TEP output attached to an instruction's meta-data as it
+// traverses the pipeline (§2.1).
+type Prediction struct {
+	// Fault is true when a timing violation is predicted.
+	Fault bool
+	// Stage is the pipe stage the violation is predicted in; only meaningful
+	// when Fault is set.
+	Stage isa.Stage
+	// Critical is the CDL-learned criticality bit used by the CDS policy.
+	Critical bool
+}
+
+// Stats counts predictor activity. Accuracy accounting (true/false
+// positives) is done by the pipeline, which knows ground truth.
+type Stats struct {
+	Lookups   uint64
+	Predicted uint64
+	Trained   uint64
+	TagEvicts uint64
+}
+
+type entry struct {
+	tag      uint16
+	counter  uint8 // 2-bit saturating
+	stage    isa.Stage
+	critical bool
+	valid    bool
+}
+
+// TEP is the timing error predictor table.
+type TEP struct {
+	cfg   Config
+	tab   []entry
+	mask  uint64
+	hmask uint64
+	Stats Stats
+}
+
+// New builds a TEP; it panics if Entries is not a positive power of two
+// (configurations are program constants).
+func New(cfg Config) *TEP {
+	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
+		panic("tep: Entries must be a positive power of two")
+	}
+	return &TEP{
+		cfg:   cfg,
+		tab:   make([]entry, cfg.Entries),
+		mask:  uint64(cfg.Entries - 1),
+		hmask: (1 << uint(cfg.HistoryBits)) - 1,
+	}
+}
+
+// Config returns the predictor configuration.
+func (t *TEP) Config() Config { return t.cfg }
+
+func (t *TEP) index(pc, history uint64) uint64 {
+	return ((pc >> 2) ^ (history & t.hmask)) & t.mask
+}
+
+func tagOf(pc uint64) uint16 { return uint16(pc >> 2) }
+
+// Lookup is performed in parallel with decode. history is the front end's
+// global branch history; favorable reports whether the thermal/voltage
+// sensors indicate conditions under which timing errors can occur — when
+// false (cool die, nominal voltage) the TEP suppresses its prediction, as the
+// paper's sensor gating does.
+func (t *TEP) Lookup(pc, history uint64, favorable bool) Prediction {
+	t.Stats.Lookups++
+	e := &t.tab[t.index(pc, history)]
+	if !e.valid || e.tag != tagOf(pc) {
+		return Prediction{}
+	}
+	if e.counter == 0 || !favorable {
+		return Prediction{Critical: e.critical}
+	}
+	t.Stats.Predicted++
+	return Prediction{Fault: true, Stage: e.stage, Critical: e.critical}
+}
+
+// Train updates the entry for pc after the instruction's actual behaviour is
+// known: fault=true saturates the counter upward and records the faulty
+// stage; fault=false decays the counter. Training on a fault allocates the
+// entry (evicting a tag-mismatched occupant).
+func (t *TEP) Train(pc, history uint64, fault bool, stage isa.Stage) {
+	t.Stats.Trained++
+	e := &t.tab[t.index(pc, history)]
+	tg := tagOf(pc)
+	if !e.valid || e.tag != tg {
+		if !fault {
+			return // don't allocate entries for well-behaved instructions
+		}
+		if e.valid {
+			t.Stats.TagEvicts++
+		}
+		*e = entry{tag: tg, counter: 1, stage: stage, valid: true}
+		return
+	}
+	if fault {
+		if e.counter < 3 {
+			e.counter++
+		}
+		e.stage = stage
+	} else if e.counter > 0 {
+		e.counter--
+	}
+}
+
+// SetCritical stores the CDL's criticality estimate for pc (§3.5.2). It is a
+// no-op if the instruction has no allocated entry.
+func (t *TEP) SetCritical(pc, history uint64, critical bool) {
+	e := &t.tab[t.index(pc, history)]
+	if e.valid && e.tag == tagOf(pc) {
+		e.critical = critical
+	}
+}
+
+// Counter exposes the saturating counter value for pc, for tests and
+// diagnostics; returns 0 for absent entries.
+func (t *TEP) Counter(pc, history uint64) uint8 {
+	e := &t.tab[t.index(pc, history)]
+	if e.valid && e.tag == tagOf(pc) {
+		return e.counter
+	}
+	return 0
+}
+
+// Reset clears the table and statistics.
+func (t *TEP) Reset() {
+	for i := range t.tab {
+		t.tab[i] = entry{}
+	}
+	t.Stats = Stats{}
+}
+
+// StorageBits returns the predictor's storage cost in bits, used by the
+// area/power model: per entry a 16-bit tag, 2-bit counter, 4-bit stage/fault
+// field (§3.2.1) and 1 criticality bit.
+func (t *TEP) StorageBits() int {
+	const perEntry = 16 + 2 + 4 + 1
+	return t.cfg.Entries * perEntry
+}

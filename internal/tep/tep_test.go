@@ -1,0 +1,194 @@
+package tep
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tvsched/internal/isa"
+)
+
+func TestColdLookupNoPrediction(t *testing.T) {
+	p := New(DefaultConfig())
+	if pr := p.Lookup(0x400, 0, true); pr.Fault {
+		t.Fatal("cold table predicted a fault")
+	}
+}
+
+func TestLearnsFaultAfterOneObservation(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x400)
+	p.Train(pc, 0, true, isa.Issue)
+	pr := p.Lookup(pc, 0, true)
+	if !pr.Fault {
+		t.Fatal("one faulting observation should enable prediction (non-zero counter)")
+	}
+	if pr.Stage != isa.Issue {
+		t.Fatalf("stage = %v, want issue", pr.Stage)
+	}
+}
+
+func TestCounterSaturationAndDecay(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x40)
+	for i := 0; i < 10; i++ {
+		p.Train(pc, 0, true, isa.Memory)
+	}
+	if c := p.Counter(pc, 0); c != 3 {
+		t.Fatalf("counter %d, want saturated 3", c)
+	}
+	for i := 0; i < 2; i++ {
+		p.Train(pc, 0, false, 0)
+	}
+	if c := p.Counter(pc, 0); c != 1 {
+		t.Fatalf("counter %d after two decays, want 1", c)
+	}
+	if !p.Lookup(pc, 0, true).Fault {
+		t.Fatal("non-zero counter must still predict")
+	}
+	p.Train(pc, 0, false, 0)
+	if p.Lookup(pc, 0, true).Fault {
+		t.Fatal("zero counter must not predict")
+	}
+	p.Train(pc, 0, false, 0) // decay at zero stays at zero
+	if c := p.Counter(pc, 0); c != 0 {
+		t.Fatalf("counter underflow: %d", c)
+	}
+}
+
+func TestSensorGating(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x80)
+	p.Train(pc, 0, true, isa.Issue)
+	if p.Lookup(pc, 0, false).Fault {
+		t.Fatal("unfavorable sensor conditions must suppress prediction")
+	}
+	if !p.Lookup(pc, 0, true).Fault {
+		t.Fatal("favorable conditions must predict")
+	}
+}
+
+func TestNoAllocationOnCleanTrain(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Train(0x100, 0, false, 0)
+	if p.Counter(0x100, 0) != 0 {
+		t.Fatal("clean training allocated an entry")
+	}
+}
+
+func TestTagConflictEviction(t *testing.T) {
+	cfg := Config{Entries: 16, HistoryBits: 0}
+	p := New(cfg)
+	// Two PCs with the same index (stride Entries*4) but different tags.
+	a := uint64(0x1000)
+	b := a + uint64(cfg.Entries)*4*16 // differs above index bits => tag differs
+	p.Train(a, 0, true, isa.Issue)
+	if !p.Lookup(a, 0, true).Fault {
+		t.Fatal("a not learned")
+	}
+	p.Train(b, 0, true, isa.Memory)
+	if got := p.Stats.TagEvicts; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if p.Lookup(a, 0, true).Fault {
+		t.Fatal("a should have been evicted by b")
+	}
+	if pr := p.Lookup(b, 0, true); !pr.Fault || pr.Stage != isa.Memory {
+		t.Fatalf("b prediction %+v", pr)
+	}
+}
+
+func TestHistoryDisambiguatesPaths(t *testing.T) {
+	p := New(Config{Entries: 1024, HistoryBits: 8})
+	pc := uint64(0x2000)
+	// Same PC faulty under history A, clean under history B: distinct entries.
+	p.Train(pc, 0x5, true, isa.Issue)
+	if !p.Lookup(pc, 0x5, true).Fault {
+		t.Fatal("history-A entry not learned")
+	}
+	if p.Lookup(pc, 0x6, true).Fault {
+		t.Fatal("history-B path should be independent")
+	}
+}
+
+func TestSetCritical(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x300)
+	p.SetCritical(pc, 0, true) // no entry yet: no-op
+	if p.Lookup(pc, 0, true).Critical {
+		t.Fatal("criticality set without an entry")
+	}
+	p.Train(pc, 0, true, isa.Issue)
+	p.SetCritical(pc, 0, true)
+	pr := p.Lookup(pc, 0, true)
+	if !pr.Critical {
+		t.Fatal("criticality bit lost")
+	}
+	// Criticality survives counter decay to zero (prediction off, bit kept).
+	p.Train(pc, 0, false, 0)
+	pr = p.Lookup(pc, 0, true)
+	if pr.Fault || !pr.Critical {
+		t.Fatalf("after decay: %+v", pr)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Train(0x10, 0, true, isa.Issue)
+	p.Reset()
+	if p.Lookup(0x10, 0, true).Fault || p.Stats.Lookups != 1 {
+		// Lookups==1 because the post-reset Lookup counted.
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	p := New(Config{Entries: 1024, HistoryBits: 8})
+	if got := p.StorageBits(); got != 1024*23 {
+		t.Fatalf("StorageBits = %d", got)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two Entries accepted")
+		}
+	}()
+	New(Config{Entries: 1000})
+}
+
+// Property: Train(fault) then Lookup with the same (pc, history) always
+// predicts a fault with the trained stage, for favorable conditions.
+func TestTrainThenPredictProperty(t *testing.T) {
+	p := New(DefaultConfig())
+	f := func(pc, hist uint64, stageRaw uint8) bool {
+		stage := isa.Stage(stageRaw % uint8(isa.NumStages))
+		p.Train(pc, hist, true, stage)
+		pr := p.Lookup(pc, hist, true)
+		return pr.Fault && pr.Stage == stage
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the counter is always <= 3 (2-bit).
+func TestCounterBoundedProperty(t *testing.T) {
+	p := New(Config{Entries: 64, HistoryBits: 4})
+	f := func(pc uint64, fault bool) bool {
+		p.Train(pc&0xff, 0, fault, isa.Issue)
+		return p.Counter(pc&0xff, 0) <= 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookupTrain(b *testing.B) {
+	p := New(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i%4096) * 4
+		p.Lookup(pc, uint64(i), true)
+		p.Train(pc, uint64(i), i%37 == 0, isa.Issue)
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"tvsched/internal/isa"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must never
+// panic, and must terminate with either a clean EOF or a decode error.
+func FuzzReader(f *testing.F) {
+	// Seed with a small valid trace.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 3)
+	w.Write(isa.Inst{PC: 0x400000, Class: isa.IntALU, Dest: 1, Src1: 2, Src2: 3, NextPC: 0x400004})
+	w.Write(isa.Inst{PC: 0x400004, Class: isa.Load, Dest: 4, Src1: 1, Src2: -1, Addr: 0x1000, NextPC: 0x400008})
+	w.Write(isa.Inst{PC: 0x400008, Class: isa.Branch, Dest: -1, Src1: 4, Src2: -1, Taken: true, Target: 0x400000, NextPC: 0x400000})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte(Magic + "\x01\x00"))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			_, err := r.Read()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && err.Error() == "" {
+					t.Fatalf("empty error")
+				}
+				return
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks write→read identity for arbitrary instruction fields
+// (coerced into validity).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x400000), uint8(0), int8(1), int8(2), int8(3), uint64(0x1000), false, uint64(0))
+	f.Add(uint64(0xffffffff00), uint8(5), int8(-1), int8(4), int8(5), uint64(0x2000), true, uint64(0x400))
+	f.Fuzz(func(t *testing.T, pc uint64, classRaw uint8, dest, src1, src2 int8, addr uint64, taken bool, target uint64) {
+		in := isa.Inst{
+			PC:    pc,
+			Class: isa.Class(classRaw % uint8(isa.NumClasses)),
+			Src1:  clampReg(src1),
+			Src2:  clampReg(src2),
+		}
+		if in.Class.HasDest() {
+			d := clampReg(dest)
+			if d < 0 {
+				d = 1
+			}
+			in.Dest = d
+		} else {
+			in.Dest = -1
+		}
+		if in.Class.IsMem() {
+			in.Addr = addr | 1 // non-zero
+		}
+		if in.Class == isa.Branch {
+			in.Taken = taken
+			if taken {
+				in.Target = target
+			}
+		}
+		if err := in.Validate(); err != nil {
+			t.Skip()
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.NextPC, out.NextPC = 0, 0 // reconstructed field
+		if in != out {
+			t.Fatalf("round trip: %+v -> %+v", in, out)
+		}
+	})
+}
+
+func clampReg(r int8) int8 {
+	if r < 0 {
+		return -1
+	}
+	return r % isa.NumArchRegs
+}

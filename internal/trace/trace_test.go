@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"tvsched/internal/isa"
+	"tvsched/internal/workload"
+)
+
+func genTrace(t *testing.T, n int) []isa.Inst {
+	t.Helper()
+	prof, ok := workload.ByName("gcc")
+	if !ok {
+		t.Fatal("profile missing")
+	}
+	g, err := workload.NewGenerator(prof, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Trace(n)
+}
+
+func roundTrip(t *testing.T, insts []isa.Inst) []isa.Inst {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, uint64(len(insts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range insts {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeclaredCount() != uint64(len(insts)) {
+		t.Fatalf("declared count %d", r.DeclaredCount())
+	}
+	var out []isa.Inst
+	for {
+		in, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func TestRoundTripWorkload(t *testing.T) {
+	insts := genTrace(t, 20000)
+	out := roundTrip(t, insts)
+	if len(out) != len(insts) {
+		t.Fatalf("length %d, want %d", len(out), len(insts))
+	}
+	for i := range insts {
+		// NextPC of the very last record is reconstructed heuristically.
+		want := insts[i]
+		got := out[i]
+		if i == len(insts)-1 {
+			want.NextPC, got.NextPC = 0, 0
+		}
+		if want != got {
+			t.Fatalf("record %d mismatch:\nwant %+v\ngot  %+v", i, want, got)
+		}
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	insts := genTrace(t, 20000)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, uint64(len(insts)))
+	for _, in := range insts {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	perInst := float64(buf.Len()) / float64(len(insts))
+	// Delta encoding should keep typical records small.
+	if perInst > 8 {
+		t.Fatalf("%.1f bytes/instruction, expected compact encoding", perInst)
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	bad := isa.Inst{PC: 4, Class: isa.Load, Dest: 3, Src1: 1, Src2: -1} // zero addr
+	if err := w.Write(bad); err == nil {
+		t.Fatal("invalid instruction accepted")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE0000"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("TV"))); err == nil {
+		t.Fatal("short header accepted")
+	}
+	// Valid header, bad version.
+	hdr := append([]byte(Magic), 99, 0)
+	if _, err := NewReader(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	insts := genTrace(t, 100)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, uint64(len(insts)))
+	for _, in := range insts {
+		w.Write(in)
+	}
+	w.Flush()
+	// Chop mid-record.
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for {
+		_, err := r.Read()
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if errors.Is(lastErr, io.EOF) {
+		t.Fatal("truncation reported as clean EOF")
+	}
+}
+
+func TestSourceLoops(t *testing.T) {
+	insts := genTrace(t, 50)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, uint64(len(insts)))
+	for _, in := range insts {
+		w.Write(in)
+	}
+	w.Flush()
+	r, _ := NewReader(&buf)
+	src := NewSource(r)
+	// Pull more instructions than the trace holds: the source must loop,
+	// not fail — pipeline sources are infinite.
+	for i := 0; i < 500; i++ {
+		in := src.Next()
+		if in.PC == 0 {
+			t.Fatal("zero PC from source")
+		}
+	}
+	if src.Err != nil {
+		t.Fatalf("source error: %v", src.Err)
+	}
+}
+
+func TestSourceEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	w.Flush()
+	r, _ := NewReader(&buf)
+	src := NewSource(r)
+	for i := 0; i < 10; i++ {
+		in := src.Next()
+		if err := in.Validate(); err != nil {
+			t.Fatalf("filler instruction invalid: %v", err)
+		}
+	}
+}
+
+func TestNextPCChainPreserved(t *testing.T) {
+	insts := genTrace(t, 5000)
+	out := roundTrip(t, insts)
+	for i := 0; i < len(out)-1; i++ {
+		if out[i].NextPC != out[i+1].PC {
+			t.Fatalf("NextPC chain broken at %d", i)
+		}
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	prof, _ := workload.ByName("gcc")
+	g, _ := workload.NewGenerator(prof, 1)
+	insts := g.Trace(4096)
+	b.ResetTimer()
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(insts[i%len(insts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	prof, _ := workload.ByName("gcc")
+	g, _ := workload.NewGenerator(prof, 1)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	for _, in := range g.Trace(100000) {
+		w.Write(in)
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.ResetTimer()
+	var r *Reader
+	for i := 0; i < b.N; i++ {
+		if r == nil || r.err != nil {
+			r, _ = NewReader(bytes.NewReader(data))
+		}
+		if _, err := r.Read(); err != nil {
+			r = nil
+		}
+	}
+}

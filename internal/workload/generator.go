@@ -1,0 +1,362 @@
+package workload
+
+import (
+	"fmt"
+
+	"tvsched/internal/isa"
+	"tvsched/internal/rng"
+)
+
+func fmtErr(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// CodeBase is the virtual address of the first static instruction; data
+// regions are placed far above it.
+const CodeBase = 0x0040_0000
+
+// Architectural register conventions used by the generator: r0 is the
+// hardwired zero, r28..r31 are long-lived (stack/global/loop-invariant)
+// registers written rarely, r1..r27 rotate as short-lived destinations.
+const (
+	firstRotReg = 1
+	lastRotReg  = 27
+	numLongRegs = 4 // r28..r31
+)
+
+// staticInst is one instruction of the synthetic static program. Its class,
+// dependency distances and memory stream are fixed at program-construction
+// time, which is what gives dynamic instances of the same PC the behavioural
+// repeatability the paper measures in §S1.
+type staticInst struct {
+	pc    uint64
+	class isa.Class
+	dest  int8
+	d1    int  // dependency distance of src1 (instructions back); 0 = long-lived
+	d2    int  // dependency distance of src2; -1 = no src2
+	long1 int8 // long-lived register used when d1 == 0
+	long2 int8
+
+	// Memory stream (loads/stores): strided walk over [base, base+size).
+	memBase   uint64
+	memSize   uint64
+	memStride uint64
+	cursor    uint64
+}
+
+// loop is a sequence of basic blocks executed some number of iterations per
+// entry; the generator walks loops with Zipf-skewed popularity.
+type loop struct {
+	insts    []staticInst // whole body, blocks concatenated
+	headPC   uint64
+	backPC   uint64 // PC of the back-edge branch (last instruction)
+	meanIter float64
+}
+
+// Generator emits the committed dynamic instruction stream of one synthetic
+// benchmark. It is an infinite, deterministic stream: the same (profile,
+// seed) always produces the same trace.
+type Generator struct {
+	prof  Profile
+	src   *rng.Source
+	loops []loop
+
+	// memory regions
+	warmBase uint64
+	coldNext uint64
+
+	// dynamic state
+	curLoop  int
+	iterLeft int
+	pos      int // index into current loop body
+	ring     [32]int8
+	ringPos  int
+	rotReg   int8
+	emitted  uint64
+}
+
+// NewGenerator builds the static program for prof and returns a generator
+// seeded deterministically from the profile name and seed.
+func NewGenerator(prof Profile, seed uint64) (*Generator, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	h := seed
+	for _, c := range prof.Name {
+		h = rng.Mix(h ^ uint64(c))
+	}
+	g := &Generator{
+		prof: prof, src: rng.New(h), rotReg: firstRotReg,
+		warmBase: 0x4000_0000, coldNext: 0x8000_0000,
+	}
+	for i := range g.ring {
+		g.ring[i] = int8(28 + i%numLongRegs) // pre-seed with long-lived regs
+	}
+	g.buildProgram()
+	g.enterLoop(0)
+	return g, nil
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// buildProgram lays out the static loops, blocks and instructions.
+func (g *Generator) buildProgram() {
+	p := &g.prof
+	blockLen := int(1.0/p.Mix[isa.Branch] + 0.5)
+	if blockLen < 3 {
+		blockLen = 3
+	}
+	nBlocks := p.StaticInsts / blockLen
+	if nBlocks < 2 {
+		nBlocks = 2
+	}
+	nLoops := nBlocks / p.LoopBlocks
+	if nLoops < 1 {
+		nLoops = 1
+	}
+	pc := uint64(CodeBase)
+	// Data layout: per-instruction hot stripes low, a shared warm region in
+	// the middle, and an ever-advancing cold frontier far above.
+	hotBase := uint64(0x1000_0000)
+
+	// Renormalized non-branch class mix.
+	var nb [isa.NumClasses]float64
+	var nbSum float64
+	for c := isa.IntALU; c < isa.NumClasses; c++ {
+		if c != isa.Branch {
+			nb[c] = p.Mix[c]
+			nbSum += p.Mix[c]
+		}
+	}
+
+	for li := 0; li < nLoops; li++ {
+		var body []staticInst
+		blocks := p.LoopBlocks
+		// Each loop has an induction register: a long-lived register updated
+		// serially once per iteration (i = i + stride) and consumed by much
+		// of the body. This is the high-fanout producer pattern the CDL of
+		// §3.5.2 detects (criticality = many dependents in the issue queue).
+		induction := int8(28 + li%numLongRegs)
+		for b := 0; b < blocks; b++ {
+			for k := 0; k < blockLen-1; k++ {
+				if b == 0 && k == 0 {
+					// Induction update: serial chain across iterations.
+					body = append(body, staticInst{
+						pc: pc, class: isa.IntALU, dest: induction,
+						d1: 0, long1: induction, d2: -1,
+					})
+					pc += 4
+					continue
+				}
+				si := staticInst{pc: pc, dest: -1, d2: -1}
+				pc += 4
+				// Draw class from the renormalized mix.
+				u := g.src.Float64() * nbSum
+				for c := isa.IntALU; c < isa.NumClasses; c++ {
+					if c == isa.Branch {
+						continue
+					}
+					if u < nb[c] {
+						si.class = c
+						break
+					}
+					u -= nb[c]
+				}
+				g.assignOperands(&si, induction)
+				if si.class.IsMem() {
+					g.assignMemStream(&si, hotBase)
+				}
+				body = append(body, si)
+			}
+			// Block-terminating branch.
+			si := staticInst{pc: pc, class: isa.Branch, dest: -1, d2: -1}
+			g.assignOperands(&si, induction)
+			pc += 4
+			body = append(body, si)
+		}
+		g.loops = append(g.loops, loop{
+			insts:    body,
+			headPC:   body[0].pc,
+			backPC:   body[len(body)-1].pc,
+			meanIter: p.LoopMeanIter,
+		})
+	}
+}
+
+// assignOperands fixes destination and dependency distances for a static
+// instruction.
+func (g *Generator) assignOperands(si *staticInst, induction int8) {
+	p := &g.prof
+	if si.class.HasDest() {
+		si.dest = g.rotReg
+		g.rotReg++
+		if g.rotReg > lastRotReg {
+			g.rotReg = firstRotReg
+		}
+	}
+	// longReg picks a long-lived source, preferring the loop's induction
+	// register (pointer/index arithmetic dominates real loop bodies).
+	longReg := func() int8 {
+		if g.src.Float64() < 0.6 {
+			return induction
+		}
+		return int8(28 + g.src.Intn(numLongRegs))
+	}
+	// src1
+	if g.src.Float64() < p.LongDepFrac {
+		si.d1 = 0
+		si.long1 = longReg()
+	} else {
+		si.d1 = 1 + g.src.Geometric(p.DepP)
+		if si.d1 > len(g.ring)-1 {
+			si.d1 = 0
+			si.long1 = longReg()
+		}
+	}
+	// src2 for two-source classes (alu/mul/div/store); loads use one source
+	// (the base register), branches one (the condition).
+	switch si.class {
+	case isa.IntALU, isa.IntMul, isa.IntDiv, isa.Store:
+		if g.src.Float64() < p.LongDepFrac {
+			si.d2 = 0
+			si.long2 = longReg()
+		} else {
+			si.d2 = 1 + g.src.Geometric(p.DepP)
+			if si.d2 > len(g.ring)-1 {
+				si.d2 = 0
+				si.long2 = longReg()
+			}
+		}
+	default:
+		si.d2 = -1
+	}
+}
+
+// assignMemStream binds a static memory instruction to a strided walk of the
+// shared hot (L1-resident) region; per-access excursions to the warm and
+// cold regions are decided dynamically in Next.
+func (g *Generator) assignMemStream(si *staticInst, hotBase uint64) {
+	si.memBase, si.memSize = hotBase, g.prof.HotBytes
+	strides := []uint64{8, 8, 16, 32, 64, 64}
+	si.memStride = strides[g.src.Intn(len(strides))]
+	si.cursor = uint64(g.src.Intn(int(si.memSize/si.memStride))) * si.memStride
+}
+
+// enterLoop switches the dynamic walk to loop li and draws an iteration count.
+func (g *Generator) enterLoop(li int) {
+	g.curLoop = li
+	g.pos = 0
+	it := int(g.src.Exp(g.prof.LoopMeanIter)) + 1
+	g.iterLeft = it
+}
+
+// Next returns the next committed instruction. The stream is infinite.
+func (g *Generator) Next() isa.Inst {
+	lp := &g.loops[g.curLoop]
+	si := &lp.insts[g.pos]
+	in := isa.Inst{PC: si.pc, Class: si.class, Dest: si.dest, Src1: -1, Src2: -1}
+
+	// Resolve sources against the dynamic ring of recent writers.
+	if si.d1 == 0 {
+		in.Src1 = si.long1
+	} else {
+		in.Src1 = g.ring[(g.ringPos-si.d1+2*len(g.ring))%len(g.ring)]
+	}
+	if si.d2 >= 0 {
+		if si.d2 == 0 {
+			in.Src2 = si.long2
+		} else {
+			in.Src2 = g.ring[(g.ringPos-si.d2+2*len(g.ring))%len(g.ring)]
+		}
+	}
+
+	// Memory address: usually a strided walk of the hot region; per access,
+	// an excursion to the warm region (L1 miss, L2 hit) with probability
+	// L2Rate, or to a fresh cold line (misses everywhere) with probability
+	// DRAMRate — these rates set the benchmark's memory-stall structure.
+	if si.class.IsMem() {
+		u := g.src.Float64()
+		switch {
+		case u < g.prof.DRAMRate:
+			in.Addr = g.coldNext
+			g.coldNext += 64
+		case u < g.prof.DRAMRate+g.prof.L2Rate:
+			lines := g.prof.WarmBytes / 64
+			in.Addr = g.warmBase + uint64(g.src.Intn(int(lines)))*64
+		default:
+			in.Addr = si.memBase + si.cursor
+			si.cursor += si.memStride
+			if si.cursor >= si.memSize {
+				si.cursor = 0
+			}
+		}
+	}
+
+	// Record destination in the writer ring.
+	if si.dest >= 0 {
+		g.ringPos = (g.ringPos + 1) % len(g.ring)
+		g.ring[g.ringPos] = si.dest
+	}
+
+	// Control flow.
+	last := g.pos == len(lp.insts)-1
+	if si.class == isa.Branch {
+		if last {
+			// Loop back-edge: taken while iterations remain.
+			if g.iterLeft > 1 {
+				g.iterLeft--
+				in.Taken = true
+				in.Target = lp.headPC
+				in.NextPC = lp.headPC
+				g.pos = 0
+			} else {
+				// Exit: pick the next loop by Zipf popularity.
+				in.Taken = false
+				next := g.src.Zipf(len(g.loops), g.prof.ZipfTheta)
+				g.enterLoop(next)
+				in.NextPC = g.loops[next].headPC
+				in.Target = 0
+			}
+		} else {
+			// Intra-body conditional branch: not taken on the committed
+			// path (falls through to the next block).
+			in.Taken = false
+			in.NextPC = si.pc + 4
+			g.pos++
+		}
+	} else {
+		in.NextPC = si.pc + 4
+		g.pos++
+		if last { // non-branch at end cannot happen (blocks end in branches)
+			g.pos = 0
+		}
+	}
+	g.emitted++
+	return in
+}
+
+// WarmRegion returns the base address and size of the benchmark's warm
+// (L2-resident) data region, for cache prefill before a measured phase.
+func (g *Generator) WarmRegion() (base, size uint64) {
+	return g.warmBase, g.prof.WarmBytes
+}
+
+// Emitted returns the number of instructions generated so far.
+func (g *Generator) Emitted() uint64 { return g.emitted }
+
+// StaticFootprint returns the number of static instructions in the program.
+func (g *Generator) StaticFootprint() int {
+	n := 0
+	for i := range g.loops {
+		n += len(g.loops[i].insts)
+	}
+	return n
+}
+
+// Trace collects the next n instructions into a slice (testing convenience).
+func (g *Generator) Trace(n int) []isa.Inst {
+	out := make([]isa.Inst, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

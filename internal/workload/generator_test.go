@@ -1,0 +1,335 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"tvsched/internal/isa"
+)
+
+func testProfile() Profile {
+	p, ok := ByName("bzip2")
+	if !ok {
+		panic("bzip2 profile missing")
+	}
+	return p
+}
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, p := range SPEC2006() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestTwelveBenchmarks(t *testing.T) {
+	ps := SPEC2006()
+	if len(ps) != 12 {
+		t.Fatalf("Table 1 has 12 benchmarks, got %d", len(ps))
+	}
+	want := []string{"astar", "bzip2", "gcc", "gobmk", "libquantum", "mcf",
+		"perlbench", "povray", "sjeng", "sphinx3", "tonto", "xalancbmk"}
+	for i, n := range Names() {
+		if n != want[i] {
+			t.Errorf("benchmark %d = %s, want %s", i, n, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("sjeng"); !ok {
+		t.Fatal("sjeng not found")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Fatal("found nonexistent profile")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1, err := NewGenerator(testProfile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(testProfile(), 42)
+	t1 := g1.Trace(5000)
+	t2 := g2.Trace(5000)
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("traces diverge at %d: %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	g1, _ := NewGenerator(testProfile(), 1)
+	g2, _ := NewGenerator(testProfile(), 2)
+	t1, t2 := g1.Trace(1000), g2.Trace(1000)
+	same := 0
+	for i := range t1 {
+		if t1[i] == t2[i] {
+			same++
+		}
+	}
+	if same == len(t1) {
+		t.Fatal("different seeds gave identical traces")
+	}
+}
+
+func TestInstructionsValid(t *testing.T) {
+	g, _ := NewGenerator(testProfile(), 7)
+	for i, in := range g.Trace(20000) {
+		if err := in.Validate(); err != nil {
+			t.Fatalf("instruction %d invalid: %v (%+v)", i, err, in)
+		}
+	}
+}
+
+func TestNextPCChains(t *testing.T) {
+	g, _ := NewGenerator(testProfile(), 9)
+	tr := g.Trace(20000)
+	for i := 0; i < len(tr)-1; i++ {
+		if tr[i].NextPC != tr[i+1].PC {
+			t.Fatalf("NextPC broken at %d: %#x -> declared %#x, actual %#x",
+				i, tr[i].PC, tr[i].NextPC, tr[i+1].PC)
+		}
+	}
+}
+
+func TestTakenBranchesTargetDeclared(t *testing.T) {
+	g, _ := NewGenerator(testProfile(), 11)
+	for _, in := range g.Trace(20000) {
+		if in.Class == isa.Branch && in.Taken && in.Target != in.NextPC {
+			t.Fatalf("taken branch NextPC %#x != Target %#x", in.NextPC, in.Target)
+		}
+	}
+}
+
+func TestMixApproximatelyHonored(t *testing.T) {
+	for _, prof := range SPEC2006() {
+		g, err := NewGenerator(prof, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 60000
+		var counts [isa.NumClasses]int
+		for _, in := range g.Trace(n) {
+			counts[in.Class]++
+		}
+		for c := isa.IntALU; c < isa.NumClasses; c++ {
+			got := float64(counts[c]) / float64(n)
+			want := prof.Mix[c]
+			// Loop structure and block quantization distort the mix; the
+			// branch fraction is set by block length so allow wide slack.
+			if math.Abs(got-want) > 0.08+want*0.5 {
+				t.Errorf("%s: class %v frequency %.3f, mix says %.3f",
+					prof.Name, c, got, want)
+			}
+		}
+	}
+}
+
+func TestPCReuse(t *testing.T) {
+	// The TEP premise: hot static instructions recur frequently.
+	g, _ := NewGenerator(testProfile(), 5)
+	n := 100000
+	seen := map[uint64]int{}
+	for _, in := range g.Trace(n) {
+		seen[in.PC]++
+	}
+	if len(seen) > g.StaticFootprint() {
+		t.Fatalf("more distinct PCs (%d) than static footprint (%d)", len(seen), g.StaticFootprint())
+	}
+	// Hottest PC should repeat a lot.
+	max := 0
+	for _, c := range seen {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/1000 {
+		t.Fatalf("hottest PC only executes %d times in %d", max, n)
+	}
+}
+
+func TestMemAddressesStride(t *testing.T) {
+	g, _ := NewGenerator(testProfile(), 13)
+	// Per-PC consecutive addresses should differ by a constant stride (until
+	// wraparound) — the §S1 AGEN locality property.
+	lastAddr := map[uint64]uint64{}
+	strideOK, strideTotal := 0, 0
+	for _, in := range g.Trace(200000) {
+		if !in.Class.IsMem() {
+			continue
+		}
+		if prev, ok := lastAddr[in.PC]; ok {
+			diff := int64(in.Addr) - int64(prev)
+			strideTotal++
+			if diff > 0 && diff <= 64 {
+				strideOK++
+			}
+		}
+		lastAddr[in.PC] = in.Addr
+	}
+	if strideTotal == 0 {
+		t.Fatal("no repeated memory PCs observed")
+	}
+	// Warm/cold excursions break the stride occasionally; the hot-region
+	// walks dominate (the §S1 AGEN locality property).
+	if frac := float64(strideOK) / float64(strideTotal); frac < 0.75 {
+		t.Fatalf("only %.2f of per-PC address deltas are small strides", frac)
+	}
+}
+
+func TestRegistersInRange(t *testing.T) {
+	g, _ := NewGenerator(testProfile(), 17)
+	for _, in := range g.Trace(50000) {
+		for _, r := range []int8{in.Dest, in.Src1, in.Src2} {
+			if r >= isa.NumArchRegs {
+				t.Fatalf("register %d out of range in %+v", r, in)
+			}
+		}
+		if in.Class.HasDest() && in.Dest < firstRotReg {
+			t.Fatalf("dest %d invalid", in.Dest)
+		}
+	}
+}
+
+func TestDependencyDistanceTracksDepP(t *testing.T) {
+	// A profile with large DepP (short deps) must show shorter observed
+	// producer-consumer distances than one with small DepP.
+	serial := testProfile()
+	serial.DepP, serial.LongDepFrac = 0.8, 0.1
+	ilp := testProfile()
+	ilp.DepP, ilp.LongDepFrac = 0.2, 0.4
+
+	meanDist := func(p Profile) float64 {
+		g, _ := NewGenerator(p, 23)
+		lastWrite := map[int8]int{}
+		var total, n float64
+		for i, in := range g.Trace(100000) {
+			if in.Src1 > 0 {
+				if w, ok := lastWrite[in.Src1]; ok {
+					total += float64(i - w)
+					n++
+				}
+			}
+			if in.Dest > 0 {
+				lastWrite[in.Dest] = i
+			}
+		}
+		return total / n
+	}
+	ds, di := meanDist(serial), meanDist(ilp)
+	if ds >= di {
+		t.Fatalf("serial profile mean dep distance %.2f not below ILP profile %.2f", ds, di)
+	}
+}
+
+func TestInvalidProfileRejected(t *testing.T) {
+	p := testProfile()
+	p.DepP = 2.0
+	if _, err := NewGenerator(p, 1); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestStaticFootprintNearTarget(t *testing.T) {
+	for _, prof := range SPEC2006() {
+		g, _ := NewGenerator(prof, 1)
+		got := g.StaticFootprint()
+		if got < prof.StaticInsts/2 || got > prof.StaticInsts*2 {
+			t.Errorf("%s: static footprint %d far from target %d", prof.Name, got, prof.StaticInsts)
+		}
+	}
+}
+
+func TestEmittedCounts(t *testing.T) {
+	g, _ := NewGenerator(testProfile(), 1)
+	g.Trace(123)
+	if g.Emitted() != 123 {
+		t.Fatalf("Emitted() = %d", g.Emitted())
+	}
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	g, _ := NewGenerator(testProfile(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func TestMemoryRatesMatchProfile(t *testing.T) {
+	// The L2/DRAM excursion rates are the calibration contract: measured
+	// dynamic rates must track the profile's knobs.
+	for _, name := range []string{"mcf", "povray"} {
+		prof, _ := ByName(name)
+		g, err := NewGenerator(prof, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmBase, warmSize := g.WarmRegion()
+		var mem, warm, cold int
+		for _, in := range g.Trace(300000) {
+			if !in.Class.IsMem() {
+				continue
+			}
+			mem++
+			switch {
+			case in.Addr >= warmBase && in.Addr < warmBase+warmSize:
+				warm++
+			case in.Addr >= 0x8000_0000:
+				cold++
+			}
+		}
+		warmRate := float64(warm) / float64(mem)
+		coldRate := float64(cold) / float64(mem)
+		if warmRate < prof.L2Rate*0.8 || warmRate > prof.L2Rate*1.2 {
+			t.Errorf("%s: warm rate %.4f vs profile %.4f", name, warmRate, prof.L2Rate)
+		}
+		if coldRate < prof.DRAMRate*0.7 || coldRate > prof.DRAMRate*1.3 {
+			t.Errorf("%s: cold rate %.4f vs profile %.4f", name, coldRate, prof.DRAMRate)
+		}
+	}
+}
+
+func TestColdAddressesNeverRepeat(t *testing.T) {
+	// Cold excursions model compulsory DRAM misses: every cold line must be
+	// fresh.
+	prof, _ := ByName("mcf")
+	g, _ := NewGenerator(prof, 33)
+	seen := map[uint64]bool{}
+	for _, in := range g.Trace(200000) {
+		if in.Class.IsMem() && in.Addr >= 0x8000_0000 {
+			line := in.Addr >> 6
+			if seen[line] {
+				t.Fatalf("cold line %#x repeated", line)
+			}
+			seen[line] = true
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no cold accesses observed")
+	}
+}
+
+func TestBranchFractionSetsBlockLength(t *testing.T) {
+	// The generator quantizes the branch fraction via block length; the
+	// realized fraction must stay within a third of the mix's.
+	for _, prof := range SPEC2006() {
+		g, _ := NewGenerator(prof, 35)
+		n := 50000
+		branches := 0
+		for _, in := range g.Trace(n) {
+			if in.Class == isa.Branch {
+				branches++
+			}
+		}
+		got := float64(branches) / float64(n)
+		want := prof.Mix[isa.Branch]
+		if got < want*0.66 || got > want*1.5 {
+			t.Errorf("%s: branch fraction %.3f vs mix %.3f", prof.Name, got, want)
+		}
+	}
+}

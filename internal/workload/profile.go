@@ -1,0 +1,301 @@
+// Package workload generates deterministic synthetic instruction traces that
+// stand in for the paper's SPEC CPU2006 SimPoint phases (§4.2). We cannot
+// ship SPEC binaries or a full-system simulator, so each benchmark is a
+// stochastic program model whose knobs control exactly the properties the
+// paper's results depend on:
+//
+//   - instruction mix and functional-unit pressure (simple vs complex ALU,
+//     memory ports);
+//   - register dependency-distance distribution — the inherent ILP, which
+//     determines how much architectural slack can absorb a confined
+//     +1-cycle violation (§3.1);
+//   - memory-level behaviour (L2 and DRAM access rates) — the data-stall
+//     structure that hides violation penalties in benchmarks like
+//     libquantum and mcf (§5.1);
+//   - branch misprediction rate — how often the 10-stage loop is paid;
+//   - static code footprint and loop structure — the PC reuse that makes
+//     the TEP work and the path commonality of §S1 possible;
+//   - fault susceptibility bias — per-benchmark fault-rate differences
+//     (Table 1).
+//
+// Profiles are calibrated so fault-free IPC approximates Table 1.
+package workload
+
+import "tvsched/internal/isa"
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name string
+
+	// Mix gives the instruction-class probabilities; it must sum to ~1.
+	Mix [isa.NumClasses]float64
+
+	// DepP is the geometric parameter of register dependency distance:
+	// distance d = 1 + Geometric(DepP). Larger DepP means shorter distances,
+	// longer serial chains, and lower ILP.
+	DepP float64
+	// LongDepFrac is the fraction of source operands that reference
+	// long-lived (loop-invariant/induction) registers.
+	LongDepFrac float64
+
+	// Memory behaviour. Each static memory instruction strides through a
+	// hot, L1-resident region of HotBytes. Per dynamic access, with
+	// probability L2Rate the access instead touches a random line of a
+	// WarmBytes region (L1 miss, L2 hit), and with probability DRAMRate it
+	// touches a fresh cold line (miss everywhere). These rates directly set
+	// the benchmark's memory-stall structure.
+	HotBytes, WarmBytes uint64
+	L2Rate, DRAMRate    float64
+
+	// MispredictRate is the per-branch probability of paying the
+	// misprediction loop (charged via bpred.OracleNoise; the trace-driven
+	// model does not simulate wrong-path fetch).
+	MispredictRate float64
+
+	// StaticInsts is the code footprint in static instructions; LoopBlocks
+	// is the typical number of basic blocks per loop body, and LoopMeanIter
+	// the mean iterations per loop entry. ZipfTheta skews loop popularity
+	// (hot loops dominate execution).
+	StaticInsts  int
+	LoopBlocks   int
+	LoopMeanIter float64
+	ZipfTheta    float64
+
+	// FaultBias multiplies the fault model's near-critical tail fraction for
+	// this benchmark (Table 1: fault rates differ ~2x across benchmarks).
+	FaultBias float64
+
+	// Paper reference values (Table 1), kept for calibration and for
+	// EXPERIMENTS.md reporting: fault-free IPC and fault rates (%) in the
+	// two faulty environments.
+	PaperIPC    float64
+	PaperFRLow  float64 // at 1.04 V
+	PaperFRHigh float64 // at 0.97 V
+}
+
+// mix builds a Mix array in class order: alu, mul, div, load, store, branch.
+func mix(alu, mul, div, load, store, branch float64) [isa.NumClasses]float64 {
+	return [isa.NumClasses]float64{alu, mul, div, load, store, branch}
+}
+
+// KB/MB helpers for readability.
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// SPEC2006 returns the twelve benchmark profiles of Table 1. The parameter
+// choices are calibrated against the paper's fault-free IPC column; see
+// EXPERIMENTS.md for achieved values.
+func SPEC2006() []Profile {
+	return []Profile{
+		{
+			// astar: pointer-chasing path finding; short dependency chains
+			// through the open list, moderate L2/DRAM traffic.
+			Name: "astar",
+			Mix:  mix(0.42, 0.01, 0.003, 0.297, 0.12, 0.15),
+			DepP: 0.60, LongDepFrac: 0.24,
+			HotBytes: 24 * kb, WarmBytes: 2 * mb,
+			L2Rate: 0.105, DRAMRate: 0.0102,
+			MispredictRate: 0.052,
+			StaticInsts:    3600, LoopBlocks: 4, LoopMeanIter: 24, ZipfTheta: 0.85,
+			FaultBias: 1.39,
+			PaperIPC:  0.69, PaperFRLow: 2.01, PaperFRHigh: 6.74,
+		},
+		{
+			// bzip2: compression; regular loops, good locality, decent ILP.
+			Name: "bzip2",
+			Mix:  mix(0.50, 0.02, 0.002, 0.256, 0.11, 0.112),
+			DepP: 0.40, LongDepFrac: 0.36,
+			HotBytes: 20 * kb, WarmBytes: 1 * mb,
+			L2Rate: 0.055, DRAMRate: 0.0012,
+			MispredictRate: 0.038,
+			StaticInsts:    2800, LoopBlocks: 3, LoopMeanIter: 60, ZipfTheta: 0.95,
+			FaultBias: 1.65,
+			PaperIPC:  1.48, PaperFRLow: 2.24, PaperFRHigh: 8.92,
+		},
+		{
+			// gcc: compiler; large code footprint, branchy, mixed locality.
+			Name: "gcc",
+			Mix:  mix(0.46, 0.015, 0.004, 0.261, 0.12, 0.14),
+			DepP: 0.24, LongDepFrac: 0.42,
+			HotBytes: 26 * kb, WarmBytes: 3 * mb,
+			L2Rate: 0.011, DRAMRate: 0.0010,
+			MispredictRate: 0.036,
+			StaticInsts:    9000, LoopBlocks: 5, LoopMeanIter: 14, ZipfTheta: 0.75,
+			FaultBias: 1.68,
+			PaperIPC:  1.34, PaperFRLow: 1.50, PaperFRHigh: 8.43,
+		},
+		{
+			// gobmk: game tree search; very branchy but ILP-rich blocks.
+			Name: "gobmk",
+			Mix:  mix(0.52, 0.01, 0.002, 0.236, 0.092, 0.14),
+			DepP: 0.24, LongDepFrac: 0.44,
+			HotBytes: 22 * kb, WarmBytes: 1 * mb,
+			L2Rate: 0.008, DRAMRate: 0.0004,
+			MispredictRate: 0.032,
+			StaticInsts:    6000, LoopBlocks: 4, LoopMeanIter: 18, ZipfTheta: 0.80,
+			FaultBias: 1.70,
+			PaperIPC:  1.68, PaperFRLow: 2.16, PaperFRHigh: 8.64,
+		},
+		{
+			// libquantum: streaming over a huge quantum-register array; long
+			// DRAM-missing load streams dominate (paper: "greater data
+			// stalls"), with serial updates between them.
+			Name: "libquantum",
+			Mix:  mix(0.44, 0.015, 0.001, 0.324, 0.10, 0.12),
+			DepP: 0.62, LongDepFrac: 0.22,
+			HotBytes: 16 * kb, WarmBytes: 4 * mb,
+			L2Rate: 0.12, DRAMRate: 0.0238,
+			MispredictRate: 0.014,
+			StaticInsts:    1400, LoopBlocks: 2, LoopMeanIter: 220, ZipfTheta: 1.1,
+			FaultBias: 1.72,
+			PaperIPC:  0.51, PaperFRLow: 2.10, PaperFRHigh: 10.54,
+		},
+		{
+			// mcf: network simplex; pointer chasing through a working set far
+			// beyond L2, lowest IPC in the suite.
+			Name: "mcf",
+			Mix:  mix(0.40, 0.005, 0.001, 0.344, 0.11, 0.14),
+			DepP: 0.70, LongDepFrac: 0.16,
+			HotBytes: 16 * kb, WarmBytes: 4 * mb,
+			L2Rate: 0.14, DRAMRate: 0.038,
+			MispredictRate: 0.046,
+			StaticInsts:    1800, LoopBlocks: 3, LoopMeanIter: 40, ZipfTheta: 0.9,
+			FaultBias: 1.16,
+			PaperIPC:  0.34, PaperFRLow: 1.73, PaperFRHigh: 6.45,
+		},
+		{
+			// perlbench: interpreter dispatch; branchy, mixed dependencies.
+			Name: "perlbench",
+			Mix:  mix(0.47, 0.01, 0.003, 0.26, 0.117, 0.14),
+			DepP: 0.38, LongDepFrac: 0.34,
+			HotBytes: 24 * kb, WarmBytes: 2 * mb,
+			L2Rate: 0.030, DRAMRate: 0.0011,
+			MispredictRate: 0.043,
+			StaticInsts:    7000, LoopBlocks: 5, LoopMeanIter: 12, ZipfTheta: 0.8,
+			FaultBias: 1.42,
+			PaperIPC:  1.31, PaperFRLow: 1.80, PaperFRHigh: 7.21,
+		},
+		{
+			// povray: ray tracing; arithmetic-dense with abundant ILP and a
+			// cache-resident scene, highest IPC in the suite.
+			Name: "povray",
+			Mix:  mix(0.543, 0.06, 0.003, 0.214, 0.08, 0.10),
+			DepP: 0.36, LongDepFrac: 0.48,
+			HotBytes: 24 * kb, WarmBytes: 1 * mb,
+			L2Rate: 0.020, DRAMRate: 0.0003,
+			MispredictRate: 0.018,
+			StaticInsts:    4200, LoopBlocks: 4, LoopMeanIter: 30, ZipfTheta: 0.9,
+			FaultBias: 1.10,
+			PaperIPC:  1.941, PaperFRLow: 1.57, PaperFRHigh: 6.31,
+		},
+		{
+			// sjeng: chess search; high inherent ILP (paper calls it out as
+			// the most violation-susceptible benchmark).
+			Name: "sjeng",
+			Mix:  mix(0.53, 0.015, 0.002, 0.225, 0.088, 0.14),
+			DepP: 0.15, LongDepFrac: 0.52,
+			HotBytes: 22 * kb, WarmBytes: 1 * mb,
+			L2Rate: 0.006, DRAMRate: 0.0003,
+			MispredictRate: 0.022,
+			StaticInsts:    5200, LoopBlocks: 4, LoopMeanIter: 20, ZipfTheta: 0.85,
+			FaultBias: 1.68,
+			PaperIPC:  1.93, PaperFRLow: 2.29, PaperFRHigh: 9.19,
+		},
+		{
+			// sphinx3: speech recognition; regular dot-product loops over an
+			// L2-sized acoustic model.
+			Name: "sphinx3",
+			Mix:  mix(0.49, 0.045, 0.003, 0.262, 0.08, 0.12),
+			DepP: 0.36, LongDepFrac: 0.34,
+			HotBytes: 24 * kb, WarmBytes: 4 * mb,
+			L2Rate: 0.088, DRAMRate: 0.0015,
+			MispredictRate: 0.022,
+			StaticInsts:    3000, LoopBlocks: 3, LoopMeanIter: 80, ZipfTheta: 1.0,
+			FaultBias: 1.08,
+			PaperIPC:  1.30, PaperFRLow: 1.73, PaperFRHigh: 6.95,
+		},
+		{
+			// tonto: quantum chemistry; multiply-heavy numeric kernels.
+			Name: "tonto",
+			Mix:  mix(0.48, 0.07, 0.008, 0.242, 0.09, 0.11),
+			DepP: 0.34, LongDepFrac: 0.36,
+			HotBytes: 26 * kb, WarmBytes: 3 * mb,
+			L2Rate: 0.062, DRAMRate: 0.0013,
+			MispredictRate: 0.021,
+			StaticInsts:    3800, LoopBlocks: 4, LoopMeanIter: 50, ZipfTheta: 0.95,
+			FaultBias: 1.05,
+			PaperIPC:  1.41, PaperFRLow: 1.39, PaperFRHigh: 5.59,
+		},
+		{
+			// xalancbmk: XML transformation; pointer-rich traversal with a
+			// large working set and low IPC.
+			Name: "xalancbmk",
+			Mix:  mix(0.42, 0.005, 0.002, 0.323, 0.12, 0.13),
+			DepP: 0.66, LongDepFrac: 0.18,
+			HotBytes: 20 * kb, WarmBytes: 4 * mb,
+			L2Rate: 0.15, DRAMRate: 0.0105,
+			MispredictRate: 0.036,
+			StaticInsts:    8000, LoopBlocks: 5, LoopMeanIter: 16, ZipfTheta: 0.8,
+			FaultBias: 1.47,
+			PaperIPC:  0.51, PaperFRLow: 1.99, PaperFRHigh: 7.95,
+		},
+	}
+}
+
+// ByName returns the profile with the given name from SPEC2006.
+func ByName(name string) (Profile, bool) {
+	for _, p := range SPEC2006() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns the benchmark names in Table 1 order.
+func Names() []string {
+	ps := SPEC2006()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Validate checks a profile for internal consistency.
+func (p *Profile) Validate() error {
+	var sum float64
+	for _, f := range p.Mix {
+		sum += f
+	}
+	if sum < 0.98 || sum > 1.02 {
+		return errf("profile %s: mix sums to %v", p.Name, sum)
+	}
+	if p.Mix[isa.Branch] <= 0 {
+		return errf("profile %s: needs branches", p.Name)
+	}
+	if p.DepP <= 0 || p.DepP >= 1 {
+		return errf("profile %s: DepP out of range", p.Name)
+	}
+	if p.L2Rate < 0 || p.DRAMRate < 0 || p.L2Rate+p.DRAMRate > 1 {
+		return errf("profile %s: memory rates invalid", p.Name)
+	}
+	if p.HotBytes < 1*kb || p.WarmBytes < 64*kb {
+		return errf("profile %s: regions too small", p.Name)
+	}
+	if p.StaticInsts < 64 {
+		return errf("profile %s: static footprint too small", p.Name)
+	}
+	if p.LoopBlocks < 1 || p.LoopMeanIter < 1 {
+		return errf("profile %s: loop structure invalid", p.Name)
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error { return &profileError{fmtErr(format, args...)} }
+
+type profileError struct{ msg string }
+
+func (e *profileError) Error() string { return e.msg }

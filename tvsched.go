@@ -1,0 +1,289 @@
+// Package tvsched is a library-grade reproduction of "Efficiently Tolerating
+// Timing Violations in Pipelined Microprocessors" (Chakraborty, Cozzens, Roy,
+// Ancajas — DAC 2013).
+//
+// The paper's contribution is a violation-aware instruction scheduling
+// framework for out-of-order processors: when the Timing Error Predictor
+// (TEP) flags an instruction as likely to violate timing in a particular
+// pipe stage, the issue stage schedules around it — the faulty instruction
+// occupies its stage one extra cycle, its issue slot / functional unit is
+// frozen for the following cycle, and its dependents are held back — instead
+// of stalling the whole pipeline (Error Padding) or replaying (Razor). Three
+// selection policies are provided: age-based (ABS), faulty-first (FFS) and
+// criticality-driven (CDS).
+//
+// This package is the public facade. It wraps:
+//
+//   - a cycle-level 4-wide out-of-order core model (Fabscalar Core-1 class)
+//     with caches, branch prediction, TEP, and all five handling schemes;
+//   - twelve calibrated SPEC CPU2006-like workload models;
+//   - the statistical timing-fault model of the paper's §4.3;
+//   - the gate-level substrate for the supplemental sensitized-path study;
+//   - an experiment harness regenerating every table and figure.
+//
+// Quick start:
+//
+//	res, err := tvsched.Run(tvsched.Config{
+//	    Benchmark: "bzip2",
+//	    Scheme:    tvsched.ABS,
+//	    VDD:       tvsched.VHighFault,
+//	    Instructions: 300000,
+//	})
+//	fmt.Println(res.IPC, res.FaultRate, res.Coverage)
+//
+// See cmd/tvbench for the full paper reproduction and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package tvsched
+
+import (
+	"fmt"
+
+	"tvsched/internal/asm"
+	"tvsched/internal/core"
+	"tvsched/internal/energy"
+	"tvsched/internal/experiments"
+	"tvsched/internal/fault"
+	"tvsched/internal/pipeline"
+	"tvsched/internal/workload"
+)
+
+// Scheme selects the timing-error handling scheme.
+type Scheme = core.Scheme
+
+// The five comparative schemes of the paper's §5.
+const (
+	// Razor replays every violation (reactive baseline).
+	Razor = core.Razor
+	// EP (Error Padding) stalls the whole pipeline one cycle per predicted
+	// violation (the paper's baseline, after Roy et al. and Xin et al.).
+	EP = core.EP
+	// ABS is violation-aware scheduling with age-based selection.
+	ABS = core.ABS
+	// FFS is violation-aware scheduling with faulty-first selection.
+	FFS = core.FFS
+	// CDS is violation-aware scheduling with criticality-driven selection.
+	CDS = core.CDS
+)
+
+// The three supply-voltage environments of §4.3.
+const (
+	// VNominal (1.10 V) is fault-free.
+	VNominal = fault.VNominal
+	// VLowFault (1.04 V) is the paper's low-fault-rate environment.
+	VLowFault = fault.VLowFault
+	// VHighFault (0.97 V) is the paper's high-fault-rate environment.
+	VHighFault = fault.VHighFault
+)
+
+// ParseScheme converts "Razor" | "EP" | "ABS" | "FFS" | "CDS" to a Scheme.
+func ParseScheme(name string) (Scheme, error) { return core.ParseScheme(name) }
+
+// Benchmarks returns the available workload names (Table 1's twelve
+// SPEC CPU2006 profiles).
+func Benchmarks() []string { return workload.Names() }
+
+// PipeStats re-exports the detailed pipeline statistics.
+type PipeStats = pipeline.Stats
+
+// EnergyResult re-exports the energy accounting.
+type EnergyResult = energy.Result
+
+// Config describes one simulation.
+type Config struct {
+	// Benchmark is a workload name from Benchmarks().
+	Benchmark string
+	// Scheme is the handling scheme under test.
+	Scheme Scheme
+	// VDD is the supply voltage (use the V* constants).
+	VDD float64
+	// Instructions is the measured phase length in committed instructions
+	// (default 300000). Warmup (default Instructions/4) instructions run
+	// first, after an L2 working-set prefill, and are not measured.
+	Instructions uint64
+	Warmup       uint64
+	// Seed drives all deterministic randomness (default 1).
+	Seed uint64
+	// FaultBias multiplies the fault model's near-critical path fraction
+	// (default 1.0; bundled benchmarks override it with their calibrated
+	// susceptibility). Useful for custom kernels whose few static
+	// instructions may otherwise miss the fault-prone tail entirely.
+	FaultBias float64
+}
+
+func (c *Config) fill() {
+	if c.Benchmark == "" {
+		c.Benchmark = "bzip2"
+	}
+	if c.VDD == 0 {
+		c.VDD = VNominal
+	}
+	if c.Instructions == 0 {
+		c.Instructions = 300000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Instructions / 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.FaultBias == 0 {
+		c.FaultBias = 1
+	}
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	// IPC is committed instructions per cycle.
+	IPC float64
+	// FaultRate is dynamic timing violations per committed instruction.
+	FaultRate float64
+	// Coverage is the fraction of violations the TEP predicted early.
+	Coverage float64
+	// Stats carries the full pipeline counters.
+	Stats PipeStats
+	// Energy carries the energy accounting (EDP is the paper's efficiency
+	// metric).
+	Energy EnergyResult
+}
+
+// Run simulates one (benchmark, scheme, voltage) combination.
+func Run(cfg Config) (Result, error) {
+	cfg.fill()
+	r, err := experiments.Simulate(cfg.Benchmark, cfg.Scheme, cfg.VDD,
+		experiments.Config{Insts: cfg.Instructions, Warmup: cfg.Warmup, Seed: cfg.Seed})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		IPC:       r.Stats.IPC(),
+		FaultRate: r.Stats.FaultRate(),
+		Coverage:  r.Stats.Coverage(),
+		Stats:     r.Stats,
+		Energy:    r.Energy,
+	}, nil
+}
+
+// Comparison reports a scheme's overheads versus fault-free execution of the
+// same benchmark: the numbers behind Table 1 and Figures 4/5/8/9.
+type Comparison struct {
+	Scheme       Scheme
+	IPC          float64
+	PerfOverhead float64 // relative IPC degradation vs fault-free
+	EDOverhead   float64 // relative energy-delay degradation vs fault-free
+}
+
+// Compare runs the given schemes at vdd plus the fault-free baseline and
+// returns per-scheme overheads.
+func Compare(benchmark string, vdd float64, schemes []Scheme, insts uint64) ([]Comparison, error) {
+	if insts == 0 {
+		insts = 300000
+	}
+	ecfg := experiments.Config{Insts: insts, Warmup: insts / 4, Seed: 1, Parallel: true}
+	base, err := experiments.Simulate(benchmark, ABS, VNominal, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []Comparison
+	for _, s := range schemes {
+		r, err := experiments.Simulate(benchmark, s, vdd, ecfg)
+		if err != nil {
+			return nil, fmt.Errorf("tvsched: %s/%v: %w", benchmark, s, err)
+		}
+		out = append(out, Comparison{
+			Scheme:       s,
+			IPC:          r.Stats.IPC(),
+			PerfOverhead: r.PerfOverhead(&base),
+			EDOverhead:   r.EDOverhead(&base),
+		})
+	}
+	return out, nil
+}
+
+// WorkloadProfile re-exports the synthetic benchmark parameterization so
+// downstream users can model their own workloads: instruction mix,
+// dependency-distance distribution (ILP), memory-level behaviour, branch
+// misprediction rate, loop structure and fault susceptibility. See
+// Benchmarks() for the twelve calibrated SPEC CPU2006 profiles.
+type WorkloadProfile = workload.Profile
+
+// Profile returns the calibrated profile for one of the bundled benchmarks,
+// as a starting point for custom workloads.
+func Profile(name string) (WorkloadProfile, bool) { return workload.ByName(name) }
+
+// RunProfile simulates a custom workload profile under the given scheme and
+// voltage; cfg.Benchmark is ignored.
+func RunProfile(cfg Config, prof WorkloadProfile) (Result, error) {
+	cfg.fill()
+	gen, err := workload.NewGenerator(prof, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	pcfg := pipeline.DefaultConfig()
+	pcfg.Scheme = cfg.Scheme
+	pcfg.MispredictRate = prof.MispredictRate
+	pcfg.Seed = cfg.Seed
+	fc := fault.DefaultConfig(cfg.Seed)
+	fc.Bias = prof.FaultBias
+	p, err := pipeline.New(pcfg, gen, fault.New(fc), cfg.VDD)
+	if err != nil {
+		return Result{}, err
+	}
+	p.PrefillData(gen.WarmRegion())
+	if err := p.Warmup(cfg.Warmup); err != nil {
+		return Result{}, err
+	}
+	st, err := p.Run(cfg.Instructions)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		IPC:       st.IPC(),
+		FaultRate: st.FaultRate(),
+		Coverage:  st.Coverage(),
+		Stats:     st,
+		Energy:    energy.Compute(energy.Default45nm(), &st),
+	}, nil
+}
+
+// RunAsm assembles a kernel written in the repository's mini assembly
+// (see internal/asm for the syntax), executes it architecturally, and drives
+// the pipeline model with the resulting committed stream. init, when
+// non-nil, seeds registers and memory before execution (kernel arguments).
+// cfg.Benchmark is ignored.
+func RunAsm(cfg Config, source string, init func(m *AsmMachine)) (Result, error) {
+	cfg.fill()
+	prog, err := asm.Assemble(source)
+	if err != nil {
+		return Result{}, err
+	}
+	m := asm.NewMachine(prog)
+	if init != nil {
+		init(m)
+	}
+	pcfg := pipeline.DefaultConfig()
+	pcfg.Scheme = cfg.Scheme
+	pcfg.Seed = cfg.Seed
+	fc := fault.DefaultConfig(cfg.Seed)
+	fc.Bias = cfg.FaultBias
+	p, err := pipeline.New(pcfg, m, fault.New(fc), cfg.VDD)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := p.Warmup(cfg.Warmup); err != nil {
+		return Result{}, err
+	}
+	st, err := p.Run(cfg.Instructions)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		IPC:       st.IPC(),
+		FaultRate: st.FaultRate(),
+		Coverage:  st.Coverage(),
+		Stats:     st,
+		Energy:    energy.Compute(energy.Default45nm(), &st),
+	}, nil
+}
+
+// AsmMachine re-exports the mini-ISA interpreter for kernel setup.
+type AsmMachine = asm.Machine

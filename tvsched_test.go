@@ -1,0 +1,154 @@
+package tvsched
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	res, err := Run(Config{Instructions: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Fatal("no progress")
+	}
+	if res.FaultRate != 0 {
+		t.Fatal("defaults must be fault-free (nominal voltage)")
+	}
+	if res.Energy.TotalPJ() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestRunFaultyEnvironment(t *testing.T) {
+	res, err := Run(Config{
+		Benchmark:    "sjeng",
+		Scheme:       FFS,
+		VDD:          VHighFault,
+		Instructions: 40000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultRate <= 0.02 || res.FaultRate > 0.15 {
+		t.Fatalf("fault rate %v outside the 0.97V band", res.FaultRate)
+	}
+	if res.Coverage < 0.7 {
+		t.Fatalf("TEP coverage %v too low", res.Coverage)
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if _, err := Run(Config{Benchmark: "nope", Instructions: 1000}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	s, err := ParseScheme("CDS")
+	if err != nil || s != CDS {
+		t.Fatalf("ParseScheme: %v %v", s, err)
+	}
+	if _, err := ParseScheme("zzz"); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 12 {
+		t.Fatalf("12 benchmarks expected, got %d", len(bs))
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run comparison is slow in -short mode")
+	}
+	cs, err := Compare("bzip2", VHighFault, []Scheme{Razor, EP, ABS}, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("3 comparisons expected")
+	}
+	razor, ep, abs := cs[0], cs[1], cs[2]
+	if !(razor.PerfOverhead > ep.PerfOverhead && ep.PerfOverhead > abs.PerfOverhead) {
+		t.Fatalf("overhead ordering broken: razor=%v ep=%v abs=%v",
+			razor.PerfOverhead, ep.PerfOverhead, abs.PerfOverhead)
+	}
+	// The paper's headline: the proposed scheme eliminates most of the EP
+	// baseline's overhead.
+	if abs.PerfOverhead > ep.PerfOverhead*0.5 {
+		t.Fatalf("ABS %v not well below EP %v", abs.PerfOverhead, ep.PerfOverhead)
+	}
+	if abs.EDOverhead > ep.EDOverhead*0.6 {
+		t.Fatalf("ABS ED %v not well below EP ED %v", abs.EDOverhead, ep.EDOverhead)
+	}
+}
+
+func TestRunProfileCustomWorkload(t *testing.T) {
+	prof, ok := Profile("bzip2")
+	if !ok {
+		t.Fatal("bundled profile missing")
+	}
+	// Derive a more memory-bound variant of bzip2.
+	prof.Name = "bzip2-membound"
+	prof.DRAMRate = 0.02
+	res, err := RunProfile(Config{
+		Scheme: ABS, VDD: VHighFault, Instructions: 30000,
+	}, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(Config{
+		Benchmark: "bzip2", Scheme: ABS, VDD: VHighFault, Instructions: 30000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC >= base.IPC {
+		t.Fatalf("memory-bound variant IPC %v not below baseline %v", res.IPC, base.IPC)
+	}
+}
+
+func TestRunProfileInvalid(t *testing.T) {
+	var bad WorkloadProfile // zero profile fails validation
+	if _, err := RunProfile(Config{Instructions: 100}, bad); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestRunAsmKernel(t *testing.T) {
+	const kernel = `
+    li   r1, 0x10000    ; base
+    li   r2, 0          ; i
+    li   r3, 4096       ; n
+loop:
+    ld   r4, 0(r1)
+    addi r4, r4, 1
+    st   r4, 0(r1)
+    addi r1, r1, 8
+    addi r2, r2, 1
+    blt  r2, r3, loop
+    halt
+`
+	res, err := RunAsm(Config{
+		Scheme: ABS, VDD: VHighFault, Instructions: 20000, Warmup: 5000,
+	}, kernel, func(m *AsmMachine) {
+		m.SetReg(9, 7) // exercise the init hook
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.Stats.Committed != 20000 {
+		t.Fatalf("kernel run degenerate: %+v", res.Stats.Committed)
+	}
+	if res.FaultRate == 0 {
+		t.Fatal("no faults at 0.97V")
+	}
+}
+
+func TestRunAsmSyntaxError(t *testing.T) {
+	if _, err := RunAsm(Config{Instructions: 10}, "frobnicate r1", nil); err == nil {
+		t.Fatal("bad kernel accepted")
+	}
+}
