@@ -10,6 +10,7 @@ package tvsched
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"tvsched/internal/core"
 	"tvsched/internal/experiments"
@@ -200,6 +201,97 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	b.ResetTimer()
 	if _, err := p.Run(uint64(b.N)); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkObserverOverhead quantifies the observability layer's cost on the
+// simulator hot loop in a fault-heavy run: "disabled" is the shipping
+// default (nil observer, the fast path every emission site guards with),
+// "noop" pays event construction and an indirect call per event, "metrics"
+// additionally aggregates into the registry, and "chrometrace" records for
+// export.
+func BenchmarkObserverOverhead(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func() Observer
+	}{
+		{"disabled", func() Observer { return nil }},
+		{"noop", func() Observer { return ObserverFunc(func(Event) {}) }},
+		{"metrics", func() Observer { return NewMetrics() }},
+		{"chrometrace", func() Observer { return NewChromeTracer() }},
+	}
+	prof, _ := workload.ByName("bzip2")
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			gen, err := workload.NewGenerator(prof, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := pipeline.DefaultConfig()
+			cfg.MispredictRate = prof.MispredictRate
+			cfg.Observer = tc.mk()
+			fc := fault.DefaultConfig(1)
+			fc.Bias = prof.FaultBias
+			p, err := pipeline.New(cfg, gen, fault.New(fc), fault.VHighFault)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := p.Run(uint64(b.N)); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestObserverDisabledOverheadGuard pins the zero-overhead-when-disabled
+// contract of internal/obs: a run with no observer must cost no more than
+// the same run with a no-op observer attached, which executes a strict
+// superset of its work (every emission site constructs an Event and makes
+// an indirect call). If the nil fast path ever stops short-circuiting that
+// work, the two times converge and the budget below trips. Min-of-trials
+// filters scheduler noise; 2% is the design budget (DESIGN.md).
+func TestObserverDisabledOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive in -short mode")
+	}
+	prof, _ := workload.ByName("bzip2")
+	once := func(o Observer) time.Duration {
+		gen, err := workload.NewGenerator(prof, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := pipeline.DefaultConfig()
+		cfg.MispredictRate = prof.MispredictRate
+		cfg.Observer = o
+		fc := fault.DefaultConfig(1)
+		fc.Bias = prof.FaultBias
+		p, err := pipeline.New(cfg, gen, fault.New(fc), fault.VHighFault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Warmup(5000); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := p.Run(40000); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	noop := ObserverFunc(func(Event) {})
+	disabled, attached := time.Duration(1<<62), time.Duration(1<<62)
+	for trial := 0; trial < 5; trial++ {
+		if d := once(nil); d < disabled {
+			disabled = d
+		}
+		if d := once(noop); d < attached {
+			attached = d
+		}
+	}
+	if float64(disabled) > 1.02*float64(attached)+float64(2*time.Millisecond) {
+		t.Errorf("disabled observer run %v slower than instrumented run %v: nil fast path broken",
+			disabled, attached)
 	}
 }
 

@@ -5,18 +5,23 @@
 //	tvbench                    # everything
 //	tvbench -exp table1        # one experiment
 //	tvbench -n 1000000         # paper-scale 1M-instruction phases
+//	tvbench -pprof :8080       # live expvar metrics + pprof while running
 //
 // Experiments: table1, fig4, fig5, fig8, fig9, table2, table3, fig7, all.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"tvsched/internal/experiments"
+	"tvsched/internal/obs"
 )
 
 func main() {
@@ -31,10 +36,27 @@ func main() {
 		csvDir  = flag.String("csvdir", "", "also write CSVs (table1.csv, fig*.csv) into this directory")
 		svgDir  = flag.String("svgdir", "", "also write figures as SVG bar charts into this directory")
 		seeds   = flag.Int("seeds", 0, "rerun figures across N seeds and report mean±sigma of the reduction")
+		pprofA  = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address while running (e.g. :8080)")
 	)
 	flag.Parse()
 
 	cfg := experiments.Config{Insts: *n, Warmup: *warmup, Seed: *seed, Parallel: !*serial}
+	if *pprofA != "" {
+		// Aggregate observability across every simulation the suite runs,
+		// published under /debug/vars (expvar) next to /debug/pprof. The
+		// metrics observer is mutex-guarded, so parallel simulations may
+		// share it.
+		metrics := obs.NewMetrics()
+		metrics.Publish("tvbench")
+		expvar.NewString("tvbench.experiment").Set(*exp)
+		cfg.Observer = metrics
+		go func() {
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "tvbench: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "tvbench: pprof/expvar at http://%s/debug/pprof and /debug/vars\n", *pprofA)
+	}
 	suite := experiments.NewSuite(cfg)
 
 	want := func(id string) bool { return *exp == "all" || *exp == id }

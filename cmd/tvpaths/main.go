@@ -8,11 +8,15 @@
 //	tvpaths                  # component report + commonality study
 //	tvpaths -timing          # add per-component SSTA at 1.10/1.04/0.97 V
 //	tvpaths -trials 2000     # more Monte-Carlo samples
+//	tvpaths -pprof :8080     # profile a long Monte-Carlo run
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
 
 	"tvsched/internal/experiments"
 	"tvsched/internal/fault"
@@ -25,8 +29,18 @@ func main() {
 		timing = flag.Bool("timing", false, "run Monte-Carlo SSTA per component")
 		trials = flag.Int("trials", 500, "Monte-Carlo trials per corner")
 		seed   = flag.Uint64("seed", 1, "analysis seed")
+		pprofA = flag.String("pprof", "", "serve /debug/pprof on this address while running (e.g. :8080)")
 	)
 	flag.Parse()
+
+	if *pprofA != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "tvpaths: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "tvpaths: pprof at http://%s/debug/pprof\n", *pprofA)
+	}
 
 	fmt.Println(experiments.FormatTable3(experiments.Table3()))
 

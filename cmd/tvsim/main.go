@@ -7,6 +7,7 @@
 //
 //	tvsim -bench bzip2 -scheme ABS -vdd 0.97 -n 1000000
 //	tvsim -all -vdd 1.10           # fault-free IPC for every benchmark
+//	tvsim -bench sjeng -vdd 0.97 -trace out.json   # Perfetto trace
 package main
 
 import (
@@ -17,25 +18,29 @@ import (
 	"tvsched/internal/asm"
 	"tvsched/internal/core"
 	"tvsched/internal/fault"
+	"tvsched/internal/obs"
 	"tvsched/internal/pipeline"
 	"tvsched/internal/workload"
 )
 
 func main() {
+	var scheme = core.ABS
+	flag.TextVar(&scheme, "scheme", core.ABS, "Razor | EP | ABS | FFS | CDS")
 	var (
-		bench  = flag.String("bench", "bzip2", "benchmark name (see -list)")
-		scheme = flag.String("scheme", "ABS", "Razor | EP | ABS | FFS | CDS")
-		vdd    = flag.Float64("vdd", fault.VLowFault, "supply voltage (1.10 fault-free, 1.04 low FR, 0.97 high FR)")
-		n      = flag.Uint64("n", 300000, "committed instructions to simulate")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
-		all    = flag.Bool("all", false, "run every benchmark")
-		list   = flag.Bool("list", false, "list benchmark names and exit")
-		flush  = flag.Bool("fullflush", false, "use architectural (flush) replay instead of selective")
-		ct     = flag.Int("ct", 8, "CDL criticality threshold (paper best: 8)")
-		tepN   = flag.Int("tep-entries", 4096, "TEP table entries (power of two)")
-		tepH   = flag.Int("tep-history", 2, "branch-history bits folded into the TEP index")
-		asmF   = flag.String("asm", "", "run the assembly kernel in this file instead of a benchmark profile")
-		bias   = flag.Float64("bias", 1.0, "fault susceptibility multiplier for -asm kernels")
+		bench   = flag.String("bench", "bzip2", "benchmark name (see -list)")
+		vdd     = flag.Float64("vdd", fault.VLowFault, "supply voltage (1.10 fault-free, 1.04 low FR, 0.97 high FR)")
+		n       = flag.Uint64("n", 300000, "committed instructions to simulate")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		all     = flag.Bool("all", false, "run every benchmark")
+		list    = flag.Bool("list", false, "list benchmark names and exit")
+		flush   = flag.Bool("fullflush", false, "use architectural (flush) replay instead of selective")
+		ct      = flag.Int("ct", 8, "CDL criticality threshold (paper best: 8)")
+		tepN    = flag.Int("tep-entries", 4096, "TEP table entries (power of two)")
+		tepH    = flag.Int("tep-history", 2, "branch-history bits folded into the TEP index")
+		asmF    = flag.String("asm", "", "run the assembly kernel in this file instead of a benchmark profile")
+		bias    = flag.Float64("bias", 1.0, "fault susceptibility multiplier for -asm kernels")
+		traceF  = flag.String("trace", "", "write the measured run as Chrome trace-event JSON (open at ui.perfetto.dev)")
+		metricF = flag.Bool("metrics", false, "print the observability metrics summary after each run")
 	)
 	flag.Parse()
 
@@ -45,13 +50,12 @@ func main() {
 		}
 		return
 	}
-	sch, err := core.ParseScheme(*scheme)
-	if err != nil {
-		fatal(err)
+	if *all && *traceF != "" {
+		fatal(fmt.Errorf("-trace records a single run; drop -all or -trace"))
 	}
 
 	if *asmF != "" {
-		if err := runAsm(*asmF, sch, *vdd, *n, *seed, *bias); err != nil {
+		if err := runAsm(*asmF, scheme, *vdd, *n, *seed, *bias, *traceF, *metricF); err != nil {
 			fatal(err)
 		}
 		return
@@ -61,18 +65,23 @@ func main() {
 	if *all {
 		benches = workload.Names()
 	}
-	fmt.Printf("%-12s %-6s vdd=%.2f n=%d\n", "benchmark", sch, *vdd, *n)
+	fmt.Printf("%-12s %-6s vdd=%.2f n=%d\n", "benchmark", scheme, *vdd, *n)
 	fmt.Printf("%-12s %7s %7s %8s %8s %8s %8s %8s\n",
 		"", "IPC", "FR%", "cover%", "replays", "gstall", "confined", "cycles")
 	o := options{flush: *flush, ct: *ct, tepEntries: *tepN, tepHistory: *tepH}
 	for _, name := range benches {
-		st, err := run(name, sch, *vdd, *n, *seed, o)
+		tracer, metrics := newObservers(*traceF != "", *metricF)
+		o.obs = combine(tracer, metrics)
+		st, err := run(name, scheme, *vdd, *n, *seed, o)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%-12s %7.3f %7.2f %8.1f %8d %8d %8d %8d\n",
 			name, st.IPC(), 100*st.FaultRate(), 100*st.Coverage(),
 			st.Replays, st.GlobalStalls, st.ConfinedEvents, st.Cycles)
+		if err := finishObservers(tracer, metrics, *traceF); err != nil {
+			fatal(err)
+		}
 	}
 }
 
@@ -81,12 +90,65 @@ type options struct {
 	flush                  bool
 	ct                     int
 	tepEntries, tepHistory int
+	obs                    obs.Observer
+}
+
+// newObservers builds the requested observer set for one run.
+func newObservers(trace, metrics bool) (*obs.ChromeTracer, *obs.Metrics) {
+	var t *obs.ChromeTracer
+	var m *obs.Metrics
+	if trace {
+		t = obs.NewChromeTracer()
+	}
+	if metrics {
+		m = obs.NewMetrics()
+	}
+	return t, m
+}
+
+// combine fans out to the non-nil observers; nil when neither is requested.
+// (obs.Multi drops nil interfaces, but a typed-nil *ChromeTracer inside an
+// interface is not nil — hence the explicit checks here.)
+func combine(t *obs.ChromeTracer, m *obs.Metrics) obs.Observer {
+	var os []obs.Observer
+	if t != nil {
+		os = append(os, t)
+	}
+	if m != nil {
+		os = append(os, m)
+	}
+	return obs.Multi(os...)
+}
+
+// finishObservers writes the trace file and prints the metrics summary.
+func finishObservers(t *obs.ChromeTracer, m *obs.Metrics, path string) error {
+	if t != nil {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := t.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if d := t.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "tvsim: trace hit its record cap; %d events dropped (shorten -n)\n", d)
+		}
+		fmt.Printf("trace written to %s (open at ui.perfetto.dev)\n", path)
+	}
+	if m != nil {
+		fmt.Print(m.Summary())
+	}
+	return nil
 }
 
 func run(name string, sch core.Scheme, vdd float64, n, seed uint64, opts options) (pipeline.Stats, error) {
-	prof, ok := workload.ByName(name)
-	if !ok {
-		return pipeline.Stats{}, fmt.Errorf("unknown benchmark %q", name)
+	prof, err := workload.Lookup(name)
+	if err != nil {
+		return pipeline.Stats{}, err
 	}
 	gen, err := workload.NewGenerator(prof, seed)
 	if err != nil {
@@ -110,11 +172,13 @@ func run(name string, sch core.Scheme, vdd float64, n, seed uint64, opts options
 	if err := p.Warmup(n / 4); err != nil {
 		return pipeline.Stats{}, err
 	}
+	// Attach after warmup so the trace/metrics cover only the measured run.
+	p.SetObserver(opts.obs)
 	return p.Run(n)
 }
 
 // runAsm simulates a kernel file through the mini-ISA interpreter.
-func runAsm(path string, sch core.Scheme, vdd float64, n, seed uint64, bias float64) error {
+func runAsm(path string, sch core.Scheme, vdd float64, n, seed uint64, bias float64, traceF string, metricF bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -136,6 +200,8 @@ func runAsm(path string, sch core.Scheme, vdd float64, n, seed uint64, bias floa
 	if err := p.Warmup(n / 4); err != nil {
 		return err
 	}
+	tracer, metrics := newObservers(traceF != "", metricF)
+	p.SetObserver(combine(tracer, metrics))
 	st, err := p.Run(n)
 	if err != nil {
 		return err
@@ -144,7 +210,7 @@ func runAsm(path string, sch core.Scheme, vdd float64, n, seed uint64, bias floa
 		path, prog.Len(), m.Restarts(), sch, vdd)
 	fmt.Printf("  IPC %.3f  FR %.2f%%  coverage %.1f%%  replays %d\n",
 		st.IPC(), 100*st.FaultRate(), 100*st.Coverage(), st.Replays)
-	return nil
+	return finishObservers(tracer, metrics, traceF)
 }
 
 func fatal(err error) {

@@ -18,12 +18,15 @@ import (
 	"tvsched/internal/core"
 	"tvsched/internal/fault"
 	"tvsched/internal/isa"
+	"tvsched/internal/obs"
 	"tvsched/internal/pipeline"
 	"tvsched/internal/trace"
 	"tvsched/internal/workload"
 )
 
 func main() {
+	var scheme = core.ABS
+	flag.TextVar(&scheme, "scheme", core.ABS, "handling scheme for -run")
 	var (
 		gen    = flag.Bool("gen", false, "generate a trace from a workload profile")
 		info   = flag.String("info", "", "summarize the given trace file")
@@ -31,9 +34,9 @@ func main() {
 		bench  = flag.String("bench", "bzip2", "workload profile for -gen")
 		n      = flag.Uint64("n", 300000, "instructions to record (-gen) or simulate (-run)")
 		out    = flag.String("o", "trace.tvtr", "output file for -gen")
-		scheme = flag.String("scheme", "ABS", "handling scheme for -run")
 		vdd    = flag.Float64("vdd", fault.VHighFault, "supply voltage for -run")
 		seed   = flag.Uint64("seed", 1, "generation/simulation seed")
+		traceF = flag.String("trace", "", "for -run: write the measured run as Chrome trace-event JSON")
 	)
 	flag.Parse()
 
@@ -47,7 +50,7 @@ func main() {
 			fatal(err)
 		}
 	case *runF != "":
-		if err := simulate(*runF, *scheme, *vdd, *n, *seed); err != nil {
+		if err := simulate(*runF, scheme, *vdd, *n, *seed, *traceF); err != nil {
 			fatal(err)
 		}
 	default:
@@ -57,9 +60,9 @@ func main() {
 }
 
 func generate(bench, out string, n, seed uint64) error {
-	prof, ok := workload.ByName(bench)
-	if !ok {
-		return fmt.Errorf("unknown benchmark %q", bench)
+	prof, err := workload.Lookup(bench)
+	if err != nil {
+		return err
 	}
 	g, err := workload.NewGenerator(prof, seed)
 	if err != nil {
@@ -127,11 +130,7 @@ func summarize(path string) error {
 	return nil
 }
 
-func simulate(path, schemeName string, vdd float64, n, seed uint64) error {
-	sch, err := core.ParseScheme(schemeName)
-	if err != nil {
-		return err
-	}
+func simulate(path string, sch core.Scheme, vdd float64, n, seed uint64, traceF string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -152,12 +151,35 @@ func simulate(path, schemeName string, vdd float64, n, seed uint64) error {
 	if err := p.Warmup(n / 4); err != nil {
 		return err
 	}
+	var tracer *obs.ChromeTracer
+	if traceF != "" {
+		// Attach after warmup so the trace covers only the measured run.
+		tracer = obs.NewChromeTracer()
+		p.SetObserver(tracer)
+	}
 	st, err := p.Run(n)
 	if err != nil {
 		return err
 	}
 	if src.Err != nil {
 		return fmt.Errorf("trace decode: %w", src.Err)
+	}
+	if tracer != nil {
+		out, err := os.Create(traceF)
+		if err != nil {
+			return err
+		}
+		if _, err := tracer.WriteTo(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "tvtrace: trace hit its record cap; %d events dropped (shorten -n)\n", d)
+		}
+		fmt.Printf("trace written to %s (open at ui.perfetto.dev)\n", traceF)
 	}
 	fmt.Printf("%s under %v at %.2fV: IPC %.3f, FR %.2f%%, coverage %.1f%%\n",
 		path, sch, vdd, st.IPC(), 100*st.FaultRate(), 100*st.Coverage())

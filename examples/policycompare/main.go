@@ -31,7 +31,11 @@ func main() {
 	}
 
 	schemes := []tvsched.Scheme{tvsched.Razor, tvsched.EP, tvsched.ABS, tvsched.FFS, tvsched.CDS}
-	cs, err := tvsched.Compare(bench, vdd, schemes, 200000)
+	cs, err := tvsched.Compare(tvsched.Config{
+		Benchmark:    bench,
+		VDD:          vdd,
+		Instructions: 200000,
+	}, schemes)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -16,6 +17,26 @@ func TestSchemeStringsAndParse(t *testing.T) {
 	}
 	if _, err := ParseScheme("bogus"); err == nil {
 		t.Error("parsed bogus scheme")
+	}
+}
+
+func TestSchemeTextRoundTrip(t *testing.T) {
+	for _, s := range Schemes() {
+		text, err := s.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		var back Scheme
+		if err := back.UnmarshalText(text); err != nil || back != s {
+			t.Errorf("round trip %v -> %q -> %v (%v)", s, text, back, err)
+		}
+	}
+	if _, err := NumSchemes.MarshalText(); !errors.Is(err, ErrUnknownScheme) {
+		t.Errorf("out-of-range marshal: %v", err)
+	}
+	var s Scheme
+	if err := s.UnmarshalText([]byte("bogus")); !errors.Is(err, ErrUnknownScheme) {
+		t.Errorf("bogus unmarshal not matchable: %v", err)
 	}
 }
 

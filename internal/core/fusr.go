@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"tvsched/internal/obs"
+)
 
 // FUKind classifies the functional-unit lanes of the Core-1 execute stage:
 // single-cycle simple ALUs (which also resolve branches), a multi-cycle
@@ -44,7 +48,12 @@ type Lane struct {
 // implemented by extending a lane's busy time by one cycle.
 type FUSR struct {
 	lanes []Lane
+	obs   obs.Observer
 }
+
+// SetObserver attaches o to the FUSR's slot-freeze paths: every freeze the
+// VTE applies (§3.2.3, §3.3) fires a KindSlotFreeze event. nil detaches.
+func (f *FUSR) SetObserver(o obs.Observer) { f.obs = o }
 
 // NewFUSR builds the lane set for the Core-1 configuration: nSimple simple
 // ALUs, nComplex complex ALUs and nMemory memory ports.
@@ -106,6 +115,9 @@ func (f *FUSR) Issue(lane int, cycle uint64, occupancy int, pipelined, faulty bo
 	if until > f.lanes[lane].nextFree {
 		f.lanes[lane].nextFree = until
 	}
+	if faulty && f.obs != nil {
+		f.obs.Event(obs.Event{Kind: obs.KindSlotFreeze, Cycle: cycle, Lane: int16(lane), A: until})
+	}
 }
 
 // Freeze blocks lane for one extra cycle starting at cycle (used for
@@ -114,6 +126,9 @@ func (f *FUSR) Issue(lane int, cycle uint64, occupancy int, pipelined, faulty bo
 func (f *FUSR) Freeze(lane int, cycle uint64) {
 	if until := cycle + 1; until > f.lanes[lane].nextFree {
 		f.lanes[lane].nextFree = until
+	}
+	if f.obs != nil {
+		f.obs.Event(obs.Event{Kind: obs.KindSlotFreeze, Cycle: cycle, Lane: int16(lane), A: cycle + 1})
 	}
 }
 

@@ -14,10 +14,15 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"tvsched/internal/isa"
 )
+
+// ErrUnknownScheme is wrapped by ParseScheme/UnmarshalText failures, so
+// callers can match them with errors.Is. The public facade re-exports it.
+var ErrUnknownScheme = errors.New("unknown scheme")
 
 // Scheme identifies a timing-error handling scheme (§5, "Comparative
 // Schemes").
@@ -66,7 +71,27 @@ func ParseScheme(name string) (Scheme, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown scheme %q", name)
+	return 0, fmt.Errorf("core: %w %q", ErrUnknownScheme, name)
+}
+
+// MarshalText implements encoding.TextMarshaler, so Scheme round-trips
+// through JSON, flag.TextVar and friends using the paper's names.
+func (s Scheme) MarshalText() ([]byte, error) {
+	if s >= NumSchemes {
+		return nil, fmt.Errorf("core: %w (%d)", ErrUnknownScheme, uint8(s))
+	}
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler; it accepts exactly the
+// names String produces (round-trip with ParseScheme).
+func (s *Scheme) UnmarshalText(text []byte) error {
+	v, err := ParseScheme(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
 }
 
 // UsesTEP reports whether the scheme consults the Timing Error Predictor.

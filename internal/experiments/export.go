@@ -7,6 +7,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"tvsched/internal/core"
 )
 
 // This file serializes experiment results for downstream tooling: CSV for
@@ -38,15 +40,23 @@ func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
 	return cw.Error()
 }
 
-// WriteFigureCSV emits a figure's bars as CSV.
+// WriteFigureCSV emits a figure's bars as CSV; columns follow core.Proposed().
 func WriteFigureCSV(w io.Writer, fig FigureData) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"benchmark", "abs", "ffs", "cds"}); err != nil {
+	header := []string{"benchmark"}
+	for _, sch := range core.Proposed() {
+		header = append(header, strings.ToLower(sch.String()))
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 	for _, r := range append(append([]FigureRow(nil), fig.Rows...), fig.Avg) {
-		if err := cw.Write([]string{r.Bench, f(r.ABS), f(r.FFS), f(r.CDS)}); err != nil {
+		rec := []string{r.Bench}
+		for _, sch := range core.Proposed() {
+			rec = append(rec, f(r.Value(sch)))
+		}
+		if err := cw.Write(rec); err != nil {
 			return err
 		}
 	}
@@ -111,8 +121,8 @@ func PlotFigure(fig FigureData) string {
 	maxVal := 0.0
 	rows := append(append([]FigureRow(nil), fig.Rows...), fig.Avg)
 	for _, r := range rows {
-		for _, v := range []float64{r.ABS, r.FFS, r.CDS} {
-			if v > maxVal {
+		for _, sch := range core.Proposed() {
+			if v := r.Value(sch); v > maxVal {
 				maxVal = v
 			}
 		}
@@ -127,9 +137,9 @@ func PlotFigure(fig FigureData) string {
 	}
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%s\n", r.Bench)
-		bar("ABS", r.ABS)
-		bar("FFS", r.FFS)
-		bar("CDS", r.CDS)
+		for _, sch := range core.Proposed() {
+			bar(sch.String(), r.Value(sch))
+		}
 	}
 	return b.String()
 }

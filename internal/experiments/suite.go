@@ -8,7 +8,7 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -16,6 +16,7 @@ import (
 	"tvsched/internal/core"
 	"tvsched/internal/energy"
 	"tvsched/internal/fault"
+	"tvsched/internal/obs"
 	"tvsched/internal/pipeline"
 	"tvsched/internal/workload"
 )
@@ -34,6 +35,13 @@ type Config struct {
 	// Parallel runs independent simulations across CPUs. Results are
 	// identical either way.
 	Parallel bool
+	// Observer, when non-nil, receives the event stream of every simulation
+	// this config drives (warmup included). With Parallel set, simulations
+	// run concurrently and all share this observer, so it must be safe for
+	// concurrent use — obs.Metrics is; obs.ChromeTracer is too, though
+	// interleaved-run traces are rarely what you want. Excluded from JSON
+	// reports (it is machinery, not a result parameter).
+	Observer obs.Observer `json:"-"`
 }
 
 // DefaultConfig returns a configuration sized for interactive use: 300k
@@ -101,7 +109,13 @@ func (r *Run) EDOverhead(base *Run) float64 {
 // Simulate runs one (benchmark, scheme, voltage) combination as a single
 // measured phase.
 func Simulate(bench string, scheme core.Scheme, vdd float64, cfg Config) (Run, error) {
-	return SimulatePhased(bench, scheme, vdd, cfg, 1)
+	return SimulatePhasedContext(context.Background(), bench, scheme, vdd, cfg, 1)
+}
+
+// SimulateContext is Simulate with cancellation: the simulation stops within
+// ~1k simulated cycles of ctx being done and returns the context's error.
+func SimulateContext(ctx context.Context, bench string, scheme core.Scheme, vdd float64, cfg Config) (Run, error) {
+	return SimulatePhasedContext(ctx, bench, scheme, vdd, cfg, 1)
 }
 
 // SimulatePhased splits the measured run into `phases` consecutive phases of
@@ -110,9 +124,14 @@ func Simulate(bench string, scheme core.Scheme, vdd float64, cfg Config) (Run, e
 // covers all phases; per-phase IPC/fault-rate deltas ride along so callers
 // can see phase behaviour and variance.
 func SimulatePhased(bench string, scheme core.Scheme, vdd float64, cfg Config, phases int) (Run, error) {
-	prof, ok := workload.ByName(bench)
-	if !ok {
-		return Run{}, fmt.Errorf("experiments: unknown benchmark %q", bench)
+	return SimulatePhasedContext(context.Background(), bench, scheme, vdd, cfg, phases)
+}
+
+// SimulatePhasedContext is SimulatePhased with cancellation.
+func SimulatePhasedContext(ctx context.Context, bench string, scheme core.Scheme, vdd float64, cfg Config, phases int) (Run, error) {
+	prof, err := workload.Lookup(bench)
+	if err != nil {
+		return Run{}, err
 	}
 	gen, err := workload.NewGenerator(prof, cfg.Seed)
 	if err != nil {
@@ -122,6 +141,7 @@ func SimulatePhased(bench string, scheme core.Scheme, vdd float64, cfg Config, p
 	pcfg.Scheme = scheme
 	pcfg.MispredictRate = prof.MispredictRate
 	pcfg.Seed = cfg.Seed
+	pcfg.Observer = cfg.Observer
 	fc := fault.DefaultConfig(cfg.Seed)
 	fc.Bias = prof.FaultBias
 	p, err := pipeline.New(pcfg, gen, fault.New(fc), vdd)
@@ -129,7 +149,7 @@ func SimulatePhased(bench string, scheme core.Scheme, vdd float64, cfg Config, p
 		return Run{}, err
 	}
 	p.PrefillData(gen.WarmRegion())
-	if err := p.Warmup(cfg.Warmup); err != nil {
+	if err := p.WarmupContext(ctx, cfg.Warmup); err != nil {
 		return Run{}, err
 	}
 	if phases < 1 {
@@ -149,7 +169,7 @@ func SimulatePhased(bench string, scheme core.Scheme, vdd float64, cfg Config, p
 		if i == phases-1 {
 			n = cfg.Insts - per*uint64(phases-1) // remainder into the last phase
 		}
-		st, err = p.Run(n)
+		st, err = p.RunContext(ctx, n)
 		if err != nil {
 			return Run{}, err
 		}
@@ -181,13 +201,22 @@ type runKey struct {
 // Suite memoizes simulation runs so Table 1 and the four figures share them.
 type Suite struct {
 	cfg  Config
+	ctx  context.Context
 	mu   sync.Mutex
 	runs map[runKey]Run
 }
 
 // NewSuite builds an empty suite.
 func NewSuite(cfg Config) *Suite {
-	return &Suite{cfg: cfg, runs: make(map[runKey]Run)}
+	return NewSuiteContext(context.Background(), cfg)
+}
+
+// NewSuiteContext builds an empty suite whose simulations run under ctx:
+// cancel it and every in-flight and future simulation returns the context's
+// error. The context is stored because the suite memoizes lazily — table and
+// figure methods simulate on first use, long after construction.
+func NewSuiteContext(ctx context.Context, cfg Config) *Suite {
+	return &Suite{cfg: cfg, ctx: ctx, runs: make(map[runKey]Run)}
 }
 
 // Config returns the suite configuration.
@@ -201,7 +230,7 @@ func (s *Suite) get(k runKey) (Run, error) {
 	if ok {
 		return r, nil
 	}
-	r, err := Simulate(k.bench, k.scheme, k.vdd, s.cfg)
+	r, err := SimulateContext(s.ctx, k.bench, k.scheme, k.vdd, s.cfg)
 	if err != nil {
 		return Run{}, err
 	}
@@ -243,6 +272,12 @@ func (s *Suite) prefetch(keys []runKey) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if err := s.ctx.Err(); err != nil {
+					nmu.Lock()
+					errs = append(errs, err)
+					nmu.Unlock()
+					return
+				}
 				nmu.Lock()
 				if next >= len(todo) {
 					nmu.Unlock()

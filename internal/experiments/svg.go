@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"tvsched/internal/core"
 )
 
 // WriteFigureSVG renders a figure as a grouped bar chart in standalone SVG —
@@ -25,10 +27,11 @@ func WriteFigureSVG(w io.Writer, fig FigureData) error {
 	width := marginL + groupW*len(rows) + 20
 	height := marginTop + chartH + marginBot
 
+	schemes := core.Proposed()
 	maxVal := 0.0
 	for _, r := range rows {
-		for _, v := range []float64{r.ABS, r.FFS, r.CDS} {
-			if v > maxVal {
+		for _, sch := range schemes {
+			if v := r.Value(sch); v > maxVal {
 				maxVal = v
 			}
 		}
@@ -54,16 +57,15 @@ func WriteFigureSVG(w io.Writer, fig FigureData) error {
 	}
 
 	colors := [3]string{"#4878a8", "#e8a33d", "#6aa84f"}
-	names := [3]string{"ABS", "FFS", "CDS"}
 	for gi, r := range rows {
 		x0 := marginL + gi*groupW + groupPad/2
-		vals := [3]float64{r.ABS, r.FFS, r.CDS}
-		for k, v := range vals {
+		for k, sch := range schemes {
+			v := r.Value(sch)
 			h := int(v / axisTop * float64(chartH))
 			x := x0 + k*(barW+gap)
 			y := marginTop + chartH - h
 			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s %s: %.3f</title></rect>`+"\n",
-				x, y, barW, h, colors[k], escape(r.Bench), names[k], v)
+				x, y, barW, h, colors[k%len(colors)], escape(r.Bench), sch, v)
 		}
 		// Rotated benchmark label.
 		lx := x0 + (3*barW+2*gap)/2
@@ -73,11 +75,11 @@ func WriteFigureSVG(w io.Writer, fig FigureData) error {
 	}
 
 	// Legend.
-	for k, n := range names {
+	for k, sch := range schemes {
 		x := marginL + k*70
 		y := height - 14
-		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", x, y-9, colors[k])
-		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", x+14, y, n)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", x, y-9, colors[k%len(colors)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", x+14, y, sch)
 	}
 	fmt.Fprintf(&b, "</svg>\n")
 	_, err := io.WriteString(w, b.String())

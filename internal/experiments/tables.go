@@ -87,6 +87,21 @@ type FigureRow struct {
 	ABS, FFS, CDS float64 // overhead normalized to EP
 }
 
+// Value returns the row's bar for one of the proposed schemes, so renderers
+// can iterate core.Proposed() instead of hard-coding scheme names.
+func (r *FigureRow) Value(s core.Scheme) float64 {
+	switch s {
+	case core.ABS:
+		return r.ABS
+	case core.FFS:
+		return r.FFS
+	case core.CDS:
+		return r.CDS
+	default:
+		return 0
+	}
+}
+
 // FigureData is a full figure: per-benchmark rows plus the AVERAGE bar.
 type FigureData struct {
 	Title string
@@ -195,9 +210,13 @@ func (s *Suite) Figure9() (FigureData, error) {
 // FormatTable1 renders Table 1 in the paper's layout.
 func FormatTable1(rows []Table1Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Table 1: Benchmark Fault Rates and Razor/EP overheads (perf%%, ED%%)\n")
+	fmt.Fprintf(&b, "Table 1: Benchmark Fault Rates and %s/%s overheads (perf%%, ED%%)\n",
+		core.Razor, core.EP)
 	fmt.Fprintf(&b, "%-11s %8s | %6s %14s %14s | %6s %14s %14s\n",
-		"benchmark", "IPC(ff)", "FR%.97", "Razor@0.97", "EP@0.97", "FR%1.04", "Razor@1.04", "EP@1.04")
+		"benchmark", "IPC(ff)", "FR%.97",
+		fmt.Sprintf("%s@0.97", core.Razor), fmt.Sprintf("%s@0.97", core.EP),
+		"FR%1.04",
+		fmt.Sprintf("%s@1.04", core.Razor), fmt.Sprintf("%s@1.04", core.EP))
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-11s %8.3f | %6.2f (%5.1f,%6.1f) (%5.2f,%6.2f) | %6.2f (%5.1f,%6.1f) (%5.2f,%6.2f)\n",
 			r.Bench, r.FaultFreeIPC,
@@ -207,15 +226,27 @@ func FormatTable1(rows []Table1Row) string {
 	return b.String()
 }
 
-// FormatFigure renders a figure's bar values as text.
+// FormatFigure renders a figure's bar values as text. Columns come from
+// core.Proposed(), so scheme naming has a single source of truth.
 func FormatFigure(f FigureData) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s (normalized to EP; lower is better)\n", f.Title)
-	fmt.Fprintf(&b, "%-11s %6s %6s %6s\n", "benchmark", "ABS", "FFS", "CDS")
-	for _, r := range f.Rows {
-		fmt.Fprintf(&b, "%-11s %6.3f %6.3f %6.3f\n", r.Bench, r.ABS, r.FFS, r.CDS)
+	fmt.Fprintf(&b, "%s (normalized to %s; lower is better)\n", f.Title, core.EP)
+	fmt.Fprintf(&b, "%-11s", "benchmark")
+	for _, sch := range core.Proposed() {
+		fmt.Fprintf(&b, " %6s", sch)
 	}
-	fmt.Fprintf(&b, "%-11s %6.3f %6.3f %6.3f   => average overhead reduction %.0f%%\n",
-		f.Avg.Bench, f.Avg.ABS, f.Avg.FFS, f.Avg.CDS, f.Reduction())
+	b.WriteByte('\n')
+	row := func(r FigureRow) {
+		fmt.Fprintf(&b, "%-11s", r.Bench)
+		for _, sch := range core.Proposed() {
+			fmt.Fprintf(&b, " %6.3f", r.Value(sch))
+		}
+	}
+	for _, r := range f.Rows {
+		row(r)
+		b.WriteByte('\n')
+	}
+	row(f.Avg)
+	fmt.Fprintf(&b, "   => average overhead reduction %.0f%%\n", f.Reduction())
 	return b.String()
 }

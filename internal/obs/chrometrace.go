@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Chrome trace-event process ids: one synthetic "process" per view so
+// Perfetto groups the lanes sensibly.
+const (
+	pidLanes      = 1 // per-lane instruction occupancy (X slices)
+	pidViolations = 2 // violation / replay / flush instants, one row per stage
+	pidCounters   = 3 // IQ/ROB occupancy counter track
+	pidCommit     = 4 // retire instants
+)
+
+// ChromeTracer converts the event stream into the Chrome trace-event JSON
+// format (the "JSON Array Format" of the trace-event spec), loadable in
+// chrome://tracing and https://ui.perfetto.dev. One simulated cycle maps to
+// one microsecond of trace time.
+//
+// Instructions appear as duration slices on their functional-unit lane
+// (select to retire-ready), violations/replays/flushes as instant events on
+// a per-stage row, occupancy samples as a counter track, and retires as
+// instants on a commit row. Fetch/dispatch and TEP events are dropped by
+// default to keep traces compact; flip Keep to include them.
+//
+// The tracer retains at most Limit events (default 400k) and counts the
+// overflow in Dropped; it is safe for concurrent use.
+type ChromeTracer struct {
+	// Keep selects which event kinds are recorded. NewChromeTracer enables
+	// the occupancy/violation/commit views and disables the very hot
+	// front-end and TEP kinds.
+	Keep [NumKinds]bool
+	// Limit bounds the retained trace events.
+	Limit int
+
+	mu      sync.Mutex
+	events  []chromeEvent
+	dropped uint64
+}
+
+// chromeEvent is one trace-event record. Ts/Dur are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   uint64            `json:"ts"`
+	Dur  uint64            `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]uint64 `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// NewChromeTracer builds a tracer with the default view selection.
+func NewChromeTracer() *ChromeTracer {
+	t := &ChromeTracer{Limit: 400000}
+	for _, k := range []Kind{
+		KindIssue, KindViolationPredicted, KindViolationActual,
+		KindReplay, KindFlush, KindSlotFreeze, KindSample, KindRetire,
+	} {
+		t.Keep[k] = true
+	}
+	return t
+}
+
+// Dropped returns how many kept-kind events exceeded Limit and were
+// discarded.
+func (t *ChromeTracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Event implements Observer.
+func (t *ChromeTracer) Event(e Event) {
+	if !t.Keep[e.Kind] {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) >= t.Limit {
+		t.dropped++
+		return
+	}
+	switch e.Kind {
+	case KindIssue:
+		dur := uint64(1)
+		if e.B > e.Cycle {
+			dur = e.B - e.Cycle
+		}
+		t.events = append(t.events, chromeEvent{
+			Name: fmt.Sprintf("%s pc=%#x", e.Class, e.PC),
+			Ph:   "X", Ts: e.Cycle, Dur: dur,
+			Pid: pidLanes, Tid: int(e.Lane),
+			Args: map[string]uint64{"seq": e.Seq, "depReady": e.A, "complete": e.B},
+		})
+	case KindViolationPredicted:
+		name := "predicted " + e.Stage.String()
+		if e.A == 0 {
+			name = "false-positive " + e.Stage.String()
+		}
+		t.instant(name, e.Cycle, pidViolations, int(e.Stage), map[string]uint64{"seq": e.Seq, "pc": e.PC})
+	case KindViolationActual:
+		t.instant("unpredicted "+e.Stage.String(), e.Cycle, pidViolations, int(e.Stage),
+			map[string]uint64{"seq": e.Seq, "pc": e.PC})
+	case KindReplay:
+		t.instant("replay "+e.Stage.String(), e.Cycle, pidViolations, int(e.Stage),
+			map[string]uint64{"seq": e.Seq, "bubble": e.A})
+	case KindFlush:
+		t.instant("flush", e.Cycle, pidViolations, int(e.Stage), map[string]uint64{"squashed": e.A})
+	case KindSlotFreeze:
+		t.instant("slot-freeze", e.Cycle, pidLanes, int(e.Lane), map[string]uint64{"until": e.A})
+	case KindSample:
+		t.events = append(t.events, chromeEvent{
+			Name: "occupancy", Ph: "C", Ts: e.Cycle,
+			Pid: pidCounters, Tid: 0,
+			Args: map[string]uint64{"iq": e.A, "rob": e.B},
+		})
+	case KindRetire:
+		t.instant(fmt.Sprintf("retire %s pc=%#x", e.Class, e.PC), e.Cycle, pidCommit, 0,
+			map[string]uint64{"seq": e.Seq})
+	default:
+		t.instant(e.Kind.String(), e.Cycle, pidCommit, 1,
+			map[string]uint64{"seq": e.Seq, "pc": e.PC, "a": e.A, "b": e.B})
+	}
+}
+
+// instant appends a thread-scoped instant event. Called with mu held.
+func (t *ChromeTracer) instant(name string, ts uint64, pid, tid int, args map[string]uint64) {
+	t.events = append(t.events, chromeEvent{
+		Name: name, Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: "t", Args: args,
+	})
+}
+
+// WriteTo serializes the trace as a single JSON object. The tracer remains
+// usable afterwards (events are not consumed).
+func (t *ChromeTracer) WriteTo(w io.Writer) (int64, error) {
+	t.mu.Lock()
+	evs := make([]chromeEvent, len(t.events))
+	copy(evs, t.events)
+	t.mu.Unlock()
+
+	cw := &countingWriter{w: w}
+	// Metadata records need string args, which the compact chromeEvent
+	// cannot hold; emit the envelope by hand around the marshalled events.
+	if _, err := io.WriteString(cw, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return cw.n, err
+	}
+	meta := []struct {
+		pid  int
+		name string
+	}{
+		{pidLanes, "pipeline lanes (issue occupancy)"},
+		{pidViolations, "timing violations (rows = pipe stage)"},
+		{pidCounters, "occupancy counters"},
+		{pidCommit, "commit"},
+	}
+	for i, m := range meta {
+		if i > 0 {
+			if _, err := io.WriteString(cw, ","); err != nil {
+				return cw.n, err
+			}
+		}
+		rec := map[string]interface{}{
+			"name": "process_name", "ph": "M", "pid": m.pid, "tid": 0,
+			"args": map[string]string{"name": m.name},
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write(b); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, e := range evs {
+		if _, err := io.WriteString(cw, ","); err != nil {
+			return cw.n, err
+		}
+		b, err := json.Marshal(e)
+		if err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write(b); err != nil {
+			return cw.n, err
+		}
+	}
+	if _, err := io.WriteString(cw, "]}\n"); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

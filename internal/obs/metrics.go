@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync"
+
+	"tvsched/internal/isa"
+)
+
+// Hist is a log2-bucketed histogram of uint64 samples: bucket 0 counts
+// zeros, bucket i counts values in [2^(i-1), 2^i), and the last bucket is
+// open-ended. Sixteen buckets cover every quantity the pipeline produces
+// (occupancies, delays, burst lengths, squash counts).
+type Hist struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [17]uint64
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(v uint64) {
+	h.Count++
+	h.Sum += v
+	b := bits.Len64(v)
+	if b >= len(h.Buckets) {
+		b = len(h.Buckets) - 1
+	}
+	h.Buckets[b]++
+}
+
+// Mean returns the sample mean.
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// String renders the non-empty buckets as "[lo,hi):count" pairs.
+func (h *Hist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.2f", h.Count, h.Mean())
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		switch {
+		case i == 0:
+			fmt.Fprintf(&b, " [0]:%d", c)
+		case i == len(h.Buckets)-1:
+			fmt.Fprintf(&b, " [%d,+inf):%d", 1<<(i-1), c)
+		default:
+			fmt.Fprintf(&b, " [%d,%d):%d", 1<<(i-1), 1<<i, c)
+		}
+	}
+	return b.String()
+}
+
+// Sample is one point of the occupancy time series.
+type Sample struct {
+	Cycle uint64 // machine cycle of the sample
+	IQ    uint64 // issue-queue occupancy
+	ROB   uint64 // reorder-buffer occupancy
+}
+
+// Metrics is the event-consuming metrics registry: per-kind counters,
+// per-stage violation counts, prediction accuracy, occupancy and delay
+// histograms, fault-burst sizing, and a bounded occupancy time series that
+// decimates itself (doubling its stride) as the run grows, so memory stays
+// O(cap) for arbitrarily long simulations.
+//
+// All methods are safe for concurrent use, so one registry can aggregate
+// across the parallel simulations of an experiments suite.
+type Metrics struct {
+	// BurstGap is the maximum cycle gap between two violations that still
+	// counts as the same fault burst (default 16). Set before use.
+	BurstGap uint64
+
+	mu          sync.Mutex
+	counts      [NumKinds]uint64
+	violByStage [isa.NumStages]uint64
+	truePos     uint64
+	falsePos    uint64
+	iqOcc       Hist
+	robOcc      Hist
+	bcastDelay  Hist
+	bursts      Hist
+	series      []Sample
+	seriesCap   int
+	stride      uint64
+	sampleIdx   uint64
+	lastViol    uint64
+	burstLen    uint64
+}
+
+// NewMetrics builds an empty registry with a 1024-point time-series budget.
+func NewMetrics() *Metrics {
+	return &Metrics{BurstGap: 16, seriesCap: 1024, stride: 1}
+}
+
+// Event implements Observer.
+func (m *Metrics) Event(e Event) {
+	m.mu.Lock()
+	m.counts[e.Kind]++
+	switch e.Kind {
+	case KindViolationPredicted:
+		m.violByStage[e.Stage]++
+		if e.A != 0 {
+			m.truePos++
+		} else {
+			m.falsePos++
+		}
+		m.noteViolation(e.Cycle)
+	case KindViolationActual:
+		m.violByStage[e.Stage]++
+		m.noteViolation(e.Cycle)
+	case KindDelayedBroadcast:
+		m.bcastDelay.Observe(e.A)
+	case KindSample:
+		m.iqOcc.Observe(e.A)
+		m.robOcc.Observe(e.B)
+		m.recordSample(Sample{Cycle: e.Cycle, IQ: e.A, ROB: e.B})
+	}
+	m.mu.Unlock()
+}
+
+// noteViolation grows the current fault burst or closes it and starts a new
+// one. Called with mu held.
+func (m *Metrics) noteViolation(cycle uint64) {
+	if m.burstLen > 0 && cycle >= m.lastViol && cycle-m.lastViol <= m.BurstGap {
+		m.burstLen++
+	} else {
+		if m.burstLen > 0 {
+			m.bursts.Observe(m.burstLen)
+		}
+		m.burstLen = 1
+	}
+	m.lastViol = cycle
+}
+
+// recordSample appends to the decimating time series. Called with mu held.
+func (m *Metrics) recordSample(s Sample) {
+	if m.sampleIdx%m.stride == 0 {
+		if len(m.series) == m.seriesCap {
+			kept := m.series[:0]
+			for i := 0; i < m.seriesCap; i += 2 {
+				kept = append(kept, m.series[i])
+			}
+			m.series = kept
+			m.stride *= 2
+		}
+		if m.sampleIdx%m.stride == 0 {
+			m.series = append(m.series, s)
+		}
+	}
+	m.sampleIdx++
+}
+
+// Count returns the number of events of the given kind seen so far.
+func (m *Metrics) Count(k Kind) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[k]
+}
+
+// Counts returns a snapshot of all per-kind event counters.
+func (m *Metrics) Counts() [NumKinds]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts
+}
+
+// ViolationsByStage returns per-stage violation counts (predicted handled +
+// unpredicted actual).
+func (m *Metrics) ViolationsByStage() [isa.NumStages]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.violByStage
+}
+
+// Accuracy returns the TEP's handled true positives and false positives.
+func (m *Metrics) Accuracy() (truePos, falsePos uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.truePos, m.falsePos
+}
+
+// IQOccupancy returns the issue-queue occupancy histogram.
+func (m *Metrics) IQOccupancy() Hist { m.mu.Lock(); defer m.mu.Unlock(); return m.iqOcc }
+
+// ROBOccupancy returns the reorder-buffer occupancy histogram.
+func (m *Metrics) ROBOccupancy() Hist { m.mu.Lock(); defer m.mu.Unlock(); return m.robOcc }
+
+// BroadcastDelays returns the delayed-tag-broadcast histogram (cycles).
+func (m *Metrics) BroadcastDelays() Hist { m.mu.Lock(); defer m.mu.Unlock(); return m.bcastDelay }
+
+// FaultBursts returns the fault-burst size histogram, including the burst
+// still open at the time of the call.
+func (m *Metrics) FaultBursts() Hist {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.bursts
+	if m.burstLen > 0 {
+		h.Observe(m.burstLen)
+	}
+	return h
+}
+
+// Series returns a copy of the occupancy time series. Points are evenly
+// strided over the run; the stride doubles whenever the budget fills.
+func (m *Metrics) Series() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Sample, len(m.series))
+	copy(out, m.series)
+	return out
+}
+
+// Summary renders a human-readable digest of the registry.
+func (m *Metrics) Summary() string {
+	m.mu.Lock()
+	counts := m.counts
+	viol := m.violByStage
+	tp, fp := m.truePos, m.falsePos
+	iq, rob, bd := m.iqOcc, m.robOcc, m.bcastDelay
+	m.mu.Unlock()
+	bursts := m.FaultBursts()
+
+	var b strings.Builder
+	b.WriteString("observability metrics\n")
+	for k := Kind(0); k < NumKinds; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-20s %12d\n", k, counts[k])
+	}
+	any := false
+	for s := isa.Stage(0); s < isa.NumStages; s++ {
+		if viol[s] > 0 {
+			if !any {
+				b.WriteString("  violations by stage:\n")
+				any = true
+			}
+			fmt.Fprintf(&b, "    %-10s %12d\n", s, viol[s])
+		}
+	}
+	fmt.Fprintf(&b, "  prediction: %d true positives, %d false positives\n", tp, fp)
+	fmt.Fprintf(&b, "  IQ occupancy:      %s\n", iq.String())
+	fmt.Fprintf(&b, "  ROB occupancy:     %s\n", rob.String())
+	fmt.Fprintf(&b, "  broadcast delays:  %s\n", bd.String())
+	fmt.Fprintf(&b, "  fault bursts:      %s\n", bursts.String())
+	return b.String()
+}
+
+// expvarMu serializes Publish calls; expvar panics on duplicate names, so
+// registration is check-then-publish under this lock.
+var expvarMu sync.Mutex
+
+// Publish exposes the registry under prefix on the process's expvar page
+// (/debug/vars once any HTTP server serves the default mux). Values are
+// computed live at scrape time. Publishing the same prefix twice is a
+// no-op, so re-runs within one process are safe.
+func (m *Metrics) Publish(prefix string) {
+	pub := func(name string, f func() interface{}) {
+		expvarMu.Lock()
+		defer expvarMu.Unlock()
+		if expvar.Get(name) == nil {
+			expvar.Publish(name, expvar.Func(f))
+		}
+	}
+	pub(prefix+".events", func() interface{} {
+		counts := m.Counts()
+		out := make(map[string]uint64, NumKinds)
+		for k := Kind(0); k < NumKinds; k++ {
+			out[k.String()] = counts[k]
+		}
+		return out
+	})
+	pub(prefix+".violations_by_stage", func() interface{} {
+		viol := m.ViolationsByStage()
+		out := make(map[string]uint64)
+		for s := isa.Stage(0); s < isa.NumStages; s++ {
+			if viol[s] > 0 {
+				out[s.String()] = viol[s]
+			}
+		}
+		return out
+	})
+	pub(prefix+".occupancy", func() interface{} {
+		iq, rob := m.IQOccupancy(), m.ROBOccupancy()
+		return map[string]float64{
+			"iq_mean":  iq.Mean(),
+			"rob_mean": rob.Mean(),
+			"samples":  float64(iq.Count),
+		}
+	})
+	pub(prefix+".prediction", func() interface{} {
+		tp, fp := m.Accuracy()
+		return map[string]uint64{"true_positives": tp, "false_positives": fp}
+	})
+}

@@ -1,0 +1,160 @@
+// Package obs is the cycle-level observability layer of the simulator: a
+// typed pipeline-event stream (Observer), a metrics registry consuming it
+// (Metrics), and a Chrome trace-event exporter (ChromeTracer) rendering
+// per-instruction pipeline occupancy for chrome://tracing / Perfetto.
+//
+// The design goal is zero overhead when disabled: the pipeline holds a
+// plain Observer interface value and fires events only behind nil checks,
+// so the uninstrumented hot loop pays a handful of predictable branches and
+// nothing else (bench_test.go's BenchmarkObserverOverhead guards this).
+// Event values are passed by value and must not retain pointers, so firing
+// an event never allocates.
+package obs
+
+import "tvsched/internal/isa"
+
+// Kind enumerates the typed pipeline events. The per-kind payload fields
+// (A, B) are documented next to each constant; unlisted Event fields are
+// zero for that kind.
+type Kind uint8
+
+const (
+	// KindFetch: an instruction entered the front end (first fetch or
+	// replay re-fetch). Cycle/Seq/PC/Class are set.
+	KindFetch Kind = iota
+	// KindDispatch: the instruction was renamed and entered the ROB/IQ.
+	KindDispatch
+	// KindIssue: the instruction won selection and was scheduled on Lane.
+	// A is the cycle its tag broadcast wakes dependents (depReadyAt);
+	// B is the cycle it becomes ready to retire (completeAt).
+	KindIssue
+	// KindViolationPredicted: the TEP predicted a violation in Stage and
+	// the scheme handled it early (confined / front stall / global stall).
+	// A is 1 for a true positive (the instruction actually violates there),
+	// 0 for a false positive.
+	KindViolationPredicted
+	// KindViolationActual: an unpredicted timing violation was detected in
+	// Stage; replay recovery follows.
+	KindViolationActual
+	// KindReplay: a replay recovery was triggered (Razor shadow-latch or
+	// in-order recirculation). Stage is the faulty stage; A is the
+	// whole-pipeline bubble charged, in cycles.
+	KindReplay
+	// KindFlush: architectural flush-and-refetch recovery squashed the
+	// errant instruction and everything younger. A is the number of
+	// squashed ROB entries.
+	KindFlush
+	// KindSlotFreeze: the FUSR froze an issue slot behind a faulty
+	// instruction (§3.2.3/§3.3). Lane is the frozen lane; A is the first
+	// cycle the lane is usable again.
+	KindSlotFreeze
+	// KindDelayedBroadcast: a producer's tag broadcast was delayed by
+	// confined violation handling (§3.2.2). A is the delay in cycles.
+	KindDelayedBroadcast
+	// KindRetire: the instruction committed. Cycle/Seq/PC/Class are set;
+	// A is the cycle it was selected for issue (0 for never-issued classes).
+	KindRetire
+	// KindSample: periodic occupancy sample (every Config.SamplePeriod
+	// cycles). A is the issue-queue occupancy, B the ROB occupancy.
+	KindSample
+	// KindTEPPredict: the TEP returned a positive prediction for PC in
+	// Stage (sensor-gated lookups that hit a saturated counter).
+	KindTEPPredict
+	// KindTEPTrain: the TEP trained on an actual violation for PC in
+	// Stage. A is the saturating-counter value after training.
+	KindTEPTrain
+	// NumKinds is the number of event kinds.
+	NumKinds
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFetch:
+		return "fetch"
+	case KindDispatch:
+		return "dispatch"
+	case KindIssue:
+		return "issue"
+	case KindViolationPredicted:
+		return "violation-predicted"
+	case KindViolationActual:
+		return "violation-actual"
+	case KindReplay:
+		return "replay"
+	case KindFlush:
+		return "flush"
+	case KindSlotFreeze:
+		return "slot-freeze"
+	case KindDelayedBroadcast:
+		return "delayed-broadcast"
+	case KindRetire:
+		return "retire"
+	case KindSample:
+		return "sample"
+	case KindTEPPredict:
+		return "tep-predict"
+	case KindTEPTrain:
+		return "tep-train"
+	default:
+		return "kind(?)"
+	}
+}
+
+// Event is one typed pipeline event. Cycle is the machine cycle the event
+// fired in (0 for component-level events that have no cycle view, e.g. TEP
+// events); Seq identifies the dynamic instruction; A and B carry kind-
+// specific payload (see the Kind constants).
+type Event struct {
+	Kind  Kind
+	Stage isa.Stage
+	Class isa.Class
+	Lane  int16
+	Cycle uint64
+	Seq   uint64
+	PC    uint64
+	A, B  uint64
+}
+
+// Observer receives pipeline events. Events are fired synchronously from
+// the simulation loop of one pipeline; an observer shared between pipelines
+// running in parallel (e.g. an experiments.Suite prefetch) must be safe for
+// concurrent use — Metrics is, ChromeTracer is.
+type Observer interface {
+	Event(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Event implements Observer.
+func (f ObserverFunc) Event(e Event) { f(e) }
+
+// multi fans one event stream out to several observers.
+type multi []Observer
+
+func (m multi) Event(e Event) {
+	for _, o := range m {
+		o.Event(e)
+	}
+}
+
+// Multi combines observers into one; nil entries are dropped. It returns
+// nil when nothing remains (preserving the disabled fast path) and the
+// observer itself when only one remains.
+func Multi(os ...Observer) Observer {
+	var kept multi
+	for _, o := range os {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return kept
+	}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tvsched/internal/isa"
+)
+
+func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		s := k.String()
+		if s == "" || strings.Contains(s, "?") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestHist(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{0, 1, 1, 3, 8, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.Count != 6 {
+		t.Fatalf("count %d", h.Count)
+	}
+	if h.Buckets[0] != 1 { // the zero
+		t.Fatalf("zero bucket %d", h.Buckets[0])
+	}
+	if h.Buckets[1] != 2 { // the ones
+		t.Fatalf("ones bucket %d", h.Buckets[1])
+	}
+	if h.Buckets[len(h.Buckets)-1] != 1 { // the huge value lands in the open bucket
+		t.Fatalf("open bucket %d", h.Buckets[len(h.Buckets)-1])
+	}
+	if h.Mean() == 0 {
+		t.Fatal("mean not computed")
+	}
+	if !strings.Contains(h.String(), "n=6") {
+		t.Fatalf("String: %s", h.String())
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	m := NewMetrics()
+	m.Event(Event{Kind: KindIssue, Cycle: 10})
+	m.Event(Event{Kind: KindViolationPredicted, Stage: isa.Execute, Cycle: 11, A: 1})
+	m.Event(Event{Kind: KindViolationPredicted, Stage: isa.Execute, Cycle: 12, A: 0})
+	m.Event(Event{Kind: KindViolationActual, Stage: isa.Memory, Cycle: 100})
+	m.Event(Event{Kind: KindSample, Cycle: 64, A: 12, B: 40})
+	m.Event(Event{Kind: KindDelayedBroadcast, Cycle: 13, A: 1})
+
+	if got := m.Count(KindIssue); got != 1 {
+		t.Fatalf("issue count %d", got)
+	}
+	viol := m.ViolationsByStage()
+	if viol[isa.Execute] != 2 || viol[isa.Memory] != 1 {
+		t.Fatalf("violations by stage %v", viol)
+	}
+	tp, fp := m.Accuracy()
+	if tp != 1 || fp != 1 {
+		t.Fatalf("accuracy %d/%d", tp, fp)
+	}
+	if m.IQOccupancy().Count != 1 || m.ROBOccupancy().Count != 1 {
+		t.Fatal("occupancy histograms not fed")
+	}
+	if m.BroadcastDelays().Sum != 1 {
+		t.Fatal("broadcast delay not fed")
+	}
+	// Two violations 1 cycle apart form one burst of 2; the third, 88
+	// cycles later, opens a new burst (still open, counted by FaultBursts).
+	bursts := m.FaultBursts()
+	if bursts.Count != 2 {
+		t.Fatalf("burst count %d (%s)", bursts.Count, bursts.String())
+	}
+	if bursts.Sum != 3 {
+		t.Fatalf("burst sum %d", bursts.Sum)
+	}
+	if !strings.Contains(m.Summary(), "violation-predicted") {
+		t.Fatalf("summary missing counters:\n%s", m.Summary())
+	}
+}
+
+func TestMetricsSeriesDecimation(t *testing.T) {
+	m := NewMetrics()
+	m.seriesCap = 8
+	for i := uint64(0); i < 1000; i++ {
+		m.Event(Event{Kind: KindSample, Cycle: i * 64, A: i % 32, B: i % 128})
+	}
+	s := m.Series()
+	if len(s) == 0 || len(s) > 8 {
+		t.Fatalf("series length %d exceeds budget", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Cycle <= s[i-1].Cycle {
+			t.Fatalf("series not increasing at %d: %+v", i, s)
+		}
+	}
+	if s[0].Cycle != 0 {
+		t.Fatalf("first sample lost: %+v", s[0])
+	}
+}
+
+func TestMultiObserver(t *testing.T) {
+	var a, b int
+	oa := ObserverFunc(func(Event) { a++ })
+	ob := ObserverFunc(func(Event) { b++ })
+	if Multi(nil, nil) != nil {
+		t.Fatal("all-nil Multi must be nil")
+	}
+	m := Multi(oa, nil, ob)
+	m.Event(Event{Kind: KindFetch})
+	m.Event(Event{Kind: KindRetire})
+	if a != 2 || b != 2 {
+		t.Fatalf("fan-out broken: %d %d", a, b)
+	}
+}
+
+// perfettoShape is the subset of the trace-event format Perfetto requires:
+// a traceEvents array whose records carry name/ph/ts/pid/tid.
+type perfettoShape struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+func TestChromeTracerOutput(t *testing.T) {
+	tr := NewChromeTracer()
+	tr.Event(Event{Kind: KindIssue, Cycle: 5, Seq: 1, PC: 0x40, Class: isa.IntALU, Lane: 2, A: 7, B: 9})
+	tr.Event(Event{Kind: KindViolationPredicted, Cycle: 6, Seq: 1, Stage: isa.Execute, A: 1})
+	tr.Event(Event{Kind: KindViolationActual, Cycle: 7, Seq: 2, Stage: isa.Memory})
+	tr.Event(Event{Kind: KindReplay, Cycle: 8, Seq: 2, Stage: isa.Memory, A: 3})
+	tr.Event(Event{Kind: KindSample, Cycle: 64, A: 10, B: 50})
+	tr.Event(Event{Kind: KindRetire, Cycle: 12, Seq: 1, PC: 0x40, Class: isa.IntALU})
+	tr.Event(Event{Kind: KindFetch, Cycle: 1}) // dropped by default Keep
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var shape perfettoShape
+	if err := json.Unmarshal(buf.Bytes(), &shape); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	kinds := map[string]int{}
+	for _, e := range shape.TraceEvents {
+		switch e.Ph {
+		case "X", "i", "C", "M":
+		default:
+			t.Fatalf("unknown phase %q", e.Ph)
+		}
+		kinds[e.Ph]++
+	}
+	if kinds["X"] != 1 || kinds["C"] != 1 || kinds["M"] == 0 {
+		t.Fatalf("event phases %v", kinds)
+	}
+	if kinds["i"] != 4 { // predicted, actual, replay, retire
+		t.Fatalf("instants %d", kinds["i"])
+	}
+	if strings.Contains(buf.String(), `"fetch"`) {
+		t.Fatal("Keep filter ignored")
+	}
+}
+
+func TestChromeTracerLimit(t *testing.T) {
+	tr := NewChromeTracer()
+	tr.Limit = 3
+	for i := 0; i < 10; i++ {
+		tr.Event(Event{Kind: KindRetire, Cycle: uint64(i)})
+	}
+	if d := tr.Dropped(); d != 7 {
+		t.Fatalf("dropped %d", d)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var shape perfettoShape
+	if err := json.Unmarshal(buf.Bytes(), &shape); err != nil {
+		t.Fatal(err)
+	}
+}

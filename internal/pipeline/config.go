@@ -1,12 +1,18 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 
 	"tvsched/internal/core"
 	"tvsched/internal/mem"
+	"tvsched/internal/obs"
 	"tvsched/internal/tep"
 )
+
+// ErrBadConfig is wrapped by every Validate failure, so callers can match
+// configuration errors with errors.Is. The public facade re-exports it.
+var ErrBadConfig = errors.New("bad config")
 
 // Config describes the simulated machine. DefaultConfig matches the paper's
 // Core-1: 4-wide fetch/issue/commit, a 10-stage misprediction loop from fetch
@@ -60,6 +66,16 @@ type Config struct {
 	CT int
 	// Hierarchy configures the caches.
 	Hierarchy mem.HierarchyConfig
+	// Observer, when non-nil, receives the typed cycle-level event stream
+	// (see internal/obs): fetch/dispatch/issue/retire progress, predicted
+	// and actual violations, replays and flushes, FUSR slot freezes,
+	// delayed tag broadcasts, TEP activity, and periodic occupancy samples.
+	// nil (the default) keeps the hot loop on its uninstrumented fast path.
+	Observer obs.Observer
+	// SamplePeriod is the cycle interval between KindSample occupancy
+	// events (0 means the default of 64). Only consulted when Observer is
+	// attached.
+	SamplePeriod uint64
 }
 
 // DefaultConfig returns the Core-1 machine of §4.1.
@@ -86,25 +102,25 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors; every failure wraps ErrBadConfig.
 func (c *Config) Validate() error {
 	if c.Width < 1 || c.FrontDepth < 1 || c.FrontQ < c.Width {
-		return fmt.Errorf("pipeline: bad front-end geometry")
+		return fmt.Errorf("pipeline: %w: bad front-end geometry", ErrBadConfig)
 	}
 	if c.ROBSize < c.Width || c.IQSize < 1 || c.LQSize < 1 || c.SQSize < 1 {
-		return fmt.Errorf("pipeline: bad window geometry")
+		return fmt.Errorf("pipeline: %w: bad window geometry", ErrBadConfig)
 	}
 	if c.NumPhys <= 32 {
-		return fmt.Errorf("pipeline: need more physical than architectural registers")
+		return fmt.Errorf("pipeline: %w: need more physical than architectural registers", ErrBadConfig)
 	}
 	if c.SimpleALUs < 1 || c.ComplexALUs < 1 || c.MemPorts < 1 {
-		return fmt.Errorf("pipeline: need at least one lane of each kind")
+		return fmt.Errorf("pipeline: %w: need at least one lane of each kind", ErrBadConfig)
 	}
 	if c.Scheme >= core.NumSchemes {
-		return fmt.Errorf("pipeline: bad scheme")
+		return fmt.Errorf("pipeline: %w: bad scheme", ErrBadConfig)
 	}
 	if c.CT < 1 {
-		return fmt.Errorf("pipeline: CT must be positive")
+		return fmt.Errorf("pipeline: %w: CT must be positive", ErrBadConfig)
 	}
 	return nil
 }

@@ -1,0 +1,200 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tvsched/internal/core"
+	"tvsched/internal/fault"
+	"tvsched/internal/obs"
+	"tvsched/internal/workload"
+)
+
+// observedRun simulates a faulty sjeng phase with the given observer
+// attached from cycle zero (no warmup, so event counts and Stats counters
+// cover exactly the same cycles).
+func observedRun(t *testing.T, cfg Config, o obs.Observer, seed uint64, n uint64) Stats {
+	t.Helper()
+	prof := mustProfile(t, "sjeng")
+	gen, err := workload.NewGenerator(prof, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MispredictRate = prof.MispredictRate
+	cfg.Seed = seed
+	cfg.Observer = o
+	fc := fault.DefaultConfig(seed)
+	fc.Bias = prof.FaultBias
+	p, err := New(cfg, gen, fault.New(fc), fault.VHighFault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestObserverEventStatsConsistency pins the contract between the event
+// stream and the Stats counters: every counter with a corresponding event
+// kind must agree exactly, because each emission site sits next to its
+// counter increment.
+func TestObserverEventStatsConsistency(t *testing.T) {
+	counts := map[obs.Kind]uint64{}
+	o := obs.ObserverFunc(func(e obs.Event) { counts[e.Kind]++ })
+	st := observedRun(t, DefaultConfig(), o, 1, 30000)
+
+	checks := []struct {
+		kind obs.Kind
+		want uint64
+	}{
+		{obs.KindFetch, st.Fetched},
+		{obs.KindDispatch, st.Dispatched},
+		{obs.KindIssue, st.Selected},
+		{obs.KindRetire, st.Committed},
+		{obs.KindViolationPredicted, st.PredictedFaults + st.FalsePositives},
+		{obs.KindViolationActual, st.Mispredicted},
+		{obs.KindReplay, st.Replays},
+		{obs.KindSlotFreeze, st.SlotFreezes},
+	}
+	for _, c := range checks {
+		if counts[c.kind] != c.want {
+			t.Errorf("%v events %d, stats say %d", c.kind, counts[c.kind], c.want)
+		}
+	}
+	if st.Mispredicted == 0 || st.PredictedFaults == 0 || st.SlotFreezes == 0 {
+		t.Fatalf("degenerate run, invariants not exercised: %+v", st)
+	}
+	// Selective replay is the default, so no pipeline flushes fire.
+	if counts[obs.KindFlush] != 0 {
+		t.Errorf("flush events %d under selective replay", counts[obs.KindFlush])
+	}
+	// One occupancy sample per default period, give or take the final cycle.
+	if want := st.Cycles / 64; counts[obs.KindSample] < want || counts[obs.KindSample] > want+1 {
+		t.Errorf("sample events %d for %d cycles", counts[obs.KindSample], st.Cycles)
+	}
+}
+
+// TestObserverFlushEvents switches to architectural replay, where each
+// unpredicted violation squashes the tail of the ROB and emits KindFlush.
+func TestObserverFlushEvents(t *testing.T) {
+	counts := map[obs.Kind]uint64{}
+	var squashed uint64
+	o := obs.ObserverFunc(func(e obs.Event) {
+		counts[e.Kind]++
+		if e.Kind == obs.KindFlush {
+			squashed += e.A
+		}
+	})
+	cfg := DefaultConfig()
+	cfg.Scheme = core.Razor
+	cfg.FullFlushReplay = true
+	st := observedRun(t, cfg, o, 1, 20000)
+	if counts[obs.KindFlush] == 0 {
+		t.Fatal("no flush events under full-flush replay")
+	}
+	if counts[obs.KindFlush] > st.Replays {
+		t.Fatalf("flushes %d exceed replays %d", counts[obs.KindFlush], st.Replays)
+	}
+	if squashed != st.SquashedInsts {
+		t.Fatalf("flush payloads sum to %d squashed, stats say %d", squashed, st.SquashedInsts)
+	}
+}
+
+// TestObserverGoldenDeterminism asserts the event stream is a pure function
+// of the seed: two identical runs produce byte-identical sequences, and a
+// different seed produces a different one.
+func TestObserverGoldenDeterminism(t *testing.T) {
+	record := func(seed uint64) []obs.Event {
+		var evs []obs.Event
+		observedRun(t, DefaultConfig(), obs.ObserverFunc(func(e obs.Event) {
+			evs = append(evs, e)
+		}), seed, 15000)
+		return evs
+	}
+	a, b := record(1), record(1)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("no events recorded")
+	}
+	c := record(2)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical event streams")
+		}
+	}
+}
+
+// TestObserverChromeTraceEndToEnd drives a real pipeline into the Chrome
+// tracer and checks the acceptance shape: valid JSON with issue/retire
+// slices, violation instants, and occupancy counters.
+func TestObserverChromeTraceEndToEnd(t *testing.T) {
+	tr := obs.NewChromeTracer()
+	observedRun(t, DefaultConfig(), tr, 1, 20000)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	sawViolation := false
+	for _, e := range doc.TraceEvents {
+		phases[e.Ph]++
+		if strings.Contains(e.Name, "violation") || strings.Contains(e.Name, "predicted") {
+			sawViolation = true
+		}
+	}
+	if phases["X"] == 0 || phases["i"] == 0 || phases["C"] == 0 || phases["M"] == 0 {
+		t.Fatalf("missing trace phases: %v", phases)
+	}
+	if !sawViolation {
+		t.Fatal("no violation events in the trace")
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("tracer dropped %d events on a short run", tr.Dropped())
+	}
+}
+
+// TestObserverSamplePeriod checks the configurable occupancy cadence.
+func TestObserverSamplePeriod(t *testing.T) {
+	var samples uint64
+	o := obs.ObserverFunc(func(e obs.Event) {
+		if e.Kind == obs.KindSample {
+			samples++
+			if e.A == 0 && e.B == 0 {
+				return // empty machine is legal, just uninteresting
+			}
+		}
+	})
+	cfg := DefaultConfig()
+	cfg.SamplePeriod = 16
+	st := observedRun(t, cfg, o, 1, 10000)
+	if want := st.Cycles / 16; samples < want || samples > want+1 {
+		t.Fatalf("samples %d for %d cycles at period 16", samples, st.Cycles)
+	}
+}

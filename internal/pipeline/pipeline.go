@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"tvsched/internal/bpred"
@@ -8,6 +9,7 @@ import (
 	"tvsched/internal/fault"
 	"tvsched/internal/isa"
 	"tvsched/internal/mem"
+	"tvsched/internal/obs"
 	"tvsched/internal/tep"
 )
 
@@ -41,6 +43,12 @@ type Pipeline struct {
 	tep   tep.Predictor
 	fusr  *core.FUSR
 	cdl   core.CDL
+
+	// obs, when non-nil, receives the typed event stream; every emission
+	// site is guarded by a nil check so the uninstrumented hot loop pays
+	// only an untaken branch.
+	obs          obs.Observer
+	samplePeriod uint64
 
 	cycle uint64
 	seq   uint64
@@ -97,8 +105,25 @@ func New(cfg Config, src Source, model FaultOracle, vdd float64) (*Pipeline, err
 		freePhys:      cfg.NumPhys - isa.NumArchRegs,
 		storeAt:       make(map[uint64]int),
 		lastFetchLine: ^uint64(0),
+		samplePeriod:  cfg.SamplePeriod,
 	}
+	if p.samplePeriod == 0 {
+		p.samplePeriod = 64
+	}
+	p.SetObserver(cfg.Observer)
 	return p, nil
+}
+
+// SetObserver attaches (or, with nil, detaches) the event observer. It also
+// wires the FUSR slot-freeze path and the TEP predict/train path, so one call
+// instruments the whole machine. Safe to call between runs — e.g. to start
+// tracing only after warmup.
+func (p *Pipeline) SetObserver(o obs.Observer) {
+	p.obs = o
+	p.fusr.SetObserver(o)
+	if t, ok := p.tep.(*tep.TEP); ok {
+		t.Obs = o
+	}
 }
 
 func newPredictor(cfg Config) tep.Predictor {
@@ -131,7 +156,12 @@ func (p *Pipeline) PrefillData(base, size uint64) {
 // of §4.2, where representative phases are measured after warmup rather than
 // from a cold machine.
 func (p *Pipeline) Warmup(n uint64) error {
-	if _, err := p.Run(n); err != nil {
+	return p.WarmupContext(context.Background(), n)
+}
+
+// WarmupContext is Warmup with cancellation (see RunContext).
+func (p *Pipeline) WarmupContext(ctx context.Context, n uint64) error {
+	if _, err := p.RunContext(ctx, n); err != nil {
 		return err
 	}
 	p.stats = Stats{}
@@ -150,11 +180,27 @@ func (p *Pipeline) Warmup(n uint64) error {
 // an error if forward progress stops (a model bug, guarded so tests fail
 // loudly rather than hang).
 func (p *Pipeline) Run(n uint64) (Stats, error) {
+	return p.RunContext(context.Background(), n)
+}
+
+// RunContext is Run with cancellation: it polls ctx every 1024 cycles (cheap
+// enough to be invisible, frequent enough that cancellation lands within
+// microseconds of wall time) and returns the context's error along with the
+// statistics accumulated so far.
+func (p *Pipeline) RunContext(ctx context.Context, n uint64) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return p.stats, err
+	}
 	p.fetchLimit += n
 	target := p.stats.Committed + n
 	lastCommit, lastCommitCycle := p.stats.Committed, p.cycle
 	for p.stats.Committed < target {
 		p.step()
+		if p.cycle&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return p.stats, err
+			}
+		}
 		if p.stats.Committed != lastCommit {
 			lastCommit, lastCommitCycle = p.stats.Committed, p.cycle
 		} else if p.cycle-lastCommitCycle > 200000 {
@@ -174,6 +220,14 @@ func (p *Pipeline) step() {
 	p.cycle++
 	p.stats.Cycles++
 	p.env.Step()
+
+	// Occupancy samples fire on a fixed cadence even through stall cycles —
+	// the window contents are frozen, not gone, and gaps in the series would
+	// hide exactly the congested phases worth looking at.
+	if p.obs != nil && p.cycle%p.samplePeriod == 0 {
+		p.obs.Event(obs.Event{Kind: obs.KindSample, Cycle: p.cycle,
+			A: uint64(len(p.iq)), B: uint64(p.robCount)})
+	}
 
 	// EP whole-pipeline stall: the faulty stage completes in two cycles
 	// while every other stage recirculates its inputs (§2.2, §5). The stall
@@ -207,6 +261,27 @@ func (p *Pipeline) step() {
 	}
 	p.dispatch()
 	p.fetch()
+}
+
+// emitViolation fires the KindViolationActual/KindReplay pair that every
+// unpredicted-violation recovery produces, so event counts track the
+// Mispredicted/Replays statistics exactly. Callers guard on p.obs != nil.
+func (p *Pipeline) emitViolation(di *dynInst, stage isa.Stage, bubble uint64) {
+	p.obs.Event(obs.Event{Kind: obs.KindViolationActual, Cycle: p.cycle,
+		Seq: di.seq, PC: di.in.PC, Stage: stage, Class: di.in.Class})
+	p.obs.Event(obs.Event{Kind: obs.KindReplay, Cycle: p.cycle,
+		Seq: di.seq, PC: di.in.PC, Stage: stage, Class: di.in.Class, A: bubble})
+}
+
+// emitPredicted fires a KindViolationPredicted event; A records whether the
+// prediction was a true positive. Callers guard on p.obs != nil.
+func (p *Pipeline) emitPredicted(di *dynInst, stage isa.Stage, actual bool) {
+	var a uint64
+	if actual {
+		a = 1
+	}
+	p.obs.Event(obs.Event{Kind: obs.KindViolationPredicted, Cycle: p.cycle,
+		Seq: di.seq, PC: di.in.PC, Stage: stage, Class: di.in.Class, A: a})
 }
 
 // ---------------------------------------------------------------- fetch --
@@ -307,11 +382,18 @@ func (p *Pipeline) fetch() {
 			di.replaySafe = true
 			p.stats.Mispredicted++
 			p.stats.Replays++
+			if p.obs != nil {
+				p.emitViolation(di, di.faultStage, uint64(p.cfg.ReplayBubble))
+			}
 			p.fetchResumeAt = p.cycle + uint64(p.cfg.ReplayBubble) + 1
 			return
 		}
 		p.consumeFetch(di)
 		p.stats.Fetched++
+		if p.obs != nil {
+			p.obs.Event(obs.Event{Kind: obs.KindFetch, Cycle: p.cycle,
+				Seq: di.seq, PC: di.in.PC, Class: di.in.Class})
+		}
 		di.availAt = p.cycle + uint64(p.cfg.FrontDepth)
 		di.history = p.bp.History()
 		// TEP access in parallel with decode (§2.1.1).
@@ -368,11 +450,15 @@ func (p *Pipeline) dispatch() {
 				case core.ActGlobalStall:
 					p.globalFreeze++
 				}
-				if di.actualAt(st) {
+				actual := di.actualAt(st)
+				if actual {
 					p.stats.PredictedFaults++
 					di.replaySafe = true // stall gave the stage its 2nd cycle
 				} else {
 					p.stats.FalsePositives++
+				}
+				if p.obs != nil {
+					p.emitPredicted(di, st, actual)
 				}
 			} else if di.actualAt(st) {
 				p.recoverInOrder(di)
@@ -406,6 +492,10 @@ func (p *Pipeline) dispatch() {
 			p.storeAt[di.in.Addr]++
 		}
 		p.stats.Dispatched++
+		if p.obs != nil {
+			p.obs.Event(obs.Event{Kind: obs.KindDispatch, Cycle: p.cycle,
+				Seq: di.seq, PC: di.in.PC, Class: di.in.Class})
+		}
 	}
 }
 
@@ -472,7 +562,8 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 
 	isMem := di.in.Class.IsMem()
 	var extra [isa.NumStages]uint64
-	issueFreeze := false // issue-stage CAM fault: slot freeze is the only cost
+	var bcastDelay uint64 // confined extra cycles ahead of the tag broadcast
+	issueFreeze := false  // issue-stage CAM fault: slot freeze is the only cost
 	replayStage := isa.NumStages
 
 	handle := func(stage isa.Stage) {
@@ -495,6 +586,9 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 					issueFreeze = true
 				} else {
 					extra[stage] = 1
+					if stage != isa.Writeback {
+						bcastDelay++ // dependents wake one cycle later (§3.2.2)
+					}
 				}
 				p.stats.ConfinedEvents++
 			case core.ActGlobalStall:
@@ -506,6 +600,9 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 				di.replaySafe = true // the extra cycle covers the violation
 			} else {
 				p.stats.FalsePositives++
+			}
+			if p.obs != nil {
+				p.emitPredicted(di, stage, actual)
 			}
 		} else if actual && replayStage == isa.NumStages {
 			replayStage = stage
@@ -541,6 +638,9 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 			p.stats.Replays++
 			p.stats.Mispredicted++
 			di.replaySafe = true
+			if p.obs != nil {
+				p.emitViolation(di, replayStage, uint64(p.cfg.ReplayBubble))
+			}
 			if p.cfg.Scheme.UsesTEP() {
 				p.tep.Train(di.in.PC, di.history, true, di.faultStage)
 			}
@@ -603,6 +703,11 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 
 	if di.in.Dest > 0 {
 		p.stats.Broadcasts++
+		if p.obs != nil && bcastDelay > 0 {
+			p.obs.Event(obs.Event{Kind: obs.KindDelayedBroadcast, Cycle: p.cycle,
+				Seq: di.seq, PC: di.in.PC, Class: di.in.Class,
+				Lane: int16(lane), A: bcastDelay})
+		}
 	}
 	p.stats.ExecByClass[di.in.Class]++
 
@@ -622,6 +727,11 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 		}
 	}
 
+	if p.obs != nil {
+		p.obs.Event(obs.Event{Kind: obs.KindIssue, Cycle: t,
+			Seq: di.seq, PC: di.in.PC, Class: di.in.Class,
+			Lane: int16(lane), A: di.depReadyAt, B: di.completeAt})
+	}
 }
 
 // --------------------------------------------------------------- replay --
@@ -633,6 +743,9 @@ func (p *Pipeline) recoverInOrder(di *dynInst) {
 	p.stats.Replays++
 	p.stats.Mispredicted++
 	di.replaySafe = true
+	if p.obs != nil {
+		p.emitViolation(di, di.faultStage, uint64(p.cfg.ReplayBubble))
+	}
 	p.frontFreeze += p.cfg.ReplayBubble
 	if p.cfg.Scheme.UsesTEP() {
 		p.tep.Train(di.in.PC, di.history, true, di.faultStage)
@@ -649,6 +762,9 @@ func (p *Pipeline) flushReplay(di *dynInst) {
 	p.stats.Replays++
 	p.stats.Mispredicted++
 	di.replaySafe = true
+	if p.obs != nil {
+		p.emitViolation(di, di.faultStage, uint64(p.cfg.ReplayBubble))
+	}
 	if p.cfg.Scheme.UsesTEP() {
 		p.tep.Train(di.in.PC, di.history, true, di.faultStage)
 	}
@@ -668,6 +784,11 @@ func (p *Pipeline) flushReplay(di *dynInst) {
 		squashed[i], squashed[j] = squashed[j], squashed[i]
 	}
 	p.stats.SquashedInsts += uint64(len(squashed))
+	if p.obs != nil {
+		p.obs.Event(obs.Event{Kind: obs.KindFlush, Cycle: p.cycle,
+			Seq: di.seq, PC: di.in.PC, Stage: di.faultStage,
+			A: uint64(len(squashed))})
+	}
 
 	// Front-end instructions are younger than everything in the ROB.
 	for _, fq := range p.frontQ {
@@ -740,11 +861,15 @@ func (p *Pipeline) retire() {
 			case core.ActGlobalStall:
 				p.globalFreeze++
 			}
-			if di.actualAt(isa.Retire) {
+			actual := di.actualAt(isa.Retire)
+			if actual {
 				p.stats.PredictedFaults++
 				di.replaySafe = true
 			} else {
 				p.stats.FalsePositives++
+			}
+			if p.obs != nil {
+				p.emitPredicted(di, isa.Retire, actual)
 			}
 		} else if di.actualAt(isa.Retire) {
 			// Unpredicted retire-stage violation: correct and re-run the
@@ -752,6 +877,9 @@ func (p *Pipeline) retire() {
 			p.stats.Replays++
 			p.stats.Mispredicted++
 			di.replaySafe = true
+			if p.obs != nil {
+				p.emitViolation(di, isa.Retire, uint64(p.cfg.ReplayBubble))
+			}
 			p.globalFreeze += p.cfg.ReplayBubble
 			if p.cfg.Scheme.UsesTEP() {
 				p.tep.Train(di.in.PC, di.history, true, di.faultStage)
@@ -785,6 +913,11 @@ func (p *Pipeline) retire() {
 			p.tep.Train(di.in.PC, di.history, di.fault, di.faultStage)
 		}
 		p.stats.Committed++
+		if p.obs != nil {
+			p.obs.Event(obs.Event{Kind: obs.KindRetire, Cycle: p.cycle,
+				Seq: di.seq, PC: di.in.PC, Class: di.in.Class,
+				Lane: int16(di.lane), A: di.selectedAt})
+		}
 	}
 }
 

@@ -14,7 +14,10 @@
 //   - predictions are gated by favorable thermal/voltage sensor conditions.
 package tep
 
-import "tvsched/internal/isa"
+import (
+	"tvsched/internal/isa"
+	"tvsched/internal/obs"
+)
 
 // Config sizes the predictor.
 type Config struct {
@@ -69,6 +72,11 @@ type TEP struct {
 	mask  uint64
 	hmask uint64
 	Stats Stats
+	// Obs, when non-nil, receives KindTEPPredict for every positive lookup
+	// and KindTEPTrain for every fault training (the observability layer's
+	// view into predictor behaviour). The pipeline wires it from its own
+	// observer; the events carry no Cycle (the TEP has no clock view).
+	Obs obs.Observer
 }
 
 // New builds a TEP; it panics if Entries is not a positive power of two
@@ -109,6 +117,9 @@ func (t *TEP) Lookup(pc, history uint64, favorable bool) Prediction {
 		return Prediction{Critical: e.critical}
 	}
 	t.Stats.Predicted++
+	if t.Obs != nil {
+		t.Obs.Event(obs.Event{Kind: obs.KindTEPPredict, PC: pc, Stage: e.stage})
+	}
 	return Prediction{Fault: true, Stage: e.stage, Critical: e.critical}
 }
 
@@ -128,6 +139,9 @@ func (t *TEP) Train(pc, history uint64, fault bool, stage isa.Stage) {
 			t.Stats.TagEvicts++
 		}
 		*e = entry{tag: tg, counter: 1, stage: stage, valid: true}
+		if t.Obs != nil {
+			t.Obs.Event(obs.Event{Kind: obs.KindTEPTrain, PC: pc, Stage: stage, A: 1})
+		}
 		return
 	}
 	if fault {
@@ -135,6 +149,9 @@ func (t *TEP) Train(pc, history uint64, fault bool, stage isa.Stage) {
 			e.counter++
 		}
 		e.stage = stage
+		if t.Obs != nil {
+			t.Obs.Event(obs.Event{Kind: obs.KindTEPTrain, PC: pc, Stage: stage, A: uint64(e.counter)})
+		}
 	} else if e.counter > 0 {
 		e.counter--
 	}

@@ -21,7 +21,16 @@
 // Profiles are calibrated so fault-free IPC approximates Table 1.
 package workload
 
-import "tvsched/internal/isa"
+import (
+	"errors"
+	"fmt"
+
+	"tvsched/internal/isa"
+)
+
+// ErrUnknownBenchmark is wrapped by Lookup failures, so callers can match
+// them with errors.Is. The public facade re-exports it.
+var ErrUnknownBenchmark = errors.New("unknown benchmark")
 
 // Profile parameterizes one synthetic benchmark.
 type Profile struct {
@@ -252,6 +261,16 @@ func ByName(name string) (Profile, bool) {
 		}
 	}
 	return Profile{}, false
+}
+
+// Lookup is ByName with a matchable error: unknown names wrap
+// ErrUnknownBenchmark and include the valid name list.
+func Lookup(name string) (Profile, error) {
+	p, ok := ByName(name)
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: %w %q (valid: %v)", ErrUnknownBenchmark, name, Names())
+	}
+	return p, nil
 }
 
 // Names returns the benchmark names in Table 1 order.

@@ -36,6 +36,7 @@
 package tvsched
 
 import (
+	"context"
 	"fmt"
 
 	"tvsched/internal/asm"
@@ -43,8 +44,21 @@ import (
 	"tvsched/internal/energy"
 	"tvsched/internal/experiments"
 	"tvsched/internal/fault"
+	"tvsched/internal/obs"
 	"tvsched/internal/pipeline"
 	"tvsched/internal/workload"
+)
+
+// Sentinel errors, matchable with errors.Is. They originate in the internal
+// packages (which cannot import this facade) and are re-exported here so
+// callers never need to match on message text.
+var (
+	// ErrUnknownBenchmark reports a Config.Benchmark outside Benchmarks().
+	ErrUnknownBenchmark = workload.ErrUnknownBenchmark
+	// ErrUnknownScheme reports a scheme name ParseScheme does not recognize.
+	ErrUnknownScheme = core.ErrUnknownScheme
+	// ErrBadConfig reports an invalid machine configuration.
+	ErrBadConfig = pipeline.ErrBadConfig
 )
 
 // Scheme selects the timing-error handling scheme.
@@ -88,6 +102,57 @@ type PipeStats = pipeline.Stats
 // EnergyResult re-exports the energy accounting.
 type EnergyResult = energy.Result
 
+// Observability re-exports (see internal/obs for the full documentation).
+// An Observer attached via Config.Observer receives every typed pipeline
+// event — fetch/dispatch/issue/retire progress, predicted and actual timing
+// violations, replays and flushes, FUSR slot freezes, delayed tag broadcasts,
+// TEP activity, and periodic occupancy samples. A nil observer costs nothing.
+type (
+	// Observer receives pipeline events.
+	Observer = obs.Observer
+	// ObserverFunc adapts a function to an Observer.
+	ObserverFunc = obs.ObserverFunc
+	// Event is one typed pipeline event.
+	Event = obs.Event
+	// EventKind discriminates Event payloads.
+	EventKind = obs.Kind
+	// Metrics is a thread-safe aggregating observer: counters, per-stage
+	// violation counts, occupancy/burst histograms and a decimating
+	// occupancy time series, publishable via expvar.
+	Metrics = obs.Metrics
+	// ChromeTracer is an observer that records Chrome trace-event JSON
+	// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+	ChromeTracer = obs.ChromeTracer
+)
+
+// Event kinds (see internal/obs for per-kind payload conventions).
+const (
+	EventFetch              = obs.KindFetch
+	EventDispatch           = obs.KindDispatch
+	EventIssue              = obs.KindIssue
+	EventViolationPredicted = obs.KindViolationPredicted
+	EventViolationActual    = obs.KindViolationActual
+	EventReplay             = obs.KindReplay
+	EventFlush              = obs.KindFlush
+	EventSlotFreeze         = obs.KindSlotFreeze
+	EventDelayedBroadcast   = obs.KindDelayedBroadcast
+	EventRetire             = obs.KindRetire
+	EventSample             = obs.KindSample
+	EventTEPPredict         = obs.KindTEPPredict
+	EventTEPTrain           = obs.KindTEPTrain
+)
+
+// NewMetrics builds an empty Metrics observer.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewChromeTracer builds a ChromeTracer with the default event filter
+// (issue/violation/replay/flush/freeze/sample/retire) and record cap.
+func NewChromeTracer() *ChromeTracer { return obs.NewChromeTracer() }
+
+// MultiObserver fans events out to every non-nil observer, and is nil when
+// none remain — safe to assign to Config.Observer directly.
+func MultiObserver(os ...Observer) Observer { return obs.Multi(os...) }
+
 // Config describes one simulation.
 type Config struct {
 	// Benchmark is a workload name from Benchmarks().
@@ -108,6 +173,11 @@ type Config struct {
 	// susceptibility). Useful for custom kernels whose few static
 	// instructions may otherwise miss the fault-prone tail entirely.
 	FaultBias float64
+	// Observer, when non-nil, receives the simulation's event stream
+	// (warmup included). See the observability re-exports above; attach a
+	// *Metrics for aggregate counters or a *ChromeTracer for a Perfetto
+	// trace, or combine them with MultiObserver.
+	Observer Observer
 }
 
 func (c *Config) fill() {
@@ -148,9 +218,16 @@ type Result struct {
 
 // Run simulates one (benchmark, scheme, voltage) combination.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the simulation
+// stops within ~1k simulated cycles and the context's error is returned.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	cfg.fill()
-	r, err := experiments.Simulate(cfg.Benchmark, cfg.Scheme, cfg.VDD,
-		experiments.Config{Insts: cfg.Instructions, Warmup: cfg.Warmup, Seed: cfg.Seed})
+	r, err := experiments.SimulateContext(ctx, cfg.Benchmark, cfg.Scheme, cfg.VDD,
+		experiments.Config{Insts: cfg.Instructions, Warmup: cfg.Warmup, Seed: cfg.Seed,
+			Observer: cfg.Observer})
 	if err != nil {
 		return Result{}, err
 	}
@@ -172,22 +249,29 @@ type Comparison struct {
 	EDOverhead   float64 // relative energy-delay degradation vs fault-free
 }
 
-// Compare runs the given schemes at vdd plus the fault-free baseline and
-// returns per-scheme overheads.
-func Compare(benchmark string, vdd float64, schemes []Scheme, insts uint64) ([]Comparison, error) {
-	if insts == 0 {
-		insts = 300000
-	}
-	ecfg := experiments.Config{Insts: insts, Warmup: insts / 4, Seed: 1, Parallel: true}
-	base, err := experiments.Simulate(benchmark, ABS, VNominal, ecfg)
+// Compare runs the given schemes plus the fault-free baseline and returns
+// per-scheme overheads. cfg supplies the benchmark, voltage, phase length,
+// seed and observer — in particular the seed is respected, so comparisons are
+// reproducible under any Config (earlier revisions pinned Seed to 1);
+// cfg.Scheme is ignored in favour of the schemes argument.
+func Compare(cfg Config, schemes []Scheme) ([]Comparison, error) {
+	return CompareContext(context.Background(), cfg, schemes)
+}
+
+// CompareContext is Compare with cancellation.
+func CompareContext(ctx context.Context, cfg Config, schemes []Scheme) ([]Comparison, error) {
+	cfg.fill()
+	ecfg := experiments.Config{Insts: cfg.Instructions, Warmup: cfg.Warmup,
+		Seed: cfg.Seed, Observer: cfg.Observer}
+	base, err := experiments.SimulateContext(ctx, cfg.Benchmark, ABS, VNominal, ecfg)
 	if err != nil {
 		return nil, err
 	}
 	var out []Comparison
 	for _, s := range schemes {
-		r, err := experiments.Simulate(benchmark, s, vdd, ecfg)
+		r, err := experiments.SimulateContext(ctx, cfg.Benchmark, s, cfg.VDD, ecfg)
 		if err != nil {
-			return nil, fmt.Errorf("tvsched: %s/%v: %w", benchmark, s, err)
+			return nil, fmt.Errorf("tvsched: %s/%v: %w", cfg.Benchmark, s, err)
 		}
 		out = append(out, Comparison{
 			Scheme:       s,
@@ -222,6 +306,7 @@ func RunProfile(cfg Config, prof WorkloadProfile) (Result, error) {
 	pcfg.Scheme = cfg.Scheme
 	pcfg.MispredictRate = prof.MispredictRate
 	pcfg.Seed = cfg.Seed
+	pcfg.Observer = cfg.Observer
 	fc := fault.DefaultConfig(cfg.Seed)
 	fc.Bias = prof.FaultBias
 	p, err := pipeline.New(pcfg, gen, fault.New(fc), cfg.VDD)
@@ -263,6 +348,7 @@ func RunAsm(cfg Config, source string, init func(m *AsmMachine)) (Result, error)
 	pcfg := pipeline.DefaultConfig()
 	pcfg.Scheme = cfg.Scheme
 	pcfg.Seed = cfg.Seed
+	pcfg.Observer = cfg.Observer
 	fc := fault.DefaultConfig(cfg.Seed)
 	fc.Bias = cfg.FaultBias
 	p, err := pipeline.New(pcfg, m, fault.New(fc), cfg.VDD)

@@ -1,6 +1,115 @@
 package tvsched
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tvsched/internal/pipeline"
+)
+
+func TestSentinelErrors(t *testing.T) {
+	if _, err := Run(Config{Benchmark: "nope", Instructions: 1000}); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Errorf("unknown benchmark not matchable: %v", err)
+	}
+	if _, err := ParseScheme("nope"); !errors.Is(err, ErrUnknownScheme) {
+		t.Errorf("unknown scheme not matchable: %v", err)
+	}
+	// ErrBadConfig is the same sentinel the machine-configuration layer
+	// wraps, so machine-geometry errors are matchable at the facade.
+	bad := pipeline.DefaultConfig()
+	bad.Width = 0
+	if err := bad.Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad config not matchable: %v", err)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := RunContext(ctx, Config{Instructions: 500000}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("pre-cancelled run took %v", d)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, Config{Benchmark: "sjeng", Instructions: 50_000_000})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-run deadline: %v", err)
+	}
+	// The hot loop polls every 1024 cycles, so cancellation must land well
+	// before a 50M-instruction run could finish.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+}
+
+func TestConfigObserverSeesRetires(t *testing.T) {
+	var retires, violations uint64
+	cfg := Config{
+		Benchmark:    "sjeng",
+		Scheme:       ABS,
+		VDD:          VHighFault,
+		Instructions: 30000,
+		Warmup:       5000,
+		Observer: ObserverFunc(func(e Event) {
+			switch e.Kind {
+			case EventRetire:
+				retires++
+			case EventViolationPredicted, EventViolationActual:
+				violations++
+			}
+		}),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The observer is attached for warmup and the measured phase; commit
+	// width lets each phase overshoot its target by a few instructions.
+	total := cfg.Warmup + cfg.Instructions
+	if retires < total || retires > total+16 {
+		t.Fatalf("retire events %d for %d simulated instructions", retires, total)
+	}
+	if retires < res.Stats.Committed {
+		t.Fatalf("retire events %d below committed %d", retires, res.Stats.Committed)
+	}
+	if violations == 0 {
+		t.Fatal("no violation events at 0.97V")
+	}
+}
+
+func TestCompareRespectsSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run comparison is slow in -short mode")
+	}
+	run := func(seed uint64) []Comparison {
+		cs, err := Compare(Config{Benchmark: "bzip2", VDD: VHighFault, Instructions: 40000, Seed: seed},
+			[]Scheme{ABS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+	a, b, c := run(3), run(3), run(7)
+	if a[0].IPC != b[0].IPC {
+		t.Fatalf("same seed, different IPC: %v vs %v", a[0].IPC, b[0].IPC)
+	}
+	if a[0].IPC == c[0].IPC {
+		t.Fatalf("seed ignored: IPC %v for both seeds", a[0].IPC)
+	}
+}
 
 func TestRunDefaults(t *testing.T) {
 	res, err := Run(Config{Instructions: 30000})
@@ -63,7 +172,8 @@ func TestCompareOrdering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run comparison is slow in -short mode")
 	}
-	cs, err := Compare("bzip2", VHighFault, []Scheme{Razor, EP, ABS}, 60000)
+	cs, err := Compare(Config{Benchmark: "bzip2", VDD: VHighFault, Instructions: 60000},
+		[]Scheme{Razor, EP, ABS})
 	if err != nil {
 		t.Fatal(err)
 	}
