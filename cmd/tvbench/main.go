@@ -5,9 +5,14 @@
 //	tvbench                    # everything
 //	tvbench -exp table1        # one experiment
 //	tvbench -n 1000000         # paper-scale 1M-instruction phases
-//	tvbench -pprof :8080       # live expvar metrics + pprof while running
+//	tvbench -pprof :8080       # live /metrics + expvar + pprof while running
+//	tvbench -exp table1 -json out.json   # artifacts + BENCH_table1.json
 //
 // Experiments: table1, fig4, fig5, fig8, fig9, table2, table3, fig7, all.
+//
+// With -json, besides the artifact file, a cycle-accounting RunReport
+// (obs.RunReportSchema) is written as BENCH_<exp>.json next to it; cmd/tvgate
+// compares such reports to gate performance regressions in CI.
 package main
 
 import (
@@ -41,21 +46,31 @@ func main() {
 	flag.Parse()
 
 	cfg := experiments.Config{Insts: *n, Warmup: *warmup, Seed: *seed, Parallel: !*serial}
+	var (
+		metrics *obs.Metrics
+		stack   *obs.CPIStack
+	)
+	if *pprofA != "" || *jsonOut != "" {
+		// Aggregate observability across every simulation the suite runs.
+		// Both observers implement obs.Sharder, so the suite gives each
+		// parallel simulation a private lock-free shard and merges at run
+		// end — the hot Event path never contends on a shared mutex.
+		metrics = obs.NewMetrics()
+		stack = experiments.NewRunCPIStack()
+		cfg.Observer = obs.Multi(metrics, stack)
+	}
 	if *pprofA != "" {
-		// Aggregate observability across every simulation the suite runs,
-		// published under /debug/vars (expvar) next to /debug/pprof. The
-		// metrics observer is mutex-guarded, so parallel simulations may
-		// share it.
-		metrics := obs.NewMetrics()
+		// Published three ways while running: the Prometheus text format at
+		// /metrics, expvar JSON under /debug/vars, pprof at /debug/pprof.
 		metrics.Publish("tvbench")
 		expvar.NewString("tvbench.experiment").Set(*exp)
-		cfg.Observer = metrics
+		http.Handle("/metrics", obs.NewExposition("tvbench", metrics, stack).Handler())
 		go func() {
 			if err := http.ListenAndServe(*pprofA, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "tvbench: pprof server:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "tvbench: pprof/expvar at http://%s/debug/pprof and /debug/vars\n", *pprofA)
+		fmt.Fprintf(os.Stderr, "tvbench: serving http://%s/metrics, /debug/pprof and /debug/vars\n", *pprofA)
 	}
 	suite := experiments.NewSuite(cfg)
 
@@ -143,16 +158,64 @@ func main() {
 		ran = true
 	}
 	if ran && *jsonOut != "" {
+		report.RunReport = buildRunReport(suite, *exp, *seed, metrics, stack)
 		f, err := os.Create(*jsonOut)
 		check(err)
 		check(report.WriteJSON(f))
 		check(f.Close())
+
+		// The standalone BENCH_<exp>.json next to the artifact file is what
+		// cmd/tvgate and the CI perf gate consume.
+		benchOut := filepath.Join(filepath.Dir(*jsonOut), "BENCH_"+*exp+".json")
+		bf, err := os.Create(benchOut)
+		check(err)
+		check(report.RunReport.WriteJSON(bf))
+		check(bf.Close())
+		fmt.Fprintf(os.Stderr, "tvbench: run report written to %s\n", benchOut)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "tvbench: unknown experiment %q (want %s)\n",
 			*exp, strings.Join([]string{"table1", "fig4", "fig5", "fig8", "fig9", "table2", "table3", "fig7", "all"}, "|"))
 		os.Exit(2)
 	}
+}
+
+// buildRunReport aggregates the suite's runs into the RunReport artifact:
+// throughput and the CPI stack from the shared observers, TEP accuracy from
+// the metrics registry, and per-scheme overheads versus the fault-free
+// baseline (simulated now if the chosen experiment did not already need
+// them; suite memoization makes repeats free).
+func buildRunReport(suite *experiments.Suite, exp string, seed uint64,
+	metrics *obs.Metrics, stack *obs.CPIStack) *obs.RunReport {
+	rep := &obs.RunReport{
+		Tool:       "tvbench",
+		Experiment: exp,
+		Benchmark:  "all",
+		Seed:       seed,
+	}
+	// Overheads first: any simulations they trigger feed the shared
+	// observers, so the stack/accuracy snapshots below cover them too.
+	ov, err := suite.SchemeOverheads(nil, experiments.EvalVoltages())
+	check(err)
+	rep.SchemeOverheads = ov
+	sr := stack.Report()
+	rep.CPIStack = &sr
+	rep.Instructions = sr.Committed
+	rep.Cycles = sr.Cycles
+	if sr.Cycles > 0 {
+		rep.IPC = float64(sr.Committed) / float64(sr.Cycles)
+	}
+	tp, fp := metrics.Accuracy()
+	unpred := metrics.Counts()[obs.KindReplay]
+	acc := &obs.TEPAccuracy{TruePositives: tp, FalsePositives: fp, Unpredicted: unpred}
+	if actual := tp + unpred; actual > 0 {
+		acc.Coverage = float64(tp) / float64(actual)
+	}
+	if pos := tp + fp; pos > 0 {
+		acc.Precision = float64(tp) / float64(pos)
+	}
+	rep.TEP = acc
+	return rep
 }
 
 func fmtVals(vals []float64) []string {

@@ -1,0 +1,83 @@
+// Command tvgate compares a freshly measured RunReport (BENCH_<exp>.json,
+// written by tvbench -json or tvsim -report) against a checked-in baseline
+// and exits non-zero when a watched scheme's performance overhead regressed
+// beyond tolerance. It is the CI performance gate: simulations are
+// deterministic given the seed, so any drift it flags is a code change, not
+// noise.
+//
+// Usage:
+//
+//	tvgate -report BENCH_table1.json -baseline .github/perf-baseline.json
+//	tvgate -report r.json -baseline b.json -scheme ABS -vdd 0.97 -tolerance 0.10
+//
+// The comparison is on the scheme's performance overhead versus fault-free
+// execution (perf_pct in the report): the gate fails when
+//
+//	measured > baseline·(1+tolerance) + slack
+//
+// The additive slack keeps near-zero baselines from turning into a
+// zero-tolerance gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tvsched/internal/obs"
+)
+
+func main() {
+	var (
+		reportF   = flag.String("report", "", "freshly measured RunReport JSON (required)")
+		baselineF = flag.String("baseline", "", "baseline RunReport JSON to compare against (required)")
+		scheme    = flag.String("scheme", "ABS", "scheme whose overhead is gated")
+		vdd       = flag.Float64("vdd", 0.97, "supply voltage of the gated overhead entry")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed relative regression (0.10 = +10%)")
+		slack     = flag.Float64("slack", 0.25, "allowed absolute regression in percentage points")
+	)
+	flag.Parse()
+	if *reportF == "" || *baselineF == "" {
+		fmt.Fprintln(os.Stderr, "tvgate: -report and -baseline are required")
+		os.Exit(2)
+	}
+
+	rep := read(*reportF)
+	base := read(*baselineF)
+	cur, ok := rep.Overhead(*scheme, *vdd)
+	if !ok {
+		fatal(fmt.Errorf("%s: no overhead entry for %s at %.2f V", *reportF, *scheme, *vdd))
+	}
+	ref, ok := base.Overhead(*scheme, *vdd)
+	if !ok {
+		fatal(fmt.Errorf("%s: no overhead entry for %s at %.2f V", *baselineF, *scheme, *vdd))
+	}
+
+	limit := ref.PerfPct*(1+*tolerance) + *slack
+	fmt.Printf("tvgate: %s at %.2f V: perf overhead %.3f%% (baseline %.3f%%, limit %.3f%%)\n",
+		*scheme, *vdd, cur.PerfPct, ref.PerfPct, limit)
+	if cur.PerfPct > limit {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: %s overhead regressed %.3f%% -> %.3f%% (limit %.3f%%)\n",
+			*scheme, ref.PerfPct, cur.PerfPct, limit)
+		os.Exit(1)
+	}
+	fmt.Println("tvgate: OK")
+}
+
+func read(path string) *obs.RunReport {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := obs.ReadRunReport(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return r
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tvgate:", err)
+	os.Exit(1)
+}

@@ -8,15 +8,21 @@
 //	tvsim -bench bzip2 -scheme ABS -vdd 0.97 -n 1000000
 //	tvsim -all -vdd 1.10           # fault-free IPC for every benchmark
 //	tvsim -bench sjeng -vdd 0.97 -trace out.json   # Perfetto trace
+//	tvsim -bench sjeng -vdd 0.97 -cpistack         # CPI-stack table
+//	tvsim -bench sjeng -vdd 0.97 -report run.json  # RunReport JSON
+//	tvsim -bench sjeng -pprof :8080                # /metrics + /debug/pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"tvsched/internal/asm"
 	"tvsched/internal/core"
+	"tvsched/internal/experiments"
 	"tvsched/internal/fault"
 	"tvsched/internal/obs"
 	"tvsched/internal/pipeline"
@@ -41,6 +47,9 @@ func main() {
 		bias    = flag.Float64("bias", 1.0, "fault susceptibility multiplier for -asm kernels")
 		traceF  = flag.String("trace", "", "write the measured run as Chrome trace-event JSON (open at ui.perfetto.dev)")
 		metricF = flag.Bool("metrics", false, "print the observability metrics summary after each run")
+		stackF  = flag.Bool("cpistack", false, "print the cycle-accounting CPI stack after each run")
+		reportF = flag.String("report", "", "write the run as RunReport JSON (schema "+obs.RunReportSchema+") to this file")
+		pprofA  = flag.String("pprof", "", "serve /metrics, /debug/pprof and /debug/vars on this address while running (e.g. :8080)")
 	)
 	flag.Parse()
 
@@ -53,12 +62,30 @@ func main() {
 	if *all && *traceF != "" {
 		fatal(fmt.Errorf("-trace records a single run; drop -all or -trace"))
 	}
+	if *all && *reportF != "" {
+		fatal(fmt.Errorf("-report records a single run; drop -all or -report"))
+	}
 
 	if *asmF != "" {
-		if err := runAsm(*asmF, scheme, *vdd, *n, *seed, *bias, *traceF, *metricF); err != nil {
+		if err := runAsm(*asmF, scheme, *vdd, *n, *seed, *bias, *traceF, *metricF, *stackF); err != nil {
 			fatal(err)
 		}
 		return
+	}
+
+	// With -pprof one observer set is shared across all runs and scraped
+	// live; otherwise each run gets (and reports) its own.
+	shared := (*pprofA != "")
+	var sharedSet *observers
+	if shared {
+		sharedSet = newObservers(*traceF != "", true, true)
+		http.Handle("/metrics", obs.NewExposition("tvsim", sharedSet.metrics, sharedSet.stack).Handler())
+		go func() {
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "tvsim: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "tvsim: serving http://%s/metrics and /debug/pprof\n", *pprofA)
 	}
 
 	benches := []string{*bench}
@@ -70,8 +97,11 @@ func main() {
 		"", "IPC", "FR%", "cover%", "replays", "gstall", "confined", "cycles")
 	o := options{flush: *flush, ct: *ct, tepEntries: *tepN, tepHistory: *tepH}
 	for _, name := range benches {
-		tracer, metrics := newObservers(*traceF != "", *metricF)
-		o.obs = combine(tracer, metrics)
+		oset := sharedSet
+		if oset == nil {
+			oset = newObservers(*traceF != "", *metricF, *stackF || *reportF != "")
+		}
+		o.obs = oset.combined()
 		st, err := run(name, scheme, *vdd, *n, *seed, o)
 		if err != nil {
 			fatal(err)
@@ -79,7 +109,20 @@ func main() {
 		fmt.Printf("%-12s %7.3f %7.2f %8.1f %8d %8d %8d %8d\n",
 			name, st.IPC(), 100*st.FaultRate(), 100*st.Coverage(),
 			st.Replays, st.GlobalStalls, st.ConfinedEvents, st.Cycles)
-		if err := finishObservers(tracer, metrics, *traceF); err != nil {
+		if *reportF != "" {
+			if err := writeReport(*reportF, name, scheme, *vdd, *seed, &st, oset.stack); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("run report written to %s\n", *reportF)
+		}
+		if !shared {
+			if err := oset.finish(*traceF, *metricF, *stackF); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if shared {
+		if err := sharedSet.finish(*traceF, *metricF, *stackF); err != nil {
 			fatal(err)
 		}
 	}
@@ -93,56 +136,101 @@ type options struct {
 	obs                    obs.Observer
 }
 
-// newObservers builds the requested observer set for one run.
-func newObservers(trace, metrics bool) (*obs.ChromeTracer, *obs.Metrics) {
-	var t *obs.ChromeTracer
-	var m *obs.Metrics
-	if trace {
-		t = obs.NewChromeTracer()
-	}
-	if metrics {
-		m = obs.NewMetrics()
-	}
-	return t, m
+// observers is the per-run (or, with -pprof, shared) observer set.
+type observers struct {
+	tracer  *obs.ChromeTracer
+	metrics *obs.Metrics
+	stack   *obs.CPIStack
 }
 
-// combine fans out to the non-nil observers; nil when neither is requested.
+// newObservers builds the requested observer set.
+func newObservers(trace, metrics, stack bool) *observers {
+	o := &observers{}
+	if trace {
+		o.tracer = obs.NewChromeTracer()
+	}
+	if metrics {
+		o.metrics = obs.NewMetrics()
+	}
+	if stack {
+		o.stack = experiments.NewRunCPIStack()
+	}
+	return o
+}
+
+// combined fans out to the non-nil observers; nil when none is requested.
 // (obs.Multi drops nil interfaces, but a typed-nil *ChromeTracer inside an
 // interface is not nil — hence the explicit checks here.)
-func combine(t *obs.ChromeTracer, m *obs.Metrics) obs.Observer {
+func (o *observers) combined() obs.Observer {
 	var os []obs.Observer
-	if t != nil {
-		os = append(os, t)
+	if o.tracer != nil {
+		os = append(os, o.tracer)
 	}
-	if m != nil {
-		os = append(os, m)
+	if o.metrics != nil {
+		os = append(os, o.metrics)
+	}
+	if o.stack != nil {
+		os = append(os, o.stack)
 	}
 	return obs.Multi(os...)
 }
 
-// finishObservers writes the trace file and prints the metrics summary.
-func finishObservers(t *obs.ChromeTracer, m *obs.Metrics, path string) error {
-	if t != nil {
+// finish writes the trace file and prints the requested summaries.
+func (o *observers) finish(path string, metrics, stack bool) error {
+	if o.tracer != nil {
 		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
-		if _, err := t.WriteTo(f); err != nil {
+		if _, err := o.tracer.WriteTo(f); err != nil {
 			f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
-		if d := t.Dropped(); d > 0 {
+		if d := o.tracer.Dropped(); d > 0 {
 			fmt.Fprintf(os.Stderr, "tvsim: trace hit its record cap; %d events dropped (shorten -n)\n", d)
 		}
 		fmt.Printf("trace written to %s (open at ui.perfetto.dev)\n", path)
 	}
-	if m != nil {
-		fmt.Print(m.Summary())
+	if o.metrics != nil && metrics {
+		fmt.Print(o.metrics.Summary())
+	}
+	if o.stack != nil && stack {
+		rep := o.stack.Report()
+		fmt.Print(rep.Format())
 	}
 	return nil
+}
+
+// writeReport emits the single-run RunReport JSON.
+func writeReport(path, bench string, sch core.Scheme, vdd float64, seed uint64,
+	st *pipeline.Stats, stack *obs.CPIStack) error {
+	rep := &obs.RunReport{
+		Tool:         "tvsim",
+		Benchmark:    bench,
+		Scheme:       sch.String(),
+		VDD:          vdd,
+		Seed:         seed,
+		Instructions: st.Committed,
+		Cycles:       st.Cycles,
+		IPC:          st.IPC(),
+		TEP:          experiments.TEPAccuracyFrom(st),
+	}
+	if stack != nil {
+		sr := stack.Report()
+		rep.CPIStack = &sr
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(name string, sch core.Scheme, vdd float64, n, seed uint64, opts options) (pipeline.Stats, error) {
@@ -178,7 +266,7 @@ func run(name string, sch core.Scheme, vdd float64, n, seed uint64, opts options
 }
 
 // runAsm simulates a kernel file through the mini-ISA interpreter.
-func runAsm(path string, sch core.Scheme, vdd float64, n, seed uint64, bias float64, traceF string, metricF bool) error {
+func runAsm(path string, sch core.Scheme, vdd float64, n, seed uint64, bias float64, traceF string, metricF, stackF bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -200,8 +288,8 @@ func runAsm(path string, sch core.Scheme, vdd float64, n, seed uint64, bias floa
 	if err := p.Warmup(n / 4); err != nil {
 		return err
 	}
-	tracer, metrics := newObservers(traceF != "", metricF)
-	p.SetObserver(combine(tracer, metrics))
+	oset := newObservers(traceF != "", metricF, stackF)
+	p.SetObserver(oset.combined())
 	st, err := p.Run(n)
 	if err != nil {
 		return err
@@ -210,7 +298,7 @@ func runAsm(path string, sch core.Scheme, vdd float64, n, seed uint64, bias floa
 		path, prog.Len(), m.Restarts(), sch, vdd)
 	fmt.Printf("  IPC %.3f  FR %.2f%%  coverage %.1f%%  replays %d\n",
 		st.IPC(), 100*st.FaultRate(), 100*st.Coverage(), st.Replays)
-	return finishObservers(tracer, metrics, traceF)
+	return oset.finish(traceF, metricF, stackF)
 }
 
 func fatal(err error) {

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"tvsched/internal/core"
+	"tvsched/internal/obs"
 )
 
 // This file serializes experiment results for downstream tooling: CSV for
@@ -75,6 +76,9 @@ type Report struct {
 	Table2  []Table2Row  `json:"table2,omitempty"`
 	Table3  []Table3Row  `json:"table3,omitempty"`
 	Figure7 *Figure7JSON `json:"figure7,omitempty"`
+	// RunReport is the cycle-accounting summary of the runs behind the
+	// artifacts above (obs.RunReportSchema; see EXPERIMENTS.md).
+	RunReport *obs.RunReport `json:"run_report,omitempty"`
 }
 
 // Figure7JSON is the JSON-friendly form of the commonality grid.

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"tvsched/internal/core"
+	"tvsched/internal/fault"
+	"tvsched/internal/obs"
+)
+
+// stackedRun simulates one faulty phase with a fresh profiler attached and
+// returns its report (the suite shards the profiler automatically).
+func stackedRun(t *testing.T, scheme core.Scheme, seed uint64) obs.CPIStackReport {
+	t.Helper()
+	cfg := Config{Insts: 30000, Warmup: 5000, Seed: seed}
+	stack := NewRunCPIStack()
+	cfg.Observer = stack
+	if _, err := Simulate("sjeng", scheme, fault.VHighFault, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return stack.Report()
+}
+
+// TestRunCPIStackSumsToCPI is the acceptance criterion for the profiler on a
+// real simulation: the reported components must sum to the measured CPI
+// within 1e-9.
+func TestRunCPIStackSumsToCPI(t *testing.T) {
+	rep := stackedRun(t, core.ABS, 1)
+	if rep.Committed == 0 || rep.Cycles == 0 {
+		t.Fatalf("degenerate run: %+v", rep)
+	}
+	if d := math.Abs(rep.Sum() - rep.CPI); d > 1e-9 {
+		t.Fatalf("CPI stack sums to %.12f, CPI is %.12f (diff %g)", rep.Sum(), rep.CPI, d)
+	}
+	if rep.ViolationCPI <= 0 {
+		t.Fatal("faulty run attributed no violation CPI")
+	}
+	if len(rep.TopPCs) == 0 {
+		t.Fatal("no per-PC attribution on a faulty run")
+	}
+}
+
+// TestConfinedCheaperThanPadding is the paper's headline claim read off the
+// profiler: at the same voltage, seed and benchmark, the confined scheme
+// (ABS) must charge strictly fewer violation cycles than Error Padding's
+// whole-pipeline stalls.
+func TestConfinedCheaperThanPadding(t *testing.T) {
+	abs := stackedRun(t, core.ABS, 1)
+	ep := stackedRun(t, core.EP, 1)
+	if abs.ViolationCycles >= ep.ViolationCycles {
+		t.Fatalf("confined violation cycles %.1f not below EP %.1f",
+			abs.ViolationCycles, ep.ViolationCycles)
+	}
+}
+
+// TestSchemeOverheads checks the overhead table that feeds RunReport and the
+// CI perf gate: every requested (scheme, vdd) pair present, fault-free
+// baselines at nominal voltage effectively free.
+func TestSchemeOverheads(t *testing.T) {
+	s := NewSuite(Config{Insts: 5000, Warmup: 1000, Seed: 1, Parallel: true})
+	schemes := []core.Scheme{core.EP, core.ABS}
+	ov, err := s.SchemeOverheads(schemes, EvalVoltages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(schemes) * len(EvalVoltages()); len(ov) != want {
+		t.Fatalf("%d overhead entries, want %d", len(ov), want)
+	}
+	seen := map[string]bool{}
+	for _, o := range ov {
+		seen[o.Scheme] = true
+		if o.VDD != fault.VLowFault && o.VDD != fault.VHighFault {
+			t.Fatalf("unexpected vdd %v", o.VDD)
+		}
+		if math.IsNaN(o.PerfPct) || math.IsNaN(o.EDPct) {
+			t.Fatalf("NaN overhead for %s@%v", o.Scheme, o.VDD)
+		}
+	}
+	if !seen["EP"] || !seen["ABS"] {
+		t.Fatalf("missing schemes in %v", ov)
+	}
+
+	// The report round-trips through Overhead lookup (what tvgate does).
+	rep := &obs.RunReport{Tool: "test", SchemeOverheads: ov}
+	if _, ok := rep.Overhead("ABS", fault.VHighFault); !ok {
+		t.Fatal("Overhead lookup failed for ABS at the high-fault voltage")
+	}
+	if _, ok := rep.Overhead("ABS", 0.5); ok {
+		t.Fatal("Overhead lookup matched a bogus voltage")
+	}
+}

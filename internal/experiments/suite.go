@@ -39,8 +39,11 @@ type Config struct {
 	// this config drives (warmup included). With Parallel set, simulations
 	// run concurrently and all share this observer, so it must be safe for
 	// concurrent use — obs.Metrics is; obs.ChromeTracer is too, though
-	// interleaved-run traces are rarely what you want. Excluded from JSON
-	// reports (it is machinery, not a result parameter).
+	// interleaved-run traces are rarely what you want. Observers that also
+	// implement obs.Sharder (Metrics, CPIStack, and Multi over them) get a
+	// private lock-free shard per simulation, flushed into the parent when
+	// the simulation ends — the hot Event path then never contends. Excluded
+	// from JSON reports (it is machinery, not a result parameter).
 	Observer obs.Observer `json:"-"`
 }
 
@@ -142,6 +145,11 @@ func SimulatePhasedContext(ctx context.Context, bench string, scheme core.Scheme
 	pcfg.MispredictRate = prof.MispredictRate
 	pcfg.Seed = cfg.Seed
 	pcfg.Observer = cfg.Observer
+	if s, ok := cfg.Observer.(obs.Sharder); ok {
+		sh := s.Shard()
+		pcfg.Observer = sh
+		defer sh.Flush()
+	}
 	fc := fault.DefaultConfig(cfg.Seed)
 	fc.Bias = prof.FaultBias
 	p, err := pipeline.New(pcfg, gen, fault.New(fc), vdd)

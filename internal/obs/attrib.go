@@ -1,0 +1,76 @@
+package obs
+
+import "sort"
+
+// This file is the per-PC penalty attribution side of the cycle-accounting
+// profiler (cpistack.go): for every static instruction that triggered
+// violation handling, how many issue slots did the handling cost, and how
+// often was the prediction right? Together with the aggregate CPI stack it
+// makes the paper's confinement claim checkable per PC: under a confined
+// scheme the hottest violating PCs should carry a few slots per event,
+// under Error Padding a full issue-width's worth.
+
+// PCStat accumulates violation-handling costs for one static instruction.
+type PCStat struct {
+	// PC is the static instruction address.
+	PC uint64 `json:"pc"`
+	// Events counts violation-handling activations at this PC: predicted
+	// handlings (true or false positive) plus unpredicted replays.
+	Events uint64 `json:"events"`
+	// TruePos and FalsePos split the predicted handlings by whether the
+	// instruction actually violated.
+	TruePos  uint64 `json:"true_positives"`
+	FalsePos uint64 `json:"false_positives"`
+	// PenaltySlots is the violation-induced penalty charged to this PC, in
+	// issue slots (divide by the machine width for cycles). See the
+	// CPIStack documentation for the per-response charging rules.
+	PenaltySlots uint64 `json:"penalty_slots"`
+}
+
+// attrib is the attribution table. Zero value is ready to use.
+type attrib struct {
+	m map[uint64]*PCStat
+}
+
+// at returns (allocating if needed) the entry for pc.
+func (a *attrib) at(pc uint64) *PCStat {
+	if a.m == nil {
+		a.m = make(map[uint64]*PCStat)
+	}
+	s := a.m[pc]
+	if s == nil {
+		s = &PCStat{PC: pc}
+		a.m[pc] = s
+	}
+	return s
+}
+
+// merge folds o into a.
+func (a *attrib) merge(o *attrib) {
+	for pc, os := range o.m {
+		s := a.at(pc)
+		s.Events += os.Events
+		s.TruePos += os.TruePos
+		s.FalsePos += os.FalsePos
+		s.PenaltySlots += os.PenaltySlots
+	}
+}
+
+// top returns the n entries with the largest penalty, ties broken by PC for
+// determinism. n <= 0 returns everything.
+func (a *attrib) top(n int) []PCStat {
+	out := make([]PCStat, 0, len(a.m))
+	for _, s := range a.m {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PenaltySlots != out[j].PenaltySlots {
+			return out[i].PenaltySlots > out[j].PenaltySlots
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

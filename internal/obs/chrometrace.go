@@ -126,8 +126,12 @@ func (t *ChromeTracer) Event(e Event) {
 			Args: map[string]uint64{"iq": e.A, "rob": e.B},
 		})
 	case KindRetire:
-		t.instant(fmt.Sprintf("retire %s pc=%#x", e.Class, e.PC), e.Cycle, pidCommit, 0,
-			map[string]uint64{"seq": e.Seq})
+		args := map[string]uint64{"seq": e.Seq}
+		if e.A != NeverIssued {
+			// Cycle 0 is a valid select time; NeverIssued marks the absence.
+			args["selected"] = e.A
+		}
+		t.instant(fmt.Sprintf("retire %s pc=%#x", e.Class, e.PC), e.Cycle, pidCommit, 0, args)
 	default:
 		t.instant(e.Kind.String(), e.Cycle, pidCommit, 1,
 			map[string]uint64{"seq": e.Seq, "pc": e.PC, "a": e.A, "b": e.B})

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"tvsched/internal/isa"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenEvents is a small deterministic stream covering every rendered
+// view: lanes, violations, counters, commit (with and without the
+// NeverIssued sentinel), and a kept default-branch kind.
+func goldenEvents() []Event {
+	return []Event{
+		{Kind: KindIssue, Cycle: 10, Seq: 1, PC: 0x400, Class: isa.Load, Lane: 2, A: 36, B: 36},
+		{Kind: KindViolationPredicted, Cycle: 11, Seq: 2, PC: 0x404, Stage: isa.Execute, A: 1, B: RespConfined},
+		{Kind: KindViolationPredicted, Cycle: 12, Seq: 3, PC: 0x408, Stage: isa.Execute, A: 0, B: RespConfined},
+		{Kind: KindViolationActual, Cycle: 13, Seq: 4, PC: 0x40c, Stage: isa.Writeback},
+		{Kind: KindReplay, Cycle: 14, Seq: 4, PC: 0x40c, Stage: isa.Writeback, A: 3, B: 8},
+		{Kind: KindFlush, Cycle: 15, Stage: isa.Writeback, A: 6, B: 3},
+		{Kind: KindSlotFreeze, Cycle: 16, Lane: 1, A: 17},
+		{Kind: KindSample, Cycle: 20, A: 12, B: 48},
+		{Kind: KindRetire, Cycle: 21, Seq: 1, PC: 0x400, Class: isa.Load, A: 10},
+		{Kind: KindRetire, Cycle: 22, Seq: 5, PC: 0x410, Class: isa.IntALU, A: NeverIssued},
+	}
+}
+
+// TestChromeTracerGolden pins the exact serialized trace for a fixed event
+// sequence and checks it parses as valid Chrome trace-event JSON.
+func TestChromeTracerGolden(t *testing.T) {
+	tr := NewChromeTracer()
+	for _, e := range goldenEvents() {
+		tr.Event(e)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrometrace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (rerun with -update-golden to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace drifted from golden file (rerun with -update-golden if intended)\ngot:  %s\nwant: %s",
+			buf.Bytes(), want)
+	}
+
+	// The golden bytes must be a well-formed trace: required keys present,
+	// known phases only, retire events honouring the NeverIssued contract.
+	var trace struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  *int           `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(want, &trace); err != nil {
+		t.Fatalf("golden trace is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit == "" {
+		t.Fatal("missing displayTimeUnit")
+	}
+	phases := map[string]int{}
+	var selected, unselected int
+	for _, e := range trace.TraceEvents {
+		if e.Name == "" || e.Ph == "" || e.Pid == nil {
+			t.Fatalf("trace event missing required field: %+v", e)
+		}
+		switch e.Ph {
+		case "X", "i", "C", "M":
+		default:
+			t.Fatalf("unknown phase %q", e.Ph)
+		}
+		phases[e.Ph]++
+		if e.Ph == "i" && len(e.Name) > 6 && e.Name[:6] == "retire" {
+			if _, ok := e.Args["selected"]; ok {
+				selected++
+			} else {
+				unselected++
+			}
+		}
+	}
+	if phases["M"] != 4 || phases["X"] != 1 || phases["C"] != 1 {
+		t.Fatalf("unexpected phase counts: %v", phases)
+	}
+	if selected != 1 || unselected != 1 {
+		t.Fatalf("retire events: %d with selected, %d without (want 1 and 1)", selected, unselected)
+	}
+}
+
+// TestChromeTracerConcurrent hammers one shared tracer from many pipelines
+// worth of goroutines — with concurrent scrapes mixed in — and checks the
+// result is complete and parseable. Run with -race, this is the regression
+// test for sharing a tracer across parallel simulations.
+func TestChromeTracerConcurrent(t *testing.T) {
+	const (
+		writers      = 8
+		perGoroutine = 400
+	)
+	tr := NewChromeTracer()
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g) * perGoroutine
+			for i := uint64(0); i < perGoroutine; i++ {
+				tr.Event(Event{Kind: KindRetire, Cycle: base + i, Seq: base + i, A: base + i})
+				if i%128 == 0 {
+					// Interleave a reader mid-stream: WriteTo snapshots
+					// under the lock and must not race the writers.
+					if _, err := tr.WriteTo(io.Discard); err != nil {
+						t.Error(err)
+					}
+					tr.Dropped()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("concurrent trace is not valid JSON: %v", err)
+	}
+	instants := 0
+	for _, e := range trace.TraceEvents {
+		if e.Ph == "i" {
+			instants++
+		}
+	}
+	if want := writers * perGoroutine; instants != want || tr.Dropped() != 0 {
+		t.Fatalf("recorded %d retire instants (dropped %d), want %d", instants, tr.Dropped(), want)
+	}
+}

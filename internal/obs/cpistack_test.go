@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tvsched/internal/isa"
+)
+
+func TestCPIComponentStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for c := CPIComponent(0); c < NumCPIComponents; c++ {
+		s := c.String()
+		if s == "" || strings.Contains(s, "?") {
+			t.Fatalf("component %d has no name", c)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate component name %q", s)
+		}
+		seen[s] = true
+	}
+	if CPIBase.Violation() || CPIDCacheDRAM.Violation() {
+		t.Fatal("non-violation components flagged")
+	}
+	for c := CPIConfined; c < NumCPIComponents; c++ {
+		if !c.Violation() {
+			t.Fatalf("%v not violation-attributed", c)
+		}
+	}
+}
+
+// stackSlots reads a component's raw slot count out of a report.
+func stackSlots(t *testing.T, rep CPIStackReport, c CPIComponent) float64 {
+	t.Helper()
+	for _, cv := range rep.Components {
+		if cv.Name == c.String() {
+			return cv.Slots
+		}
+	}
+	t.Fatalf("component %v missing from report", c)
+	return 0
+}
+
+func TestCPIStackCharging(t *testing.T) {
+	s := NewCPIStack(CPIStackConfig{Width: 4, MispredictPenalty: 10, L1DLatency: 1, L2DLatency: 26})
+	// A 100-cycle span: first and last events pin it.
+	s.Event(Event{Kind: KindFetch, Cycle: 1})
+	s.Event(Event{Kind: KindRetire, Cycle: 100})
+
+	s.Event(Event{Kind: KindFetch, Cycle: 2, A: 1, B: 3})                       // mispredict + 3 icache stall cycles
+	s.Event(Event{Kind: KindIssue, Cycle: 5, Class: isa.Load, A: 40, C: 11})    // L2 miss: 10-cycle window
+	s.Event(Event{Kind: KindIssue, Cycle: 6, Class: isa.Load, A: 45, C: 11})    // overlaps: only [40,45) uncovered
+	s.Event(Event{Kind: KindIssue, Cycle: 7, Class: isa.Load, A: 90, C: 50})    // DRAM miss, full 49-cycle window
+	s.Event(Event{Kind: KindDispatchStall, Cycle: 8, A: DispatchStallIQ, B: 4}) // 4 unused slots
+	s.Event(Event{Kind: KindViolationPredicted, Cycle: 9, PC: 0x40, A: 1, B: RespConfined})
+	s.Event(Event{Kind: KindSlotFreeze, Cycle: 9})
+	s.Event(Event{Kind: KindDelayedBroadcast, Cycle: 10, PC: 0x40, A: 2})
+	s.Event(Event{Kind: KindReplay, Cycle: 11, PC: 0x44, A: 3, B: 8, C: 0}) // bubble arrives via stall events
+	s.Event(Event{Kind: KindGlobalStall, Cycle: 12, A: StallCauseReplay})   // 1 of the 3 bubble cycles
+	s.Event(Event{Kind: KindGlobalStall, Cycle: 13, A: StallCausePad})      // EP padding stall
+	s.Event(Event{Kind: KindFrontStall, Cycle: 14, A: StallCausePad})       // in-order padding stall
+	s.Event(Event{Kind: KindFlush, Cycle: 15, A: 6, B: 3})                  // 6 squashed + 3-cycle refetch bubble
+
+	rep := s.Report()
+	if rep.Cycles != 100 || rep.Committed != 1 {
+		t.Fatalf("span: cycles=%d committed=%d", rep.Cycles, rep.Committed)
+	}
+	want := map[CPIComponent]float64{
+		CPIBranchMispredict: 40,           // 10 cycles x W
+		CPIICacheMiss:       12,           // 3 cycles x W
+		CPIDCacheL2:         (10 + 5) * 4, // [30,40) then the uncovered [40,45)
+		CPIDCacheDRAM:       45 * 4,       // [45,90) after the union sweep
+		CPIDispatchIQ:       4,
+		CPIConfined:         1,
+		CPISlotFreeze:       1,
+		CPIDelayedBroadcast: 2,
+		CPIReplayBubble:     8 + 4 + 6 + 12, // private replay + 1 stall cycle x W + squashed + refetch x W
+		CPIEPGlobalStall:    4,
+		CPIFrontStall:       4,
+	}
+	for c, w := range want {
+		if got := stackSlots(t, rep, c); got != w {
+			t.Errorf("%v slots = %v, want %v", c, got, w)
+		}
+	}
+	if rep.Saturated {
+		t.Fatal("unexpected saturation")
+	}
+	// Per-PC attribution: 0x40 got confined (2) + broadcast delay (2);
+	// 0x44 got the replay (3x4 + 8).
+	var got40, got44 uint64
+	for _, pc := range rep.TopPCs {
+		switch pc.PC {
+		case 0x40:
+			got40 = pc.PenaltySlots
+		case 0x44:
+			got44 = pc.PenaltySlots
+		}
+	}
+	if got40 != 4 || got44 != 20 {
+		t.Fatalf("attribution: pc40=%d pc44=%d (want 4, 20)", got40, got44)
+	}
+}
+
+func TestCPIStackSumMatchesCPI(t *testing.T) {
+	s := NewCPIStack(CPIStackConfig{})
+	// A pseudo-random but deterministic stream.
+	x := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 { x ^= x << 13; x ^= x >> 7; x ^= x << 17; return x }
+	for i := uint64(1); i <= 5000; i++ {
+		switch next() % 8 {
+		case 0:
+			s.Event(Event{Kind: KindRetire, Cycle: i})
+		case 1:
+			s.Event(Event{Kind: KindFetch, Cycle: i, A: next() % 2, B: next() % 4})
+		case 2:
+			s.Event(Event{Kind: KindIssue, Cycle: i, Class: isa.Load, A: i + 30, C: 1 + next()%40})
+		case 3:
+			s.Event(Event{Kind: KindDispatchStall, Cycle: i, A: next() % 4, B: 1 + next()%4})
+		case 4:
+			s.Event(Event{Kind: KindViolationPredicted, Cycle: i, PC: next() % 64, A: next() % 2, B: RespConfined})
+		case 5:
+			s.Event(Event{Kind: KindReplay, Cycle: i, PC: next() % 64, A: 3, B: 8})
+		case 6:
+			s.Event(Event{Kind: KindGlobalStall, Cycle: i, A: next() % 2})
+		case 7:
+			s.Event(Event{Kind: KindSlotFreeze, Cycle: i})
+		}
+	}
+	rep := s.Report()
+	if rep.Committed == 0 {
+		t.Fatal("no retires in stream")
+	}
+	if d := math.Abs(rep.Sum() - rep.CPI); d > 1e-9 {
+		t.Fatalf("components sum %.12f != CPI %.12f (diff %g)", rep.Sum(), rep.CPI, d)
+	}
+}
+
+func TestCPIStackSaturation(t *testing.T) {
+	s := NewCPIStack(CPIStackConfig{Width: 4})
+	s.Event(Event{Kind: KindRetire, Cycle: 1})
+	s.Event(Event{Kind: KindRetire, Cycle: 10}) // 10-cycle span = 40 slots
+	for i := 0; i < 100; i++ {
+		s.Event(Event{Kind: KindGlobalStall, Cycle: 5, A: StallCausePad}) // 400 slots of penalty
+	}
+	rep := s.Report()
+	if !rep.Saturated {
+		t.Fatal("oversubscribed run not flagged")
+	}
+	if base := stackSlots(t, rep, CPIBase); base != 0 {
+		t.Fatalf("saturated base = %v", base)
+	}
+	if d := math.Abs(rep.Sum() - rep.CPI); d > 1e-9 {
+		t.Fatalf("saturated components sum %.12f != CPI %.12f", rep.Sum(), rep.CPI)
+	}
+}
+
+func TestCPIStackShardEquivalence(t *testing.T) {
+	mk := func() []Event {
+		var evs []Event
+		for i := uint64(1); i <= 200; i++ {
+			evs = append(evs,
+				Event{Kind: KindRetire, Cycle: i},
+				Event{Kind: KindViolationPredicted, Cycle: i, PC: i % 8, A: 1, B: RespConfined},
+				Event{Kind: KindSlotFreeze, Cycle: i})
+		}
+		return evs
+	}
+	direct := NewCPIStack(CPIStackConfig{})
+	for _, e := range mk() {
+		direct.Event(e)
+	}
+	sharded := NewCPIStack(CPIStackConfig{})
+	sh := sharded.Shard()
+	for _, e := range mk() {
+		sh.Event(e)
+	}
+	sh.Flush()
+	a, b := direct.Report(), sharded.Report()
+	if a.Cycles != b.Cycles || a.Committed != b.Committed || a.CPI != b.CPI {
+		t.Fatalf("shard changed totals: %+v vs %+v", a, b)
+	}
+	for i := range a.Components {
+		if a.Components[i] != b.Components[i] {
+			t.Fatalf("component %s differs: %+v vs %+v",
+				a.Components[i].Name, a.Components[i], b.Components[i])
+		}
+	}
+	if len(a.TopPCs) != len(b.TopPCs) {
+		t.Fatalf("attribution size differs: %d vs %d", len(a.TopPCs), len(b.TopPCs))
+	}
+	for i := range a.TopPCs {
+		if a.TopPCs[i] != b.TopPCs[i] {
+			t.Fatalf("attribution differs at %d: %+v vs %+v", i, a.TopPCs[i], b.TopPCs[i])
+		}
+	}
+
+	// Two shards over disjoint halves of two independent pipelines: spans
+	// add, totals match the union.
+	split := NewCPIStack(CPIStackConfig{})
+	s1, s2 := split.Shard(), split.Shard()
+	for _, e := range mk() {
+		if e.Cycle%2 == 0 {
+			s1.Event(e)
+		} else {
+			s2.Event(e)
+		}
+	}
+	s1.Flush()
+	s2.Flush()
+	c := split.Report()
+	if c.Committed != a.Committed {
+		t.Fatalf("split committed %d, want %d", c.Committed, a.Committed)
+	}
+	if got := stackSlots(t, c, CPIConfined); got != stackSlots(t, a, CPIConfined) {
+		t.Fatalf("split confined slots %v, want %v", got, stackSlots(t, a, CPIConfined))
+	}
+}
+
+func TestCPIStackFormat(t *testing.T) {
+	s := NewCPIStack(CPIStackConfig{})
+	s.Event(Event{Kind: KindRetire, Cycle: 1})
+	s.Event(Event{Kind: KindViolationPredicted, Cycle: 2, PC: 0x80, A: 1, B: RespConfined})
+	s.Event(Event{Kind: KindRetire, Cycle: 20})
+	rep := s.Report()
+	out := rep.Format()
+	for _, want := range []string{"CPI stack", "violation-confined", "top PCs", "0x00000080"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAttribTop(t *testing.T) {
+	var a attrib
+	a.at(1).PenaltySlots = 5
+	a.at(2).PenaltySlots = 9
+	a.at(3).PenaltySlots = 5
+	top := a.top(2)
+	if len(top) != 2 || top[0].PC != 2 || top[1].PC != 1 {
+		t.Fatalf("top order wrong: %+v", top)
+	}
+	if all := a.top(0); len(all) != 3 {
+		t.Fatalf("top(0) = %d entries", len(all))
+	}
+}

@@ -66,20 +66,11 @@ type Sample struct {
 	ROB   uint64 // reorder-buffer occupancy
 }
 
-// Metrics is the event-consuming metrics registry: per-kind counters,
-// per-stage violation counts, prediction accuracy, occupancy and delay
-// histograms, fault-burst sizing, and a bounded occupancy time series that
-// decimates itself (doubling its stride) as the run grows, so memory stays
-// O(cap) for arbitrarily long simulations.
-//
-// All methods are safe for concurrent use, so one registry can aggregate
-// across the parallel simulations of an experiments suite.
-type Metrics struct {
-	// BurstGap is the maximum cycle gap between two violations that still
-	// counts as the same fault burst (default 16). Set before use.
-	BurstGap uint64
-
-	mu          sync.Mutex
+// metricsAcc is the lock-free accumulable core of the registry: everything
+// Metrics counts except the decimating time series. Metrics embeds one
+// (guarded by its mutex) and MetricsShard owns a private one, so the two
+// paths share the event-consuming logic exactly.
+type metricsAcc struct {
 	counts      [NumKinds]uint64
 	violByStage [isa.NumStages]uint64
 	truePos     uint64
@@ -88,12 +79,94 @@ type Metrics struct {
 	robOcc      Hist
 	bcastDelay  Hist
 	bursts      Hist
-	series      []Sample
-	seriesCap   int
-	stride      uint64
-	sampleIdx   uint64
 	lastViol    uint64
 	burstLen    uint64
+}
+
+// event consumes one event. Callers serialize access.
+func (a *metricsAcc) event(e Event, burstGap uint64) {
+	a.counts[e.Kind]++
+	switch e.Kind {
+	case KindViolationPredicted:
+		a.violByStage[e.Stage]++
+		if e.A != 0 {
+			a.truePos++
+		} else {
+			a.falsePos++
+		}
+		a.noteViolation(e.Cycle, burstGap)
+	case KindViolationActual:
+		a.violByStage[e.Stage]++
+		a.noteViolation(e.Cycle, burstGap)
+	case KindDelayedBroadcast:
+		a.bcastDelay.Observe(e.A)
+	case KindSample:
+		a.iqOcc.Observe(e.A)
+		a.robOcc.Observe(e.B)
+	}
+}
+
+// noteViolation grows the current fault burst or closes it and starts a new
+// one.
+func (a *metricsAcc) noteViolation(cycle, burstGap uint64) {
+	if a.burstLen > 0 && cycle >= a.lastViol && cycle-a.lastViol <= burstGap {
+		a.burstLen++
+	} else {
+		if a.burstLen > 0 {
+			a.bursts.Observe(a.burstLen)
+		}
+		a.burstLen = 1
+	}
+	a.lastViol = cycle
+}
+
+// merge folds o into a. The open burst of o must be closed first.
+func (a *metricsAcc) merge(o *metricsAcc) {
+	for k := range a.counts {
+		a.counts[k] += o.counts[k]
+	}
+	for s := range a.violByStage {
+		a.violByStage[s] += o.violByStage[s]
+	}
+	a.truePos += o.truePos
+	a.falsePos += o.falsePos
+	a.iqOcc.merge(&o.iqOcc)
+	a.robOcc.merge(&o.robOcc)
+	a.bcastDelay.merge(&o.bcastDelay)
+	a.bursts.merge(&o.bursts)
+}
+
+// merge adds o's samples into h.
+func (h *Hist) merge(o *Hist) {
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Metrics is the event-consuming metrics registry: per-kind counters,
+// per-stage violation counts, prediction accuracy, occupancy and delay
+// histograms, fault-burst sizing, and a bounded occupancy time series that
+// decimates itself (doubling its stride) as the run grows, so memory stays
+// O(cap) for arbitrarily long simulations.
+//
+// All methods are safe for concurrent use, so one registry can aggregate
+// across the parallel simulations of an experiments suite. When every event
+// of a simulation funnels through the shared mutex the parallel suite
+// serializes on it; use Shard to give each pipeline a lock-free accumulator
+// merged at run end instead.
+type Metrics struct {
+	// BurstGap is the maximum cycle gap between two violations that still
+	// counts as the same fault burst (default 16). Set before use.
+	BurstGap uint64
+
+	mu sync.Mutex
+	metricsAcc
+	series    []Sample
+	seriesCap int
+	stride    uint64
+	sampleIdx uint64
 }
 
 // NewMetrics builds an empty registry with a 1024-point time-series budget.
@@ -104,41 +177,52 @@ func NewMetrics() *Metrics {
 // Event implements Observer.
 func (m *Metrics) Event(e Event) {
 	m.mu.Lock()
-	m.counts[e.Kind]++
-	switch e.Kind {
-	case KindViolationPredicted:
-		m.violByStage[e.Stage]++
-		if e.A != 0 {
-			m.truePos++
-		} else {
-			m.falsePos++
-		}
-		m.noteViolation(e.Cycle)
-	case KindViolationActual:
-		m.violByStage[e.Stage]++
-		m.noteViolation(e.Cycle)
-	case KindDelayedBroadcast:
-		m.bcastDelay.Observe(e.A)
-	case KindSample:
-		m.iqOcc.Observe(e.A)
-		m.robOcc.Observe(e.B)
+	m.metricsAcc.event(e, m.BurstGap)
+	if e.Kind == KindSample {
 		m.recordSample(Sample{Cycle: e.Cycle, IQ: e.A, ROB: e.B})
 	}
 	m.mu.Unlock()
 }
 
-// noteViolation grows the current fault burst or closes it and starts a new
-// one. Called with mu held.
-func (m *Metrics) noteViolation(cycle uint64) {
-	if m.burstLen > 0 && cycle >= m.lastViol && cycle-m.lastViol <= m.BurstGap {
-		m.burstLen++
-	} else {
-		if m.burstLen > 0 {
-			m.bursts.Observe(m.burstLen)
-		}
-		m.burstLen = 1
+// MetricsShard is a per-pipeline accumulator split off a Metrics registry
+// (see Sharder). Event is lock-free except for occupancy samples, which
+// pass through to the parent's decimating time series (one lock per
+// SamplePeriod cycles, not one per event). Not safe for concurrent use;
+// give each pipeline its own shard.
+type MetricsShard struct {
+	parent *Metrics
+	acc    metricsAcc
+}
+
+// Shard implements Sharder: it returns a lock-free accumulator whose Flush
+// folds into m.
+func (m *Metrics) Shard() ShardObserver {
+	return &MetricsShard{parent: m}
+}
+
+// Event implements Observer.
+func (s *MetricsShard) Event(e Event) {
+	s.acc.event(e, s.parent.BurstGap)
+	if e.Kind == KindSample {
+		p := s.parent
+		p.mu.Lock()
+		p.recordSample(Sample{Cycle: e.Cycle, IQ: e.A, ROB: e.B})
+		p.mu.Unlock()
 	}
-	m.lastViol = cycle
+}
+
+// Flush closes the shard's open fault burst, folds everything into the
+// parent registry, and resets the shard for reuse.
+func (s *MetricsShard) Flush() {
+	if s.acc.burstLen > 0 {
+		s.acc.bursts.Observe(s.acc.burstLen)
+		s.acc.burstLen = 0
+	}
+	p := s.parent
+	p.mu.Lock()
+	p.metricsAcc.merge(&s.acc)
+	p.mu.Unlock()
+	s.acc = metricsAcc{}
 }
 
 // recordSample appends to the decimating time series. Called with mu held.

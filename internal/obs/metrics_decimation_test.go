@@ -1,0 +1,44 @@
+package obs
+
+import "testing"
+
+// TestMetricsSeriesDecimationInvariants pins the recordSample contract for
+// any run length: the series never exceeds its budget, the kept points are
+// evenly strided by a power-of-two multiple of the sample period, the first
+// sample of the run survives every halving, and the series always reaches
+// (within one stride) the end of the run.
+func TestMetricsSeriesDecimationInvariants(t *testing.T) {
+	const period = 64 // cycles between emitted samples
+	for _, n := range []uint64{1, 2, 7, 8, 9, 15, 16, 17, 100, 1000, 4096, 5000} {
+		m := NewMetrics()
+		m.seriesCap = 8
+		for i := uint64(0); i < n; i++ {
+			m.Event(Event{Kind: KindSample, Cycle: (i + 1) * period, A: i, B: 2 * i})
+		}
+		s := m.Series()
+
+		if len(s) == 0 || len(s) > m.seriesCap {
+			t.Fatalf("n=%d: series length %d outside (0, %d]", n, len(s), m.seriesCap)
+		}
+		if s[0].Cycle != period {
+			t.Fatalf("n=%d: first sample at cycle %d, want %d", n, s[0].Cycle, period)
+		}
+		if len(s) > 1 {
+			gap := s[1].Cycle - s[0].Cycle
+			for i := 1; i < len(s); i++ {
+				if got := s[i].Cycle - s[i-1].Cycle; got != gap {
+					t.Fatalf("n=%d: uneven stride at %d: gap %d, want %d", n, i, got, gap)
+				}
+			}
+			stride := gap / period
+			if gap%period != 0 || stride&(stride-1) != 0 {
+				t.Fatalf("n=%d: stride %d cycles is not a power-of-two multiple of the period", n, gap)
+			}
+			// The tail is never more than one stride behind the run's end.
+			last, end := s[len(s)-1].Cycle, n*period
+			if end-last >= gap {
+				t.Fatalf("n=%d: last kept sample at %d, run end %d, stride %d", n, last, end, gap)
+			}
+		}
+	}
+}

@@ -20,29 +20,40 @@ type Kind uint8
 
 const (
 	// KindFetch: an instruction entered the front end (first fetch or
-	// replay re-fetch). Cycle/Seq/PC/Class are set.
+	// replay re-fetch). Cycle/Seq/PC/Class are set. A is 1 when the
+	// instruction is a branch that pays the misprediction loop (fetch
+	// blocks until it resolves — on every fetch, including replay
+	// re-fetches). B is the number of instruction-cache stall cycles the
+	// front end paid immediately before this fetch (0 on an L1I hit).
 	KindFetch Kind = iota
 	// KindDispatch: the instruction was renamed and entered the ROB/IQ.
 	KindDispatch
 	// KindIssue: the instruction won selection and was scheduled on Lane.
 	// A is the cycle its tag broadcast wakes dependents (depReadyAt);
-	// B is the cycle it becomes ready to retire (completeAt).
+	// B is the cycle it becomes ready to retire (completeAt). For loads,
+	// C is the data-access latency charged by the memory hierarchy (1 on
+	// an L1D hit or store-to-load forward), so cycle accounting can
+	// classify L2 and DRAM misses; 0 for every other class.
 	KindIssue
 	// KindViolationPredicted: the TEP predicted a violation in Stage and
 	// the scheme handled it early (confined / front stall / global stall).
 	// A is 1 for a true positive (the instruction actually violates there),
-	// 0 for a false positive.
+	// 0 for a false positive. B is the micro-architectural response the
+	// scheme chose (the Resp* payload codes, mirroring core.Action).
 	KindViolationPredicted
 	// KindViolationActual: an unpredicted timing violation was detected in
 	// Stage; replay recovery follows.
 	KindViolationActual
 	// KindReplay: a replay recovery was triggered (Razor shadow-latch or
 	// in-order recirculation). Stage is the faulty stage; A is the
-	// whole-pipeline bubble charged, in cycles.
+	// whole-pipeline bubble charged, in cycles; B is the errant
+	// instruction's private extra replay latency in cycles; C is any
+	// recovery cost in issue slots that produces no stall-cycle events
+	// (the fetch-path replay bubble).
 	KindReplay
 	// KindFlush: architectural flush-and-refetch recovery squashed the
 	// errant instruction and everything younger. A is the number of
-	// squashed ROB entries.
+	// squashed ROB entries; B is the refetch bubble in cycles.
 	KindFlush
 	// KindSlotFreeze: the FUSR froze an issue slot behind a faulty
 	// instruction (§3.2.3/§3.3). Lane is the frozen lane; A is the first
@@ -52,7 +63,10 @@ const (
 	// confined violation handling (§3.2.2). A is the delay in cycles.
 	KindDelayedBroadcast
 	// KindRetire: the instruction committed. Cycle/Seq/PC/Class are set;
-	// A is the cycle it was selected for issue (0 for never-issued classes).
+	// A is the cycle it was selected for issue, or the NeverIssued
+	// sentinel (^uint64(0)) when it committed without passing through the
+	// select stage. (A=0 used to be ambiguous between "selected at cycle
+	// 0" and "never issued"; the sentinel removes the ambiguity.)
 	KindRetire
 	// KindSample: periodic occupancy sample (every Config.SamplePeriod
 	// cycles). A is the issue-queue occupancy, B the ROB occupancy.
@@ -63,8 +77,72 @@ const (
 	// KindTEPTrain: the TEP trained on an actual violation for PC in
 	// Stage. A is the saturating-counter value after training.
 	KindTEPTrain
+	// KindDispatchStall: dispatch blocked for the rest of this cycle on a
+	// full back-end resource. A is the cause (the DispatchStall* payload
+	// codes: ROB, IQ, LSQ, physical registers); B is the dispatch budget
+	// left unused this cycle (lost dispatch slots). At most one fires per
+	// cycle — the first blocking resource wins, matching the Stall*
+	// statistics counters.
+	KindDispatchStall
+	// KindFrontStall: the in-order engine (rename/dispatch/retire)
+	// recirculated for this cycle while the OoO engine kept running
+	// (§2.2). A is the cause (StallCausePad for a predicted-violation
+	// padding cycle, StallCauseReplay for an in-order replay-recovery
+	// bubble). One event per stalled cycle.
+	KindFrontStall
+	// KindGlobalStall: the whole pipeline froze for this cycle. A is the
+	// cause (StallCausePad for an EP-style predicted-violation stall,
+	// StallCauseReplay for a replay-recovery bubble). One event per
+	// stalled cycle.
+	KindGlobalStall
 	// NumKinds is the number of event kinds.
 	NumKinds
+)
+
+// NeverIssued is the KindRetire.A sentinel for instructions that committed
+// without passing through the select stage.
+const NeverIssued = ^uint64(0)
+
+// Payload codes for KindViolationPredicted.B: the response the handling
+// scheme chose. The values mirror core.Action (obs cannot import core);
+// internal/pipeline pins the correspondence with a test.
+const (
+	// RespNone: no handling (unused by emission sites, present for
+	// completeness of the core.Action mirror).
+	RespNone uint64 = iota
+	// RespConfined: VTE confined handling — the instruction occupies its
+	// stage one extra cycle and only its dependents wait.
+	RespConfined
+	// RespGlobalStall: EP-style whole-pipeline padding stall.
+	RespGlobalStall
+	// RespFrontStall: in-order-engine stall; the OoO engine keeps running.
+	RespFrontStall
+	// RespReplay: replay recovery.
+	RespReplay
+)
+
+// Payload codes for KindGlobalStall.A and KindFrontStall.A: why the cycle
+// was lost.
+const (
+	// StallCausePad: a predicted-violation padding stall (EP global stall
+	// or in-order-engine stall).
+	StallCausePad uint64 = iota
+	// StallCauseReplay: a replay-recovery bubble after an unpredicted
+	// violation.
+	StallCauseReplay
+)
+
+// Payload codes for KindDispatchStall.A: the back-end resource that blocked
+// dispatch.
+const (
+	// DispatchStallROB: reorder buffer full.
+	DispatchStallROB uint64 = iota
+	// DispatchStallIQ: issue queue full.
+	DispatchStallIQ
+	// DispatchStallLSQ: load or store queue full.
+	DispatchStallLSQ
+	// DispatchStallPhys: out of physical registers.
+	DispatchStallPhys
 )
 
 // String names the event kind.
@@ -96,6 +174,12 @@ func (k Kind) String() string {
 		return "tep-predict"
 	case KindTEPTrain:
 		return "tep-train"
+	case KindDispatchStall:
+		return "dispatch-stall"
+	case KindFrontStall:
+		return "front-stall"
+	case KindGlobalStall:
+		return "global-stall"
 	default:
 		return "kind(?)"
 	}
@@ -103,17 +187,17 @@ func (k Kind) String() string {
 
 // Event is one typed pipeline event. Cycle is the machine cycle the event
 // fired in (0 for component-level events that have no cycle view, e.g. TEP
-// events); Seq identifies the dynamic instruction; A and B carry kind-
+// events); Seq identifies the dynamic instruction; A, B and C carry kind-
 // specific payload (see the Kind constants).
 type Event struct {
-	Kind  Kind
-	Stage isa.Stage
-	Class isa.Class
-	Lane  int16
-	Cycle uint64
-	Seq   uint64
-	PC    uint64
-	A, B  uint64
+	Kind    Kind
+	Stage   isa.Stage
+	Class   isa.Class
+	Lane    int16
+	Cycle   uint64
+	Seq     uint64
+	PC      uint64
+	A, B, C uint64
 }
 
 // Observer receives pipeline events. Events are fired synchronously from
@@ -130,12 +214,63 @@ type ObserverFunc func(Event)
 // Event implements Observer.
 func (f ObserverFunc) Event(e Event) { f(e) }
 
+// ShardObserver is a single-goroutine accumulator split off a shared
+// registry. The pipeline fires events into it lock-free; Flush folds the
+// accumulated state back into the parent (under the parent's lock) and
+// leaves the shard empty, ready for reuse. A shard must not be shared
+// between goroutines.
+type ShardObserver interface {
+	Observer
+	Flush()
+}
+
+// Sharder is implemented by registries that can hand out per-pipeline
+// shards, so a parallel experiments suite pays one lock acquisition per
+// simulation instead of one per event. Metrics and CPIStack implement it;
+// Multi-combined observers shard component-wise.
+type Sharder interface {
+	Shard() ShardObserver
+}
+
 // multi fans one event stream out to several observers.
 type multi []Observer
 
 func (m multi) Event(e Event) {
 	for _, o := range m {
 		o.Event(e)
+	}
+}
+
+// Shard implements Sharder component-wise: observers that shard are
+// replaced by a fresh shard, the rest pass through unsharded (they must
+// then be safe for concurrent use, as before).
+func (m multi) Shard() ShardObserver {
+	out := make(multiShard, len(m))
+	for i, o := range m {
+		if s, ok := o.(Sharder); ok {
+			out[i] = s.Shard()
+		} else {
+			out[i] = o
+		}
+	}
+	return out
+}
+
+// multiShard is the per-pipeline fan-out produced by multi.Shard.
+type multiShard []Observer
+
+func (m multiShard) Event(e Event) {
+	for _, o := range m {
+		o.Event(e)
+	}
+}
+
+// Flush folds every component shard back into its parent.
+func (m multiShard) Flush() {
+	for _, o := range m {
+		if f, ok := o.(ShardObserver); ok {
+			f.Flush()
+		}
 	}
 }
 

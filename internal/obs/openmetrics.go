@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"tvsched/internal/isa"
+)
+
+// Exposition renders a Metrics registry and/or a CPIStack profiler in the
+// Prometheus text exposition format (version 0.0.4, the format `promtool
+// check metrics` accepts), so a running tvbench/tvsim/tvpaths can be
+// scraped like any other service. Counters become `_total` series, the
+// log2 Hist buckets become proper cumulative histogram `_bucket`/`_sum`/
+// `_count` series (bucket upper bounds are 0, 1, 3, 7, … 2^i−1 — the
+// largest integer each log2 bucket can hold — then +Inf), and the CPI
+// stack becomes a gauge vector labelled by component.
+//
+// Values are read live at scrape time under the registries' locks; with a
+// sharded parallel suite, a scrape sees everything flushed so far.
+type Exposition struct {
+	ns      string
+	metrics *Metrics
+	stack   *CPIStack
+}
+
+// NewExposition builds an exposition over the given sources (either may be
+// nil). ns prefixes every metric name; it is sanitized to the Prometheus
+// name charset and defaults to "tvsched".
+func NewExposition(ns string, m *Metrics, s *CPIStack) *Exposition {
+	if ns == "" {
+		ns = "tvsched"
+	}
+	var b strings.Builder
+	for i, r := range ns {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return &Exposition{ns: b.String(), metrics: m, stack: s}
+}
+
+// Handler serves the exposition over HTTP (mount at /metrics).
+func (e *Exposition) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = e.WriteTo(w)
+	})
+}
+
+// WriteTo renders the exposition text.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if e.metrics != nil {
+		if err := e.writeMetrics(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	if e.stack != nil {
+		if err := e.writeStack(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// head emits the HELP/TYPE preamble of one metric family.
+func head(w io.Writer, name, help, typ string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
+}
+
+func (e *Exposition) writeMetrics(w io.Writer) error {
+	m := e.metrics
+	name := e.ns + "_events_total"
+	if err := head(w, name, "Pipeline events by kind.", "counter"); err != nil {
+		return err
+	}
+	counts := m.Counts()
+	for k := Kind(0); k < NumKinds; k++ {
+		if _, err := fmt.Fprintf(w, "%s{kind=%q} %d\n", name, k.String(), counts[k]); err != nil {
+			return err
+		}
+	}
+
+	name = e.ns + "_violations_total"
+	if err := head(w, name, "Timing violations (predicted handled + unpredicted) by pipe stage.", "counter"); err != nil {
+		return err
+	}
+	viol := m.ViolationsByStage()
+	for s := isa.Stage(0); s < isa.NumStages; s++ {
+		if _, err := fmt.Fprintf(w, "%s{stage=%q} %d\n", name, s.String(), viol[s]); err != nil {
+			return err
+		}
+	}
+
+	name = e.ns + "_tep_predictions_total"
+	if err := head(w, name, "Handled TEP predictions by outcome.", "counter"); err != nil {
+		return err
+	}
+	tp, fp := m.Accuracy()
+	if _, err := fmt.Fprintf(w, "%s{outcome=\"true_positive\"} %d\n%s{outcome=\"false_positive\"} %d\n",
+		name, tp, name, fp); err != nil {
+		return err
+	}
+
+	hists := []struct {
+		name, help string
+		h          Hist
+	}{
+		{e.ns + "_iq_occupancy", "Issue-queue occupancy samples.", m.IQOccupancy()},
+		{e.ns + "_rob_occupancy", "Reorder-buffer occupancy samples.", m.ROBOccupancy()},
+		{e.ns + "_broadcast_delay_cycles", "Delayed tag-broadcast lengths in cycles.", m.BroadcastDelays()},
+		{e.ns + "_fault_burst_length", "Violations per fault burst.", m.FaultBursts()},
+	}
+	for _, hh := range hists {
+		if err := writeHist(w, hh.name, hh.help, &hh.h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHist renders one log2 Hist as a cumulative Prometheus histogram.
+// Bucket i of Hist counts integer values in [2^(i-1), 2^i), so its exact
+// upper bound is 2^i−1; the final open-ended bucket folds into +Inf.
+func writeHist(w io.Writer, name, help string, h *Hist) error {
+	if err := head(w, name, help, "histogram"); err != nil {
+		return err
+	}
+	cum := uint64(0)
+	for i := 0; i < len(h.Buckets)-1; i++ {
+		cum += h.Buckets[i]
+		le := uint64(0)
+		if i > 0 {
+			le = 1<<uint(i) - 1
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		name, h.Count, name, h.Sum, name, h.Count)
+	return err
+}
+
+func (e *Exposition) writeStack(w io.Writer) error {
+	rep := e.stack.Report()
+
+	name := e.ns + "_cycles_total"
+	if err := head(w, name, "Observed machine cycles.", "counter"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", name, rep.Cycles); err != nil {
+		return err
+	}
+	name = e.ns + "_instructions_total"
+	if err := head(w, name, "Committed instructions.", "counter"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", name, rep.Committed); err != nil {
+		return err
+	}
+	name = e.ns + "_cpi"
+	if err := head(w, name, "Cycles per committed instruction.", "gauge"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %g\n", name, rep.CPI); err != nil {
+		return err
+	}
+	name = e.ns + "_cpi_stack"
+	if err := head(w, name, "CPI stack decomposition by component (components sum to the CPI).", "gauge"); err != nil {
+		return err
+	}
+	for _, c := range rep.Components {
+		if _, err := fmt.Fprintf(w, "%s{component=%q} %g\n", name, c.Name, c.CPI); err != nil {
+			return err
+		}
+	}
+	name = e.ns + "_violation_cpi"
+	if err := head(w, name, "Violation-attributed share of the CPI.", "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %g\n", name, rep.ViolationCPI)
+	return err
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RunReportSchema identifies the RunReport JSON layout; bump on breaking
+// change. Downstream tooling (cmd/tvgate, CI perf gates, dashboards)
+// matches on it before trusting field semantics.
+const RunReportSchema = "tvsched/run-report/v1"
+
+// RunReport is the machine-readable outcome of a simulation run (or an
+// aggregate over a suite of runs): identity, throughput, the CPI stack,
+// TEP accuracy, and per-scheme overheads. tvsim -report writes one per
+// run; tvbench -json writes one per experiment as BENCH_<exp>.json. The
+// schema is documented in EXPERIMENTS.md.
+type RunReport struct {
+	// Schema is RunReportSchema.
+	Schema string `json:"schema"`
+	// Tool is the producing command ("tvsim", "tvbench", ...).
+	Tool string `json:"tool"`
+	// Experiment names the experiment for suite-level reports ("table1",
+	// "fig4", ...); empty for single runs.
+	Experiment string `json:"experiment,omitempty"`
+	// Benchmark / Scheme / VDD identify a single run; for aggregate
+	// reports Benchmark is "all" and Scheme/VDD are empty.
+	Benchmark string  `json:"benchmark,omitempty"`
+	Scheme    string  `json:"scheme,omitempty"`
+	VDD       float64 `json:"vdd,omitempty"`
+	// Seed is the simulation seed (reports are deterministic given it).
+	Seed uint64 `json:"seed"`
+	// Instructions and Cycles cover the measured span; IPC = their ratio
+	// (for aggregates, the ratio of sums).
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	// CPIStack is the cycle-accounting decomposition (omitted when no
+	// profiler was attached).
+	CPIStack *CPIStackReport `json:"cpi_stack,omitempty"`
+	// TEP reports prediction accuracy.
+	TEP *TEPAccuracy `json:"tep,omitempty"`
+	// SchemeOverheads carries per-scheme performance/energy-delay
+	// overheads versus the fault-free baseline (suite reports only).
+	SchemeOverheads []SchemeOverhead `json:"scheme_overheads,omitempty"`
+}
+
+// TEPAccuracy summarizes timing-error-predictor quality over a run.
+type TEPAccuracy struct {
+	// TruePositives / FalsePositives count predicted-and-handled
+	// violations by whether the instruction actually violated.
+	TruePositives  uint64 `json:"true_positives"`
+	FalsePositives uint64 `json:"false_positives"`
+	// Unpredicted counts violations that escaped to replay recovery.
+	Unpredicted uint64 `json:"unpredicted"`
+	// Coverage is TruePositives over all actual violations; Precision is
+	// TruePositives over all positive predictions.
+	Coverage  float64 `json:"coverage"`
+	Precision float64 `json:"precision"`
+}
+
+// SchemeOverhead is one scheme's measured overhead at one supply voltage,
+// averaged across benchmarks, relative to fault-free execution.
+type SchemeOverhead struct {
+	Scheme string  `json:"scheme"`
+	VDD    float64 `json:"vdd"`
+	// PerfPct and EDPct are percentages (2.5 means 2.5% overhead).
+	PerfPct float64 `json:"perf_pct"`
+	EDPct   float64 `json:"ed_pct"`
+}
+
+// WriteJSON emits the report with stable indentation.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	if r.Schema == "" {
+		r.Schema = RunReportSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadRunReport parses a RunReport and verifies its schema tag.
+func ReadRunReport(rd io.Reader) (*RunReport, error) {
+	var r RunReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("run report: %w", err)
+	}
+	if r.Schema != RunReportSchema {
+		return nil, fmt.Errorf("run report: schema %q, want %q", r.Schema, RunReportSchema)
+	}
+	return &r, nil
+}
+
+// Overhead returns the SchemeOverhead entry for (scheme, vdd), matching
+// vdd within 1e-9.
+func (r *RunReport) Overhead(scheme string, vdd float64) (SchemeOverhead, bool) {
+	for _, o := range r.SchemeOverheads {
+		if o.Scheme == scheme && o.VDD > vdd-1e-9 && o.VDD < vdd+1e-9 {
+			return o, true
+		}
+	}
+	return SchemeOverhead{}, false
+}

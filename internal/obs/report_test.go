@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunReportRoundTrip(t *testing.T) {
+	in := &RunReport{
+		Tool:         "tvsim",
+		Benchmark:    "sjeng",
+		Scheme:       "ABS",
+		VDD:          0.97,
+		Seed:         7,
+		Instructions: 50000,
+		Cycles:       80000,
+		IPC:          0.625,
+		TEP:          &TEPAccuracy{TruePositives: 10, FalsePositives: 2, Unpredicted: 1, Coverage: 10.0 / 11, Precision: 10.0 / 12},
+		SchemeOverheads: []SchemeOverhead{
+			{Scheme: "ABS", VDD: 0.97, PerfPct: 0.6, EDPct: 1.2},
+			{Scheme: "EP", VDD: 0.97, PerfPct: 3.3, EDPct: 6.5},
+		},
+	}
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if in.Schema != RunReportSchema {
+		t.Fatal("WriteJSON did not stamp the schema")
+	}
+	out, err := ReadRunReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tool != in.Tool || out.Seed != in.Seed || out.IPC != in.IPC ||
+		*out.TEP != *in.TEP || len(out.SchemeOverheads) != 2 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	if o, ok := out.Overhead("EP", 0.97); !ok || o.PerfPct != 3.3 {
+		t.Fatalf("Overhead lookup: %+v, %v", o, ok)
+	}
+}
+
+func TestReadRunReportRejectsWrongSchema(t *testing.T) {
+	_, err := ReadRunReport(strings.NewReader(`{"schema":"something/else/v9","tool":"x"}`))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+	if _, err := ReadRunReport(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -56,7 +56,9 @@ func (d *dynInst) resetPipelineState() {
 	d.src[0], d.src[1] = nil, nil
 	d.issued = false
 	d.lane = 0
-	d.selectedAt = 0
+	// unknown (== obs.NeverIssued) rather than 0: cycle 0 is a valid select
+	// time, so KindRetire consumers need a distinct never-issued sentinel.
+	d.selectedAt = unknown
 	d.depReadyAt = unknown
 	d.execDoneAt = unknown
 	d.completeAt = unknown

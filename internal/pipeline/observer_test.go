@@ -59,6 +59,9 @@ func TestObserverEventStatsConsistency(t *testing.T) {
 		{obs.KindViolationActual, st.Mispredicted},
 		{obs.KindReplay, st.Replays},
 		{obs.KindSlotFreeze, st.SlotFreezes},
+		{obs.KindGlobalStall, st.GlobalStalls},
+		{obs.KindFrontStall, st.FrontStalls},
+		{obs.KindDispatchStall, st.StallROB + st.StallIQ + st.StallLSQ + st.StallPhys},
 	}
 	for _, c := range checks {
 		if counts[c.kind] != c.want {
@@ -197,4 +200,88 @@ func TestObserverSamplePeriod(t *testing.T) {
 	if want := st.Cycles / 16; samples < want || samples > want+1 {
 		t.Fatalf("samples %d for %d cycles at period 16", samples, st.Cycles)
 	}
+}
+
+// TestRespMirrorsCoreAction pins the numeric correspondence between the
+// obs.Resp* payload codes of KindViolationPredicted.B and core.Action
+// (obs cannot import core, so the mirror is by convention only).
+func TestRespMirrorsCoreAction(t *testing.T) {
+	pairs := []struct {
+		resp uint64
+		act  core.Action
+	}{
+		{obs.RespNone, core.ActNone},
+		{obs.RespConfined, core.ActConfined},
+		{obs.RespGlobalStall, core.ActGlobalStall},
+		{obs.RespFrontStall, core.ActFrontStall},
+		{obs.RespReplay, core.ActReplay},
+	}
+	for _, p := range pairs {
+		if p.resp != uint64(p.act) {
+			t.Errorf("obs payload %d != core.%v (%d)", p.resp, p.act, p.act)
+		}
+	}
+}
+
+// TestStallCauseAndRetirePayloads checks the new event payloads against the
+// machine's behaviour under Error Padding, where every predicted violation
+// becomes a whole-pipeline stall: predicted-violation events carry the
+// global-stall response, pad-caused stall cycles dominate, replay-caused
+// stall cycles stay bounded by the replay bubble budget, and every retire
+// carries either a real select cycle or the NeverIssued sentinel.
+func TestStallCauseAndRetirePayloads(t *testing.T) {
+	var (
+		padGlobal, replayStall uint64
+		badResp                uint64
+		selected, sentinel     uint64
+		badSelect              uint64
+	)
+	o := obs.ObserverFunc(func(e obs.Event) {
+		switch e.Kind {
+		case obs.KindGlobalStall:
+			if e.A == obs.StallCausePad {
+				padGlobal++
+			} else {
+				replayStall++
+			}
+		case obs.KindFrontStall:
+			if e.A == obs.StallCauseReplay {
+				replayStall++
+			}
+		case obs.KindViolationPredicted:
+			if e.B != obs.RespGlobalStall {
+				badResp++
+			}
+		case obs.KindRetire:
+			switch {
+			case e.A == obs.NeverIssued:
+				sentinel++
+			case e.A <= e.Cycle:
+				selected++
+			default:
+				badSelect++
+			}
+		}
+	})
+	cfg := DefaultConfig()
+	cfg.Scheme = core.EP
+	st := observedRun(t, cfg, o, 1, 20000)
+
+	if badResp != 0 {
+		t.Errorf("%d predicted-violation events without the EP global-stall response", badResp)
+	}
+	if badSelect != 0 {
+		t.Errorf("%d retires with a select cycle after the retire cycle", badSelect)
+	}
+	if selected == 0 {
+		t.Error("no retire carried a concrete select cycle")
+	}
+	if st.PredictedFaults > 0 && padGlobal == 0 {
+		t.Error("EP predicted faults produced no pad-caused global stalls")
+	}
+	if limit := st.Replays * uint64(cfg.ReplayBubble); replayStall > limit {
+		t.Errorf("replay-caused stall cycles %d exceed bubble budget %d (%d replays)",
+			replayStall, limit, st.Replays)
+	}
+	_ = sentinel // whether any instruction skips select is workload-dependent
 }

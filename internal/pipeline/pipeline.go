@@ -75,11 +75,20 @@ type Pipeline struct {
 	stores   int
 	storeAt  map[uint64]int // in-flight store addresses (LSQ forwarding CAM)
 
-	// Violation handling.
-	globalFreeze int
-	frontFreeze  int
-	replayQ      []*dynInst // re-fetch queue (full-flush recovery)
-	pendingFlush *dynInst   // oldest instruction awaiting a flush
+	// Violation handling. The *Replay counters track the subset of queued
+	// freeze cycles owed to replay recovery (vs predicted-violation
+	// padding), so stall-cycle events carry their cause.
+	globalFreeze       int
+	globalFreezeReplay int
+	frontFreeze        int
+	frontFreezeReplay  int
+	replayQ            []*dynInst // re-fetch queue (full-flush recovery)
+	pendingFlush       *dynInst   // oldest instruction awaiting a flush
+
+	// pendingIFetch accumulates instruction-cache stall cycles to report
+	// on the next KindFetch event (only maintained while an observer is
+	// attached).
+	pendingIFetch uint64
 
 	cands []core.Candidate // select-stage scratch
 }
@@ -236,6 +245,16 @@ func (p *Pipeline) step() {
 	if p.globalFreeze > 0 {
 		p.globalFreeze--
 		p.stats.GlobalStalls++
+		if p.obs != nil {
+			cause := obs.StallCausePad
+			if p.globalFreezeReplay > 0 {
+				p.globalFreezeReplay--
+				cause = obs.StallCauseReplay
+			}
+			p.obs.Event(obs.Event{Kind: obs.KindGlobalStall, Cycle: p.cycle, A: cause})
+		} else if p.globalFreezeReplay > 0 {
+			p.globalFreezeReplay--
+		}
 		p.shiftInFlight()
 		return
 	}
@@ -257,6 +276,16 @@ func (p *Pipeline) step() {
 	if p.frontFreeze > 0 {
 		p.frontFreeze--
 		p.stats.FrontStalls++
+		if p.obs != nil {
+			cause := obs.StallCausePad
+			if p.frontFreezeReplay > 0 {
+				p.frontFreezeReplay--
+				cause = obs.StallCauseReplay
+			}
+			p.obs.Event(obs.Event{Kind: obs.KindFrontStall, Cycle: p.cycle, A: cause})
+		} else if p.frontFreezeReplay > 0 {
+			p.frontFreezeReplay--
+		}
 		return
 	}
 	p.dispatch()
@@ -265,23 +294,40 @@ func (p *Pipeline) step() {
 
 // emitViolation fires the KindViolationActual/KindReplay pair that every
 // unpredicted-violation recovery produces, so event counts track the
-// Mispredicted/Replays statistics exactly. Callers guard on p.obs != nil.
-func (p *Pipeline) emitViolation(di *dynInst, stage isa.Stage, bubble uint64) {
+// Mispredicted/Replays statistics exactly. bubble is the recovery stall in
+// cycles; private is the errant instruction's extra replay latency; direct
+// is any recovery cost in issue slots not otherwise visible as stall-cycle
+// events (the fetch-path replay bubble). Callers guard on p.obs != nil.
+func (p *Pipeline) emitViolation(di *dynInst, stage isa.Stage, bubble, private, direct uint64) {
 	p.obs.Event(obs.Event{Kind: obs.KindViolationActual, Cycle: p.cycle,
 		Seq: di.seq, PC: di.in.PC, Stage: stage, Class: di.in.Class})
 	p.obs.Event(obs.Event{Kind: obs.KindReplay, Cycle: p.cycle,
-		Seq: di.seq, PC: di.in.PC, Stage: stage, Class: di.in.Class, A: bubble})
+		Seq: di.seq, PC: di.in.PC, Stage: stage, Class: di.in.Class,
+		A: bubble, B: private, C: direct})
 }
 
 // emitPredicted fires a KindViolationPredicted event; A records whether the
-// prediction was a true positive. Callers guard on p.obs != nil.
-func (p *Pipeline) emitPredicted(di *dynInst, stage isa.Stage, actual bool) {
+// prediction was a true positive, B the response the scheme chose. Callers
+// guard on p.obs != nil.
+func (p *Pipeline) emitPredicted(di *dynInst, stage isa.Stage, actual bool, act core.Action) {
 	var a uint64
 	if actual {
 		a = 1
 	}
 	p.obs.Event(obs.Event{Kind: obs.KindViolationPredicted, Cycle: p.cycle,
-		Seq: di.seq, PC: di.in.PC, Stage: stage, Class: di.in.Class, A: a})
+		Seq: di.seq, PC: di.in.PC, Stage: stage, Class: di.in.Class,
+		A: a, B: uint64(act)})
+}
+
+// emitDispatchStall fires a KindDispatchStall event when a back-end resource
+// shortage cuts the dispatch group short: A is the blocking resource, B the
+// dispatch budget (slots) left unused this cycle.
+func (p *Pipeline) emitDispatchStall(cause uint64, budget int) {
+	if p.obs == nil {
+		return
+	}
+	p.obs.Event(obs.Event{Kind: obs.KindDispatchStall, Cycle: p.cycle,
+		A: cause, B: uint64(budget)})
 }
 
 // ---------------------------------------------------------------- fetch --
@@ -372,6 +418,9 @@ func (p *Pipeline) fetch() {
 			p.lastFetchLine = line
 			if lat > 1 {
 				p.fetchResumeAt = p.cycle + uint64(lat)
+				if p.obs != nil {
+					p.pendingIFetch += uint64(lat)
+				}
 				return
 			}
 		}
@@ -383,7 +432,10 @@ func (p *Pipeline) fetch() {
 			p.stats.Mispredicted++
 			p.stats.Replays++
 			if p.obs != nil {
-				p.emitViolation(di, di.faultStage, uint64(p.cfg.ReplayBubble))
+				// The bubble stalls only the front end and produces no
+				// stall-cycle events; charge it directly on the replay.
+				bubble := uint64(p.cfg.ReplayBubble)
+				p.emitViolation(di, di.faultStage, bubble, 0, bubble*uint64(p.cfg.Width))
 			}
 			p.fetchResumeAt = p.cycle + uint64(p.cfg.ReplayBubble) + 1
 			return
@@ -391,8 +443,14 @@ func (p *Pipeline) fetch() {
 		p.consumeFetch(di)
 		p.stats.Fetched++
 		if p.obs != nil {
+			var mp uint64
+			if di.mispredict {
+				mp = 1
+			}
 			p.obs.Event(obs.Event{Kind: obs.KindFetch, Cycle: p.cycle,
-				Seq: di.seq, PC: di.in.PC, Class: di.in.Class})
+				Seq: di.seq, PC: di.in.PC, Class: di.in.Class,
+				A: mp, B: p.pendingIFetch})
+			p.pendingIFetch = 0
 		}
 		di.availAt = p.cycle + uint64(p.cfg.FrontDepth)
 		di.history = p.bp.History()
@@ -418,33 +476,39 @@ func (p *Pipeline) dispatch() {
 		}
 		if p.robCount == p.cfg.ROBSize {
 			p.stats.StallROB++
+			p.emitDispatchStall(obs.DispatchStallROB, budget)
 			return
 		}
 		if len(p.iq) >= p.cfg.IQSize {
 			p.stats.StallIQ++
+			p.emitDispatchStall(obs.DispatchStallIQ, budget)
 			return
 		}
 		switch di.in.Class {
 		case isa.Load:
 			if p.loads >= p.cfg.LQSize {
 				p.stats.StallLSQ++
+				p.emitDispatchStall(obs.DispatchStallLSQ, budget)
 				return
 			}
 		case isa.Store:
 			if p.stores >= p.cfg.SQSize {
 				p.stats.StallLSQ++
+				p.emitDispatchStall(obs.DispatchStallLSQ, budget)
 				return
 			}
 		}
 		if di.in.Dest > 0 && p.freePhys == 0 {
 			p.stats.StallPhys++
+			p.emitDispatchStall(obs.DispatchStallPhys, budget)
 			return
 		}
 
 		// In-order-engine violations at rename/dispatch (§2.2).
 		for _, st := range [2]isa.Stage{isa.Rename, isa.Dispatch} {
 			if p.cfg.Scheme.UsesTEP() && di.predictedAt(st) {
-				switch core.Respond(p.cfg.Scheme, true, st) {
+				act := core.Respond(p.cfg.Scheme, true, st)
+				switch act {
 				case core.ActFrontStall:
 					p.frontFreeze++
 				case core.ActGlobalStall:
@@ -458,7 +522,7 @@ func (p *Pipeline) dispatch() {
 					p.stats.FalsePositives++
 				}
 				if p.obs != nil {
-					p.emitPredicted(di, st, actual)
+					p.emitPredicted(di, st, actual, act)
 				}
 			} else if di.actualAt(st) {
 				p.recoverInOrder(di)
@@ -570,7 +634,8 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 		predicted := p.cfg.Scheme.UsesTEP() && di.predictedAt(stage)
 		actual := di.actualAt(stage)
 		if predicted {
-			switch core.Respond(p.cfg.Scheme, true, stage) {
+			act := core.Respond(p.cfg.Scheme, true, stage)
+			switch act {
 			case core.ActConfined:
 				if stage == isa.Issue {
 					// §3.3.1: the violation is in the wakeup/select CAM.
@@ -602,7 +667,7 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 				p.stats.FalsePositives++
 			}
 			if p.obs != nil {
-				p.emitPredicted(di, stage, actual)
+				p.emitPredicted(di, stage, actual, act)
 			}
 		} else if actual && replayStage == isa.NumStages {
 			replayStage = stage
@@ -635,11 +700,13 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 		} else {
 			extra[replayStage] += uint64(p.cfg.ReplayLatency)
 			p.globalFreeze += p.cfg.ReplayBubble
+			p.globalFreezeReplay += p.cfg.ReplayBubble
 			p.stats.Replays++
 			p.stats.Mispredicted++
 			di.replaySafe = true
 			if p.obs != nil {
-				p.emitViolation(di, replayStage, uint64(p.cfg.ReplayBubble))
+				p.emitViolation(di, replayStage, uint64(p.cfg.ReplayBubble),
+					uint64(p.cfg.ReplayLatency), 0)
 			}
 			if p.cfg.Scheme.UsesTEP() {
 				p.tep.Train(di.in.PC, di.history, true, di.faultStage)
@@ -653,6 +720,7 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 	exLat, pipelined := di.in.Class.Latency()
 	rrDone := t + 1 + extra[isa.Issue] + extra[isa.RegRead]
 	execDone := rrDone + uint64(exLat) + extra[isa.Execute]
+	var loadLat uint64 // data-access latency for loads (KindIssue payload C)
 	if isMem {
 		memLat := uint64(1)
 		if di.in.Class == isa.Load {
@@ -669,6 +737,7 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 				memLat = uint64(p.hier.DataAccess(di.in.Addr))
 				di.fillAt = execDone + memLat
 			}
+			loadLat = memLat
 		}
 		memDone := execDone + memLat + extra[isa.Memory]
 		di.depReadyAt = memDone
@@ -730,7 +799,8 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 	if p.obs != nil {
 		p.obs.Event(obs.Event{Kind: obs.KindIssue, Cycle: t,
 			Seq: di.seq, PC: di.in.PC, Class: di.in.Class,
-			Lane: int16(lane), A: di.depReadyAt, B: di.completeAt})
+			Lane: int16(lane), A: di.depReadyAt, B: di.completeAt,
+			C: loadLat})
 	}
 }
 
@@ -744,9 +814,10 @@ func (p *Pipeline) recoverInOrder(di *dynInst) {
 	p.stats.Mispredicted++
 	di.replaySafe = true
 	if p.obs != nil {
-		p.emitViolation(di, di.faultStage, uint64(p.cfg.ReplayBubble))
+		p.emitViolation(di, di.faultStage, uint64(p.cfg.ReplayBubble), 0, 0)
 	}
 	p.frontFreeze += p.cfg.ReplayBubble
+	p.frontFreezeReplay += p.cfg.ReplayBubble
 	if p.cfg.Scheme.UsesTEP() {
 		p.tep.Train(di.in.PC, di.history, true, di.faultStage)
 	}
@@ -763,7 +834,7 @@ func (p *Pipeline) flushReplay(di *dynInst) {
 	p.stats.Mispredicted++
 	di.replaySafe = true
 	if p.obs != nil {
-		p.emitViolation(di, di.faultStage, uint64(p.cfg.ReplayBubble))
+		p.emitViolation(di, di.faultStage, uint64(p.cfg.ReplayBubble), 0, 0)
 	}
 	if p.cfg.Scheme.UsesTEP() {
 		p.tep.Train(di.in.PC, di.history, true, di.faultStage)
@@ -787,7 +858,7 @@ func (p *Pipeline) flushReplay(di *dynInst) {
 	if p.obs != nil {
 		p.obs.Event(obs.Event{Kind: obs.KindFlush, Cycle: p.cycle,
 			Seq: di.seq, PC: di.in.PC, Stage: di.faultStage,
-			A: uint64(len(squashed))})
+			A: uint64(len(squashed)), B: uint64(p.cfg.ReplayBubble)})
 	}
 
 	// Front-end instructions are younger than everything in the ROB.
@@ -855,7 +926,8 @@ func (p *Pipeline) retire() {
 		}
 		// Retire-stage violations (§2.2): stall-tolerated when predicted.
 		if p.cfg.Scheme.UsesTEP() && di.predictedAt(isa.Retire) {
-			switch core.Respond(p.cfg.Scheme, true, isa.Retire) {
+			act := core.Respond(p.cfg.Scheme, true, isa.Retire)
+			switch act {
 			case core.ActFrontStall:
 				p.frontFreeze++
 			case core.ActGlobalStall:
@@ -869,7 +941,7 @@ func (p *Pipeline) retire() {
 				p.stats.FalsePositives++
 			}
 			if p.obs != nil {
-				p.emitPredicted(di, isa.Retire, actual)
+				p.emitPredicted(di, isa.Retire, actual, act)
 			}
 		} else if di.actualAt(isa.Retire) {
 			// Unpredicted retire-stage violation: correct and re-run the
@@ -878,9 +950,10 @@ func (p *Pipeline) retire() {
 			p.stats.Mispredicted++
 			di.replaySafe = true
 			if p.obs != nil {
-				p.emitViolation(di, isa.Retire, uint64(p.cfg.ReplayBubble))
+				p.emitViolation(di, isa.Retire, uint64(p.cfg.ReplayBubble), 0, 0)
 			}
 			p.globalFreeze += p.cfg.ReplayBubble
+			p.globalFreezeReplay += p.cfg.ReplayBubble
 			if p.cfg.Scheme.UsesTEP() {
 				p.tep.Train(di.in.PC, di.history, true, di.faultStage)
 			}

@@ -123,6 +123,28 @@ type (
 	// ChromeTracer is an observer that records Chrome trace-event JSON
 	// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 	ChromeTracer = obs.ChromeTracer
+	// CPIStack is the cycle-accounting profiler: it decomposes every issue
+	// slot of the observed run into a CPI stack (base, branch mispredict,
+	// cache misses, dispatch back-pressure, and each flavour of
+	// timing-violation handling) with per-PC penalty attribution.
+	CPIStack = obs.CPIStack
+	// CPIStackConfig parameterizes a CPIStack; zero fields take Core-1
+	// defaults.
+	CPIStackConfig = obs.CPIStackConfig
+	// CPIStackReport is a rendered CPI stack (components sum to the CPI).
+	CPIStackReport = obs.CPIStackReport
+	// RunReport is the machine-readable run summary written by tvsim
+	// -report and tvbench -json (schema tvsched/run-report/v1).
+	RunReport = obs.RunReport
+	// Exposition renders Metrics and/or a CPIStack in the Prometheus text
+	// format; mount Exposition.Handler at /metrics.
+	Exposition = obs.Exposition
+	// Sharder is implemented by observers (Metrics, CPIStack, Multi over
+	// them) that can hand each pipeline a private lock-free shard, merged
+	// back on Flush; the experiment harness uses it automatically.
+	Sharder = obs.Sharder
+	// ShardObserver is the per-pipeline accumulator a Sharder hands out.
+	ShardObserver = obs.ShardObserver
 )
 
 // Event kinds (see internal/obs for per-kind payload conventions).
@@ -140,7 +162,15 @@ const (
 	EventSample             = obs.KindSample
 	EventTEPPredict         = obs.KindTEPPredict
 	EventTEPTrain           = obs.KindTEPTrain
+	EventDispatchStall      = obs.KindDispatchStall
+	EventFrontStall         = obs.KindFrontStall
+	EventGlobalStall        = obs.KindGlobalStall
 )
+
+// NeverIssued is the EventRetire payload-A sentinel for instructions that
+// committed without passing through issue select (cycle 0 is a valid select
+// time, so 0 cannot mean "never").
+const NeverIssued = obs.NeverIssued
 
 // NewMetrics builds an empty Metrics observer.
 func NewMetrics() *Metrics { return obs.NewMetrics() }
@@ -148,6 +178,16 @@ func NewMetrics() *Metrics { return obs.NewMetrics() }
 // NewChromeTracer builds a ChromeTracer with the default event filter
 // (issue/violation/replay/flush/freeze/sample/retire) and record cap.
 func NewChromeTracer() *ChromeTracer { return obs.NewChromeTracer() }
+
+// NewCPIStack builds a cycle-accounting profiler; zero config fields take
+// the Core-1 machine defaults, matching what Run simulates.
+func NewCPIStack(cfg CPIStackConfig) *CPIStack { return obs.NewCPIStack(cfg) }
+
+// NewExposition renders the given sources (either may be nil) in the
+// Prometheus text exposition format under the ns name prefix.
+func NewExposition(ns string, m *Metrics, s *CPIStack) *Exposition {
+	return obs.NewExposition(ns, m, s)
+}
 
 // MultiObserver fans events out to every non-nil observer, and is nil when
 // none remain — safe to assign to Config.Observer directly.
