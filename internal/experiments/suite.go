@@ -45,6 +45,11 @@ type Config struct {
 	// the simulation ends — the hot Event path then never contends. Excluded
 	// from JSON reports (it is machinery, not a result parameter).
 	Observer obs.Observer `json:"-"`
+	// Debug enables the pipeline's per-cycle invariant checker and end-of-run
+	// drain check (pipeline.Config.Debug) on every simulation this config
+	// drives. Roughly an order of magnitude slower; meant for correctness
+	// sweeps (cmd/tvfuzz), not measurement runs.
+	Debug bool
 }
 
 // DefaultConfig returns a configuration sized for interactive use: 300k
@@ -144,6 +149,7 @@ func SimulatePhasedContext(ctx context.Context, bench string, scheme core.Scheme
 	pcfg.Scheme = scheme
 	pcfg.MispredictRate = prof.MispredictRate
 	pcfg.Seed = cfg.Seed
+	pcfg.Debug = cfg.Debug
 	pcfg.Observer = cfg.Observer
 	if s, ok := cfg.Observer.(obs.Sharder); ok {
 		sh := s.Shard()

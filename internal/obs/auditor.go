@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Expected is the counter-side view an Auditor reconciles the event stream
+// against. pipeline.Stats.Expected builds one (obs cannot import pipeline,
+// so the bridge lives on the Stats side); tests may also construct it by
+// hand to audit synthetic streams.
+type Expected struct {
+	// Cycles bounds the per-cycle event kinds and the sample cadence.
+	Cycles uint64
+	// Fetched..Committed are the progress counters; each must equal its
+	// event-kind count exactly.
+	Fetched, Dispatched, Selected, Committed uint64
+	// PredictedViolations is PredictedFaults + FalsePositives: every TEP
+	// positive emits one KindViolationPredicted whether or not it was right.
+	PredictedViolations uint64
+	// ActualViolations is the Mispredicted counter (unpredicted violations
+	// that reached replay recovery).
+	ActualViolations uint64
+	// Replays, SquashedInsts cover both replay styles; squash counts arrive
+	// as KindFlush.A payloads.
+	Replays, SquashedInsts uint64
+	// SlotFreezes, GlobalStalls, FrontStalls, DispatchStalls are the
+	// stall-side counters (DispatchStalls is the sum over blocking causes).
+	SlotFreezes, GlobalStalls, FrontStalls, DispatchStalls uint64
+	// SumIQOcc, SumROBOcc are the every-cycle occupancy sums; they are
+	// reconciled against the KindSample series when SamplePeriod == 1.
+	SumIQOcc, SumROBOcc uint64
+	// SamplePeriod is the configured KindSample cadence (0 disables the
+	// sample-count check; 1 additionally reconciles the occupancy sums).
+	SamplePeriod uint64
+}
+
+// Auditor is an Observer that accumulates the event stream into per-kind
+// counts and payload sums, then reconciles them against the simulator's own
+// Stats counters via Reconcile. The two accounting paths — counter increments
+// in the pipeline and event emissions beside them — are maintained
+// independently, so any drift between them is a simulator bug; the Auditor
+// exists to make that drift loud. Safe for concurrent use.
+type Auditor struct {
+	mu     sync.Mutex
+	counts [NumKinds]uint64
+
+	sumIQ, sumROB uint64 // KindSample payload sums
+	fetchStall    uint64 // KindFetch.B: icache stall cycles charged to fetches
+	squashed      uint64 // KindFlush.A: instructions squashed by flushes
+
+	padGlobal, replayGlobal uint64 // KindGlobalStall cause split
+	padFront, replayFront   uint64 // KindFrontStall cause split
+
+	lastRetire uint64 // last KindRetire seq, for program-order checking
+	retireErr  error  // first retire-order violation observed
+}
+
+// NewAuditor returns an empty Auditor.
+func NewAuditor() *Auditor { return &Auditor{} }
+
+// Event implements Observer.
+func (a *Auditor) Event(e Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e.Kind >= NumKinds {
+		if a.retireErr == nil {
+			a.retireErr = fmt.Errorf("audit: unknown event kind %d at cycle %d", e.Kind, e.Cycle)
+		}
+		return
+	}
+	a.counts[e.Kind]++
+	switch e.Kind {
+	case KindSample:
+		a.sumIQ += e.A
+		a.sumROB += e.B
+	case KindFetch:
+		a.fetchStall += e.B
+	case KindFlush:
+		a.squashed += e.A
+	case KindGlobalStall:
+		if e.A == StallCauseReplay {
+			a.replayGlobal++
+		} else {
+			a.padGlobal++
+		}
+	case KindFrontStall:
+		if e.A == StallCauseReplay {
+			a.replayFront++
+		} else {
+			a.padFront++
+		}
+	case KindRetire:
+		if a.counts[KindRetire] > 1 && e.Seq <= a.lastRetire && a.retireErr == nil {
+			a.retireErr = fmt.Errorf("audit: retire out of program order: seq %d after %d at cycle %d",
+				e.Seq, a.lastRetire, e.Cycle)
+		}
+		a.lastRetire = e.Seq
+	}
+}
+
+// Reset discards everything accumulated so far. Call it when the simulator's
+// counters are themselves reset (after warmup) so both accounting paths cover
+// the same cycles.
+func (a *Auditor) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.counts = [NumKinds]uint64{}
+	a.sumIQ, a.sumROB = 0, 0
+	a.fetchStall, a.squashed = 0, 0
+	a.padGlobal, a.replayGlobal = 0, 0
+	a.padFront, a.replayFront = 0, 0
+	a.lastRetire, a.retireErr = 0, nil
+}
+
+// Count returns the number of events of kind k observed.
+func (a *Auditor) Count(k Kind) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if k >= NumKinds {
+		return 0
+	}
+	return a.counts[k]
+}
+
+// GlobalStallCauses returns the KindGlobalStall cycle counts split by cause.
+func (a *Auditor) GlobalStallCauses() (pad, replay uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.padGlobal, a.replayGlobal
+}
+
+// FrontStallCauses returns the KindFrontStall cycle counts split by cause.
+func (a *Auditor) FrontStallCauses() (pad, replay uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.padFront, a.replayFront
+}
+
+// Reconcile checks the accumulated event stream against the counter-side
+// expectations and returns an error joining every rule that failed (nil when
+// the two accounting paths agree). The rules:
+//
+//   - progress events match their counters exactly: KindFetch == Fetched,
+//     KindDispatch == Dispatched, KindIssue == Selected,
+//     KindRetire == Committed
+//   - violation machinery matches: KindViolationPredicted ==
+//     PredictedFaults+FalsePositives, KindViolationActual == Mispredicted,
+//     KindReplay == Replays, KindSlotFreeze == SlotFreezes
+//   - stall cycles match: KindGlobalStall == GlobalStalls, KindFrontStall ==
+//     FrontStalls, KindDispatchStall == the summed dispatch-blocking causes
+//   - flushes are a subset of replays, and their A payloads sum to
+//     SquashedInsts
+//   - retires arrive in program order
+//   - icache stall cycles charged on KindFetch.B never exceed total Cycles
+//     (stale pre-reset residue, e.g. leaked across a warmup, breaks this)
+//   - with SamplePeriod == 1 the KindSample series is one sample per cycle
+//     and its payload sums equal SumIQOcc/SumROBOcc exactly; with a coarser
+//     period the sample count must still match the cadence ±1
+func (a *Auditor) Reconcile(exp Expected) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("audit: "+format, args...))
+	}
+	eq := func(k Kind, want uint64, counter string) {
+		if got := a.counts[k]; got != want {
+			fail("%v events %d, %s says %d", k, got, counter, want)
+		}
+	}
+	eq(KindFetch, exp.Fetched, "Fetched")
+	eq(KindDispatch, exp.Dispatched, "Dispatched")
+	eq(KindIssue, exp.Selected, "Selected")
+	eq(KindRetire, exp.Committed, "Committed")
+	eq(KindViolationPredicted, exp.PredictedViolations, "PredictedFaults+FalsePositives")
+	eq(KindViolationActual, exp.ActualViolations, "Mispredicted")
+	eq(KindReplay, exp.Replays, "Replays")
+	eq(KindSlotFreeze, exp.SlotFreezes, "SlotFreezes")
+	eq(KindGlobalStall, exp.GlobalStalls, "GlobalStalls")
+	eq(KindFrontStall, exp.FrontStalls, "FrontStalls")
+	eq(KindDispatchStall, exp.DispatchStalls, "StallROB+StallIQ+StallLSQ+StallPhys")
+
+	if a.counts[KindFlush] > exp.Replays {
+		fail("%d flushes exceed %d replays", a.counts[KindFlush], exp.Replays)
+	}
+	if a.squashed != exp.SquashedInsts {
+		fail("flush payloads sum to %d squashed, SquashedInsts says %d", a.squashed, exp.SquashedInsts)
+	}
+	if a.retireErr != nil {
+		errs = append(errs, a.retireErr)
+	}
+	if a.fetchStall > exp.Cycles {
+		fail("icache stall cycles %d exceed total cycles %d (stale pendingIFetch residue?)",
+			a.fetchStall, exp.Cycles)
+	}
+
+	switch {
+	case exp.SamplePeriod == 1:
+		if a.counts[KindSample] != exp.Cycles {
+			fail("%d samples for %d cycles at period 1", a.counts[KindSample], exp.Cycles)
+		}
+		if a.sumIQ != exp.SumIQOcc {
+			fail("sampled IQ occupancy sums to %d, SumIQOcc says %d", a.sumIQ, exp.SumIQOcc)
+		}
+		if a.sumROB != exp.SumROBOcc {
+			fail("sampled ROB occupancy sums to %d, SumROBOcc says %d", a.sumROB, exp.SumROBOcc)
+		}
+	case exp.SamplePeriod > 1:
+		want := exp.Cycles / exp.SamplePeriod
+		if got := a.counts[KindSample]; got+1 < want || got > want+1 {
+			fail("%d samples for %d cycles at period %d", got, exp.Cycles, exp.SamplePeriod)
+		}
+	}
+
+	return errors.Join(errs...)
+}

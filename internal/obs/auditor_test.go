@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// feed pushes a synthetic stream of n events of kind k with the given payload
+// template into a.
+func feed(a *Auditor, k Kind, n int, tmpl Event) {
+	for i := 0; i < n; i++ {
+		e := tmpl
+		e.Kind = k
+		a.Event(e)
+	}
+}
+
+// TestAuditorReconcileClean builds a self-consistent synthetic stream and
+// expects a clean reconciliation.
+func TestAuditorReconcileClean(t *testing.T) {
+	a := NewAuditor()
+	for seq := uint64(0); seq < 10; seq++ {
+		a.Event(Event{Kind: KindFetch, Seq: seq})
+		a.Event(Event{Kind: KindDispatch, Seq: seq})
+		a.Event(Event{Kind: KindIssue, Seq: seq})
+		a.Event(Event{Kind: KindRetire, Seq: seq})
+	}
+	feed(a, KindViolationPredicted, 3, Event{})
+	feed(a, KindViolationActual, 2, Event{})
+	feed(a, KindReplay, 2, Event{})
+	feed(a, KindSlotFreeze, 4, Event{})
+	feed(a, KindGlobalStall, 2, Event{A: StallCausePad})
+	feed(a, KindFrontStall, 1, Event{A: StallCauseReplay})
+	feed(a, KindDispatchStall, 5, Event{A: DispatchStallROB})
+	a.Event(Event{Kind: KindFlush, A: 6})
+	for c := uint64(1); c <= 40; c++ {
+		a.Event(Event{Kind: KindSample, Cycle: c, A: 2, B: 7})
+	}
+
+	exp := Expected{
+		Cycles: 40, Fetched: 10, Dispatched: 10, Selected: 10, Committed: 10,
+		PredictedViolations: 3, ActualViolations: 2, Replays: 2, SquashedInsts: 6,
+		SlotFreezes: 4, GlobalStalls: 2, FrontStalls: 1, DispatchStalls: 5,
+		SumIQOcc: 80, SumROBOcc: 280, SamplePeriod: 1,
+	}
+	if err := a.Reconcile(exp); err != nil {
+		t.Fatalf("clean stream rejected: %v", err)
+	}
+	if pad, replay := a.GlobalStallCauses(); pad != 2 || replay != 0 {
+		t.Errorf("global stall causes pad=%d replay=%d", pad, replay)
+	}
+	if pad, replay := a.FrontStallCauses(); pad != 0 || replay != 1 {
+		t.Errorf("front stall causes pad=%d replay=%d", pad, replay)
+	}
+	if got := a.Count(KindRetire); got != 10 {
+		t.Errorf("Count(KindRetire) = %d", got)
+	}
+}
+
+// TestAuditorReconcileJoinsEveryMismatch checks each rule fires and that
+// multiple violations are all reported.
+func TestAuditorReconcileJoinsEveryMismatch(t *testing.T) {
+	a := NewAuditor()
+	feed(a, KindFetch, 3, Event{})
+	feed(a, KindRetire, 2, Event{})
+	err := a.Reconcile(Expected{Cycles: 100, Fetched: 5, Committed: 4})
+	if err == nil {
+		t.Fatal("mismatched stream accepted")
+	}
+	for _, want := range []string{"Fetched", "Committed"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q misses the %s mismatch", err, want)
+		}
+	}
+}
+
+// TestAuditorRetireOrder checks program-order enforcement on retires.
+func TestAuditorRetireOrder(t *testing.T) {
+	a := NewAuditor()
+	a.Event(Event{Kind: KindRetire, Seq: 5, Cycle: 10})
+	a.Event(Event{Kind: KindRetire, Seq: 4, Cycle: 11}) // out of order
+	err := a.Reconcile(Expected{Committed: 2})
+	if err == nil || !strings.Contains(err.Error(), "program order") {
+		t.Fatalf("out-of-order retire not reported: %v", err)
+	}
+
+	// Seq 0 first is legal (the guard must not treat seq 0 as a sentinel).
+	a = NewAuditor()
+	a.Event(Event{Kind: KindRetire, Seq: 0})
+	a.Event(Event{Kind: KindRetire, Seq: 1})
+	if err := a.Reconcile(Expected{Committed: 2}); err != nil {
+		t.Fatalf("in-order retires rejected: %v", err)
+	}
+}
+
+// TestAuditorFetchStallBound checks the icache-residue rule: stall cycles
+// charged to fetches can never exceed total cycles.
+func TestAuditorFetchStallBound(t *testing.T) {
+	a := NewAuditor()
+	a.Event(Event{Kind: KindFetch, B: 500})
+	err := a.Reconcile(Expected{Cycles: 100, Fetched: 1})
+	if err == nil || !strings.Contains(err.Error(), "icache stall") {
+		t.Fatalf("excess icache stall cycles not reported: %v", err)
+	}
+}
+
+// TestAuditorSampleCadence checks both sample-reconciliation modes.
+func TestAuditorSampleCadence(t *testing.T) {
+	// Period 1: exact count and exact occupancy sums.
+	a := NewAuditor()
+	feed(a, KindSample, 9, Event{A: 1, B: 2})
+	err := a.Reconcile(Expected{Cycles: 10, SumIQOcc: 9, SumROBOcc: 18, SamplePeriod: 1})
+	if err == nil || !strings.Contains(err.Error(), "samples") {
+		t.Fatalf("missing sample not reported: %v", err)
+	}
+	a = NewAuditor()
+	feed(a, KindSample, 10, Event{A: 1, B: 2})
+	err = a.Reconcile(Expected{Cycles: 10, SumIQOcc: 9, SumROBOcc: 20, SamplePeriod: 1})
+	if err == nil || !strings.Contains(err.Error(), "IQ occupancy") {
+		t.Fatalf("occupancy sum drift not reported: %v", err)
+	}
+
+	// Coarser period: count within ±1 of the cadence, sums unchecked.
+	a = NewAuditor()
+	feed(a, KindSample, 15, Event{A: 99, B: 99})
+	if err := a.Reconcile(Expected{Cycles: 1000, SamplePeriod: 64}); err != nil {
+		t.Fatalf("in-cadence samples rejected: %v", err)
+	}
+	a = NewAuditor()
+	feed(a, KindSample, 40, Event{})
+	if err := a.Reconcile(Expected{Cycles: 1000, SamplePeriod: 64}); err == nil {
+		t.Fatal("off-cadence sample count accepted")
+	}
+}
+
+// TestAuditorFlushRules checks the flush-subset and squash-payload rules.
+// Every real flush rides on a replay, so the streams feed matching KindReplay
+// events.
+func TestAuditorFlushRules(t *testing.T) {
+	stream := func(replays int) *Auditor {
+		a := NewAuditor()
+		feed(a, KindReplay, replays, Event{})
+		a.Event(Event{Kind: KindFlush, A: 3})
+		a.Event(Event{Kind: KindFlush, A: 4})
+		return a
+	}
+	if err := stream(2).Reconcile(Expected{Replays: 2, SquashedInsts: 7}); err != nil {
+		t.Fatalf("consistent flushes rejected: %v", err)
+	}
+	err := stream(1).Reconcile(Expected{Replays: 1, SquashedInsts: 7})
+	if err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("flushes exceeding replays accepted: %v", err)
+	}
+	err = stream(2).Reconcile(Expected{Replays: 2, SquashedInsts: 6})
+	if err == nil || !strings.Contains(err.Error(), "squashed") {
+		t.Fatalf("squash payload drift accepted: %v", err)
+	}
+}
+
+// TestAuditorReset checks Reset discards all accumulated state, aligning the
+// auditor with a post-warmup stats reset.
+func TestAuditorReset(t *testing.T) {
+	a := NewAuditor()
+	feed(a, KindFetch, 7, Event{B: 3})
+	a.Event(Event{Kind: KindRetire, Seq: 9})
+	a.Event(Event{Kind: KindRetire, Seq: 1}) // poison the order tracker
+	a.Reset()
+	a.Event(Event{Kind: KindRetire, Seq: 0})
+	if err := a.Reconcile(Expected{Committed: 1}); err != nil {
+		t.Fatalf("reset auditor still failing: %v", err)
+	}
+}

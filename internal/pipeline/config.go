@@ -76,6 +76,11 @@ type Config struct {
 	// events (0 means the default of 64). Only consulted when Observer is
 	// attached.
 	SamplePeriod uint64
+	// Debug, when set, runs CheckInvariants after every simulated cycle and
+	// CheckDrained at the end of every run, turning silent bookkeeping
+	// corruption into an immediate error. Costs roughly an order of
+	// magnitude in simulation speed; off (the default) it costs nothing.
+	Debug bool
 }
 
 // DefaultConfig returns the Core-1 machine of §4.1.

@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"tvsched/internal/isa"
+)
+
+// This file is the opt-in correctness harness for the simulator's resource
+// bookkeeping (Config.Debug wires it into every cycle of RunContext). The
+// paper's comparisons live or die on cycle accounting being exact, so every
+// conservation law the machine relies on is asserted here rather than trusted:
+//
+//   - physical registers:   freePhys + in-flight destinations == NumPhys − 32
+//   - LSQ counters:         loads/stores == ROB contents, within LQ/SQ bounds
+//   - store-forwarding CAM: the storeAt multiset matches in-flight stores
+//   - ROB:                  ring within capacity, seq strictly increasing,
+//     no retired entries resident
+//   - issue queue:          every entry has inIQ set, is unissued, and is
+//     exactly the set of unissued ROB entries
+//   - front end:            frontQ within capacity, in fetch order, strictly
+//     younger than the whole ROB
+//   - stall bookkeeping:    replay-cause freeze credit never exceeds the
+//     total freeze credit
+//
+// CheckDrained adds the end-of-run law: a successful RunContext commits every
+// instruction it fetched, so the machine must return to empty with every
+// resource released.
+
+// CheckInvariants verifies the machine's resource-conservation invariants at
+// a cycle boundary. It returns nil when the state is consistent and an error
+// joining every violated invariant otherwise. Safe to call at any cycle
+// boundary; with Config.Debug it runs automatically after every step.
+func (p *Pipeline) CheckInvariants() error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("invariant: "+format, args...))
+	}
+
+	if p.robCount < 0 || p.robCount > p.cfg.ROBSize {
+		fail("robCount %d outside [0,%d]", p.robCount, p.cfg.ROBSize)
+		return errors.Join(errs...) // the ROB walk below would be garbage
+	}
+
+	// One walk over the ROB collects everything the window-side laws need.
+	var (
+		dests, loads, stores int
+		unissued             = make(map[*dynInst]bool)
+		storeAt              = make(map[uint64]int)
+		prevSeq              uint64
+		maxSeq               uint64
+	)
+	for i := 0; i < p.robCount; i++ {
+		e := p.rob[(p.robHead+i)%p.cfg.ROBSize]
+		if e == nil {
+			fail("nil ROB entry at slot %d", i)
+			continue
+		}
+		if e.retired {
+			fail("retired seq %d still resident in ROB slot %d", e.seq, i)
+		}
+		if i > 0 && e.seq <= prevSeq {
+			fail("ROB seq not strictly increasing: %d after %d (slot %d)", e.seq, prevSeq, i)
+		}
+		prevSeq = e.seq
+		maxSeq = e.seq
+		if e.in.Dest > 0 {
+			dests++
+		}
+		switch e.in.Class {
+		case isa.Load:
+			loads++
+		case isa.Store:
+			stores++
+			storeAt[e.in.Addr]++
+		}
+		if !e.issued {
+			unissued[e] = true
+		}
+	}
+
+	// Physical-register conservation: every in-flight destination holds one
+	// register; everything else is free.
+	inFlight := p.cfg.NumPhys - isa.NumArchRegs
+	if p.freePhys < 0 || p.freePhys > inFlight {
+		fail("freePhys %d outside [0,%d]", p.freePhys, inFlight)
+	}
+	if p.freePhys+dests != inFlight {
+		fail("phys conservation: freePhys %d + %d in-flight dests != %d", p.freePhys, dests, inFlight)
+	}
+
+	// LSQ counters mirror the ROB contents and respect their capacities.
+	if loads != p.loads {
+		fail("loads counter %d, ROB holds %d loads", p.loads, loads)
+	}
+	if stores != p.stores {
+		fail("stores counter %d, ROB holds %d stores", p.stores, stores)
+	}
+	if p.loads < 0 || p.loads > p.cfg.LQSize {
+		fail("loads %d outside [0,%d]", p.loads, p.cfg.LQSize)
+	}
+	if p.stores < 0 || p.stores > p.cfg.SQSize {
+		fail("stores %d outside [0,%d]", p.stores, p.cfg.SQSize)
+	}
+
+	// The store-forwarding CAM is exactly the multiset of in-flight store
+	// addresses: a leak turns into phantom store-to-load forwards.
+	for addr, n := range storeAt {
+		if got := p.storeAt[addr]; got != n {
+			fail("storeAt[%#x] = %d, ROB holds %d stores to it", addr, got, n)
+		}
+	}
+	for addr, n := range p.storeAt {
+		if n <= 0 {
+			fail("storeAt[%#x] = %d, zero/negative entries must be deleted", addr, n)
+		}
+		if _, ok := storeAt[addr]; !ok {
+			fail("storeAt[%#x] = %d with no in-flight store to it", addr, n)
+		}
+	}
+
+	// The issue queue is exactly the unissued slice of the ROB.
+	if len(p.iq) > p.cfg.IQSize {
+		fail("iq holds %d entries, capacity %d", len(p.iq), p.cfg.IQSize)
+	}
+	if len(p.iq) != len(unissued) {
+		fail("iq holds %d entries, ROB holds %d unissued", len(p.iq), len(unissued))
+	}
+	for i, e := range p.iq {
+		if !e.inIQ {
+			fail("iq[%d] (seq %d) has inIQ clear", i, e.seq)
+		}
+		if e.issued {
+			fail("iq[%d] (seq %d) already issued", i, e.seq)
+		}
+		if e.retired {
+			fail("iq[%d] (seq %d) already retired", i, e.seq)
+		}
+		if !unissued[e] {
+			fail("iq[%d] (seq %d) not an unissued ROB entry", i, e.seq)
+		}
+	}
+
+	// Front-end queue: bounded, in fetch order, strictly younger than the ROB.
+	if len(p.frontQ) > p.cfg.FrontQ {
+		fail("frontQ holds %d entries, capacity %d", len(p.frontQ), p.cfg.FrontQ)
+	}
+	for i, e := range p.frontQ {
+		if e.inIQ || e.issued || e.retired {
+			fail("frontQ[%d] (seq %d) already entered the window", i, e.seq)
+		}
+		if i > 0 && e.seq <= p.frontQ[i-1].seq {
+			fail("frontQ seq not strictly increasing: %d after %d", e.seq, p.frontQ[i-1].seq)
+		}
+		if p.robCount > 0 && e.seq <= maxSeq {
+			fail("frontQ[%d] (seq %d) not younger than ROB tail (seq %d)", i, e.seq, maxSeq)
+		}
+	}
+
+	// Stall bookkeeping: the replay-cause credit is a subset of the total.
+	if p.globalFreeze < 0 || p.globalFreezeReplay < 0 || p.globalFreezeReplay > p.globalFreeze {
+		fail("global freeze credit inconsistent: total %d, replay-cause %d", p.globalFreeze, p.globalFreezeReplay)
+	}
+	if p.frontFreeze < 0 || p.frontFreezeReplay < 0 || p.frontFreezeReplay > p.frontFreeze {
+		fail("front freeze credit inconsistent: total %d, replay-cause %d", p.frontFreeze, p.frontFreezeReplay)
+	}
+
+	return errors.Join(errs...)
+}
+
+// CheckDrained verifies the machine is empty with every resource released —
+// the state a successful run must end in, because the run's fetch budget
+// equals its commit target, so every fetched instruction has committed.
+func (p *Pipeline) CheckDrained() error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("drain: "+format, args...))
+	}
+	if p.robCount != 0 {
+		fail("%d instructions still in the ROB", p.robCount)
+	}
+	if len(p.iq) != 0 {
+		fail("%d instructions still in the issue queue", len(p.iq))
+	}
+	if len(p.frontQ) != 0 {
+		fail("%d instructions still in the front-end queue", len(p.frontQ))
+	}
+	if len(p.replayQ) != 0 {
+		fail("%d squashed instructions still awaiting re-fetch", len(p.replayQ))
+	}
+	if p.pendingNew != nil {
+		fail("a fetched-but-unconsumed instruction is pending (seq %d)", p.pendingNew.seq)
+	}
+	if p.pendingFlush != nil {
+		fail("a flush is still pending (seq %d)", p.pendingFlush.seq)
+	}
+	if p.loads != 0 || p.stores != 0 {
+		fail("LSQ counters not released: %d loads, %d stores", p.loads, p.stores)
+	}
+	if len(p.storeAt) != 0 {
+		fail("store-forwarding CAM not released: %d addresses", len(p.storeAt))
+	}
+	if full := p.cfg.NumPhys - isa.NumArchRegs; p.freePhys != full {
+		fail("physical registers not released: %d free of %d", p.freePhys, full)
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,392 @@
+package pipeline
+
+// Tests for the simulation-correctness harness: the per-cycle invariant
+// checker (Config.Debug / CheckInvariants / CheckDrained), the obs.Auditor
+// reconciliation of the event stream against Stats, and the accounting fixes
+// this harness was built to catch — including deliberate re-introductions of
+// the occupancy and warmup-residue bugs to prove the harness sees them.
+
+import (
+	"strings"
+	"testing"
+
+	"tvsched/internal/core"
+	"tvsched/internal/fault"
+	"tvsched/internal/isa"
+	"tvsched/internal/obs"
+	"tvsched/internal/workload"
+)
+
+// debugRun simulates a faulty sjeng phase with the invariant checker enabled
+// every cycle and the given observer attached from cycle zero.
+func debugRun(t *testing.T, cfg Config, o obs.Observer, seed, n uint64) Stats {
+	t.Helper()
+	cfg.Debug = true
+	return observedRun(t, cfg, o, seed, n)
+}
+
+// TestDebugInvariantsAllSchemes runs every scheme under both replay styles at
+// the high-fault voltage with the per-cycle checker on: any bookkeeping drift
+// anywhere in the machine fails the run immediately.
+func TestDebugInvariantsAllSchemes(t *testing.T) {
+	schemes := []core.Scheme{core.Razor, core.EP, core.ABS, core.FFS, core.CDS}
+	for _, sch := range schemes {
+		for _, flush := range []bool{false, true} {
+			cfg := DefaultConfig()
+			cfg.Scheme = sch
+			cfg.FullFlushReplay = flush
+			st := debugRun(t, cfg, nil, 1, 5000)
+			if st.Committed != 5000 {
+				t.Errorf("%v flush=%v: committed %d", sch, flush, st.Committed)
+			}
+		}
+	}
+}
+
+// TestCheckInvariantsCatchesCorruption corrupts one bookkeeping structure at
+// a time on a drained machine and checks the checker names each violation.
+func TestCheckInvariantsCatchesCorruption(t *testing.T) {
+	build := func() *Pipeline {
+		p, err := New(DefaultConfig(), allALU(), &injector{stage: isa.Execute, everyN: 10}, fault.VNominal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name    string
+		corrupt func(p *Pipeline)
+		want    string
+	}{
+		{"phys leak", func(p *Pipeline) { p.freePhys-- }, "phys conservation"},
+		{"loads leak", func(p *Pipeline) { p.loads++ }, "loads counter"},
+		{"stores leak", func(p *Pipeline) { p.stores++ }, "stores counter"},
+		{"storeAt leak", func(p *Pipeline) { p.storeAt[0x123] = 1 }, "storeAt"},
+		{"ghost iq entry", func(p *Pipeline) {
+			d := &dynInst{seq: 999}
+			d.resetPipelineState()
+			p.iq = append(p.iq, d)
+		}, "iq"},
+		{"replay credit", func(p *Pipeline) { p.globalFreezeReplay = p.globalFreeze + 1 }, "freeze credit"},
+	}
+	for _, c := range cases {
+		p := build()
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("%s: clean machine fails: %v", c.name, err)
+		}
+		c.corrupt(p)
+		err := p.CheckInvariants()
+		if err == nil {
+			t.Errorf("%s: corruption not detected", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestOccupancyStatsMatchEventSeries is the regression test for the
+// occupancy-accounting fix: under EP at the high-fault voltage (stall-heavy
+// by design) the SumIQOcc/SumROBOcc counters must agree exactly with the
+// every-cycle KindSample series, because both now observe every cycle —
+// stall cycles included.
+func TestOccupancyStatsMatchEventSeries(t *testing.T) {
+	var samples, sumIQ, sumROB uint64
+	o := obs.ObserverFunc(func(e obs.Event) {
+		if e.Kind == obs.KindSample {
+			samples++
+			sumIQ += e.A
+			sumROB += e.B
+		}
+	})
+	cfg := DefaultConfig()
+	cfg.Scheme = core.EP
+	cfg.SamplePeriod = 1
+	st := debugRun(t, cfg, o, 1, 20000)
+	if st.GlobalStalls == 0 {
+		t.Fatal("EP at the faulty voltage produced no global stalls; nothing exercised")
+	}
+	if samples != st.Cycles {
+		t.Fatalf("%d samples for %d cycles at period 1", samples, st.Cycles)
+	}
+	if sumIQ != st.SumIQOcc {
+		t.Fatalf("event-series IQ occupancy %d, Stats say %d", sumIQ, st.SumIQOcc)
+	}
+	if sumROB != st.SumROBOcc {
+		t.Fatalf("event-series ROB occupancy %d, Stats say %d", sumROB, st.SumROBOcc)
+	}
+}
+
+// TestAuditorReconcilesRealRuns drives real simulations through the Auditor
+// and requires the full reconciliation to pass, across both replay styles and
+// the scheme spectrum.
+func TestAuditorReconcilesRealRuns(t *testing.T) {
+	cases := []struct {
+		scheme core.Scheme
+		flush  bool
+	}{
+		{core.ABS, false},
+		{core.EP, false},
+		{core.Razor, true}, // exercises KindFlush payload reconciliation
+		{core.CDS, false},
+	}
+	for _, c := range cases {
+		aud := obs.NewAuditor()
+		cfg := DefaultConfig()
+		cfg.Scheme = c.scheme
+		cfg.FullFlushReplay = c.flush
+		cfg.SamplePeriod = 1
+		st := debugRun(t, cfg, aud, 1, 20000)
+		if err := aud.Reconcile(st.Expected(1)); err != nil {
+			t.Errorf("%v flush=%v: %v", c.scheme, c.flush, err)
+		}
+		if c.flush && st.SquashedInsts == 0 {
+			t.Errorf("%v flush=%v: no squashes; flush path not exercised", c.scheme, c.flush)
+		}
+	}
+}
+
+// TestOccupancyBugDetectedByAuditor re-introduces the occupancy bug the
+// satellite fix removed — accumulation skipped on global-stall cycles — by
+// recomputing the sum the old code would have produced, and checks the
+// Auditor rejects it.
+func TestOccupancyBugDetectedByAuditor(t *testing.T) {
+	aud := obs.NewAuditor()
+	robAt := map[uint64]uint64{} // cycle -> sampled ROB occupancy
+	stall := map[uint64]bool{}   // cycles the old code skipped
+	rec := obs.ObserverFunc(func(e obs.Event) {
+		switch e.Kind {
+		case obs.KindSample:
+			robAt[e.Cycle] = e.B
+		case obs.KindGlobalStall:
+			stall[e.Cycle] = true
+		}
+	})
+	cfg := DefaultConfig()
+	cfg.Scheme = core.EP
+	cfg.SamplePeriod = 1
+	st := debugRun(t, cfg, obs.Multi(aud, rec), 1, 20000)
+	if st.GlobalStalls == 0 {
+		t.Fatal("no global stalls; the old bug would not manifest")
+	}
+
+	// The old step() returned from the global-freeze path before accumulating.
+	var buggySumROB uint64
+	for cyc, occ := range robAt {
+		if !stall[cyc] {
+			buggySumROB += occ
+		}
+	}
+	if buggySumROB >= st.SumROBOcc {
+		t.Fatalf("buggy sum %d not below fixed sum %d; ROB empty through stalls?", buggySumROB, st.SumROBOcc)
+	}
+	exp := st.Expected(1)
+	exp.SumROBOcc = buggySumROB
+	if err := aud.Reconcile(exp); err == nil {
+		t.Fatal("auditor accepted the stall-cycle-skipping occupancy sum")
+	} else if !strings.Contains(err.Error(), "ROB occupancy") {
+		t.Fatalf("auditor failed for the wrong reason: %v", err)
+	}
+}
+
+// TestWarmupClearsPendingIFetch pins the warmup-residue fix directly: the
+// icache-stall accumulator is observer-side residue and must not survive the
+// stats reset.
+func TestWarmupClearsPendingIFetch(t *testing.T) {
+	prof := mustProfile(t, "gcc") // large code footprint: icache misses happen
+	gen, err := workload.NewGenerator(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MispredictRate = prof.MispredictRate
+	cfg.Observer = obs.ObserverFunc(func(obs.Event) {})
+	p, err := New(cfg, gen, fault.New(fault.DefaultConfig(1)), fault.VNominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate warmup ending mid-icache-stall, then the reset.
+	p.pendingIFetch = 42
+	if err := p.Warmup(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.pendingIFetch != 0 {
+		t.Fatalf("pendingIFetch %d leaked across the warmup reset", p.pendingIFetch)
+	}
+	// And after a real warmup with fetch traffic, nothing may linger either.
+	if err := p.Warmup(20000); err != nil {
+		t.Fatal(err)
+	}
+	if p.pendingIFetch != 0 {
+		t.Fatalf("pendingIFetch %d nonzero after real warmup", p.pendingIFetch)
+	}
+}
+
+// TestWarmupResidueBugDetectedByAuditor re-introduces the residue bug — stale
+// pendingIFetch surviving into the measured run — and checks the Auditor's
+// icache-stall bound rejects the stream.
+func TestWarmupResidueBugDetectedByAuditor(t *testing.T) {
+	prof := mustProfile(t, "sjeng")
+	gen, err := workload.NewGenerator(prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MispredictRate = prof.MispredictRate
+	cfg.SamplePeriod = 1
+	p, err := New(cfg, gen, fault.New(fault.DefaultConfig(1)), fault.VHighFault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Warmup(5000); err != nil {
+		t.Fatal(err)
+	}
+	// The bug: residue accumulated before the reset charged to the first
+	// measured fetch. Make it large enough that the charge is unambiguous.
+	p.pendingIFetch = 10_000_000
+	aud := obs.NewAuditor()
+	p.SetObserver(aud)
+	st, err := p.Run(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aud.Reconcile(st.Expected(1)); err == nil {
+		t.Fatal("auditor accepted stale icache-stall residue")
+	} else if !strings.Contains(err.Error(), "icache stall") {
+		t.Fatalf("auditor failed for the wrong reason: %v", err)
+	}
+}
+
+// TestCDSCriticalityScanSkipsGrantedEntries pins the CDS fix: the §3.5.2
+// dependent count must cover waiting consumers only, not entries granted
+// earlier in the same selectIssue pass (still physically present in p.iq
+// because compaction happens after the grant loop).
+func TestCDSCriticalityScanSkipsGrantedEntries(t *testing.T) {
+	build := func(ct int) (*Pipeline, *dynInst) {
+		cfg := DefaultConfig()
+		cfg.Scheme = core.CDS
+		cfg.CT = ct
+		p, err := New(cfg, allALU(), &injector{stage: isa.Execute, everyN: 1 << 60}, fault.VNominal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := &dynInst{seq: 10, in: isa.Inst{PC: 0x400000, Class: isa.IntALU, Dest: 3, Src1: 28, Src2: -1}}
+		prod.resetPipelineState()
+		prod.inIQ = true
+		// One dependent granted earlier in this same pass (inIQ already
+		// cleared, still resident in the slice) and one still waiting.
+		granted := &dynInst{seq: 11, in: isa.Inst{PC: 0x400010, Class: isa.IntALU, Dest: 4, Src1: 3, Src2: -1}}
+		granted.resetPipelineState()
+		granted.src[0] = prod
+		granted.issued = true
+		waiting := &dynInst{seq: 12, in: isa.Inst{PC: 0x400020, Class: isa.IntALU, Dest: 5, Src1: 3, Src2: -1}}
+		waiting.resetPipelineState()
+		waiting.src[0] = prod
+		waiting.inIQ = true
+		p.iq = []*dynInst{granted, waiting}
+		return p, prod
+	}
+
+	// CT=2: with the granted entry wrongly counted the producer would be
+	// marked critical; only the waiting dependent may count.
+	p, prod := build(2)
+	p.issueInst(prod, 0)
+	if p.stats.CriticalMarks != 0 {
+		t.Fatalf("granted same-pass entry counted as a waiting dependent: %d marks", p.stats.CriticalMarks)
+	}
+	// CT=1: the genuine waiting dependent alone must still trip the CDL.
+	p, prod = build(1)
+	p.issueInst(prod, 0)
+	if p.stats.CriticalMarks != 1 {
+		t.Fatalf("waiting dependent not counted: %d marks", p.stats.CriticalMarks)
+	}
+}
+
+// storeLoadSource mixes stores (with repeated addresses, so the forwarding
+// CAM holds multiset counts above one) with loads and ALU work — the resource
+// cocktail the flush-replay conservation test needs in flight.
+func storeLoadSource() *sliceSource {
+	var insts []isa.Inst
+	pc := uint64(0x400000)
+	add := func(in isa.Inst) {
+		in.PC = pc
+		pc += 4
+		insts = append(insts, in)
+	}
+	for i := 0; i < 2; i++ {
+		add(isa.Inst{Class: isa.Store, Src1: 28, Src2: 1, Addr: 0x1000_0000})
+		add(isa.Inst{Class: isa.Store, Src1: 28, Src2: 2, Addr: 0x1000_0040})
+		add(isa.Inst{Class: isa.Load, Dest: int8(1 + i), Src1: 28, Src2: -1, Addr: 0x1000_0000})
+		add(isa.Inst{Class: isa.IntALU, Dest: int8(3 + i), Src1: 28, Src2: 29})
+		add(isa.Inst{Class: isa.IntALU, Dest: int8(5 + i), Src1: 28, Src2: 29})
+		add(isa.Inst{Class: isa.Load, Dest: int8(7 + i), Src1: 28, Src2: -1, Addr: 0x1000_0040})
+	}
+	for i := range insts {
+		insts[i].NextPC = insts[(i+1)%len(insts)].PC
+	}
+	return &sliceSource{insts: insts}
+}
+
+// TestFlushReplayResourceConservation is the focused satellite test: under
+// full-flush replay every squash must return freePhys, the LSQ counters and
+// the storeAt CAM to their pre-dispatch values. The per-cycle checker
+// (Debug) validates conservation at every intermediate cycle; the explicit
+// checks pin the drained end state.
+func TestFlushReplayResourceConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = core.Razor // no TEP: every injected fault replays via flush
+	cfg.FullFlushReplay = true
+	cfg.Debug = true
+	p, err := New(cfg, storeLoadSource(), &injector{stage: isa.Execute, everyN: 7}, fault.VHighFault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := cfg.NumPhys - isa.NumArchRegs
+	if p.freePhys != full || p.loads != 0 || p.stores != 0 || len(p.storeAt) != 0 {
+		t.Fatalf("pre-dispatch state not clean: freePhys %d loads %d stores %d storeAt %d",
+			p.freePhys, p.loads, p.stores, len(p.storeAt))
+	}
+	st, err := p.Run(8000)
+	if err != nil {
+		t.Fatal(err) // Debug: any mid-run conservation break lands here
+	}
+	if st.Replays == 0 || st.SquashedInsts == 0 {
+		t.Fatalf("flush path not exercised: %d replays, %d squashed", st.Replays, st.SquashedInsts)
+	}
+	if p.freePhys != full {
+		t.Errorf("freePhys %d, want %d after drain", p.freePhys, full)
+	}
+	if p.loads != 0 || p.stores != 0 {
+		t.Errorf("LSQ counters not restored: %d loads, %d stores", p.loads, p.stores)
+	}
+	if len(p.storeAt) != 0 {
+		t.Errorf("storeAt CAM holds %d addresses after drain", len(p.storeAt))
+	}
+	if err := p.CheckDrained(); err != nil {
+		t.Errorf("drain check: %v", err)
+	}
+}
+
+// TestRunContextNoProgressReportsCumulativeTarget pins the error-message fix:
+// Committed is cumulative across runs, so the hang diagnostic must report the
+// cumulative target, not the current call's n.
+func TestRunContextNoProgressReportsCumulativeTarget(t *testing.T) {
+	p, err := New(DefaultConfig(), allALU(), &injector{stage: isa.Execute, everyN: 10}, fault.VNominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the machine: a freeze budget far past the no-progress horizon.
+	p.globalFreeze = 1 << 30
+	_, err = p.Run(5)
+	if err == nil {
+		t.Fatal("wedged pipeline reported no error")
+	}
+	if !strings.Contains(err.Error(), "(10/15 committed)") {
+		t.Fatalf("error %q does not report progress against the cumulative target 15", err)
+	}
+}

@@ -174,6 +174,10 @@ func (p *Pipeline) WarmupContext(ctx context.Context, n uint64) error {
 		return err
 	}
 	p.stats = Stats{}
+	// Observer-side residue must not cross the reset: trailing warmup
+	// icache-stall cycles would otherwise be charged to the first measured
+	// KindFetch event and pollute its CPI icache component.
+	p.pendingIFetch = 0
 	p.hier.L1I.Stats = mem.CacheStats{}
 	p.hier.L1D.Stats = mem.CacheStats{}
 	p.hier.L2.Stats = mem.CacheStats{}
@@ -205,6 +209,11 @@ func (p *Pipeline) RunContext(ctx context.Context, n uint64) (Stats, error) {
 	lastCommit, lastCommitCycle := p.stats.Committed, p.cycle
 	for p.stats.Committed < target {
 		p.step()
+		if p.cfg.Debug {
+			if err := p.CheckInvariants(); err != nil {
+				return p.stats, fmt.Errorf("pipeline: cycle %d: %w", p.cycle, err)
+			}
+		}
 		if p.cycle&1023 == 0 {
 			if err := ctx.Err(); err != nil {
 				return p.stats, err
@@ -213,8 +222,18 @@ func (p *Pipeline) RunContext(ctx context.Context, n uint64) (Stats, error) {
 		if p.stats.Committed != lastCommit {
 			lastCommit, lastCommitCycle = p.stats.Committed, p.cycle
 		} else if p.cycle-lastCommitCycle > 200000 {
+			// Committed is cumulative across runs, so report against the
+			// cumulative target, not this call's n.
 			return p.stats, fmt.Errorf("pipeline: no commit for 200k cycles at cycle %d (%d/%d committed)",
-				p.cycle, p.stats.Committed, n)
+				p.cycle, p.stats.Committed, target)
+		}
+	}
+	// Every fetched instruction must commit for the loop to end (fetchLimit
+	// accumulates to exactly the commit target), so a successful run always
+	// leaves the machine drained.
+	if p.cfg.Debug {
+		if err := p.CheckDrained(); err != nil {
+			return p.stats, fmt.Errorf("pipeline: end of run at cycle %d: %w", p.cycle, err)
 		}
 	}
 	p.stats.L1I = p.hier.L1I.Stats
@@ -238,6 +257,14 @@ func (p *Pipeline) step() {
 			A: uint64(len(p.iq)), B: uint64(p.robCount)})
 	}
 
+	// Occupancy sums accumulate every cycle, stall cycles included: the
+	// window contents are frozen, not gone, and MeanIQOcc/MeanROBOcc divide
+	// by total Cycles. Skipping stall cycles would understate occupancy for
+	// stall-heavy schemes (EP) and disagree with the KindSample series.
+	p.stats.SumIQOcc += uint64(len(p.iq))
+	p.stats.SumROBOcc += uint64(p.robCount)
+	p.stats.SumFrontQ += uint64(len(p.frontQ))
+
 	// EP whole-pipeline stall: the faulty stage completes in two cycles
 	// while every other stage recirculates its inputs (§2.2, §5). The stall
 	// is a true machine-wide freeze — every in-flight completion, including
@@ -258,10 +285,6 @@ func (p *Pipeline) step() {
 		p.shiftInFlight()
 		return
 	}
-
-	p.stats.SumIQOcc += uint64(len(p.iq))
-	p.stats.SumROBOcc += uint64(p.robCount)
-	p.stats.SumFrontQ += uint64(len(p.frontQ))
 
 	if p.pendingFlush != nil {
 		di := p.pendingFlush
@@ -786,6 +809,13 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 	if p.cfg.Scheme == core.CDS && di.in.Dest > 0 {
 		matches := 0
 		for _, e := range p.iq {
+			// p.iq still holds entries granted earlier in this selectIssue
+			// pass (compaction happens after the grant loop); issued
+			// instructions are not waiting dependents, so only count entries
+			// still resident in the queue.
+			if !e.inIQ {
+				continue
+			}
 			if e.src[0] == di || e.src[1] == di {
 				matches++
 			}

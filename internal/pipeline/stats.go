@@ -3,6 +3,7 @@ package pipeline
 import (
 	"tvsched/internal/isa"
 	"tvsched/internal/mem"
+	"tvsched/internal/obs"
 )
 
 // Stats aggregates everything the experiments and the energy model need.
@@ -64,6 +65,33 @@ func (s *Stats) MeanROBOcc() float64 {
 		return 0
 	}
 	return float64(s.SumROBOcc) / float64(s.Cycles)
+}
+
+// Expected builds the obs.Auditor reconciliation view of these counters.
+// samplePeriod is the KindSample cadence the run was configured with (pass
+// the effective period: Config.SamplePeriod, or 64 if that was zero; 0 skips
+// the sample-cadence checks). The observer must have covered exactly the
+// cycles these Stats cover — attached for the whole run, or reset alongside
+// the warmup stats reset.
+func (s *Stats) Expected(samplePeriod uint64) obs.Expected {
+	return obs.Expected{
+		Cycles:              s.Cycles,
+		Fetched:             s.Fetched,
+		Dispatched:          s.Dispatched,
+		Selected:            s.Selected,
+		Committed:           s.Committed,
+		PredictedViolations: s.PredictedFaults + s.FalsePositives,
+		ActualViolations:    s.Mispredicted,
+		Replays:             s.Replays,
+		SquashedInsts:       s.SquashedInsts,
+		SlotFreezes:         s.SlotFreezes,
+		GlobalStalls:        s.GlobalStalls,
+		FrontStalls:         s.FrontStalls,
+		DispatchStalls:      s.StallROB + s.StallIQ + s.StallLSQ + s.StallPhys,
+		SumIQOcc:            s.SumIQOcc,
+		SumROBOcc:           s.SumROBOcc,
+		SamplePeriod:        samplePeriod,
+	}
 }
 
 // IPC returns committed instructions per cycle.

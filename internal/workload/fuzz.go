@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"fmt"
+
+	"tvsched/internal/isa"
+	"tvsched/internal/rng"
+)
+
+// RandomProfile draws a random but always-valid benchmark profile from r —
+// the workload half of the differential fuzzer's configuration space (see
+// cmd/tvfuzz). Every knob stays inside Validate's bounds, and the ranges
+// bracket the SPEC2006 calibration (§4.2) with room to spare on both sides,
+// so the fuzzer explores machines the curated profiles never exercise:
+// near-serial dependency chains, branch-free streaming kernels, tiny hot
+// loops, DRAM-bound pointer chases. Deterministic: the same source state
+// yields the same profile.
+func RandomProfile(r *rng.Source) Profile {
+	uni := func(lo, hi float64) float64 { return lo + r.Float64()*(hi-lo) }
+
+	// Random class weights, normalized to sum exactly to 1. Branch weight is
+	// bounded away from zero (Validate requires branches; the generator's
+	// loop structure needs them to terminate blocks).
+	w := [isa.NumClasses]float64{}
+	w[isa.IntALU] = uni(0.25, 0.60)
+	w[isa.IntMul] = uni(0, 0.08)
+	w[isa.IntDiv] = uni(0, 0.01)
+	w[isa.Load] = uni(0.10, 0.35)
+	w[isa.Store] = uni(0.04, 0.15)
+	w[isa.Branch] = uni(0.05, 0.20)
+	var sum float64
+	for _, f := range w {
+		sum += f
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+
+	p := Profile{
+		Name:        fmt.Sprintf("fuzz-%08x", r.Uint32()),
+		Mix:         w,
+		DepP:        uni(0.10, 0.80),
+		LongDepFrac: uni(0.08, 0.55),
+		HotBytes:    uint64(1+r.Intn(48)) * kb,
+		WarmBytes:   uint64(64+r.Intn(4*1024-64)) * kb,
+		L2Rate:      uni(0, 0.16),
+		DRAMRate:    uni(0, 0.04),
+
+		MispredictRate: uni(0, 0.06),
+		StaticInsts:    64 + r.Intn(10000),
+		LoopBlocks:     1 + r.Intn(6),
+		LoopMeanIter:   uni(2, 240),
+		ZipfTheta:      uni(0.4, 1.2),
+		FaultBias:      uni(0.8, 2.0),
+	}
+	return p
+}

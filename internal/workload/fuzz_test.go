@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"testing"
+
+	"tvsched/internal/rng"
+)
+
+// TestRandomProfileAlwaysValid draws many profiles and requires every one to
+// pass Validate and build a working generator — the contract cmd/tvfuzz
+// depends on.
+func TestRandomProfileAlwaysValid(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		p := RandomProfile(rng.New(seed))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v (%+v)", seed, err, p)
+		}
+		g, err := NewGenerator(p, seed)
+		if err != nil {
+			t.Fatalf("seed %d: generator: %v", seed, err)
+		}
+		for i := 0; i < 64; i++ {
+			g.Next() // must not panic
+		}
+	}
+}
+
+// TestRandomProfileDeterministic pins that the same source state yields the
+// same profile, and different seeds explore the space.
+func TestRandomProfileDeterministic(t *testing.T) {
+	a := RandomProfile(rng.New(7))
+	b := RandomProfile(rng.New(7))
+	if a != b {
+		t.Fatalf("same seed, different profiles:\n%+v\n%+v", a, b)
+	}
+	c := RandomProfile(rng.New(8))
+	if a == c {
+		t.Fatal("different seeds produced identical profiles")
+	}
+}

@@ -145,6 +145,15 @@ type (
 	Sharder = obs.Sharder
 	// ShardObserver is the per-pipeline accumulator a Sharder hands out.
 	ShardObserver = obs.ShardObserver
+	// Auditor is the accounting cross-check observer: it accumulates the
+	// event stream into per-kind counts and reconciles them against the
+	// simulator's own Stats counters (Auditor.Reconcile with
+	// PipeStats.Expected), so the two accounting paths can never silently
+	// diverge. Pair it with Config.Debug for full correctness checking.
+	Auditor = obs.Auditor
+	// AuditExpected is the counter-side view Auditor.Reconcile checks the
+	// event stream against; build it with PipeStats.Expected.
+	AuditExpected = obs.Expected
 )
 
 // Event kinds (see internal/obs for per-kind payload conventions).
@@ -193,6 +202,9 @@ func NewExposition(ns string, m *Metrics, s *CPIStack) *Exposition {
 // none remain — safe to assign to Config.Observer directly.
 func MultiObserver(os ...Observer) Observer { return obs.Multi(os...) }
 
+// NewAuditor builds an empty accounting-reconciliation observer.
+func NewAuditor() *Auditor { return obs.NewAuditor() }
+
 // Config describes one simulation.
 type Config struct {
 	// Benchmark is a workload name from Benchmarks().
@@ -218,6 +230,11 @@ type Config struct {
 	// *Metrics for aggregate counters or a *ChromeTracer for a Perfetto
 	// trace, or combine them with MultiObserver.
 	Observer Observer
+	// Debug runs the pipeline's per-cycle invariant checker and end-of-run
+	// drain check (see internal/pipeline CheckInvariants/CheckDrained).
+	// Roughly an order of magnitude slower; meant for correctness work, not
+	// measurement.
+	Debug bool
 }
 
 func (c *Config) fill() {
@@ -267,7 +284,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	cfg.fill()
 	r, err := experiments.SimulateContext(ctx, cfg.Benchmark, cfg.Scheme, cfg.VDD,
 		experiments.Config{Insts: cfg.Instructions, Warmup: cfg.Warmup, Seed: cfg.Seed,
-			Observer: cfg.Observer})
+			Observer: cfg.Observer, Debug: cfg.Debug})
 	if err != nil {
 		return Result{}, err
 	}
@@ -302,7 +319,7 @@ func Compare(cfg Config, schemes []Scheme) ([]Comparison, error) {
 func CompareContext(ctx context.Context, cfg Config, schemes []Scheme) ([]Comparison, error) {
 	cfg.fill()
 	ecfg := experiments.Config{Insts: cfg.Instructions, Warmup: cfg.Warmup,
-		Seed: cfg.Seed, Observer: cfg.Observer}
+		Seed: cfg.Seed, Observer: cfg.Observer, Debug: cfg.Debug}
 	base, err := experiments.SimulateContext(ctx, cfg.Benchmark, ABS, VNominal, ecfg)
 	if err != nil {
 		return nil, err
@@ -347,6 +364,7 @@ func RunProfile(cfg Config, prof WorkloadProfile) (Result, error) {
 	pcfg.MispredictRate = prof.MispredictRate
 	pcfg.Seed = cfg.Seed
 	pcfg.Observer = cfg.Observer
+	pcfg.Debug = cfg.Debug
 	fc := fault.DefaultConfig(cfg.Seed)
 	fc.Bias = prof.FaultBias
 	p, err := pipeline.New(pcfg, gen, fault.New(fc), cfg.VDD)
@@ -389,6 +407,7 @@ func RunAsm(cfg Config, source string, init func(m *AsmMachine)) (Result, error)
 	pcfg.Scheme = cfg.Scheme
 	pcfg.Seed = cfg.Seed
 	pcfg.Observer = cfg.Observer
+	pcfg.Debug = cfg.Debug
 	fc := fault.DefaultConfig(cfg.Seed)
 	fc.Bias = cfg.FaultBias
 	p, err := pipeline.New(pcfg, m, fault.New(fc), cfg.VDD)
