@@ -14,6 +14,13 @@
 //     whole pipeline, only confined schemes (ABS/FFS/CDS) pad the in-order
 //     engine or confine violations, only CDS marks criticality
 //
+// A third of the cases additionally attach a random survivable hazard
+// timeline (hazard.Random: droops, storms, sensor faults whose combined delay
+// stays under the replay limit), and a subset of those enable the
+// graceful-degradation supervisor; both must still complete, reconcile and
+// rerun bit-identically. Scheme-confinement checks are skipped only for
+// supervised cases, whose scheme legitimately changes at runtime.
+//
 // A rotating subset of cases additionally checks cross-scheme properties:
 //
 //   - at the fault-free nominal voltage all five schemes produce identical
@@ -21,6 +28,9 @@
 //   - across the whole sweep, ABS spends no more aggregate cycles than EP on
 //     the same work at the same faulty voltage (the paper's headline
 //     ordering; per-case ordering is not guaranteed, the aggregate is)
+//   - attaching an empty hazard timeline (with the supervisor disabled) is
+//     bit-identical to attaching none — the hazard hook costs nothing when
+//     quiet
 //
 // Everything is derived deterministically from -seed, so a reported failure
 // reproduces with -seed <s> -only <index>.
@@ -42,6 +52,7 @@ import (
 
 	"tvsched/internal/core"
 	"tvsched/internal/fault"
+	"tvsched/internal/hazard"
 	"tvsched/internal/obs"
 	"tvsched/internal/pipeline"
 	"tvsched/internal/rng"
@@ -66,6 +77,8 @@ func main() {
 		runs     int
 		sweeps   int
 		pairs    int
+		idents   int
+		hazarded int
 		absCyc   uint64
 		epCyc    uint64
 	)
@@ -73,8 +86,9 @@ func main() {
 		mu.Lock()
 		defer mu.Unlock()
 		failures = append(failures, fmt.Sprintf(
-			"case %d (seed %d): %v\n  scheme=%v vdd=%.2f insts=%d warmup=%d profile=%s\n  config: %+v",
-			idx, *seed, err, spec.cfg.Scheme, spec.vdd, spec.insts, spec.warmup, spec.prof.Name, spec.cfg))
+			"case %d (seed %d): %v\n  scheme=%v vdd=%.2f insts=%d warmup=%d profile=%s hazardSeed=%d supervised=%v\n  config: %+v",
+			idx, *seed, err, spec.cfg.Scheme, spec.vdd, spec.insts, spec.warmup, spec.prof.Name,
+			spec.hazardSeed, spec.supervised, spec.cfg))
 	}
 
 	workers := runtime.GOMAXPROCS(0)
@@ -86,9 +100,10 @@ func main() {
 			for idx := range indices {
 				spec := randomCase(rng.New(*seed).Derive(uint64(idx)), *insts)
 				if *verb {
-					fmt.Printf("case %4d: %-5v vdd=%.2f W=%d rob=%d iq=%d phys=%d flush=%v %s\n",
+					fmt.Printf("case %4d: %-5v vdd=%.2f W=%d rob=%d iq=%d phys=%d flush=%v hz=%v sup=%v %s\n",
 						idx, spec.cfg.Scheme, spec.vdd, spec.cfg.Width, spec.cfg.ROBSize,
-						spec.cfg.IQSize, spec.cfg.NumPhys, spec.cfg.FullFlushReplay, spec.prof.Name)
+						spec.cfg.IQSize, spec.cfg.NumPhys, spec.cfg.FullFlushReplay,
+						spec.hazardSeed != 0, spec.supervised, spec.prof.Name)
 				}
 				if err := runCase(spec); err != nil {
 					report(idx, spec, err)
@@ -96,11 +111,15 @@ func main() {
 				}
 				mu.Lock()
 				runs++
+				if spec.hazardSeed != 0 {
+					hazarded++
+				}
 				mu.Unlock()
 
 				// Rotating extras: a fault-free cross-scheme sweep every
-				// 8th case, an ABS-vs-EP pair at a faulty voltage every
-				// 4th (offset so a case never runs both).
+				// 8th case, an empty-timeline identity check every 8th,
+				// an ABS-vs-EP pair at a faulty voltage every 4th (offsets
+				// chosen so a case never runs two).
 				switch {
 				case idx%8 == 0:
 					if err := nominalSweep(spec); err != nil {
@@ -109,6 +128,14 @@ func main() {
 					}
 					mu.Lock()
 					sweeps++
+					mu.Unlock()
+				case idx%8 == 4:
+					if err := emptyTimelineIdentity(spec); err != nil {
+						report(idx, spec, err)
+						continue
+					}
+					mu.Lock()
+					idents++
 					mu.Unlock()
 				case idx%4 == 2:
 					a, e, err := overheadPair(spec)
@@ -147,8 +174,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tvfuzz: %d failure(s) in %v\n", len(failures), time.Since(start).Round(time.Millisecond))
 		os.Exit(1)
 	}
-	fmt.Printf("tvfuzz: %d cases ok (%d nominal sweeps, %d ABS/EP pairs, ABS/EP cycles %d/%d) in %v\n",
-		runs, sweeps, pairs, absCyc, epCyc, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("tvfuzz: %d cases ok (%d hazarded, %d nominal sweeps, %d empty-timeline identities, %d ABS/EP pairs, ABS/EP cycles %d/%d) in %v\n",
+		runs, hazarded, sweeps, idents, pairs, absCyc, epCyc, time.Since(start).Round(time.Millisecond))
 }
 
 // caseSpec is one point in the fuzzed configuration space. Everything needed
@@ -160,6 +187,14 @@ type caseSpec struct {
 	insts  uint64
 	warmup uint64 // 0 means no warmup phase
 	seed   uint64
+
+	// hazardSeed, when nonzero, attaches hazard.Random(hazardSeed, horizon)
+	// — a survivable transient timeline rebuilt identically on the
+	// determinism rerun. supervised additionally enables the
+	// graceful-degradation supervisor with the default policy.
+	hazardSeed uint64
+	horizon    uint64
+	supervised bool
 }
 
 // randomCase draws a machine configuration, workload and operating point
@@ -206,6 +241,11 @@ func randomCase(r *rng.Source, insts uint64) caseSpec {
 	if r.Bool(0.4) {
 		spec.warmup = spec.insts / 4
 	}
+	if r.Bool(0.35) {
+		spec.hazardSeed = r.Uint64() | 1 // nonzero marks the hazard on
+		spec.horizon = 4 * spec.insts    // covers the run at any plausible CPI
+		spec.supervised = r.Bool(0.4)
+	}
 	return spec
 }
 
@@ -222,9 +262,16 @@ func build(spec caseSpec, debug bool, o obs.Observer) (*pipeline.Pipeline, error
 	cfg := spec.cfg
 	cfg.Debug = debug
 	cfg.Observer = o
+	if spec.supervised {
+		pol := core.DefaultSupervisorPolicy()
+		cfg.Supervisor = &pol
+	}
 	p, err := pipeline.New(cfg, gen, fault.New(fc), spec.vdd)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	if spec.hazardSeed != 0 {
+		p.SetHazard(hazard.Random(rng.New(spec.hazardSeed), spec.horizon))
 	}
 	p.PrefillData(gen.WarmRegion())
 	return p, nil
@@ -259,8 +306,13 @@ func runCase(spec caseSpec) error {
 	if err := aud.Reconcile(st.Expected(spec.cfg.SamplePeriod)); err != nil {
 		return err
 	}
-	if err := schemeProperties(spec, st, aud); err != nil {
-		return err
+	// Confinement is a property of a fixed scheme; a supervised machine
+	// escalates through other schemes at runtime, so only the completion,
+	// reconciliation and determinism contracts apply to it.
+	if !spec.supervised {
+		if err := schemeProperties(spec, st, aud); err != nil {
+			return err
+		}
 	}
 
 	// Determinism: rebuild from the same spec (debug off — invariant checks
@@ -312,7 +364,10 @@ func schemeProperties(spec caseSpec, st pipeline.Stats, aud *obs.Auditor) error 
 	if s != core.CDS && st.CriticalMarks != 0 {
 		return fmt.Errorf("%v stored %d criticality marks: only CDS runs the CDL", s, st.CriticalMarks)
 	}
-	if spec.vdd >= fault.VNominal && st.Faults != 0 {
+	// A hazard's delay stretch or tail inflation can push even the nominal
+	// supply into violation; the fault-free-baseline property only applies
+	// to the stationary environment.
+	if spec.vdd >= fault.VNominal && spec.hazardSeed == 0 && st.Faults != 0 {
 		return fmt.Errorf("%d faults at the nominal %.2f V: the baseline must be fault-free", st.Faults, spec.vdd)
 	}
 	return nil
@@ -325,6 +380,7 @@ func schemeProperties(spec caseSpec, st pipeline.Stats, aud *obs.Auditor) error 
 // fan-out alone and are zeroed before comparison.
 func nominalSweep(spec caseSpec) error {
 	spec.vdd = fault.VNominal
+	spec.hazardSeed, spec.supervised = 0, false // stationary environment only
 	var base pipeline.Stats
 	var baseScheme core.Scheme
 	for s := core.Scheme(0); s < core.NumSchemes; s++ {
@@ -350,6 +406,35 @@ func nominalSweep(spec caseSpec) error {
 	return nil
 }
 
+// emptyTimelineIdentity pins the zero-cost contract of the hazard hook: a
+// machine with an explicitly attached empty timeline (and the supervisor
+// disabled) must produce Stats bit-identical to one with no hazard attached
+// at all.
+func emptyTimelineIdentity(spec caseSpec) error {
+	spec.hazardSeed, spec.supervised = 0, false
+	bare, err := build(spec, false, nil)
+	if err != nil {
+		return err
+	}
+	stBare, err := execute(bare, spec, nil)
+	if err != nil {
+		return fmt.Errorf("empty-timeline identity (bare): %w", err)
+	}
+	hooked, err := build(spec, false, nil)
+	if err != nil {
+		return err
+	}
+	hooked.SetHazard(hazard.MustNew(spec.seed))
+	stHooked, err := execute(hooked, spec, nil)
+	if err != nil {
+		return fmt.Errorf("empty-timeline identity (hooked): %w", err)
+	}
+	if stBare != stHooked {
+		return fmt.Errorf("empty hazard timeline perturbed the run:\n  bare:   %+v\n  hooked: %+v", stBare, stHooked)
+	}
+	return nil
+}
+
 // overheadPair runs spec's machine and workload under ABS and EP at a faulty
 // voltage and returns both cycle counts. The caller accumulates them: the
 // paper's ordering (ABS overhead ≤ EP overhead) holds in aggregate, not
@@ -358,6 +443,7 @@ func overheadPair(spec caseSpec) (absCycles, epCycles uint64, err error) {
 	if spec.vdd >= fault.VNominal {
 		spec.vdd = fault.VHighFault
 	}
+	spec.hazardSeed, spec.supervised = 0, false // the ordering is stationary
 	for _, s := range [...]core.Scheme{core.ABS, core.EP} {
 		spec.cfg.Scheme = s
 		p, err := build(spec, false, nil)

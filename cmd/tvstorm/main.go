@@ -1,0 +1,155 @@
+// Command tvstorm runs a hazard survival campaign: every requested hazard
+// scenario × base scheme × seed cell is simulated twice on the same seed —
+// once with the graceful-degradation supervisor and once without — and the
+// outcomes (survival, worst-window CPI, escalation counts, time-to-detect,
+// time-to-recover) are reported side by side as storm-report JSON
+// (schema tvsched/storm-report/v1).
+//
+// The report is derived entirely from simulated state, so the same flags
+// always produce byte-identical output — CI compares two runs with cmp.
+//
+// Usage:
+//
+//	tvstorm                              # default campaign, JSON on stdout
+//	tvstorm -list                        # list hazard scenarios
+//	tvstorm -scenarios quiet,blackout -schemes Razor,ABS -out storm.json
+//	tvstorm -bench sjeng -n 300000 -seeds 1,2,3
+//
+// tvstorm exits nonzero if any supervised cell fails to survive — an
+// unsupervised twin may die (several scenarios exist to kill it), a
+// supervised one must not.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tvsched/internal/core"
+	"tvsched/internal/experiments"
+	"tvsched/internal/hazard"
+)
+
+func main() {
+	def := experiments.DefaultStormConfig()
+	var (
+		bench     = flag.String("bench", def.Bench, "benchmark name (see tvsim -list)")
+		vdd       = flag.Float64("vdd", def.VDD, "supply voltage (hazards bite hardest at 0.97)")
+		n         = flag.Uint64("n", def.Insts, "committed instructions per cell")
+		warmup    = flag.Uint64("warmup", def.Warmup, "committed-instruction warmup per cell")
+		horizon   = flag.Uint64("horizon", 0, "hazard scenario geometry in cycles (0 = -n)")
+		window    = flag.Uint64("window", 0, "worst-window CPI window in cycles (0 = supervisor window)")
+		scenarios = flag.String("scenarios", "", "comma-separated scenario names (empty = all)")
+		schemes   = flag.String("schemes", "", "comma-separated base schemes (empty = Razor,EP,ABS)")
+		seeds     = flag.String("seeds", "1", "comma-separated seeds")
+		out       = flag.String("out", "", "write the JSON report to this file (empty = stdout)")
+		list      = flag.Bool("list", false, "list hazard scenarios and exit")
+		serial    = flag.Bool("serial", false, "run cells serially (report is identical either way)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range hazard.Scenarios() {
+			fmt.Printf("%-14s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
+
+	cfg := def
+	cfg.Bench = *bench
+	cfg.VDD = *vdd
+	cfg.Insts = *n
+	cfg.Warmup = *warmup
+	cfg.Horizon = *horizon
+	cfg.Window = *window
+	cfg.Parallel = !*serial
+	if *scenarios != "" {
+		cfg.Scenarios = strings.Split(*scenarios, ",")
+	}
+	if *schemes != "" {
+		for _, name := range strings.Split(*schemes, ",") {
+			var s core.Scheme
+			if err := s.UnmarshalText([]byte(strings.TrimSpace(name))); err != nil {
+				fatal(err)
+			}
+			cfg.Schemes = append(cfg.Schemes, s)
+		}
+	}
+	for _, f := range strings.Split(*seeds, ",") {
+		seed, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad seed %q: %v", f, err))
+		}
+		cfg.Seeds = append(cfg.Seeds, seed)
+	}
+
+	rep, err := experiments.RunStorm(context.Background(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	printSummary(rep)
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tvstorm: report written to %s\n", *out)
+	} else {
+		os.Stdout.Write(blob)
+	}
+
+	if fails := rep.Failures(); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "tvstorm: supervised cell failed:", f)
+		}
+		os.Exit(1)
+	}
+}
+
+// printSummary renders the campaign as a human-readable table on stderr, so
+// stdout stays clean JSON when no -out file is given.
+func printSummary(r *experiments.StormReport) {
+	w := os.Stderr
+	fmt.Fprintf(w, "tvstorm: %s vdd=%.2f n=%d warmup=%d window=%d\n",
+		r.Bench, r.VDD, r.Insts, r.Warmup, r.Window)
+	fmt.Fprintf(w, "%-14s %-6s %4s | %-24s | %-24s\n",
+		"scenario", "scheme", "seed", "supervised", "unsupervised")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		fmt.Fprintf(w, "%-14s %-6s %4d | %-24s | %-24s\n",
+			c.Scenario, c.Scheme, c.Seed,
+			outcomeSummary(&c.Supervised), outcomeSummary(&c.Unsupervised))
+	}
+}
+
+func outcomeSummary(o *experiments.StormOutcome) string {
+	if !o.Survived {
+		return "DIED: " + truncate(o.Error, 17)
+	}
+	s := fmt.Sprintf("ipc %.2f wCPI %.1f", o.IPC, o.WorstWindowCPI)
+	if o.Escalations > 0 || o.WatchdogFires > 0 {
+		s += fmt.Sprintf(" esc %d/wd %d", o.Escalations, o.WatchdogFires)
+	}
+	return s
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tvstorm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+
+	"tvsched/internal/fault"
+)
+
+// This file implements the graceful-degradation supervisor: a small runtime
+// state machine that watches windowed health monitors (unpredicted-violation
+// rate, TEP precision) and walks an escalation ladder when the environment
+// leaves the regime the scheduler was designed for. The paper's schemes
+// assume violations are predictable enough to schedule around (§3); under a
+// transient hazard — a voltage droop, a violation storm, a dead delay sensor
+// — that assumption breaks, and an unsupervised run degenerates into a
+// replay cascade or loses forward progress entirely. The ladder trades
+// throughput for safety one rung at a time:
+//
+//	level 0: the configured base scheme (normally a §3 scheduler, e.g. ABS)
+//	level 1: EP — pad every predicted violation with a global stall; no
+//	         scheduling cleverness left to be wrong
+//	level 2: Razor-safe — replay-everything plus a VDD raise to the safe
+//	         nominal supply, the "stop predicting, just survive" rung
+//
+// De-escalation is hysteretic: only after QuietWindows consecutive calm
+// windows does the supervisor step back down one rung, which prevents
+// oscillation when a hazard hovers near a threshold. A separate
+// no-forward-progress watchdog jumps straight to the top rung (with a
+// bounded per-run budget) where today's pipeline would abort with an error.
+//
+// The supervisor is a pure decision engine: it owns no pipeline state and
+// performs no side effects. The pipeline feeds it WindowSamples, applies the
+// returned decisions (scheme switch, VDD retarget), and emits a typed obs
+// event per transition so the Auditor can reconcile supervisor activity
+// against the counters.
+
+// SupervisorPolicy holds the monitor thresholds and watchdog limits.
+type SupervisorPolicy struct {
+	// Window is the monitoring window length in cycles.
+	Window uint64
+	// EscalateUnpred is the unpredicted-violations-per-cycle rate at or
+	// above which a window is hazardous. De-escalation requires the rate to
+	// stay below half of this (hysteresis).
+	EscalateUnpred float64
+	// MinPredictions is the minimum number of TEP predictions in a window
+	// before precision is judged at all; below it the precision monitor
+	// abstains (a handful of predictions is not evidence).
+	MinPredictions uint64
+	// EscalatePrecision is the TEP precision (true predictions / all
+	// predictions) below which a window is hazardous.
+	EscalatePrecision float64
+	// QuietWindows is the number of consecutive calm windows required
+	// before stepping down one rung.
+	QuietWindows int
+	// WatchdogCycles is the commit-silence span after which the watchdog
+	// fires. Zero disables the watchdog (the pipeline's hard error stands).
+	WatchdogCycles uint64
+	// WatchdogBudget bounds watchdog recoveries per run; once spent, the
+	// pipeline falls back to the hard no-progress error.
+	WatchdogBudget int
+	// VSafe is the supply the top rung raises to (and the watchdog recovery
+	// target). Defaults to fault.VNominal, where the fault model is benign
+	// and replay is reliable under any survivable hazard.
+	VSafe float64
+}
+
+// DefaultSupervisorPolicy returns the tuning used by the storm campaigns.
+func DefaultSupervisorPolicy() SupervisorPolicy {
+	return SupervisorPolicy{
+		Window:            5000,
+		EscalateUnpred:    0.04,
+		MinPredictions:    32,
+		EscalatePrecision: 0.25,
+		QuietWindows:      3,
+		WatchdogCycles:    20000,
+		WatchdogBudget:    2,
+		VSafe:             fault.VNominal,
+	}
+}
+
+// Validate reports an error for nonsensical policies.
+func (p *SupervisorPolicy) Validate() error {
+	if p.Window == 0 {
+		return fmt.Errorf("supervisor: zero window")
+	}
+	if p.EscalateUnpred <= 0 {
+		return fmt.Errorf("supervisor: EscalateUnpred %v must be positive", p.EscalateUnpred)
+	}
+	if p.EscalatePrecision < 0 || p.EscalatePrecision > 1 {
+		return fmt.Errorf("supervisor: EscalatePrecision %v outside [0,1]", p.EscalatePrecision)
+	}
+	if p.QuietWindows <= 0 {
+		return fmt.Errorf("supervisor: QuietWindows %d must be positive", p.QuietWindows)
+	}
+	if p.WatchdogBudget < 0 {
+		return fmt.Errorf("supervisor: negative WatchdogBudget %d", p.WatchdogBudget)
+	}
+	if p.VSafe < fault.VHighFault || p.VSafe > fault.VNominal {
+		return fmt.Errorf("supervisor: VSafe %v outside [%v, %v]",
+			p.VSafe, fault.VHighFault, fault.VNominal)
+	}
+	return nil
+}
+
+// SupReason says why the supervisor changed level. The numeric values are
+// mirrored (and pinned by test) into obs event payloads, so reorder nothing.
+type SupReason uint8
+
+const (
+	// SupReasonNone marks no transition.
+	SupReasonNone SupReason = iota
+	// SupReasonUnpredRate: the unpredicted-violation rate crossed the
+	// escalation threshold.
+	SupReasonUnpredRate
+	// SupReasonPrecision: TEP precision collapsed below the threshold.
+	SupReasonPrecision
+	// SupReasonWatchdog: the no-forward-progress watchdog fired.
+	SupReasonWatchdog
+	// SupReasonQuiet: hysteresis de-escalation after consecutive calm
+	// windows.
+	SupReasonQuiet
+	// NumSupReasons is the number of reasons.
+	NumSupReasons
+)
+
+// String names the reason.
+func (r SupReason) String() string {
+	switch r {
+	case SupReasonNone:
+		return "none"
+	case SupReasonUnpredRate:
+		return "unpred-rate"
+	case SupReasonPrecision:
+		return "precision"
+	case SupReasonWatchdog:
+		return "watchdog"
+	case SupReasonQuiet:
+		return "quiet"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// WindowSample is one monitoring window's health counters, supplied by the
+// pipeline at each window boundary.
+type WindowSample struct {
+	// Cycles actually covered (the last window of a run may be short).
+	Cycles uint64
+	// Unpredicted counts violations that escaped prediction (replays).
+	Unpredicted uint64
+	// Predictions counts TEP predictions acted on (true + false positives).
+	Predictions uint64
+	// TruePredictions counts predictions whose violation was real.
+	TruePredictions uint64
+}
+
+// SupDecision is the supervisor's verdict after a sample or watchdog trip.
+type SupDecision struct {
+	// From, To are the ladder levels before and after.
+	From, To int
+	// Reason says which monitor drove the transition.
+	Reason SupReason
+}
+
+// NumSupLevels is the height of the escalation ladder.
+const NumSupLevels = 3
+
+// Supervisor walks the escalation ladder. Not safe for concurrent use; each
+// pipeline owns one.
+type Supervisor struct {
+	policy SupervisorPolicy
+	base   Scheme
+	level  int
+	quiet  int
+
+	watchdogSpent int
+
+	// Transition tallies, reconciled by the obs Auditor.
+	escalations   uint64
+	deescalations uint64
+	watchdogFires uint64
+}
+
+// NewSupervisor builds a supervisor over the given base scheme. The policy
+// must have been validated by the caller (the pipeline config path does).
+func NewSupervisor(base Scheme, policy SupervisorPolicy) *Supervisor {
+	return &Supervisor{policy: policy, base: base}
+}
+
+// Policy returns the active policy.
+func (s *Supervisor) Policy() SupervisorPolicy { return s.policy }
+
+// Level returns the current ladder level.
+func (s *Supervisor) Level() int { return s.level }
+
+// SchemeAt maps a ladder level to the handling scheme it runs.
+func (s *Supervisor) SchemeAt(level int) Scheme {
+	switch level {
+	case 0:
+		return s.base
+	case 1:
+		if s.base == Razor {
+			// Escalating Razor into EP would *add* prediction dependence;
+			// Razor's ladder only has the VDD rung.
+			return Razor
+		}
+		return EP
+	default:
+		return Razor
+	}
+}
+
+// Scheme returns the scheme the current level runs.
+func (s *Supervisor) Scheme() Scheme { return s.SchemeAt(s.level) }
+
+// Escalations, Deescalations and WatchdogFires report transition tallies;
+// the three partition the level changes, so Transitions is their sum.
+func (s *Supervisor) Escalations() uint64   { return s.escalations }
+func (s *Supervisor) Deescalations() uint64 { return s.deescalations }
+func (s *Supervisor) WatchdogFires() uint64 { return s.watchdogFires }
+
+// Transitions returns the total number of level changes so far.
+func (s *Supervisor) Transitions() uint64 {
+	return s.escalations + s.deescalations + s.watchdogFires
+}
+
+// hazardous classifies a window against the escalation thresholds, returning
+// the triggering reason (SupReasonNone when healthy).
+func (s *Supervisor) hazardous(w WindowSample) SupReason {
+	if w.Cycles == 0 {
+		return SupReasonNone
+	}
+	if float64(w.Unpredicted)/float64(w.Cycles) >= s.policy.EscalateUnpred {
+		return SupReasonUnpredRate
+	}
+	if w.Predictions >= s.policy.MinPredictions {
+		if float64(w.TruePredictions)/float64(w.Predictions) < s.policy.EscalatePrecision {
+			return SupReasonPrecision
+		}
+	}
+	return SupReasonNone
+}
+
+// calm reports whether a window is quiet enough to count toward
+// de-escalation: the unpredicted rate must sit below half the escalation
+// threshold (hysteresis) and precision must be healthy.
+func (s *Supervisor) calm(w WindowSample) bool {
+	if w.Cycles == 0 {
+		return false
+	}
+	if float64(w.Unpredicted)/float64(w.Cycles) >= s.policy.EscalateUnpred/2 {
+		return false
+	}
+	if w.Predictions >= s.policy.MinPredictions &&
+		float64(w.TruePredictions)/float64(w.Predictions) < s.policy.EscalatePrecision {
+		return false
+	}
+	return true
+}
+
+// Observe feeds one window's counters through the monitors. It returns the
+// transition and true when the level changed.
+func (s *Supervisor) Observe(w WindowSample) (SupDecision, bool) {
+	if reason := s.hazardous(w); reason != SupReasonNone {
+		s.quiet = 0
+		if s.level < NumSupLevels-1 {
+			d := SupDecision{From: s.level, To: s.level + 1, Reason: reason}
+			s.level++
+			s.escalations++
+			return d, true
+		}
+		return SupDecision{From: s.level, To: s.level, Reason: SupReasonNone}, false
+	}
+	if s.level > 0 && s.calm(w) {
+		s.quiet++
+		if s.quiet >= s.policy.QuietWindows {
+			d := SupDecision{From: s.level, To: s.level - 1, Reason: SupReasonQuiet}
+			s.level--
+			s.quiet = 0
+			s.deescalations++
+			return d, true
+		}
+	} else if !s.calm(w) {
+		s.quiet = 0
+	}
+	return SupDecision{From: s.level, To: s.level, Reason: SupReasonNone}, false
+}
+
+// Watchdog handles a no-forward-progress trip: jump straight to the top
+// rung (scheme Razor, VDD at VSafe) if budget remains. ok=false means the
+// supervisor has nothing left to try — the budget is spent, or the machine
+// is already on the top rung and still stuck — and the pipeline should fall
+// back to its hard error. Watchdog jumps tally in WatchdogFires, not
+// Escalations, so the three tallies partition the transitions.
+func (s *Supervisor) Watchdog() (SupDecision, bool) {
+	if s.watchdogSpent >= s.policy.WatchdogBudget || s.level >= NumSupLevels-1 {
+		return SupDecision{From: s.level, To: s.level, Reason: SupReasonNone}, false
+	}
+	s.watchdogSpent++
+	s.watchdogFires++
+	s.quiet = 0
+	d := SupDecision{From: s.level, To: NumSupLevels - 1, Reason: SupReasonWatchdog}
+	s.level = NumSupLevels - 1
+	return d, true
+}
+
+// Reset returns the supervisor to level 0 with cleared tallies; the pipeline
+// calls it when warmup resets statistics so supervision history does not
+// leak across the measurement boundary.
+func (s *Supervisor) Reset() {
+	s.level = 0
+	s.quiet = 0
+	s.watchdogSpent = 0
+	s.escalations = 0
+	s.deescalations = 0
+	s.watchdogFires = 0
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"tvsched/internal/fault"
+)
+
+func calmWindow(p SupervisorPolicy) WindowSample {
+	return WindowSample{Cycles: p.Window}
+}
+
+func hotWindow(p SupervisorPolicy) WindowSample {
+	return WindowSample{Cycles: p.Window,
+		Unpredicted: uint64(float64(p.Window)*p.EscalateUnpred) + 1}
+}
+
+func TestSupervisorEscalationLadder(t *testing.T) {
+	p := DefaultSupervisorPolicy()
+	s := NewSupervisor(ABS, p)
+	if s.Level() != 0 || s.Scheme() != ABS {
+		t.Fatalf("fresh supervisor at level %d scheme %v", s.Level(), s.Scheme())
+	}
+	d, changed := s.Observe(hotWindow(p))
+	if !changed || d.From != 0 || d.To != 1 || d.Reason != SupReasonUnpredRate {
+		t.Fatalf("first hot window: %+v changed=%v", d, changed)
+	}
+	if s.Scheme() != EP {
+		t.Fatalf("level 1 scheme %v, want EP", s.Scheme())
+	}
+	d, changed = s.Observe(hotWindow(p))
+	if !changed || d.To != 2 {
+		t.Fatalf("second hot window: %+v changed=%v", d, changed)
+	}
+	if s.Scheme() != Razor {
+		t.Fatalf("level 2 scheme %v, want Razor", s.Scheme())
+	}
+	// Already at the top: another hot window changes nothing.
+	if _, changed = s.Observe(hotWindow(p)); changed {
+		t.Fatal("escalated past the top rung")
+	}
+	if s.Escalations() != 2 {
+		t.Fatalf("escalations %d, want 2", s.Escalations())
+	}
+}
+
+func TestSupervisorPrecisionMonitor(t *testing.T) {
+	p := DefaultSupervisorPolicy()
+	s := NewSupervisor(ABS, p)
+	// Plenty of predictions, almost all wrong -> precision escalation.
+	w := WindowSample{Cycles: p.Window, Predictions: 100, TruePredictions: 3}
+	d, changed := s.Observe(w)
+	if !changed || d.Reason != SupReasonPrecision {
+		t.Fatalf("precision collapse not escalated: %+v changed=%v", d, changed)
+	}
+	// Too few predictions to judge: the monitor abstains.
+	s2 := NewSupervisor(ABS, p)
+	w = WindowSample{Cycles: p.Window, Predictions: p.MinPredictions - 1}
+	if _, changed := s2.Observe(w); changed {
+		t.Fatal("escalated on an abstaining precision monitor")
+	}
+}
+
+func TestSupervisorHysteresis(t *testing.T) {
+	p := DefaultSupervisorPolicy()
+	s := NewSupervisor(ABS, p)
+	s.Observe(hotWindow(p)) // -> level 1
+	// One calm window short of the hysteresis: no de-escalation.
+	for i := 0; i < p.QuietWindows-1; i++ {
+		if _, changed := s.Observe(calmWindow(p)); changed {
+			t.Fatalf("de-escalated after %d quiet windows, need %d", i+1, p.QuietWindows)
+		}
+	}
+	// A hot window resets the quiet streak.
+	s.Observe(hotWindow(p)) // -> level 2
+	for i := 0; i < p.QuietWindows-1; i++ {
+		s.Observe(calmWindow(p))
+	}
+	d, changed := s.Observe(calmWindow(p))
+	if !changed || d.From != 2 || d.To != 1 || d.Reason != SupReasonQuiet {
+		t.Fatalf("quiet de-escalation: %+v changed=%v", d, changed)
+	}
+	// Borderline window (above half the threshold): not calm, streak resets.
+	mid := WindowSample{Cycles: p.Window,
+		Unpredicted: uint64(float64(p.Window) * p.EscalateUnpred * 0.75)}
+	for i := 0; i < 2*p.QuietWindows; i++ {
+		if _, changed := s.Observe(mid); changed {
+			t.Fatal("borderline windows should neither escalate nor de-escalate")
+		}
+	}
+	if s.Level() != 1 {
+		t.Fatalf("level %d after borderline windows, want 1", s.Level())
+	}
+}
+
+func TestSupervisorWatchdogBudget(t *testing.T) {
+	p := DefaultSupervisorPolicy()
+	p.WatchdogBudget = 1
+	s := NewSupervisor(ABS, p)
+	d, ok := s.Watchdog()
+	if !ok || d.From != 0 || d.To != NumSupLevels-1 || d.Reason != SupReasonWatchdog {
+		t.Fatalf("first watchdog trip: %+v ok=%v", d, ok)
+	}
+	if s.WatchdogFires() != 1 || s.Escalations() != 0 {
+		t.Fatalf("tallies after watchdog: fires=%d escalations=%d", s.WatchdogFires(), s.Escalations())
+	}
+	// At the top rung (and with budget spent) the watchdog declines.
+	if _, ok := s.Watchdog(); ok {
+		t.Fatal("watchdog fired at the top rung")
+	}
+	// Even with budget, a top-rung machine has nothing left to try.
+	s2 := NewSupervisor(ABS, DefaultSupervisorPolicy())
+	s2.Watchdog()
+	if _, ok := s2.Watchdog(); ok {
+		t.Fatal("watchdog self-looped at the top rung")
+	}
+}
+
+func TestSupervisorRazorBaseLadder(t *testing.T) {
+	s := NewSupervisor(Razor, DefaultSupervisorPolicy())
+	for lvl := 0; lvl < NumSupLevels; lvl++ {
+		if got := s.SchemeAt(lvl); got != Razor {
+			t.Fatalf("Razor base at level %d runs %v", lvl, got)
+		}
+	}
+}
+
+func TestSupervisorReset(t *testing.T) {
+	p := DefaultSupervisorPolicy()
+	s := NewSupervisor(ABS, p)
+	s.Observe(hotWindow(p))
+	s.Watchdog()
+	s.Reset()
+	if s.Level() != 0 || s.Transitions() != 0 {
+		t.Fatalf("after Reset: level=%d transitions=%d", s.Level(), s.Transitions())
+	}
+	// Budget is restored too.
+	if _, ok := s.Watchdog(); !ok {
+		t.Fatal("watchdog budget not restored by Reset")
+	}
+}
+
+func TestSupervisorPolicyValidate(t *testing.T) {
+	good := DefaultSupervisorPolicy()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*SupervisorPolicy){
+		func(p *SupervisorPolicy) { p.Window = 0 },
+		func(p *SupervisorPolicy) { p.EscalateUnpred = 0 },
+		func(p *SupervisorPolicy) { p.EscalatePrecision = 1.5 },
+		func(p *SupervisorPolicy) { p.QuietWindows = 0 },
+		func(p *SupervisorPolicy) { p.WatchdogBudget = -1 },
+		func(p *SupervisorPolicy) { p.VSafe = 2.0 },
+	}
+	for i, mutate := range bad {
+		p := DefaultSupervisorPolicy()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d validated", i)
+		}
+	}
+	if DefaultSupervisorPolicy().VSafe != fault.VNominal {
+		t.Fatal("default VSafe is not the nominal supply")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"tvsched/internal/core"
 	"tvsched/internal/fault"
+	"tvsched/internal/hazard"
 	"tvsched/internal/pipeline"
 	"tvsched/internal/workload"
 )
@@ -149,5 +150,108 @@ func TestSettledEdges(t *testing.T) {
 	tr := []Sample{{VDD: 1.0}, {VDD: 1.1}}
 	if got := Settled(tr, 10); got != 1.05 {
 		t.Fatalf("Settled over-short trace = %v", got)
+	}
+}
+
+// droopTrace runs a governed ABS machine through a mid-run voltage droop
+// (+mag delay for ~10 control windows) and returns the per-window trace.
+func droopTrace(t *testing.T, mag float64, windows int) ([]Sample, Policy) {
+	t.Helper()
+	p := newPipe(t, core.ABS, fault.VNominal, 11)
+	p.SetHazard(hazard.MustNew(1, hazard.Event{
+		Kind: hazard.Droop, Start: 300000, Attack: 20000, Hold: 200000, Release: 20000,
+		Mag: mag,
+	}))
+	pol := DefaultPolicy()
+	g, err := New(p, fault.VNominal, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _, err := g.Run(windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace, pol
+}
+
+// TestGovernorRidesOutDroop pins the governor's transient response: settle
+// below nominal, absorb a +10% delay droop by stepping the supply up, and —
+// once the droop releases — return to within one step of the pre-droop
+// setpoint. The whole excursion must stay hysteretic: a bounded number of
+// direction reversals, not rail-to-rail thrash.
+func TestGovernorRidesOutDroop(t *testing.T) {
+	trace, pol := droopTrace(t, 0.10, 45)
+
+	// The droop announces itself as the first far-above-band window.
+	firstHot := -1
+	for i, s := range trace {
+		if s.FaultRate > 2*pol.TargetHi {
+			firstHot = i
+			break
+		}
+	}
+	if firstHot < 5 {
+		t.Fatalf("droop arrived before the governor settled (window %d)", firstHot)
+	}
+	vPre := Settled(trace[:firstHot], 3)
+	if vPre >= fault.VNominal-0.02 {
+		t.Fatalf("governor never undervolted before the droop: %v", vPre)
+	}
+
+	// The droop must push the supply up by at least two steps.
+	vMax := 0.0
+	for _, s := range trace[firstHot:] {
+		if s.VDD > vMax {
+			vMax = s.VDD
+		}
+	}
+	if vMax < vPre+2*pol.StepV-1e-9 {
+		t.Fatalf("governor did not respond to the droop: peak %v from setpoint %v", vMax, vPre)
+	}
+
+	// After the release, the walk must come back to the pre-droop setpoint.
+	if vEnd := trace[len(trace)-1].VDD; vEnd > vPre+pol.StepV+1e-9 || vEnd < vPre-pol.StepV-1e-9 {
+		t.Fatalf("setpoint did not recover: pre-droop %v, final %v", vPre, vEnd)
+	}
+
+	// Hysteresis: settling dither plus one droop round trip, not thrash.
+	reversals, dir := 0, 0
+	for i := 1; i < len(trace); i++ {
+		d := 0
+		if trace[i].VDD > trace[i-1].VDD+1e-9 {
+			d = 1
+		} else if trace[i].VDD < trace[i-1].VDD-1e-9 {
+			d = -1
+		}
+		if d != 0 && dir != 0 && d != dir {
+			reversals++
+		}
+		if d != 0 {
+			dir = d
+		}
+	}
+	if reversals > 8 {
+		t.Fatalf("governor thrashed through %d direction reversals:\n%+v", reversals, trace)
+	}
+}
+
+// TestGovernorSaturatesCleanlyAtClamp: while a deep droop holds the fault
+// rate above the band at the VMax rail, the governor must sit still at the
+// clamp — no dithering against a limit it cannot exceed.
+func TestGovernorSaturatesCleanlyAtClamp(t *testing.T) {
+	trace, pol := droopTrace(t, 0.20, 40)
+	sawClampedHot := false
+	for i := 0; i < len(trace)-1; i++ {
+		s := trace[i]
+		if s.VDD >= pol.VMax-1e-9 && s.FaultRate > pol.TargetHi {
+			sawClampedHot = true
+			if next := trace[i+1].VDD; next < pol.VMax-1e-9 {
+				t.Fatalf("window %d: governor stepped off the clamp while still hot (fr %v): %v",
+					i, s.FaultRate, next)
+			}
+		}
+	}
+	if !sawClampedHot {
+		t.Fatal("deep droop never saturated the governor at VMax; deepen the scenario")
 	}
 }

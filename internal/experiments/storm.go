@@ -1,0 +1,413 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tvsched/internal/core"
+	"tvsched/internal/fault"
+	"tvsched/internal/hazard"
+	"tvsched/internal/obs"
+	"tvsched/internal/pipeline"
+	"tvsched/internal/workload"
+)
+
+// This file implements the storm campaign behind cmd/tvstorm: hazard
+// scenarios × schemes × seeds, each cell simulated twice on the same seed —
+// once with the graceful-degradation supervisor, once without — so the
+// report quantifies exactly what supervision buys (and costs) under each
+// transient. Everything in the report is derived from simulated state, never
+// wall clock, so two runs of the same campaign are byte-identical.
+
+// StormReportSchema identifies the StormReport JSON layout; bump on breaking
+// changes so downstream tooling fails loudly instead of misparsing.
+const StormReportSchema = "tvsched/storm-report/v1"
+
+// StormConfig parameterizes a campaign.
+type StormConfig struct {
+	// Bench is the workload profile every cell runs.
+	Bench string
+	// VDD is the supply voltage (the interesting campaigns run at the
+	// aggressive 0.97 V point, where hazards bite hardest).
+	VDD float64
+	// Insts is the committed-instruction count of the measured phase.
+	Insts uint64
+	// Warmup is the committed-instruction warmup before measurement.
+	Warmup uint64
+	// Horizon scales the scenario geometry (hazard.Scenario.Build); 0 means
+	// Insts, which places the curated envelopes inside a typical run.
+	Horizon uint64
+	// Window is the worst-window CPI window in cycles; 0 means the
+	// supervisor policy's monitoring window, so both machines are scored on
+	// the granularity the supervisor acts at.
+	Window uint64
+	// Scenarios is the hazard scenario list; nil means every curated one.
+	Scenarios []string
+	// Schemes is the base-scheme list; nil means {Razor, EP, ABS}.
+	Schemes []core.Scheme
+	// Seeds drives workload and hazard randomness; nil means {1}.
+	Seeds []uint64
+	// Policy is the supervised twin's tuning.
+	Policy core.SupervisorPolicy
+	// Parallel runs cells across CPUs; the report is identical either way.
+	Parallel bool
+}
+
+// DefaultStormConfig returns a campaign sized for interactive use.
+func DefaultStormConfig() StormConfig {
+	return StormConfig{
+		Bench:    "bzip2",
+		VDD:      fault.VHighFault,
+		Insts:    150000,
+		Warmup:   20000,
+		Policy:   core.DefaultSupervisorPolicy(),
+		Parallel: true,
+	}
+}
+
+// StormOutcome is one machine's fate under one hazard cell.
+type StormOutcome struct {
+	// Survived reports whether the run completed; Error carries the failure
+	// otherwise (e.g. the no-forward-progress error, or a spent watchdog).
+	Survived bool   `json:"survived"`
+	Error    string `json:"error,omitempty"`
+
+	Cycles    uint64  `json:"cycles"`
+	Committed uint64  `json:"committed"`
+	IPC       float64 `json:"ipc"`
+	// WorstWindowCPI is the worst cycles-per-retire over fixed windows of
+	// the measured phase — the survival headline: how bad did it get.
+	WorstWindowCPI float64 `json:"worst_window_cpi"`
+
+	// Supervisor activity (zero for the unsupervised twin).
+	Escalations   uint64 `json:"escalations,omitempty"`
+	Deescalations uint64 `json:"deescalations,omitempty"`
+	WatchdogFires uint64 `json:"watchdog_fires,omitempty"`
+	// DetectCycle is the absolute cycle of the first escalation, and
+	// TimeToDetect its distance from the hazard onset; both 0 when the
+	// supervisor never escalated (or was absent).
+	DetectCycle  uint64 `json:"detect_cycle,omitempty"`
+	TimeToDetect uint64 `json:"time_to_detect,omitempty"`
+	// RecoverCycle is the absolute cycle of the last return to the base
+	// rung, and TimeToRecover its distance from the hazard's end; both 0
+	// when the machine never escalated. A machine still escalated at run
+	// end reports FinalLevel > 0 and no recover cycle.
+	RecoverCycle  uint64 `json:"recover_cycle,omitempty"`
+	TimeToRecover uint64 `json:"time_to_recover,omitempty"`
+	FinalLevel    int    `json:"final_level,omitempty"`
+}
+
+// StormCell is one (scenario, scheme, seed) campaign cell: the same-seed
+// supervised/unsupervised twin outcomes side by side.
+type StormCell struct {
+	Scenario     string       `json:"scenario"`
+	Scheme       string       `json:"scheme"`
+	Seed         uint64       `json:"seed"`
+	HazardOnset  uint64       `json:"hazard_onset,omitempty"`
+	HazardEnd    uint64       `json:"hazard_end,omitempty"`
+	Supervised   StormOutcome `json:"supervised"`
+	Unsupervised StormOutcome `json:"unsupervised"`
+}
+
+// StormReport is the campaign artifact (schema tvsched/storm-report/v1).
+// It contains no timestamps or host details, so reruns are byte-identical.
+type StormReport struct {
+	Schema  string                `json:"schema"`
+	Bench   string                `json:"bench"`
+	VDD     float64               `json:"vdd"`
+	Insts   uint64                `json:"insts"`
+	Warmup  uint64                `json:"warmup"`
+	Horizon uint64                `json:"horizon"`
+	Window  uint64                `json:"window"`
+	Policy  core.SupervisorPolicy `json:"policy"`
+	Cells   []StormCell           `json:"cells"`
+}
+
+// worstWindowObs tracks the worst cycles-per-retire ratio over fixed windows
+// and the supervisor transition milestones, from the typed event stream.
+type worstWindowObs struct {
+	window   uint64
+	winStart uint64
+	started  bool
+	retires  uint64
+	last     uint64
+	worst    float64
+
+	detect  uint64 // first escalation cycle
+	recover uint64 // last return-to-base cycle
+}
+
+func (w *worstWindowObs) flush(end uint64) {
+	cycles := end - w.winStart
+	if cycles == 0 {
+		return
+	}
+	r := w.retires
+	if r == 0 {
+		r = 1
+	}
+	if cpi := float64(cycles) / float64(r); cpi > w.worst {
+		w.worst = cpi
+	}
+	w.winStart, w.retires = end, 0
+}
+
+func (w *worstWindowObs) Event(e obs.Event) {
+	if e.Kind == obs.KindSupervisor {
+		if e.B > e.A && w.detect == 0 {
+			w.detect = e.Cycle
+		}
+		if e.B == 0 && e.A > 0 {
+			w.recover = e.Cycle
+		}
+	}
+	if e.Cycle == 0 {
+		return // component-level events carry no cycle
+	}
+	if !w.started {
+		w.winStart, w.started = e.Cycle, true
+	}
+	// Event cycles are not monotone (retire-side events carry earlier stage
+	// cycles); window boundaries track the high-water mark.
+	if e.Cycle > w.last {
+		w.last = e.Cycle
+	}
+	if e.Kind == obs.KindRetire {
+		w.retires++
+	}
+	if w.last-w.winStart >= w.window {
+		w.flush(w.last)
+	}
+}
+
+// stormCell runs one twin of one cell and summarizes it.
+func stormCell(ctx context.Context, cfg StormConfig, sc hazard.Scenario,
+	scheme core.Scheme, seed uint64, supervised bool) (StormOutcome, error) {
+	prof, err := workload.Lookup(cfg.Bench)
+	if err != nil {
+		return StormOutcome{}, err
+	}
+	gen, err := workload.NewGenerator(prof, seed)
+	if err != nil {
+		return StormOutcome{}, err
+	}
+	pcfg := pipeline.DefaultConfig()
+	pcfg.Scheme = scheme
+	pcfg.MispredictRate = prof.MispredictRate
+	pcfg.Seed = seed
+	if supervised {
+		pol := cfg.Policy
+		pcfg.Supervisor = &pol
+	}
+	fc := fault.DefaultConfig(seed)
+	fc.Bias = prof.FaultBias
+	p, err := pipeline.New(pcfg, gen, fault.New(fc), cfg.VDD)
+	if err != nil {
+		return StormOutcome{}, err
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = cfg.Insts
+	}
+	tl := sc.Build(seed, horizon)
+	p.SetHazard(tl)
+	p.PrefillData(gen.WarmRegion())
+
+	window := cfg.Window
+	if window == 0 {
+		window = cfg.Policy.Window
+	}
+	w := &worstWindowObs{window: window}
+	p.SetObserver(w)
+
+	out := StormOutcome{}
+	if err := p.WarmupContext(ctx, cfg.Warmup); err != nil {
+		if ctx.Err() != nil {
+			return StormOutcome{}, err
+		}
+		out.Error = err.Error()
+	} else if st, err := p.RunContext(ctx, cfg.Insts); err != nil {
+		if ctx.Err() != nil {
+			return StormOutcome{}, err
+		}
+		out.Error = err.Error()
+		out.Cycles, out.Committed = st.Cycles, st.Committed
+	} else {
+		out.Survived = true
+		out.Cycles, out.Committed = st.Cycles, st.Committed
+		out.IPC = st.IPC()
+		out.Escalations = st.SupEscalations
+		out.Deescalations = st.SupDeescalations
+		out.WatchdogFires = st.SupWatchdogFires
+	}
+	w.flush(w.last)
+	out.WorstWindowCPI = w.worst
+	if sup := p.Supervisor(); sup != nil {
+		out.FinalLevel = sup.Level()
+	}
+	if w.detect > 0 {
+		out.DetectCycle = w.detect
+		if on := tl.Onset(); w.detect > on {
+			out.TimeToDetect = w.detect - on
+		}
+	}
+	// A recovery only counts once the hazard is actually over (mid-hazard
+	// probes that stepped back to base and got burned again do not).
+	if end := tl.End(); w.recover > 0 && out.FinalLevel == 0 && end != ^uint64(0) {
+		out.RecoverCycle = w.recover
+		if w.recover > end {
+			out.TimeToRecover = w.recover - end
+		}
+	}
+	return out, nil
+}
+
+// RunStorm executes the campaign and assembles the report. Cell-level
+// simulation failures (the very thing the campaign measures) are recorded in
+// the outcome, not returned; only configuration and context errors are.
+func RunStorm(ctx context.Context, cfg StormConfig) (*StormReport, error) {
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	scenarios := cfg.Scenarios
+	if scenarios == nil {
+		for _, s := range hazard.Scenarios() {
+			scenarios = append(scenarios, s.Name)
+		}
+	}
+	schemes := cfg.Schemes
+	if schemes == nil {
+		schemes = []core.Scheme{core.Razor, core.EP, core.ABS}
+	}
+	seeds := cfg.Seeds
+	if seeds == nil {
+		seeds = []uint64{1}
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = cfg.Insts
+	}
+	window := cfg.Window
+	if window == 0 {
+		window = cfg.Policy.Window
+	}
+
+	var cells []StormCell
+	for _, name := range scenarios {
+		sc, err := hazard.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		tl := sc.Build(seeds[0], horizon)
+		onset, end := tl.Onset(), tl.End()
+		if tl.Empty() {
+			onset = 0
+		}
+		if end == ^uint64(0) {
+			end = 0 // "never": omitted from the report
+		}
+		for _, scheme := range schemes {
+			for _, seed := range seeds {
+				cells = append(cells, StormCell{
+					Scenario: name, Scheme: scheme.String(), Seed: seed,
+					HazardOnset: onset, HazardEnd: end,
+				})
+			}
+		}
+	}
+	sort.SliceStable(cells, func(i, j int) bool {
+		if cells[i].Scenario != cells[j].Scenario {
+			return cells[i].Scenario < cells[j].Scenario
+		}
+		if cells[i].Scheme != cells[j].Scheme {
+			return cells[i].Scheme < cells[j].Scheme
+		}
+		return cells[i].Seed < cells[j].Seed
+	})
+
+	workers := 1
+	if cfg.Parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > len(cells) {
+			workers = len(cells)
+		}
+	}
+	var (
+		wg   sync.WaitGroup
+		next int
+		mu   sync.Mutex
+		errs []error
+	)
+	runCell := func(i int) error {
+		c := &cells[i]
+		sc, err := hazard.Lookup(c.Scenario)
+		if err != nil {
+			return err
+		}
+		var scheme core.Scheme
+		if err := scheme.UnmarshalText([]byte(c.Scheme)); err != nil {
+			return err
+		}
+		if c.Supervised, err = stormCell(ctx, cfg, sc, scheme, c.Seed, true); err != nil {
+			return err
+		}
+		c.Unsupervised, err = stormCell(ctx, cfg, sc, scheme, c.Seed, false)
+		return err
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(cells) || len(errs) > 0 {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := runCell(i); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+
+	return &StormReport{
+		Schema:  StormReportSchema,
+		Bench:   cfg.Bench,
+		VDD:     cfg.VDD,
+		Insts:   cfg.Insts,
+		Warmup:  cfg.Warmup,
+		Horizon: horizon,
+		Window:  window,
+		Policy:  cfg.Policy,
+		Cells:   cells,
+	}, nil
+}
+
+// Failures lists the supervised cells that did not survive — the campaign's
+// pass/fail line: an unsupervised twin may die (that is the point of some
+// scenarios), a supervised one must not.
+func (r *StormReport) Failures() []string {
+	var out []string
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if !c.Supervised.Survived {
+			out = append(out, fmt.Sprintf("%s/%s/seed%d: %s",
+				c.Scenario, c.Scheme, c.Seed, c.Supervised.Error))
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tvsched/internal/core"
+)
+
+// smokeStormConfig is a small three-scenario campaign exercising the three
+// interesting regimes: quiet (bit-exactness), droop-storm (escalation), and
+// blackout (watchdog-or-die).
+func smokeStormConfig() StormConfig {
+	cfg := DefaultStormConfig()
+	cfg.Insts = 80000
+	cfg.Warmup = 10000
+	cfg.Horizon = 80000
+	cfg.Scenarios = []string{"quiet", "droop-storm", "blackout"}
+	cfg.Schemes = []core.Scheme{core.Razor, core.ABS}
+	cfg.Seeds = []uint64{1}
+	return cfg
+}
+
+func cellBy(t *testing.T, r *StormReport, scenario string, scheme core.Scheme) *StormCell {
+	t.Helper()
+	for i := range r.Cells {
+		if r.Cells[i].Scenario == scenario && r.Cells[i].Scheme == scheme.String() {
+			return &r.Cells[i]
+		}
+	}
+	t.Fatalf("no %s/%v cell in report", scenario, scheme)
+	return nil
+}
+
+func TestStormCampaign(t *testing.T) {
+	r, err := RunStorm(context.Background(), smokeStormConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != StormReportSchema {
+		t.Fatalf("schema %q", r.Schema)
+	}
+	if len(r.Cells) != 6 {
+		t.Fatalf("cells %d, want 6", len(r.Cells))
+	}
+
+	// Quiet cell: both twins survive and the supervised machine is
+	// bit-identical to the unsupervised one — supervision is free when idle.
+	q := cellBy(t, r, "quiet", core.ABS)
+	if !q.Supervised.Survived || !q.Unsupervised.Survived {
+		t.Fatalf("quiet cell did not survive: %+v", q)
+	}
+	if q.Supervised.Cycles != q.Unsupervised.Cycles || q.Supervised.IPC != q.Unsupervised.IPC {
+		t.Fatalf("idle supervisor perturbed the quiet cell:\nsup  %+v\nplain %+v",
+			q.Supervised, q.Unsupervised)
+	}
+	if q.Supervised.Escalations != 0 || q.Supervised.WatchdogFires != 0 {
+		t.Fatalf("supervisor escalated on the quiet cell: %+v", q.Supervised)
+	}
+
+	// Droop-storm: both survive, but only thanks to escalation on the
+	// supervised side, which must also fully de-escalate and report a
+	// detection latency relative to the hazard onset.
+	d := cellBy(t, r, "droop-storm", core.ABS)
+	if !d.Supervised.Survived || !d.Unsupervised.Survived {
+		t.Fatalf("droop-storm cell did not survive: %+v", d)
+	}
+	if d.Supervised.Escalations == 0 || d.Supervised.Deescalations == 0 {
+		t.Fatalf("droop-storm cell saw no supervision activity: %+v", d.Supervised)
+	}
+	if d.Supervised.DetectCycle == 0 || d.Supervised.TimeToDetect == 0 {
+		t.Fatalf("droop-storm cell has no detection milestone: %+v", d.Supervised)
+	}
+	if d.Supervised.FinalLevel != 0 || d.Supervised.RecoverCycle == 0 {
+		t.Fatalf("droop-storm cell did not recover to base: %+v", d.Supervised)
+	}
+
+	// Blackout under Razor: with replay unreliable at this depth the
+	// unsupervised machine loses forward progress and dies; the supervised
+	// one must complete (rate monitor or watchdog, either rung reaches the
+	// VDD boost).
+	b := cellBy(t, r, "blackout", core.Razor)
+	if b.Unsupervised.Survived {
+		t.Fatalf("unsupervised blackout cell survived: %+v", b.Unsupervised)
+	}
+	if !strings.Contains(b.Unsupervised.Error, "no commit") {
+		t.Fatalf("unsupervised blackout died differently: %q", b.Unsupervised.Error)
+	}
+	if !b.Supervised.Survived {
+		t.Fatalf("supervised blackout cell did not survive: %+v", b.Supervised)
+	}
+	if b.Supervised.Escalations+b.Supervised.WatchdogFires == 0 {
+		t.Fatalf("supervised blackout survived without escalating: %+v", b.Supervised)
+	}
+
+	if f := r.Failures(); len(f) != 0 {
+		t.Fatalf("supervised failures: %v", f)
+	}
+}
+
+// TestStormReportDeterministic: the same campaign twice must serialize to
+// byte-identical JSON — the CI determinism gate relies on this.
+func TestStormReportDeterministic(t *testing.T) {
+	cfg := smokeStormConfig()
+	cfg.Scenarios = []string{"droop-storm", "sensor-stuck"}
+	run := func() []byte {
+		r, err := RunStorm(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatal("same campaign produced different reports")
+	}
+}
+
+func TestStormUnknownScenario(t *testing.T) {
+	cfg := smokeStormConfig()
+	cfg.Scenarios = []string{"nope"}
+	if _, err := RunStorm(context.Background(), cfg); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -130,7 +130,17 @@ func (m *Model) hash01(pc uint64, stage isa.Stage, salt uint64) float64 {
 // sensitizes in stage, at the nominal 1.10 V supply. Most pairs sit far from
 // critical; a stage-weighted tail sits near critical.
 func (m *Model) Margin(pc uint64, stage isa.Stage) float64 {
-	pTail := m.cfg.TailFraction * m.cfg.Bias * stageWeight(stage)
+	return m.marginAt(pc, stage, 1)
+}
+
+// marginAt is Margin with the tail-membership probability scaled by
+// tailScale — the violation-storm hook: a transient TailFraction inflation
+// (see Env.TailScale) pulls additional PCs into the near-critical tail
+// without moving the margins of PCs already there, so storms superimpose on
+// (never reshuffle) the stationary fault population. tailScale == 1 is
+// bit-identical to the unperturbed model.
+func (m *Model) marginAt(pc uint64, stage isa.Stage, tailScale float64) float64 {
+	pTail := m.cfg.TailFraction * m.cfg.Bias * stageWeight(stage) * tailScale
 	u := m.hash01(pc, stage, 0)
 	if u < pTail {
 		// Near-critical tail: position within [tailLo, tailHi] from an
@@ -147,7 +157,7 @@ func (m *Model) Margin(pc uint64, stage isa.Stage) float64 {
 // The decision applies the paper's µ+2σ criterion with the instance's
 // operand-dependent jitter.
 func (m *Model) Violates(pc uint64, stage isa.Stage, env *Env, seq uint64) bool {
-	margin := m.Margin(pc, stage)
+	margin := m.marginAt(pc, stage, env.TailScale())
 	if margin < 0.82 {
 		return false // fast path: far from critical at any studied voltage
 	}
@@ -181,9 +191,69 @@ func (m *Model) Prone(pc uint64, v float64) (isa.Stage, bool) {
 	return best, best != isa.NumStages
 }
 
+// SensorOverride is a hazard's view of the TEP's thermal/voltage sensors
+// (§2.1.1). The zero value leaves the sensors healthy.
+type SensorOverride uint8
+
+const (
+	// SensorAuto: sensors report truthfully (Favorable follows the supply).
+	SensorAuto SensorOverride = iota
+	// SensorStuckOff: the sensor is stuck reporting benign conditions, so
+	// the TEP suppresses every prediction — violations silently escape to
+	// replay recovery.
+	SensorStuckOff
+	// SensorStuckOn: the sensor is stuck reporting hazardous conditions, so
+	// the TEP predicts even at the fault-free nominal supply — stale entries
+	// fire as false positives.
+	SensorStuckOn
+)
+
+// Perturbation is the per-cycle operating-condition delta a Hazard layers
+// onto the environment. Delay and TailScale are multipliers (1 = neutral,
+// must be > 0); Sensor overrides the TEP sensor gating.
+type Perturbation struct {
+	// Delay multiplies the combined delay scale (voltage droops, thermal
+	// steps, aging drift all stretch gate delays).
+	Delay float64
+	// TailScale multiplies the fault model's TailFraction (violation storm:
+	// additional near-critical paths appear transiently).
+	TailScale float64
+	// Sensor overrides the TEP sensor reading.
+	Sensor SensorOverride
+}
+
+// Neutral is the identity perturbation.
+func Neutral() Perturbation { return Perturbation{Delay: 1, TailScale: 1} }
+
+// Hazard supplies the perturbation for each cycle. internal/hazard.Timeline
+// is the production implementation; tests inject fixed functions. At must be
+// deterministic in cycle — the environment consults it exactly once per
+// Step, with a strictly increasing cycle.
+type Hazard interface {
+	At(cycle uint64) Perturbation
+}
+
+// HazardFunc adapts a function to the Hazard interface.
+type HazardFunc func(cycle uint64) Perturbation
+
+// At implements Hazard.
+func (f HazardFunc) At(cycle uint64) Perturbation { return f(cycle) }
+
+// ReplayScaleLimit is the delay scale beyond which Razor-style replay stops
+// being a reliable recovery: re-execution happens at speed through the same
+// logic, so when the combined (voltage × thermal × hazard) stretch leaves no
+// margin even for the retry, the replayed computation fails again and the
+// recovery loops. Predicted-violation padding is immune — it pre-allocates a
+// whole extra cycle, doubling the timing window (§2.2). The limit sits well
+// above anything the stationary environments produce (≤ ~1.14 at 0.97 V), so
+// it only engages under injected hazards.
+const ReplayScaleLimit = 1.5
+
 // Env models the runtime operating conditions: supply voltage plus a slowly
-// wandering thermal factor. It also backs the TEP's sensor gating (§2.1.1):
-// Favorable reports whether conditions admit timing errors at all.
+// wandering thermal factor, and optionally a Hazard timeline layering
+// transient perturbations (droops, storms, sensor faults) on top. It also
+// backs the TEP's sensor gating (§2.1.1): Favorable reports whether
+// conditions admit timing errors at all.
 type Env struct {
 	vdd     float64
 	vScale  float64
@@ -191,6 +261,12 @@ type Env struct {
 	phase   float64
 	walk    float64
 	src     *rng.Source
+
+	// Hazard state: cycle counts Steps; the perturbation sampled at the
+	// last Step applies until the next. All zero-cost when hazard is nil.
+	hazard Hazard
+	cycle  uint64
+	pert   Perturbation
 }
 
 // NewEnv builds an environment at supply voltage vdd.
@@ -200,11 +276,29 @@ func NewEnv(vdd float64, seed uint64) *Env {
 		vScale:  DelayScale(vdd),
 		thermal: 1.0,
 		src:     rng.New(rng.Mix(seed ^ 0x7e47)),
+		pert:    Neutral(),
 	}
 }
 
 // VDD returns the supply voltage.
 func (e *Env) VDD() float64 { return e.vdd }
+
+// Cycle returns the number of Steps taken so far — the clock the hazard
+// timeline is evaluated against.
+func (e *Env) Cycle() uint64 { return e.cycle }
+
+// Thermal returns the current thermal delay factor (1 ± 0.4%). Exposed so
+// tests can pin that voltage retargets never disturb the thermal transient.
+func (e *Env) Thermal() float64 { return e.thermal }
+
+// SetHazard attaches (or, with nil, detaches) a hazard timeline. The next
+// Step samples it; detaching restores the neutral perturbation immediately.
+func (e *Env) SetHazard(h Hazard) {
+	e.hazard = h
+	if h == nil {
+		e.pert = Neutral()
+	}
+}
 
 // Step advances the thermal state; call once per simulated cycle (cheap).
 // Temperature wanders on two time scales: a slow periodic component
@@ -212,6 +306,7 @@ func (e *Env) VDD() float64 { return e.vdd }
 // is ±0.4%, enough to modulate borderline paths without moving the fault
 // population wholesale.
 func (e *Env) Step() {
+	e.cycle++
 	e.phase += 2 * math.Pi / 200000
 	if e.phase > 2*math.Pi {
 		e.phase -= 2 * math.Pi
@@ -223,16 +318,53 @@ func (e *Env) Step() {
 		e.walk = -0.002
 	}
 	e.thermal = 1 + 0.002*math.Sin(e.phase) + e.walk
+	if e.hazard != nil {
+		e.pert = e.hazard.At(e.cycle)
+	}
 }
 
-// DelayScale returns the combined delay multiplier (voltage × thermal)
-// relative to nominal conditions.
-func (e *Env) DelayScale() float64 { return e.vScale * e.thermal }
+// DelayScale returns the combined delay multiplier (voltage × thermal ×
+// hazard) relative to nominal conditions.
+func (e *Env) DelayScale() float64 {
+	if e.hazard == nil {
+		return e.vScale * e.thermal
+	}
+	return e.vScale * e.thermal * e.pert.Delay
+}
+
+// TailScale returns the hazard's current TailFraction multiplier (1 when no
+// hazard is attached or the timeline is quiet).
+func (e *Env) TailScale() float64 {
+	if e.hazard == nil {
+		return 1
+	}
+	return e.pert.TailScale
+}
+
+// ReplayReliable reports whether Razor-style replay recovery succeeds under
+// the current conditions: true whenever the combined delay scale stays below
+// ReplayScaleLimit. Without a hazard attached it is always true — the
+// stationary environments never stretch delays that far.
+func (e *Env) ReplayReliable() bool {
+	if e.hazard == nil {
+		return true
+	}
+	return e.DelayScale() <= ReplayScaleLimit
+}
 
 // Favorable reports whether the thermal/voltage sensors observe conditions
 // under which timing errors can occur; at the nominal 1.10 V supply the
-// sensors gate TEP predictions off.
-func (e *Env) Favorable() bool { return e.vdd < VNominal-1e-9 }
+// sensors gate TEP predictions off. A hazard sensor fault overrides the
+// truthful reading in either direction.
+func (e *Env) Favorable() bool {
+	switch e.pert.Sensor {
+	case SensorStuckOff:
+		return false
+	case SensorStuckOn:
+		return true
+	}
+	return e.vdd < VNominal-1e-9
+}
 
 // SetVDD retargets the environment to a new supply voltage, for closed-loop
 // DVFS studies: delay scaling and sensor gating follow immediately; the

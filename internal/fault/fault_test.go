@@ -268,3 +268,47 @@ func TestEnvSetVDD(t *testing.T) {
 		t.Fatalf("delay scale %v after SetVDD, want ~%v", got, want)
 	}
 }
+
+// TestSetVDDPreservesThermalTransient pins the supervisor's contract with the
+// environment: retargeting the supply mid-run (the VDD-boost rung, DVFS
+// steps) must not reset, reseed or skew the deterministic thermal transient
+// or the hazard clock. Two environments stepped in lockstep — one retargeted
+// twice mid-run — must report identical Thermal() and Cycle() sequences, and
+// the retargeted one must return to bit-identical DelayScale() once its
+// supply is restored.
+func TestSetVDDPreservesThermalTransient(t *testing.T) {
+	hz := HazardFunc(func(cycle uint64) Perturbation {
+		p := Neutral()
+		if cycle >= 2000 && cycle < 6000 {
+			p.Delay = 1.25
+		}
+		return p
+	})
+	ref := NewEnv(VHighFault, 42)
+	tgt := NewEnv(VHighFault, 42)
+	ref.SetHazard(hz)
+	tgt.SetHazard(hz)
+
+	for c := 0; c < 10000; c++ {
+		switch c {
+		case 3000:
+			tgt.SetVDD(VNominal) // boost mid-hazard
+		case 7000:
+			tgt.SetVDD(VHighFault) // restore
+		}
+		ref.Step()
+		tgt.Step()
+		if ref.Thermal() != tgt.Thermal() {
+			t.Fatalf("cycle %d: SetVDD skewed the thermal transient: %v vs %v",
+				c, ref.Thermal(), tgt.Thermal())
+		}
+		if ref.Cycle() != tgt.Cycle() {
+			t.Fatalf("cycle %d: SetVDD skewed the hazard clock: %d vs %d",
+				c, ref.Cycle(), tgt.Cycle())
+		}
+		if c >= 7000 && ref.DelayScale() != tgt.DelayScale() {
+			t.Fatalf("cycle %d: delay scale did not return bit-identical after restore: %v vs %v",
+				c, ref.DelayScale(), tgt.DelayScale())
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package hazard injects deterministic transient operating-condition events
+// into a simulation: voltage droops, thermal steps, slow aging drift,
+// violation storms and TEP sensor faults. The paper's evaluation (and the
+// stationary fault model of internal/fault) holds the environment fixed for
+// a whole run; real silicon sees di/dt droops, thermal ramps and flaky delay
+// sensors, and the graceful-degradation supervisor (internal/core) exists to
+// survive exactly those. A Timeline composes events into a per-cycle
+// fault.Perturbation and plugs into fault.Env via Env.SetHazard, so the
+// fault model's violation decisions and the TEP's sensor gating both see the
+// same perturbed world.
+//
+// Everything is seeded and stateless per cycle: At(c) is a pure function of
+// the timeline, so two runs of the same scenario are bit-identical and a
+// timeline can be re-evaluated from any point (resumes, twin runs). An empty
+// timeline returns the neutral perturbation every cycle and an Env carrying
+// one behaves bit-identically to an Env with no hazard attached.
+package hazard
+
+import (
+	"fmt"
+
+	"tvsched/internal/fault"
+	"tvsched/internal/rng"
+)
+
+// Kind enumerates the transient event types.
+type Kind uint8
+
+const (
+	// Droop is a supply-voltage droop: gate delays stretch by Mag at the
+	// peak, with an attack ramp, a hold plateau and a recovery ramp
+	// (classic di/dt triangle/trapezoid).
+	Droop Kind = iota
+	// ThermalStep is a sustained temperature step (e.g. a neighbouring core
+	// waking up): delays ramp up by Mag and stay there for the hold window.
+	ThermalStep
+	// AgingDrift is slow wear-out (NBTI/HCI): delays creep up by Mag over
+	// the attack window and never recover.
+	AgingDrift
+	// Storm is a violation storm: the fault model's TailFraction inflates
+	// by a factor of 1+Mag at the peak, pulling extra static instructions
+	// into the near-critical tail without moving the existing population.
+	Storm
+	// SensorStuckOff pins the TEP's thermal/voltage sensors to "benign" for
+	// the hold window: predictions are silently suppressed and every
+	// violation escapes to replay recovery.
+	SensorStuckOff
+	// SensorStuckOn pins the sensors to "hazardous" for the hold window:
+	// the TEP predicts even at the fault-free nominal supply and stale
+	// entries fire as false positives.
+	SensorStuckOn
+	// SensorFlaky makes the sensor drop out intermittently during the hold
+	// window: each Period-cycle slice is stuck-off or truthful by a seeded
+	// coin flip.
+	SensorFlaky
+	// NumKinds is the number of event kinds.
+	NumKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Droop:
+		return "droop"
+	case ThermalStep:
+		return "thermal-step"
+	case AgingDrift:
+		return "aging-drift"
+	case Storm:
+		return "storm"
+	case SensorStuckOff:
+		return "sensor-stuck-off"
+	case SensorStuckOn:
+		return "sensor-stuck-on"
+	case SensorFlaky:
+		return "sensor-flaky"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one transient on the timeline.
+//
+// Delay-family events (Droop, ThermalStep, AgingDrift) and Storm follow a
+// trapezoid envelope: intensity ramps 0→1 over Attack cycles starting at
+// Start, holds at 1 for Hold cycles, then ramps back 1→0 over Release
+// cycles. AgingDrift has no release — it holds forever. A Hold of 0 on
+// ThermalStep also means "forever" (a step, not a pulse).
+//
+// Sensor-family events ignore Attack/Release and are active for exactly
+// [Start, Start+Hold) (Hold 0 = forever).
+type Event struct {
+	Kind  Kind
+	Start uint64
+	// Attack, Hold, Release shape the envelope, in cycles.
+	Attack, Hold, Release uint64
+	// Mag is the peak intensity: for delay-family events the extra delay
+	// fraction at the peak (0.08 = +8% gate delay); for Storm the extra
+	// TailFraction multiplier (Mag 7 = 8× tail at the peak). Ignored by
+	// sensor events.
+	Mag float64
+	// Period is the SensorFlaky slice length in cycles (ignored otherwise).
+	Period uint64
+}
+
+// forever reports whether the event never ends.
+func (e *Event) forever() bool {
+	switch e.Kind {
+	case AgingDrift:
+		return true
+	case ThermalStep, SensorStuckOff, SensorStuckOn, SensorFlaky:
+		return e.Hold == 0
+	}
+	return false
+}
+
+// end returns the first cycle after which the event is permanently inactive.
+func (e *Event) end() uint64 {
+	if e.forever() {
+		return ^uint64(0)
+	}
+	return e.Start + e.Attack + e.Hold + e.Release
+}
+
+// envelope returns the event's intensity in [0, 1] at cycle c.
+func (e *Event) envelope(c uint64) float64 {
+	if c < e.Start {
+		return 0
+	}
+	t := c - e.Start
+	if t < e.Attack {
+		return float64(t) / float64(e.Attack)
+	}
+	t -= e.Attack
+	if e.forever() || t < e.Hold {
+		return 1
+	}
+	t -= e.Hold
+	if t < e.Release {
+		return 1 - float64(t)/float64(e.Release)
+	}
+	return 0
+}
+
+// validate reports parameter errors.
+func (e *Event) validate() error {
+	if e.Kind >= NumKinds {
+		return fmt.Errorf("hazard: unknown event kind %d", e.Kind)
+	}
+	switch e.Kind {
+	case Droop, ThermalStep, AgingDrift:
+		if e.Mag <= -1 {
+			return fmt.Errorf("hazard: %v magnitude %v would stop the clock", e.Kind, e.Mag)
+		}
+	case Storm:
+		if e.Mag < 0 {
+			return fmt.Errorf("hazard: storm magnitude %v negative", e.Mag)
+		}
+	case SensorFlaky:
+		if e.Period == 0 {
+			return fmt.Errorf("hazard: flaky sensor needs a period")
+		}
+	}
+	return nil
+}
+
+// Timeline is a seeded, composable set of transient events. The zero-event
+// timeline is valid and permanently neutral. Safe for concurrent use (it is
+// immutable after construction).
+type Timeline struct {
+	seed   uint64
+	events []Event
+}
+
+// New builds a timeline; event parameters are validated eagerly so a bad
+// scenario fails at construction, not mid-run.
+func New(seed uint64, events ...Event) (*Timeline, error) {
+	for i := range events {
+		if err := events[i].validate(); err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return &Timeline{seed: seed, events: append([]Event(nil), events...)}, nil
+}
+
+// MustNew is New for program-constant scenarios; it panics on invalid events.
+func MustNew(seed uint64, events ...Event) *Timeline {
+	t, err := New(seed, events...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Events returns a copy of the timeline's events.
+func (t *Timeline) Events() []Event { return append([]Event(nil), t.events...) }
+
+// Empty reports whether the timeline carries no events.
+func (t *Timeline) Empty() bool { return len(t.events) == 0 }
+
+// Onset returns the first cycle any event becomes active, or ^uint64(0) for
+// an empty timeline.
+func (t *Timeline) Onset() uint64 {
+	on := ^uint64(0)
+	for i := range t.events {
+		if t.events[i].Start < on {
+			on = t.events[i].Start
+		}
+	}
+	return on
+}
+
+// End returns the first cycle after which the timeline is permanently
+// neutral: 0 for an empty timeline, ^uint64(0) if any event lasts forever.
+func (t *Timeline) End() uint64 {
+	var end uint64
+	for i := range t.events {
+		if e := t.events[i].end(); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// At implements fault.Hazard: the combined perturbation at cycle c. Delay
+// and tail contributions multiply across concurrent events; for the sensor,
+// the latest-starting active fault wins.
+func (t *Timeline) At(c uint64) fault.Perturbation {
+	p := fault.Neutral()
+	var sensorStart uint64
+	haveSensor := false
+	for i := range t.events {
+		e := &t.events[i]
+		switch e.Kind {
+		case Droop, ThermalStep, AgingDrift:
+			if env := e.envelope(c); env > 0 {
+				p.Delay *= 1 + e.Mag*env
+			}
+		case Storm:
+			if env := e.envelope(c); env > 0 {
+				p.TailScale *= 1 + e.Mag*env
+			}
+		case SensorStuckOff, SensorStuckOn, SensorFlaky:
+			if c < e.Start || (e.Hold != 0 && c >= e.Start+e.Hold) {
+				continue
+			}
+			if haveSensor && e.Start < sensorStart {
+				continue
+			}
+			sensorStart, haveSensor = e.Start, true
+			switch e.Kind {
+			case SensorStuckOff:
+				p.Sensor = fault.SensorStuckOff
+			case SensorStuckOn:
+				p.Sensor = fault.SensorStuckOn
+			case SensorFlaky:
+				// Seeded coin per Period-slice: stuck-off or truthful.
+				slice := (c - e.Start) / e.Period
+				if rng.Mix(t.seed^rng.Mix(slice^0xf1a4))&1 == 0 {
+					p.Sensor = fault.SensorStuckOff
+				} else {
+					p.Sensor = fault.SensorAuto
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Random draws a survivable random timeline: 0–4 events inside [0, horizon),
+// with delay magnitudes drawn from a shared budget so the combined scale —
+// concurrent delay events multiply — stays below fault.ReplayScaleLimit even
+// at the worst studied supply (0.97 V) with worst-case thermal. Replay
+// recovery therefore keeps working and a fuzzer can run any scheme to
+// completion. Deep blackout droops (the watchdog's territory) are
+// deliberately outside this generator; curated scenarios provide those.
+// Deterministic in the source state.
+func Random(r *rng.Source, horizon uint64) *Timeline {
+	// 1.5 / (1.13 voltage × 1.004 thermal) ≈ 1.32; keep headroom below it.
+	delayBudget := 1.30
+	n := r.Intn(5)
+	events := make([]Event, 0, n)
+	span := func(max uint64) uint64 { return 1 + r.Uint64n(max) }
+	drawMag := func(cap float64) float64 {
+		max := delayBudget - 1
+		if max > cap {
+			max = cap
+		}
+		if max <= 0 {
+			return 0
+		}
+		m := max * r.Float64()
+		delayBudget /= 1 + m
+		return m
+	}
+	for i := 0; i < n; i++ {
+		start := r.Uint64n(horizon)
+		var e Event
+		switch r.Intn(6) {
+		case 0:
+			e = Event{Kind: Droop, Start: start, Attack: span(horizon / 16),
+				Hold: span(horizon / 4), Release: span(horizon / 8),
+				Mag: drawMag(0.22)}
+		case 1:
+			e = Event{Kind: ThermalStep, Start: start, Attack: span(horizon / 4),
+				Hold: span(horizon), Release: span(horizon / 2),
+				Mag: drawMag(0.05)}
+		case 2:
+			e = Event{Kind: AgingDrift, Start: start, Attack: span(4 * horizon),
+				Mag: drawMag(0.03)}
+		case 3:
+			e = Event{Kind: Storm, Start: start, Attack: span(horizon / 16),
+				Hold: span(horizon / 3), Release: span(horizon / 8),
+				Mag: 1 + 5*r.Float64()}
+		case 4:
+			e = Event{Kind: SensorStuckOff, Start: start, Hold: span(horizon / 2)}
+		case 5:
+			e = Event{Kind: SensorFlaky, Start: start, Hold: span(horizon / 2),
+				Period: 64 + uint64(r.Intn(2000))}
+		}
+		events = append(events, e)
+	}
+	return MustNew(r.Uint64(), events...)
+}

@@ -1,0 +1,174 @@
+package hazard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scenario is a named, parameterized hazard recipe. Build returns a fresh
+// timeline for a run of roughly `horizon` cycles; the seed feeds only the
+// stochastic pieces (flaky-sensor coins), so the envelope geometry of a
+// scenario is identical across seeds and survival metrics are comparable.
+type Scenario struct {
+	Name        string
+	Description string
+	Build       func(seed, horizon uint64) *Timeline
+}
+
+// Scenarios returns the curated scenario set, sorted by name. The magnitudes
+// are chosen against the studied operating points (fault.VNominal=1.10 down
+// to 0.97 V): "survivable" scenarios keep the combined delay scale under
+// fault.ReplayScaleLimit at every studied VDD, while "blackout" exceeds it at
+// the faulty supplies but not at nominal — the case only a supervisor VDD
+// boost recovers from.
+func Scenarios() []Scenario {
+	s := []Scenario{
+		{
+			Name:        "quiet",
+			Description: "empty timeline; control cell, must be bit-identical to a hazard-free run",
+			Build: func(seed, horizon uint64) *Timeline {
+				return MustNew(seed)
+			},
+		},
+		{
+			Name:        "droop",
+			Description: "one moderate di/dt droop (+12% delay) with attack/hold/recovery ramps",
+			Build: func(seed, horizon uint64) *Timeline {
+				return MustNew(seed, Event{
+					Kind: Droop, Start: horizon / 4,
+					Attack: horizon / 64, Hold: horizon / 8, Release: horizon / 16,
+					Mag: 0.12,
+				})
+			},
+		},
+		{
+			Name: "droop-storm",
+			Description: "di/dt droop whose transient knocks out the delay sensor while a 6x " +
+				"violation storm builds; the base scheme loses prediction cover exactly when " +
+				"it needs it, so every storm violation escapes to replay — the escalation case",
+			Build: func(seed, horizon uint64) *Timeline {
+				// The storm ramps over a quarter of the run so the monitors see
+				// the leading edge well before the peak; the sensor dies at
+				// droop onset and stays dead past the storm's release.
+				return MustNew(seed,
+					Event{
+						Kind: Droop, Start: horizon / 8,
+						Attack: horizon / 4, Hold: horizon / 6, Release: horizon / 16,
+						Mag: 0.06,
+					},
+					Event{
+						Kind: Storm, Start: horizon / 8,
+						Attack: horizon / 4, Hold: horizon / 6, Release: horizon / 16,
+						Mag: 5,
+					},
+					Event{Kind: SensorStuckOff, Start: horizon / 8, Hold: horizon / 2},
+				)
+			},
+		},
+		{
+			Name: "blackout",
+			Description: "sustained +40% delay droop whose storm drags even in-order-engine paths " +
+				"into the critical tail: replay recovery is unreliable below nominal VDD, the " +
+				"stuck instruction re-faults forever, and only a supervisor voltage boost " +
+				"restores forward progress",
+			Build: func(seed, horizon uint64) *Timeline {
+				// The hold must outlast the pipeline's 200k-cycle
+				// no-forward-progress horizon: a shorter blackout releases the
+				// livelocked instruction when the droop decays, and the run
+				// limps to completion instead of dying.
+				hold := 4 * horizon
+				if hold < 300000 {
+					hold = 300000
+				}
+				return MustNew(seed,
+					Event{
+						Kind: Droop, Start: horizon / 4,
+						Attack: horizon / 64, Hold: hold, Release: horizon / 16,
+						Mag: 0.40,
+					},
+					// The in-order stages carry ~0.3% of the sensitized-path
+					// weight, so only a deep tail inflation reaches them —
+					// which is exactly what makes this scenario lethal rather
+					// than merely slow.
+					Event{
+						Kind: Storm, Start: horizon / 4,
+						Attack: horizon / 64, Hold: hold, Release: horizon / 16,
+						Mag: 20,
+					},
+				)
+			},
+		},
+		{
+			Name:        "thermal-ramp",
+			Description: "slow thermal step (+5% delay) that arrives and stays",
+			Build: func(seed, horizon uint64) *Timeline {
+				return MustNew(seed, Event{
+					Kind: ThermalStep, Start: horizon / 8,
+					Attack: horizon / 4, Hold: 0,
+					Mag: 0.05,
+				})
+			},
+		},
+		{
+			Name:        "aging",
+			Description: "wear-out drift: +3% delay creeping in over the whole run, never recovers",
+			Build: func(seed, horizon uint64) *Timeline {
+				return MustNew(seed, Event{
+					Kind: AgingDrift, Start: 0, Attack: horizon,
+					Mag: 0.03,
+				})
+			},
+		},
+		{
+			Name:        "sensor-flaky",
+			Description: "TEP sensor drops out intermittently for half the run; predictions silently poisoned",
+			Build: func(seed, horizon uint64) *Timeline {
+				return MustNew(seed, Event{
+					Kind: SensorFlaky, Start: horizon / 8, Hold: horizon / 2,
+					Period: 512,
+				})
+			},
+		},
+		{
+			Name:        "sensor-stuck",
+			Description: "TEP sensor stuck at benign during a violation storm: every violation escapes prediction",
+			Build: func(seed, horizon uint64) *Timeline {
+				return MustNew(seed,
+					Event{Kind: SensorStuckOff, Start: horizon / 4, Hold: horizon / 3},
+					Event{
+						Kind: Storm, Start: horizon / 4,
+						Attack: horizon / 64, Hold: horizon / 4, Release: horizon / 16,
+						Mag: 5,
+					},
+				)
+			},
+		},
+		{
+			Name:        "mixed",
+			Description: "aging drift + mid-run droop + flaky sensor tail; the kitchen sink",
+			Build: func(seed, horizon uint64) *Timeline {
+				return MustNew(seed,
+					Event{Kind: AgingDrift, Start: 0, Attack: 2 * horizon, Mag: 0.02},
+					Event{
+						Kind: Droop, Start: horizon / 3,
+						Attack: horizon / 64, Hold: horizon / 10, Release: horizon / 16,
+						Mag: 0.15,
+					},
+					Event{Kind: SensorFlaky, Start: horizon / 2, Hold: horizon / 4, Period: 256},
+				)
+			},
+		},
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	return s
+}
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("hazard: unknown scenario %q", name)
+}

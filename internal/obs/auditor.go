@@ -34,6 +34,9 @@ type Expected struct {
 	// SamplePeriod is the configured KindSample cadence (0 disables the
 	// sample-count check; 1 additionally reconciles the occupancy sums).
 	SamplePeriod uint64
+	// SupervisorTransitions is the supervisor's escalations + de-escalations
+	// + watchdog fires; each must have emitted one KindSupervisor event.
+	SupervisorTransitions uint64
 }
 
 // Auditor is an Observer that accumulates the event stream into per-kind
@@ -55,6 +58,9 @@ type Auditor struct {
 
 	lastRetire uint64 // last KindRetire seq, for program-order checking
 	retireErr  error  // first retire-order violation observed
+
+	lastSupLevel uint64 // last KindSupervisor.B, for chain checking
+	supErr       error  // first supervisor-chain violation observed
 }
 
 // NewAuditor returns an empty Auditor.
@@ -97,6 +103,22 @@ func (a *Auditor) Event(e Event) {
 				e.Seq, a.lastRetire, e.Cycle)
 		}
 		a.lastRetire = e.Seq
+	case KindSupervisor:
+		// Transitions chain: each event leaves from the level the previous
+		// one arrived at. The first event may start anywhere (the stream
+		// may attach mid-run); a self-loop (A == B) is also a bug — the
+		// supervisor only emits on an actual level change.
+		if a.supErr == nil {
+			switch {
+			case e.A == e.B:
+				a.supErr = fmt.Errorf("audit: supervisor self-transition %d->%d at cycle %d",
+					e.A, e.B, e.Cycle)
+			case a.counts[KindSupervisor] > 1 && e.A != a.lastSupLevel:
+				a.supErr = fmt.Errorf("audit: supervisor chain broken: %d->%d after level %d at cycle %d",
+					e.A, e.B, a.lastSupLevel, e.Cycle)
+			}
+		}
+		a.lastSupLevel = e.B
 	}
 }
 
@@ -112,6 +134,7 @@ func (a *Auditor) Reset() {
 	a.padGlobal, a.replayGlobal = 0, 0
 	a.padFront, a.replayFront = 0, 0
 	a.lastRetire, a.retireErr = 0, nil
+	a.lastSupLevel, a.supErr = 0, nil
 }
 
 // Count returns the number of events of kind k observed.
@@ -153,6 +176,8 @@ func (a *Auditor) FrontStallCauses() (pad, replay uint64) {
 //   - flushes are a subset of replays, and their A payloads sum to
 //     SquashedInsts
 //   - retires arrive in program order
+//   - supervisor transitions match SupervisorTransitions, never self-loop,
+//     and chain (each event departs from the level the previous one reached)
 //   - icache stall cycles charged on KindFetch.B never exceed total Cycles
 //     (stale pre-reset residue, e.g. leaked across a warmup, breaks this)
 //   - with SamplePeriod == 1 the KindSample series is one sample per cycle
@@ -181,6 +206,7 @@ func (a *Auditor) Reconcile(exp Expected) error {
 	eq(KindGlobalStall, exp.GlobalStalls, "GlobalStalls")
 	eq(KindFrontStall, exp.FrontStalls, "FrontStalls")
 	eq(KindDispatchStall, exp.DispatchStalls, "StallROB+StallIQ+StallLSQ+StallPhys")
+	eq(KindSupervisor, exp.SupervisorTransitions, "SupEscalations+SupDeescalations+SupWatchdogFires")
 
 	if a.counts[KindFlush] > exp.Replays {
 		fail("%d flushes exceed %d replays", a.counts[KindFlush], exp.Replays)
@@ -190,6 +216,9 @@ func (a *Auditor) Reconcile(exp Expected) error {
 	}
 	if a.retireErr != nil {
 		errs = append(errs, a.retireErr)
+	}
+	if a.supErr != nil {
+		errs = append(errs, a.supErr)
 	}
 	if a.fetchStall > exp.Cycles {
 		fail("icache stall cycles %d exceed total cycles %d (stale pendingIFetch residue?)",

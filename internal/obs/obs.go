@@ -95,6 +95,13 @@ const (
 	// StallCauseReplay for a replay-recovery bubble). One event per
 	// stalled cycle.
 	KindGlobalStall
+	// KindSupervisor: the graceful-degradation supervisor changed
+	// escalation level. A is the level before the transition, B the level
+	// after, C the reason (the SupReason* payload codes, mirroring
+	// core.SupReason — internal/pipeline pins the correspondence with a
+	// test). Consecutive events chain: each event's A equals the previous
+	// event's B, which the Auditor verifies.
+	KindSupervisor
 	// NumKinds is the number of event kinds.
 	NumKinds
 )
@@ -145,6 +152,24 @@ const (
 	DispatchStallPhys
 )
 
+// Payload codes for KindSupervisor.C: why the supervisor changed level. The
+// values mirror core.SupReason (obs cannot import core); internal/pipeline
+// pins the correspondence with a test.
+const (
+	// SupReasonNone: no transition (unused by emission sites, present for
+	// completeness of the core.SupReason mirror).
+	SupReasonNone uint64 = iota
+	// SupReasonUnpredRate: the unpredicted-violation rate crossed the
+	// escalation threshold.
+	SupReasonUnpredRate
+	// SupReasonPrecision: TEP precision collapsed below the threshold.
+	SupReasonPrecision
+	// SupReasonWatchdog: the no-forward-progress watchdog fired.
+	SupReasonWatchdog
+	// SupReasonQuiet: hysteresis de-escalation after quiet windows.
+	SupReasonQuiet
+)
+
 // String names the event kind.
 func (k Kind) String() string {
 	switch k {
@@ -180,6 +205,8 @@ func (k Kind) String() string {
 		return "front-stall"
 	case KindGlobalStall:
 		return "global-stall"
+	case KindSupervisor:
+		return "supervisor"
 	default:
 		return "kind(?)"
 	}

@@ -81,6 +81,12 @@ type Config struct {
 	// corruption into an immediate error. Costs roughly an order of
 	// magnitude in simulation speed; off (the default) it costs nothing.
 	Debug bool
+	// Supervisor, when non-nil, enables the graceful-degradation supervisor
+	// (see core.Supervisor): windowed monitors escalate the handling scheme
+	// and supply under transient hazards and a watchdog recovers from
+	// no-forward-progress livelock. nil (the default) leaves every run
+	// bit-identical to the unsupervised machine.
+	Supervisor *core.SupervisorPolicy
 }
 
 // DefaultConfig returns the Core-1 machine of §4.1.
@@ -126,6 +132,11 @@ func (c *Config) Validate() error {
 	}
 	if c.CT < 1 {
 		return fmt.Errorf("pipeline: %w: CT must be positive", ErrBadConfig)
+	}
+	if c.Supervisor != nil {
+		if err := c.Supervisor.Validate(); err != nil {
+			return fmt.Errorf("pipeline: %w: %v", ErrBadConfig, err)
+		}
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"tvsched/internal/bpred"
 	"tvsched/internal/core"
@@ -49,6 +50,20 @@ type Pipeline struct {
 	// only an untaken branch.
 	obs          obs.Observer
 	samplePeriod uint64
+
+	// scheme is the handling scheme currently in force: cfg.Scheme unless
+	// the supervisor has escalated. All runtime decisions consult this, not
+	// cfg.Scheme, so escalation takes effect at the next cycle's stages.
+	scheme core.Scheme
+
+	// Graceful-degradation supervisor (nil when Config.Supervisor is nil;
+	// every touch point is guarded so an unsupervised run pays one untaken
+	// branch per cycle and is bit-identical to the pre-supervisor machine).
+	sup         *core.Supervisor
+	supWinStart uint64      // cycle the current monitoring window opened
+	supPrev     supSnapshot // counter snapshot at the window open
+	supSavedVDD float64     // supply to restore when leaving the top rung
+	supHot      uint64      // unpredicted count that closes a window early
 
 	cycle uint64
 	seq   uint64
@@ -115,9 +130,23 @@ func New(cfg Config, src Source, model FaultOracle, vdd float64) (*Pipeline, err
 		storeAt:       make(map[uint64]int),
 		lastFetchLine: ^uint64(0),
 		samplePeriod:  cfg.SamplePeriod,
+		scheme:        cfg.Scheme,
 	}
 	if p.samplePeriod == 0 {
 		p.samplePeriod = 64
+	}
+	if cfg.Supervisor != nil {
+		p.sup = core.NewSupervisor(cfg.Scheme, *cfg.Supervisor)
+		// A full window's worth of unpredicted violations is proof of hazard
+		// regardless of how few cycles it took to accumulate; crossing this
+		// count closes the window early so escalation is reactive. This is
+		// what bounds the cost of a burned de-escalation probe: the machine
+		// climbs back up after ~supHot violations instead of suffering a full
+		// window at the lower rung.
+		p.supHot = uint64(math.Ceil(cfg.Supervisor.EscalateUnpred * float64(cfg.Supervisor.Window)))
+		if p.supHot == 0 {
+			p.supHot = 1
+		}
 	}
 	p.SetObserver(cfg.Observer)
 	return p, nil
@@ -185,6 +214,19 @@ func (p *Pipeline) WarmupContext(ctx context.Context, n uint64) error {
 		t.Stats = tep.Stats{}
 	}
 	p.bp.Stats = bpred.Stats{}
+	// Supervision history must not leak across the measurement boundary:
+	// re-open the monitoring window against the zeroed counters and return
+	// to the base rung (restoring the saved supply if warmup escalated to
+	// the top).
+	if p.sup != nil {
+		if p.sup.Level() == core.NumSupLevels-1 {
+			p.env.SetVDD(p.supSavedVDD)
+		}
+		p.sup.Reset()
+		p.scheme = p.cfg.Scheme
+		p.supWinStart = p.cycle
+		p.supPrev = supSnapshot{}
+	}
 	return nil
 }
 
@@ -221,6 +263,21 @@ func (p *Pipeline) RunContext(ctx context.Context, n uint64) (Stats, error) {
 		}
 		if p.stats.Committed != lastCommit {
 			lastCommit, lastCommitCycle = p.stats.Committed, p.cycle
+		} else if p.sup != nil && p.sup.Policy().WatchdogCycles > 0 &&
+			p.cycle-lastCommitCycle > p.sup.Policy().WatchdogCycles {
+			// No forward progress: the supervisor's watchdog jumps to the
+			// top rung (replay-everything at the safe supply) instead of
+			// aborting. The silence clock restarts so the recovery gets a
+			// full watchdog period to take effect; a trip with no budget (or
+			// already at the top rung, where there is nothing left to try)
+			// falls through to the hard error below.
+			d, ok := p.sup.Watchdog()
+			if !ok {
+				return p.stats, fmt.Errorf("pipeline: no commit for %d cycles at cycle %d with watchdog exhausted (%d/%d committed)",
+					p.sup.Policy().WatchdogCycles, p.cycle, p.stats.Committed, target)
+			}
+			p.applySupervisor(d)
+			lastCommitCycle = p.cycle
 		} else if p.cycle-lastCommitCycle > 200000 {
 			// Committed is cumulative across runs, so report against the
 			// cumulative target, not this call's n.
@@ -242,12 +299,75 @@ func (p *Pipeline) RunContext(ctx context.Context, n uint64) (Stats, error) {
 	return p.stats, nil
 }
 
+// supSnapshot is the counter state at a monitoring-window open; window
+// samples are deltas against it.
+type supSnapshot struct {
+	mispredicted uint64
+	predicted    uint64
+	falsePos     uint64
+}
+
+// superviseWindow closes the current monitoring window, feeds its health
+// counters through the supervisor, and applies any level change.
+func (p *Pipeline) superviseWindow() {
+	w := core.WindowSample{
+		Cycles:          p.cycle - p.supWinStart,
+		Unpredicted:     p.stats.Mispredicted - p.supPrev.mispredicted,
+		Predictions:     (p.stats.PredictedFaults - p.supPrev.predicted) + (p.stats.FalsePositives - p.supPrev.falsePos),
+		TruePredictions: p.stats.PredictedFaults - p.supPrev.predicted,
+	}
+	p.supWinStart = p.cycle
+	p.supPrev = supSnapshot{
+		mispredicted: p.stats.Mispredicted,
+		predicted:    p.stats.PredictedFaults,
+		falsePos:     p.stats.FalsePositives,
+	}
+	if d, changed := p.sup.Observe(w); changed {
+		p.applySupervisor(d)
+	}
+}
+
+// applySupervisor puts a supervisor decision into effect: switch the active
+// scheme to the new rung's, move the supply when the top rung is entered or
+// left, bump the transition counters, and emit the KindSupervisor event the
+// Auditor reconciles against them.
+func (p *Pipeline) applySupervisor(d core.SupDecision) {
+	const top = core.NumSupLevels - 1
+	if d.To == top && d.From != top {
+		p.supSavedVDD = p.env.VDD()
+		p.env.SetVDD(p.sup.Policy().VSafe)
+	} else if d.From == top && d.To != top {
+		p.env.SetVDD(p.supSavedVDD)
+	}
+	p.scheme = p.sup.SchemeAt(d.To)
+	switch {
+	case d.Reason == core.SupReasonWatchdog:
+		p.stats.SupWatchdogFires++
+	case d.To > d.From:
+		p.stats.SupEscalations++
+	default:
+		p.stats.SupDeescalations++
+	}
+	if p.obs != nil {
+		p.obs.Event(obs.Event{Kind: obs.KindSupervisor, Cycle: p.cycle,
+			A: uint64(d.From), B: uint64(d.To), C: uint64(d.Reason)})
+	}
+}
+
 // step advances the machine one clock cycle. Stages run in reverse pipe
 // order so that resources freed in a cycle become visible the next.
 func (p *Pipeline) step() {
 	p.cycle++
 	p.stats.Cycles++
 	p.env.Step()
+
+	if p.sup != nil {
+		if p.cycle-p.supWinStart >= p.sup.Policy().Window ||
+			(p.sup.Level() < core.NumSupLevels-1 &&
+				p.stats.Mispredicted-p.supPrev.mispredicted >= p.supHot) {
+			p.superviseWindow()
+		}
+	}
 
 	// Occupancy samples fire on a fixed cadence even through stall cycles —
 	// the window contents are frozen, not gone, and gaps in the series would
@@ -449,9 +569,11 @@ func (p *Pipeline) fetch() {
 		}
 		// Violations in fetch/decode cannot be predicted by the TEP and are
 		// recovered by replay (§2.2); here the instruction simply has not
-		// left the front end, so recovery is a fetch bubble.
+		// left the front end, so recovery is a fetch bubble. Under a deep
+		// hazard the replay itself can fail (ReplayReliable), in which case
+		// the same instruction faults again on the next fetch attempt.
 		if !di.replaySafe && di.fault && di.faultStage.ReplayOnly() {
-			di.replaySafe = true
+			di.replaySafe = p.env.ReplayReliable()
 			p.stats.Mispredicted++
 			p.stats.Replays++
 			if p.obs != nil {
@@ -478,7 +600,7 @@ func (p *Pipeline) fetch() {
 		di.availAt = p.cycle + uint64(p.cfg.FrontDepth)
 		di.history = p.bp.History()
 		// TEP access in parallel with decode (§2.1.1).
-		if p.cfg.Scheme.UsesTEP() {
+		if p.scheme.UsesTEP() {
 			di.pred = p.tep.Lookup(di.in.PC, di.history, p.env.Favorable())
 		}
 		p.frontQ = append(p.frontQ, di)
@@ -529,8 +651,8 @@ func (p *Pipeline) dispatch() {
 
 		// In-order-engine violations at rename/dispatch (§2.2).
 		for _, st := range [2]isa.Stage{isa.Rename, isa.Dispatch} {
-			if p.cfg.Scheme.UsesTEP() && di.predictedAt(st) {
-				act := core.Respond(p.cfg.Scheme, true, st)
+			if p.scheme.UsesTEP() && di.predictedAt(st) {
+				act := core.Respond(p.scheme, true, st)
 				switch act {
 				case core.ActFrontStall:
 					p.frontFreeze++
@@ -611,7 +733,7 @@ func (p *Pipeline) selectIssue() {
 	if len(p.cands) == 0 {
 		return
 	}
-	core.Order(p.cfg.Scheme.Policy(), p.cands, p.iqAlloc&core.TimestampMask)
+	core.Order(p.scheme.Policy(), p.cands, p.iqAlloc&core.TimestampMask)
 	grants := 0
 	for _, c := range p.cands {
 		if grants == p.cfg.Width {
@@ -654,10 +776,10 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 	replayStage := isa.NumStages
 
 	handle := func(stage isa.Stage) {
-		predicted := p.cfg.Scheme.UsesTEP() && di.predictedAt(stage)
+		predicted := p.scheme.UsesTEP() && di.predictedAt(stage)
 		actual := di.actualAt(stage)
 		if predicted {
-			act := core.Respond(p.cfg.Scheme, true, stage)
+			act := core.Respond(p.scheme, true, stage)
 			switch act {
 			case core.ActConfined:
 				if stage == isa.Issue {
@@ -726,12 +848,12 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 			p.globalFreezeReplay += p.cfg.ReplayBubble
 			p.stats.Replays++
 			p.stats.Mispredicted++
-			di.replaySafe = true
+			di.replaySafe = p.env.ReplayReliable()
 			if p.obs != nil {
 				p.emitViolation(di, replayStage, uint64(p.cfg.ReplayBubble),
 					uint64(p.cfg.ReplayLatency), 0)
 			}
-			if p.cfg.Scheme.UsesTEP() {
+			if p.scheme.UsesTEP() {
 				p.tep.Train(di.in.PC, di.history, true, di.faultStage)
 			}
 		}
@@ -806,7 +928,7 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 	// Criticality Detection Logic (§3.5.2): count issue-queue tag matches
 	// for this producer and store the determination with the TEP. Only the
 	// CDS scheme builds this hardware (Table 2).
-	if p.cfg.Scheme == core.CDS && di.in.Dest > 0 {
+	if p.scheme == core.CDS && di.in.Dest > 0 {
 		matches := 0
 		for _, e := range p.iq {
 			// p.iq still holds entries granted earlier in this selectIssue
@@ -842,13 +964,13 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 func (p *Pipeline) recoverInOrder(di *dynInst) {
 	p.stats.Replays++
 	p.stats.Mispredicted++
-	di.replaySafe = true
+	di.replaySafe = p.env.ReplayReliable()
 	if p.obs != nil {
 		p.emitViolation(di, di.faultStage, uint64(p.cfg.ReplayBubble), 0, 0)
 	}
 	p.frontFreeze += p.cfg.ReplayBubble
 	p.frontFreezeReplay += p.cfg.ReplayBubble
-	if p.cfg.Scheme.UsesTEP() {
+	if p.scheme.UsesTEP() {
 		p.tep.Train(di.in.PC, di.history, true, di.faultStage)
 	}
 }
@@ -862,11 +984,11 @@ func (p *Pipeline) flushReplay(di *dynInst) {
 	}
 	p.stats.Replays++
 	p.stats.Mispredicted++
-	di.replaySafe = true
+	di.replaySafe = p.env.ReplayReliable()
 	if p.obs != nil {
 		p.emitViolation(di, di.faultStage, uint64(p.cfg.ReplayBubble), 0, 0)
 	}
-	if p.cfg.Scheme.UsesTEP() {
+	if p.scheme.UsesTEP() {
 		p.tep.Train(di.in.PC, di.history, true, di.faultStage)
 	}
 
@@ -955,8 +1077,8 @@ func (p *Pipeline) retire() {
 			return
 		}
 		// Retire-stage violations (§2.2): stall-tolerated when predicted.
-		if p.cfg.Scheme.UsesTEP() && di.predictedAt(isa.Retire) {
-			act := core.Respond(p.cfg.Scheme, true, isa.Retire)
+		if p.scheme.UsesTEP() && di.predictedAt(isa.Retire) {
+			act := core.Respond(p.scheme, true, isa.Retire)
 			switch act {
 			case core.ActFrontStall:
 				p.frontFreeze++
@@ -975,16 +1097,19 @@ func (p *Pipeline) retire() {
 			}
 		} else if di.actualAt(isa.Retire) {
 			// Unpredicted retire-stage violation: correct and re-run the
-			// retire cycle; the whole machine waits out the recovery.
+			// retire cycle; the whole machine waits out the recovery. When
+			// the hazard has pushed the delay scale past the replay limit,
+			// the re-run fails too and commit stays blocked — the livelock
+			// the supervisor's watchdog exists to break.
 			p.stats.Replays++
 			p.stats.Mispredicted++
-			di.replaySafe = true
+			di.replaySafe = p.env.ReplayReliable()
 			if p.obs != nil {
 				p.emitViolation(di, isa.Retire, uint64(p.cfg.ReplayBubble), 0, 0)
 			}
 			p.globalFreeze += p.cfg.ReplayBubble
 			p.globalFreezeReplay += p.cfg.ReplayBubble
-			if p.cfg.Scheme.UsesTEP() {
+			if p.scheme.UsesTEP() {
 				p.tep.Train(di.in.PC, di.history, true, di.faultStage)
 			}
 			return
@@ -1012,7 +1137,7 @@ func (p *Pipeline) retire() {
 			p.stats.StoresRetired++
 		}
 		// Train the TEP with ground truth (2-bit counter learn/decay).
-		if p.cfg.Scheme.UsesTEP() {
+		if p.scheme.UsesTEP() {
 			p.tep.Train(di.in.PC, di.history, di.fault, di.faultStage)
 		}
 		p.stats.Committed++
@@ -1059,5 +1184,26 @@ func (p *Pipeline) robPush(di *dynInst) {
 
 // SetVDD retargets the operating voltage mid-run (closed-loop DVFS): newly
 // fetched instructions see the new fault environment; in-flight work is
-// unaffected.
-func (p *Pipeline) SetVDD(v float64) { p.env.SetVDD(v) }
+// unaffected. While the supervisor holds the top rung the safe supply is
+// authoritative: the request becomes the restore target applied when the
+// supervisor steps back down, so a DVFS governor cannot undercut an active
+// recovery.
+func (p *Pipeline) SetVDD(v float64) {
+	if p.sup != nil && p.sup.Level() == core.NumSupLevels-1 {
+		p.supSavedVDD = v
+		return
+	}
+	p.env.SetVDD(v)
+}
+
+// SetHazard attaches (or, with nil, detaches) a hazard timeline on the
+// operating environment (see fault.Env.SetHazard).
+func (p *Pipeline) SetHazard(h fault.Hazard) { p.env.SetHazard(h) }
+
+// Scheme returns the handling scheme currently in force — cfg.Scheme unless
+// the supervisor has escalated.
+func (p *Pipeline) Scheme() core.Scheme { return p.scheme }
+
+// Supervisor exposes the graceful-degradation supervisor (nil when
+// Config.Supervisor is nil).
+func (p *Pipeline) Supervisor() *core.Supervisor { return p.sup }

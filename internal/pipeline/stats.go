@@ -38,6 +38,11 @@ type Stats struct {
 	SlotFreezes     uint64 // issue-slot/FUSR freezes applied (§3.2.3)
 	CriticalMarks   uint64 // CDL critical determinations stored in the TEP
 
+	// Graceful-degradation supervisor activity (zero when unsupervised).
+	SupEscalations   uint64 // monitor-driven level raises
+	SupDeescalations uint64 // hysteresis level drops after quiet windows
+	SupWatchdogFires uint64 // no-forward-progress watchdog recoveries
+
 	// Occupancy diagnostics (per-cycle sums; divide by Cycles for means).
 	SumIQOcc      uint64
 	SumROBOcc     uint64
@@ -75,22 +80,23 @@ func (s *Stats) MeanROBOcc() float64 {
 // the warmup stats reset.
 func (s *Stats) Expected(samplePeriod uint64) obs.Expected {
 	return obs.Expected{
-		Cycles:              s.Cycles,
-		Fetched:             s.Fetched,
-		Dispatched:          s.Dispatched,
-		Selected:            s.Selected,
-		Committed:           s.Committed,
-		PredictedViolations: s.PredictedFaults + s.FalsePositives,
-		ActualViolations:    s.Mispredicted,
-		Replays:             s.Replays,
-		SquashedInsts:       s.SquashedInsts,
-		SlotFreezes:         s.SlotFreezes,
-		GlobalStalls:        s.GlobalStalls,
-		FrontStalls:         s.FrontStalls,
-		DispatchStalls:      s.StallROB + s.StallIQ + s.StallLSQ + s.StallPhys,
-		SumIQOcc:            s.SumIQOcc,
-		SumROBOcc:           s.SumROBOcc,
-		SamplePeriod:        samplePeriod,
+		Cycles:                s.Cycles,
+		Fetched:               s.Fetched,
+		Dispatched:            s.Dispatched,
+		Selected:              s.Selected,
+		Committed:             s.Committed,
+		PredictedViolations:   s.PredictedFaults + s.FalsePositives,
+		ActualViolations:      s.Mispredicted,
+		Replays:               s.Replays,
+		SquashedInsts:         s.SquashedInsts,
+		SlotFreezes:           s.SlotFreezes,
+		GlobalStalls:          s.GlobalStalls,
+		FrontStalls:           s.FrontStalls,
+		DispatchStalls:        s.StallROB + s.StallIQ + s.StallLSQ + s.StallPhys,
+		SumIQOcc:              s.SumIQOcc,
+		SumROBOcc:             s.SumROBOcc,
+		SamplePeriod:          samplePeriod,
+		SupervisorTransitions: s.SupEscalations + s.SupDeescalations + s.SupWatchdogFires,
 	}
 }
 

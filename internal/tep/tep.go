@@ -55,6 +55,12 @@ type Stats struct {
 	Predicted uint64
 	Trained   uint64
 	TagEvicts uint64
+	// Suppressed counts lookups that hit a saturated (would-predict) entry
+	// but were gated off by unfavorable sensor readings. Under a healthy
+	// sensor this is the paper's intended nominal-voltage gating; a burst of
+	// suppressions at a faulty supply is the signature of a stuck or flaky
+	// sensor silently poisoning predictions.
+	Suppressed uint64
 }
 
 type entry struct {
@@ -114,6 +120,9 @@ func (t *TEP) Lookup(pc, history uint64, favorable bool) Prediction {
 		return Prediction{}
 	}
 	if e.counter == 0 || !favorable {
+		if e.counter > 0 {
+			t.Stats.Suppressed++
+		}
 		return Prediction{Critical: e.critical}
 	}
 	t.Stats.Predicted++
