@@ -1,0 +1,108 @@
+// Command tvload is a seeded closed-loop load generator for tvservd: each
+// worker keeps one request in flight, drawing from a fixed population of
+// distinct simulations with Zipf-skewed popularity — the hot head
+// exercises the server's result cache and singleflight, the tail its
+// worker pool. The outcome is a load-report/v1 JSON on stdout (throughput,
+// cache hit rate, latency percentiles) and a human summary on stderr.
+//
+// The request mix is deterministic given -seed, so two load runs offer the
+// same work; throughput and latency are what the server made of it.
+//
+// Usage:
+//
+//	tvload -url http://127.0.0.1:8844                 # default mix
+//	tvload -url http://$addr -c 16 -n 2000 -zipf 1.4  # hotter, harder
+//	tvload -url http://$addr -zipf 1 -pop 64 -n 64    # uniform cold sweep
+//	tvload ... -out load.json                         # report to a file
+//
+// Typical cache demonstration: run a cold pass (uniform, population-sized)
+// then a hot pass (Zipf) and compare throughput_rps — the hot pass rides
+// the cache and should be several times faster.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tvsched/internal/serve"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://127.0.0.1:8844", "tvservd base URL")
+		c       = flag.Int("c", 8, "closed-loop concurrency")
+		n       = flag.Int("n", 200, "total requests")
+		seed    = flag.Uint64("seed", 1, "request-mix seed")
+		pop     = flag.Int("pop", 64, "distinct request cells in the population")
+		zipf    = flag.Float64("zipf", 1.3, "Zipf skew (>1; 1 means uniform mix)")
+		insts   = flag.Uint64("insts", 20000, "instructions per simulation")
+		warmup  = flag.Uint64("warmup", 0, "warmup instructions (0 = library default)")
+		vdd     = flag.Float64("vdd", 0.97, "supply voltage for every cell")
+		benches = flag.String("benchmarks", "", "comma-separated benchmarks (empty = all)")
+		schemes = flag.String("schemes", "ABS", "comma-separated schemes to cycle through")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+		out     = flag.String("out", "", "write the JSON report to this file (empty = stdout)")
+	)
+	flag.Parse()
+
+	cfg := serve.LoadConfig{
+		URL:          strings.TrimRight(*url, "/"),
+		Concurrency:  *c,
+		Requests:     *n,
+		Seed:         *seed,
+		Population:   *pop,
+		ZipfS:        *zipf,
+		Instructions: *insts,
+		Warmup:       *warmup,
+		VDD:          *vdd,
+		Timeout:      *timeout,
+	}
+	if *benches != "" {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *schemes != "" {
+		cfg.Schemes = strings.Split(*schemes, ",")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := serve.RunLoad(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvload:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"tvload: %d reqs, %d workers, zipf %.2f over %d cells: %.1f req/s, hit rate %.0f%% (%d hit / %d shared / %d miss / %d rejected / %d error)\n",
+		rep.Requests, rep.Concurrency, rep.ZipfS, rep.Population,
+		rep.ThroughputRPS, 100*rep.HitRate, rep.Hits, rep.Shared, rep.Misses, rep.Rejected, rep.Errors)
+	fmt.Fprintf(os.Stderr, "tvload: latency µs: p50 %.0f p90 %.0f p99 %.0f max %.0f\n",
+		rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max)
+
+	var w *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tvload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "tvload:", err)
+		os.Exit(1)
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}

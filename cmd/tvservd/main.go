@@ -1,0 +1,127 @@
+// Command tvservd serves tvsched simulations over HTTP/JSON: a bounded
+// worker pool executes run requests (schema tvsched/run-request/v1), a
+// content-addressed LRU cache plus singleflight collapse repeated and
+// concurrent identical requests onto one simulation, and a bounded
+// admission queue sheds overload with 429 + Retry-After. Responses are the
+// repo's standard run-report/v1 JSON and are byte-deterministic for a fixed
+// request, so cache hits are byte-identical to the miss that filled them.
+//
+// Endpoints:
+//
+//	POST /v1/run     one simulation (JSON in, run-report/v1 out)
+//	POST /v1/sweep   cross-product sweep, NDJSON stream in cell order
+//	GET  /healthz    liveness
+//	GET  /readyz     readiness (503 while draining)
+//	GET  /metrics    Prometheus text format: pipeline metrics aggregated
+//	                 across served runs, plus queue depth, in-flight,
+//	                 cache hit/miss and latency histograms
+//
+// SIGTERM/SIGINT drain gracefully: readiness flips, in-flight requests and
+// simulations finish (bounded by -drain-timeout), then the process exits 0.
+//
+// Usage:
+//
+//	tvservd                              # serve on :8844
+//	tvservd -addr 127.0.0.1:0 -addrfile addr.txt   # ephemeral port for scripts
+//	tvservd -workers 8 -queue 128 -cache 4096
+//
+// Drive it with cmd/tvload, or by hand:
+//
+//	curl -d '{"schema":"tvsched/run-request/v1","benchmark":"sjeng","scheme":"ABS","vdd":0.97}' \
+//	     http://localhost:8844/v1/run
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"tvsched/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8844", "listen address (host:0 picks an ephemeral port)")
+		addrFile     = flag.String("addrfile", "", "write the bound address to this file once listening (for scripts)")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "admission queue beyond the pool; full queue answers 429")
+		cacheN       = flag.Int("cache", 1024, "result cache capacity in entries")
+		maxInsts     = flag.Uint64("max-insts", 2_000_000, "per-request instruction cap (400 beyond it)")
+		maxCells     = flag.Int("max-cells", 4096, "per-sweep cell cap (400 beyond it)")
+		runTimeout   = flag.Duration("run-timeout", 2*time.Minute, "per-simulation budget once a worker picks it up")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget after SIGTERM")
+		ns           = flag.String("ns", "tvservd", "Prometheus metric namespace")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("tvservd: ")
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheN,
+		MaxInstructions: *maxInsts,
+		MaxSweepCells:   *maxCells,
+		RunTimeout:      *runTimeout,
+		Namespace:       *ns,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("serving on http://%s (workers=%d queue=%d cache=%d)",
+		ln.Addr(), effectiveWorkers(*workers), *queue, *cacheN)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received, draining (budget %s)", *drainTimeout)
+	srv.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+		log.Fatalf("drain failed: %v", err)
+	}
+	// Shutdown waits for in-flight HTTP requests; detached computations
+	// (leaders whose clients left) may still be running for the cache.
+	if err := srv.Drain(shutdownCtx); err != nil {
+		srv.Close()
+		log.Fatalf("drain failed: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("drained cleanly")
+}
+
+func effectiveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -121,7 +121,7 @@ func Simulate(bench string, scheme core.Scheme, vdd float64, cfg Config) (Run, e
 }
 
 // SimulateContext is Simulate with cancellation: the simulation stops within
-// ~1k simulated cycles of ctx being done and returns the context's error.
+// 256 simulated cycles of ctx being done and returns the context's error.
 func SimulateContext(ctx context.Context, bench string, scheme core.Scheme, vdd float64, cfg Config) (Run, error) {
 	return SimulatePhasedContext(ctx, bench, scheme, vdd, cfg, 1)
 }

@@ -24,6 +24,7 @@ type Exposition struct {
 	ns      string
 	metrics *Metrics
 	stack   *CPIStack
+	serve   *ServeMetrics
 }
 
 // NewExposition builds an exposition over the given sources (either may be
@@ -45,6 +46,15 @@ func NewExposition(ns string, m *Metrics, s *CPIStack) *Exposition {
 	return &Exposition{ns: b.String(), metrics: m, stack: s}
 }
 
+// WithServe adds a serving-layer registry (queue depth, in-flight, cache
+// hit/miss outcomes, latency histograms) to the exposition and returns it,
+// so cmd/tvservd can chain the call onto NewExposition. A nil registry is
+// ignored.
+func (e *Exposition) WithServe(s *ServeMetrics) *Exposition {
+	e.serve = s
+	return e
+}
+
 // Handler serves the exposition over HTTP (mount at /metrics).
 func (e *Exposition) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -63,6 +73,11 @@ func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
 	}
 	if e.stack != nil {
 		if err := e.writeStack(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	if e.serve != nil {
+		if err := e.writeServe(cw); err != nil {
 			return cw.n, err
 		}
 	}
@@ -147,6 +162,50 @@ func writeHist(w io.Writer, name, help string, h *Hist) error {
 	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
 		name, h.Count, name, h.Sum, name, h.Count)
 	return err
+}
+
+func (e *Exposition) writeServe(w io.Writer) error {
+	snap := e.serve.Snapshot()
+
+	name := e.ns + "_serve_requests_total"
+	if err := head(w, name, "Serving-layer requests by outcome (hit/shared/miss/rejected/bad_request/error).", "counter"); err != nil {
+		return err
+	}
+	for o := ServeOutcome(0); o < NumServeOutcomes; o++ {
+		if _, err := fmt.Fprintf(w, "%s{result=%q} %d\n", name, o.String(), snap.Outcomes[o]); err != nil {
+			return err
+		}
+	}
+
+	gauges := []struct {
+		name, help string
+		v          int64
+	}{
+		{e.ns + "_serve_queue_depth", "Admitted simulations waiting for a worker.", snap.QueueDepth},
+		{e.ns + "_serve_in_flight", "Simulations executing right now.", snap.InFlight},
+	}
+	for _, g := range gauges {
+		if err := head(w, g.name, g.help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", g.name, g.v); err != nil {
+			return err
+		}
+	}
+
+	hists := []struct {
+		name, help string
+		h          Hist
+	}{
+		{e.ns + "_serve_request_latency_us", "Whole-request latency in microseconds, all outcomes.", snap.ReqLatency},
+		{e.ns + "_serve_run_latency_us", "Underlying simulation latency in microseconds (cache misses only).", snap.RunLatency},
+	}
+	for _, hh := range hists {
+		if err := writeHist(w, hh.name, hh.help, &hh.h); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (e *Exposition) writeStack(w io.Writer) error {

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sync"
+)
+
+// ServeOutcome classifies how the serving layer answered one request.
+type ServeOutcome int
+
+// The serving outcomes, in severity order. Hit/Shared/Miss are successes
+// (cache hit, collapsed onto an in-flight computation, fresh simulation);
+// Rejected is admission-queue backpressure (HTTP 429); BadRequest is a
+// malformed or out-of-policy request (400); Errored is everything else.
+const (
+	ServeHit ServeOutcome = iota
+	ServeShared
+	ServeMiss
+	ServeRejected
+	ServeBadRequest
+	ServeErrored
+	NumServeOutcomes
+)
+
+var serveOutcomeNames = [NumServeOutcomes]string{
+	"hit", "shared", "miss", "rejected", "bad_request", "error",
+}
+
+// String returns the Prometheus label value for the outcome.
+func (o ServeOutcome) String() string {
+	if o < 0 || o >= NumServeOutcomes {
+		return "unknown"
+	}
+	return serveOutcomeNames[o]
+}
+
+// ServeMetrics is the serving-layer registry behind cmd/tvservd: request
+// outcomes (cache hit / singleflight share / miss / rejection / error),
+// queue-depth and in-flight gauges maintained by the server, and log2
+// latency histograms in microseconds for whole requests and for the
+// underlying simulations. It is safe for concurrent use and renders in the
+// Prometheus text format through Exposition.WithServe, alongside whatever
+// pipeline Metrics/CPIStack the same exposition carries.
+type ServeMetrics struct {
+	mu         sync.Mutex
+	outcomes   [NumServeOutcomes]uint64
+	queueDepth int64
+	inFlight   int64
+	reqLat     Hist // whole-request latency, µs (all outcomes)
+	runLat     Hist // underlying simulation latency, µs (misses only)
+}
+
+// NewServeMetrics builds an empty serving registry.
+func NewServeMetrics() *ServeMetrics { return &ServeMetrics{} }
+
+// Outcome records one answered request.
+func (s *ServeMetrics) Outcome(o ServeOutcome) {
+	if o < 0 || o >= NumServeOutcomes {
+		return
+	}
+	s.mu.Lock()
+	s.outcomes[o]++
+	s.mu.Unlock()
+}
+
+// SetQueue publishes the admission gauges: queued is the number of admitted
+// computations waiting for a worker, inFlight the number executing now.
+func (s *ServeMetrics) SetQueue(queued, inFlight int64) {
+	s.mu.Lock()
+	s.queueDepth, s.inFlight = queued, inFlight
+	s.mu.Unlock()
+}
+
+// ObserveRequest records one whole-request latency in microseconds.
+func (s *ServeMetrics) ObserveRequest(us uint64) {
+	s.mu.Lock()
+	s.reqLat.Observe(us)
+	s.mu.Unlock()
+}
+
+// ObserveRun records one underlying simulation latency in microseconds.
+func (s *ServeMetrics) ObserveRun(us uint64) {
+	s.mu.Lock()
+	s.runLat.Observe(us)
+	s.mu.Unlock()
+}
+
+// ServeSnapshot is a consistent copy of the registry.
+type ServeSnapshot struct {
+	Outcomes   [NumServeOutcomes]uint64
+	QueueDepth int64
+	InFlight   int64
+	ReqLatency Hist
+	RunLatency Hist
+}
+
+// Snapshot copies the registry under its lock.
+func (s *ServeMetrics) Snapshot() ServeSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServeSnapshot{
+		Outcomes:   s.outcomes,
+		QueueDepth: s.queueDepth,
+		InFlight:   s.inFlight,
+		ReqLatency: s.reqLat,
+		RunLatency: s.runLat,
+	}
+}

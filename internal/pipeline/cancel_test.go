@@ -1,0 +1,62 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"tvsched/internal/fault"
+	"tvsched/internal/obs"
+	"tvsched/internal/workload"
+)
+
+// cancelPollBound is the worst-case number of simulated cycles between a
+// context being cancelled and RunContext returning: the poll fires on every
+// 256th cycle, plus the cycle in flight when the cancellation lands. The
+// serving layer (internal/serve) leans on this bound for per-request
+// deadline propagation — if RunContext's poll interval grows, this constant
+// and its doc comment must shrink it back.
+const cancelPollBound = 256 + 1
+
+// TestRunContextCancellationLatency cancels a simulation mid-run from
+// inside the event stream — so the cancellation cycle is known exactly —
+// and asserts the pipeline returns within cancelPollBound simulated cycles.
+func TestRunContextCancellationLatency(t *testing.T) {
+	for _, cancelAt := range []uint64{3000, 5000, 7777} {
+		prof := mustProfile(t, "sjeng")
+		gen, err := workload.NewGenerator(prof, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.MispredictRate = prof.MispredictRate
+		cfg.Seed = 1
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var cancelled atomic.Uint64 // cycle the cancellation landed on
+		cfg.Observer = obs.ObserverFunc(func(e obs.Event) {
+			if e.Cycle >= cancelAt && cancelled.CompareAndSwap(0, e.Cycle) {
+				cancel()
+			}
+		})
+		fc := fault.DefaultConfig(1)
+		fc.Bias = prof.FaultBias
+		p, err := New(cfg, gen, fault.New(fc), fault.VHighFault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.RunContext(ctx, 10_000_000)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelAt=%d: err = %v, want context.Canceled", cancelAt, err)
+		}
+		cc := cancelled.Load()
+		if cc == 0 {
+			t.Fatalf("cancelAt=%d: run ended before any event reached cycle %d", cancelAt, cancelAt)
+		}
+		if st.Cycles < cc || st.Cycles-cc > cancelPollBound {
+			t.Errorf("cancelAt=%d: cancelled at cycle %d, returned at cycle %d: latency %d cycles, bound %d",
+				cancelAt, cc, st.Cycles, st.Cycles-cc, cancelPollBound)
+		}
+	}
+}

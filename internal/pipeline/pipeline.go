@@ -238,10 +238,12 @@ func (p *Pipeline) Run(n uint64) (Stats, error) {
 	return p.RunContext(context.Background(), n)
 }
 
-// RunContext is Run with cancellation: it polls ctx every 1024 cycles (cheap
+// RunContext is Run with cancellation: it polls ctx every 256 cycles (cheap
 // enough to be invisible, frequent enough that cancellation lands within
 // microseconds of wall time) and returns the context's error along with the
-// statistics accumulated so far.
+// statistics accumulated so far. The 256-cycle bound is load-bearing for the
+// serving layer's deadline propagation and is pinned by a latency test —
+// tighten rather than loosen it.
 func (p *Pipeline) RunContext(ctx context.Context, n uint64) (Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return p.stats, err
@@ -256,7 +258,7 @@ func (p *Pipeline) RunContext(ctx context.Context, n uint64) (Stats, error) {
 				return p.stats, fmt.Errorf("pipeline: cycle %d: %w", p.cycle, err)
 			}
 		}
-		if p.cycle&1023 == 0 {
+		if p.cycle&255 == 0 {
 			if err := ctx.Err(); err != nil {
 				return p.stats, err
 			}

@@ -1,0 +1,55 @@
+package serve
+
+import "container/list"
+
+// lruCache is the bounded content-addressed result cache: config digest →
+// the exact response bytes served for it, so a hit is byte-identical to the
+// miss that populated it. It is deliberately not self-locking — the Server
+// serializes access under the same mutex that guards the singleflight
+// table, making "cache miss, register flight" one atomic step (two racing
+// misses on one digest must resolve to one leader, never two simulations).
+type lruCache struct {
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+func newLRU(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached bytes and refreshes the entry's recency.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// put inserts or refreshes an entry, evicting from the cold end when over
+// capacity.
+func (c *lruCache) put(key string, body []byte) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).body = body
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	for c.ll.Len() > c.max {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.items, cold.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

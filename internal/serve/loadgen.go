@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"tvsched"
+)
+
+// LoadConfig parameterizes a closed-loop load run against a tvservd
+// instance: each of Concurrency workers keeps exactly one request in
+// flight, drawing from a fixed population of distinct request cells with a
+// Zipf-skewed popularity so the hot head exercises the cache and the long
+// tail exercises the pool. The request mix is fully seeded — the same
+// config issues the same request sequence per worker — which makes load
+// runs comparable across code changes.
+type LoadConfig struct {
+	// URL is the server base URL, e.g. "http://127.0.0.1:8844".
+	URL string
+	// Concurrency is the closed-loop worker count (default 8).
+	Concurrency int
+	// Requests is the total request budget across workers (default 200).
+	Requests int
+	// Seed drives the request mix (default 1).
+	Seed uint64
+	// Population is the number of distinct request cells (default 64).
+	Population int
+	// ZipfS is the Zipf skew exponent; values > 1 skew harder toward the
+	// popular head (default 1.3). Values in (0, 1] request a uniform mix
+	// (1 is the conventional spelling); 0 means unset and takes the
+	// default.
+	ZipfS float64
+	// Instructions/Warmup/VDD shape each cell's simulation (defaults
+	// 20000 / library default / 0.97).
+	Instructions uint64
+	Warmup       uint64
+	VDD          float64
+	// Benchmarks and Schemes are cycled through to build the population
+	// (defaults: all bundled benchmarks / ABS).
+	Benchmarks []string
+	Schemes    []string
+	// Timeout bounds one request (default 2m).
+	Timeout time.Duration
+}
+
+func (c *LoadConfig) fill() {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Population <= 0 {
+		c.Population = 64
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.3
+	}
+	if c.Instructions == 0 {
+		c.Instructions = 20000
+	}
+	if c.VDD == 0 {
+		c.VDD = tvsched.VHighFault
+	}
+	if len(c.Benchmarks) == 0 {
+		c.Benchmarks = tvsched.Benchmarks()
+	}
+	if len(c.Schemes) == 0 {
+		c.Schemes = []string{"ABS"}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+}
+
+// Population expands the config into its distinct request cells, in
+// popularity-rank order (cell 0 is the Zipf head). Benchmarks and schemes
+// cycle; the seed axis advances once per full cycle so every cell is a
+// distinct simulation.
+func (c *LoadConfig) population() []RunRequest {
+	cells := make([]RunRequest, c.Population)
+	for i := range cells {
+		cells[i] = RunRequest{
+			Schema:       RunRequestSchema,
+			Benchmark:    c.Benchmarks[i%len(c.Benchmarks)],
+			Scheme:       c.Schemes[i%len(c.Schemes)],
+			VDD:          c.VDD,
+			Instructions: c.Instructions,
+			Warmup:       c.Warmup,
+			Seed:         c.Seed + uint64(i/len(c.Benchmarks)),
+		}
+	}
+	return cells
+}
+
+// LatencySummary condenses a latency sample set, in microseconds.
+type LatencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// LoadReport is the machine-readable outcome of a load run (schema
+// tvsched/load-report/v1): offered load, server-observed outcomes as the
+// client saw them (via the X-Tvsched-Cache header), and latency
+// percentiles. Throughput and latency are wall-clock measurements and vary
+// run to run; the request mix itself is deterministic given the seed.
+type LoadReport struct {
+	Schema      string  `json:"schema"`
+	URL         string  `json:"url"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Population  int     `json:"population"`
+	ZipfS       float64 `json:"zipf_s"`
+	Seed        uint64  `json:"seed"`
+	// DurationSec covers first request sent to last response read.
+	DurationSec float64 `json:"duration_sec"`
+	// ThroughputRPS is completed requests (any outcome) per second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Outcome counts, from the response status and cache header.
+	Hits     uint64 `json:"hits"`
+	Shared   uint64 `json:"shared"`
+	Misses   uint64 `json:"misses"`
+	Rejected uint64 `json:"rejected"`
+	Errors   uint64 `json:"errors"`
+	// HitRate is (hits+shared) over completed successful requests.
+	HitRate float64        `json:"hit_rate"`
+	Latency LatencySummary `json:"latency_us"`
+}
+
+// RunLoad drives the load and summarizes it. Every worker owns a private
+// seeded generator (Seed+worker), so the issued mix is reproducible for a
+// fixed config regardless of scheduling.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	cfg.fill()
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("load: no server URL")
+	}
+	cells := cfg.population()
+	bodies := make([][]byte, len(cells))
+	for i, cell := range cells {
+		b, err := json.Marshal(cell)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	type tally struct {
+		hits, shared, misses, rejected, errors uint64
+		lat                                    []float64 // µs
+	}
+	tallies := make([]tally, cfg.Concurrency)
+	var issued int64
+	var issuedMu sync.Mutex
+	next := func() bool {
+		issuedMu.Lock()
+		defer issuedMu.Unlock()
+		if issued >= int64(cfg.Requests) {
+			return false
+		}
+		issued++
+		return true
+	}
+
+	client := &http.Client{Timeout: cfg.Timeout}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ta := &tallies[w]
+			rng := rand.New(rand.NewSource(int64(cfg.Seed) + int64(w)))
+			var zipf *rand.Zipf
+			if cfg.ZipfS > 1 && len(cells) > 1 {
+				zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cells)-1))
+			}
+			for next() {
+				if ctx.Err() != nil {
+					return
+				}
+				idx := 0
+				if zipf != nil {
+					idx = int(zipf.Uint64())
+				} else if len(cells) > 1 {
+					idx = rng.Intn(len(cells))
+				}
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					cfg.URL+"/v1/run", bytes.NewReader(bodies[idx]))
+				if err != nil {
+					ta.errors++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					ta.errors++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ta.lat = append(ta.lat, float64(time.Since(t0).Microseconds()))
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					ta.rejected++
+				case resp.StatusCode != http.StatusOK:
+					ta.errors++
+				default:
+					switch resp.Header.Get("X-Tvsched-Cache") {
+					case "hit":
+						ta.hits++
+					case "shared":
+						ta.shared++
+					default:
+						ta.misses++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	rep := &LoadReport{
+		Schema:      LoadReportSchema,
+		URL:         cfg.URL,
+		Concurrency: cfg.Concurrency,
+		Requests:    cfg.Requests,
+		Population:  cfg.Population,
+		ZipfS:       cfg.ZipfS,
+		Seed:        cfg.Seed,
+		DurationSec: dur.Seconds(),
+	}
+	var lat []float64
+	for i := range tallies {
+		ta := &tallies[i]
+		rep.Hits += ta.hits
+		rep.Shared += ta.shared
+		rep.Misses += ta.misses
+		rep.Rejected += ta.rejected
+		rep.Errors += ta.errors
+		lat = append(lat, ta.lat...)
+	}
+	done := rep.Hits + rep.Shared + rep.Misses + rep.Rejected + rep.Errors
+	if dur > 0 {
+		rep.ThroughputRPS = float64(done) / dur.Seconds()
+	}
+	if ok := rep.Hits + rep.Shared + rep.Misses; ok > 0 {
+		rep.HitRate = float64(rep.Hits+rep.Shared) / float64(ok)
+	}
+	rep.Latency = summarize(lat)
+	return rep, nil
+}
+
+// summarize sorts the sample set and reads the percentiles.
+func summarize(lat []float64) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sort.Float64s(lat)
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	pick := func(q float64) float64 { return lat[int(q*float64(len(lat)-1))] }
+	return LatencySummary{
+		Mean: sum / float64(len(lat)),
+		P50:  pick(0.50),
+		P90:  pick(0.90),
+		P99:  pick(0.99),
+		Max:  lat[len(lat)-1],
+	}
+}
+
+// WriteJSON emits the report with stable indentation, mirroring
+// obs.RunReport.WriteJSON.
+func (r *LoadReport) WriteJSON(w io.Writer) error {
+	if r.Schema == "" {
+		r.Schema = LoadReportSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

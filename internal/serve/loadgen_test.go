@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunLoadAccounting drives the generator against a stub-backed server
+// and checks the books balance: every request accounted for exactly once,
+// the Zipf mix repeat-heavy enough that the cache absorbs most of it, and
+// percentiles ordered.
+func TestRunLoadAccounting(t *testing.T) {
+	var runs atomic.Int64
+	_, ts := newTestServer(t, Config{Workers: 4, Runner: stubRunner(&runs, nil)})
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		URL:         ts.URL,
+		Concurrency: 4,
+		Requests:    300,
+		Population:  16,
+		ZipfS:       1.3,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := rep.Hits + rep.Shared + rep.Misses + rep.Rejected + rep.Errors
+	if total != 300 {
+		t.Fatalf("accounted %d of 300 requests: %+v", total, rep)
+	}
+	if rep.Errors != 0 || rep.Rejected != 0 {
+		t.Fatalf("errors=%d rejected=%d against an idle stub server", rep.Errors, rep.Rejected)
+	}
+	// The population bounds distinct simulations; the Zipf mix must revisit.
+	if rep.Misses > uint64(rep.Population) {
+		t.Fatalf("%d misses for a population of %d: cache not engaged", rep.Misses, rep.Population)
+	}
+	if runs.Load() > int64(rep.Population) {
+		t.Fatalf("%d simulations for %d distinct cells", runs.Load(), rep.Population)
+	}
+	if rep.HitRate <= 0.5 {
+		t.Fatalf("hit rate %.2f too low for a Zipf 1.3 mix over 16 cells", rep.HitRate)
+	}
+	l := rep.Latency
+	if !(l.P50 <= l.P90 && l.P90 <= l.P99 && l.P99 <= l.Max) || l.Mean <= 0 {
+		t.Fatalf("percentiles out of order: %+v", l)
+	}
+	if rep.ThroughputRPS <= 0 || rep.DurationSec <= 0 {
+		t.Fatalf("degenerate throughput: %+v", rep)
+	}
+	if rep.Schema != LoadReportSchema {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+}
+
+// TestLoadPopulationDeterminism pins that the population derivation and the
+// per-worker mix depend only on the config, so a load run names the same
+// simulations on every machine.
+func TestLoadPopulationDeterminism(t *testing.T) {
+	cfg := LoadConfig{Population: 8, Benchmarks: []string{"bzip2", "sjeng"}, Schemes: []string{"ABS", "EP"}}
+	cfg.fill()
+	a, b := cfg.population(), cfg.population()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("population not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Benchmarks and schemes cycle independently; seeds advance per
+	// benchmark cycle so every cell is distinct.
+	seen := map[string]bool{}
+	for _, cell := range a {
+		c, err := cell.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := c.Digest()
+		if seen[d] {
+			t.Fatalf("duplicate digest in population: %+v", cell)
+		}
+		seen[d] = true
+	}
+}

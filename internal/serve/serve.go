@@ -1,0 +1,546 @@
+// Package serve is the simulation-serving subsystem behind cmd/tvservd: an
+// HTTP/JSON service that executes tvsched simulations on a bounded worker
+// pool and answers with the machine-readable obs.RunReport the rest of the
+// repo already speaks.
+//
+// The serving mechanics exploit the library's determinism end to end. Every
+// request is normalized and content-addressed (tvsched.Config.Digest over
+// the canonical JSON form), and the digest keys two layers:
+//
+//   - a bounded LRU result cache holding the exact response bytes, so a
+//     repeat request is served byte-identical without simulating;
+//   - a singleflight table collapsing concurrent identical requests onto
+//     one in-flight simulation, so a thundering herd of N equal requests
+//     costs one run, not N.
+//
+// Admission is bounded: at most Workers simulations execute concurrently
+// and at most QueueDepth more may wait; beyond that the server sheds load
+// with 429 and a Retry-After estimate instead of queueing unboundedly.
+// Request deadlines propagate into the pipeline via context (cancellation
+// lands within 256 simulated cycles), and SIGTERM drains gracefully: the
+// daemon stops admitting, finishes what is in flight, then exits.
+//
+// POST /v1/run answers one request; POST /v1/sweep fans a cross-product
+// sweep across the pool and streams per-cell results as NDJSON in
+// deterministic cell order. GET /healthz, /readyz and /metrics (Prometheus
+// text format, including queue depth, cache hit/miss, in-flight and latency
+// histograms via obs.ServeMetrics) complete the operational surface.
+// cmd/tvload is the matching closed-loop load generator.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"tvsched"
+	"tvsched/internal/experiments"
+	"tvsched/internal/obs"
+)
+
+// ErrBusy reports a full admission queue; handlers map it to HTTP 429.
+var ErrBusy = errors.New("admission queue full")
+
+// Runner executes one normalized simulation config. It is a seam for tests
+// (which substitute counting or blocking stubs); the default runner calls
+// tvsched.RunContext with a per-run shard of the server's pipeline metrics
+// attached.
+type Runner func(ctx context.Context, cfg tvsched.Config) (tvsched.Result, error)
+
+// Config parameterizes a Server. Zero fields take the documented defaults.
+type Config struct {
+	// Workers bounds concurrently executing simulations (default
+	// GOMAXPROCS — the simulations are CPU-bound).
+	Workers int
+	// QueueDepth bounds admitted simulations waiting for a worker beyond
+	// the pool itself (default 64). When pool and queue are both full the
+	// server answers 429 with a Retry-After estimate.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 1024 entries).
+	CacheEntries int
+	// MaxInstructions caps the per-request measured phase (default 2e6);
+	// longer requests are refused with 400 rather than hogging a worker.
+	MaxInstructions uint64
+	// MaxSweepCells caps the cross-product size of one sweep (default
+	// 4096).
+	MaxSweepCells int
+	// RunTimeout bounds one simulation (default 2m). The budget starts
+	// when a worker picks the run up, not while it queues.
+	RunTimeout time.Duration
+	// Namespace prefixes the Prometheus metric names (default "tvservd").
+	Namespace string
+	// Runner overrides the simulation executor (tests only).
+	Runner Runner
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxInstructions == 0 {
+		c.MaxInstructions = 2_000_000
+	}
+	if c.MaxSweepCells <= 0 {
+		c.MaxSweepCells = 4096
+	}
+	if c.RunTimeout <= 0 {
+		c.RunTimeout = 2 * time.Minute
+	}
+	if c.Namespace == "" {
+		c.Namespace = "tvservd"
+	}
+}
+
+// call is one in-flight computation in the singleflight table. The leader
+// fills the result fields and closes done; every waiter (the leader's own
+// request and any collapsed followers) reads them afterwards.
+type call struct {
+	done   chan struct{}
+	body   []byte
+	status int
+	err    error
+}
+
+// Server is the simulation-serving core: handlers, cache, singleflight
+// table, admission accounting, and metric registries. Create it with New
+// and mount Handler.
+type Server struct {
+	cfg        Config
+	sm         *obs.ServeMetrics
+	pipeM      *obs.Metrics
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	sem        chan struct{} // worker slots
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	cache    *lruCache
+	flight   map[string]*call
+	pending  int // admitted computations: queued + running
+	running  int
+	draining bool
+
+	mux *http.ServeMux
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		sm:         obs.NewServeMetrics(),
+		pipeM:      obs.NewMetrics(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		sem:        make(chan struct{}, cfg.Workers),
+		cache:      newLRU(cfg.CacheEntries),
+		flight:     make(map[string]*call),
+	}
+	if s.cfg.Runner == nil {
+		s.cfg.Runner = s.defaultRunner
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.Handle("/metrics", obs.NewExposition(cfg.Namespace, s.pipeM, nil).WithServe(s.sm).Handler())
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the serving-layer registry (tests and embedders).
+func (s *Server) Metrics() *obs.ServeMetrics { return s.sm }
+
+// defaultRunner executes the simulation for real, feeding the server's
+// pipeline-metrics registry through a private per-run shard so the hot
+// event path never contends across workers.
+func (s *Server) defaultRunner(ctx context.Context, cfg tvsched.Config) (tvsched.Result, error) {
+	sh := s.pipeM.Shard()
+	cfg.Observer = sh
+	defer sh.Flush()
+	return tvsched.RunContext(ctx, cfg)
+}
+
+// BeginDrain flips /readyz to 503 so load balancers stop routing here. Call
+// it before http.Server.Shutdown.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain waits for every in-flight computation to finish or for ctx to
+// expire, whichever is first.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// Close cancels every in-flight simulation. Use after a failed Drain.
+func (s *Server) Close() { s.baseCancel() }
+
+// gaugesLocked republishes the admission gauges; callers hold s.mu.
+func (s *Server) gaugesLocked() {
+	s.sm.SetQueue(int64(s.pending-s.running), int64(s.running))
+}
+
+// result answers one normalized config: cache hit, collapse onto an
+// in-flight computation, or lead a new one. admit=false (sweep cells)
+// bypasses the queue-full rejection — a sweep is one admitted request whose
+// internal fan-out is flow-controlled by the worker pool, so its cells wait
+// for capacity instead of bouncing.
+func (s *Server) result(ctx context.Context, cfg tvsched.Config, admit bool) (body []byte, outcome obs.ServeOutcome, status int, err error) {
+	digest := cfg.Digest()
+	s.mu.Lock()
+	if b, ok := s.cache.get(digest); ok {
+		s.mu.Unlock()
+		return b, obs.ServeHit, http.StatusOK, nil
+	}
+	if c, ok := s.flight[digest]; ok {
+		s.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.body, obs.ServeShared, c.status, c.err
+		case <-ctx.Done():
+			return nil, obs.ServeErrored, http.StatusServiceUnavailable, ctx.Err()
+		}
+	}
+	if admit && s.pending >= s.cfg.Workers+s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return nil, obs.ServeRejected, http.StatusTooManyRequests, ErrBusy
+	}
+	c := &call{done: make(chan struct{})}
+	s.flight[digest] = c
+	s.pending++
+	s.gaugesLocked()
+	s.mu.Unlock()
+
+	// The computation runs under the server's lifetime, not this request's:
+	// followers that arrive later still want the result, and so does the
+	// cache. The leader merely waits like any other follower.
+	s.wg.Add(1)
+	go s.compute(digest, cfg, c)
+	select {
+	case <-c.done:
+		return c.body, obs.ServeMiss, c.status, c.err
+	case <-ctx.Done():
+		return nil, obs.ServeErrored, http.StatusServiceUnavailable, ctx.Err()
+	}
+}
+
+// compute is the singleflight leader body: queue for a worker slot, run the
+// simulation, render and cache the report, publish to waiters.
+func (s *Server) compute(digest string, cfg tvsched.Config, c *call) {
+	defer s.wg.Done()
+	var (
+		body   []byte
+		status = http.StatusOK
+		err    error
+	)
+	select {
+	case s.sem <- struct{}{}:
+		s.mu.Lock()
+		s.running++
+		s.gaugesLocked()
+		s.mu.Unlock()
+		runCtx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RunTimeout)
+		start := time.Now()
+		var res tvsched.Result
+		res, err = s.cfg.Runner(runCtx, cfg)
+		cancel()
+		s.sm.ObserveRun(uint64(time.Since(start).Microseconds()))
+		s.mu.Lock()
+		s.running--
+		s.gaugesLocked()
+		s.mu.Unlock()
+		<-s.sem
+		if err == nil {
+			body, err = marshalReport(reportFor(cfg, res))
+		}
+		if err != nil {
+			status = statusFor(err)
+		}
+	case <-s.baseCtx.Done():
+		err = s.baseCtx.Err()
+		status = http.StatusServiceUnavailable
+	}
+	s.mu.Lock()
+	if err == nil {
+		s.cache.put(digest, body)
+	}
+	delete(s.flight, digest)
+	s.pending--
+	s.gaugesLocked()
+	s.mu.Unlock()
+	c.body, c.status, c.err = body, status, err
+	close(c.done)
+}
+
+// reportFor renders a finished simulation as the run-report/v1 artifact the
+// rest of the repo (tvgate, dashboards, EXPERIMENTS.md) already consumes.
+// Every field derives from the deterministic result, so the bytes are a
+// pure function of the request.
+func reportFor(cfg tvsched.Config, res tvsched.Result) *obs.RunReport {
+	st := res.Stats
+	return &obs.RunReport{
+		Schema:       obs.RunReportSchema,
+		Tool:         "tvservd",
+		Benchmark:    cfg.Benchmark,
+		Scheme:       cfg.Scheme.String(),
+		VDD:          cfg.VDD,
+		Seed:         cfg.Seed,
+		Instructions: st.Committed,
+		Cycles:       st.Cycles,
+		IPC:          st.IPC(),
+		TEP:          experiments.TEPAccuracyFrom(&st),
+	}
+}
+
+// marshalReport renders the response body: compact JSON plus a trailing
+// newline. Compact (rather than RunReport.WriteJSON's indented form) so the
+// same bytes embed verbatim in NDJSON sweep lines.
+func marshalReport(rep *obs.RunReport) ([]byte, error) {
+	b, err := json.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// statusFor maps simulation errors to HTTP statuses: caller mistakes to
+// 400, exhausted run budgets and shutdown to 503, model failures to 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest),
+		errors.Is(err, tvsched.ErrUnknownBenchmark),
+		errors.Is(err, tvsched.ErrUnknownScheme),
+		errors.Is(err, tvsched.ErrBadConfig):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// retryAfter estimates, from the observed mean simulation latency and the
+// current backlog, how long a rejected client should wait before retrying.
+// Clamped to [1s, 60s]; a cold server (no latency samples yet) says 1s.
+func (s *Server) retryAfter() string {
+	snap := s.sm.Snapshot()
+	s.mu.Lock()
+	backlog := s.pending
+	s.mu.Unlock()
+	secs := int(snap.RunLatency.Mean() / 1e6 * float64(backlog) / float64(s.cfg.Workers))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(secs)
+}
+
+// decode parses a JSON request body strictly: unknown fields are errors, so
+// a typo'd field name fails loudly instead of silently taking a default.
+func decode(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// checkPolicy enforces the per-request resource caps.
+func (s *Server) checkPolicy(cfg tvsched.Config) error {
+	if cfg.Instructions > s.cfg.MaxInstructions {
+		return fmt.Errorf("%w: instructions %d over server cap %d",
+			ErrBadRequest, cfg.Instructions, s.cfg.MaxInstructions)
+	}
+	return nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	var req RunRequest
+	var cfg tvsched.Config
+	err := decode(w, r, &req)
+	if err == nil {
+		cfg, err = req.Config()
+	}
+	if err == nil {
+		err = s.checkPolicy(cfg)
+	}
+	if err != nil {
+		s.sm.Outcome(obs.ServeBadRequest)
+		s.sm.ObserveRequest(uint64(time.Since(start).Microseconds()))
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, outcome, status, err := s.result(r.Context(), cfg, true)
+	s.sm.Outcome(outcome)
+	s.sm.ObserveRequest(uint64(time.Since(start).Microseconds()))
+	switch {
+	case outcome == obs.ServeRejected:
+		w.Header().Set("Retry-After", s.retryAfter())
+		http.Error(w, err.Error(), status)
+	case err != nil:
+		if r.Context().Err() != nil {
+			return // client is gone; nothing to write to
+		}
+		http.Error(w, err.Error(), status)
+	default:
+		h := w.Header()
+		h.Set("Content-Type", "application/json")
+		h.Set("X-Tvsched-Digest", cfg.Digest())
+		h.Set("X-Tvsched-Cache", outcome.String())
+		_, _ = w.Write(body)
+	}
+}
+
+// sweepLine is one NDJSON record of a sweep response, emitted in cell
+// order so the stream is deterministic end to end.
+type sweepLine struct {
+	Index     int             `json:"index"`
+	Benchmark string          `json:"benchmark"`
+	Scheme    string          `json:"scheme"`
+	VDD       float64         `json:"vdd"`
+	Seed      uint64          `json:"seed"`
+	Digest    string          `json:"digest"`
+	Cache     string          `json:"cache"`
+	Report    json.RawMessage `json:"report,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SweepRequest
+	var cells []RunRequest
+	err := decode(w, r, &req)
+	if err == nil {
+		cells, err = req.Cells()
+	}
+	if err == nil && len(cells) > s.cfg.MaxSweepCells {
+		err = fmt.Errorf("%w: %d cells over server cap %d", ErrBadRequest, len(cells), s.cfg.MaxSweepCells)
+	}
+	var cfgs []tvsched.Config
+	if err == nil {
+		cfgs = make([]tvsched.Config, len(cells))
+		for i := range cells {
+			if cfgs[i], err = cells[i].Config(); err != nil {
+				break
+			}
+			if err = s.checkPolicy(cfgs[i]); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		s.sm.Outcome(obs.ServeBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	type cellResult struct {
+		body    []byte
+		outcome obs.ServeOutcome
+		err     error
+	}
+	results := make([]chan cellResult, len(cells))
+	// Fan out, bounded: the pool itself is the throttle (admit=false), the
+	// limiter just keeps goroutine count proportional to capacity rather
+	// than sweep size.
+	limiter := make(chan struct{}, s.cfg.Workers+s.cfg.QueueDepth)
+	for i := range cells {
+		results[i] = make(chan cellResult, 1)
+		go func(i int) {
+			limiter <- struct{}{}
+			defer func() { <-limiter }()
+			start := time.Now()
+			body, outcome, _, err := s.result(r.Context(), cfgs[i], false)
+			s.sm.Outcome(outcome)
+			s.sm.ObserveRequest(uint64(time.Since(start).Microseconds()))
+			results[i] <- cellResult{body, outcome, err}
+		}(i)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := range cells {
+		res := <-results[i]
+		line := sweepLine{
+			Index:     i,
+			Benchmark: cfgs[i].Benchmark,
+			Scheme:    cfgs[i].Scheme.String(),
+			VDD:       cfgs[i].VDD,
+			Seed:      cfgs[i].Seed,
+			Digest:    cfgs[i].Digest(),
+			Cache:     res.outcome.String(),
+		}
+		if res.err != nil {
+			line.Error = res.err.Error()
+		} else {
+			line.Report = json.RawMessage(trimNewline(res.body))
+		}
+		if err := enc.Encode(&line); err != nil {
+			return // client is gone
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func trimNewline(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		return b[:n-1]
+	}
+	return b
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}

@@ -37,7 +37,12 @@ package tvsched
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"tvsched/internal/asm"
 	"tvsched/internal/core"
@@ -258,6 +263,43 @@ func (c *Config) fill() {
 	}
 }
 
+// Normalized returns the config with every default applied — the exact
+// parameters Run would simulate. Normalizing before comparing or digesting
+// makes an omitted field and its explicit default the same simulation.
+func (c Config) Normalized() Config {
+	c.fill()
+	return c
+}
+
+// CanonicalJSON renders the simulation-identity fields of the config —
+// benchmark, scheme, supply voltage, phase lengths, seed, and fault bias,
+// with defaults applied — as canonical JSON: keys sorted, floats in Go's
+// shortest round-trip form, no insignificant whitespace. Two configs that
+// describe the same simulation always serialize to identical bytes, which
+// makes the form fit for content addressing; Digest hashes it. Observer and
+// Debug are machinery, not identity, and are excluded. The exact byte
+// layout is pinned by a golden test: changing it silently invalidates every
+// stored digest downstream, so treat any change as a breaking schema change.
+func (c Config) CanonicalJSON() []byte {
+	c.fill()
+	num := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+	str := func(s string) string { b, _ := json.Marshal(s); return string(b) }
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"benchmark":%s,"fault_bias":%s,"instructions":%d,"scheme":%s,"seed":%d,"vdd":%s,"warmup":%d}`,
+		str(c.Benchmark), num(c.FaultBias), c.Instructions, str(c.Scheme.String()),
+		c.Seed, num(c.VDD), c.Warmup)
+	return []byte(b.String())
+}
+
+// Digest returns the hex SHA-256 of CanonicalJSON: a content address for
+// the simulation the config describes. Runs are deterministic, so equal
+// digests mean equal results — the property the serving layer's result
+// cache and request collapsing (internal/serve) key on.
+func (c Config) Digest() string {
+	sum := sha256.Sum256(c.CanonicalJSON())
+	return hex.EncodeToString(sum[:])
+}
+
 // Result is the outcome of one simulation.
 type Result struct {
 	// IPC is committed instructions per cycle.
@@ -279,7 +321,7 @@ func Run(cfg Config) (Result, error) {
 }
 
 // RunContext is Run with cancellation: when ctx is cancelled the simulation
-// stops within ~1k simulated cycles and the context's error is returned.
+// stops within 256 simulated cycles and the context's error is returned.
 func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	cfg.fill()
 	r, err := experiments.SimulateContext(ctx, cfg.Benchmark, cfg.Scheme, cfg.VDD,

@@ -1,0 +1,78 @@
+package tvsched
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCanonicalJSONGolden pins the canonical byte layout and its SHA-256.
+// The digest is the content address of a simulation: the serving layer's
+// result cache, its singleflight table, and any stored artifacts key on it.
+// If this test fails you have made a breaking schema change — every digest
+// ever produced is invalidated — so bump deliberately, never silently.
+func TestCanonicalJSONGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		json   string
+		digest string
+	}{
+		{
+			name:   "zero config takes all defaults",
+			cfg:    Config{},
+			json:   `{"benchmark":"bzip2","fault_bias":1,"instructions":300000,"scheme":"Razor","seed":1,"vdd":1.1,"warmup":75000}`,
+			digest: "85d657b93a264a6c2ac8808b0f4313698dfdcb3e2bce67e3d98105fb26bde651",
+		},
+		{
+			name: "fully specified",
+			cfg: Config{Benchmark: "sjeng", Scheme: CDS, VDD: VHighFault,
+				Instructions: 20000, Warmup: 5000, Seed: 42, FaultBias: 1.5},
+			json:   `{"benchmark":"sjeng","fault_bias":1.5,"instructions":20000,"scheme":"CDS","seed":42,"vdd":0.97,"warmup":5000}`,
+			digest: "57c4ebe3f56574541b7eb0e156aeec6560c9aca379d7c3d389284827a5687ade",
+		},
+		{
+			name:   "partial, defaults fill the rest",
+			cfg:    Config{Benchmark: "mcf", Scheme: EP, VDD: VLowFault, Instructions: 300000, Seed: 7},
+			json:   `{"benchmark":"mcf","fault_bias":1,"instructions":300000,"scheme":"EP","seed":7,"vdd":1.04,"warmup":75000}`,
+			digest: "809144844cea0637428877bb9ed546c6f334f2b45bab5bd1a3108a00ee51276d",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := string(c.cfg.CanonicalJSON())
+			if got != c.json {
+				t.Errorf("canonical bytes drifted:\n got %s\nwant %s", got, c.json)
+			}
+			if d := c.cfg.Digest(); d != c.digest {
+				t.Errorf("digest drifted:\n got %s\nwant %s", d, c.digest)
+			}
+			if !json.Valid([]byte(got)) {
+				t.Errorf("canonical form is not valid JSON: %s", got)
+			}
+		})
+	}
+}
+
+// TestCanonicalJSONIdentity checks the content-address contract from the
+// other side: configs that describe the same simulation digest identically
+// (omitted fields versus explicit defaults), and machinery fields do not
+// leak into the identity.
+func TestCanonicalJSONIdentity(t *testing.T) {
+	implicit := Config{Benchmark: "bzip2"}
+	explicit := implicit.Normalized()
+	if implicit.Digest() != explicit.Digest() {
+		t.Errorf("explicit defaults changed the digest: %s vs %s",
+			implicit.Digest(), explicit.Digest())
+	}
+	withMachinery := explicit
+	withMachinery.Debug = true
+	withMachinery.Observer = ObserverFunc(func(Event) {})
+	if withMachinery.Digest() != explicit.Digest() {
+		t.Error("Observer/Debug leaked into the digest")
+	}
+	other := explicit
+	other.Seed = 2
+	if other.Digest() == explicit.Digest() {
+		t.Error("seed change did not change the digest")
+	}
+}
