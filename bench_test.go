@@ -8,6 +8,7 @@ package tvsched
 // paper-vs-measured comparison at full scale.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -443,4 +444,113 @@ func BenchmarkAblationPredictor(b *testing.B) {
 			}
 		})
 	}
+}
+
+// sweepBenchCells is the cell grid of the checkpointed-sweep benches below:
+// all five handling schemes at both faulty supplies over one benchmark and
+// seed — the same geometry the served sweep bench (internal/serve, cmd/tvload
+// -sweepbench) times at full scale, shrunk so the pair completes in seconds.
+// Every cell shares one warm state, which is what makes a single checkpoint
+// serve all ten.
+func sweepBenchCells() []Config {
+	var cells []Config
+	for _, scheme := range []Scheme{Razor, EP, ABS, FFS, CDS} {
+		for _, vdd := range []float64{VLowFault, VHighFault} {
+			cells = append(cells, Config{
+				Benchmark:    "bzip2",
+				Scheme:       scheme,
+				VDD:          vdd,
+				Warmup:       60000,
+				Instructions: 4000,
+				Seed:         1,
+			})
+		}
+	}
+	return cells
+}
+
+// BenchmarkSweepCold times a scheme×voltage sweep the pre-Session way: every
+// cell pays its own neutral warmup before measuring. The warmup dominates by
+// construction (60k warm / 4k measured), so this is the denominator of the
+// checkpoint speedup EXPERIMENTS.md records.
+func BenchmarkSweepCold(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range sweepBenchCells() {
+			sess, err := NewSession(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sess.WarmupNeutral(ctx); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Run(ctx, RunOpts{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepWarm times the same sweep checkpointed: one donor session
+// pays the neutral warmup and snapshots it, and every cell restores those
+// bytes instead of warming — the served sweep path in miniature.
+func BenchmarkSweepWarm(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		cells := sweepBenchCells()
+		donor, err := NewSession(cells[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := donor.WarmupNeutral(ctx); err != nil {
+			b.Fatal(err)
+		}
+		snap, err := donor.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range cells {
+			sess, err := NewSession(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sess.Restore(snap); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Run(ctx, RunOpts{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCycleLoop times the observer-off simulator hot loop per committed
+// instruction and reports per-cycle cost and the allocation count — the
+// zero-alloc contract internal/pipeline/alloc_test.go pins shows up here as
+// 0 allocs/op.
+func BenchmarkCycleLoop(b *testing.B) {
+	prof, _ := workload.ByName("bzip2")
+	gen, err := workload.NewGenerator(prof, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.MispredictRate = prof.MispredictRate
+	fc := fault.DefaultConfig(1)
+	fc.Bias = prof.FaultBias
+	p, err := pipeline.New(cfg, gen, fault.New(fc), fault.VHighFault)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.PrefillData(gen.WarmRegion())
+	if err := p.Warmup(10000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	st, err := p.Run(uint64(b.N))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.Elapsed())/float64(st.Cycles), "ns/cycle")
 }

@@ -25,6 +25,8 @@
 //
 //   - at the fault-free nominal voltage all five schemes produce identical
 //     Stats (modulo CDS's criticality marks, which fire without faults)
+//   - a warm snapshot round-trips: a machine restored from SnapshotState
+//     bytes runs on to Stats bit-identical to the donor that produced them
 //   - across the whole sweep, ABS spends no more aggregate cycles than EP on
 //     the same work at the same faulty voltage (the paper's headline
 //     ordering; per-case ordering is not guaranteed, the aggregate is)
@@ -78,6 +80,7 @@ func main() {
 		sweeps   int
 		pairs    int
 		idents   int
+		trips    int
 		hazarded int
 		absCyc   uint64
 		epCyc    uint64
@@ -117,9 +120,10 @@ func main() {
 				mu.Unlock()
 
 				// Rotating extras: a fault-free cross-scheme sweep every
-				// 8th case, an empty-timeline identity check every 8th,
-				// an ABS-vs-EP pair at a faulty voltage every 4th (offsets
-				// chosen so a case never runs two).
+				// 8th case, a snapshot round-trip every 8th, an
+				// empty-timeline identity check every 8th, an ABS-vs-EP
+				// pair at a faulty voltage every 4th (offsets chosen so a
+				// case never runs two).
 				switch {
 				case idx%8 == 0:
 					if err := nominalSweep(spec); err != nil {
@@ -128,6 +132,14 @@ func main() {
 					}
 					mu.Lock()
 					sweeps++
+					mu.Unlock()
+				case idx%8 == 1:
+					if err := snapshotRoundTrip(spec); err != nil {
+						report(idx, spec, err)
+						continue
+					}
+					mu.Lock()
+					trips++
 					mu.Unlock()
 				case idx%8 == 4:
 					if err := emptyTimelineIdentity(spec); err != nil {
@@ -174,8 +186,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tvfuzz: %d failure(s) in %v\n", len(failures), time.Since(start).Round(time.Millisecond))
 		os.Exit(1)
 	}
-	fmt.Printf("tvfuzz: %d cases ok (%d hazarded, %d nominal sweeps, %d empty-timeline identities, %d ABS/EP pairs, ABS/EP cycles %d/%d) in %v\n",
-		runs, hazarded, sweeps, idents, pairs, absCyc, epCyc, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("tvfuzz: %d cases ok (%d hazarded, %d nominal sweeps, %d snapshot round-trips, %d empty-timeline identities, %d ABS/EP pairs, ABS/EP cycles %d/%d) in %v\n",
+		runs, hazarded, sweeps, trips, idents, pairs, absCyc, epCyc, time.Since(start).Round(time.Millisecond))
 }
 
 // caseSpec is one point in the fuzzed configuration space. Everything needed
@@ -402,6 +414,49 @@ func nominalSweep(spec caseSpec) error {
 			return fmt.Errorf("fault-free run differs between %v and %v:\n  %v: %+v\n  %v: %+v",
 				baseScheme, s, baseScheme, base, s, st)
 		}
+	}
+	return nil
+}
+
+// snapshotRoundTrip is the checkpoint/restore property: warm a machine,
+// serialize it with SnapshotState, restore the bytes into a freshly built
+// twin, and run both to completion — the restored machine must reach Stats
+// bit-identical to its donor. Hazards and the supervisor are stripped
+// (snapshots refuse both) and a warmup phase is forced so the snapshot
+// captures genuinely warm state across the whole randomized geometry space.
+func snapshotRoundTrip(spec caseSpec) error {
+	spec.hazardSeed, spec.supervised = 0, false
+	if spec.warmup == 0 {
+		spec.warmup = spec.insts / 4
+	}
+	donor, err := build(spec, false, nil)
+	if err != nil {
+		return err
+	}
+	if err := donor.Warmup(spec.warmup); err != nil {
+		return fmt.Errorf("snapshot round-trip: warmup: %w", err)
+	}
+	blob, err := donor.SnapshotState()
+	if err != nil {
+		return fmt.Errorf("snapshot round-trip: snapshot: %w", err)
+	}
+	stDonor, err := donor.Run(spec.insts)
+	if err != nil {
+		return fmt.Errorf("snapshot round-trip: donor run: %w", err)
+	}
+	restored, err := build(spec, false, nil)
+	if err != nil {
+		return err
+	}
+	if err := restored.RestoreState(blob); err != nil {
+		return fmt.Errorf("snapshot round-trip: restore: %w", err)
+	}
+	stRestored, err := restored.Run(spec.insts)
+	if err != nil {
+		return fmt.Errorf("snapshot round-trip: restored run: %w", err)
+	}
+	if stDonor != stRestored {
+		return fmt.Errorf("restored machine diverged from its donor:\n  donor:    %+v\n  restored: %+v", stDonor, stRestored)
 	}
 	return nil
 }

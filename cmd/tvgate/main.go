@@ -9,6 +9,11 @@
 //
 //	tvgate -report BENCH_table1.json -baseline .github/perf-baseline.json
 //	tvgate -report r.json -baseline b.json -scheme ABS -vdd 0.97 -tolerance 0.10
+//	tvgate -sweep sweepbench.json -min-speedup 2.0
+//
+// With -sweep, tvgate instead gates a sweep-bench/v1 artifact (tvload
+// -sweepbench): the checkpointed sweep must be at least -min-speedup times
+// faster than the cold one.
 //
 // The comparison is on the scheme's performance overhead versus fault-free
 // execution (perf_pct in the report): the gate fails when
@@ -20,11 +25,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"tvsched/internal/obs"
+	"tvsched/internal/serve"
 )
 
 func main() {
@@ -35,8 +42,15 @@ func main() {
 		vdd       = flag.Float64("vdd", 0.97, "supply voltage of the gated overhead entry")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed relative regression (0.10 = +10%)")
 		slack     = flag.Float64("slack", 0.25, "allowed absolute regression in percentage points")
+
+		sweepF     = flag.String("sweep", "", "sweep-bench JSON (tvload -sweepbench) to gate instead of a RunReport pair")
+		minSpeedup = flag.Float64("min-speedup", 2.0, "minimum checkpointed-sweep speedup required by -sweep")
 	)
 	flag.Parse()
+	if *sweepF != "" {
+		gateSweep(*sweepF, *minSpeedup)
+		return
+	}
 	if *reportF == "" || *baselineF == "" {
 		fmt.Fprintln(os.Stderr, "tvgate: -report and -baseline are required")
 		os.Exit(2)
@@ -59,6 +73,31 @@ func main() {
 	if cur.PerfPct > limit {
 		fmt.Fprintf(os.Stderr, "tvgate: FAIL: %s overhead regressed %.3f%% -> %.3f%% (limit %.3f%%)\n",
 			*scheme, ref.PerfPct, cur.PerfPct, limit)
+		os.Exit(1)
+	}
+	fmt.Println("tvgate: OK")
+}
+
+// gateSweep enforces the checkpointed-sweep throughput floor on a
+// sweep-bench/v1 artifact.
+func gateSweep(path string, minSpeedup float64) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var rep serve.SweepBenchReport
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if rep.Schema != serve.SweepBenchSchema {
+		fatal(fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, serve.SweepBenchSchema))
+	}
+	fmt.Printf("tvgate: checkpointed sweep %.2fx faster than cold (%d cells, warmup %d; floor %.2fx)\n",
+		rep.Speedup, rep.Cells, rep.Warmup, minSpeedup)
+	if rep.Speedup < minSpeedup {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: checkpointed sweep speedup %.2fx below floor %.2fx\n",
+			rep.Speedup, minSpeedup)
 		os.Exit(1)
 	}
 	fmt.Println("tvgate: OK")

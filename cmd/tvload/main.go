@@ -15,6 +15,11 @@
 //	tvload -url http://$addr -zipf 1 -pop 64 -n 64    # uniform cold sweep
 //	tvload ... -out load.json                         # report to a file
 //
+// With -sweepbench, tvload instead times the same warmup-heavy
+// scheme×voltage sweep twice — warm-state checkpointing off, then on — and
+// emits a sweep-bench/v1 JSON ({cold_ns, warm_ns, speedup}); cmd/tvgate
+// -sweep gates on the speedup.
+//
 // Typical cache demonstration: run a cold pass (uniform, population-sized)
 // then a hot pass (Zipf) and compare throughput_rps — the hot pass rides
 // the cache and should be several times faster.
@@ -49,8 +54,17 @@ func main() {
 		schemes = flag.String("schemes", "ABS", "comma-separated schemes to cycle through")
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request timeout")
 		out     = flag.String("out", "", "write the JSON report to this file (empty = stdout)")
+
+		sweepBench  = flag.Bool("sweepbench", false, "time a cold-vs-checkpointed sweep instead of generating load")
+		sweepWarmup = flag.Uint64("sweep-warmup", 120000, "sweepbench: warmup instructions per cell")
+		sweepInsts  = flag.Uint64("sweep-insts", 8000, "sweepbench: measured instructions per cell")
 	)
 	flag.Parse()
+
+	if *sweepBench {
+		runSweepBench(strings.TrimRight(*url, "/"), *benches, *seed, *sweepWarmup, *sweepInsts, *timeout, *out)
+		return
+	}
 
 	cfg := serve.LoadConfig{
 		URL:          strings.TrimRight(*url, "/"),
@@ -103,6 +117,50 @@ func main() {
 		os.Exit(1)
 	}
 	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// runSweepBench drives the -sweepbench mode: one warmup-heavy sweep timed
+// cold, then checkpointed, reported as sweep-bench/v1 JSON.
+func runSweepBench(url, bench string, seed, warmup, insts uint64, timeout time.Duration, out string) {
+	cfg := serve.SweepBenchConfig{
+		URL:          url,
+		Warmup:       warmup,
+		Instructions: insts,
+		Seed:         seed,
+		Timeout:      timeout,
+	}
+	// -benchmarks lists; sweepbench sweeps schemes×voltages over one
+	// workload, so only the first entry applies.
+	if bench != "" {
+		cfg.Benchmark = strings.Split(bench, ",")[0]
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := serve.RunSweepBench(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvload:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"tvload: sweepbench %s: %d cells, warmup %d, insts %d: cold %.2fs, checkpointed %.2fs, speedup %.2fx\n",
+		rep.Benchmark, rep.Cells, rep.Warmup, rep.Instructions,
+		float64(rep.ColdNS)/1e9, float64(rep.WarmNS)/1e9, rep.Speedup)
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tvload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "tvload:", err)
 		os.Exit(1)
 	}
 }

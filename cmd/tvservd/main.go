@@ -54,6 +54,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 64, "admission queue beyond the pool; full queue answers 429")
 		cacheN       = flag.Int("cache", 1024, "result cache capacity in entries")
+		snapN        = flag.Int("snapshots", 8, "warm-state snapshot cache capacity in entries")
 		maxInsts     = flag.Uint64("max-insts", 2_000_000, "per-request instruction cap (400 beyond it)")
 		maxCells     = flag.Int("max-cells", 4096, "per-sweep cell cap (400 beyond it)")
 		runTimeout   = flag.Duration("run-timeout", 2*time.Minute, "per-simulation budget once a worker picks it up")
@@ -78,6 +79,7 @@ func main() {
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheEntries:    *cacheN,
+		SnapshotEntries: *snapN,
 		MaxInstructions: *maxInsts,
 		MaxSweepCells:   *maxCells,
 		RunTimeout:      *runTimeout,

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -26,6 +27,7 @@ import (
 	"tvsched/internal/fault"
 	"tvsched/internal/obs"
 	"tvsched/internal/pipeline"
+	"tvsched/internal/sim"
 	"tvsched/internal/workload"
 )
 
@@ -234,35 +236,29 @@ func writeReport(path, bench string, sch core.Scheme, vdd float64, seed uint64,
 }
 
 func run(name string, sch core.Scheme, vdd float64, n, seed uint64, opts options) (pipeline.Stats, error) {
-	prof, err := workload.Lookup(name)
+	mcfg := pipeline.DefaultConfig()
+	mcfg.FullFlushReplay = opts.flush
+	mcfg.CT = opts.ct
+	mcfg.TEP.Entries = opts.tepEntries
+	mcfg.TEP.HistoryBits = opts.tepHistory
+	sess, err := sim.New(sim.Config{
+		Benchmark: name,
+		Scheme:    sch,
+		VDD:       vdd,
+		Warmup:    n / 4,
+		Seed:      seed,
+		Machine:   &mcfg,
+	})
 	if err != nil {
 		return pipeline.Stats{}, err
 	}
-	gen, err := workload.NewGenerator(prof, seed)
-	if err != nil {
-		return pipeline.Stats{}, err
-	}
-	cfg := pipeline.DefaultConfig()
-	cfg.Scheme = sch
-	cfg.MispredictRate = prof.MispredictRate
-	cfg.Seed = seed
-	cfg.FullFlushReplay = opts.flush
-	cfg.CT = opts.ct
-	cfg.TEP.Entries = opts.tepEntries
-	cfg.TEP.HistoryBits = opts.tepHistory
-	fc := fault.DefaultConfig(seed)
-	fc.Bias = prof.FaultBias
-	p, err := pipeline.New(cfg, gen, fault.New(fc), vdd)
-	if err != nil {
-		return pipeline.Stats{}, err
-	}
-	p.PrefillData(gen.WarmRegion())
-	if err := p.Warmup(n / 4); err != nil {
+	ctx := context.Background()
+	if err := sess.Warmup(ctx); err != nil {
 		return pipeline.Stats{}, err
 	}
 	// Attach after warmup so the trace/metrics cover only the measured run.
-	p.SetObserver(opts.obs)
-	return p.Run(n)
+	sess.SetObserver(opts.obs)
+	return sess.Run(ctx, n)
 }
 
 // runAsm simulates a kernel file through the mini-ISA interpreter.
@@ -271,26 +267,30 @@ func runAsm(path string, sch core.Scheme, vdd float64, n, seed uint64, bias floa
 	if err != nil {
 		return err
 	}
+	// Assemble once up front for the static-instruction count; the session
+	// assembles its own copy (assembly is deterministic and cheap).
 	prog, err := asm.Assemble(string(src))
 	if err != nil {
 		return err
 	}
-	m := asm.NewMachine(prog)
-	cfg := pipeline.DefaultConfig()
-	cfg.Scheme = sch
-	cfg.Seed = seed
-	fc := fault.DefaultConfig(seed)
-	fc.Bias = bias
-	p, err := pipeline.New(cfg, m, fault.New(fc), vdd)
+	var m *asm.Machine
+	sess, err := sim.NewAsm(sim.Config{
+		Scheme:    sch,
+		VDD:       vdd,
+		Warmup:    n / 4,
+		Seed:      seed,
+		FaultBias: bias,
+	}, string(src), func(mm *asm.Machine) { m = mm })
 	if err != nil {
 		return err
 	}
-	if err := p.Warmup(n / 4); err != nil {
+	ctx := context.Background()
+	if err := sess.Warmup(ctx); err != nil {
 		return err
 	}
 	oset := newObservers(traceF != "", metricF, stackF)
-	p.SetObserver(oset.combined())
-	st, err := p.Run(n)
+	sess.SetObserver(oset.combined())
+	st, err := sess.Run(ctx, n)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,87 @@
+package bpred
+
+import (
+	"testing"
+
+	"tvsched/internal/rng"
+	"tvsched/internal/snap"
+)
+
+// TestPredictorSnapshotRoundTrip trains a predictor on a pseudo-random
+// branch stream, restores it into a fresh predictor, and requires identical
+// predictions and training outcomes afterwards.
+func TestPredictorSnapshotRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	src := rng.New(11)
+	branch := func() (pc uint64, taken bool, tgt uint64) {
+		pc = uint64(0x400000 + 4*src.Intn(4000))
+		taken = src.Bool(0.6)
+		tgt = pc + uint64(4*(1+src.Intn(50)))
+		return
+	}
+	for i := 0; i < 30000; i++ {
+		pc, taken, tgt := branch()
+		p.Update(pc, taken, tgt)
+	}
+	p.PushRAS(0x1234)
+	p.PushRAS(0x5678)
+
+	var w snap.Writer
+	p.AppendState(&w)
+	p2 := New(cfg)
+	if err := p2.ReadState(snap.NewReader(w.B)); err != nil {
+		t.Fatal(err)
+	}
+	// Restore zeroes statistics (the warmup-boundary contract); zero the
+	// original's too so both accumulate from the same point below.
+	p.Stats = Stats{}
+	if p2.History() != p.History() {
+		t.Fatal("history not restored")
+	}
+	if a, b := p.PopRAS(), p2.PopRAS(); a != b {
+		t.Fatalf("RAS diverged: %#x vs %#x", a, b)
+	}
+	for i := 0; i < 30000; i++ {
+		pc, taken, tgt := branch()
+		t1, g1 := p.Predict(pc)
+		t2, g2 := p2.Predict(pc)
+		if t1 != t2 || g1 != g2 {
+			t.Fatalf("prediction diverged at %d", i)
+		}
+		if c1, c2 := p.Update(pc, taken, tgt), p2.Update(pc, taken, tgt); c1 != c2 {
+			t.Fatalf("training diverged at %d", i)
+		}
+	}
+	if p.Stats != p2.Stats {
+		t.Fatal("post-restore statistics diverged")
+	}
+}
+
+func TestPredictorSnapshotGeometryMismatch(t *testing.T) {
+	p := New(DefaultConfig())
+	var w snap.Writer
+	p.AppendState(&w)
+	small := New(Config{HistoryBits: 4, BTBEntries: 16, RASEntries: 4})
+	if err := small.ReadState(snap.NewReader(w.B)); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+func TestOracleNoiseSnapshotRoundTrip(t *testing.T) {
+	o := NewOracleNoise(0.05, 9)
+	for i := 0; i < 1000; i++ {
+		o.Mispredict()
+	}
+	var w snap.Writer
+	o.AppendState(&w)
+	o2 := NewOracleNoise(0.05, 1) // wrong seed, stream overwritten
+	if err := o2.ReadState(snap.NewReader(w.B)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if o.Mispredict() != o2.Mispredict() {
+			t.Fatalf("noise streams diverged at %d", i)
+		}
+	}
+}

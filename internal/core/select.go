@@ -1,7 +1,5 @@
 package core
 
-import "sort"
-
 // Policy is an issue-selection priority scheme (§3.5).
 type Policy uint8
 
@@ -66,40 +64,49 @@ type Candidate struct {
 // policy p, given the current value of the issue queue's allocation counter
 // (for modulo-64 age comparison). The sort is deterministic: ties break by
 // age and then by Index.
+//
+// The comparison is a strict total order (priority, then age, then the unique
+// Index), so the simple insertion sort below produces exactly the ordering
+// sort.SliceStable used to — without the closure and interface-header
+// allocations that put the standard sort on the heap profile of every
+// simulated cycle. Candidate slices are issue-queue sized (tens of entries),
+// where insertion sort is also the faster algorithm.
 func Order(p Policy, cands []Candidate, now uint8) {
-	older := func(a, b Candidate) bool {
-		aa, ab := Age(a.Timestamp, now), Age(b.Timestamp, now)
-		if aa != ab {
-			return aa > ab
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		j := i - 1
+		for j >= 0 && orderBefore(p, c, cands[j], now) {
+			cands[j+1] = cands[j]
+			j--
 		}
-		return a.Index < b.Index
+		cands[j+1] = c
 	}
-	var prio func(c Candidate) int
+}
+
+// orderBefore reports whether a outranks b under policy p.
+func orderBefore(p Policy, a, b Candidate, now uint8) bool {
+	if pa, pb := selPrio(p, a), selPrio(p, b); pa != pb {
+		return pa > pb
+	}
+	if aa, ab := Age(a.Timestamp, now), Age(b.Timestamp, now); aa != ab {
+		return aa > ab
+	}
+	return a.Index < b.Index
+}
+
+// selPrio is the policy's priority class: 1 selects ahead of 0.
+func selPrio(p Policy, c Candidate) int {
 	switch p {
 	case FaultyFirst:
-		prio = func(c Candidate) int {
-			if c.Faulty {
-				return 1
-			}
-			return 0
+		if c.Faulty {
+			return 1
 		}
 	case CriticalityDriven:
-		prio = func(c Candidate) int {
-			if c.Faulty && c.Critical {
-				return 1
-			}
-			return 0
+		if c.Faulty && c.Critical {
+			return 1
 		}
-	default: // AgeBased
-		prio = func(Candidate) int { return 0 }
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		pi, pj := prio(cands[i]), prio(cands[j])
-		if pi != pj {
-			return pi > pj
-		}
-		return older(cands[i], cands[j])
-	})
+	return 0
 }
 
 // CDL is the Criticality Detection Logic of §3.5.2: when an instruction

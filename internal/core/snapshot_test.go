@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"tvsched/internal/snap"
+)
+
+func TestFUSRSnapshotRoundTrip(t *testing.T) {
+	f := NewFUSR(3, 1, 2)
+	f.Issue(0, 10, 1, true, false)
+	f.Issue(3, 10, 12, false, true)
+	f.Freeze(4, 20)
+
+	var w snap.Writer
+	f.AppendState(&w)
+	f2 := NewFUSR(3, 1, 2)
+	if err := f2.ReadState(snap.NewReader(w.B)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < f.NumLanes(); i++ {
+		if f.NextFree(i) != f2.NextFree(i) {
+			t.Fatalf("lane %d reservation %d != %d", i, f.NextFree(i), f2.NextFree(i))
+		}
+	}
+}
+
+func TestFUSRSnapshotLaneMismatch(t *testing.T) {
+	f := NewFUSR(3, 1, 2)
+	var w snap.Writer
+	f.AppendState(&w)
+	if err := NewFUSR(2, 1, 2).ReadState(snap.NewReader(w.B)); err == nil {
+		t.Fatal("lane count mismatch accepted")
+	}
+	// Same count, different kind layout must also be rejected.
+	if err := NewFUSR(4, 1, 1).ReadState(snap.NewReader(w.B)); err == nil {
+		t.Fatal("lane kind mismatch accepted")
+	}
+}

@@ -11,8 +11,7 @@ import (
 	"tvsched/internal/fault"
 	"tvsched/internal/hazard"
 	"tvsched/internal/obs"
-	"tvsched/internal/pipeline"
-	"tvsched/internal/workload"
+	"tvsched/internal/sim"
 )
 
 // This file implements the storm campaign behind cmd/tvstorm: hazard
@@ -186,25 +185,18 @@ func (w *worstWindowObs) Event(e obs.Event) {
 // stormCell runs one twin of one cell and summarizes it.
 func stormCell(ctx context.Context, cfg StormConfig, sc hazard.Scenario,
 	scheme core.Scheme, seed uint64, supervised bool) (StormOutcome, error) {
-	prof, err := workload.Lookup(cfg.Bench)
-	if err != nil {
-		return StormOutcome{}, err
+	scfg := sim.Config{
+		Benchmark: cfg.Bench,
+		Scheme:    scheme,
+		VDD:       cfg.VDD,
+		Warmup:    cfg.Warmup,
+		Seed:      seed,
 	}
-	gen, err := workload.NewGenerator(prof, seed)
-	if err != nil {
-		return StormOutcome{}, err
-	}
-	pcfg := pipeline.DefaultConfig()
-	pcfg.Scheme = scheme
-	pcfg.MispredictRate = prof.MispredictRate
-	pcfg.Seed = seed
 	if supervised {
 		pol := cfg.Policy
-		pcfg.Supervisor = &pol
+		scfg.Supervisor = &pol
 	}
-	fc := fault.DefaultConfig(seed)
-	fc.Bias = prof.FaultBias
-	p, err := pipeline.New(pcfg, gen, fault.New(fc), cfg.VDD)
+	sess, err := sim.New(scfg)
 	if err != nil {
 		return StormOutcome{}, err
 	}
@@ -213,23 +205,22 @@ func stormCell(ctx context.Context, cfg StormConfig, sc hazard.Scenario,
 		horizon = cfg.Insts
 	}
 	tl := sc.Build(seed, horizon)
-	p.SetHazard(tl)
-	p.PrefillData(gen.WarmRegion())
+	sess.SetHazard(tl)
 
 	window := cfg.Window
 	if window == 0 {
 		window = cfg.Policy.Window
 	}
 	w := &worstWindowObs{window: window}
-	p.SetObserver(w)
+	sess.SetObserver(w)
 
 	out := StormOutcome{}
-	if err := p.WarmupContext(ctx, cfg.Warmup); err != nil {
+	if err := sess.Warmup(ctx); err != nil {
 		if ctx.Err() != nil {
 			return StormOutcome{}, err
 		}
 		out.Error = err.Error()
-	} else if st, err := p.RunContext(ctx, cfg.Insts); err != nil {
+	} else if st, err := sess.Run(ctx, cfg.Insts); err != nil {
 		if ctx.Err() != nil {
 			return StormOutcome{}, err
 		}
@@ -245,7 +236,7 @@ func stormCell(ctx context.Context, cfg StormConfig, sc hazard.Scenario,
 	}
 	w.flush(w.last)
 	out.WorstWindowCPI = w.worst
-	if sup := p.Supervisor(); sup != nil {
+	if sup := sess.Supervisor(); sup != nil {
 		out.FinalLevel = sup.Level()
 	}
 	if w.detect > 0 {

@@ -18,6 +18,7 @@ import (
 	"tvsched/internal/fault"
 	"tvsched/internal/obs"
 	"tvsched/internal/pipeline"
+	"tvsched/internal/sim"
 	"tvsched/internal/workload"
 )
 
@@ -137,33 +138,25 @@ func SimulatePhased(bench string, scheme core.Scheme, vdd float64, cfg Config, p
 
 // SimulatePhasedContext is SimulatePhased with cancellation.
 func SimulatePhasedContext(ctx context.Context, bench string, scheme core.Scheme, vdd float64, cfg Config, phases int) (Run, error) {
-	prof, err := workload.Lookup(bench)
-	if err != nil {
-		return Run{}, err
-	}
-	gen, err := workload.NewGenerator(prof, cfg.Seed)
-	if err != nil {
-		return Run{}, err
-	}
-	pcfg := pipeline.DefaultConfig()
-	pcfg.Scheme = scheme
-	pcfg.MispredictRate = prof.MispredictRate
-	pcfg.Seed = cfg.Seed
-	pcfg.Debug = cfg.Debug
-	pcfg.Observer = cfg.Observer
+	observer := cfg.Observer
 	if s, ok := cfg.Observer.(obs.Sharder); ok {
 		sh := s.Shard()
-		pcfg.Observer = sh
+		observer = sh
 		defer sh.Flush()
 	}
-	fc := fault.DefaultConfig(cfg.Seed)
-	fc.Bias = prof.FaultBias
-	p, err := pipeline.New(pcfg, gen, fault.New(fc), vdd)
+	sess, err := sim.New(sim.Config{
+		Benchmark: bench,
+		Scheme:    scheme,
+		VDD:       vdd,
+		Warmup:    cfg.Warmup,
+		Seed:      cfg.Seed,
+		Observer:  observer,
+		Debug:     cfg.Debug,
+	})
 	if err != nil {
 		return Run{}, err
 	}
-	p.PrefillData(gen.WarmRegion())
-	if err := p.WarmupContext(ctx, cfg.Warmup); err != nil {
+	if err := sess.Warmup(ctx); err != nil {
 		return Run{}, err
 	}
 	if phases < 1 {
@@ -183,7 +176,7 @@ func SimulatePhasedContext(ctx context.Context, bench string, scheme core.Scheme
 		if i == phases-1 {
 			n = cfg.Insts - per*uint64(phases-1) // remainder into the last phase
 		}
-		st, err = p.RunContext(ctx, n)
+		st, err = sess.Run(ctx, n)
 		if err != nil {
 			return Run{}, err
 		}

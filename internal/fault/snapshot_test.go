@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"tvsched/internal/snap"
+)
+
+// TestEnvSnapshotRoundTrip steps an environment, snapshots it, restores into
+// a fresh one retargeted at a different voltage, and requires the thermal
+// trajectories to track exactly.
+func TestEnvSnapshotRoundTrip(t *testing.T) {
+	e := NewEnv(VNominal, 7)
+	for i := 0; i < 5000; i++ {
+		e.Step()
+	}
+	var w snap.Writer
+	if err := e.AppendState(&w); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := NewEnv(VHighFault, 99) // wrong seed and voltage, all overwritten
+	if err := e2.ReadState(snap.NewReader(w.B)); err != nil {
+		t.Fatal(err)
+	}
+	if e2.VDD() != VNominal || e2.Cycle() != e.Cycle() {
+		t.Fatalf("identity not restored: vdd=%v cycle=%d", e2.VDD(), e2.Cycle())
+	}
+	// Retarget both to the same faulty supply, as a restore-then-run does.
+	e.SetVDD(VHighFault)
+	e2.SetVDD(VHighFault)
+	for i := 0; i < 5000; i++ {
+		e.Step()
+		e2.Step()
+		if e.Thermal() != e2.Thermal() || e.DelayScale() != e2.DelayScale() {
+			t.Fatalf("trajectories diverged at step %d", i)
+		}
+	}
+}
+
+func TestEnvSnapshotRefusesHazard(t *testing.T) {
+	e := NewEnv(VNominal, 1)
+	e.SetHazard(HazardFunc(func(uint64) Perturbation { return Neutral() }))
+	var w snap.Writer
+	if err := e.AppendState(&w); !errors.Is(err, ErrHazardSnapshot) {
+		t.Fatalf("hazard snapshot accepted: %v", err)
+	}
+	e2 := NewEnv(VNominal, 1)
+	e2.SetHazard(HazardFunc(func(uint64) Perturbation { return Neutral() }))
+	if err := e2.ReadState(snap.NewReader(nil)); !errors.Is(err, ErrHazardSnapshot) {
+		t.Fatalf("hazard restore accepted: %v", err)
+	}
+}
+
+func TestEnvSnapshotTruncated(t *testing.T) {
+	e := NewEnv(VNominal, 1)
+	if err := e.ReadState(snap.NewReader([]byte{1})); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

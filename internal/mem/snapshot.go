@@ -1,0 +1,79 @@
+package mem
+
+import (
+	"fmt"
+
+	"tvsched/internal/snap"
+)
+
+// AppendState serializes the cache's tag/LRU state sparsely: per set, only
+// the valid lines (way index, tag, LRU stamp). Lines are never invalidated
+// outside Reset, so invalid ways are always the zero value and need no
+// bytes. Statistics are not serialized — snapshots are taken at the warmup
+// boundary, where the pipeline zeroes them anyway.
+func (c *Cache) AppendState(w *snap.Writer) {
+	w.U64(c.stamp)
+	for si := range c.sets {
+		set := c.sets[si]
+		n := 0
+		for wi := range set {
+			if set[wi].valid {
+				n++
+			}
+		}
+		w.U8(uint8(n))
+		for wi := range set {
+			if set[wi].valid {
+				w.U8(uint8(wi))
+				w.U64(set[wi].tag)
+				w.U64(set[wi].lru)
+			}
+		}
+	}
+}
+
+// ReadState restores state written by AppendState into a cache of identical
+// geometry (the caller validates geometry via the config digest before
+// getting here; this method still bounds-checks the encoded way indices).
+// Statistics are zeroed.
+func (c *Cache) ReadState(r *snap.Reader) error {
+	c.stamp = r.U64()
+	for si := range c.sets {
+		set := c.sets[si]
+		for wi := range set {
+			set[wi] = line{}
+		}
+		n := int(r.U8())
+		if n > len(set) {
+			return fmt.Errorf("%w: %s set %d has %d valid ways of %d",
+				snap.ErrCorrupt, c.cfg.Name, si, n, len(set))
+		}
+		for k := 0; k < n; k++ {
+			wi := int(r.U8())
+			if wi >= len(set) {
+				return fmt.Errorf("%w: %s way index %d out of range", snap.ErrCorrupt, c.cfg.Name, wi)
+			}
+			set[wi] = line{tag: r.U64(), lru: r.U64(), valid: true}
+		}
+	}
+	c.Stats = CacheStats{}
+	return r.Err()
+}
+
+// AppendState serializes all three cache levels.
+func (h *Hierarchy) AppendState(w *snap.Writer) {
+	h.L1I.AppendState(w)
+	h.L1D.AppendState(w)
+	h.L2.AppendState(w)
+}
+
+// ReadState restores all three cache levels.
+func (h *Hierarchy) ReadState(r *snap.Reader) error {
+	if err := h.L1I.ReadState(r); err != nil {
+		return err
+	}
+	if err := h.L1D.ReadState(r); err != nil {
+		return err
+	}
+	return h.L2.ReadState(r)
+}

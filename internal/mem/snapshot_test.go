@@ -1,0 +1,67 @@
+package mem
+
+import (
+	"testing"
+
+	"tvsched/internal/rng"
+	"tvsched/internal/snap"
+)
+
+// TestHierarchySnapshotRoundTrip exercises a hierarchy with a mixed access
+// pattern, snapshots it, restores into a fresh hierarchy of the same
+// geometry, and requires identical hit/miss behaviour afterwards.
+func TestHierarchySnapshotRoundTrip(t *testing.T) {
+	cfg := DefaultHierarchy()
+	h := NewHierarchy(cfg)
+	src := rng.New(3)
+	addr := func() uint64 { return uint64(src.Intn(1<<22)) &^ 7 }
+	for i := 0; i < 20000; i++ {
+		if src.Bool(0.2) {
+			h.InstAccess(addr())
+		} else {
+			h.DataAccess(addr())
+		}
+	}
+
+	var w snap.Writer
+	h.AppendState(&w)
+	h2 := NewHierarchy(cfg)
+	if err := h2.ReadState(snap.NewReader(w.B)); err != nil {
+		t.Fatal(err)
+	}
+	// Restore zeroes statistics (the warmup-boundary contract); zero the
+	// original's too so both accumulate from the same point below.
+	h.L1I.Stats, h.L1D.Stats, h.L2.Stats = CacheStats{}, CacheStats{}, CacheStats{}
+
+	for i := 0; i < 20000; i++ {
+		a := addr()
+		if src.Bool(0.2) {
+			if l1, l2 := h.InstAccess(a), h2.InstAccess(a); l1 != l2 {
+				t.Fatalf("InstAccess(%#x) diverged at %d: %d vs %d", a, i, l1, l2)
+			}
+		} else {
+			if l1, l2 := h.DataAccess(a), h2.DataAccess(a); l1 != l2 {
+				t.Fatalf("DataAccess(%#x) diverged at %d: %d vs %d", a, i, l1, l2)
+			}
+		}
+	}
+	// Post-restore stats must agree too (both started from zero).
+	if h.L1D.Stats != h2.L1D.Stats || h.L2.Stats != h2.L2.Stats || h.L1I.Stats != h2.L1I.Stats {
+		t.Fatal("post-restore statistics diverged")
+	}
+}
+
+func TestCacheSnapshotCorrupt(t *testing.T) {
+	c := NewCache(DefaultHierarchy().L1D)
+	if err := c.ReadState(snap.NewReader([]byte{0, 1, 2})); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	// An out-of-range way count must be rejected.
+	var w snap.Writer
+	w.U64(1)  // stamp
+	w.U8(200) // way count far above associativity
+	c2 := NewCache(DefaultHierarchy().L1D)
+	if err := c2.ReadState(snap.NewReader(w.B)); err == nil {
+		t.Fatal("bogus way count accepted")
+	}
+}

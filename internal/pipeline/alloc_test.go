@@ -1,0 +1,49 @@
+//go:build !race
+
+package pipeline
+
+import (
+	"testing"
+
+	"tvsched/internal/fault"
+	"tvsched/internal/workload"
+)
+
+// TestCycleLoopZeroAlloc pins the observer-off steady-state cycle loop at
+// zero heap allocations per run: dynInst records recycle through the arena,
+// the front-end ring never reallocates, and select/issue use no closures.
+// Guarded by !race because the race runtime changes allocation behaviour.
+func TestCycleLoopZeroAlloc(t *testing.T) {
+	prof, err := workload.Lookup("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MispredictRate = prof.MispredictRate
+	cfg.Seed = 42
+	fcfg := fault.DefaultConfig(42)
+	fcfg.Bias = prof.FaultBias
+	p, err := New(cfg, gen, fault.New(fcfg), fault.VHighFault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PrefillData(gen.WarmRegion())
+	// Reach steady state: caches, predictor, TEP and the store-forwarding
+	// map are all warm, so the measured window exercises only the recycled
+	// fast path.
+	if err := p.Warmup(30000); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := p.Run(2000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cycle loop allocates: %.1f allocs per 2000-instruction run, want 0", allocs)
+	}
+}

@@ -143,15 +143,20 @@ func (p *Pipeline) CheckInvariants() error {
 	}
 
 	// Front-end queue: bounded, in fetch order, strictly younger than the ROB.
-	if len(p.frontQ) > p.cfg.FrontQ {
-		fail("frontQ holds %d entries, capacity %d", len(p.frontQ), p.cfg.FrontQ)
+	if p.frontCount > p.cfg.FrontQ {
+		fail("frontQ holds %d entries, capacity %d", p.frontCount, p.cfg.FrontQ)
 	}
-	for i, e := range p.frontQ {
+	for i := 0; i < p.frontCount; i++ {
+		e := p.frontAt(i)
+		if e == nil {
+			fail("nil frontQ entry at slot %d", i)
+			continue
+		}
 		if e.inIQ || e.issued || e.retired {
 			fail("frontQ[%d] (seq %d) already entered the window", i, e.seq)
 		}
-		if i > 0 && e.seq <= p.frontQ[i-1].seq {
-			fail("frontQ seq not strictly increasing: %d after %d", e.seq, p.frontQ[i-1].seq)
+		if i > 0 && p.frontAt(i-1) != nil && e.seq <= p.frontAt(i-1).seq {
+			fail("frontQ seq not strictly increasing: %d after %d", e.seq, p.frontAt(i-1).seq)
 		}
 		if p.robCount > 0 && e.seq <= maxSeq {
 			fail("frontQ[%d] (seq %d) not younger than ROB tail (seq %d)", i, e.seq, maxSeq)
@@ -183,8 +188,8 @@ func (p *Pipeline) CheckDrained() error {
 	if len(p.iq) != 0 {
 		fail("%d instructions still in the issue queue", len(p.iq))
 	}
-	if len(p.frontQ) != 0 {
-		fail("%d instructions still in the front-end queue", len(p.frontQ))
+	if p.frontCount != 0 {
+		fail("%d instructions still in the front-end queue", p.frontCount)
 	}
 	if len(p.replayQ) != 0 {
 		fail("%d squashed instructions still awaiting re-fetch", len(p.replayQ))

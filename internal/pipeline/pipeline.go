@@ -69,8 +69,13 @@ type Pipeline struct {
 	seq   uint64
 	stats Stats
 
-	// Front end.
+	// Front end. frontQ is a fixed-capacity ring (len == cfg.FrontQ):
+	// occupied slots are [frontHead, frontHead+frontCount) modulo the length.
+	// A ring instead of an appended-and-resliced slice keeps dispatch's
+	// pop-front from shedding capacity and forcing fetch to reallocate.
 	frontQ         []*dynInst
+	frontHead      int
+	frontCount     int
 	pendingNew     *dynInst
 	fetchResumeAt  uint64
 	fetchBlockedBy *dynInst
@@ -106,6 +111,15 @@ type Pipeline struct {
 	pendingIFetch uint64
 
 	cands []core.Candidate // select-stage scratch
+
+	// dynInst recycling. The steady-state cycle loop must not allocate (the
+	// checkpointed-sweep throughput gate depends on it), so dynInst records
+	// come from a pre-sized free list and return to it after retirement.
+	// pendingFree holds the instructions retired this cycle; recycleRetired
+	// moves them to freeList at the top of the next cycle, by which point no
+	// queue or wakeup link can still reference them (see recycleRetired).
+	freeList    []*dynInst
+	pendingFree []*dynInst
 }
 
 // New builds a pipeline running the given scheme at supply voltage vdd.
@@ -126,12 +140,27 @@ func New(cfg Config, src Source, model FaultOracle, vdd float64) (*Pipeline, err
 		fusr:          core.NewFUSR(cfg.SimpleALUs, cfg.ComplexALUs, cfg.MemPorts),
 		cdl:           core.CDL{CT: cfg.CT},
 		rob:           make([]*dynInst, cfg.ROBSize),
+		frontQ:        make([]*dynInst, cfg.FrontQ),
+		iq:            make([]*dynInst, 0, cfg.IQSize),
+		cands:         make([]core.Candidate, 0, cfg.IQSize),
 		freePhys:      cfg.NumPhys - isa.NumArchRegs,
 		storeAt:       make(map[uint64]int),
 		lastFetchLine: ^uint64(0),
 		samplePeriod:  cfg.SamplePeriod,
 		scheme:        cfg.Scheme,
 	}
+	// dynInst arena: in the default (selective-replay) recovery mode at most
+	// ROBSize + FrontQ instructions are resident, plus one pending fetch, one
+	// deferred fetch blocker, and a retire group awaiting recycling. Full-flush
+	// recovery can briefly exceed this via the re-fetch queue; allocDyn then
+	// falls back to the heap, so the bound only needs to cover the fast path.
+	arenaCap := cfg.ROBSize + cfg.FrontQ + cfg.Width + 2
+	arena := make([]dynInst, arenaCap)
+	p.freeList = make([]*dynInst, arenaCap)
+	for i := range arena {
+		p.freeList[i] = &arena[i]
+	}
+	p.pendingFree = make([]*dynInst, 0, cfg.Width+1)
 	if p.samplePeriod == 0 {
 		p.samplePeriod = 64
 	}
@@ -361,6 +390,9 @@ func (p *Pipeline) applySupervisor(d core.SupDecision) {
 func (p *Pipeline) step() {
 	p.cycle++
 	p.stats.Cycles++
+	if len(p.pendingFree) > 0 {
+		p.recycleRetired()
+	}
 	p.env.Step()
 
 	if p.sup != nil {
@@ -385,7 +417,7 @@ func (p *Pipeline) step() {
 	// stall-heavy schemes (EP) and disagree with the KindSample series.
 	p.stats.SumIQOcc += uint64(len(p.iq))
 	p.stats.SumROBOcc += uint64(p.robCount)
-	p.stats.SumFrontQ += uint64(len(p.frontQ))
+	p.stats.SumFrontQ += uint64(p.frontCount)
 
 	// EP whole-pipeline stall: the faulty stage completes in two cycles
 	// while every other stage recirculates its inputs (§2.2, §5). The stall
@@ -475,6 +507,58 @@ func (p *Pipeline) emitDispatchStall(cause uint64, budget int) {
 		A: cause, B: uint64(budget)})
 }
 
+// ------------------------------------------------------- dynInst recycling --
+
+// allocDyn takes a record from the free list, falling back to the heap when
+// the arena bound is exceeded (only possible under full-flush recovery).
+func (p *Pipeline) allocDyn() *dynInst {
+	if n := len(p.freeList) - 1; n >= 0 {
+		di := p.freeList[n]
+		p.freeList[n] = nil
+		p.freeList = p.freeList[:n]
+		return di
+	}
+	return &dynInst{}
+}
+
+// recycleRetired returns the instructions retired last cycle to the free
+// list. Deferring the recycle one cycle makes it provably safe: by the top of
+// the cycle after retirement no live structure references a retired record —
+// wakeup's operandsReady sweep clears broadcast src links the cycle the
+// producer's result is ready (strictly before it can retire), the rename map
+// entry is cleared at retirement, and the re-fetch/flush queues only ever
+// hold squashed (never retired) instructions. The one remaining reference is
+// the fetch redirect blocker, which stays deferred here until fetch drops it.
+func (p *Pipeline) recycleRetired() {
+	kept := p.pendingFree[:0]
+	for _, di := range p.pendingFree {
+		if di == p.fetchBlockedBy {
+			kept = append(kept, di)
+			continue
+		}
+		p.freeList = append(p.freeList, di)
+	}
+	p.pendingFree = kept
+}
+
+// ------------------------------------------------------- front-end ring --
+
+func (p *Pipeline) frontPush(di *dynInst) {
+	p.frontQ[(p.frontHead+p.frontCount)%len(p.frontQ)] = di
+	p.frontCount++
+}
+
+func (p *Pipeline) frontPop() {
+	p.frontQ[p.frontHead] = nil
+	p.frontHead = (p.frontHead + 1) % len(p.frontQ)
+	p.frontCount--
+}
+
+// frontAt returns the i-th queued instruction in fetch order (0 is oldest).
+func (p *Pipeline) frontAt(i int) *dynInst {
+	return p.frontQ[(p.frontHead+i)%len(p.frontQ)]
+}
+
 // ---------------------------------------------------------------- fetch --
 
 // newDyn pulls the next instruction from the trace and fixes its dynamic
@@ -482,7 +566,8 @@ func (p *Pipeline) emitDispatchStall(cause uint64, budget int) {
 // violate in at the current voltage) and the oracle branch outcome.
 func (p *Pipeline) newDyn() *dynInst {
 	in := p.src.Next()
-	di := &dynInst{seq: p.seq, in: in}
+	di := p.allocDyn()
+	*di = dynInst{seq: p.seq, in: in}
 	p.seq++
 	di.resetPipelineState()
 
@@ -551,7 +636,7 @@ func (p *Pipeline) fetch() {
 		}
 		return
 	}
-	for budget := p.cfg.Width; budget > 0 && len(p.frontQ) < p.cfg.FrontQ; budget-- {
+	for budget := p.cfg.Width; budget > 0 && p.frontCount < p.cfg.FrontQ; budget-- {
 		di := p.peekFetch()
 		if di == nil {
 			return
@@ -605,7 +690,7 @@ func (p *Pipeline) fetch() {
 		if p.scheme.UsesTEP() {
 			di.pred = p.tep.Lookup(di.in.PC, di.history, p.env.Favorable())
 		}
-		p.frontQ = append(p.frontQ, di)
+		p.frontPush(di)
 		if di.mispredict {
 			p.fetchBlockedBy = di
 			return
@@ -616,8 +701,8 @@ func (p *Pipeline) fetch() {
 // -------------------------------------------------------------- dispatch --
 
 func (p *Pipeline) dispatch() {
-	for budget := p.cfg.Width; budget > 0 && len(p.frontQ) > 0; budget-- {
-		di := p.frontQ[0]
+	for budget := p.cfg.Width; budget > 0 && p.frontCount > 0; budget-- {
+		di := p.frontQ[p.frontHead]
 		if di.availAt > p.cycle {
 			return
 		}
@@ -677,7 +762,7 @@ func (p *Pipeline) dispatch() {
 			}
 		}
 
-		p.frontQ = p.frontQ[1:]
+		p.frontPop()
 		di.inIQ = true
 		di.timestamp = p.iqAlloc & core.TimestampMask
 		p.iqAlloc++
@@ -777,56 +862,13 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 	issueFreeze := false  // issue-stage CAM fault: slot freeze is the only cost
 	replayStage := isa.NumStages
 
-	handle := func(stage isa.Stage) {
-		predicted := p.scheme.UsesTEP() && di.predictedAt(stage)
-		actual := di.actualAt(stage)
-		if predicted {
-			act := core.Respond(p.scheme, true, stage)
-			switch act {
-			case core.ActConfined:
-				if stage == isa.Issue {
-					// §3.3.1: the violation is in the wakeup/select CAM.
-					// The issue slot for the functional unit freezes for one
-					// cycle, so the wakeup lane's inputs stay steady for two
-					// cycles and the CAM computation completes. With the
-					// two-stage issue of Core-1 (wakeup then select), the
-					// extra CAM cycle overlaps the select stage: neither the
-					// faulty instruction nor its dependents are delayed —
-					// the entire cost is the frozen issue slot. (Contrast
-					// execute-stage faults, Figure 2, where the result
-					// itself is late and dependents must be held back.)
-					issueFreeze = true
-				} else {
-					extra[stage] = 1
-					if stage != isa.Writeback {
-						bcastDelay++ // dependents wake one cycle later (§3.2.2)
-					}
-				}
-				p.stats.ConfinedEvents++
-			case core.ActGlobalStall:
-				extra[stage] = 1
-				p.globalFreeze++
-			}
-			if actual {
-				p.stats.PredictedFaults++
-				di.replaySafe = true // the extra cycle covers the violation
-			} else {
-				p.stats.FalsePositives++
-			}
-			if p.obs != nil {
-				p.emitPredicted(di, stage, actual, act)
-			}
-		} else if actual && replayStage == isa.NumStages {
-			replayStage = stage
-		}
-	}
-	handle(isa.Issue)
-	handle(isa.RegRead)
-	handle(isa.Execute)
+	p.handleStage(di, isa.Issue, &extra, &bcastDelay, &issueFreeze, &replayStage)
+	p.handleStage(di, isa.RegRead, &extra, &bcastDelay, &issueFreeze, &replayStage)
+	p.handleStage(di, isa.Execute, &extra, &bcastDelay, &issueFreeze, &replayStage)
 	if isMem {
-		handle(isa.Memory)
+		p.handleStage(di, isa.Memory, &extra, &bcastDelay, &issueFreeze, &replayStage)
 	}
-	handle(isa.Writeback)
+	p.handleStage(di, isa.Writeback, &extra, &bcastDelay, &issueFreeze, &replayStage)
 
 	// Unpredicted violation: Razor-style error recovery (§2.1.2). The
 	// shadow-latch path corrects the errant computation and the instruction
@@ -958,6 +1000,55 @@ func (p *Pipeline) issueInst(di *dynInst, lane int) {
 	}
 }
 
+// handleStage applies the violation-aware handling of §3.2/§3.3 for one OoO
+// stage di will traverse, accumulating timing adjustments into the caller's
+// locals. A method with out-parameters rather than a closure so the hot
+// issue path stays off the heap.
+func (p *Pipeline) handleStage(di *dynInst, stage isa.Stage,
+	extra *[isa.NumStages]uint64, bcastDelay *uint64, issueFreeze *bool, replayStage *isa.Stage) {
+	predicted := p.scheme.UsesTEP() && di.predictedAt(stage)
+	actual := di.actualAt(stage)
+	if predicted {
+		act := core.Respond(p.scheme, true, stage)
+		switch act {
+		case core.ActConfined:
+			if stage == isa.Issue {
+				// §3.3.1: the violation is in the wakeup/select CAM.
+				// The issue slot for the functional unit freezes for one
+				// cycle, so the wakeup lane's inputs stay steady for two
+				// cycles and the CAM computation completes. With the
+				// two-stage issue of Core-1 (wakeup then select), the
+				// extra CAM cycle overlaps the select stage: neither the
+				// faulty instruction nor its dependents are delayed —
+				// the entire cost is the frozen issue slot. (Contrast
+				// execute-stage faults, Figure 2, where the result
+				// itself is late and dependents must be held back.)
+				*issueFreeze = true
+			} else {
+				extra[stage] = 1
+				if stage != isa.Writeback {
+					*bcastDelay++ // dependents wake one cycle later (§3.2.2)
+				}
+			}
+			p.stats.ConfinedEvents++
+		case core.ActGlobalStall:
+			extra[stage] = 1
+			p.globalFreeze++
+		}
+		if actual {
+			p.stats.PredictedFaults++
+			di.replaySafe = true // the extra cycle covers the violation
+		} else {
+			p.stats.FalsePositives++
+		}
+		if p.obs != nil {
+			p.emitPredicted(di, stage, actual, act)
+		}
+	} else if actual && *replayStage == isa.NumStages {
+		*replayStage = stage
+	}
+}
+
 // --------------------------------------------------------------- replay --
 
 // recoverInOrder handles an unpredicted violation in the in-order engine
@@ -1016,11 +1107,15 @@ func (p *Pipeline) flushReplay(di *dynInst) {
 	}
 
 	// Front-end instructions are younger than everything in the ROB.
-	for _, fq := range p.frontQ {
+	for i := 0; i < p.frontCount; i++ {
+		fq := p.frontAt(i)
 		fq.resetPipelineState()
 		squashed = append(squashed, fq)
 	}
-	p.frontQ = p.frontQ[:0]
+	for i := range p.frontQ {
+		p.frontQ[i] = nil
+	}
+	p.frontHead, p.frontCount = 0, 0
 	p.replayQ = append(squashed, p.replayQ...)
 
 	// Rebuild the rename map from the surviving window.
@@ -1122,6 +1217,13 @@ func (p *Pipeline) retire() {
 		di.retired = true
 		if di.in.Dest > 0 {
 			p.freePhys++
+			// Drop the rename-map reference so the record can be recycled.
+			// Behaviour-identical: rename only links producers whose result is
+			// still pending (depReadyAt > cycle), which a retired instruction
+			// never is.
+			if p.writers[di.in.Dest] == di {
+				p.writers[di.in.Dest] = nil
+			}
 		}
 		switch di.in.Class {
 		case isa.Load:
@@ -1148,6 +1250,7 @@ func (p *Pipeline) retire() {
 				Seq: di.seq, PC: di.in.PC, Class: di.in.Class,
 				Lane: int16(di.lane), A: di.selectedAt})
 		}
+		p.pendingFree = append(p.pendingFree, di)
 	}
 }
 
@@ -1168,8 +1271,8 @@ func (p *Pipeline) shiftInFlight() {
 			di.fillAt++
 		}
 	}
-	for _, di := range p.frontQ {
-		shift(&di.availAt)
+	for i := 0; i < p.frontCount; i++ {
+		shift(&p.frontAt(i).availAt)
 	}
 	if p.fetchResumeAt > p.cycle {
 		p.fetchResumeAt++

@@ -93,10 +93,21 @@ type SweepRequest struct {
 	Instructions uint64  `json:"instructions,omitempty"`
 	Warmup       uint64  `json:"warmup,omitempty"`
 	FaultBias    float64 `json:"fault_bias,omitempty"`
+	// Checkpoint, when absent or true, lets cells restore the server's
+	// shared warm-state snapshot for their WarmKey instead of each
+	// re-simulating the warmup phase; false forces every cell to warm up
+	// from scratch. Responses are byte-identical either way (all server runs
+	// use neutral warmup) — the flag trades warmup CPU for snapshot-cache
+	// memory, and exists mainly so benchmarks and CI can compare the paths.
+	Checkpoint *bool `json:"checkpoint,omitempty"`
 }
 
 // Cells expands the sweep into per-cell run requests, in deterministic
-// benchmark-major order. The caller bounds the cell count.
+// benchmark-major order: the cross product iterates benchmarks × schemes ×
+// VDDs × seeds with each axis in its requested order and seeds varying
+// fastest. This order — pinned by a golden test — defines the NDJSON line
+// order and the line Index of the /v1/sweep response. The caller bounds the
+// cell count.
 func (s *SweepRequest) Cells() ([]RunRequest, error) {
 	if s.Schema != "" && s.Schema != SweepRequestSchema {
 		return nil, fmt.Errorf("%w: schema %q, want %q", ErrBadRequest, s.Schema, SweepRequestSchema)

@@ -47,11 +47,19 @@ import (
 // ErrBusy reports a full admission queue; handlers map it to HTTP 429.
 var ErrBusy = errors.New("admission queue full")
 
-// Runner executes one normalized simulation config. It is a seam for tests
-// (which substitute counting or blocking stubs); the default runner calls
-// tvsched.RunContext with a per-run shard of the server's pipeline metrics
-// attached.
-type Runner func(ctx context.Context, cfg tvsched.Config) (tvsched.Result, error)
+// Runner executes one normalized simulation config; checkpoint says whether
+// the run may share the server's warm-state snapshot cache. It is a seam for
+// tests (which substitute counting or blocking stubs); the default runner
+// drives a tvsched.Session with a per-run shard of the server's pipeline
+// metrics attached.
+//
+// All server runs use neutral warmup (tvsched.Session.WarmupNeutral): the
+// warmup phase executes at the nominal supply and the retarget to the
+// requested (scheme, VDD) happens when measurement begins. Neutral warm state
+// is scheme- and VDD-independent, so whether a run restores a cached
+// checkpoint or warms up from scratch cannot change a single response byte —
+// checkpoint only decides whether the warmup cost is paid again.
+type Runner func(ctx context.Context, cfg tvsched.Config, checkpoint bool) (tvsched.Result, error)
 
 // Config parameterizes a Server. Zero fields take the documented defaults.
 type Config struct {
@@ -64,6 +72,13 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the LRU result cache (default 1024 entries).
 	CacheEntries int
+	// SnapshotEntries bounds the warm-state snapshot cache (default 8
+	// entries). Snapshots are keyed by tvsched.Session.WarmKey — workload,
+	// seed, warmup length and machine geometry, but not scheme or VDD — so
+	// one entry serves every cell of a scheme×voltage sweep. They are an
+	// order of magnitude larger than response bodies (megabytes of cache and
+	// predictor state), hence the separate, much smaller bound.
+	SnapshotEntries int
 	// MaxInstructions caps the per-request measured phase (default 2e6);
 	// longer requests are refused with 400 rather than hogging a worker.
 	MaxInstructions uint64
@@ -88,6 +103,9 @@ func (c *Config) fill() {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 1024
+	}
+	if c.SnapshotEntries <= 0 {
+		c.SnapshotEntries = 8
 	}
 	if c.MaxInstructions == 0 {
 		c.MaxInstructions = 2_000_000
@@ -132,7 +150,22 @@ type Server struct {
 	running  int
 	draining bool
 
+	// The snapshot layer has its own lock and singleflight table: snapshot
+	// production happens inside a result computation (the leader already
+	// holds a worker slot), so it must never wait on s.mu-guarded state.
+	snapMu     sync.Mutex
+	snapCache  *lruCache // WarmKey → snapshot bytes
+	snapFlight map[string]*snapCall
+
 	mux *http.ServeMux
+}
+
+// snapCall is one in-flight warm-state production, singleflighted per
+// WarmKey so a sweep's N cells cost one warmup, not N.
+type snapCall struct {
+	done chan struct{}
+	data []byte
+	err  error
 }
 
 // New builds a ready-to-serve Server.
@@ -148,6 +181,8 @@ func New(cfg Config) *Server {
 		sem:        make(chan struct{}, cfg.Workers),
 		cache:      newLRU(cfg.CacheEntries),
 		flight:     make(map[string]*call),
+		snapCache:  newLRU(cfg.SnapshotEntries),
+		snapFlight: make(map[string]*snapCall),
 	}
 	if s.cfg.Runner == nil {
 		s.cfg.Runner = s.defaultRunner
@@ -170,12 +205,92 @@ func (s *Server) Metrics() *obs.ServeMetrics { return s.sm }
 
 // defaultRunner executes the simulation for real, feeding the server's
 // pipeline-metrics registry through a private per-run shard so the hot
-// event path never contends across workers.
-func (s *Server) defaultRunner(ctx context.Context, cfg tvsched.Config) (tvsched.Result, error) {
+// event path never contends across workers. With checkpoint set it restores
+// the shared warm-state snapshot for the cell's WarmKey (producing and
+// caching it on first use) instead of re-simulating the warmup phase; the
+// neutral-warmup property makes the two paths byte-identical (see Runner).
+func (s *Server) defaultRunner(ctx context.Context, cfg tvsched.Config, checkpoint bool) (tvsched.Result, error) {
 	sh := s.pipeM.Shard()
 	cfg.Observer = sh
 	defer sh.Flush()
-	return tvsched.RunContext(ctx, cfg)
+	sess, err := tvsched.NewSession(cfg)
+	if err != nil {
+		return tvsched.Result{}, err
+	}
+	if checkpoint {
+		key := sess.WarmKey()
+		if data, err := s.warmSnapshot(ctx, cfg, key); err == nil {
+			if err := sess.Restore(&tvsched.Snapshot{Key: key, Data: data}); err == nil {
+				return sess.Run(ctx, tvsched.RunOpts{})
+			}
+			// A failed restore may leave the machine half-loaded; rebuild
+			// before falling back to the cold path.
+			if sess, err = tvsched.NewSession(cfg); err != nil {
+				return tvsched.Result{}, err
+			}
+		} else if ctx.Err() != nil {
+			return tvsched.Result{}, err
+		}
+		// Any other snapshot failure falls back to a cold warmup: checkpoints
+		// are an optimization, never a correctness dependency.
+	}
+	if err := sess.WarmupNeutral(ctx); err != nil {
+		return tvsched.Result{}, err
+	}
+	return sess.Run(ctx, tvsched.RunOpts{})
+}
+
+// warmSnapshot returns the snapshot bytes for key: snapshot-cache hit,
+// collapse onto an in-flight production, or lead one — a throwaway donor
+// session (any scheme/VDD with this key produces the same bytes) warmed at
+// the nominal supply and serialized.
+func (s *Server) warmSnapshot(ctx context.Context, cfg tvsched.Config, key string) ([]byte, error) {
+	s.snapMu.Lock()
+	if b, ok := s.snapCache.get(key); ok {
+		s.snapMu.Unlock()
+		return b, nil
+	}
+	if c, ok := s.snapFlight[key]; ok {
+		s.snapMu.Unlock()
+		select {
+		case <-c.done:
+			return c.data, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c := &snapCall{done: make(chan struct{})}
+	s.snapFlight[key] = c
+	s.snapMu.Unlock()
+
+	c.data, c.err = produceSnapshot(ctx, cfg)
+	s.snapMu.Lock()
+	if c.err == nil {
+		s.snapCache.put(key, c.data)
+	}
+	delete(s.snapFlight, key)
+	s.snapMu.Unlock()
+	close(c.done)
+	return c.data, c.err
+}
+
+// produceSnapshot runs the warmup phase once on a donor session and
+// serializes its warm state. The donor carries no observer: warm-state bytes
+// are observer-independent, and the observer-off cycle loop is the fast one.
+func produceSnapshot(ctx context.Context, cfg tvsched.Config) ([]byte, error) {
+	cfg.Observer = nil
+	donor, err := tvsched.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := donor.WarmupNeutral(ctx); err != nil {
+		return nil, err
+	}
+	snap, err := donor.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return snap.Data, nil
 }
 
 // BeginDrain flips /readyz to 503 so load balancers stop routing here. Call
@@ -212,7 +327,7 @@ func (s *Server) gaugesLocked() {
 // bypasses the queue-full rejection — a sweep is one admitted request whose
 // internal fan-out is flow-controlled by the worker pool, so its cells wait
 // for capacity instead of bouncing.
-func (s *Server) result(ctx context.Context, cfg tvsched.Config, admit bool) (body []byte, outcome obs.ServeOutcome, status int, err error) {
+func (s *Server) result(ctx context.Context, cfg tvsched.Config, admit, checkpoint bool) (body []byte, outcome obs.ServeOutcome, status int, err error) {
 	digest := cfg.Digest()
 	s.mu.Lock()
 	if b, ok := s.cache.get(digest); ok {
@@ -242,7 +357,7 @@ func (s *Server) result(ctx context.Context, cfg tvsched.Config, admit bool) (bo
 	// followers that arrive later still want the result, and so does the
 	// cache. The leader merely waits like any other follower.
 	s.wg.Add(1)
-	go s.compute(digest, cfg, c)
+	go s.compute(digest, cfg, c, checkpoint)
 	select {
 	case <-c.done:
 		return c.body, obs.ServeMiss, c.status, c.err
@@ -253,7 +368,7 @@ func (s *Server) result(ctx context.Context, cfg tvsched.Config, admit bool) (bo
 
 // compute is the singleflight leader body: queue for a worker slot, run the
 // simulation, render and cache the report, publish to waiters.
-func (s *Server) compute(digest string, cfg tvsched.Config, c *call) {
+func (s *Server) compute(digest string, cfg tvsched.Config, c *call, checkpoint bool) {
 	defer s.wg.Done()
 	var (
 		body   []byte
@@ -269,7 +384,7 @@ func (s *Server) compute(digest string, cfg tvsched.Config, c *call) {
 		runCtx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RunTimeout)
 		start := time.Now()
 		var res tvsched.Result
-		res, err = s.cfg.Runner(runCtx, cfg)
+		res, err = s.cfg.Runner(runCtx, cfg, checkpoint)
 		cancel()
 		s.sm.ObserveRun(uint64(time.Since(start).Microseconds()))
 		s.mu.Lock()
@@ -405,7 +520,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	body, outcome, status, err := s.result(r.Context(), cfg, true)
+	body, outcome, status, err := s.result(r.Context(), cfg, true, true)
 	s.sm.Outcome(outcome)
 	s.sm.ObserveRequest(uint64(time.Since(start).Microseconds()))
 	switch {
@@ -426,8 +541,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// sweepLine is one NDJSON record of a sweep response, emitted in cell
-// order so the stream is deterministic end to end.
+// sweepLine is one NDJSON record of a sweep response.
+//
+// Ordering contract (pinned by a golden test): the stream carries exactly one
+// line per cell, in the cell order SweepRequest.Cells defines — benchmarks ×
+// schemes × VDDs × seeds, each axis in its requested order, seeds innermost —
+// and Index is the cell's position in that order, ascending from 0 with no
+// gaps. Cells simulate concurrently, but emission always waits for the next
+// index, so the stream is deterministic end to end (only the per-line Cache
+// annotation may vary with scheduling).
 type sweepLine struct {
 	Index     int             `json:"index"`
 	Benchmark string          `json:"benchmark"`
@@ -472,6 +594,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	checkpoint := req.Checkpoint == nil || *req.Checkpoint
 	type cellResult struct {
 		body    []byte
 		outcome obs.ServeOutcome
@@ -488,7 +611,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			limiter <- struct{}{}
 			defer func() { <-limiter }()
 			start := time.Now()
-			body, outcome, _, err := s.result(r.Context(), cfgs[i], false)
+			body, outcome, _, err := s.result(r.Context(), cfgs[i], false, checkpoint)
 			s.sm.Outcome(outcome)
 			s.sm.ObserveRequest(uint64(time.Since(start).Microseconds()))
 			results[i] <- cellResult{body, outcome, err}

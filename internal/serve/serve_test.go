@@ -22,7 +22,7 @@ import (
 // counting invocations. When gate is non-nil every run blocks on it first,
 // so tests can hold simulations in flight.
 func stubRunner(runs *atomic.Int64, gate chan struct{}) Runner {
-	return func(ctx context.Context, cfg tvsched.Config) (tvsched.Result, error) {
+	return func(ctx context.Context, cfg tvsched.Config, checkpoint bool) (tvsched.Result, error) {
 		runs.Add(1)
 		if gate != nil {
 			select {
@@ -255,6 +255,115 @@ func TestSweepNDJSON(t *testing.T) {
 	}
 }
 
+// TestSweepCellOrderGolden pins the sweep ordering contract: the cross
+// product iterates benchmarks × schemes × VDDs × seeds, each axis in request
+// order, seeds varying fastest — and that order is the NDJSON line order.
+func TestSweepCellOrderGolden(t *testing.T) {
+	req := SweepRequest{
+		Benchmarks: []string{"sjeng", "bzip2"}, // deliberately not sorted
+		Schemes:    []string{"CDS", "EP"},
+		VDDs:       []float64{0.97, 1.04},
+		Seeds:      []uint64{2, 1},
+	}
+	cells, err := req.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"sjeng/CDS/0.97/2", "sjeng/CDS/0.97/1",
+		"sjeng/CDS/1.04/2", "sjeng/CDS/1.04/1",
+		"sjeng/EP/0.97/2", "sjeng/EP/0.97/1",
+		"sjeng/EP/1.04/2", "sjeng/EP/1.04/1",
+		"bzip2/CDS/0.97/2", "bzip2/CDS/0.97/1",
+		"bzip2/CDS/1.04/2", "bzip2/CDS/1.04/1",
+		"bzip2/EP/0.97/2", "bzip2/EP/0.97/1",
+		"bzip2/EP/1.04/2", "bzip2/EP/1.04/1",
+	}
+	if len(cells) != len(want) {
+		t.Fatalf("%d cells, want %d", len(cells), len(want))
+	}
+	for i, c := range cells {
+		got := fmt.Sprintf("%s/%s/%.2f/%d", c.Benchmark, c.Scheme, c.VDD, c.Seed)
+		if got != want[i] {
+			t.Fatalf("cell %d is %s, want %s — the sweep ordering contract is pinned; bump the sweep schema if you mean to change it", i, got, want[i])
+		}
+	}
+}
+
+// postSweep posts a sweep and returns the raw NDJSON body.
+func postSweep(t *testing.T, url string, req SweepRequest) []byte {
+	t.Helper()
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/sweep", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Bytes()
+}
+
+// TestSweepCheckpointByteIdentical is the serving-layer acceptance property:
+// the same sweep answered by a fresh cold server (checkpoint off) and a fresh
+// checkpointing server is byte-identical NDJSON, and the checkpointing server
+// actually shared one warm snapshot across the cells. Workers=1 keeps every
+// cell a deterministic "miss" so even the cache annotations agree.
+func TestSweepCheckpointByteIdentical(t *testing.T) {
+	off := false
+	sweep := SweepRequest{
+		Benchmarks:   []string{"bzip2"},
+		Schemes:      []string{"ABS", "FFS", "CDS"},
+		VDDs:         []float64{0.97, 1.04},
+		Seeds:        []uint64{3},
+		Instructions: 2000,
+		Warmup:       2000,
+	}
+
+	coldSrv, coldTS := newTestServer(t, Config{Workers: 1})
+	sweep.Checkpoint = &off
+	cold := postSweep(t, coldTS.URL, sweep)
+
+	warmSrv, warmTS := newTestServer(t, Config{Workers: 1})
+	sweep.Checkpoint = nil // default: checkpoint on
+	warm := postSweep(t, warmTS.URL, sweep)
+
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("checkpointed sweep differs from cold sweep:\n%s\nvs\n%s", warm, cold)
+	}
+	if n := coldSrv.snapCache.len(); n != 0 {
+		t.Fatalf("cold server populated the snapshot cache (%d entries)", n)
+	}
+	// One benchmark × one seed ⇒ one warm key shared by all six cells.
+	if n := warmSrv.snapCache.len(); n != 1 {
+		t.Fatalf("snapshot cache holds %d entries, want 1 shared across the sweep", n)
+	}
+	// Sanity: the stream is real reports in pinned order.
+	sc := bufio.NewScanner(bytes.NewReader(warm))
+	var i int
+	for sc.Scan() {
+		var l sweepLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatal(err)
+		}
+		if l.Index != i || l.Error != "" || len(l.Report) == 0 {
+			t.Fatalf("bad line %d: %+v", i, l)
+		}
+		i++
+	}
+	if i != 6 {
+		t.Fatalf("%d lines, want 6", i)
+	}
+}
+
 // TestBadRequests pins the 400 surface: wrong schema, unknown benchmark,
 // unknown scheme, unknown JSON field, and an over-cap phase length.
 func TestBadRequests(t *testing.T) {
@@ -287,7 +396,7 @@ func TestBadRequests(t *testing.T) {
 // TestRunTimeout bounds a runaway simulation with the server's per-run
 // budget and maps the expiry to 503.
 func TestRunTimeout(t *testing.T) {
-	hang := func(ctx context.Context, cfg tvsched.Config) (tvsched.Result, error) {
+	hang := func(ctx context.Context, cfg tvsched.Config, checkpoint bool) (tvsched.Result, error) {
 		<-ctx.Done()
 		return tvsched.Result{}, ctx.Err()
 	}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tvsched"
+)
+
+// SweepBenchSchema tags the checkpointed-sweep benchmark artifact
+// (cmd/tvload -sweepbench); cmd/tvgate -sweep consumes it.
+const SweepBenchSchema = "tvsched/sweep-bench/v1"
+
+// SweepBenchConfig parameterizes one cold-vs-checkpointed sweep comparison
+// against a running tvservd. The workload is deliberately warmup-heavy: a
+// sweep's cells share one warm state, so the larger the warmup relative to
+// the measured phase, the more a shared checkpoint saves — the default
+// geometry (10 cells × 120k warmup / 8k measured) is the EXPERIMENTS.md
+// recipe and what the CI throughput gate runs.
+type SweepBenchConfig struct {
+	// URL is the server base URL.
+	URL string
+	// Benchmark names the workload every cell simulates (default bzip2).
+	Benchmark string
+	// Warmup / Instructions shape each cell (defaults 120000 / 8000).
+	Warmup       uint64
+	Instructions uint64
+	// Seed is the cold pass's seed; the checkpointed pass uses Seed+1 so the
+	// two passes share neither result-cache digests nor warm keys — each
+	// pass does all its own work (default 1).
+	Seed uint64
+	// Timeout bounds each sweep request (default 10m).
+	Timeout time.Duration
+}
+
+func (c *SweepBenchConfig) fill() {
+	if c.Benchmark == "" {
+		c.Benchmark = "bzip2"
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 120000
+	}
+	if c.Instructions == 0 {
+		c.Instructions = 8000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Minute
+	}
+}
+
+// SweepBenchReport is the machine-readable outcome (schema
+// tvsched/sweep-bench/v1). ColdNS and WarmNS are wall-clock and vary run to
+// run; Speedup = ColdNS / WarmNS is what the perf gate checks.
+type SweepBenchReport struct {
+	Schema       string  `json:"schema"`
+	URL          string  `json:"url"`
+	Benchmark    string  `json:"benchmark"`
+	Cells        int     `json:"cells"`
+	Warmup       uint64  `json:"warmup"`
+	Instructions uint64  `json:"instructions"`
+	ColdNS       int64   `json:"cold_ns"`
+	WarmNS       int64   `json:"warm_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// sweepBenchCells is the fixed scheme × voltage grid both passes sweep: all
+// five handling schemes at both faulty supplies — ten cells sharing one
+// (benchmark, seed) warm state.
+func sweepBenchCells() ([]string, []float64) {
+	return []string{"Razor", "EP", "ABS", "FFS", "CDS"},
+		[]float64{tvsched.VLowFault, tvsched.VHighFault}
+}
+
+// RunSweepBench times the same scheme×voltage sweep twice — warm-state
+// checkpointing off, then on — and reports the wall-clock speedup. Each pass
+// uses its own seed, so neither the result cache nor the snapshot cache
+// carries work between them; within the checkpointed pass the first cell
+// produces the snapshot and the other nine restore it.
+func RunSweepBench(ctx context.Context, cfg SweepBenchConfig) (*SweepBenchReport, error) {
+	cfg.fill()
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("sweepbench: no server URL")
+	}
+	schemes, vdds := sweepBenchCells()
+	client := &http.Client{Timeout: cfg.Timeout}
+	pass := func(seed uint64, checkpoint bool) (time.Duration, error) {
+		req := SweepRequest{
+			Schema:       SweepRequestSchema,
+			Benchmarks:   []string{cfg.Benchmark},
+			Schemes:      schemes,
+			VDDs:         vdds,
+			Seeds:        []uint64{seed},
+			Instructions: cfg.Instructions,
+			Warmup:       cfg.Warmup,
+			Checkpoint:   &checkpoint,
+		}
+		blob, err := json.Marshal(&req)
+		if err != nil {
+			return 0, err
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			cfg.URL+"/v1/sweep", bytes.NewReader(blob))
+		if err != nil {
+			return 0, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		start := time.Now()
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("sweepbench: sweep status %d", resp.StatusCode)
+		}
+		// Drain line by line and fail on any errored cell: a pass that
+		// simulated nothing would otherwise "win" the comparison.
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		cells := 0
+		for sc.Scan() {
+			var line sweepLine
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				return 0, fmt.Errorf("sweepbench: bad NDJSON line: %w", err)
+			}
+			if line.Error != "" {
+				return 0, fmt.Errorf("sweepbench: cell %d failed: %s", line.Index, line.Error)
+			}
+			cells++
+		}
+		if err := sc.Err(); err != nil {
+			return 0, err
+		}
+		if want := len(schemes) * len(vdds); cells != want {
+			return 0, fmt.Errorf("sweepbench: %d cells, want %d", cells, want)
+		}
+		return time.Since(start), nil
+	}
+
+	cold, err := pass(cfg.Seed, false)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := pass(cfg.Seed+1, true)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SweepBenchReport{
+		Schema:       SweepBenchSchema,
+		URL:          cfg.URL,
+		Benchmark:    cfg.Benchmark,
+		Cells:        len(schemes) * len(vdds),
+		Warmup:       cfg.Warmup,
+		Instructions: cfg.Instructions,
+		ColdNS:       cold.Nanoseconds(),
+		WarmNS:       warm.Nanoseconds(),
+	}
+	if warm > 0 {
+		rep.Speedup = float64(cold) / float64(warm)
+	}
+	return rep, nil
+}

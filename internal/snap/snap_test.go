@@ -1,0 +1,81 @@
+package snap
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.U64(0xdeadbeefcafef00d)
+	w.U32(0x12345678)
+	w.U8(0xab)
+	w.Bool(true)
+	w.Bool(false)
+	w.I64(-42)
+	w.F64(3.14159)
+	w.F64(math.Inf(-1))
+
+	r := NewReader(w.B)
+	if got := r.U64(); got != 0xdeadbeefcafef00d {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.U32(); got != 0x12345678 {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round-trip broken")
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 inf = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+	if r.Rest() != 0 {
+		t.Fatalf("%d bytes left over", r.Rest())
+	}
+}
+
+func TestUnderflowSticky(t *testing.T) {
+	var w Writer
+	w.U32(7)
+	r := NewReader(w.B)
+	if r.U64() != 0 {
+		t.Error("underflow read returned nonzero")
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", r.Err())
+	}
+	// Sticky: later reads keep failing even if bytes notionally remain.
+	if r.U8() != 0 || r.Err() == nil {
+		t.Error("sticky error not sticky")
+	}
+	if r.Rest() != 0 {
+		t.Error("Rest after error must be 0")
+	}
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	enc := func() []byte {
+		var w Writer
+		w.U64(1)
+		w.F64(1.1)
+		w.Bool(true)
+		return w.B
+	}
+	a, b := enc(), enc()
+	if string(a) != string(b) {
+		t.Fatal("same values, different bytes")
+	}
+}

@@ -1,0 +1,56 @@
+package tep
+
+import (
+	"testing"
+
+	"tvsched/internal/isa"
+	"tvsched/internal/rng"
+	"tvsched/internal/snap"
+)
+
+// TestSnapshotRoundTrip trains a TEP on a random fault stream, restores it
+// into a fresh table, and requires identical predictions afterwards.
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	src := rng.New(5)
+	for i := 0; i < 20000; i++ {
+		pc := uint64(0x400000 + 4*src.Intn(3000))
+		hist := uint64(src.Intn(16))
+		stage := isa.Stage(src.Intn(int(isa.NumStages)))
+		p.Train(pc, hist, src.Bool(0.3), stage)
+		if src.Bool(0.1) {
+			p.SetCritical(pc, hist, src.Bool(0.5))
+		}
+	}
+
+	var w snap.Writer
+	p.AppendState(&w)
+	p2 := New(cfg)
+	if err := p2.ReadState(snap.NewReader(w.B)); err != nil {
+		t.Fatal(err)
+	}
+	// Restore zeroes statistics (the warmup-boundary contract); zero the
+	// original's too so both accumulate from the same point below.
+	p.Stats = Stats{}
+	for i := 0; i < 20000; i++ {
+		pc := uint64(0x400000 + 4*src.Intn(3000))
+		hist := uint64(src.Intn(16))
+		if a, b := p.Lookup(pc, hist, true), p2.Lookup(pc, hist, true); a != b {
+			t.Fatalf("lookup diverged at %d: %+v vs %+v", i, a, b)
+		}
+	}
+	if p.Stats != p2.Stats {
+		t.Fatal("post-restore statistics diverged")
+	}
+}
+
+func TestSnapshotGeometryMismatch(t *testing.T) {
+	p := New(DefaultConfig())
+	var w snap.Writer
+	p.AppendState(&w)
+	other := New(Config{Entries: 256, HistoryBits: 2})
+	if err := other.ReadState(snap.NewReader(w.B)); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"fmt"
+
+	"tvsched/internal/snap"
+)
+
+// AppendState serializes the generator's dynamic state: the RNG stream, the
+// per-static-instruction memory cursors (the only mutable field of the
+// static program), and the loop-walk state. The static program itself is
+// not serialized — it is a pure function of (profile, seed), and the
+// restoring side rebuilds it with NewGenerator before calling ReadState.
+func (g *Generator) AppendState(w *snap.Writer) {
+	g.src.AppendState(w)
+	w.U32(uint32(g.StaticFootprint()))
+	for li := range g.loops {
+		for ii := range g.loops[li].insts {
+			w.U64(g.loops[li].insts[ii].cursor)
+		}
+	}
+	w.U64(g.coldNext)
+	w.I64(int64(g.curLoop))
+	w.I64(int64(g.iterLeft))
+	w.I64(int64(g.pos))
+	for _, v := range g.ring {
+		w.U8(uint8(v))
+	}
+	w.I64(int64(g.ringPos))
+	w.U8(uint8(g.rotReg))
+	w.U64(g.emitted)
+}
+
+// ReadState restores state written by AppendState. The receiver must have
+// been built by NewGenerator with the same (profile, seed) the writer used —
+// the static-footprint check catches a mismatched program, and the loop
+// indices are bounds-checked.
+func (g *Generator) ReadState(r *snap.Reader) error {
+	if err := g.src.ReadState(r); err != nil {
+		return err
+	}
+	if got := int(r.U32()); got != g.StaticFootprint() {
+		return fmt.Errorf("%w: static footprint %d, have %d",
+			snap.ErrCorrupt, got, g.StaticFootprint())
+	}
+	for li := range g.loops {
+		for ii := range g.loops[li].insts {
+			g.loops[li].insts[ii].cursor = r.U64()
+		}
+	}
+	g.coldNext = r.U64()
+	g.curLoop = int(r.I64())
+	g.iterLeft = int(r.I64())
+	g.pos = int(r.I64())
+	for i := range g.ring {
+		g.ring[i] = int8(r.U8())
+	}
+	g.ringPos = int(r.I64())
+	g.rotReg = int8(r.U8())
+	g.emitted = r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if g.curLoop < 0 || g.curLoop >= len(g.loops) {
+		return fmt.Errorf("%w: loop index %d of %d", snap.ErrCorrupt, g.curLoop, len(g.loops))
+	}
+	if g.pos < 0 || g.pos >= len(g.loops[g.curLoop].insts) {
+		return fmt.Errorf("%w: position %d in loop of %d",
+			snap.ErrCorrupt, g.pos, len(g.loops[g.curLoop].insts))
+	}
+	if g.ringPos < 0 || g.ringPos >= len(g.ring) {
+		return fmt.Errorf("%w: ring position %d", snap.ErrCorrupt, g.ringPos)
+	}
+	return nil
+}

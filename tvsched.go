@@ -23,13 +23,21 @@
 //
 // Quick start:
 //
-//	res, err := tvsched.Run(tvsched.Config{
+//	s, err := tvsched.NewSession(tvsched.Config{
 //	    Benchmark: "bzip2",
 //	    Scheme:    tvsched.ABS,
 //	    VDD:       tvsched.VHighFault,
 //	    Instructions: 300000,
 //	})
+//	if err != nil { ... }
+//	if err := s.Warmup(ctx); err != nil { ... }
+//	res, err := s.Run(ctx, tvsched.RunOpts{})
 //	fmt.Println(res.IPC, res.FaultRate, res.Coverage)
+//
+// Session is the unified lifecycle API: construct, warm up, optionally
+// checkpoint (Snapshot) or restore a previous warm state (Restore), then
+// measure. The free functions Run, Compare, RunProfile and RunAsm remain as
+// deprecated one-call wrappers.
 //
 // See cmd/tvbench for the full paper reproduction and EXPERIMENTS.md for the
 // paper-vs-measured record.
@@ -47,10 +55,10 @@ import (
 	"tvsched/internal/asm"
 	"tvsched/internal/core"
 	"tvsched/internal/energy"
-	"tvsched/internal/experiments"
 	"tvsched/internal/fault"
 	"tvsched/internal/obs"
 	"tvsched/internal/pipeline"
+	"tvsched/internal/sim"
 	"tvsched/internal/workload"
 )
 
@@ -64,6 +72,10 @@ var (
 	ErrUnknownScheme = core.ErrUnknownScheme
 	// ErrBadConfig reports an invalid machine configuration.
 	ErrBadConfig = pipeline.ErrBadConfig
+	// ErrSnapshotUnsupported reports a Snapshot or Restore refused because of
+	// the machine's configuration (supervisor attached, custom predictor,
+	// non-checkpointable source, or a wire-format version mismatch).
+	ErrSnapshotUnsupported = pipeline.ErrSnapshotUnsupported
 )
 
 // Scheme selects the timing-error handling scheme.
@@ -315,28 +327,197 @@ type Result struct {
 	Energy EnergyResult
 }
 
+// resultFrom assembles a Result from final pipeline statistics, the way every
+// entry point always has: energy is computed on the 45 nm defaults.
+func resultFrom(st PipeStats) Result {
+	return Result{
+		IPC:       st.IPC(),
+		FaultRate: st.FaultRate(),
+		Coverage:  st.Coverage(),
+		Stats:     st,
+		Energy:    energy.Compute(energy.Default45nm(), &st),
+	}
+}
+
+// simConfig maps the facade config onto the session layer's. Benchmark and
+// profile sessions always use the profile's calibrated fault bias; the
+// FaultBias field only reaches asm sessions — both matching the historical
+// free-function behaviour.
+func (c Config) simConfig() sim.Config {
+	return sim.Config{
+		Benchmark: c.Benchmark,
+		Scheme:    c.Scheme,
+		VDD:       c.VDD,
+		Warmup:    c.Warmup,
+		Seed:      c.Seed,
+		FaultBias: c.FaultBias,
+		Observer:  c.Observer,
+		Debug:     c.Debug,
+	}
+}
+
+// RunOpts parameterizes one measured phase of a Session.
+type RunOpts struct {
+	// Instructions overrides the session config's measured phase length for
+	// this run; 0 keeps Config.Instructions.
+	Instructions uint64
+}
+
+// Snapshot is a serialized warm machine state. Key is the content address of
+// the compatibility class the bytes belong to (see Session.WarmKey): a
+// snapshot restores into exactly the sessions that would produce it — same
+// workload, seed, warmup length and machine geometry — regardless of their
+// handling scheme or supply voltage.
+type Snapshot struct {
+	Key  string
+	Data []byte
+}
+
+// Session is the unified simulation lifecycle: construct with NewSession (or
+// NewProfileSession / NewAsmSession), warm up with Warmup or WarmupNeutral,
+// optionally checkpoint with Snapshot or skip the warmup entirely with
+// Restore, then measure with Run. A Session owns one simulated machine and is
+// not safe for concurrent use; it is single-shot — build a new one per
+// simulation.
+type Session struct {
+	cfg  Config
+	scfg sim.Config
+	s    *sim.Session
+}
+
+// NewSession builds a session over one of the bundled benchmarks.
+func NewSession(cfg Config) (*Session, error) {
+	cfg.fill()
+	scfg := cfg.simConfig()
+	s, err := sim.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{cfg: cfg, scfg: scfg, s: s}, nil
+}
+
+// NewProfileSession builds a session over a custom workload profile;
+// cfg.Benchmark is ignored.
+func NewProfileSession(cfg Config, prof WorkloadProfile) (*Session, error) {
+	cfg.fill()
+	scfg := cfg.simConfig()
+	scfg.Benchmark = ""
+	scfg.Profile = &prof
+	s, err := sim.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{cfg: cfg, scfg: scfg, s: s}, nil
+}
+
+// NewAsmSession builds a session whose instruction stream comes from a kernel
+// in the repository's mini assembly (see internal/asm for the syntax),
+// executed architecturally. init, when non-nil, seeds registers and memory
+// first (kernel arguments). cfg.Benchmark is ignored; asm sessions cannot be
+// checkpointed.
+func NewAsmSession(cfg Config, source string, init func(m *AsmMachine)) (*Session, error) {
+	cfg.fill()
+	scfg := cfg.simConfig()
+	s, err := sim.NewAsm(scfg, source, init)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{cfg: cfg, scfg: scfg, s: s}, nil
+}
+
+// Warmup simulates Config.Warmup committed instructions at the configured
+// supply voltage and discards statistics, keeping micro-architectural warm
+// state. This is the historical warmup the deprecated free functions wrap;
+// its warm state depends on (scheme, VDD), so Snapshot refuses it unless the
+// configured supply is already VNominal — use WarmupNeutral to checkpoint.
+func (s *Session) Warmup(ctx context.Context) error { return s.s.Warmup(ctx) }
+
+// WarmupNeutral simulates the warmup phase at the nominal supply (where
+// nothing violates timing) and defers the retarget to Config.VDD until Run
+// begins. The resulting warm state is provably independent of the handling
+// scheme and the eventual measurement supply, so one Snapshot of it serves
+// every (scheme, VDD) cell of a sweep under the same WarmKey.
+func (s *Session) WarmupNeutral(ctx context.Context) error { return s.s.WarmupNeutral(ctx) }
+
+// Snapshot serializes the session's warm state, keyed by WarmKey. It is only
+// valid between a neutral warmup and the first Run, and fails with
+// ErrSnapshotUnsupported on configurations whose state cannot be serialized
+// (supervised machines, custom predictors, asm sessions).
+func (s *Session) Snapshot() (*Snapshot, error) {
+	b, err := s.s.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{Key: sim.WarmKey(s.scfg), Data: b}, nil
+}
+
+// Restore loads a warm state produced by Snapshot into this freshly built
+// session, in place of running Warmup. The snapshot's Key must equal this
+// session's WarmKey (the machine additionally verifies geometry field by
+// field). After Restore the session behaves exactly as if WarmupNeutral had
+// just completed.
+func (s *Session) Restore(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("tvsched: Restore(nil)")
+	}
+	if key := sim.WarmKey(s.scfg); snap.Key != "" && snap.Key != key {
+		return fmt.Errorf("tvsched: %w: snapshot key %.12s… does not match session warm key %.12s…",
+			ErrSnapshotUnsupported, snap.Key, key)
+	}
+	return s.s.Restore(snap.Data)
+}
+
+// Run simulates the measured phase at the configured (scheme, VDD) operating
+// point — applying the deferred retarget if the warm state is neutral — and
+// returns the result. Cancellation: the simulation stops within 256 simulated
+// cycles of ctx being done and returns the context's error.
+func (s *Session) Run(ctx context.Context, opts RunOpts) (Result, error) {
+	n := opts.Instructions
+	if n == 0 {
+		n = s.cfg.Instructions
+	}
+	st, err := s.s.Run(ctx, n)
+	if err != nil {
+		return Result{}, err
+	}
+	return resultFrom(st), nil
+}
+
+// WarmKey is the content address of the neutral warm state this session
+// would produce: sessions with equal WarmKeys produce byte-identical
+// Snapshots, restorable into any of them. The key covers the snapshot wire
+// version, workload identity, seed, warmup length and machine geometry; it
+// excludes the handling scheme, the supply voltage and the measurement
+// length.
+func (s *Session) WarmKey() string { return sim.WarmKey(s.scfg) }
+
+// SetObserver attaches (or detaches) the event observer mid-lifecycle — for
+// example to start tracing only after warmup.
+func (s *Session) SetObserver(o Observer) { s.s.SetObserver(o) }
+
+// Config returns the session's configuration with all defaults applied.
+func (s *Session) Config() Config { return s.cfg }
+
 // Run simulates one (benchmark, scheme, voltage) combination.
+//
+// Deprecated: use NewSession followed by Warmup and Session.Run.
 func Run(cfg Config) (Result, error) {
 	return RunContext(context.Background(), cfg)
 }
 
 // RunContext is Run with cancellation: when ctx is cancelled the simulation
 // stops within 256 simulated cycles and the context's error is returned.
+//
+// Deprecated: use NewSession followed by Warmup and Session.Run.
 func RunContext(ctx context.Context, cfg Config) (Result, error) {
-	cfg.fill()
-	r, err := experiments.SimulateContext(ctx, cfg.Benchmark, cfg.Scheme, cfg.VDD,
-		experiments.Config{Insts: cfg.Instructions, Warmup: cfg.Warmup, Seed: cfg.Seed,
-			Observer: cfg.Observer, Debug: cfg.Debug})
+	s, err := NewSession(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		IPC:       r.Stats.IPC(),
-		FaultRate: r.Stats.FaultRate(),
-		Coverage:  r.Stats.Coverage(),
-		Stats:     r.Stats,
-		Energy:    r.Energy,
-	}, nil
+	if err := s.Warmup(ctx); err != nil {
+		return Result{}, err
+	}
+	return s.Run(ctx, RunOpts{})
 }
 
 // Comparison reports a scheme's overheads versus fault-free execution of the
@@ -353,30 +534,57 @@ type Comparison struct {
 // seed and observer — in particular the seed is respected, so comparisons are
 // reproducible under any Config (earlier revisions pinned Seed to 1);
 // cfg.Scheme is ignored in favour of the schemes argument.
+//
+// Deprecated: use one Session per (scheme, voltage) cell; the overhead
+// arithmetic is two lines per scheme. Compare remains for Table 1-style
+// one-call comparisons.
 func Compare(cfg Config, schemes []Scheme) ([]Comparison, error) {
 	return CompareContext(context.Background(), cfg, schemes)
 }
 
 // CompareContext is Compare with cancellation.
+//
+// Deprecated: see Compare.
 func CompareContext(ctx context.Context, cfg Config, schemes []Scheme) ([]Comparison, error) {
 	cfg.fill()
-	ecfg := experiments.Config{Insts: cfg.Instructions, Warmup: cfg.Warmup,
-		Seed: cfg.Seed, Observer: cfg.Observer, Debug: cfg.Debug}
-	base, err := experiments.SimulateContext(ctx, cfg.Benchmark, ABS, VNominal, ecfg)
+	cell := func(scheme Scheme, vdd float64) (Result, error) {
+		ccfg := cfg
+		ccfg.Scheme = scheme
+		ccfg.VDD = vdd
+		s, err := NewSession(ccfg)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := s.Warmup(ctx); err != nil {
+			return Result{}, err
+		}
+		return s.Run(ctx, RunOpts{})
+	}
+	base, err := cell(ABS, VNominal)
 	if err != nil {
 		return nil, err
 	}
 	var out []Comparison
-	for _, s := range schemes {
-		r, err := experiments.SimulateContext(ctx, cfg.Benchmark, s, cfg.VDD, ecfg)
+	for _, sch := range schemes {
+		r, err := cell(sch, cfg.VDD)
 		if err != nil {
-			return nil, fmt.Errorf("tvsched: %s/%v: %w", cfg.Benchmark, s, err)
+			return nil, fmt.Errorf("tvsched: %s/%v: %w", cfg.Benchmark, sch, err)
+		}
+		perfOv := 0.0
+		if ipc := r.Stats.IPC(); ipc != 0 {
+			if ov := base.Stats.IPC()/ipc - 1; ov > 0 {
+				perfOv = ov
+			}
+		}
+		edOv := energy.Overhead(r.Energy, base.Energy)
+		if edOv < 0 {
+			edOv = 0
 		}
 		out = append(out, Comparison{
-			Scheme:       s,
+			Scheme:       sch,
 			IPC:          r.Stats.IPC(),
-			PerfOverhead: r.PerfOverhead(&base),
-			EDOverhead:   r.EDOverhead(&base),
+			PerfOverhead: perfOv,
+			EDOverhead:   edOv,
 		})
 	}
 	return out, nil
@@ -395,39 +603,18 @@ func Profile(name string) (WorkloadProfile, bool) { return workload.ByName(name)
 
 // RunProfile simulates a custom workload profile under the given scheme and
 // voltage; cfg.Benchmark is ignored.
+//
+// Deprecated: use NewProfileSession followed by Warmup and Session.Run.
 func RunProfile(cfg Config, prof WorkloadProfile) (Result, error) {
-	cfg.fill()
-	gen, err := workload.NewGenerator(prof, cfg.Seed)
+	s, err := NewProfileSession(cfg, prof)
 	if err != nil {
 		return Result{}, err
 	}
-	pcfg := pipeline.DefaultConfig()
-	pcfg.Scheme = cfg.Scheme
-	pcfg.MispredictRate = prof.MispredictRate
-	pcfg.Seed = cfg.Seed
-	pcfg.Observer = cfg.Observer
-	pcfg.Debug = cfg.Debug
-	fc := fault.DefaultConfig(cfg.Seed)
-	fc.Bias = prof.FaultBias
-	p, err := pipeline.New(pcfg, gen, fault.New(fc), cfg.VDD)
-	if err != nil {
+	ctx := context.Background()
+	if err := s.Warmup(ctx); err != nil {
 		return Result{}, err
 	}
-	p.PrefillData(gen.WarmRegion())
-	if err := p.Warmup(cfg.Warmup); err != nil {
-		return Result{}, err
-	}
-	st, err := p.Run(cfg.Instructions)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{
-		IPC:       st.IPC(),
-		FaultRate: st.FaultRate(),
-		Coverage:  st.Coverage(),
-		Stats:     st,
-		Energy:    energy.Compute(energy.Default45nm(), &st),
-	}, nil
+	return s.Run(ctx, RunOpts{})
 }
 
 // RunAsm assembles a kernel written in the repository's mini assembly
@@ -435,41 +622,18 @@ func RunProfile(cfg Config, prof WorkloadProfile) (Result, error) {
 // the pipeline model with the resulting committed stream. init, when
 // non-nil, seeds registers and memory before execution (kernel arguments).
 // cfg.Benchmark is ignored.
+//
+// Deprecated: use NewAsmSession followed by Warmup and Session.Run.
 func RunAsm(cfg Config, source string, init func(m *AsmMachine)) (Result, error) {
-	cfg.fill()
-	prog, err := asm.Assemble(source)
+	s, err := NewAsmSession(cfg, source, init)
 	if err != nil {
 		return Result{}, err
 	}
-	m := asm.NewMachine(prog)
-	if init != nil {
-		init(m)
-	}
-	pcfg := pipeline.DefaultConfig()
-	pcfg.Scheme = cfg.Scheme
-	pcfg.Seed = cfg.Seed
-	pcfg.Observer = cfg.Observer
-	pcfg.Debug = cfg.Debug
-	fc := fault.DefaultConfig(cfg.Seed)
-	fc.Bias = cfg.FaultBias
-	p, err := pipeline.New(pcfg, m, fault.New(fc), cfg.VDD)
-	if err != nil {
+	ctx := context.Background()
+	if err := s.Warmup(ctx); err != nil {
 		return Result{}, err
 	}
-	if err := p.Warmup(cfg.Warmup); err != nil {
-		return Result{}, err
-	}
-	st, err := p.Run(cfg.Instructions)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{
-		IPC:       st.IPC(),
-		FaultRate: st.FaultRate(),
-		Coverage:  st.Coverage(),
-		Stats:     st,
-		Energy:    energy.Compute(energy.Default45nm(), &st),
-	}, nil
+	return s.Run(ctx, RunOpts{})
 }
 
 // AsmMachine re-exports the mini-ISA interpreter for kernel setup.

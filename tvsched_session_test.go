@@ -1,0 +1,169 @@
+package tvsched
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"tvsched/internal/experiments"
+	"tvsched/internal/obs"
+)
+
+// report renders the run-report/v1 JSON a tool like tvsim would emit for the
+// result, so wrapper-vs-session identity is checked on the wire bytes the
+// checklist cares about, not just on in-memory structs.
+func report(t *testing.T, cfg Config, res Result) []byte {
+	t.Helper()
+	rep := &obs.RunReport{
+		Tool:         "test",
+		Benchmark:    cfg.Benchmark,
+		Scheme:       cfg.Scheme.String(),
+		VDD:          cfg.VDD,
+		Seed:         cfg.Seed,
+		Instructions: res.Stats.Committed,
+		Cycles:       res.Stats.Cycles,
+		IPC:          res.Stats.IPC(),
+		TEP:          experiments.TEPAccuracyFrom(&res.Stats),
+	}
+	var b bytes.Buffer
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestSessionWrapperIdentity pins the API-redesign contract: the deprecated
+// free functions are thin wrappers over Session and their output — down to
+// run-report/v1 bytes — is identical to driving the Session directly.
+func TestSessionWrapperIdentity(t *testing.T) {
+	cfg := Config{Benchmark: "sjeng", Scheme: FFS, VDD: VHighFault,
+		Instructions: 60000, Seed: 5}
+	old, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warmup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(ctx, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != res {
+		t.Fatalf("deprecated Run diverged from Session:\n  %+v\n  %+v", old, res)
+	}
+	norm := cfg.Normalized()
+	if o, n := report(t, norm, old), report(t, norm, res); !bytes.Equal(o, n) {
+		t.Fatalf("run-report bytes differ:\n%s\n%s", o, n)
+	}
+}
+
+// TestSessionCheckpointLifecycle exercises the full lifecycle the serving
+// layer builds on: a neutral warmup's snapshot restores into a fresh session
+// of a different scheme and reproduces that scheme's run exactly.
+func TestSessionCheckpointLifecycle(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Benchmark: "bzip2", Scheme: CDS, VDD: VHighFault,
+		Instructions: 50000, Seed: 9}
+
+	donor, err := NewSession(Config{Benchmark: cfg.Benchmark, Scheme: ABS,
+		VDD: VLowFault, Instructions: cfg.Instructions, Seed: cfg.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := donor.WarmupNeutral(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := donor.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Key == "" || len(snap.Data) == 0 {
+		t.Fatalf("empty snapshot: %+v", snap)
+	}
+
+	// The warm key is scheme- and VDD-independent: the donor (ABS at the low
+	// supply) and the target (CDS at the high supply) share it.
+	native, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if native.WarmKey() != snap.Key {
+		t.Fatal("warm key differs across (scheme, VDD) cells")
+	}
+	if err := native.WarmupNeutral(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want, err := native.Run(ctx, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Run(ctx, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("restored run diverged from natively warmed run:\n  %+v\n  %+v", got, want)
+	}
+}
+
+// TestSessionMisuse pins the lifecycle refusals.
+func TestSessionMisuse(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Benchmark: "bzip2", Instructions: 20000, VDD: VHighFault, Seed: 2}
+
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Snapshot(); err == nil {
+		t.Fatal("snapshot before warmup accepted")
+	}
+	// A legacy warmup at a faulty supply is scheme/VDD-dependent state:
+	// snapshot must refuse it.
+	if err := s.Warmup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Snapshot(); err == nil {
+		t.Fatal("snapshot of non-neutral warm state accepted")
+	}
+	if err := s.Restore(&Snapshot{}); err == nil {
+		t.Fatal("restore into a warmed session accepted")
+	}
+
+	// Key mismatch: a snapshot from another seed must be refused by Restore
+	// before the machine even parses the bytes.
+	donor, err := NewSession(Config{Benchmark: "bzip2", Instructions: 20000,
+		VDD: VNominal, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := donor.Warmup(ctx); err != nil { // nominal supply ⇒ neutral
+		t.Fatal(err)
+	}
+	snap, err := donor.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := target.Restore(snap); !errors.Is(err, ErrSnapshotUnsupported) {
+		t.Fatalf("mismatched warm key: got %v", err)
+	}
+}
