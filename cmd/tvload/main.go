@@ -20,6 +20,12 @@
 // emits a sweep-bench/v1 JSON ({cold_ns, warm_ns, speedup}); cmd/tvgate
 // -sweep gates on the speedup.
 //
+// With -sweepprobe, tvload posts one progress-enabled sweep and measures the
+// live telemetry from the consumer side: time to first cell, heartbeat count,
+// the closing heartbeat's provenance accounting, and the mean absolute error
+// of the mid-stream ETAs against the wall time the sweep actually took.
+// Emits a sweep-probe/v1 JSON.
+//
 // Typical cache demonstration: run a cold pass (uniform, population-sized)
 // then a hot pass (Zipf) and compare throughput_rps — the hot pass rides
 // the cache and should be several times faster.
@@ -58,11 +64,19 @@ func main() {
 		sweepBench  = flag.Bool("sweepbench", false, "time a cold-vs-checkpointed sweep instead of generating load")
 		sweepWarmup = flag.Uint64("sweep-warmup", 120000, "sweepbench: warmup instructions per cell")
 		sweepInsts  = flag.Uint64("sweep-insts", 8000, "sweepbench: measured instructions per cell")
+
+		sweepProbe  = flag.Bool("sweepprobe", false, "measure a progress-enabled sweep's heartbeat telemetry instead of generating load")
+		probeWarmup = flag.Uint64("probe-warmup", 20000, "sweepprobe: warmup instructions per cell")
+		probeInsts  = flag.Uint64("probe-insts", 4000, "sweepprobe: measured instructions per cell")
 	)
 	flag.Parse()
 
 	if *sweepBench {
 		runSweepBench(strings.TrimRight(*url, "/"), *benches, *seed, *sweepWarmup, *sweepInsts, *timeout, *out)
+		return
+	}
+	if *sweepProbe {
+		runSweepProbe(strings.TrimRight(*url, "/"), *benches, *seed, *probeWarmup, *probeInsts, *timeout, *out)
 		return
 	}
 
@@ -121,6 +135,53 @@ func main() {
 	}
 }
 
+// runSweepProbe drives the -sweepprobe mode: one progress-enabled sweep,
+// measured from the consumer side, reported as sweep-probe/v1 JSON.
+func runSweepProbe(url, bench string, seed, warmup, insts uint64, timeout time.Duration, out string) {
+	cfg := serve.SweepProbeConfig{
+		URL:          url,
+		Warmup:       warmup,
+		Instructions: insts,
+		Seed:         seed,
+		Timeout:      timeout,
+	}
+	if bench != "" {
+		cfg.Benchmark = strings.Split(bench, ",")[0]
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := serve.RunSweepProbe(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvload:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"tvload: sweepprobe %s: %d cells in %.2fs, first cell after %.0fms, %d heartbeats (%d hit / %d shared / %d restored / %d cold), ETA MAE %.2fs over %d samples\n",
+		rep.Benchmark, rep.Cells, float64(rep.TotalNS)/1e9, float64(rep.TimeToFirstCellNS)/1e6,
+		rep.Heartbeats, rep.Hit, rep.Shared, rep.Restored, rep.Cold, rep.EtaMAESec, rep.EtaSamples)
+	writeJSON(rep, out)
+}
+
+// writeJSON renders a report to stdout or -out, indented.
+func writeJSON(rep any, out string) {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tvload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "tvload:", err)
+		os.Exit(1)
+	}
+}
+
 // runSweepBench drives the -sweepbench mode: one warmup-heavy sweep timed
 // cold, then checkpointed, reported as sweep-bench/v1 JSON.
 func runSweepBench(url, bench string, seed, warmup, insts uint64, timeout time.Duration, out string) {
@@ -147,20 +208,5 @@ func runSweepBench(url, bench string, seed, warmup, insts uint64, timeout time.D
 		"tvload: sweepbench %s: %d cells, warmup %d, insts %d: cold %.2fs, checkpointed %.2fs, speedup %.2fx\n",
 		rep.Benchmark, rep.Cells, rep.Warmup, rep.Instructions,
 		float64(rep.ColdNS)/1e9, float64(rep.WarmNS)/1e9, rep.Speedup)
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tvload:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "tvload:", err)
-		os.Exit(1)
-	}
+	writeJSON(rep, out)
 }

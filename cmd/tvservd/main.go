@@ -8,13 +8,22 @@
 //
 // Endpoints:
 //
-//	POST /v1/run     one simulation (JSON in, run-report/v1 out)
-//	POST /v1/sweep   cross-product sweep, NDJSON stream in cell order
-//	GET  /healthz    liveness
-//	GET  /readyz     readiness (503 while draining)
-//	GET  /metrics    Prometheus text format: pipeline metrics aggregated
-//	                 across served runs, plus queue depth, in-flight,
-//	                 cache hit/miss and latency histograms
+//	POST /v1/run          one simulation (JSON in, run-report/v1 out)
+//	POST /v1/sweep        cross-product sweep, NDJSON stream in cell order;
+//	                      "progress": true interleaves progress/v1 heartbeats
+//	GET  /v1/trace/{id}   flight-recorder timeline of a recent request
+//	                      (Chrome/Perfetto trace JSON; id = X-Request-Id)
+//	GET  /healthz         liveness
+//	GET  /readyz          readiness (503 while draining)
+//	GET  /metrics         Prometheus text format: pipeline metrics aggregated
+//	                      across served runs, queue depth, in-flight, cache
+//	                      outcomes, route×outcome latency and span-duration
+//	                      histograms
+//	GET  /debug/pprof/*   Go profiler (only with -pprof)
+//
+// Every response carries X-Request-Id (also the trace ID in the W3C
+// traceparent response header); logs are structured (-log-format json|text)
+// and correlate request ID with config digest.
 //
 // SIGTERM/SIGINT drain gracefully: readiness flips, in-flight requests and
 // simulations finish (bounded by -drain-timeout), then the process exits 0.
@@ -24,6 +33,7 @@
 //	tvservd                              # serve on :8844
 //	tvservd -addr 127.0.0.1:0 -addrfile addr.txt   # ephemeral port for scripts
 //	tvservd -workers 8 -queue 128 -cache 4096
+//	tvservd -log-format json -pprof      # machine logs + profiler
 //
 // Drive it with cmd/tvload, or by hand:
 //
@@ -35,9 +45,11 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -60,65 +72,116 @@ func main() {
 		runTimeout   = flag.Duration("run-timeout", 2*time.Minute, "per-simulation budget once a worker picks it up")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget after SIGTERM")
 		ns           = flag.String("ns", "tvservd", "Prometheus metric namespace")
+		logFormat    = flag.String("log-format", "text", "log output format: json or text")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		traceSpans   = flag.Int("trace-spans", 4096, "flight-recorder capacity in spans (GET /v1/trace/{id})")
+		heartbeat    = flag.Duration("heartbeat", 2*time.Second, "progress/v1 heartbeat cadence on progress-enabled sweeps")
+		pprofOn      = flag.Bool("pprof", false, "mount the Go profiler at /debug/pprof (off by default: it exposes internals)")
 	)
 	flag.Parse()
-	log.SetFlags(0)
-	log.SetPrefix("tvservd: ")
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvservd:", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.String("error", err.Error()))
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen failed", err)
 	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
-			log.Fatal(err)
+			fatal("addrfile write failed", err)
 		}
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cacheN,
-		SnapshotEntries: *snapN,
-		MaxInstructions: *maxInsts,
-		MaxSweepCells:   *maxCells,
-		RunTimeout:      *runTimeout,
-		Namespace:       *ns,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheEntries:      *cacheN,
+		SnapshotEntries:   *snapN,
+		MaxInstructions:   *maxInsts,
+		MaxSweepCells:     *maxCells,
+		RunTimeout:        *runTimeout,
+		Namespace:         *ns,
+		Logger:            logger,
+		TraceSpans:        *traceSpans,
+		HeartbeatInterval: *heartbeat,
 	})
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	hs := &http.Server{Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	log.Printf("serving on http://%s (workers=%d queue=%d cache=%d)",
-		ln.Addr(), effectiveWorkers(*workers), *queue, *cacheN)
+	logger.Info("serving",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("workers", effectiveWorkers(*workers)),
+		slog.Int("queue", *queue),
+		slog.Int("cache", *cacheN),
+		slog.Int("trace_spans", *traceSpans),
+		slog.Bool("pprof", *pprofOn),
+	)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal("server failed", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("signal received, draining (budget %s)", *drainTimeout)
+	logger.Info("signal received, draining", slog.Duration("budget", *drainTimeout))
 	srv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		srv.Close()
-		log.Fatalf("drain failed: %v", err)
+		fatal("drain failed", err)
 	}
 	// Shutdown waits for in-flight HTTP requests; detached computations
 	// (leaders whose clients left) may still be running for the cache.
 	if err := srv.Drain(shutdownCtx); err != nil {
 		srv.Close()
-		log.Fatalf("drain failed: %v", err)
+		fatal("drain failed", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("server failed", err)
 	}
-	log.Print("drained cleanly")
+	logger.Info("drained cleanly")
+}
+
+// buildLogger assembles the process logger from the -log-format/-log-level
+// flags. Both handlers write to stderr, keeping stdout free for data.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want json or text", format)
+	}
 }
 
 func effectiveWorkers(n int) int {

@@ -25,6 +25,14 @@ type Exposition struct {
 	metrics *Metrics
 	stack   *CPIStack
 	serve   *ServeMetrics
+	spans   func() []NamedHist
+}
+
+// NamedHist is one labelled histogram of a family — the shape span-duration
+// sources hand the exposition (internal/obs/span.Tracer.DurationHists).
+type NamedHist struct {
+	Name string
+	Hist Hist
 }
 
 // NewExposition builds an exposition over the given sources (either may be
@@ -55,6 +63,15 @@ func (e *Exposition) WithServe(s *ServeMetrics) *Exposition {
 	return e
 }
 
+// WithSpans adds request-scoped span-duration histograms to the exposition:
+// source is called at scrape time and each NamedHist renders as a
+// `<ns>_span_duration_us` histogram labelled span="<name>". A nil source is
+// ignored. The flight-recorder tracer's DurationHists method matches.
+func (e *Exposition) WithSpans(source func() []NamedHist) *Exposition {
+	e.spans = source
+	return e
+}
+
 // Handler serves the exposition over HTTP (mount at /metrics).
 func (e *Exposition) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -78,6 +95,11 @@ func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
 	}
 	if e.serve != nil {
 		if err := e.writeServe(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	if e.spans != nil {
+		if err := e.writeSpans(cw); err != nil {
 			return cw.n, err
 		}
 	}
@@ -148,6 +170,18 @@ func writeHist(w io.Writer, name, help string, h *Hist) error {
 	if err := head(w, name, help, "histogram"); err != nil {
 		return err
 	}
+	return writeHistSeries(w, name, "", h)
+}
+
+// writeHistSeries renders the bucket/sum/count series of one histogram,
+// without the family header, merging the extra labels (`k="v",…` form, no
+// braces) into each series — so several labelled histograms can share one
+// family.
+func writeHistSeries(w io.Writer, name, labels string, h *Hist) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	cum := uint64(0)
 	for i := 0; i < len(h.Buckets)-1; i++ {
 		cum += h.Buckets[i]
@@ -155,12 +189,18 @@ func writeHist(w io.Writer, name, help string, h *Hist) error {
 		if i > 0 {
 			le = 1<<uint(i) - 1
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"%d\"} %d\n", name, labels, sep, le, cum); err != nil {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
-		name, h.Count, name, h.Sum, name, h.Count)
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count); err != nil {
+		return err
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+		name, labels, h.Sum, name, labels, h.Count)
 	return err
 }
 
@@ -193,15 +233,38 @@ func (e *Exposition) writeServe(w io.Writer) error {
 		}
 	}
 
-	hists := []struct {
-		name, help string
-		h          Hist
-	}{
-		{e.ns + "_serve_request_latency_us", "Whole-request latency in microseconds, all outcomes.", snap.ReqLatency},
-		{e.ns + "_serve_run_latency_us", "Underlying simulation latency in microseconds (cache misses only).", snap.RunLatency},
+	// Request latency is one family split route × cache outcome; only
+	// populated cells are rendered so an idle server stays compact.
+	name = e.ns + "_serve_request_latency_us"
+	if err := head(w, name, "Whole-request latency in microseconds by route and cache outcome.", "histogram"); err != nil {
+		return err
 	}
-	for _, hh := range hists {
-		if err := writeHist(w, hh.name, hh.help, &hh.h); err != nil {
+	for r := ServeRoute(0); r < NumServeRoutes; r++ {
+		for o := ServeOutcome(0); o < NumServeOutcomes; o++ {
+			h := &snap.ReqLatency[r][o]
+			if h.Count == 0 {
+				continue
+			}
+			labels := fmt.Sprintf("route=%q,result=%q", r.String(), o.String())
+			if err := writeHistSeries(w, name, labels, h); err != nil {
+				return err
+			}
+		}
+	}
+
+	return writeHist(w, e.ns+"_serve_run_latency_us",
+		"Underlying simulation latency in microseconds (cache misses only).", &snap.RunLatency)
+}
+
+// writeSpans renders the span-duration histograms as one family labelled by
+// span name.
+func (e *Exposition) writeSpans(w io.Writer) error {
+	name := e.ns + "_span_duration_us"
+	if err := head(w, name, "Request-scoped span durations in microseconds by span name.", "histogram"); err != nil {
+		return err
+	}
+	for _, nh := range e.spans() {
+		if err := writeHistSeries(w, name, fmt.Sprintf("span=%q", nh.Name), &nh.Hist); err != nil {
 			return err
 		}
 	}

@@ -33,6 +33,31 @@ func (o ServeOutcome) String() string {
 	return serveOutcomeNames[o]
 }
 
+// ServeRoute classifies which serving endpoint handled a request, so latency
+// histograms can be split per route as well as per cache outcome (a /v1/run
+// cache hit and a cold /v1/sweep cell live in different distributions).
+type ServeRoute int
+
+// The labelled routes. RouteOther absorbs anything unclassified so the
+// registry can never lose a sample.
+const (
+	RouteRun ServeRoute = iota
+	RouteSweep
+	RouteTrace
+	RouteOther
+	NumServeRoutes
+)
+
+var serveRouteNames = [NumServeRoutes]string{"run", "sweep", "trace", "other"}
+
+// String returns the Prometheus label value for the route.
+func (r ServeRoute) String() string {
+	if r < 0 || r >= NumServeRoutes {
+		return "unknown"
+	}
+	return serveRouteNames[r]
+}
+
 // ServeMetrics is the serving-layer registry behind cmd/tvservd: request
 // outcomes (cache hit / singleflight share / miss / rejection / error),
 // queue-depth and in-flight gauges maintained by the server, and log2
@@ -45,8 +70,10 @@ type ServeMetrics struct {
 	outcomes   [NumServeOutcomes]uint64
 	queueDepth int64
 	inFlight   int64
-	reqLat     Hist // whole-request latency, µs (all outcomes)
-	runLat     Hist // underlying simulation latency, µs (misses only)
+	// reqLat is the whole-request latency in µs, split route × cache
+	// outcome so p50/p99 can be read hit-vs-cold per endpoint.
+	reqLat [NumServeRoutes][NumServeOutcomes]Hist
+	runLat Hist // underlying simulation latency, µs (misses only)
 }
 
 // NewServeMetrics builds an empty serving registry.
@@ -70,10 +97,17 @@ func (s *ServeMetrics) SetQueue(queued, inFlight int64) {
 	s.mu.Unlock()
 }
 
-// ObserveRequest records one whole-request latency in microseconds.
-func (s *ServeMetrics) ObserveRequest(us uint64) {
+// ObserveRequest records one whole-request latency in microseconds, under
+// the route that served it and the cache outcome it resolved to.
+func (s *ServeMetrics) ObserveRequest(route ServeRoute, outcome ServeOutcome, us uint64) {
+	if route < 0 || route >= NumServeRoutes {
+		route = RouteOther
+	}
+	if outcome < 0 || outcome >= NumServeOutcomes {
+		outcome = ServeErrored
+	}
 	s.mu.Lock()
-	s.reqLat.Observe(us)
+	s.reqLat[route][outcome].Observe(us)
 	s.mu.Unlock()
 }
 
@@ -89,8 +123,25 @@ type ServeSnapshot struct {
 	Outcomes   [NumServeOutcomes]uint64
 	QueueDepth int64
 	InFlight   int64
-	ReqLatency Hist
+	ReqLatency [NumServeRoutes][NumServeOutcomes]Hist
 	RunLatency Hist
+}
+
+// ReqLatencyTotal folds the route × outcome latency matrix into one
+// histogram (the pre-split aggregate view).
+func (s *ServeSnapshot) ReqLatencyTotal() Hist {
+	var total Hist
+	for r := range s.ReqLatency {
+		for o := range s.ReqLatency[r] {
+			h := &s.ReqLatency[r][o]
+			total.Count += h.Count
+			total.Sum += h.Sum
+			for b := range h.Buckets {
+				total.Buckets[b] += h.Buckets[b]
+			}
+		}
+	}
+	return total
 }
 
 // Snapshot copies the registry under its lock.

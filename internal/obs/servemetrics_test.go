@@ -18,9 +18,10 @@ func populatedServeMetrics() *ServeMetrics {
 	s.Outcome(ServeRejected)
 	s.Outcome(ServeBadRequest)
 	s.SetQueue(3, 2)
-	for _, us := range []uint64{0, 90, 1500, 1500, 250000} {
-		s.ObserveRequest(us)
+	for _, us := range []uint64{0, 90, 1500, 1500} {
+		s.ObserveRequest(RouteRun, ServeHit, us)
 	}
+	s.ObserveRequest(RouteSweep, ServeMiss, 250000)
 	s.ObserveRun(250000)
 	return s
 }
@@ -57,9 +58,10 @@ func TestServeExpositionFormat(t *testing.T) {
 		`tvservd_serve_requests_total{result="error"} 0`,
 		"tvservd_serve_queue_depth 3",
 		"tvservd_serve_in_flight 2",
-		"tvservd_serve_request_latency_us_count 5",
+		`tvservd_serve_request_latency_us_count{route="run",result="hit"} 4`,
+		`tvservd_serve_request_latency_us_count{route="sweep",result="miss"} 1`,
 		"tvservd_serve_run_latency_us_count 1",
-		`tvservd_serve_request_latency_us_bucket{le="+Inf"} 5`,
+		`tvservd_serve_request_latency_us_bucket{route="run",result="hit",le="+Inf"} 4`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
@@ -78,7 +80,7 @@ func TestServeMetricsConcurrency(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
 				s.Outcome(ServeOutcome(i % int(NumServeOutcomes)))
-				s.ObserveRequest(uint64(i))
+				s.ObserveRequest(ServeRoute(i%int(NumServeRoutes)), ServeOutcome(i%int(NumServeOutcomes)), uint64(i))
 				s.ObserveRun(uint64(i))
 				s.SetQueue(int64(g), int64(i%4))
 				_ = s.Snapshot()
@@ -94,7 +96,7 @@ func TestServeMetricsConcurrency(t *testing.T) {
 	if total != 8000 {
 		t.Fatalf("outcome total %d, want 8000", total)
 	}
-	if snap.ReqLatency.Count != 8000 || snap.RunLatency.Count != 8000 {
-		t.Fatalf("latency counts %d/%d, want 8000", snap.ReqLatency.Count, snap.RunLatency.Count)
+	if req := snap.ReqLatencyTotal(); req.Count != 8000 || snap.RunLatency.Count != 8000 {
+		t.Fatalf("latency counts %d/%d, want 8000", req.Count, snap.RunLatency.Count)
 	}
 }

@@ -1,0 +1,111 @@
+package span
+
+import (
+	"encoding/hex"
+	"net/http"
+)
+
+// TraceID is a W3C Trace Context trace-id: 16 bytes, hex-encoded on the
+// wire, never all-zero.
+type TraceID [16]byte
+
+// IsZero reports the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String returns the 32-char lowercase hex form — the request ID the serving
+// layer logs and the /v1/trace endpoint accepts.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// ParseTraceID decodes the 32-char hex form; ok is false for anything else
+// (wrong length, non-hex, all-zero).
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil || t.IsZero() {
+		return TraceID{}, false
+	}
+	return t, true
+}
+
+// SpanID is a W3C Trace Context parent-id: 8 bytes, hex-encoded, never
+// all-zero.
+type SpanID [8]byte
+
+// IsZero reports the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the 16-char lowercase hex form.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// Context is a propagated trace position: which trace, which span is the
+// parent, and the sampling flags. The zero Context means "no trace context".
+type Context struct {
+	Trace TraceID
+	Span  SpanID
+	Flags byte
+}
+
+// traceparentHeader is the W3C Trace Context header name.
+const traceparentHeader = "traceparent"
+
+// ParseTraceparent parses a W3C traceparent header value,
+// version 00: "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>".
+// Unknown versions, malformed fields and all-zero IDs are rejected (ok
+// false) — a bad header degrades to a fresh local trace, never an error.
+func ParseTraceparent(v string) (Context, bool) {
+	if len(v) < 55 || v[0] != '0' || v[1] != '0' || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return Context{}, false
+	}
+	var c Context
+	if _, err := hex.Decode(c.Trace[:], []byte(v[3:35])); err != nil || c.Trace.IsZero() {
+		return Context{}, false
+	}
+	if _, err := hex.Decode(c.Span[:], []byte(v[36:52])); err != nil || c.Span.IsZero() {
+		return Context{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(v[53:55])); err != nil {
+		return Context{}, false
+	}
+	c.Flags = flags[0]
+	return c, true
+}
+
+// Traceparent renders the context as a version-00 traceparent value.
+func (c Context) Traceparent() string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, '0', '0', '-')
+	buf = hexAppend(buf, c.Trace[:])
+	buf = append(buf, '-')
+	buf = hexAppend(buf, c.Span[:])
+	buf = append(buf, '-')
+	buf = hexAppend(buf, []byte{c.Flags})
+	return string(buf)
+}
+
+func hexAppend(dst, src []byte) []byte {
+	const digits = "0123456789abcdef"
+	for _, b := range src {
+		dst = append(dst, digits[b>>4], digits[b&0xf])
+	}
+	return dst
+}
+
+// Extract reads the trace context from an incoming request's traceparent
+// header; the zero Context when absent or malformed.
+func Extract(r *http.Request) Context {
+	c, _ := ParseTraceparent(r.Header.Get(traceparentHeader))
+	return c
+}
+
+// Inject writes the context as a traceparent header (no-op for the zero
+// context). Used on responses — so clients learn the request's trace ID even
+// when they sent none — and on any outbound call that should stay in-trace.
+func (c Context) Inject(h http.Header) {
+	if c.Trace.IsZero() {
+		return
+	}
+	h.Set(traceparentHeader, c.Traceparent())
+}

@@ -100,6 +100,12 @@ type SweepRequest struct {
 	// use neutral warmup) — the flag trades warmup CPU for snapshot-cache
 	// memory, and exists mainly so benchmarks and CI can compare the paths.
 	Checkpoint *bool `json:"checkpoint,omitempty"`
+	// Progress, when true, interleaves tvsched/progress/v1 heartbeat records
+	// (cells done/total, per-provenance counts, EWMA-based ETA) with the cell
+	// lines, at the server's heartbeat cadence, plus one final heartbeat after
+	// the last cell. Off by default: heartbeats carry wall-clock timings, so
+	// only streams that opt in trade away byte-determinism.
+	Progress bool `json:"progress,omitempty"`
 }
 
 // Cells expands the sweep into per-cell run requests, in deterministic

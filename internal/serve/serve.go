@@ -33,19 +33,26 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"tvsched"
 	"tvsched/internal/experiments"
 	"tvsched/internal/obs"
+	"tvsched/internal/obs/span"
 )
 
 // ErrBusy reports a full admission queue; handlers map it to HTTP 429.
 var ErrBusy = errors.New("admission queue full")
+
+// errMethod reports a request with the wrong HTTP method.
+var errMethod = errors.New("method not allowed")
 
 // Runner executes one normalized simulation config; checkpoint says whether
 // the run may share the server's warm-state snapshot cache. It is a seam for
@@ -59,7 +66,35 @@ var ErrBusy = errors.New("admission queue full")
 // is scheme- and VDD-independent, so whether a run restores a cached
 // checkpoint or warms up from scratch cannot change a single response byte —
 // checkpoint only decides whether the warmup cost is paid again.
-type Runner func(ctx context.Context, cfg tvsched.Config, checkpoint bool) (tvsched.Result, error)
+type Runner func(ctx context.Context, cfg tvsched.Config, checkpoint bool) (tvsched.Result, RunInfo, error)
+
+// RunInfo reports how a Runner produced its result — the per-cell provenance
+// the campaign accounting (progress heartbeats, span tags, capacity
+// planning) observes. It never affects the result bytes.
+type RunInfo struct {
+	// Restored is true when the run skipped its warmup phase by restoring a
+	// cached warm-state snapshot; false means a cold warmup ran.
+	Restored bool
+}
+
+// provenance renders the per-request cache provenance label: cache "hit",
+// singleflight "shared", or a fresh simulation that was "restored" from a
+// warm snapshot or ran fully "cold".
+func provenance(outcome obs.ServeOutcome, restored bool) string {
+	switch outcome {
+	case obs.ServeHit:
+		return "hit"
+	case obs.ServeShared:
+		return "shared"
+	case obs.ServeMiss:
+		if restored {
+			return "restored"
+		}
+		return "cold"
+	default:
+		return outcome.String()
+	}
+}
 
 // Config parameterizes a Server. Zero fields take the documented defaults.
 type Config struct {
@@ -90,6 +125,17 @@ type Config struct {
 	RunTimeout time.Duration
 	// Namespace prefixes the Prometheus metric names (default "tvservd").
 	Namespace string
+	// Logger receives the serving layer's structured log records: one line
+	// per error response (request ID + digest + cause) and one per served
+	// request/sweep. Nil discards — cmd/tvservd always installs one.
+	Logger *slog.Logger
+	// TraceSpans bounds the flight recorder: the most recent TraceSpans
+	// finished spans stay retrievable through GET /v1/trace/{requestID}
+	// (default 4096; older spans are evicted, never an error).
+	TraceSpans int
+	// HeartbeatInterval is the cadence of progress/v1 heartbeat records on
+	// /v1/sweep streams that opt in with "progress": true (default 2s).
+	HeartbeatInterval time.Duration
 	// Runner overrides the simulation executor (tests only).
 	Runner Runner
 }
@@ -119,16 +165,26 @@ func (c *Config) fill() {
 	if c.Namespace == "" {
 		c.Namespace = "tvservd"
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.TraceSpans <= 0 {
+		c.TraceSpans = 4096
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 2 * time.Second
+	}
 }
 
 // call is one in-flight computation in the singleflight table. The leader
 // fills the result fields and closes done; every waiter (the leader's own
 // request and any collapsed followers) reads them afterwards.
 type call struct {
-	done   chan struct{}
-	body   []byte
-	status int
-	err    error
+	done     chan struct{}
+	body     []byte
+	status   int
+	restored bool // the leader's run restored a warm snapshot
+	err      error
 }
 
 // Server is the simulation-serving core: handlers, cache, singleflight
@@ -138,6 +194,8 @@ type Server struct {
 	cfg        Config
 	sm         *obs.ServeMetrics
 	pipeM      *obs.Metrics
+	log        *slog.Logger
+	tracer     *span.Tracer
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	sem        chan struct{} // worker slots
@@ -176,6 +234,8 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		sm:         obs.NewServeMetrics(),
 		pipeM:      obs.NewMetrics(),
+		log:        cfg.Logger,
+		tracer:     span.NewTracer(cfg.TraceSpans),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		sem:        make(chan struct{}, cfg.Workers),
@@ -190,12 +250,17 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
-	mux.Handle("/metrics", obs.NewExposition(cfg.Namespace, s.pipeM, nil).WithServe(s.sm).Handler())
+	mux.Handle("/metrics", obs.NewExposition(cfg.Namespace, s.pipeM, nil).
+		WithServe(s.sm).WithSpans(s.tracer.DurationHists).Handler())
 	s.mux = mux
 	return s
 }
+
+// Tracer exposes the request flight recorder (tests and embedders).
+func (s *Server) Tracer() *span.Tracer { return s.tracer }
 
 // Handler returns the HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -209,35 +274,55 @@ func (s *Server) Metrics() *obs.ServeMetrics { return s.sm }
 // the shared warm-state snapshot for the cell's WarmKey (producing and
 // caching it on first use) instead of re-simulating the warmup phase; the
 // neutral-warmup property makes the two paths byte-identical (see Runner).
-func (s *Server) defaultRunner(ctx context.Context, cfg tvsched.Config, checkpoint bool) (tvsched.Result, error) {
+func (s *Server) defaultRunner(ctx context.Context, cfg tvsched.Config, checkpoint bool) (tvsched.Result, RunInfo, error) {
 	sh := s.pipeM.Shard()
 	cfg.Observer = sh
 	defer sh.Flush()
+	// The simulate span (if this computation is traced) receives one child
+	// per session lifecycle phase, named for the timeline reader: the
+	// "restore" phase is a snapshot restore, "run" is the measured phase.
+	sp := span.FromContext(ctx)
+	if sp != nil {
+		cfg.PhaseHook = func(phase string, d time.Duration) {
+			switch phase {
+			case "restore":
+				phase = "snapshot_restore"
+			case "run":
+				phase = "measure"
+			case "warmup_neutral":
+				phase = "warmup"
+			}
+			sp.RecordChild(phase, d)
+		}
+	}
 	sess, err := tvsched.NewSession(cfg)
 	if err != nil {
-		return tvsched.Result{}, err
+		return tvsched.Result{}, RunInfo{}, err
 	}
+	sp.SetAttr("warm_key", sess.WarmKey())
 	if checkpoint {
 		key := sess.WarmKey()
 		if data, err := s.warmSnapshot(ctx, cfg, key); err == nil {
 			if err := sess.Restore(&tvsched.Snapshot{Key: key, Data: data}); err == nil {
-				return sess.Run(ctx, tvsched.RunOpts{})
+				res, err := sess.Run(ctx, tvsched.RunOpts{})
+				return res, RunInfo{Restored: true}, err
 			}
 			// A failed restore may leave the machine half-loaded; rebuild
 			// before falling back to the cold path.
 			if sess, err = tvsched.NewSession(cfg); err != nil {
-				return tvsched.Result{}, err
+				return tvsched.Result{}, RunInfo{}, err
 			}
 		} else if ctx.Err() != nil {
-			return tvsched.Result{}, err
+			return tvsched.Result{}, RunInfo{}, err
 		}
 		// Any other snapshot failure falls back to a cold warmup: checkpoints
 		// are an optimization, never a correctness dependency.
 	}
 	if err := sess.WarmupNeutral(ctx); err != nil {
-		return tvsched.Result{}, err
+		return tvsched.Result{}, RunInfo{}, err
 	}
-	return sess.Run(ctx, tvsched.RunOpts{})
+	res, err := sess.Run(ctx, tvsched.RunOpts{})
+	return res, RunInfo{}, err
 }
 
 // warmSnapshot returns the snapshot bytes for key: snapshot-cache hit,
@@ -263,7 +348,9 @@ func (s *Server) warmSnapshot(ctx context.Context, cfg tvsched.Config, key strin
 	s.snapFlight[key] = c
 	s.snapMu.Unlock()
 
+	prodStart := time.Now()
 	c.data, c.err = produceSnapshot(ctx, cfg)
+	span.FromContext(ctx).RecordChild("snapshot_produce", time.Since(prodStart))
 	s.snapMu.Lock()
 	if c.err == nil {
 		s.snapCache.put(key, c.data)
@@ -327,65 +414,92 @@ func (s *Server) gaugesLocked() {
 // bypasses the queue-full rejection — a sweep is one admitted request whose
 // internal fan-out is flow-controlled by the worker pool, so its cells wait
 // for capacity instead of bouncing.
-func (s *Server) result(ctx context.Context, cfg tvsched.Config, admit, checkpoint bool) (body []byte, outcome obs.ServeOutcome, status int, err error) {
+//
+// parent, when non-nil, is the live request (or sweep-cell) span; the
+// admission decision and every wait are recorded as children under it, and
+// the detached computation parents its own spans under the same trace via a
+// value-copied span context (safe even after the request span ends).
+func (s *Server) result(ctx context.Context, cfg tvsched.Config, admit, checkpoint bool, parent *span.ActiveSpan) (body []byte, outcome obs.ServeOutcome, restored bool, status int, err error) {
 	digest := cfg.Digest()
+	lookupStart := time.Now()
 	s.mu.Lock()
 	if b, ok := s.cache.get(digest); ok {
 		s.mu.Unlock()
-		return b, obs.ServeHit, http.StatusOK, nil
+		parent.RecordChild("cache_lookup", time.Since(lookupStart), span.Attr{Key: "hit", Value: "true"})
+		return b, obs.ServeHit, false, http.StatusOK, nil
 	}
 	if c, ok := s.flight[digest]; ok {
 		s.mu.Unlock()
+		parent.RecordChild("cache_lookup", time.Since(lookupStart), span.Attr{Key: "hit", Value: "false"})
+		ws := parent.Child("singleflight_wait")
 		select {
 		case <-c.done:
-			return c.body, obs.ServeShared, c.status, c.err
+			ws.End()
+			return c.body, obs.ServeShared, c.restored, c.status, c.err
 		case <-ctx.Done():
-			return nil, obs.ServeErrored, http.StatusServiceUnavailable, ctx.Err()
+			ws.SetAttr("outcome", "abandoned")
+			ws.End()
+			return nil, obs.ServeErrored, false, http.StatusServiceUnavailable, ctx.Err()
 		}
 	}
 	if admit && s.pending >= s.cfg.Workers+s.cfg.QueueDepth {
 		s.mu.Unlock()
-		return nil, obs.ServeRejected, http.StatusTooManyRequests, ErrBusy
+		parent.RecordChild("admission", time.Since(lookupStart), span.Attr{Key: "decision", Value: "rejected"})
+		return nil, obs.ServeRejected, false, http.StatusTooManyRequests, ErrBusy
 	}
 	c := &call{done: make(chan struct{})}
 	s.flight[digest] = c
 	s.pending++
 	s.gaugesLocked()
 	s.mu.Unlock()
+	parent.RecordChild("admission", time.Since(lookupStart), span.Attr{Key: "decision", Value: "lead"})
 
 	// The computation runs under the server's lifetime, not this request's:
 	// followers that arrive later still want the result, and so does the
 	// cache. The leader merely waits like any other follower.
 	s.wg.Add(1)
-	go s.compute(digest, cfg, c, checkpoint)
+	go s.compute(digest, cfg, c, checkpoint, parent.Context())
 	select {
 	case <-c.done:
-		return c.body, obs.ServeMiss, c.status, c.err
+		return c.body, obs.ServeMiss, c.restored, c.status, c.err
 	case <-ctx.Done():
-		return nil, obs.ServeErrored, http.StatusServiceUnavailable, ctx.Err()
+		return nil, obs.ServeErrored, false, http.StatusServiceUnavailable, ctx.Err()
 	}
 }
 
 // compute is the singleflight leader body: queue for a worker slot, run the
-// simulation, render and cache the report, publish to waiters.
-func (s *Server) compute(digest string, cfg tvsched.Config, c *call, checkpoint bool) {
+// simulation, render and cache the report, publish to waiters. parent is the
+// leading request's span context (a value copy — the request may be gone by
+// the time the computation finishes; the trace link stays valid).
+func (s *Server) compute(digest string, cfg tvsched.Config, c *call, checkpoint bool, parent span.Context) {
 	defer s.wg.Done()
 	var (
 		body   []byte
 		status = http.StatusOK
+		info   RunInfo
 		err    error
 	)
+	qs := s.tracer.StartRoot("queue_wait", parent)
 	select {
 	case s.sem <- struct{}{}:
+		qs.End()
 		s.mu.Lock()
 		s.running++
 		s.gaugesLocked()
 		s.mu.Unlock()
 		runCtx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RunTimeout)
+		ss := s.tracer.StartRoot("simulate", parent)
+		ss.SetAttr("digest", digest)
+		runCtx = span.NewContext(runCtx, ss)
 		start := time.Now()
 		var res tvsched.Result
-		res, err = s.cfg.Runner(runCtx, cfg, checkpoint)
+		res, info, err = s.cfg.Runner(runCtx, cfg, checkpoint)
 		cancel()
+		ss.SetAttr("provenance", provenance(obs.ServeMiss, info.Restored))
+		if err != nil {
+			ss.SetAttr("error", err.Error())
+		}
+		ss.End()
 		s.sm.ObserveRun(uint64(time.Since(start).Microseconds()))
 		s.mu.Lock()
 		s.running--
@@ -393,12 +507,16 @@ func (s *Server) compute(digest string, cfg tvsched.Config, c *call, checkpoint 
 		s.mu.Unlock()
 		<-s.sem
 		if err == nil {
+			es := s.tracer.StartRoot("encode", parent)
 			body, err = marshalReport(reportFor(cfg, res))
+			es.End()
 		}
 		if err != nil {
 			status = statusFor(err)
 		}
 	case <-s.baseCtx.Done():
+		qs.SetAttr("outcome", "aborted")
+		qs.End()
 		err = s.baseCtx.Err()
 		status = http.StatusServiceUnavailable
 	}
@@ -410,7 +528,7 @@ func (s *Server) compute(digest string, cfg tvsched.Config, c *call, checkpoint 
 	s.pending--
 	s.gaugesLocked()
 	s.mu.Unlock()
-	c.body, c.status, c.err = body, status, err
+	c.body, c.status, c.restored, c.err = body, status, info.Restored, err
 	close(c.done)
 }
 
@@ -499,12 +617,45 @@ func (s *Server) checkPolicy(cfg tvsched.Config) error {
 	return nil
 }
 
+// fail is the single chokepoint every 4xx/5xx response goes through: it
+// emits exactly one structured log record (request ID + digest + cause) and
+// writes the error body, unless the client is already gone. 4xx logs at
+// Warn (the client misbehaved), 5xx at Error (we did).
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, reqID, digest string, status int, err error) {
+	level := slog.LevelWarn
+	if status >= 500 {
+		level = slog.LevelError
+	}
+	s.log.LogAttrs(r.Context(), level, "request failed",
+		slog.String("request_id", reqID),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("digest", digest),
+		slog.Int("status", status),
+		slog.String("cause", err.Error()),
+	)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", s.retryAfter())
+	}
+	if r.Context().Err() != nil {
+		return // client is gone; nothing to write to
+	}
+	http.Error(w, err.Error(), status)
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sp := s.tracer.StartRoot("run", span.Extract(r))
+	defer sp.End()
+	reqID := sp.TraceID().String()
+	h := w.Header()
+	h.Set("X-Request-Id", reqID)
+	sp.Context().Inject(h)
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		sp.SetAttr("outcome", "error")
+		s.fail(w, r, reqID, "", http.StatusMethodNotAllowed, errMethod)
 		return
 	}
-	start := time.Now()
 	var req RunRequest
 	var cfg tvsched.Config
 	err := decode(w, r, &req)
@@ -516,29 +667,32 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		s.sm.Outcome(obs.ServeBadRequest)
-		s.sm.ObserveRequest(uint64(time.Since(start).Microseconds()))
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.sm.ObserveRequest(obs.RouteRun, obs.ServeBadRequest, uint64(time.Since(start).Microseconds()))
+		sp.SetAttr("outcome", "bad_request")
+		s.fail(w, r, reqID, "", http.StatusBadRequest, err)
 		return
 	}
-	body, outcome, status, err := s.result(r.Context(), cfg, true, true)
+	digest := cfg.Digest()
+	sp.SetAttr("digest", digest)
+	body, outcome, restored, status, err := s.result(r.Context(), cfg, true, true, sp)
 	s.sm.Outcome(outcome)
-	s.sm.ObserveRequest(uint64(time.Since(start).Microseconds()))
-	switch {
-	case outcome == obs.ServeRejected:
-		w.Header().Set("Retry-After", s.retryAfter())
-		http.Error(w, err.Error(), status)
-	case err != nil:
-		if r.Context().Err() != nil {
-			return // client is gone; nothing to write to
-		}
-		http.Error(w, err.Error(), status)
-	default:
-		h := w.Header()
-		h.Set("Content-Type", "application/json")
-		h.Set("X-Tvsched-Digest", cfg.Digest())
-		h.Set("X-Tvsched-Cache", outcome.String())
-		_, _ = w.Write(body)
+	s.sm.ObserveRequest(obs.RouteRun, outcome, uint64(time.Since(start).Microseconds()))
+	prov := provenance(outcome, restored)
+	sp.SetAttr("outcome", prov)
+	if err != nil {
+		s.fail(w, r, reqID, digest, status, err)
+		return
 	}
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Tvsched-Digest", digest)
+	h.Set("X-Tvsched-Cache", outcome.String())
+	_, _ = w.Write(body)
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "run served",
+		slog.String("request_id", reqID),
+		slog.String("digest", digest),
+		slog.String("cache", prov),
+		slog.Duration("elapsed", time.Since(start)),
+	)
 }
 
 // sweepLine is one NDJSON record of a sweep response.
@@ -562,9 +716,96 @@ type sweepLine struct {
 	Error     string          `json:"error,omitempty"`
 }
 
+// ProgressSchema tags the heartbeat records a progress-enabled sweep stream
+// interleaves with its cell lines. Cell lines never carry a schema field, so
+// `"schema":"tvsched/progress/v1"` is the discriminator.
+const ProgressSchema = "tvsched/progress/v1"
+
+// progressLine is one live-campaign heartbeat: cumulative cell accounting by
+// provenance plus an ETA extrapolated from an EWMA of cell latency.
+type progressLine struct {
+	Schema      string  `json:"schema"`
+	Done        int     `json:"done"`
+	Total       int     `json:"total"`
+	Hit         int     `json:"hit"`
+	Shared      int     `json:"shared"`
+	Restored    int     `json:"restored"`
+	Cold        int     `json:"cold"`
+	Errors      int     `json:"errors"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	CellEwmaSec float64 `json:"cell_ewma_sec"`
+	EtaSec      float64 `json:"eta_sec"`
+}
+
+// progress accumulates per-cell completions for one sweep's heartbeats. Cell
+// goroutines write, the emission loop reads; the mutex is the only coupling.
+type progress struct {
+	mu                                sync.Mutex
+	total, done                       int
+	hit, shared, restored, cold, errs int
+	ewma                              float64 // seconds per cell
+}
+
+// observe folds one finished cell in. The EWMA (α=0.3) tracks recent cell
+// latency so the ETA adapts as a sweep transitions cold → warm.
+func (p *progress) observe(outcome obs.ServeOutcome, restored bool, err error, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	switch {
+	case err != nil:
+		p.errs++
+	case outcome == obs.ServeHit:
+		p.hit++
+	case outcome == obs.ServeShared:
+		p.shared++
+	case restored:
+		p.restored++
+	default:
+		p.cold++
+	}
+	const alpha = 0.3
+	if sec := d.Seconds(); p.ewma == 0 {
+		p.ewma = sec
+	} else {
+		p.ewma = alpha*sec + (1-alpha)*p.ewma
+	}
+}
+
+// line renders the current heartbeat. The ETA assumes the remaining cells run
+// at the EWMA latency across min(workers, remaining) lanes.
+func (p *progress) line(start time.Time, workers int) *progressLine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l := &progressLine{
+		Schema: ProgressSchema,
+		Done:   p.done, Total: p.total,
+		Hit: p.hit, Shared: p.shared, Restored: p.restored, Cold: p.cold,
+		Errors:      p.errs,
+		ElapsedSec:  time.Since(start).Seconds(),
+		CellEwmaSec: p.ewma,
+	}
+	if remaining := p.total - p.done; remaining > 0 {
+		lanes := workers
+		if remaining < lanes {
+			lanes = remaining
+		}
+		l.EtaSec = p.ewma * float64(remaining) / float64(lanes)
+	}
+	return l
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sp := s.tracer.StartRoot("sweep", span.Extract(r))
+	defer sp.End()
+	reqID := sp.TraceID().String()
+	h := w.Header()
+	h.Set("X-Request-Id", reqID)
+	sp.Context().Inject(h)
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		sp.SetAttr("outcome", "error")
+		s.fail(w, r, reqID, "", http.StatusMethodNotAllowed, errMethod)
 		return
 	}
 	var req SweepRequest
@@ -590,11 +831,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		s.sm.Outcome(obs.ServeBadRequest)
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		sp.SetAttr("outcome", "bad_request")
+		s.fail(w, r, reqID, "", http.StatusBadRequest, err)
 		return
 	}
+	sp.SetAttr("cells", strconv.Itoa(len(cells)))
 
 	checkpoint := req.Checkpoint == nil || *req.Checkpoint
+	prog := &progress{total: len(cells)}
 	type cellResult struct {
 		body    []byte
 		outcome obs.ServeOutcome
@@ -603,47 +847,121 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	results := make([]chan cellResult, len(cells))
 	// Fan out, bounded: the pool itself is the throttle (admit=false), the
 	// limiter just keeps goroutine count proportional to capacity rather
-	// than sweep size.
+	// than sweep size. Cell goroutines may outlive this handler when the
+	// client disconnects, so they parent their spans under a value copy of
+	// the sweep span's context, never the live span.
+	sweepCtx := sp.Context()
 	limiter := make(chan struct{}, s.cfg.Workers+s.cfg.QueueDepth)
 	for i := range cells {
 		results[i] = make(chan cellResult, 1)
 		go func(i int) {
 			limiter <- struct{}{}
 			defer func() { <-limiter }()
-			start := time.Now()
-			body, outcome, _, err := s.result(r.Context(), cfgs[i], false, checkpoint)
+			cs := s.tracer.StartRoot("cell", sweepCtx)
+			cs.SetAttr("digest", cfgs[i].Digest())
+			cs.SetAttr("index", strconv.Itoa(i))
+			cellStart := time.Now()
+			body, outcome, restored, _, err := s.result(r.Context(), cfgs[i], false, checkpoint, cs)
+			cs.SetAttr("outcome", provenance(outcome, restored))
+			cs.End()
 			s.sm.Outcome(outcome)
-			s.sm.ObserveRequest(uint64(time.Since(start).Microseconds()))
+			s.sm.ObserveRequest(obs.RouteSweep, outcome, uint64(time.Since(cellStart).Microseconds()))
+			prog.observe(outcome, restored, err, time.Since(cellStart))
 			results[i] <- cellResult{body, outcome, err}
 		}(i)
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	h.Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	for i := range cells {
-		res := <-results[i]
-		line := sweepLine{
-			Index:     i,
-			Benchmark: cfgs[i].Benchmark,
-			Scheme:    cfgs[i].Scheme.String(),
-			VDD:       cfgs[i].VDD,
-			Seed:      cfgs[i].Seed,
-			Digest:    cfgs[i].Digest(),
-			Cache:     res.outcome.String(),
-		}
-		if res.err != nil {
-			line.Error = res.err.Error()
-		} else {
-			line.Report = json.RawMessage(trimNewline(res.body))
-		}
-		if err := enc.Encode(&line); err != nil {
-			return // client is gone
+	emit := func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			return false // client is gone
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
+		return true
 	}
+	// Heartbeats are strictly opt-in: they carry wall-clock timings, and the
+	// default stream must stay a pure function of the request (the
+	// determinism contract CI enforces byte-for-byte). A nil ticker channel
+	// blocks forever, collapsing the select to plain emission.
+	var tick <-chan time.Time
+	if req.Progress {
+		t := time.NewTicker(s.cfg.HeartbeatInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for i := range cells {
+	emitCell:
+		for {
+			select {
+			case res := <-results[i]:
+				line := sweepLine{
+					Index:     i,
+					Benchmark: cfgs[i].Benchmark,
+					Scheme:    cfgs[i].Scheme.String(),
+					VDD:       cfgs[i].VDD,
+					Seed:      cfgs[i].Seed,
+					Digest:    cfgs[i].Digest(),
+					Cache:     res.outcome.String(),
+				}
+				if res.err != nil {
+					line.Error = res.err.Error()
+				} else {
+					line.Report = json.RawMessage(trimNewline(res.body))
+				}
+				if !emit(&line) {
+					return
+				}
+				break emitCell
+			case <-tick:
+				if !emit(prog.line(start, s.cfg.Workers)) {
+					return
+				}
+			}
+		}
+	}
+	// A final heartbeat closes the accounting (done == total, ETA 0) so a
+	// consumer never has to infer completion from a stale extrapolation.
+	if req.Progress {
+		if !emit(prog.line(start, s.cfg.Workers)) {
+			return
+		}
+	}
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "sweep served",
+		slog.String("request_id", reqID),
+		slog.Int("cells", len(cells)),
+		slog.Duration("elapsed", time.Since(start)),
+	)
+}
+
+// handleTrace serves the flight-recorder slice of one request as a Chrome
+// trace-event JSON document (loadable in Perfetto or chrome://tracing). The
+// request ID is the X-Request-Id a /v1/run or /v1/sweep response carried;
+// spans age out of the bounded ring, so an old ID answers 404, never an
+// error.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, r, "", "", http.StatusMethodNotAllowed, errMethod)
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	id, ok := span.ParseTraceID(raw)
+	if !ok {
+		s.fail(w, r, raw, "", http.StatusBadRequest,
+			fmt.Errorf("%w: malformed request id (want 32 hex chars)", ErrBadRequest))
+		return
+	}
+	spans := s.tracer.Trace(id)
+	if len(spans) == 0 {
+		s.fail(w, r, raw, "", http.StatusNotFound,
+			errors.New("trace not found: unknown request id, or its spans were evicted"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = span.WriteChromeTrace(w, spans)
 }
 
 func trimNewline(b []byte) []byte {

@@ -22,17 +22,17 @@ import (
 // counting invocations. When gate is non-nil every run blocks on it first,
 // so tests can hold simulations in flight.
 func stubRunner(runs *atomic.Int64, gate chan struct{}) Runner {
-	return func(ctx context.Context, cfg tvsched.Config, checkpoint bool) (tvsched.Result, error) {
+	return func(ctx context.Context, cfg tvsched.Config, checkpoint bool) (tvsched.Result, RunInfo, error) {
 		runs.Add(1)
 		if gate != nil {
 			select {
 			case <-gate:
 			case <-ctx.Done():
-				return tvsched.Result{}, ctx.Err()
+				return tvsched.Result{}, RunInfo{}, ctx.Err()
 			}
 		}
 		st := tvsched.PipeStats{Committed: cfg.Instructions, Cycles: cfg.Instructions*2 + cfg.Seed}
-		return tvsched.Result{IPC: st.IPC(), Stats: st}, nil
+		return tvsched.Result{IPC: st.IPC(), Stats: st}, RunInfo{}, nil
 	}
 }
 
@@ -396,9 +396,9 @@ func TestBadRequests(t *testing.T) {
 // TestRunTimeout bounds a runaway simulation with the server's per-run
 // budget and maps the expiry to 503.
 func TestRunTimeout(t *testing.T) {
-	hang := func(ctx context.Context, cfg tvsched.Config, checkpoint bool) (tvsched.Result, error) {
+	hang := func(ctx context.Context, cfg tvsched.Config, checkpoint bool) (tvsched.Result, RunInfo, error) {
 		<-ctx.Done()
-		return tvsched.Result{}, ctx.Err()
+		return tvsched.Result{}, RunInfo{}, ctx.Err()
 	}
 	_, ts := newTestServer(t, Config{Workers: 1, RunTimeout: 20 * time.Millisecond, Runner: hang})
 	resp, body := postRun(t, ts.URL, RunRequest{Benchmark: "bzip2", Instructions: 1000})

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+)
+
+// SweepProbeSchema tags the live-telemetry probe artifact (cmd/tvload
+// -sweepprobe): a consumer's-eye measurement of the progress/v1 heartbeat
+// stream a progress-enabled /v1/sweep emits.
+const SweepProbeSchema = "tvsched/sweep-probe/v1"
+
+// SweepProbeConfig parameterizes one heartbeat-observing sweep against a
+// running tvservd. The grid is the sweepbench scheme×voltage cross (ten
+// cells, one shared warm state) with lighter default phase lengths — the
+// probe measures the telemetry, not the checkpoint speedup.
+type SweepProbeConfig struct {
+	// URL is the server base URL.
+	URL string
+	// Benchmark names the workload every cell simulates (default bzip2).
+	Benchmark string
+	// Warmup / Instructions shape each cell (defaults 20000 / 4000).
+	Warmup       uint64
+	Instructions uint64
+	// Seed drives the sweep (default 1).
+	Seed uint64
+	// Timeout bounds the sweep request (default 10m).
+	Timeout time.Duration
+}
+
+func (c *SweepProbeConfig) fill() {
+	if c.Benchmark == "" {
+		c.Benchmark = "bzip2"
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 20000
+	}
+	if c.Instructions == 0 {
+		c.Instructions = 4000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Minute
+	}
+}
+
+// SweepProbeReport is the machine-readable outcome (schema
+// tvsched/sweep-probe/v1). Wall-clock fields vary run to run; the structural
+// fields (cells, heartbeat presence, final accounting) are what CI asserts.
+type SweepProbeReport struct {
+	Schema    string `json:"schema"`
+	URL       string `json:"url"`
+	RequestID string `json:"request_id"`
+	Benchmark string `json:"benchmark"`
+	Cells     int    `json:"cells"`
+	// Heartbeats counts progress/v1 records seen on the stream (including
+	// the closing one).
+	Heartbeats int `json:"heartbeats"`
+	// TimeToFirstCellNS is the wall time from posting the sweep to the first
+	// cell line — the streaming-latency figure a dashboard user feels.
+	TimeToFirstCellNS int64 `json:"time_to_first_cell_ns"`
+	TotalNS           int64 `json:"total_ns"`
+	// FinalDone/FinalTotal echo the closing heartbeat's accounting; a healthy
+	// stream ends with the two equal.
+	FinalDone  int `json:"final_done"`
+	FinalTotal int `json:"final_total"`
+	// Provenance breakdown from the closing heartbeat.
+	Hit      int `json:"hit"`
+	Shared   int `json:"shared"`
+	Restored int `json:"restored"`
+	Cold     int `json:"cold"`
+	Errors   int `json:"errors"`
+	// EtaMAESec is the mean absolute error, in seconds, of each mid-stream
+	// heartbeat's ETA against the remaining wall time the sweep actually
+	// took; EtaSamples counts the heartbeats that prediction was scored on.
+	// Zero samples (the sweep finished inside one cadence) reports MAE 0.
+	EtaMAESec  float64 `json:"eta_mae_sec"`
+	EtaSamples int     `json:"eta_samples"`
+}
+
+// RunSweepProbe posts one progress-enabled sweep and measures the telemetry
+// stream from the consumer side: time to first cell, heartbeat count, the
+// closing heartbeat's accounting, and how well the mid-stream ETAs predicted
+// the actual remaining duration.
+func RunSweepProbe(ctx context.Context, cfg SweepProbeConfig) (*SweepProbeReport, error) {
+	cfg.fill()
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("sweepprobe: no server URL")
+	}
+	schemes, vdds := sweepBenchCells()
+	req := SweepRequest{
+		Schema:       SweepRequestSchema,
+		Benchmarks:   []string{cfg.Benchmark},
+		Schemes:      schemes,
+		VDDs:         vdds,
+		Seeds:        []uint64{cfg.Seed},
+		Instructions: cfg.Instructions,
+		Warmup:       cfg.Warmup,
+		Progress:     true,
+	}
+	blob, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		cfg.URL+"/v1/sweep", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	client := &http.Client{Timeout: cfg.Timeout}
+	start := time.Now()
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("sweepprobe: sweep status %d", resp.StatusCode)
+	}
+
+	rep := &SweepProbeReport{
+		Schema:    SweepProbeSchema,
+		URL:       cfg.URL,
+		RequestID: resp.Header.Get("X-Request-Id"),
+		Benchmark: cfg.Benchmark,
+	}
+	// Each mid-stream heartbeat is an (arrival time, predicted ETA) sample;
+	// once the stream ends we know the actual remaining time each one was
+	// predicting and can score them.
+	type etaSample struct {
+		at  time.Time
+		eta float64
+	}
+	var samples []etaSample
+	var last progressLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		now := time.Now()
+		var probe struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return nil, fmt.Errorf("sweepprobe: bad NDJSON line: %w", err)
+		}
+		if probe.Schema == ProgressSchema {
+			var b progressLine
+			if err := json.Unmarshal(sc.Bytes(), &b); err != nil {
+				return nil, fmt.Errorf("sweepprobe: bad heartbeat: %w", err)
+			}
+			rep.Heartbeats++
+			if b.Done < b.Total {
+				samples = append(samples, etaSample{at: now, eta: b.EtaSec})
+			}
+			last = b
+			continue
+		}
+		var line sweepLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("sweepprobe: bad cell line: %w", err)
+		}
+		if line.Error != "" {
+			return nil, fmt.Errorf("sweepprobe: cell %d failed: %s", line.Index, line.Error)
+		}
+		if rep.Cells == 0 {
+			rep.TimeToFirstCellNS = now.Sub(start).Nanoseconds()
+		}
+		rep.Cells++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	end := time.Now()
+	rep.TotalNS = end.Sub(start).Nanoseconds()
+	if want := len(schemes) * len(vdds); rep.Cells != want {
+		return nil, fmt.Errorf("sweepprobe: %d cells, want %d", rep.Cells, want)
+	}
+	if rep.Heartbeats == 0 {
+		return nil, fmt.Errorf("sweepprobe: progress-enabled sweep emitted no heartbeats")
+	}
+	rep.FinalDone, rep.FinalTotal = last.Done, last.Total
+	rep.Hit, rep.Shared, rep.Restored, rep.Cold, rep.Errors =
+		last.Hit, last.Shared, last.Restored, last.Cold, last.Errors
+
+	var absErr float64
+	for _, s := range samples {
+		actual := end.Sub(s.at).Seconds()
+		absErr += math.Abs(s.eta - actual)
+	}
+	rep.EtaSamples = len(samples)
+	if len(samples) > 0 {
+		rep.EtaMAESec = absErr / float64(len(samples))
+	}
+	return rep, nil
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"tvsched/internal/asm"
 	"tvsched/internal/core"
@@ -59,6 +60,13 @@ type Config struct {
 	FaultBias float64
 	// Observer, when non-nil, receives the event stream (warmup included).
 	Observer obs.Observer
+	// PhaseHook, when non-nil, is called after each lifecycle phase
+	// completes with the phase name ("warmup", "warmup_neutral", "restore",
+	// "run") and its wall-clock duration. Pure observability: the hook sees
+	// host time, never simulated time, and cannot perturb the simulation —
+	// the serving layer uses it to attribute request latency to pipeline
+	// phases (DESIGN.md §14).
+	PhaseHook func(phase string, d time.Duration)
 	// Debug enables per-cycle invariant checking.
 	Debug bool
 	// Machine, when non-nil, overrides the simulated machine configuration
@@ -153,6 +161,7 @@ func NewAsm(cfg Config, source string, init func(m *asm.Machine)) (*Session, err
 // the historical warmup; its machine state depends on (scheme, VDD), so it
 // cannot feed the shared snapshot cache — use WarmupNeutral for that.
 func (s *Session) Warmup(ctx context.Context) error {
+	defer s.phase("warmup")()
 	if err := s.p.WarmupContext(ctx, s.cfg.Warmup); err != nil {
 		return err
 	}
@@ -161,11 +170,23 @@ func (s *Session) Warmup(ctx context.Context) error {
 	return nil
 }
 
+// phase times one lifecycle phase for the PhaseHook; use as
+// `defer s.phase("name")()`. With no hook attached it costs two calls and
+// no clock reads.
+func (s *Session) phase(name string) func() {
+	if s.cfg.PhaseHook == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { s.cfg.PhaseHook(name, time.Since(start)) }
+}
+
 // WarmupNeutral simulates the warmup phase at the nominal supply regardless
 // of cfg.VDD, deferring the retarget to Run. The resulting warm state is
 // scheme- and VDD-independent (see the package comment), so Snapshot may
 // share it across sweep cells.
 func (s *Session) WarmupNeutral(ctx context.Context) error {
+	defer s.phase("warmup_neutral")()
 	s.p.SetVDD(fault.VNominal)
 	if err := s.p.WarmupContext(ctx, s.cfg.Warmup); err != nil {
 		return err
@@ -197,6 +218,7 @@ func (s *Session) Snapshot() ([]byte, error) {
 // additionally verifies geometry field by field. After Restore the session
 // behaves as if WarmupNeutral had just completed.
 func (s *Session) Restore(snapshot []byte) error {
+	defer s.phase("restore")()
 	if s.warmed || s.measured {
 		return fmt.Errorf("sim: restore is only valid on a fresh session")
 	}
@@ -213,6 +235,7 @@ func (s *Session) Restore(snapshot []byte) error {
 // operating point — applying the deferred retarget if the warm state is
 // neutral — and returns the statistics accumulated since the warm boundary.
 func (s *Session) Run(ctx context.Context, n uint64) (pipeline.Stats, error) {
+	defer s.phase("run")()
 	if !s.retargeted {
 		s.p.SetVDD(s.cfg.VDD)
 		s.retargeted = true

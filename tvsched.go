@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"tvsched/internal/asm"
 	"tvsched/internal/core"
@@ -247,6 +248,13 @@ type Config struct {
 	// *Metrics for aggregate counters or a *ChromeTracer for a Perfetto
 	// trace, or combine them with MultiObserver.
 	Observer Observer
+	// PhaseHook, when non-nil, is called after each session lifecycle phase
+	// completes — "warmup", "warmup_neutral", "restore", "run" — with the
+	// phase's wall-clock duration. Like Observer it is machinery, not
+	// simulation identity: it is excluded from CanonicalJSON/Digest and
+	// cannot affect results. The serving layer uses it to attribute request
+	// latency to pipeline phases as trace spans.
+	PhaseHook func(phase string, d time.Duration)
 	// Debug runs the pipeline's per-cycle invariant checker and end-of-run
 	// drain check (see internal/pipeline CheckInvariants/CheckDrained).
 	// Roughly an order of magnitude slower; meant for correctness work, not
@@ -352,6 +360,7 @@ func (c Config) simConfig() sim.Config {
 		Seed:      c.Seed,
 		FaultBias: c.FaultBias,
 		Observer:  c.Observer,
+		PhaseHook: c.PhaseHook,
 		Debug:     c.Debug,
 	}
 }
