@@ -10,10 +10,16 @@
 //	tvgate -report BENCH_table1.json -baseline .github/perf-baseline.json
 //	tvgate -report r.json -baseline b.json -scheme ABS -vdd 0.97 -tolerance 0.10
 //	tvgate -sweep sweepbench.json -min-speedup 2.0
+//	tvgate -cluster clusterload.json -min-steals 1
 //
 // With -sweep, tvgate instead gates a sweep-bench/v1 artifact (tvload
 // -sweepbench): the checkpointed sweep must be at least -min-speedup times
 // faster than the cold one.
+//
+// With -cluster, tvgate gates a cluster-load-report/v1 artifact (tvload
+// -urls): zero request errors, zero byte divergences across nodes, and at
+// least -min-steals responses whose bytes came from a peer — proof the
+// forward/read-through path actually carried load.
 //
 // The comparison is on the scheme's performance overhead versus fault-free
 // execution (perf_pct in the report): the gate fails when
@@ -45,10 +51,17 @@ func main() {
 
 		sweepF     = flag.String("sweep", "", "sweep-bench JSON (tvload -sweepbench) to gate instead of a RunReport pair")
 		minSpeedup = flag.Float64("min-speedup", 2.0, "minimum checkpointed-sweep speedup required by -sweep")
+
+		clusterF  = flag.String("cluster", "", "cluster-load-report JSON (tvload -urls) to gate instead of a RunReport pair")
+		minSteals = flag.Uint64("min-steals", 1, "minimum peer-served responses required by -cluster")
 	)
 	flag.Parse()
 	if *sweepF != "" {
 		gateSweep(*sweepF, *minSpeedup)
+		return
+	}
+	if *clusterF != "" {
+		gateCluster(*clusterF, *minSteals)
 		return
 	}
 	if *reportF == "" || *baselineF == "" {
@@ -98,6 +111,43 @@ func gateSweep(path string, minSpeedup float64) {
 	if rep.Speedup < minSpeedup {
 		fmt.Fprintf(os.Stderr, "tvgate: FAIL: checkpointed sweep speedup %.2fx below floor %.2fx\n",
 			rep.Speedup, minSpeedup)
+		os.Exit(1)
+	}
+	fmt.Println("tvgate: OK")
+}
+
+// gateCluster enforces cluster-serving invariants on a
+// cluster-load-report/v1 artifact: no errors, byte-identical answers across
+// nodes, and a nonzero amount of peer-served work.
+func gateCluster(path string, minSteals uint64) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var rep serve.ClusterLoadReport
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if rep.Schema != serve.ClusterLoadReportSchema {
+		fatal(fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, serve.ClusterLoadReportSchema))
+	}
+	fmt.Printf("tvgate: cluster of %d nodes: %d reqs, %d stolen, %d errors, %d divergences (steal floor %d)\n",
+		len(rep.Nodes), rep.Requests, rep.Stolen, rep.Errors, rep.Divergences, minSteals)
+	bad := false
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: %d request errors\n", rep.Errors)
+		bad = true
+	}
+	if rep.Divergences > 0 {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: %d byte divergences between nodes\n", rep.Divergences)
+		bad = true
+	}
+	if rep.Stolen < minSteals {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: %d peer-served responses, floor %d\n", rep.Stolen, minSteals)
+		bad = true
+	}
+	if bad {
 		os.Exit(1)
 	}
 	fmt.Println("tvgate: OK")

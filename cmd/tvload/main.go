@@ -26,6 +26,12 @@
 // of the mid-stream ETAs against the wall time the sweep actually took.
 // Emits a sweep-probe/v1 JSON.
 //
+// With -urls (comma-separated base URLs), tvload sprays the same seeded mix
+// across every node of a tvservd cluster and emits a cluster-load-report/v1
+// JSON instead: per-node hit/miss/stolen breakdowns (stolen = the answer's
+// bytes came from a peer via forward or read-through) plus a client-side
+// byte-consistency check across nodes. cmd/tvgate -cluster gates on it.
+//
 // Typical cache demonstration: run a cold pass (uniform, population-sized)
 // then a hot pass (Zipf) and compare throughput_rps — the hot pass rides
 // the cache and should be several times faster.
@@ -48,6 +54,7 @@ import (
 func main() {
 	var (
 		url     = flag.String("url", "http://127.0.0.1:8844", "tvservd base URL")
+		urls    = flag.String("urls", "", "comma-separated cluster node URLs; spray the mix across all of them")
 		c       = flag.Int("c", 8, "closed-loop concurrency")
 		n       = flag.Int("n", 200, "total requests")
 		seed    = flag.Uint64("seed", 1, "request-mix seed")
@@ -101,6 +108,12 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *urls != "" {
+		runClusterLoad(ctx, *urls, cfg, *out)
+		return
+	}
+
 	rep, err := serve.RunLoad(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tvload:", err)
@@ -131,6 +144,35 @@ func main() {
 		os.Exit(1)
 	}
 	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// runClusterLoad drives the -urls mode: the seeded mix sprayed across every
+// cluster node, reported as cluster-load-report/v1 JSON.
+func runClusterLoad(ctx context.Context, urls string, load serve.LoadConfig, out string) {
+	var targets []string
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			targets = append(targets, u)
+		}
+	}
+	rep, err := serve.RunClusterLoad(ctx, serve.ClusterLoadConfig{URLs: targets, Load: load})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvload:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"tvload: cluster of %d: %d reqs: %.1f req/s, hit rate %.0f%% (%d hit / %d shared / %d miss, %d stolen / %d rejected / %d error), %d divergences\n",
+		len(rep.Nodes), rep.Requests, rep.ThroughputRPS, 100*rep.HitRate,
+		rep.Hits, rep.Shared, rep.Misses, rep.Stolen, rep.Rejected, rep.Errors, rep.Divergences)
+	for _, n := range rep.Nodes {
+		fmt.Fprintf(os.Stderr,
+			"tvload:   %s: %d reqs, %d hit / %d shared / %d miss (%d stolen), p50 %.0fµs\n",
+			n.URL, n.Requests, n.Hits, n.Shared, n.Misses, n.Stolen, n.Latency.P50)
+	}
+	writeJSON(rep, out)
+	if rep.Errors > 0 || rep.Divergences > 0 {
 		os.Exit(1)
 	}
 }

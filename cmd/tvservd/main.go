@@ -28,12 +28,25 @@
 // SIGTERM/SIGINT drain gracefully: readiness flips, in-flight requests and
 // simulations finish (bounded by -drain-timeout), then the process exits 0.
 //
+// With -store DIR, results also persist in a disk-backed content-addressed
+// store that survives restarts: a restarted node answers its old digests
+// from disk (provenance "hit") without recomputing. With -node-id and
+// -peers, nodes form a static cluster routed by rendezvous hashing on the
+// config digest: any node accepts any request, a non-owner forwards to the
+// owner (cluster-wide singleflight), the owner reads through its peers
+// before simulating, and a periodic anti-entropy sweep cross-checks
+// replicated digests byte-for-byte (GET /v1/result/{digest} is the
+// peer-facing read endpoint; /readyz lists per-peer health; /metrics gains
+// per-peer and store counters).
+//
 // Usage:
 //
 //	tvservd                              # serve on :8844
 //	tvservd -addr 127.0.0.1:0 -addrfile addr.txt   # ephemeral port for scripts
 //	tvservd -workers 8 -queue 128 -cache 4096
 //	tvservd -log-format json -pprof      # machine logs + profiler
+//	tvservd -store /var/lib/tvservd      # persistent result store
+//	tvservd -addr :8844 -node-id a -peers b=http://10.0.0.2:8844   # 2-node cluster
 //
 // Drive it with cmd/tvload, or by hand:
 //
@@ -56,7 +69,9 @@ import (
 	"syscall"
 	"time"
 
+	"tvsched/internal/cluster"
 	"tvsched/internal/serve"
+	"tvsched/internal/store"
 )
 
 func main() {
@@ -77,6 +92,11 @@ func main() {
 		traceSpans   = flag.Int("trace-spans", 4096, "flight-recorder capacity in spans (GET /v1/trace/{id})")
 		heartbeat    = flag.Duration("heartbeat", 2*time.Second, "progress/v1 heartbeat cadence on progress-enabled sweeps")
 		pprofOn      = flag.Bool("pprof", false, "mount the Go profiler at /debug/pprof (off by default: it exposes internals)")
+		storeDir     = flag.String("store", "", "persistent result store directory (empty = memory-only)")
+		storeBytes   = flag.Int64("store-bytes", 0, "persistent store size bound in bytes (0 = 256 MiB default)")
+		nodeID       = flag.String("node-id", "", "this node's cluster identity (required with -peers)")
+		peersFlag    = flag.String("peers", "", "cluster peers as id=url,... (e.g. b=http://10.0.0.2:8844); empty = standalone")
+		antiEntropy  = flag.Duration("anti-entropy", 30*time.Second, "cadence of the peer divergence sweep (0 disables; only with -peers)")
 	)
 	flag.Parse()
 
@@ -90,6 +110,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	peers, err := cluster.ParsePeers(*peersFlag)
+	if err != nil {
+		fatal("bad -peers", err)
+	}
+	if len(peers) > 0 && *nodeID == "" {
+		fatal("bad flags", errors.New("-peers requires -node-id"))
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal("listen failed", err)
@@ -100,19 +128,44 @@ func main() {
 		}
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, *storeBytes)
+		if err != nil {
+			fatal("store open failed", err)
+		}
+		defer st.Close()
+		if st.Truncated > 0 {
+			logger.Warn("store log had a torn tail",
+				slog.Int64("truncated_bytes", st.Truncated))
+		}
+		logger.Info("store opened",
+			slog.String("dir", *storeDir),
+			slog.Int("entries", st.Len()),
+			slog.Int64("bytes", st.Bytes()),
+		)
+	}
+
 	srv := serve.New(serve.Config{
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		CacheEntries:      *cacheN,
-		SnapshotEntries:   *snapN,
-		MaxInstructions:   *maxInsts,
-		MaxSweepCells:     *maxCells,
-		RunTimeout:        *runTimeout,
-		Namespace:         *ns,
-		Logger:            logger,
-		TraceSpans:        *traceSpans,
-		HeartbeatInterval: *heartbeat,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		CacheEntries:        *cacheN,
+		SnapshotEntries:     *snapN,
+		MaxInstructions:     *maxInsts,
+		MaxSweepCells:       *maxCells,
+		RunTimeout:          *runTimeout,
+		Namespace:           *ns,
+		Logger:              logger,
+		TraceSpans:          *traceSpans,
+		HeartbeatInterval:   *heartbeat,
+		Store:               st,
+		AntiEntropyInterval: *antiEntropy,
 	})
+	if len(peers) > 0 {
+		if err := srv.SetPeers(*nodeID, peers); err != nil {
+			fatal("bad cluster config", err)
+		}
+	}
 	handler := srv.Handler()
 	if *pprofOn {
 		mux := http.NewServeMux()
@@ -138,6 +191,9 @@ func main() {
 		slog.Int("cache", *cacheN),
 		slog.Int("trace_spans", *traceSpans),
 		slog.Bool("pprof", *pprofOn),
+		slog.String("node_id", *nodeID),
+		slog.Int("peers", len(peers)),
+		slog.Bool("store", st != nil),
 	)
 
 	select {

@@ -1,0 +1,216 @@
+// Package cluster is the fleet layer under cmd/tvservd: a static peer list,
+// rendezvous (highest-random-weight) hashing that assigns every config
+// digest one owning node, and a small HTTP client for the three peer
+// operations the serving layer needs — read-through fetch of a cached
+// result, forwarding a run to its owner, and health probes.
+//
+// Rendezvous hashing was chosen over a token ring because the peer lists
+// here are small and static: every node scores each (node, digest) pair
+// with an independent hash and the highest score owns the digest. All nodes
+// holding the same peer list agree on every owner with no coordination, and
+// removing a node remaps only the digests it owned — the property that
+// keeps a deploy from stampeding the whole keyspace.
+//
+// The routing protocol is one hop by construction: a node that accepts a
+// request it does not own forwards it to the owner with the ForwardHeader
+// set, and a forwarded request is always computed locally, even if the
+// receiving node's (possibly skewed) peer list disagrees about ownership.
+// Two nodes with inconsistent peer lists can therefore each compute a
+// digest — wasteful, never wrong, and the divergence sweep would surface
+// any disagreement in the bytes.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// ForwardHeader marks a /v1/run request as already routed: the value is the
+// forwarding node's ID, and the receiving node must compute locally instead
+// of routing again (the loop-prevention rule).
+const ForwardHeader = "X-Tvsched-Forwarded"
+
+// Peer is one cluster member: a stable ID (the hashing identity — renaming
+// a node remaps its keys) and the base URL its tvservd listens on.
+type Peer struct {
+	ID  string
+	URL string
+}
+
+// ParsePeers parses the -peers flag form: comma-separated id=url pairs,
+// e.g. "b=http://10.0.0.2:8844,c=http://10.0.0.3:8844".
+func ParsePeers(s string) ([]Peer, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var peers []Peer
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q, want id=url", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		peers = append(peers, Peer{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	return peers, nil
+}
+
+// Ring assigns digests to nodes by rendezvous hashing over self + peers.
+// It is immutable after New — swap the whole Ring to change membership.
+type Ring struct {
+	self  string
+	peers []Peer
+}
+
+// NewRing builds the ring for a node and its peers. The self ID must not
+// collide with a peer ID.
+func NewRing(self string, peers []Peer) (*Ring, error) {
+	if self == "" {
+		return nil, errors.New("cluster: empty node id")
+	}
+	ps := make([]Peer, len(peers))
+	copy(ps, peers)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ID < ps[j].ID })
+	for _, p := range ps {
+		if p.ID == self {
+			return nil, fmt.Errorf("cluster: peer id %q collides with this node's id", self)
+		}
+	}
+	return &Ring{self: self, peers: ps}, nil
+}
+
+// Peers returns the ring's peer list (sorted by ID, self excluded).
+func (r *Ring) Peers() []Peer { return r.peers }
+
+// Self returns this node's ID.
+func (r *Ring) Self() string { return r.self }
+
+// score is the rendezvous weight of one (node, digest) pair: FNV-64a over
+// the node ID, a separator that cannot appear in IDs parsed from id=url
+// pairs, and the digest.
+func score(node, digest string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, node)
+	h.Write([]byte{0})
+	io.WriteString(h, digest)
+	return h.Sum64()
+}
+
+// Owner returns the node owning digest and whether that node is self.
+// Ties (astronomically unlikely with 64-bit scores) break toward the
+// lexically greatest ID so every node still agrees.
+func (r *Ring) Owner(digest string) (Peer, bool) {
+	best := Peer{ID: r.self}
+	bestScore := score(r.self, digest)
+	for _, p := range r.peers {
+		s := score(p.ID, digest)
+		if s > bestScore || (s == bestScore && p.ID > best.ID) {
+			best, bestScore = p, s
+		}
+	}
+	return best, best.ID == r.self
+}
+
+// Client speaks the peer protocol. The zero value is not usable; use
+// NewClient.
+type Client struct {
+	self string
+	http *http.Client
+}
+
+// NewClient builds a peer client identifying as self. The http.Client's
+// timeout is left zero — every call takes a context, and the serving layer
+// bounds each operation with its own deadline.
+func NewClient(self string) *Client {
+	return &Client{self: self, http: &http.Client{}}
+}
+
+// Fetch asks peer for its locally cached bytes of digest (GET
+// /v1/result/{digest}). A 404 is a clean miss, not an error; the peer never
+// computes or forwards on this path.
+func (c *Client) Fetch(ctx context.Context, peer Peer, digest string) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer.URL+"/v1/result/"+digest, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, false, err
+		}
+		return body, true, nil
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, fmt.Errorf("cluster: fetch %s from %s: status %d", digest, peer.ID, resp.StatusCode)
+	}
+}
+
+// Forward posts a run request to its owner (POST /v1/run with ForwardHeader
+// set) and returns the response bytes plus the owner's response headers (the
+// caller reads X-Tvsched-Digest to verify both nodes normalized the request
+// identically, and X-Tvsched-Cache for provenance). Any non-200 answer is an
+// error — the caller falls back to computing locally.
+func (c *Client) Forward(ctx context.Context, peer Peer, body []byte) ([]byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer.URL+"/v1/run", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardHeader, c.self)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("cluster: forward to %s: status %d: %s",
+			peer.ID, resp.StatusCode, strings.TrimSpace(string(respBody)))
+	}
+	return respBody, resp.Header, nil
+}
+
+// Health probes peer's liveness endpoint.
+func (c *Client) Health(ctx context.Context, peer Peer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer.URL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers(" b=http://h2:1/ , c=http://h3:2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0] != (Peer{"b", "http://h2:1"}) || peers[1] != (Peer{"c", "http://h3:2"}) {
+		t.Fatalf("parsed %+v", peers)
+	}
+	if p, err := ParsePeers(""); err != nil || p != nil {
+		t.Fatalf("empty list: %v %v", p, err)
+	}
+	for _, bad := range []string{"nourl", "=http://x", "a=", "a=u,a=v"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+// TestOwnerAgreement is the coordination-free routing property: every node,
+// building its ring from its own point of view, names the same owner for
+// every digest.
+func TestOwnerAgreement(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	peersOf := func(self string) []Peer {
+		var ps []Peer
+		for _, id := range ids {
+			if id != self {
+				ps = append(ps, Peer{ID: id, URL: "http://" + id})
+			}
+		}
+		return ps
+	}
+	rings := make(map[string]*Ring)
+	for _, id := range ids {
+		r, err := NewRing(id, peersOf(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[id] = r
+	}
+	for i := 0; i < 200; i++ {
+		digest := fmt.Sprintf("sha256:%032x", i)
+		owner, _ := rings["a"].Owner(digest)
+		for _, id := range ids[1:] {
+			got, isSelf := rings[id].Owner(digest)
+			if got.ID != owner.ID {
+				t.Fatalf("digest %s: node a says owner %s, node %s says %s", digest, owner.ID, id, got.ID)
+			}
+			if isSelf != (got.ID == id) {
+				t.Fatalf("digest %s: node %s isSelf=%v for owner %s", digest, id, isSelf, got.ID)
+			}
+		}
+	}
+}
+
+// TestOwnerDistribution checks rendezvous hashing spreads digests roughly
+// evenly over three nodes (no node starved, none dominant).
+func TestOwnerDistribution(t *testing.T) {
+	r, err := NewRing("a", []Peer{{ID: "b"}, {ID: "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const N = 3000
+	for i := 0; i < N; i++ {
+		owner, _ := r.Owner(fmt.Sprintf("sha256:%040x", i*7919))
+		counts[owner.ID]++
+	}
+	for id, n := range counts {
+		if n < N/6 || n > N/2 {
+			t.Fatalf("node %s owns %d of %d digests — distribution badly skewed: %v", id, n, N, counts)
+		}
+	}
+}
+
+// TestMinimalRemapping pins the rendezvous property the deploy story rests
+// on: dropping one node only remaps the digests that node owned.
+func TestMinimalRemapping(t *testing.T) {
+	full, err := NewRing("a", []Peer{{ID: "b"}, {ID: "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := NewRing("a", []Peer{{ID: "b"}}) // node c gone
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		digest := fmt.Sprintf("sha256:%040x", i)
+		before, _ := full.Owner(digest)
+		after, _ := without.Owner(digest)
+		if before.ID != "c" && after.ID != before.ID {
+			t.Fatalf("digest %s moved %s → %s though its owner never left", digest, before.ID, after.ID)
+		}
+	}
+}
+
+func TestNewRingRejectsCollision(t *testing.T) {
+	if _, err := NewRing("a", []Peer{{ID: "a"}}); err == nil {
+		t.Fatal("self-colliding peer id accepted")
+	}
+	if _, err := NewRing("", nil); err == nil {
+		t.Fatal("empty self id accepted")
+	}
+}
+
+// TestClientFetch exercises hit, miss, and error answers.
+func TestClientFetch(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/result/have":
+			w.Write([]byte("body-bytes\n"))
+		case "/v1/result/missing":
+			http.Error(w, "not here", http.StatusNotFound)
+		default:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+	c := NewClient("a")
+	peer := Peer{ID: "b", URL: ts.URL}
+
+	body, ok, err := c.Fetch(context.Background(), peer, "have")
+	if err != nil || !ok || string(body) != "body-bytes\n" {
+		t.Fatalf("hit: %q ok=%v err=%v", body, ok, err)
+	}
+	if _, ok, err := c.Fetch(context.Background(), peer, "missing"); ok || err != nil {
+		t.Fatalf("miss must be clean: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := c.Fetch(context.Background(), peer, "broken"); ok || err == nil {
+		t.Fatal("server error not surfaced")
+	}
+}
+
+// TestClientForward checks the forward carries the loop-prevention header
+// and returns the owner's bytes and cache annotation.
+func TestClientForward(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardHeader) != "a" {
+			http.Error(w, "missing forward header", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("X-Tvsched-Cache", "miss")
+		w.Write([]byte(`{"ok":true}` + "\n"))
+	}))
+	defer ts.Close()
+	c := NewClient("a")
+	body, hdr, err := c.Forward(context.Background(), Peer{ID: "b", URL: ts.URL}, []byte(`{}`))
+	if err != nil || string(body) != `{"ok":true}`+"\n" || hdr.Get("X-Tvsched-Cache") != "miss" {
+		t.Fatalf("forward: %q hdr=%v err=%v", body, hdr, err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 
 	"tvsched/internal/isa"
@@ -252,8 +253,66 @@ func (e *Exposition) writeServe(w io.Writer) error {
 		}
 	}
 
-	return writeHist(w, e.ns+"_serve_run_latency_us",
-		"Underlying simulation latency in microseconds (cache misses only).", &snap.RunLatency)
+	if err := writeHist(w, e.ns+"_serve_run_latency_us",
+		"Underlying simulation latency in microseconds (cache misses only).", &snap.RunLatency); err != nil {
+		return err
+	}
+
+	// Cluster peer operations, one family labelled peer × op. Rendered only
+	// when any peer has been touched, so a solo node stays compact.
+	if len(snap.PeerOps) > 0 {
+		name = e.ns + "_serve_peer_ops_total"
+		if err := head(w, name, "Cluster peer operations (fetch_hit/fetch_miss/forward/forward_error/check_ok/diverged) by peer.", "counter"); err != nil {
+			return err
+		}
+		peers := make([]string, 0, len(snap.PeerOps))
+		for p := range snap.PeerOps {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		for _, p := range peers {
+			ops := snap.PeerOps[p]
+			for o := PeerOp(0); o < NumPeerOps; o++ {
+				if _, err := fmt.Fprintf(w, "%s{peer=%q,op=%q} %d\n", name, p, o.String(), ops[o]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Persistent-store counters and gauges, rendered only once the store
+	// has been touched.
+	var storeTouched uint64
+	for _, c := range snap.StoreOps {
+		storeTouched += c
+	}
+	if storeTouched > 0 || snap.StoreEntries > 0 {
+		name = e.ns + "_serve_store_ops_total"
+		if err := head(w, name, "Persistent result-store accesses (hit/miss/put).", "counter"); err != nil {
+			return err
+		}
+		for o := StoreOp(0); o < NumStoreOps; o++ {
+			if _, err := fmt.Fprintf(w, "%s{op=%q} %d\n", name, o.String(), snap.StoreOps[o]); err != nil {
+				return err
+			}
+		}
+		gauges := []struct {
+			name, help string
+			v          int64
+		}{
+			{e.ns + "_serve_store_entries", "Live entries in the persistent result store.", snap.StoreEntries},
+			{e.ns + "_serve_store_bytes", "Live bytes in the persistent result store (record overhead included).", snap.StoreBytes},
+		}
+		for _, g := range gauges {
+			if err := head(w, g.name, g.help, "gauge"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", g.name, g.v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // writeSpans renders the span-duration histograms as one family labelled by

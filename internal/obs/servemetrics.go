@@ -10,7 +10,9 @@ type ServeOutcome int
 // The serving outcomes, in severity order. Hit/Shared/Miss are successes
 // (cache hit, collapsed onto an in-flight computation, fresh simulation);
 // Rejected is admission-queue backpressure (HTTP 429); BadRequest is a
-// malformed or out-of-policy request (400); Errored is everything else.
+// malformed or out-of-policy request (400); Canceled is a client that hung
+// up while its request waited (the client's doing, not server overload);
+// Errored is everything else.
 const (
 	ServeHit ServeOutcome = iota
 	ServeShared
@@ -18,11 +20,12 @@ const (
 	ServeRejected
 	ServeBadRequest
 	ServeErrored
+	ServeCanceled
 	NumServeOutcomes
 )
 
 var serveOutcomeNames = [NumServeOutcomes]string{
-	"hit", "shared", "miss", "rejected", "bad_request", "error",
+	"hit", "shared", "miss", "rejected", "bad_request", "error", "canceled",
 }
 
 // String returns the Prometheus label value for the outcome.
@@ -58,13 +61,68 @@ func (r ServeRoute) String() string {
 	return serveRouteNames[r]
 }
 
+// PeerOp classifies one operation against a cluster peer, labelled per
+// peer in the exposition so a sick node is visible by name.
+type PeerOp int
+
+// The peer operations. FetchHit/FetchMiss are read-through lookups against
+// a peer's cache; Forward/ForwardErr are runs routed to their owning node;
+// CheckOK/Diverged are anti-entropy cross-checks — Diverged means two nodes
+// hold different bytes for one digest, which the determinism contract makes
+// a bug, never an acceptable inconsistency.
+const (
+	PeerFetchHit PeerOp = iota
+	PeerFetchMiss
+	PeerForward
+	PeerForwardErr
+	PeerCheckOK
+	PeerDiverged
+	NumPeerOps
+)
+
+var peerOpNames = [NumPeerOps]string{
+	"fetch_hit", "fetch_miss", "forward", "forward_error", "check_ok", "diverged",
+}
+
+// String returns the Prometheus label value for the peer operation.
+func (o PeerOp) String() string {
+	if o < 0 || o >= NumPeerOps {
+		return "unknown"
+	}
+	return peerOpNames[o]
+}
+
+// StoreOp classifies one access to the persistent result store.
+type StoreOp int
+
+// The store operations: Hit/Miss are lookups on the result path, Put is a
+// persisted result (fresh, forwarded, or read through from a peer).
+const (
+	StoreHit StoreOp = iota
+	StoreMiss
+	StorePut
+	NumStoreOps
+)
+
+var storeOpNames = [NumStoreOps]string{"hit", "miss", "put"}
+
+// String returns the Prometheus label value for the store operation.
+func (o StoreOp) String() string {
+	if o < 0 || o >= NumStoreOps {
+		return "unknown"
+	}
+	return storeOpNames[o]
+}
+
 // ServeMetrics is the serving-layer registry behind cmd/tvservd: request
 // outcomes (cache hit / singleflight share / miss / rejection / error),
-// queue-depth and in-flight gauges maintained by the server, and log2
-// latency histograms in microseconds for whole requests and for the
-// underlying simulations. It is safe for concurrent use and renders in the
-// Prometheus text format through Exposition.WithServe, alongside whatever
-// pipeline Metrics/CPIStack the same exposition carries.
+// queue-depth and in-flight gauges maintained by the server, log2 latency
+// histograms in microseconds for whole requests and for the underlying
+// simulations, plus — when the node is clustered — per-peer operation
+// counters and persistent-store counters/gauges. It is safe for concurrent
+// use and renders in the Prometheus text format through
+// Exposition.WithServe, alongside whatever pipeline Metrics/CPIStack the
+// same exposition carries.
 type ServeMetrics struct {
 	mu         sync.Mutex
 	outcomes   [NumServeOutcomes]uint64
@@ -74,6 +132,11 @@ type ServeMetrics struct {
 	// outcome so p50/p99 can be read hit-vs-cold per endpoint.
 	reqLat [NumServeRoutes][NumServeOutcomes]Hist
 	runLat Hist // underlying simulation latency, µs (misses only)
+
+	peerOps      map[string]*[NumPeerOps]uint64
+	storeOps     [NumStoreOps]uint64
+	storeEntries int64
+	storeBytes   int64
 }
 
 // NewServeMetrics builds an empty serving registry.
@@ -118,13 +181,52 @@ func (s *ServeMetrics) ObserveRun(us uint64) {
 	s.mu.Unlock()
 }
 
+// PeerOp records one operation against the named peer.
+func (s *ServeMetrics) PeerOp(peer string, op PeerOp) {
+	if op < 0 || op >= NumPeerOps || peer == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.peerOps == nil {
+		s.peerOps = make(map[string]*[NumPeerOps]uint64)
+	}
+	ops := s.peerOps[peer]
+	if ops == nil {
+		ops = new([NumPeerOps]uint64)
+		s.peerOps[peer] = ops
+	}
+	ops[op]++
+	s.mu.Unlock()
+}
+
+// StoreOp records one persistent-store access.
+func (s *ServeMetrics) StoreOp(op StoreOp) {
+	if op < 0 || op >= NumStoreOps {
+		return
+	}
+	s.mu.Lock()
+	s.storeOps[op]++
+	s.mu.Unlock()
+}
+
+// SetStoreSize publishes the persistent store's size gauges.
+func (s *ServeMetrics) SetStoreSize(entries int, bytes int64) {
+	s.mu.Lock()
+	s.storeEntries, s.storeBytes = int64(entries), bytes
+	s.mu.Unlock()
+}
+
 // ServeSnapshot is a consistent copy of the registry.
 type ServeSnapshot struct {
-	Outcomes   [NumServeOutcomes]uint64
-	QueueDepth int64
-	InFlight   int64
-	ReqLatency [NumServeRoutes][NumServeOutcomes]Hist
-	RunLatency Hist
+	Outcomes     [NumServeOutcomes]uint64
+	QueueDepth   int64
+	InFlight     int64
+	ReqLatency   [NumServeRoutes][NumServeOutcomes]Hist
+	RunLatency   Hist
+	PeerOps      map[string][NumPeerOps]uint64
+	StoreOps     [NumStoreOps]uint64
+	StoreEntries int64
+	StoreBytes   int64
 }
 
 // ReqLatencyTotal folds the route × outcome latency matrix into one
@@ -148,11 +250,21 @@ func (s *ServeSnapshot) ReqLatencyTotal() Hist {
 func (s *ServeMetrics) Snapshot() ServeSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return ServeSnapshot{
-		Outcomes:   s.outcomes,
-		QueueDepth: s.queueDepth,
-		InFlight:   s.inFlight,
-		ReqLatency: s.reqLat,
-		RunLatency: s.runLat,
+	snap := ServeSnapshot{
+		Outcomes:     s.outcomes,
+		QueueDepth:   s.queueDepth,
+		InFlight:     s.inFlight,
+		ReqLatency:   s.reqLat,
+		RunLatency:   s.runLat,
+		StoreOps:     s.storeOps,
+		StoreEntries: s.storeEntries,
+		StoreBytes:   s.storeBytes,
 	}
+	if len(s.peerOps) > 0 {
+		snap.PeerOps = make(map[string][NumPeerOps]uint64, len(s.peerOps))
+		for peer, ops := range s.peerOps {
+			snap.PeerOps[peer] = *ops
+		}
+	}
+	return snap
 }

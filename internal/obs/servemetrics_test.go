@@ -23,6 +23,16 @@ func populatedServeMetrics() *ServeMetrics {
 	}
 	s.ObserveRequest(RouteSweep, ServeMiss, 250000)
 	s.ObserveRun(250000)
+	s.Outcome(ServeCanceled)
+	s.PeerOp("b", PeerForward)
+	s.PeerOp("b", PeerForward)
+	s.PeerOp("b", PeerFetchHit)
+	s.PeerOp("c", PeerCheckOK)
+	s.StoreOp(StoreHit)
+	s.StoreOp(StoreMiss)
+	s.StoreOp(StorePut)
+	s.StoreOp(StorePut)
+	s.SetStoreSize(7, 4096)
 	return s
 }
 
@@ -56,6 +66,15 @@ func TestServeExpositionFormat(t *testing.T) {
 		`tvservd_serve_requests_total{result="rejected"} 1`,
 		`tvservd_serve_requests_total{result="bad_request"} 1`,
 		`tvservd_serve_requests_total{result="error"} 0`,
+		`tvservd_serve_requests_total{result="canceled"} 1`,
+		`tvservd_serve_peer_ops_total{peer="b",op="forward"} 2`,
+		`tvservd_serve_peer_ops_total{peer="b",op="fetch_hit"} 1`,
+		`tvservd_serve_peer_ops_total{peer="b",op="diverged"} 0`,
+		`tvservd_serve_peer_ops_total{peer="c",op="check_ok"} 1`,
+		`tvservd_serve_store_ops_total{op="hit"} 1`,
+		`tvservd_serve_store_ops_total{op="put"} 2`,
+		"tvservd_serve_store_entries 7",
+		"tvservd_serve_store_bytes 4096",
 		"tvservd_serve_queue_depth 3",
 		"tvservd_serve_in_flight 2",
 		`tvservd_serve_request_latency_us_count{route="run",result="hit"} 4`,
@@ -83,6 +102,9 @@ func TestServeMetricsConcurrency(t *testing.T) {
 				s.ObserveRequest(ServeRoute(i%int(NumServeRoutes)), ServeOutcome(i%int(NumServeOutcomes)), uint64(i))
 				s.ObserveRun(uint64(i))
 				s.SetQueue(int64(g), int64(i%4))
+				s.PeerOp("p", PeerOp(i%int(NumPeerOps)))
+				s.StoreOp(StoreOp(i % int(NumStoreOps)))
+				s.SetStoreSize(i, int64(i))
 				_ = s.Snapshot()
 			}
 		}(g)

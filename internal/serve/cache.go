@@ -53,3 +53,13 @@ func (c *lruCache) put(key string, body []byte) {
 }
 
 func (c *lruCache) len() int { return c.ll.Len() }
+
+// keys lists the cached digests hottest-first, without touching recency.
+// The anti-entropy sweep samples from this list.
+func (c *lruCache) keys() []string {
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry).key)
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package serve
+
+// The serve-side half of the cluster protocol (internal/cluster is the
+// transport): where result bytes come from, how a non-owner forwards a run
+// to its owner, how the owner reads through its peers before computing, the
+// GET /v1/result/{digest} endpoint peers fetch from, and the anti-entropy
+// sweep that cross-checks replicated digests byte-for-byte.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"tvsched"
+	"tvsched/internal/cluster"
+	"tvsched/internal/obs"
+	"tvsched/internal/obs/span"
+)
+
+// SourceHeader names where a /v1/run answer's bytes came from: "memory",
+// "store", "peer" (owner read it through a peer's cache), "forward" (a
+// non-owner routed the run to its owner), or "compute" (a simulation ran
+// here). X-Tvsched-Cache stays the coarse hit/shared/miss outcome; this
+// header carries the cluster-era refinement tooling like tvload breaks
+// steals out with.
+const SourceHeader = "X-Tvsched-Source"
+
+// source is where an answer's bytes were obtained.
+type source int
+
+const (
+	srcNone    source = iota // no bytes (errors, rejections)
+	srcCompute               // simulated on this node
+	srcMemory                // in-memory LRU hit
+	srcStore                 // persistent store hit
+	srcPeer                  // read through a peer's cache (owner path)
+	srcForward               // forwarded to the digest's owner
+)
+
+var sourceNames = [...]string{"", "compute", "memory", "store", "peer", "forward"}
+
+func (s source) String() string {
+	if s < 0 || int(s) >= len(sourceNames) {
+		return "unknown"
+	}
+	return sourceNames[s]
+}
+
+// SetPeers joins (or re-shapes) the cluster: this node takes nodeID as its
+// hashing identity and routes by rendezvous hashing over itself plus peers.
+// Call before serving traffic; calling again swaps the whole ring. With
+// AntiEntropyInterval set, the first successful call also starts the
+// background divergence sweep (on the server's lifetime context, so Close
+// stops it; Drain does not wait for it).
+func (s *Server) SetPeers(nodeID string, peers []cluster.Peer) error {
+	ring, err := cluster.NewRing(nodeID, peers)
+	if err != nil {
+		return err
+	}
+	s.clMu.Lock()
+	s.ring = ring
+	s.peerClient = cluster.NewClient(nodeID)
+	s.clMu.Unlock()
+	if s.cfg.AntiEntropyInterval > 0 {
+		s.aeOnce.Do(func() { go s.antiEntropyLoop() })
+	}
+	return nil
+}
+
+// ringView returns the current ring, or nil when standalone.
+func (s *Server) ringView() *cluster.Ring {
+	s.clMu.RLock()
+	defer s.clMu.RUnlock()
+	return s.ring
+}
+
+// client returns the peer client paired with the current ring.
+func (s *Server) client() *cluster.Client {
+	s.clMu.RLock()
+	defer s.clMu.RUnlock()
+	return s.peerClient
+}
+
+// requestFor re-serializes a normalized config as the wire request that
+// produced it — the form a node forwards to the digest's owner. Because cfg
+// is already normalized, the round-trip Config → RunRequest → Config is
+// digest-stable: both nodes address the same cache entry.
+func requestFor(cfg tvsched.Config) RunRequest {
+	return RunRequest{
+		Schema:       RunRequestSchema,
+		Benchmark:    cfg.Benchmark,
+		Scheme:       cfg.Scheme.String(),
+		VDD:          cfg.VDD,
+		Instructions: cfg.Instructions,
+		Warmup:       cfg.Warmup,
+		Seed:         cfg.Seed,
+		FaultBias:    cfg.FaultBias,
+	}
+}
+
+// forwardToOwner routes one run to the node owning its digest and returns
+// the owner's bytes. Any failure — transport, non-200, or a digest
+// disagreement — reports false and the caller computes locally.
+func (s *Server) forwardToOwner(digest string, cfg tvsched.Config, owner cluster.Peer, parent span.Context) ([]byte, bool) {
+	fs := s.tracer.StartRoot("forward", parent)
+	fs.SetAttr("peer", owner.ID)
+	defer fs.End()
+	reqBody, err := json.Marshal(requestFor(cfg))
+	if err != nil {
+		fs.SetAttr("error", err.Error())
+		return nil, false
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.ForwardTimeout)
+	defer cancel()
+	body, hdr, err := s.client().Forward(ctx, owner, reqBody)
+	if err == nil {
+		if got := hdr.Get("X-Tvsched-Digest"); got != digest {
+			err = fmt.Errorf("owner answered digest %q, want %q (version skew?)", got, digest)
+		}
+	}
+	if err != nil {
+		s.sm.PeerOp(owner.ID, obs.PeerForwardErr)
+		fs.SetAttr("error", err.Error())
+		s.log.LogAttrs(s.baseCtx, slog.LevelWarn, "forward failed, computing locally",
+			slog.String("digest", digest),
+			slog.String("peer", owner.ID),
+			slog.String("cause", err.Error()),
+		)
+		return nil, false
+	}
+	s.sm.PeerOp(owner.ID, obs.PeerForward)
+	fs.SetAttr("cache", hdr.Get("X-Tvsched-Cache"))
+	return body, true
+}
+
+// peerReadThrough is the owner's last stop before paying for a simulation:
+// ask each peer for its cached bytes of digest. Misses are cheap 404s;
+// transport errors are skipped, not surfaced — an unreachable peer only
+// means computing something it might have had.
+func (s *Server) peerReadThrough(digest string, parent span.Context) ([]byte, bool) {
+	ring := s.ringView()
+	cl := s.client()
+	for _, p := range ring.Peers() {
+		ps := s.tracer.StartRoot("peer_fetch", parent)
+		ps.SetAttr("peer", p.ID)
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.PeerTimeout)
+		body, ok, err := cl.Fetch(ctx, p, digest)
+		cancel()
+		ps.SetAttr("hit", fmt.Sprintf("%v", ok))
+		ps.End()
+		if ok {
+			s.sm.PeerOp(p.ID, obs.PeerFetchHit)
+			return body, true
+		}
+		s.sm.PeerOp(p.ID, obs.PeerFetchMiss)
+		if err != nil {
+			s.log.LogAttrs(s.baseCtx, slog.LevelDebug, "peer fetch failed",
+				slog.String("digest", digest),
+				slog.String("peer", p.ID),
+				slog.String("cause", err.Error()),
+			)
+		}
+	}
+	return nil, false
+}
+
+// storePut persists one result and republishes the store gauges.
+func (s *Server) storePut(digest string, body []byte) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Put(digest, body); err != nil {
+		s.log.LogAttrs(s.baseCtx, slog.LevelWarn, "store write failed",
+			slog.String("digest", digest), slog.String("cause", err.Error()))
+		return
+	}
+	s.sm.StoreOp(obs.StorePut)
+	s.sm.SetStoreSize(s.store.Len(), s.store.Bytes())
+}
+
+// lookupLocal returns locally held bytes for digest — memory LRU first, then
+// the persistent store — without computing, forwarding, or touching the
+// result-path store counters (peer probes and anti-entropy drive this
+// constantly; counting them as hits/misses would drown the serving signal).
+func (s *Server) lookupLocal(digest string) ([]byte, bool) {
+	s.mu.Lock()
+	b, ok := s.cache.get(digest)
+	s.mu.Unlock()
+	if ok {
+		return b, true
+	}
+	if s.store == nil {
+		return nil, false
+	}
+	b, ok, _ = s.store.Get(digest)
+	return b, ok
+}
+
+// handleResult is the peer-facing read endpoint: GET /v1/result/{digest}
+// answers locally held bytes or 404, and never computes — the cluster's
+// loop-freedom rests on this path being a pure lookup. Misses are routine
+// (every read-through probe that precedes a computation lands here), so
+// they are not logged or counted as request failures.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, r, "", "", http.StatusMethodNotAllowed, errMethod)
+		return
+	}
+	digest := strings.TrimPrefix(r.URL.Path, "/v1/result/")
+	if digest == "" || strings.Contains(digest, "/") {
+		s.fail(w, r, "", digest, http.StatusBadRequest,
+			fmt.Errorf("%w: want /v1/result/{digest}", ErrBadRequest))
+		return
+	}
+	body, ok := s.lookupLocal(digest)
+	if !ok {
+		http.Error(w, "result not held locally", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Tvsched-Digest", digest)
+	_, _ = w.Write(body)
+}
+
+// antiEntropyLoop drives periodic divergence sweeps until the server
+// closes. It runs outside s.wg on purpose: Drain waits for in-flight
+// results, not for background hygiene.
+func (s *Server) antiEntropyLoop() {
+	t := time.NewTicker(s.cfg.AntiEntropyInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.AntiEntropySweep(s.baseCtx)
+		}
+	}
+}
+
+// AntiEntropySweep cross-checks up to AntiEntropyBatch locally held digests
+// against every peer holding them: replicated bytes must be identical, and
+// any mismatch is counted (peer_ops{op="diverged"}) and logged at Error —
+// under the determinism contract a divergence is a bug (version skew,
+// corruption), never an acceptable inconsistency. A peer not holding a
+// digest is fine (replication here is opportunistic, by forwarding and
+// read-through), as is an unreachable peer. Returns the number of
+// cross-checks performed and how many diverged.
+func (s *Server) AntiEntropySweep(ctx context.Context) (checked, diverged int) {
+	ring := s.ringView()
+	if ring == nil {
+		return 0, 0
+	}
+	cl := s.client()
+	for _, digest := range s.localDigests(s.cfg.AntiEntropyBatch) {
+		local, ok := s.lookupLocal(digest)
+		if !ok {
+			continue // evicted since sampling
+		}
+		for _, p := range ring.Peers() {
+			if ctx.Err() != nil {
+				return checked, diverged
+			}
+			fctx, cancel := context.WithTimeout(ctx, s.cfg.PeerTimeout)
+			remote, ok, err := cl.Fetch(fctx, p, digest)
+			cancel()
+			if err != nil || !ok {
+				continue
+			}
+			checked++
+			if bytes.Equal(local, remote) {
+				s.sm.PeerOp(p.ID, obs.PeerCheckOK)
+				continue
+			}
+			diverged++
+			s.sm.PeerOp(p.ID, obs.PeerDiverged)
+			s.log.LogAttrs(ctx, slog.LevelError, "anti-entropy divergence",
+				slog.String("digest", digest),
+				slog.String("peer", p.ID),
+				slog.Int("local_bytes", len(local)),
+				slog.Int("peer_bytes", len(remote)),
+			)
+		}
+	}
+	return checked, diverged
+}
+
+// localDigests samples up to max digests this node holds, memory first
+// (hottest results are the likeliest to be replicated), then the store.
+func (s *Server) localDigests(max int) []string {
+	s.mu.Lock()
+	keys := s.cache.keys()
+	s.mu.Unlock()
+	seen := make(map[string]bool, len(keys))
+	out := make([]string, 0, max)
+	for _, k := range keys {
+		if len(out) >= max {
+			return out
+		}
+		seen[k] = true
+		out = append(out, k)
+	}
+	if s.store != nil {
+		for _, k := range s.store.Keys() {
+			if len(out) >= max {
+				break
+			}
+			if !seen[k] {
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"tvsched/internal/cluster"
+	"tvsched/internal/obs"
+	"tvsched/internal/store"
+)
+
+// clusterNode is one member of a two-node test cluster.
+type clusterNode struct {
+	srv  *Server
+	url  string
+	runs *atomic.Int64
+}
+
+// newTestCluster wires two servers into each other's rings. Stores are
+// optional (nil dir disables). Anti-entropy stays manual (interval 0).
+func newTestCluster(t *testing.T, storeA, storeB *store.Store) (a, b clusterNode) {
+	t.Helper()
+	build := func(st *store.Store) clusterNode {
+		runs := &atomic.Int64{}
+		srv, ts := newTestServer(t, Config{Workers: 2, Store: st, Runner: stubRunner(runs, nil)})
+		return clusterNode{srv: srv, url: ts.URL, runs: runs}
+	}
+	a, b = build(storeA), build(storeB)
+	if err := a.srv.SetPeers("a", []cluster.Peer{{ID: "b", URL: b.url}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.srv.SetPeers("b", []cluster.Peer{{ID: "a", URL: a.url}}); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// requestOwnedBy scans seeds for a request whose digest the named node owns,
+// using the same ring arithmetic the servers route by.
+func requestOwnedBy(t *testing.T, owner string) RunRequest {
+	t.Helper()
+	other := "b"
+	if owner == "b" {
+		other = "a"
+	}
+	ring, err := cluster.NewRing(owner, []cluster.Peer{{ID: other}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed < 1000; seed++ {
+		req := RunRequest{Benchmark: "bzip2", Instructions: 1000, Seed: seed}
+		cfg, err := req.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, self := ring.Owner(cfg.Digest()); self {
+			return req
+		}
+	}
+	t.Fatal("no seed in [1,1000) hashes to the requested owner")
+	return RunRequest{}
+}
+
+// TestClusterForwardToOwner posts a run at the node that does NOT own its
+// digest and asserts the cluster-wide singleflight: the owner simulates,
+// the accepting node forwards, and afterwards both nodes answer the digest
+// from local bytes — byte-identical.
+func TestClusterForwardToOwner(t *testing.T) {
+	a, b := newTestCluster(t, nil, nil)
+	req := requestOwnedBy(t, "b") // posting at a must forward to b
+
+	resp, body := postRun(t, a.url, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if src := resp.Header.Get(SourceHeader); src != "forward" {
+		t.Fatalf("%s %q at the non-owner, want forward", SourceHeader, src)
+	}
+	if a.runs.Load() != 0 || b.runs.Load() != 1 {
+		t.Fatalf("runs a=%d b=%d, want the owner (b) to simulate exactly once", a.runs.Load(), b.runs.Load())
+	}
+	if ops := a.srv.Metrics().Snapshot().PeerOps["b"]; ops[obs.PeerForward] != 1 {
+		t.Fatalf("peer_ops forward %d on a, want 1", ops[obs.PeerForward])
+	}
+
+	// The forward replicated the bytes: both nodes now serve the digest
+	// locally through the peer read endpoint, byte-identical.
+	digest := resp.Header.Get("X-Tvsched-Digest")
+	var replicas [][]byte
+	for _, url := range []string{a.url, b.url} {
+		r, err := http.Get(url + "/v1/result/" + digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/result/%s on %s: status %d", digest, url, r.StatusCode)
+		}
+		replicas = append(replicas, bs)
+	}
+	if !bytes.Equal(replicas[0], replicas[1]) || !bytes.Equal(replicas[0], body) {
+		t.Fatal("replicated digest is not byte-identical across nodes")
+	}
+
+	// A repeat at the non-owner is now a plain memory hit — no second hop.
+	resp2, _ := postRun(t, a.url, req)
+	if resp2.Header.Get("X-Tvsched-Cache") != "hit" || resp2.Header.Get(SourceHeader) != "memory" {
+		t.Fatalf("repeat at non-owner: cache %q source %q, want hit/memory",
+			resp2.Header.Get("X-Tvsched-Cache"), resp2.Header.Get(SourceHeader))
+	}
+}
+
+// TestClusterOwnerReadsThroughPeer makes the owner miss locally while a peer
+// holds the bytes, and asserts the owner steals them (fetch_hit) instead of
+// re-simulating.
+func TestClusterOwnerReadsThroughPeer(t *testing.T) {
+	a, b := newTestCluster(t, nil, nil)
+	req := requestOwnedBy(t, "a")
+
+	// Prime the NON-owner only: a request carrying the forward header is
+	// computed locally without routing (the one-hop rule), which is exactly
+	// how b would end up holding bytes a lost — say, across a's restart.
+	blob := mustJSON(t, req)
+	hreq, _ := http.NewRequest(http.MethodPost, b.url+"/v1/run", bytes.NewReader(blob))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(cluster.ForwardHeader, "test")
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primed, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || hresp.Header.Get(SourceHeader) != "compute" {
+		t.Fatalf("priming run: status %d source %q", hresp.StatusCode, hresp.Header.Get(SourceHeader))
+	}
+
+	resp, body := postRun(t, a.url, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if src := resp.Header.Get(SourceHeader); src != "peer" {
+		t.Fatalf("%s %q at the owner, want peer (read-through)", SourceHeader, src)
+	}
+	if a.runs.Load() != 0 {
+		t.Fatalf("owner simulated %d times despite a peer holding the bytes", a.runs.Load())
+	}
+	if !bytes.Equal(body, primed) {
+		t.Fatal("read-through bytes differ from the peer's")
+	}
+	if ops := a.srv.Metrics().Snapshot().PeerOps["b"]; ops[obs.PeerFetchHit] != 1 {
+		t.Fatalf("peer_ops fetch_hit %d on a, want 1", ops[obs.PeerFetchHit])
+	}
+}
+
+// TestClusterReadyzReportsPeers checks the readiness page names each peer
+// with its probe result, and that peer trouble never flips readiness.
+func TestClusterReadyzReportsPeers(t *testing.T) {
+	a, _ := newTestCluster(t, nil, nil)
+	resp, err := http.Get(a.url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("peer b ok")) {
+		t.Fatalf("readyz status %d body %q, want 200 with \"peer b ok\"", resp.StatusCode, body)
+	}
+}
+
+// TestAntiEntropySweep plants both agreeing and diverging replicas and
+// checks the sweep counts them apart: identical bytes are check_ok,
+// different bytes for one digest are a diverged counter and an Error log.
+func TestAntiEntropySweep(t *testing.T) {
+	a, b := newTestCluster(t, nil, nil)
+	inject := func(n clusterNode, digest string, body []byte) {
+		n.srv.mu.Lock()
+		n.srv.cache.put(digest, body)
+		n.srv.mu.Unlock()
+	}
+	inject(a, "same", []byte("agreed\n"))
+	inject(b, "same", []byte("agreed\n"))
+	inject(a, "split", []byte("mine\n"))
+	inject(b, "split", []byte("yours\n"))
+	inject(a, "lonely", []byte("unreplicated\n")) // only a holds it: skipped
+
+	checked, diverged := a.srv.AntiEntropySweep(context.Background())
+	if checked != 2 || diverged != 1 {
+		t.Fatalf("sweep checked=%d diverged=%d, want 2 checked with 1 divergence", checked, diverged)
+	}
+	ops := a.srv.Metrics().Snapshot().PeerOps["b"]
+	if ops[obs.PeerCheckOK] != 1 || ops[obs.PeerDiverged] != 1 {
+		t.Fatalf("peer_ops check_ok=%d diverged=%d, want 1 and 1", ops[obs.PeerCheckOK], ops[obs.PeerDiverged])
+	}
+}
+
+// TestResultEndpointNeverComputes pins the loop-freedom invariant: the peer
+// read endpoint answers 404 for anything not held locally — it must not
+// fall back to simulating or forwarding.
+func TestResultEndpointNeverComputes(t *testing.T) {
+	var runs atomic.Int64
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: stubRunner(&runs, nil)})
+	resp, err := http.Get(ts.URL + "/v1/result/sha256:deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown digest: status %d, want 404", resp.StatusCode)
+	}
+	if runs.Load() != 0 {
+		t.Fatal("a result lookup triggered a simulation")
+	}
+	resp, err = http.Get(ts.URL + "/v1/result/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty digest: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStoreSurvivesRestart is the tentpole's persistence property: a result
+// computed before a "restart" (new Server over the reopened store) is served
+// from disk with provenance hit — no recomputation.
+func TestStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := RunRequest{Benchmark: "bzip2", Instructions: 1000, Seed: 7}
+
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs1 atomic.Int64
+	s1 := New(Config{Workers: 1, Store: st, Runner: stubRunner(&runs1, nil)})
+	ts1 := httptest.NewServer(s1.Handler())
+	resp1, body1 := postRun(t, ts1.URL, req)
+	if resp1.StatusCode != http.StatusOK || runs1.Load() != 1 {
+		t.Fatalf("first run: status %d runs %d", resp1.StatusCode, runs1.Load())
+	}
+	ts1.Close()
+	s1.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	var runs2 atomic.Int64
+	s2, ts2 := newTestServer(t, Config{Workers: 1, Store: st2, Runner: stubRunner(&runs2, nil)})
+	resp2, body2 := postRun(t, ts2.URL, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("restarted run: status %d", resp2.StatusCode)
+	}
+	if runs2.Load() != 0 {
+		t.Fatalf("restarted node recomputed (%d runs) instead of reading its store", runs2.Load())
+	}
+	if cache := resp2.Header.Get("X-Tvsched-Cache"); cache != "hit" {
+		t.Fatalf("store-backed answer carries cache %q, want hit", cache)
+	}
+	if src := resp2.Header.Get(SourceHeader); src != "store" {
+		t.Fatalf("store-backed answer carries source %q, want store", src)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("store-backed answer not byte-identical to the original")
+	}
+	snap := s2.Metrics().Snapshot()
+	if snap.StoreOps[obs.StoreHit] != 1 {
+		t.Fatalf("store hit counter %d, want 1", snap.StoreOps[obs.StoreHit])
+	}
+	if snap.StoreEntries < 1 || snap.StoreBytes <= 0 {
+		t.Fatalf("store gauges entries=%d bytes=%d, want populated at startup", snap.StoreEntries, snap.StoreBytes)
+	}
+}
+
+// TestRunClusterLoad sprays a seeded mix at both nodes and checks the
+// cluster-load-report/v1 accounting: every request lands, no divergences,
+// the per-node breakdown sums to the aggregate, and cross-node traffic on a
+// shared digest population produces stolen responses.
+func TestRunClusterLoad(t *testing.T) {
+	a, b := newTestCluster(t, nil, nil)
+	rep, err := RunClusterLoad(context.Background(), ClusterLoadConfig{
+		URLs: []string{a.url, b.url},
+		Load: LoadConfig{
+			Concurrency:  4,
+			Requests:     60,
+			Seed:         1,
+			Population:   8,
+			ZipfS:        1.3,
+			Instructions: 1000,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ClusterLoadReportSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, ClusterLoadReportSchema)
+	}
+	if rep.Errors != 0 || rep.Rejected != 0 {
+		t.Fatalf("errors=%d rejected=%d, want clean run", rep.Errors, rep.Rejected)
+	}
+	if rep.Divergences != 0 {
+		t.Fatalf("divergences=%d on a deterministic cluster, want 0", rep.Divergences)
+	}
+	if got := rep.Hits + rep.Shared + rep.Misses; got != 60 {
+		t.Fatalf("classified %d responses, want all 60", got)
+	}
+	if len(rep.Nodes) != 2 {
+		t.Fatalf("%d node entries, want 2", len(rep.Nodes))
+	}
+	var nodeReqs, nodeStolen uint64
+	for _, n := range rep.Nodes {
+		nodeReqs += n.Requests
+		nodeStolen += n.Stolen
+		if n.Requests == 0 {
+			t.Fatalf("node %s saw no traffic", n.URL)
+		}
+	}
+	if nodeReqs != 60 || nodeStolen != rep.Stolen {
+		t.Fatalf("per-node sums reqs=%d stolen=%d, want 60 and %d", nodeReqs, nodeStolen, rep.Stolen)
+	}
+	// 8 digests sprayed over 2 nodes: some first touches must land at the
+	// non-owner and come back forwarded.
+	if rep.Stolen == 0 {
+		t.Fatal("no stolen responses despite cross-node traffic on shared digests")
+	}
+	if rep.Stolen > rep.Misses {
+		t.Fatalf("stolen=%d exceeds misses=%d", rep.Stolen, rep.Misses)
+	}
+	// At most one simulation per digest cluster-wide: the Zipf mix draws
+	// from 8 digests, so more than 8 runs means a digest was simulated on
+	// both nodes despite the routing.
+	if total := a.runs.Load() + b.runs.Load(); total < 1 || total > 8 {
+		t.Fatalf("cluster simulated %d times over 8 distinct digests", total)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

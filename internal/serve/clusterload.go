@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ClusterLoadReportSchema tags the multi-target load artifact (cmd/tvload
+// -urls). Documented in EXPERIMENTS.md alongside load-report/v1.
+const ClusterLoadReportSchema = "tvsched/cluster-load-report/v1"
+
+// ClusterLoadConfig parameterizes a load run sprayed across every node of a
+// tvservd cluster: the same seeded closed-loop mix as LoadConfig, with each
+// request's target node drawn (deterministically, from the worker's
+// generator) from URLs. Spraying one digest population over all nodes is
+// exactly the hostile case the cluster routing exists for — every node sees
+// every digest, and the forward/read-through protocol must still collapse
+// each digest onto one simulation cluster-wide.
+type ClusterLoadConfig struct {
+	// URLs are the base URLs of every cluster node (at least one).
+	URLs []string
+	// Load shapes the request mix; Load.URL is ignored.
+	Load LoadConfig
+}
+
+// NodeLoadStats is one node's slice of a cluster load run, classified from
+// the response headers as the client saw them.
+type NodeLoadStats struct {
+	URL      string `json:"url"`
+	Requests uint64 `json:"requests"`
+	Hits     uint64 `json:"hits"`
+	Shared   uint64 `json:"shared"`
+	// Misses are fresh results (X-Tvsched-Cache: miss); Stolen is the
+	// subset whose bytes another node actually produced (X-Tvsched-Source:
+	// forward or peer) — the cluster saved this node a simulation.
+	Misses   uint64         `json:"misses"`
+	Stolen   uint64         `json:"stolen"`
+	Rejected uint64         `json:"rejected"`
+	Errors   uint64         `json:"errors"`
+	Latency  LatencySummary `json:"latency_us"`
+}
+
+// ClusterLoadReport is the machine-readable outcome of a multi-target load
+// run (schema tvsched/cluster-load-report/v1): the aggregate view plus a
+// per-node breakdown, and a client-side byte-consistency check — every
+// response body is hashed per digest, and Divergences counts responses that
+// disagreed with the first bytes seen for their digest. Determinism makes
+// the only acceptable value zero; cmd/tvgate -cluster gates on it.
+type ClusterLoadReport struct {
+	Schema      string          `json:"schema"`
+	Nodes       []NodeLoadStats `json:"nodes"`
+	Concurrency int             `json:"concurrency"`
+	Requests    int             `json:"requests"`
+	Population  int             `json:"population"`
+	ZipfS       float64         `json:"zipf_s"`
+	Seed        uint64          `json:"seed"`
+	DurationSec float64         `json:"duration_sec"`
+	// ThroughputRPS is completed requests (any outcome) per second across
+	// the whole cluster.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	Hits          uint64  `json:"hits"`
+	Shared        uint64  `json:"shared"`
+	Misses        uint64  `json:"misses"`
+	Stolen        uint64  `json:"stolen"`
+	Rejected      uint64  `json:"rejected"`
+	Errors        uint64  `json:"errors"`
+	// HitRate counts hits+shared over completed successful requests.
+	HitRate float64 `json:"hit_rate"`
+	// Divergences counts responses whose bytes disagreed with an earlier
+	// response for the same digest — from any node. Must be zero.
+	Divergences uint64         `json:"divergences"`
+	Latency     LatencySummary `json:"latency_us"`
+}
+
+// RunClusterLoad drives the sprayed load and summarizes it per node. The
+// mix and the target-node sequence are deterministic given the seed.
+func RunClusterLoad(ctx context.Context, cfg ClusterLoadConfig) (*ClusterLoadReport, error) {
+	if len(cfg.URLs) == 0 {
+		return nil, fmt.Errorf("load: no cluster URLs")
+	}
+	load := cfg.Load
+	load.fill()
+	cells := load.population()
+	bodies := make([][]byte, len(cells))
+	for i, cell := range cells {
+		b, err := json.Marshal(cell)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	// One tally per (worker, node) pair keeps the hot path lock-free; the
+	// digest→hash consistency map is the only shared write.
+	type tally struct {
+		reqs, hits, shared, misses, stolen, rejected, errors uint64
+		lat                                                  []float64 // µs
+	}
+	tallies := make([][]tally, load.Concurrency)
+	for w := range tallies {
+		tallies[w] = make([]tally, len(cfg.URLs))
+	}
+	var (
+		seenMu      sync.Mutex
+		seen        = make(map[string]uint64) // digest → first body hash
+		divergences uint64
+	)
+	checkBytes := func(digest string, body []byte) {
+		if digest == "" {
+			return
+		}
+		h := fnv.New64a()
+		h.Write(body)
+		sum := h.Sum64()
+		seenMu.Lock()
+		if prev, ok := seen[digest]; !ok {
+			seen[digest] = sum
+		} else if prev != sum {
+			divergences++
+		}
+		seenMu.Unlock()
+	}
+
+	var issued int64
+	var issuedMu sync.Mutex
+	next := func() bool {
+		issuedMu.Lock()
+		defer issuedMu.Unlock()
+		if issued >= int64(load.Requests) {
+			return false
+		}
+		issued++
+		return true
+	}
+
+	client := &http.Client{Timeout: load.Timeout}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < load.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(load.Seed) + int64(w)))
+			var zipf *rand.Zipf
+			if load.ZipfS > 1 && len(cells) > 1 {
+				zipf = rand.NewZipf(rng, load.ZipfS, 1, uint64(len(cells)-1))
+			}
+			for next() {
+				if ctx.Err() != nil {
+					return
+				}
+				idx := 0
+				if zipf != nil {
+					idx = int(zipf.Uint64())
+				} else if len(cells) > 1 {
+					idx = rng.Intn(len(cells))
+				}
+				node := rng.Intn(len(cfg.URLs))
+				ta := &tallies[w][node]
+				ta.reqs++
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					cfg.URLs[node]+"/v1/run", bytes.NewReader(bodies[idx]))
+				if err != nil {
+					ta.errors++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					ta.errors++
+					continue
+				}
+				body, readErr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				ta.lat = append(ta.lat, float64(time.Since(t0).Microseconds()))
+				switch {
+				case readErr != nil:
+					ta.errors++
+				case resp.StatusCode == http.StatusTooManyRequests:
+					ta.rejected++
+				case resp.StatusCode != http.StatusOK:
+					ta.errors++
+				default:
+					checkBytes(resp.Header.Get("X-Tvsched-Digest"), body)
+					switch resp.Header.Get("X-Tvsched-Cache") {
+					case "hit":
+						ta.hits++
+					case "shared":
+						ta.shared++
+					default:
+						ta.misses++
+						switch resp.Header.Get(SourceHeader) {
+						case "forward", "peer":
+							ta.stolen++
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	rep := &ClusterLoadReport{
+		Schema:      ClusterLoadReportSchema,
+		Concurrency: load.Concurrency,
+		Requests:    load.Requests,
+		Population:  load.Population,
+		ZipfS:       load.ZipfS,
+		Seed:        load.Seed,
+		DurationSec: dur.Seconds(),
+		Divergences: divergences,
+	}
+	var allLat []float64
+	for n, url := range cfg.URLs {
+		ns := NodeLoadStats{URL: url}
+		var nodeLat []float64
+		for w := range tallies {
+			ta := &tallies[w][n]
+			ns.Requests += ta.reqs
+			ns.Hits += ta.hits
+			ns.Shared += ta.shared
+			ns.Misses += ta.misses
+			ns.Stolen += ta.stolen
+			ns.Rejected += ta.rejected
+			ns.Errors += ta.errors
+			nodeLat = append(nodeLat, ta.lat...)
+		}
+		ns.Latency = summarize(nodeLat)
+		allLat = append(allLat, nodeLat...)
+		rep.Hits += ns.Hits
+		rep.Shared += ns.Shared
+		rep.Misses += ns.Misses
+		rep.Stolen += ns.Stolen
+		rep.Rejected += ns.Rejected
+		rep.Errors += ns.Errors
+		rep.Nodes = append(rep.Nodes, ns)
+	}
+	done := rep.Hits + rep.Shared + rep.Misses + rep.Rejected + rep.Errors
+	if dur > 0 {
+		rep.ThroughputRPS = float64(done) / dur.Seconds()
+	}
+	if ok := rep.Hits + rep.Shared + rep.Misses; ok > 0 {
+		rep.HitRate = float64(rep.Hits+rep.Shared) / float64(ok)
+	}
+	rep.Latency = summarize(allLat)
+	return rep, nil
+}
+
+// WriteJSON emits the report with stable indentation.
+func (r *ClusterLoadReport) WriteJSON(w io.Writer) error {
+	if r.Schema == "" {
+		r.Schema = ClusterLoadReportSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

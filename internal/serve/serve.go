@@ -26,6 +26,20 @@
 // text format, including queue depth, cache hit/miss, in-flight and latency
 // histograms via obs.ServeMetrics) complete the operational surface.
 // cmd/tvload is the matching closed-loop load generator.
+//
+// Two optional layers extend the digest addressing beyond one process:
+//
+//   - a persistent result store (Config.Store, internal/store) the LRU reads
+//     through and every computed result is written back to, so a restart
+//     serves its old answers from disk instead of recomputing them;
+//   - a cluster ring (SetPeers, internal/cluster) that assigns each digest
+//     an owning node by rendezvous hashing. Any node accepts any request; a
+//     non-owner forwards to the owner (cluster-wide singleflight), the owner
+//     read-throughs its peers before computing, and GET /v1/result/{digest}
+//     serves locally held bytes to peers without ever computing. A periodic
+//     anti-entropy sweep cross-checks replicated digests byte-for-byte —
+//     determinism makes any divergence a bug, surfaced as a counter and an
+//     error log, never an acceptable inconsistency.
 package serve
 
 import (
@@ -43,13 +57,20 @@ import (
 	"time"
 
 	"tvsched"
+	"tvsched/internal/cluster"
 	"tvsched/internal/experiments"
 	"tvsched/internal/obs"
 	"tvsched/internal/obs/span"
+	"tvsched/internal/store"
 )
 
 // ErrBusy reports a full admission queue; handlers map it to HTTP 429.
 var ErrBusy = errors.New("admission queue full")
+
+// StatusClientClosedRequest is nginx's 499: the client closed its connection
+// before the server answered. It is the client's doing — not overload, not a
+// server fault — so it must never masquerade as a 503 in logs or metrics.
+const StatusClientClosedRequest = 499
 
 // errMethod reports a request with the wrong HTTP method.
 var errMethod = errors.New("method not allowed")
@@ -77,16 +98,24 @@ type RunInfo struct {
 	Restored bool
 }
 
-// provenance renders the per-request cache provenance label: cache "hit",
-// singleflight "shared", or a fresh simulation that was "restored" from a
-// warm snapshot or ran fully "cold".
-func provenance(outcome obs.ServeOutcome, restored bool) string {
+// provenance renders the per-request cache provenance label: cache "hit"
+// (memory or store), singleflight "shared", a result obtained from the
+// cluster ("forward" to its owner, or owner-side "peer" read-through), or a
+// fresh simulation that was "restored" from a warm snapshot or ran fully
+// "cold".
+func provenance(outcome obs.ServeOutcome, src source, restored bool) string {
 	switch outcome {
 	case obs.ServeHit:
 		return "hit"
 	case obs.ServeShared:
 		return "shared"
 	case obs.ServeMiss:
+		switch src {
+		case srcForward:
+			return "forward"
+		case srcPeer:
+			return "peer"
+		}
 		if restored {
 			return "restored"
 		}
@@ -136,6 +165,24 @@ type Config struct {
 	// HeartbeatInterval is the cadence of progress/v1 heartbeat records on
 	// /v1/sweep streams that opt in with "progress": true (default 2s).
 	HeartbeatInterval time.Duration
+	// Store, when non-nil, persists results (digest → response bytes) across
+	// restarts: LRU misses read through it and every computed or
+	// cluster-obtained result is written back. The caller owns the Store's
+	// lifecycle (Open before New, Close after shutdown).
+	Store *store.Store
+	// PeerTimeout bounds one peer read-through fetch, anti-entropy fetch, or
+	// health probe (default 2s).
+	PeerTimeout time.Duration
+	// ForwardTimeout bounds one run forwarded to its owning node, which may
+	// queue there before a worker picks it up (default RunTimeout + 30s).
+	ForwardTimeout time.Duration
+	// AntiEntropyInterval is the cadence of the background sweep that
+	// cross-checks replicated digests against peers byte-for-byte. Zero
+	// disables the background loop; AntiEntropySweep can still be driven
+	// manually.
+	AntiEntropyInterval time.Duration
+	// AntiEntropyBatch caps the digests cross-checked per sweep (default 64).
+	AntiEntropyBatch int
 	// Runner overrides the simulation executor (tests only).
 	Runner Runner
 }
@@ -174,6 +221,15 @@ func (c *Config) fill() {
 	if c.HeartbeatInterval <= 0 {
 		c.HeartbeatInterval = 2 * time.Second
 	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = c.RunTimeout + 30*time.Second
+	}
+	if c.AntiEntropyBatch <= 0 {
+		c.AntiEntropyBatch = 64
+	}
 }
 
 // call is one in-flight computation in the singleflight table. The leader
@@ -183,7 +239,8 @@ type call struct {
 	done     chan struct{}
 	body     []byte
 	status   int
-	restored bool // the leader's run restored a warm snapshot
+	src      source // where the leader obtained the bytes
+	restored bool   // the leader's run restored a warm snapshot
 	err      error
 }
 
@@ -215,6 +272,20 @@ type Server struct {
 	snapCache  *lruCache // WarmKey → snapshot bytes
 	snapFlight map[string]*snapCall
 
+	// snapProduce produces warm-state bytes for the snapshot singleflight;
+	// it defaults to produceSnapshot and is a seam for tests that need a
+	// controllable (blocking, failing) producer.
+	snapProduce func(ctx context.Context, cfg tvsched.Config) ([]byte, error)
+
+	// The cluster layer: nil ring means standalone. The ring is swapped
+	// whole under clMu (SetPeers); readers take ringView.
+	clMu       sync.RWMutex
+	ring       *cluster.Ring
+	peerClient *cluster.Client
+	aeOnce     sync.Once // starts the anti-entropy loop at most once
+
+	store *store.Store // nil means memory-only
+
 	mux *http.ServeMux
 }
 
@@ -243,13 +314,19 @@ func New(cfg Config) *Server {
 		flight:     make(map[string]*call),
 		snapCache:  newLRU(cfg.SnapshotEntries),
 		snapFlight: make(map[string]*snapCall),
+		store:      cfg.Store,
 	}
+	s.snapProduce = produceSnapshot
 	if s.cfg.Runner == nil {
 		s.cfg.Runner = s.defaultRunner
+	}
+	if s.store != nil {
+		s.sm.SetStoreSize(s.store.Len(), s.store.Bytes())
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/result/", s.handleResult)
 	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -329,16 +406,31 @@ func (s *Server) defaultRunner(ctx context.Context, cfg tvsched.Config, checkpoi
 // collapse onto an in-flight production, or lead one — a throwaway donor
 // session (any scheme/VDD with this key produces the same bytes) warmed at
 // the nominal supply and serialized.
+//
+// A leader produces under its own request context, so it can die of a
+// context error (its client hung up, its deadline passed) that says nothing
+// about the followers collapsed onto it. A follower waking to such an error
+// while its own context is still live must not inherit it: it loops back to
+// re-check the cache and either joins a newer flight or leads the
+// production itself.
 func (s *Server) warmSnapshot(ctx context.Context, cfg tvsched.Config, key string) ([]byte, error) {
 	s.snapMu.Lock()
-	if b, ok := s.snapCache.get(key); ok {
-		s.snapMu.Unlock()
-		return b, nil
-	}
-	if c, ok := s.snapFlight[key]; ok {
+	for {
+		if b, ok := s.snapCache.get(key); ok {
+			s.snapMu.Unlock()
+			return b, nil
+		}
+		c, ok := s.snapFlight[key]
+		if !ok {
+			break // no flight: this goroutine leads (still holding snapMu)
+		}
 		s.snapMu.Unlock()
 		select {
 		case <-c.done:
+			if isCtxErr(c.err) && ctx.Err() == nil {
+				s.snapMu.Lock()
+				continue // the leader's context died, not ours: re-lead
+			}
 			return c.data, c.err
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -349,7 +441,7 @@ func (s *Server) warmSnapshot(ctx context.Context, cfg tvsched.Config, key strin
 	s.snapMu.Unlock()
 
 	prodStart := time.Now()
-	c.data, c.err = produceSnapshot(ctx, cfg)
+	c.data, c.err = s.snapProduce(ctx, cfg)
 	span.FromContext(ctx).RecordChild("snapshot_produce", time.Since(prodStart))
 	s.snapMu.Lock()
 	if c.err == nil {
@@ -359,6 +451,12 @@ func (s *Server) warmSnapshot(ctx context.Context, cfg tvsched.Config, key strin
 	s.snapMu.Unlock()
 	close(c.done)
 	return c.data, c.err
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline —
+// an error bound to one request's lifetime, not to the work itself.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // produceSnapshot runs the warmup phase once on a donor session and
@@ -409,24 +507,52 @@ func (s *Server) gaugesLocked() {
 	s.sm.SetQueue(int64(s.pending-s.running), int64(s.running))
 }
 
+// answer is one resolved result lookup: the response bytes (or error), the
+// cache outcome the metrics record, and the source the bytes came from.
+type answer struct {
+	body     []byte
+	outcome  obs.ServeOutcome
+	src      source
+	restored bool
+	status   int
+	err      error
+}
+
+// provenance renders the answer's cache-provenance label (the X-Tvsched-Cache
+// value tooling like tvload classifies on is the coarser outcome; this is the
+// span/log label).
+func (a answer) provenance() string { return provenance(a.outcome, a.src, a.restored) }
+
+// abandoned maps a waiter's dead context to its answer: a client that hung
+// up gets 499/canceled (its own doing), a deadline or shutdown gets
+// 503/error.
+func abandoned(err error) answer {
+	if errors.Is(err, context.Canceled) {
+		return answer{outcome: obs.ServeCanceled, src: srcNone, status: StatusClientClosedRequest, err: err}
+	}
+	return answer{outcome: obs.ServeErrored, src: srcNone, status: http.StatusServiceUnavailable, err: err}
+}
+
 // result answers one normalized config: cache hit, collapse onto an
 // in-flight computation, or lead a new one. admit=false (sweep cells)
 // bypasses the queue-full rejection — a sweep is one admitted request whose
 // internal fan-out is flow-controlled by the worker pool, so its cells wait
-// for capacity instead of bouncing.
+// for capacity instead of bouncing. forwarded marks a request another node
+// already routed here; the leader then never forwards again (the one-hop
+// rule).
 //
 // parent, when non-nil, is the live request (or sweep-cell) span; the
 // admission decision and every wait are recorded as children under it, and
 // the detached computation parents its own spans under the same trace via a
 // value-copied span context (safe even after the request span ends).
-func (s *Server) result(ctx context.Context, cfg tvsched.Config, admit, checkpoint bool, parent *span.ActiveSpan) (body []byte, outcome obs.ServeOutcome, restored bool, status int, err error) {
+func (s *Server) result(ctx context.Context, cfg tvsched.Config, admit, checkpoint, forwarded bool, parent *span.ActiveSpan) answer {
 	digest := cfg.Digest()
 	lookupStart := time.Now()
 	s.mu.Lock()
 	if b, ok := s.cache.get(digest); ok {
 		s.mu.Unlock()
 		parent.RecordChild("cache_lookup", time.Since(lookupStart), span.Attr{Key: "hit", Value: "true"})
-		return b, obs.ServeHit, false, http.StatusOK, nil
+		return answer{body: b, outcome: obs.ServeHit, src: srcMemory, status: http.StatusOK}
 	}
 	if c, ok := s.flight[digest]; ok {
 		s.mu.Unlock()
@@ -435,17 +561,17 @@ func (s *Server) result(ctx context.Context, cfg tvsched.Config, admit, checkpoi
 		select {
 		case <-c.done:
 			ws.End()
-			return c.body, obs.ServeShared, c.restored, c.status, c.err
+			return answer{body: c.body, outcome: obs.ServeShared, src: c.src, restored: c.restored, status: c.status, err: c.err}
 		case <-ctx.Done():
 			ws.SetAttr("outcome", "abandoned")
 			ws.End()
-			return nil, obs.ServeErrored, false, http.StatusServiceUnavailable, ctx.Err()
+			return abandoned(ctx.Err())
 		}
 	}
 	if admit && s.pending >= s.cfg.Workers+s.cfg.QueueDepth {
 		s.mu.Unlock()
 		parent.RecordChild("admission", time.Since(lookupStart), span.Attr{Key: "decision", Value: "rejected"})
-		return nil, obs.ServeRejected, false, http.StatusTooManyRequests, ErrBusy
+		return answer{outcome: obs.ServeRejected, src: srcNone, status: http.StatusTooManyRequests, err: ErrBusy}
 	}
 	c := &call{done: make(chan struct{})}
 	s.flight[digest] = c
@@ -458,27 +584,90 @@ func (s *Server) result(ctx context.Context, cfg tvsched.Config, admit, checkpoi
 	// followers that arrive later still want the result, and so does the
 	// cache. The leader merely waits like any other follower.
 	s.wg.Add(1)
-	go s.compute(digest, cfg, c, checkpoint, parent.Context())
+	go s.compute(digest, cfg, c, checkpoint, forwarded, parent.Context())
 	select {
 	case <-c.done:
-		return c.body, obs.ServeMiss, c.restored, c.status, c.err
+		outcome := obs.ServeMiss
+		if c.src == srcStore {
+			// Store hits are cache hits that happened to live on disk: same
+			// bytes, no simulation, provenance "hit".
+			outcome = obs.ServeHit
+		}
+		return answer{body: c.body, outcome: outcome, src: c.src, restored: c.restored, status: c.status, err: c.err}
 	case <-ctx.Done():
-		return nil, obs.ServeErrored, false, http.StatusServiceUnavailable, ctx.Err()
+		return abandoned(ctx.Err())
 	}
 }
 
-// compute is the singleflight leader body: queue for a worker slot, run the
-// simulation, render and cache the report, publish to waiters. parent is the
-// leading request's span context (a value copy — the request may be gone by
-// the time the computation finishes; the trace link stays valid).
-func (s *Server) compute(digest string, cfg tvsched.Config, c *call, checkpoint bool, parent span.Context) {
+// compute is the singleflight leader body: obtain the bytes (store, cluster,
+// or a local simulation — see obtain), cache and persist them, publish to
+// waiters. parent is the leading request's span context (a value copy — the
+// request may be gone by the time the computation finishes; the trace link
+// stays valid).
+func (s *Server) compute(digest string, cfg tvsched.Config, c *call, checkpoint, forwarded bool, parent span.Context) {
 	defer s.wg.Done()
-	var (
-		body   []byte
-		status = http.StatusOK
-		info   RunInfo
-		err    error
-	)
+	body, src, status, info, err := s.obtain(digest, cfg, checkpoint, forwarded, parent)
+	s.mu.Lock()
+	if err == nil {
+		s.cache.put(digest, body)
+	}
+	delete(s.flight, digest)
+	s.pending--
+	s.gaugesLocked()
+	s.mu.Unlock()
+	if err == nil && src != srcStore {
+		s.storePut(digest, body)
+	}
+	c.body, c.src, c.status, c.restored, c.err = body, src, status, info.Restored, err
+	close(c.done)
+}
+
+// obtain resolves the bytes for one digest through the three layers beyond
+// the in-memory LRU, cheapest first:
+//
+//  1. the persistent store — bytes computed before a restart;
+//  2. the cluster — forward to the digest's owning node (unless this request
+//     was itself forwarded), or, when this node is the owner, read through
+//     the peers' caches before paying for a simulation;
+//  3. a local simulation on the bounded worker pool.
+//
+// Cluster failures always degrade to layer 3: an unreachable peer costs
+// latency and a duplicated computation, never a wrong or failed answer.
+func (s *Server) obtain(digest string, cfg tvsched.Config, checkpoint, forwarded bool, parent span.Context) (body []byte, src source, status int, info RunInfo, err error) {
+	if s.store != nil {
+		ls := s.tracer.StartRoot("store_lookup", parent)
+		b, ok, serr := s.store.Get(digest)
+		ls.SetAttr("hit", strconv.FormatBool(ok))
+		ls.End()
+		if ok {
+			s.sm.StoreOp(obs.StoreHit)
+			return b, srcStore, http.StatusOK, RunInfo{}, nil
+		}
+		s.sm.StoreOp(obs.StoreMiss)
+		if serr != nil {
+			s.log.LogAttrs(s.baseCtx, slog.LevelWarn, "store read failed",
+				slog.String("digest", digest), slog.String("cause", serr.Error()))
+		}
+	}
+	if ring := s.ringView(); ring != nil && !forwarded {
+		if owner, self := ring.Owner(digest); !self {
+			if b, ok := s.forwardToOwner(digest, cfg, owner, parent); ok {
+				return b, srcForward, http.StatusOK, RunInfo{}, nil
+			}
+			// Owner unreachable or disagreeing: compute locally. Wasteful,
+			// never wrong — anti-entropy would surface diverging bytes.
+		} else if b, ok := s.peerReadThrough(digest, parent); ok {
+			return b, srcPeer, http.StatusOK, RunInfo{}, nil
+		}
+	}
+	body, status, info, err = s.runLocal(digest, cfg, checkpoint, parent)
+	return body, srcCompute, status, info, err
+}
+
+// runLocal queues for a worker slot, runs the simulation, and renders the
+// report — the only layer that actually simulates.
+func (s *Server) runLocal(digest string, cfg tvsched.Config, checkpoint bool, parent span.Context) (body []byte, status int, info RunInfo, err error) {
+	status = http.StatusOK
 	qs := s.tracer.StartRoot("queue_wait", parent)
 	select {
 	case s.sem <- struct{}{}:
@@ -495,7 +684,7 @@ func (s *Server) compute(digest string, cfg tvsched.Config, c *call, checkpoint 
 		var res tvsched.Result
 		res, info, err = s.cfg.Runner(runCtx, cfg, checkpoint)
 		cancel()
-		ss.SetAttr("provenance", provenance(obs.ServeMiss, info.Restored))
+		ss.SetAttr("provenance", provenance(obs.ServeMiss, srcCompute, info.Restored))
 		if err != nil {
 			ss.SetAttr("error", err.Error())
 		}
@@ -513,6 +702,11 @@ func (s *Server) compute(digest string, cfg tvsched.Config, c *call, checkpoint 
 		}
 		if err != nil {
 			status = statusFor(err)
+			if s.baseCtx.Err() != nil {
+				// The server is shutting down: whatever the run died of, the
+				// client should see overload, not a client-fault status.
+				status = http.StatusServiceUnavailable
+			}
 		}
 	case <-s.baseCtx.Done():
 		qs.SetAttr("outcome", "aborted")
@@ -520,16 +714,7 @@ func (s *Server) compute(digest string, cfg tvsched.Config, c *call, checkpoint 
 		err = s.baseCtx.Err()
 		status = http.StatusServiceUnavailable
 	}
-	s.mu.Lock()
-	if err == nil {
-		s.cache.put(digest, body)
-	}
-	delete(s.flight, digest)
-	s.pending--
-	s.gaugesLocked()
-	s.mu.Unlock()
-	c.body, c.status, c.restored, c.err = body, status, info.Restored, err
-	close(c.done)
+	return body, status, info, err
 }
 
 // reportFor renders a finished simulation as the run-report/v1 artifact the
@@ -564,7 +749,11 @@ func marshalReport(rep *obs.RunReport) ([]byte, error) {
 }
 
 // statusFor maps simulation errors to HTTP statuses: caller mistakes to
-// 400, exhausted run budgets and shutdown to 503, model failures to 500.
+// 400, exhausted run budgets and shutdown to 503, a client that hung up to
+// 499, model failures to 500. Canceled and DeadlineExceeded must not share a
+// status: a cancellation is the client walking away (no capacity problem),
+// a deadline is the server failing to answer in time — conflating them made
+// ordinary client disconnects read as server overload on dashboards.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrBadRequest),
@@ -572,7 +761,9 @@ func statusFor(err error) int {
 		errors.Is(err, tvsched.ErrUnknownScheme),
 		errors.Is(err, tvsched.ErrBadConfig):
 		return http.StatusBadRequest
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -580,14 +771,21 @@ func statusFor(err error) int {
 }
 
 // retryAfter estimates, from the observed mean simulation latency and the
-// current backlog, how long a rejected client should wait before retrying.
+// current queue, how long a rejected client should wait before retrying.
+// The estimate counts only computations waiting for a worker: the running
+// ones already hold the slots the queued ones are drained into, so counting
+// them too (pending = queued + running) doubled the estimate at saturation
+// and told clients to back off twice as long as the queue justified.
 // Clamped to [1s, 60s]; a cold server (no latency samples yet) says 1s.
 func (s *Server) retryAfter() string {
 	snap := s.sm.Snapshot()
 	s.mu.Lock()
-	backlog := s.pending
+	queued := s.pending - s.running
 	s.mu.Unlock()
-	secs := int(snap.RunLatency.Mean() / 1e6 * float64(backlog) / float64(s.cfg.Workers))
+	if queued < 0 {
+		queued = 0
+	}
+	secs := int(snap.RunLatency.Mean() / 1e6 * float64(queued) / float64(s.cfg.Workers))
 	if secs < 1 {
 		secs = 1
 	}
@@ -620,10 +818,14 @@ func (s *Server) checkPolicy(cfg tvsched.Config) error {
 // fail is the single chokepoint every 4xx/5xx response goes through: it
 // emits exactly one structured log record (request ID + digest + cause) and
 // writes the error body, unless the client is already gone. 4xx logs at
-// Warn (the client misbehaved), 5xx at Error (we did).
+// Warn (the client misbehaved), 5xx at Error (we did), and 499 at Info —
+// a client hanging up is routine churn, not something to page on.
 func (s *Server) fail(w http.ResponseWriter, r *http.Request, reqID, digest string, status int, err error) {
 	level := slog.LevelWarn
-	if status >= 500 {
+	switch {
+	case status == StatusClientClosedRequest:
+		level = slog.LevelInfo
+	case status >= 500:
 		level = slog.LevelError
 	}
 	s.log.LogAttrs(r.Context(), level, "request failed",
@@ -674,23 +876,31 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	digest := cfg.Digest()
 	sp.SetAttr("digest", digest)
-	body, outcome, restored, status, err := s.result(r.Context(), cfg, true, true, sp)
-	s.sm.Outcome(outcome)
-	s.sm.ObserveRequest(obs.RouteRun, outcome, uint64(time.Since(start).Microseconds()))
-	prov := provenance(outcome, restored)
+	forwarded := r.Header.Get(cluster.ForwardHeader) != ""
+	if forwarded {
+		sp.SetAttr("forwarded_from", r.Header.Get(cluster.ForwardHeader))
+	}
+	ans := s.result(r.Context(), cfg, true, true, forwarded, sp)
+	s.sm.Outcome(ans.outcome)
+	s.sm.ObserveRequest(obs.RouteRun, ans.outcome, uint64(time.Since(start).Microseconds()))
+	prov := ans.provenance()
 	sp.SetAttr("outcome", prov)
-	if err != nil {
-		s.fail(w, r, reqID, digest, status, err)
+	if ans.err != nil {
+		s.fail(w, r, reqID, digest, ans.status, ans.err)
 		return
 	}
 	h.Set("Content-Type", "application/json")
 	h.Set("X-Tvsched-Digest", digest)
-	h.Set("X-Tvsched-Cache", outcome.String())
-	_, _ = w.Write(body)
+	h.Set("X-Tvsched-Cache", ans.outcome.String())
+	if ans.src != srcNone {
+		h.Set(SourceHeader, ans.src.String())
+	}
+	_, _ = w.Write(ans.body)
 	s.log.LogAttrs(r.Context(), slog.LevelInfo, "run served",
 		slog.String("request_id", reqID),
 		slog.String("digest", digest),
 		slog.String("cache", prov),
+		slog.String("source", ans.src.String()),
 		slog.Duration("elapsed", time.Since(start)),
 	)
 }
@@ -731,6 +941,7 @@ type progressLine struct {
 	Shared      int     `json:"shared"`
 	Restored    int     `json:"restored"`
 	Cold        int     `json:"cold"`
+	Stolen      int     `json:"stolen"`
 	Errors      int     `json:"errors"`
 	ElapsedSec  float64 `json:"elapsed_sec"`
 	CellEwmaSec float64 `json:"cell_ewma_sec"`
@@ -740,26 +951,30 @@ type progressLine struct {
 // progress accumulates per-cell completions for one sweep's heartbeats. Cell
 // goroutines write, the emission loop reads; the mutex is the only coupling.
 type progress struct {
-	mu                                sync.Mutex
-	total, done                       int
-	hit, shared, restored, cold, errs int
-	ewma                              float64 // seconds per cell
+	mu                                        sync.Mutex
+	total, done                               int
+	hit, shared, restored, cold, stolen, errs int
+	ewma                                      float64 // seconds per cell
 }
 
 // observe folds one finished cell in. The EWMA (α=0.3) tracks recent cell
-// latency so the ETA adapts as a sweep transitions cold → warm.
-func (p *progress) observe(outcome obs.ServeOutcome, restored bool, err error, d time.Duration) {
+// latency so the ETA adapts as a sweep transitions cold → warm. Cells whose
+// bytes came from the cluster (forwarded to the owner or read through a
+// peer) count as stolen — another node paid for the simulation.
+func (p *progress) observe(ans answer, d time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
 	switch {
-	case err != nil:
+	case ans.err != nil:
 		p.errs++
-	case outcome == obs.ServeHit:
+	case ans.outcome == obs.ServeHit:
 		p.hit++
-	case outcome == obs.ServeShared:
+	case ans.outcome == obs.ServeShared:
 		p.shared++
-	case restored:
+	case ans.src == srcForward || ans.src == srcPeer:
+		p.stolen++
+	case ans.restored:
 		p.restored++
 	default:
 		p.cold++
@@ -781,6 +996,7 @@ func (p *progress) line(start time.Time, workers int) *progressLine {
 		Schema: ProgressSchema,
 		Done:   p.done, Total: p.total,
 		Hit: p.hit, Shared: p.shared, Restored: p.restored, Cold: p.cold,
+		Stolen:      p.stolen,
 		Errors:      p.errs,
 		ElapsedSec:  time.Since(start).Seconds(),
 		CellEwmaSec: p.ewma,
@@ -839,12 +1055,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	checkpoint := req.Checkpoint == nil || *req.Checkpoint
 	prog := &progress{total: len(cells)}
-	type cellResult struct {
-		body    []byte
-		outcome obs.ServeOutcome
-		err     error
-	}
-	results := make([]chan cellResult, len(cells))
+	results := make([]chan answer, len(cells))
 	// Fan out, bounded: the pool itself is the throttle (admit=false), the
 	// limiter just keeps goroutine count proportional to capacity rather
 	// than sweep size. Cell goroutines may outlive this handler when the
@@ -853,7 +1064,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	sweepCtx := sp.Context()
 	limiter := make(chan struct{}, s.cfg.Workers+s.cfg.QueueDepth)
 	for i := range cells {
-		results[i] = make(chan cellResult, 1)
+		results[i] = make(chan answer, 1)
 		go func(i int) {
 			limiter <- struct{}{}
 			defer func() { <-limiter }()
@@ -861,13 +1072,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			cs.SetAttr("digest", cfgs[i].Digest())
 			cs.SetAttr("index", strconv.Itoa(i))
 			cellStart := time.Now()
-			body, outcome, restored, _, err := s.result(r.Context(), cfgs[i], false, checkpoint, cs)
-			cs.SetAttr("outcome", provenance(outcome, restored))
+			ans := s.result(r.Context(), cfgs[i], false, checkpoint, false, cs)
+			cs.SetAttr("outcome", ans.provenance())
 			cs.End()
-			s.sm.Outcome(outcome)
-			s.sm.ObserveRequest(obs.RouteSweep, outcome, uint64(time.Since(cellStart).Microseconds()))
-			prog.observe(outcome, restored, err, time.Since(cellStart))
-			results[i] <- cellResult{body, outcome, err}
+			s.sm.Outcome(ans.outcome)
+			s.sm.ObserveRequest(obs.RouteSweep, ans.outcome, uint64(time.Since(cellStart).Microseconds()))
+			prog.observe(ans, time.Since(cellStart))
+			results[i] <- ans
 		}(i)
 	}
 
@@ -975,6 +1186,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleReadyz answers load-balancer readiness. A clustered node also
+// reports one line per peer — informational only: an unreachable peer
+// degrades the cluster to duplicated computation, it does not make this
+// node unfit to serve, so readiness stays 200.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -984,4 +1199,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "ready")
+	ring := s.ringView()
+	if ring == nil {
+		return
+	}
+	cl := s.client()
+	for _, p := range ring.Peers() {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.PeerTimeout)
+		err := cl.Health(ctx, p)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(w, "peer %s unreachable: %v\n", p.ID, err)
+		} else {
+			fmt.Fprintf(w, "peer %s ok\n", p.ID)
+		}
+	}
 }

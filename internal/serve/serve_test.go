@@ -5,7 +5,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -504,5 +506,219 @@ func TestRetryAfterEstimate(t *testing.T) {
 		if _, err := fmt.Sscanf(ra, "%d", &secs); err != nil || secs < 1 || secs > 60 {
 			t.Fatalf("Retry-After %q outside [1,60]", ra)
 		}
+	}
+}
+
+// TestRetryAfterQueuedOnly pins the estimate's arithmetic: the wait is mean
+// latency × queued / workers, where queued excludes the running computations
+// — they already hold the worker slots the queue drains into. The old
+// formula multiplied by pending (queued + running), telling clients at
+// saturation to back off roughly twice as long as the queue justified.
+func TestRetryAfterQueuedOnly(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	s.sm.ObserveRun(2_000_000) // mean 2s per simulation
+	s.mu.Lock()
+	s.pending, s.running = 5, 2 // 3 queued behind 2 running
+	s.mu.Unlock()
+	// 2s × 3 queued / 2 workers = 3s. The pending-based bug said 5s.
+	if got := s.retryAfter(); got != "3" {
+		t.Fatalf("Retry-After %q, want \"3\" (mean 2s × 3 queued / 2 workers)", got)
+	}
+	s.mu.Lock()
+	s.pending, s.running = 2, 2 // saturated pool, empty queue
+	s.mu.Unlock()
+	if got := s.retryAfter(); got != "1" {
+		t.Fatalf("Retry-After %q with an empty queue, want the 1s floor", got)
+	}
+}
+
+// TestCancelVsOverloadStatus pins the split bugfix #2 landed: a client
+// cancellation is 499/canceled (the client's doing), a deadline stays
+// 503 (the server's).
+func TestCancelVsOverloadStatus(t *testing.T) {
+	if got := statusFor(context.Canceled); got != StatusClientClosedRequest {
+		t.Fatalf("statusFor(Canceled) = %d, want 499", got)
+	}
+	if got := statusFor(context.DeadlineExceeded); got != http.StatusServiceUnavailable {
+		t.Fatalf("statusFor(DeadlineExceeded) = %d, want 503", got)
+	}
+	if got := statusFor(fmt.Errorf("wrap: %w", context.Canceled)); got != StatusClientClosedRequest {
+		t.Fatalf("wrapped Canceled = %d, want 499", got)
+	}
+}
+
+// TestClientGoneIsCanceledNotError hangs a simulation, makes the client
+// disconnect, and asserts the request lands in the "canceled" outcome with
+// an Info-level record — not in the error counters dashboards page on.
+func TestClientGoneIsCanceledNotError(t *testing.T) {
+	h := &countingLogHandler{}
+	var runs atomic.Int64
+	gate := make(chan struct{})
+	defer close(gate)
+	s, ts := newTestServer(t, Config{Workers: 1, Runner: stubRunner(&runs, gate), Logger: slog.New(h)})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	blob, _ := json.Marshal(RunRequest{Benchmark: "bzip2", Instructions: 1000, Seed: 42})
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(blob))
+	req.Header.Set("Content-Type", "application/json")
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+	// Wait until the request is in flight, then hang up.
+	deadline := time.Now().Add(5 * time.Second)
+	for runs.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; err == nil {
+		t.Fatal("canceled client request unexpectedly succeeded")
+	}
+
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Metrics().Snapshot().Outcomes[obs.ServeCanceled] == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Outcomes[obs.ServeCanceled] != 1 {
+		t.Fatalf("canceled outcome %d, want 1 (outcomes: %v)", snap.Outcomes[obs.ServeCanceled], snap.Outcomes)
+	}
+	if snap.Outcomes[obs.ServeErrored] != 0 {
+		t.Fatalf("client hang-up counted as a server error (%d)", snap.Outcomes[obs.ServeErrored])
+	}
+	if errs := h.errors(); len(errs) != 0 {
+		t.Fatalf("client hang-up logged at warn/error: %v", errs[0].Message)
+	}
+}
+
+// TestSnapshotFollowerReleads is the regression for bugfix #1: a snapshot
+// leader that dies of its own context (its client hung up mid-warmup) must
+// not publish that error to followers whose contexts are live — they
+// re-enter and lead the production themselves.
+func TestSnapshotFollowerReleads(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	var produces atomic.Int64
+	s.snapProduce = func(ctx context.Context, cfg tvsched.Config) ([]byte, error) {
+		if produces.Add(1) == 1 {
+			<-ctx.Done() // the doomed leader: blocks until its client leaves
+			return nil, ctx.Err()
+		}
+		return []byte("warm"), nil
+	}
+	cfg, err := (&RunRequest{Benchmark: "bzip2", Instructions: 1000}).Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := s.warmSnapshot(leaderCtx, cfg, "k")
+		leaderErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.snapMu.Lock()
+		inFlight := len(s.snapFlight) > 0
+		s.snapMu.Unlock()
+		if inFlight || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	followerRes := make(chan []byte, 1)
+	go func() {
+		b, err := s.warmSnapshot(context.Background(), cfg, "k")
+		if err != nil {
+			t.Errorf("follower inherited the leader's death: %v", err)
+		}
+		followerRes <- b
+	}()
+	time.Sleep(20 * time.Millisecond) // let the follower join the flight
+	cancelLeader()
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error %v, want context.Canceled", err)
+	}
+	select {
+	case b := <-followerRes:
+		if string(b) != "warm" {
+			t.Fatalf("follower got %q, want the re-led production", b)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower wedged after the leader's context died")
+	}
+	if b, ok := s.snapCache.get("k"); !ok || string(b) != "warm" {
+		t.Fatalf("snapshot cache not populated by the re-led production (ok=%v)", ok)
+	}
+}
+
+// TestLRUClampAndKeys pins the max<1 clamp and the hottest-first keys order
+// the anti-entropy sampler reads.
+func TestLRUClampAndKeys(t *testing.T) {
+	c := newLRU(0) // nonsense bound clamps to 1
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if c.len() != 1 {
+		t.Fatalf("len %d after clamped insert, want 1", c.len())
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("clamped cache kept two entries")
+	}
+
+	c = newLRU(3)
+	c.put("a", nil)
+	c.put("b", nil)
+	c.put("c", nil)
+	if got := c.keys(); len(got) != 3 || got[0] != "c" || got[1] != "b" || got[2] != "a" {
+		t.Fatalf("keys %v, want hottest-first [c b a]", got)
+	}
+	c.get("a") // refresh: a is hottest now
+	if got := c.keys(); got[0] != "a" {
+		t.Fatalf("keys %v after refresh, want a first", got)
+	}
+}
+
+// TestSweepThrashesTinySnapshotCache squeezes a multi-WarmKey sweep through
+// a snapshot cache bounded to one entry: the keys evict each other
+// (thrash), but every cell still completes — the regression here would be a
+// wedge, with cells waiting forever on snapshot flights that keep being
+// evicted.
+func TestSweepThrashesTinySnapshotCache(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 4, SnapshotEntries: 1})
+	sweep := SweepRequest{
+		Benchmarks:   []string{"bzip2", "sjeng", "mcf"}, // three distinct warm keys
+		Schemes:      []string{"ABS", "EP"},
+		Instructions: 1000,
+		Warmup:       1000,
+	}
+	body := postSweep(t, ts.URL, sweep)
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	n := 0
+	for sc.Scan() {
+		var l sweepLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatal(err)
+		}
+		if l.Error != "" || len(l.Report) == 0 {
+			t.Fatalf("cell %d failed under snapshot thrash: %q", l.Index, l.Error)
+		}
+		n++
+	}
+	if n != 6 {
+		t.Fatalf("%d cells, want 6", n)
+	}
+	if got := srv.snapCache.len(); got != 1 {
+		t.Fatalf("snapshot cache len %d, want the bound of 1", got)
 	}
 }
