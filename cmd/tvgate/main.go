@@ -11,6 +11,7 @@
 //	tvgate -report r.json -baseline b.json -scheme ABS -vdd 0.97 -tolerance 0.10
 //	tvgate -sweep sweepbench.json -min-speedup 2.0
 //	tvgate -cluster clusterload.json -min-steals 1
+//	tvgate -chaos chaosload.json -min-availability 0.99 -min-degraded 1
 //
 // With -sweep, tvgate instead gates a sweep-bench/v1 artifact (tvload
 // -sweepbench): the checkpointed sweep must be at least -min-speedup times
@@ -20,6 +21,12 @@
 // -urls): zero request errors, zero byte divergences across nodes, and at
 // least -min-steals responses whose bytes came from a peer — proof the
 // forward/read-through path actually carried load.
+//
+// With -chaos, tvgate gates a chaos-load-report/v1 artifact (tvload
+// -chaos): zero errors and availability at or above -min-availability
+// despite injected faults, at least -min-degraded degraded-mode answers
+// (proof the drill exercised the fallback), and zero byte divergences left
+// after anti-entropy.
 //
 // The comparison is on the scheme's performance overhead versus fault-free
 // execution (perf_pct in the report): the gate fails when
@@ -54,6 +61,10 @@ func main() {
 
 		clusterF  = flag.String("cluster", "", "cluster-load-report JSON (tvload -urls) to gate instead of a RunReport pair")
 		minSteals = flag.Uint64("min-steals", 1, "minimum peer-served responses required by -cluster")
+
+		chaosF          = flag.String("chaos", "", "chaos-load-report JSON (tvload -chaos) to gate instead of a RunReport pair")
+		minAvailability = flag.Float64("min-availability", 0.99, "minimum fraction of 200 answers required by -chaos")
+		minDegraded     = flag.Uint64("min-degraded", 1, "minimum degraded-mode answers required by -chaos (proof the drill actually bit)")
 	)
 	flag.Parse()
 	if *sweepF != "" {
@@ -62,6 +73,10 @@ func main() {
 	}
 	if *clusterF != "" {
 		gateCluster(*clusterF, *minSteals)
+		return
+	}
+	if *chaosF != "" {
+		gateChaos(*chaosF, *minAvailability, *minDegraded)
 		return
 	}
 	if *reportF == "" || *baselineF == "" {
@@ -145,6 +160,50 @@ func gateCluster(path string, minSteals uint64) {
 	}
 	if rep.Stolen < minSteals {
 		fmt.Fprintf(os.Stderr, "tvgate: FAIL: %d peer-served responses, floor %d\n", rep.Stolen, minSteals)
+		bad = true
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Println("tvgate: OK")
+}
+
+// gateChaos enforces the resilience invariants on a chaos-load-report/v1
+// artifact (tvload -chaos): despite injected faults, zero request errors,
+// availability above the floor, some degraded-mode serving (otherwise the
+// drill proved nothing), and — after anti-entropy — zero byte divergence
+// anywhere in the cluster.
+func gateChaos(path string, minAvailability float64, minDegraded uint64) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var rep serve.ChaosLoadReport
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if rep.Schema != serve.ChaosLoadReportSchema {
+		fatal(fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, serve.ChaosLoadReportSchema))
+	}
+	fmt.Printf("tvgate: chaos drill on %d nodes: %d reqs, availability %.2f%% (floor %.2f%%), %d degraded (floor %d), %d errors, %d repaired, %d post-repair divergences\n",
+		rep.Nodes, rep.Requests, 100*rep.Availability, 100*minAvailability,
+		rep.Degraded, minDegraded, rep.Errors, rep.Repaired, rep.PostRepairDivergences)
+	bad := false
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: %d request errors under chaos\n", rep.Errors)
+		bad = true
+	}
+	if rep.Availability < minAvailability {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: availability %.4f below floor %.4f\n", rep.Availability, minAvailability)
+		bad = true
+	}
+	if rep.Degraded < minDegraded {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: %d degraded answers, floor %d — the injected faults never bit\n", rep.Degraded, minDegraded)
+		bad = true
+	}
+	if rep.PostRepairDivergences > 0 {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: %d digests still byte-divergent after anti-entropy\n", rep.PostRepairDivergences)
 		bad = true
 	}
 	if bad {

@@ -32,6 +32,13 @@
 // bytes came from a peer via forward or read-through) plus a client-side
 // byte-consistency check across nodes. cmd/tvgate -cluster gates on it.
 //
+// With -urls and -chaos, tvload runs the chaos drill instead: the same
+// sprayed mix against a cluster under fault injection (tvservd -chaos),
+// measuring availability and degraded serving from the client side, then
+// driving anti-entropy on every node and re-auditing every digest across
+// all nodes for byte divergence. Emits a chaos-load-report/v1 JSON;
+// cmd/tvgate -chaos gates on it.
+//
 // Typical cache demonstration: run a cold pass (uniform, population-sized)
 // then a hot pass (Zipf) and compare throughput_rps — the hot pass rides
 // the cache and should be several times faster.
@@ -72,6 +79,8 @@ func main() {
 		sweepWarmup = flag.Uint64("sweep-warmup", 120000, "sweepbench: warmup instructions per cell")
 		sweepInsts  = flag.Uint64("sweep-insts", 8000, "sweepbench: measured instructions per cell")
 
+		chaosMode = flag.Bool("chaos", false, "with -urls: run the chaos drill (availability, degraded serving, anti-entropy, post-repair byte audit) and emit chaos-load-report/v1")
+
 		sweepProbe  = flag.Bool("sweepprobe", false, "measure a progress-enabled sweep's heartbeat telemetry instead of generating load")
 		probeWarmup = flag.Uint64("probe-warmup", 20000, "sweepprobe: warmup instructions per cell")
 		probeInsts  = flag.Uint64("probe-insts", 4000, "sweepprobe: measured instructions per cell")
@@ -110,8 +119,16 @@ func main() {
 	defer stop()
 
 	if *urls != "" {
-		runClusterLoad(ctx, *urls, cfg, *out)
+		if *chaosMode {
+			runChaosLoad(ctx, *urls, cfg, *out)
+		} else {
+			runClusterLoad(ctx, *urls, cfg, *out)
+		}
 		return
+	}
+	if *chaosMode {
+		fmt.Fprintln(os.Stderr, "tvload: -chaos requires -urls")
+		os.Exit(2)
 	}
 
 	rep, err := serve.RunLoad(ctx, cfg)
@@ -173,6 +190,38 @@ func runClusterLoad(ctx context.Context, urls string, load serve.LoadConfig, out
 	}
 	writeJSON(rep, out)
 	if rep.Errors > 0 || rep.Divergences > 0 {
+		os.Exit(1)
+	}
+}
+
+// runChaosLoad drives the -chaos mode: the sprayed mix against a cluster
+// under fault injection, followed by anti-entropy passes and a cross-node
+// byte audit, reported as chaos-load-report/v1 JSON.
+func runChaosLoad(ctx context.Context, urls string, load serve.LoadConfig, out string) {
+	var targets []string
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			targets = append(targets, u)
+		}
+	}
+	rep, err := serve.RunChaosLoad(ctx, serve.ChaosLoadConfig{URLs: targets, Load: load})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvload:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"tvload: chaos drill on %d nodes: %d reqs, availability %.2f%% (%d ok / %d rejected / %d error), %d degraded, %d stolen, %d divergences during load\n",
+		rep.Nodes, rep.Requests, 100*rep.Availability, rep.OK, rep.Rejected, rep.Errors,
+		rep.Degraded, rep.Stolen, rep.Divergences)
+	fmt.Fprintf(os.Stderr,
+		"tvload: anti-entropy: %d checked, %d diverged, %d repaired; post-repair audit: %d digests, %d divergences\n",
+		rep.RepairChecked, rep.RepairDiverged, rep.Repaired,
+		rep.PostRepairDigests, rep.PostRepairDivergences)
+	for key, n := range rep.BreakerTransitions {
+		fmt.Fprintf(os.Stderr, "tvload:   breaker %s ×%d\n", key, n)
+	}
+	writeJSON(rep, out)
+	if rep.Errors > 0 || rep.PostRepairDivergences > 0 {
 		os.Exit(1)
 	}
 }

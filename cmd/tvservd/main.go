@@ -36,8 +36,22 @@
 // owner (cluster-wide singleflight), the owner reads through its peers
 // before simulating, and a periodic anti-entropy sweep cross-checks
 // replicated digests byte-for-byte (GET /v1/result/{digest} is the
-// peer-facing read endpoint; /readyz lists per-peer health; /metrics gains
-// per-peer and store counters).
+// peer-facing read endpoint, PUT the replication write; POST
+// /v1/anti-entropy triggers one sweep on demand; /readyz lists per-peer
+// health; /metrics gains per-peer, breaker and store counters).
+//
+// Peer calls are resilient by default: a per-peer circuit breaker fails
+// fast once a peer looks dead (half-open probes bring it back), idempotent
+// calls retry with seeded jittered backoff, and when an owner is
+// unreachable the receiving node computes on its behalf — the answer is
+// still 200, marked X-Tvsched-Source: compute-degraded, and is replicated
+// to the owner once its breaker closes. /readyz then reads "degraded" (but
+// stays 200). With -repair, the anti-entropy sweep also heals divergences:
+// the node re-simulates the digest (determinism makes the fresh result an
+// oracle) and overwrites whichever replica disagrees. With -chaos PLAN, a
+// seeded fault-injection transport wraps outgoing peer calls (refusals,
+// 5xx, latency, mid-body cuts, per-peer blackout windows) for drills —
+// never in production.
 //
 // Usage:
 //
@@ -70,6 +84,7 @@ import (
 	"time"
 
 	"tvsched/internal/cluster"
+	"tvsched/internal/resil/chaos"
 	"tvsched/internal/serve"
 	"tvsched/internal/store"
 )
@@ -97,6 +112,9 @@ func main() {
 		nodeID       = flag.String("node-id", "", "this node's cluster identity (required with -peers)")
 		peersFlag    = flag.String("peers", "", "cluster peers as id=url,... (e.g. b=http://10.0.0.2:8844); empty = standalone")
 		antiEntropy  = flag.Duration("anti-entropy", 30*time.Second, "cadence of the peer divergence sweep (0 disables; only with -peers)")
+		repair       = flag.Bool("repair", false, "let the anti-entropy sweep heal divergences by re-simulating the digest and overwriting the losing replica")
+		resilSeed    = flag.Uint64("resil-seed", 1, "seed for breaker probe schedules and retry backoff (deterministic per seed)")
+		chaosSpec    = flag.String("chaos", "", "fault-injection plan for outgoing peer calls, e.g. seed=42,refuse=0.05,blackout=host:port@0:40 (testing only)")
 	)
 	flag.Parse()
 
@@ -146,6 +164,17 @@ func main() {
 		)
 	}
 
+	var peerTransport http.RoundTripper
+	if *chaosSpec != "" {
+		plan, err := chaos.ParsePlan(*chaosSpec)
+		if err != nil {
+			fatal("bad -chaos", err)
+		}
+		peerTransport = chaos.NewTransport(plan, nil)
+		logger.Warn("chaos fault injection ACTIVE on peer calls (testing only)",
+			slog.String("plan", *chaosSpec))
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:             *workers,
 		QueueDepth:          *queue,
@@ -160,6 +189,9 @@ func main() {
 		HeartbeatInterval:   *heartbeat,
 		Store:               st,
 		AntiEntropyInterval: *antiEntropy,
+		Repair:              *repair,
+		ResilSeed:           *resilSeed,
+		PeerTransport:       peerTransport,
 	})
 	if len(peers) > 0 {
 		if err := srv.SetPeers(*nodeID, peers); err != nil {

@@ -21,14 +21,17 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 )
 
 // ForwardHeader marks a /v1/run request as already routed: the value is the
@@ -126,6 +129,114 @@ func (r *Ring) Owner(digest string) (Peer, bool) {
 	return best, best.ID == r.self
 }
 
+// FaultClass partitions peer-call failures by where in the exchange they
+// happened — the property retry policy keys on. A connect-class fault means
+// the request may never have reached the peer, so retrying costs only the
+// wire. A status fault means the peer answered (headers arrived, no useful
+// body); retrying is safe for 5xx because the peer declined rather than
+// processed. A body fault means the exchange died mid-stream after a good
+// status: for a non-idempotent-cost call like Forward, the peer has already
+// done the work, and the cheaper recovery is computing locally.
+type FaultClass int
+
+const (
+	// FaultConnect is a transport-level failure before any response: dial
+	// refused, DNS, TLS, timeout waiting for headers.
+	FaultConnect FaultClass = iota
+	// FaultStatus is a non-2xx response whose status arrived intact.
+	FaultStatus
+	// FaultBody is an error reading the response body after a good status.
+	FaultBody
+)
+
+var faultNames = [...]string{"connect", "status", "body"}
+
+// String names the class.
+func (f FaultClass) String() string {
+	if f < 0 || int(f) >= len(faultNames) {
+		return "unknown"
+	}
+	return faultNames[f]
+}
+
+// PeerError is every error the Client returns for a reachable-protocol
+// failure, carrying the fault class, the peer, the operation, and — for
+// FaultStatus — the HTTP status. It unwraps to the underlying transport
+// error so sentinel checks (context.DeadlineExceeded, chaos.ErrRefused)
+// still work through it.
+type PeerError struct {
+	Class  FaultClass
+	Peer   string // peer ID
+	Op     string // "fetch", "forward", "health", "push"
+	Status int    // HTTP status for FaultStatus, else 0
+	Detail string // trimmed response body for FaultStatus, may be empty
+	Err    error  // underlying error for FaultConnect/FaultBody, else nil
+}
+
+// Error renders the failure with its class, so logs show at a glance
+// whether the peer was unreachable, declining, or cut off mid-answer.
+func (e *PeerError) Error() string {
+	switch e.Class {
+	case FaultStatus:
+		if e.Detail != "" {
+			return fmt.Sprintf("cluster: %s %s: status %d: %s", e.Op, e.Peer, e.Status, e.Detail)
+		}
+		return fmt.Sprintf("cluster: %s %s: status %d", e.Op, e.Peer, e.Status)
+	default:
+		return fmt.Sprintf("cluster: %s %s: %s fault: %v", e.Op, e.Peer, e.Class, e.Err)
+	}
+}
+
+// Unwrap exposes the underlying transport error.
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// Retryable reports whether any peer error is worth retrying at all: every
+// class except a mid-body cut, where the peer already did the work. Fetch,
+// Health and Push use this directly.
+func Retryable(err error) bool {
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		return false
+	}
+	return pe.Class != FaultBody
+}
+
+// ForwardRetryable is the stricter rule for Forward, the one call that makes
+// the peer simulate: retry only when the peer provably did not accept the
+// work — a connect-class fault, or a 5xx that arrived before any result body
+// (overload shedding, chaos bursts). A 4xx is deterministic and a body cut
+// means the run completed; both retries would be wasted simulation.
+func ForwardRetryable(err error) bool {
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		return false
+	}
+	switch pe.Class {
+	case FaultConnect:
+		return true
+	case FaultStatus:
+		return pe.Status >= 500
+	default:
+		return false
+	}
+}
+
+// sharedTransport pools peer connections process-wide: every Client reuses
+// it, so repeated peer calls ride warm keep-alive connections, and the dial
+// and TLS-handshake timeouts bound how long a black-holed peer can hang a
+// call even when the caller forgot a context deadline.
+var sharedTransport = &http.Transport{
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	TLSHandshakeTimeout:   5 * time.Second,
+	MaxIdleConns:          64,
+	MaxIdleConnsPerHost:   16,
+	IdleConnTimeout:       90 * time.Second,
+	ExpectContinueTimeout: 1 * time.Second,
+}
+
 // Client speaks the peer protocol. The zero value is not usable; use
 // NewClient.
 type Client struct {
@@ -133,11 +244,21 @@ type Client struct {
 	http *http.Client
 }
 
-// NewClient builds a peer client identifying as self. The http.Client's
-// timeout is left zero — every call takes a context, and the serving layer
-// bounds each operation with its own deadline.
+// NewClient builds a peer client identifying as self, on the shared pooled
+// transport. The http.Client's timeout is left zero — every call takes a
+// context, and the serving layer bounds each operation with its own
+// deadline.
 func NewClient(self string) *Client {
-	return &Client{self: self, http: &http.Client{}}
+	return NewClientWith(self, nil)
+}
+
+// NewClientWith is NewClient with an interposed RoundTripper — the seam the
+// chaos transport installs through. A nil rt means the shared transport.
+func NewClientWith(self string, rt http.RoundTripper) *Client {
+	if rt == nil {
+		rt = sharedTransport
+	}
+	return &Client{self: self, http: &http.Client{Transport: rt}}
 }
 
 // Fetch asks peer for its locally cached bytes of digest (GET
@@ -150,14 +271,14 @@ func (c *Client) Fetch(ctx context.Context, peer Peer, digest string) ([]byte, b
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, false, err
+		return nil, false, &PeerError{Class: FaultConnect, Peer: peer.ID, Op: "fetch", Err: err}
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
 		body, err := io.ReadAll(resp.Body)
 		if err != nil {
-			return nil, false, err
+			return nil, false, &PeerError{Class: FaultBody, Peer: peer.ID, Op: "fetch", Err: err}
 		}
 		return body, true, nil
 	case http.StatusNotFound:
@@ -165,7 +286,7 @@ func (c *Client) Fetch(ctx context.Context, peer Peer, digest string) ([]byte, b
 		return nil, false, nil
 	default:
 		io.Copy(io.Discard, resp.Body)
-		return nil, false, fmt.Errorf("cluster: fetch %s from %s: status %d", digest, peer.ID, resp.StatusCode)
+		return nil, false, &PeerError{Class: FaultStatus, Peer: peer.ID, Op: "fetch", Status: resp.StatusCode}
 	}
 }
 
@@ -183,16 +304,19 @@ func (c *Client) Forward(ctx context.Context, peer Peer, body []byte) ([]byte, h
 	req.Header.Set(ForwardHeader, c.self)
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, &PeerError{Class: FaultConnect, Peer: peer.ID, Op: "forward", Err: err}
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Read the error detail best-effort: the status already arrived, so
+		// the class is FaultStatus even if the detail body is cut short.
+		detail, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, nil, &PeerError{Class: FaultStatus, Peer: peer.ID, Op: "forward",
+			Status: resp.StatusCode, Detail: strings.TrimSpace(string(detail))}
+	}
 	respBody, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, nil, fmt.Errorf("cluster: forward to %s: status %d: %s",
-			peer.ID, resp.StatusCode, strings.TrimSpace(string(respBody)))
+		return nil, nil, &PeerError{Class: FaultBody, Peer: peer.ID, Op: "forward", Err: err}
 	}
 	return respBody, resp.Header, nil
 }
@@ -205,12 +329,40 @@ func (c *Client) Health(ctx context.Context, peer Peer) error {
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return &PeerError{Class: FaultConnect, Peer: peer.ID, Op: "health", Err: err}
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d", resp.StatusCode)
+		return &PeerError{Class: FaultStatus, Peer: peer.ID, Op: "health", Status: resp.StatusCode}
 	}
+	return nil
+}
+
+// Push replicates locally held result bytes of digest to peer (PUT
+// /v1/result/{digest}) — the repair half of the protocol, used to hand an
+// owner the result a non-owner computed in degraded mode, and to overwrite
+// a diverged replica after anti-entropy re-simulation. The digest names the
+// config, not the body, so the receiver cannot check the bytes against it —
+// pushes are trusted cluster-internal traffic (it does validate the digest's
+// shape and reject empty bodies); anti-entropy is the backstop for bad ones.
+func (c *Client) Push(ctx context.Context, peer Peer, digest string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, peer.URL+"/v1/result/"+digest, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardHeader, c.self)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return &PeerError{Class: FaultConnect, Peer: peer.ID, Op: "push", Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		detail, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return &PeerError{Class: FaultStatus, Peer: peer.ID, Op: "push",
+			Status: resp.StatusCode, Detail: strings.TrimSpace(string(detail))}
+	}
+	io.Copy(io.Discard, resp.Body)
 	return nil
 }

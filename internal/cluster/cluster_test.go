@@ -2,9 +2,13 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -157,5 +161,148 @@ func TestClientForward(t *testing.T) {
 	body, hdr, err := c.Forward(context.Background(), Peer{ID: "b", URL: ts.URL}, []byte(`{}`))
 	if err != nil || string(body) != `{"ok":true}`+"\n" || hdr.Get("X-Tvsched-Cache") != "miss" {
 		t.Fatalf("forward: %q hdr=%v err=%v", body, hdr, err)
+	}
+}
+
+// TestFaultClassification pins the class each failure shape maps to, since
+// the retry rules key on it.
+func TestFaultClassification(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasSuffix(r.URL.Path, "/cut"):
+			// Promise more bytes than we send, then sever the connection, so
+			// the client fails mid-body after a 200.
+			w.Header().Set("Content-Length", "1000")
+			w.Write([]byte("partial"))
+			w.(http.Flusher).Flush()
+			hj, _ := w.(http.Hijacker)
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+		case strings.HasSuffix(r.URL.Path, "/busy"):
+			http.Error(w, "shedding", http.StatusServiceUnavailable)
+		default:
+			http.Error(w, "no such run", http.StatusBadRequest)
+		}
+	}))
+	defer ts.Close()
+	c := NewClient("a")
+	peer := Peer{ID: "b", URL: ts.URL}
+	ctx := context.Background()
+
+	classOf := func(err error) FaultClass {
+		t.Helper()
+		var pe *PeerError
+		if !errors.As(err, &pe) {
+			t.Fatalf("error %v is not a PeerError", err)
+		}
+		return pe.Class
+	}
+
+	// Connect: nothing listens on a closed port.
+	dead := Peer{ID: "dead", URL: "http://127.0.0.1:1"}
+	if _, _, err := c.Forward(ctx, dead, []byte(`{}`)); classOf(err) != FaultConnect {
+		t.Fatalf("dead peer: class %v, want connect", classOf(err))
+	}
+	// Status: 5xx and 4xx arrive intact.
+	_, _, err := c.Forward(ctx, peer, []byte(`{}`)) // hits default → 400
+	if classOf(err) != FaultStatus {
+		t.Fatalf("4xx: class %v, want status", classOf(err))
+	}
+	var pe *PeerError
+	errors.As(err, &pe)
+	if pe.Status != http.StatusBadRequest || pe.Detail != "no such run" {
+		t.Fatalf("4xx: status %d detail %q", pe.Status, pe.Detail)
+	}
+	// Body: 200 then the stream dies.
+	if _, ok, err := c.Fetch(ctx, peer, "cut"); ok || classOf(err) != FaultBody {
+		t.Fatalf("cut body: ok=%v class %v, want body fault", ok, classOf(err))
+	}
+}
+
+// TestRetryRules pins the two retry predicates: Forward retries only
+// connect faults and 5xx-before-body; the general rule also retries 4xx
+// (Fetch against a restarting peer) but never a mid-body cut.
+func TestRetryRules(t *testing.T) {
+	connect := &PeerError{Class: FaultConnect, Peer: "b", Op: "forward", Err: errors.New("refused")}
+	s503 := &PeerError{Class: FaultStatus, Peer: "b", Op: "forward", Status: 503}
+	s400 := &PeerError{Class: FaultStatus, Peer: "b", Op: "forward", Status: 400}
+	body := &PeerError{Class: FaultBody, Peer: "b", Op: "forward", Err: errors.New("unexpected EOF")}
+
+	cases := []struct {
+		err              error
+		forward, general bool
+	}{
+		{connect, true, true},
+		{s503, true, true},
+		{s400, false, true},
+		{body, false, false},
+		{fmt.Errorf("wrapped: %w", s503), true, true},
+		{errors.New("not a peer error"), false, false},
+	}
+	for _, tc := range cases {
+		if got := ForwardRetryable(tc.err); got != tc.forward {
+			t.Errorf("ForwardRetryable(%v) = %v, want %v", tc.err, got, tc.forward)
+		}
+		if got := Retryable(tc.err); got != tc.general {
+			t.Errorf("Retryable(%v) = %v, want %v", tc.err, got, tc.general)
+		}
+	}
+}
+
+// TestClientPush checks the replication call: method, path, forwarded-by
+// header, body bytes, and the status-fault path.
+func TestClientPush(t *testing.T) {
+	var gotMethod, gotPath, gotFrom string
+	var gotBody []byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotMethod, gotPath, gotFrom = r.Method, r.URL.Path, r.Header.Get(ForwardHeader)
+		gotBody, _ = io.ReadAll(r.Body)
+		if strings.HasSuffix(r.URL.Path, "reject") {
+			http.Error(w, "digest mismatch", http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+	c := NewClient("a")
+	peer := Peer{ID: "b", URL: ts.URL}
+
+	if err := c.Push(context.Background(), peer, "d123", []byte("result-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if gotMethod != http.MethodPut || gotPath != "/v1/result/d123" || gotFrom != "a" || string(gotBody) != "result-bytes" {
+		t.Fatalf("push sent %s %s from=%q body=%q", gotMethod, gotPath, gotFrom, gotBody)
+	}
+	err := c.Push(context.Background(), peer, "reject", []byte("x"))
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Class != FaultStatus || pe.Status != http.StatusBadRequest {
+		t.Fatalf("rejected push: %v", err)
+	}
+}
+
+// TestSharedTransportReusesConnections pins the satellite fix: peer calls
+// ride pooled keep-alive connections instead of a fresh dial per call.
+func TestSharedTransportReusesConnections(t *testing.T) {
+	var mu sync.Mutex
+	remotes := make(map[string]bool)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		remotes[r.RemoteAddr] = true
+		mu.Unlock()
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	c := NewClient("a")
+	peer := Peer{ID: "b", URL: ts.URL}
+	for i := 0; i < 8; i++ {
+		if err := c.Health(context.Background(), peer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	n := len(remotes)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("8 sequential health probes used %d connections, want 1 (pooling broken)", n)
 	}
 }

@@ -262,7 +262,7 @@ func (e *Exposition) writeServe(w io.Writer) error {
 	// when any peer has been touched, so a solo node stays compact.
 	if len(snap.PeerOps) > 0 {
 		name = e.ns + "_serve_peer_ops_total"
-		if err := head(w, name, "Cluster peer operations (fetch_hit/fetch_miss/forward/forward_error/check_ok/diverged) by peer.", "counter"); err != nil {
+		if err := head(w, name, "Cluster peer operations (fetch_hit/fetch_miss/forward/forward_error/check_ok/diverged/retry/breaker_denied/degraded/replicated/repaired) by peer.", "counter"); err != nil {
 			return err
 		}
 		peers := make([]string, 0, len(snap.PeerOps))
@@ -274,6 +274,42 @@ func (e *Exposition) writeServe(w io.Writer) error {
 			ops := snap.PeerOps[p]
 			for o := PeerOp(0); o < NumPeerOps; o++ {
 				if _, err := fmt.Fprintf(w, "%s{peer=%q,op=%q} %d\n", name, p, o.String(), ops[o]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Circuit-breaker telemetry, rendered only once a breaker has moved.
+	if len(snap.BreakerTransitions) > 0 {
+		name = e.ns + "_serve_breaker_transitions_total"
+		if err := head(w, name, "Circuit-breaker state entries (closed/open/half_open) by peer.", "counter"); err != nil {
+			return err
+		}
+		peers := make([]string, 0, len(snap.BreakerTransitions))
+		for p := range snap.BreakerTransitions {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		for _, p := range peers {
+			states := make([]string, 0, len(snap.BreakerTransitions[p]))
+			for st := range snap.BreakerTransitions[p] {
+				states = append(states, st)
+			}
+			sort.Strings(states)
+			for _, st := range states {
+				if _, err := fmt.Fprintf(w, "%s{peer=%q,to=%q} %d\n", name, p, st, snap.BreakerTransitions[p][st]); err != nil {
+					return err
+				}
+			}
+		}
+		name = e.ns + "_serve_breaker_state"
+		if err := head(w, name, "Current circuit-breaker state per peer (1 = the labelled state).", "gauge"); err != nil {
+			return err
+		}
+		for _, p := range peers {
+			if st, ok := snap.BreakerStates[p]; ok {
+				if _, err := fmt.Fprintf(w, "%s{peer=%q,state=%q} 1\n", name, p, st); err != nil {
 					return err
 				}
 			}

@@ -69,7 +69,12 @@ type PeerOp int
 // a peer's cache; Forward/ForwardErr are runs routed to their owning node;
 // CheckOK/Diverged are anti-entropy cross-checks — Diverged means two nodes
 // hold different bytes for one digest, which the determinism contract makes
-// a bug, never an acceptable inconsistency.
+// a bug, never an acceptable inconsistency. The resilience ops: Retry is one
+// extra attempt against a peer after a retryable failure, BreakerDenied is a
+// call refused locally because the peer's circuit breaker was open, Degraded
+// is a run this node computed on behalf of an unreachable owner, Replicated
+// is a degraded result delivered to its owner once the breaker closed, and
+// Repaired is a diverged replica overwritten with re-simulated oracle bytes.
 const (
 	PeerFetchHit PeerOp = iota
 	PeerFetchMiss
@@ -77,11 +82,17 @@ const (
 	PeerForwardErr
 	PeerCheckOK
 	PeerDiverged
+	PeerRetry
+	PeerBreakerDenied
+	PeerDegraded
+	PeerReplicated
+	PeerRepaired
 	NumPeerOps
 )
 
 var peerOpNames = [NumPeerOps]string{
 	"fetch_hit", "fetch_miss", "forward", "forward_error", "check_ok", "diverged",
+	"retry", "breaker_denied", "degraded", "replicated", "repaired",
 }
 
 // String returns the Prometheus label value for the peer operation.
@@ -137,6 +148,11 @@ type ServeMetrics struct {
 	storeOps     [NumStoreOps]uint64
 	storeEntries int64
 	storeBytes   int64
+
+	// Circuit-breaker telemetry, per peer: transition counts into each state
+	// and the current state (a label-valued gauge in the exposition).
+	breakerTrans map[string]map[string]uint64
+	breakerState map[string]string
 }
 
 // NewServeMetrics builds an empty serving registry.
@@ -199,6 +215,27 @@ func (s *ServeMetrics) PeerOp(peer string, op PeerOp) {
 	s.mu.Unlock()
 }
 
+// BreakerTransition records one circuit-breaker state change for the named
+// peer: a transition counter into the new state, plus the current state.
+func (s *ServeMetrics) BreakerTransition(peer, to string) {
+	if peer == "" || to == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.breakerTrans == nil {
+		s.breakerTrans = make(map[string]map[string]uint64)
+		s.breakerState = make(map[string]string)
+	}
+	m := s.breakerTrans[peer]
+	if m == nil {
+		m = make(map[string]uint64)
+		s.breakerTrans[peer] = m
+	}
+	m[to]++
+	s.breakerState[peer] = to
+	s.mu.Unlock()
+}
+
 // StoreOp records one persistent-store access.
 func (s *ServeMetrics) StoreOp(op StoreOp) {
 	if op < 0 || op >= NumStoreOps {
@@ -227,6 +264,10 @@ type ServeSnapshot struct {
 	StoreOps     [NumStoreOps]uint64
 	StoreEntries int64
 	StoreBytes   int64
+	// BreakerTransitions counts breaker state entries per peer, keyed
+	// peer → state name; BreakerStates is each peer's current state.
+	BreakerTransitions map[string]map[string]uint64
+	BreakerStates      map[string]string
 }
 
 // ReqLatencyTotal folds the route × outcome latency matrix into one
@@ -264,6 +305,20 @@ func (s *ServeMetrics) Snapshot() ServeSnapshot {
 		snap.PeerOps = make(map[string][NumPeerOps]uint64, len(s.peerOps))
 		for peer, ops := range s.peerOps {
 			snap.PeerOps[peer] = *ops
+		}
+	}
+	if len(s.breakerTrans) > 0 {
+		snap.BreakerTransitions = make(map[string]map[string]uint64, len(s.breakerTrans))
+		for peer, m := range s.breakerTrans {
+			mc := make(map[string]uint64, len(m))
+			for state, n := range m {
+				mc[state] = n
+			}
+			snap.BreakerTransitions[peer] = mc
+		}
+		snap.BreakerStates = make(map[string]string, len(s.breakerState))
+		for peer, st := range s.breakerState {
+			snap.BreakerStates[peer] = st
 		}
 	}
 	return snap

@@ -1,0 +1,204 @@
+// Package resil is the fault-tolerance layer under the cluster's peer
+// client: a per-peer circuit breaker and a bounded retry policy with
+// decorrelated-jitter backoff. The serving fleet applies the paper's core
+// stance — tolerate violations instead of provisioning for a healthy
+// worst case — to the distributed layer: a slow, flaky or dead peer must
+// cost bounded latency and a degraded-mode answer, never an error.
+//
+// Everything time-shaped is seeded and deterministic: the breaker's probe
+// schedule and the retry backoff sequence are pure functions of their seed
+// (internal/rng SplitMix64 streams), so two runs of the same chaos scenario
+// make the same decisions in the same order. Wall-clock only decides when a
+// scheduled transition is due, via a clock seam tests replace.
+package resil
+
+import (
+	"sync"
+	"time"
+
+	"tvsched/internal/rng"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// Closed passes every call through; consecutive failures are counted.
+	Closed State = iota
+	// Open fails fast: every call is denied until the scheduled probe time.
+	Open
+	// HalfOpen lets exactly one probe call through; its outcome decides
+	// whether the breaker closes again or re-opens with a longer cooldown.
+	HalfOpen
+	// NumStates is the number of breaker states.
+	NumStates
+)
+
+var stateNames = [NumStates]string{"closed", "open", "half_open"}
+
+// String names the state (also the metrics label value).
+func (s State) String() string {
+	if s < 0 || s >= NumStates {
+		return "unknown"
+	}
+	return stateNames[s]
+}
+
+// BreakerConfig parameterizes a Breaker. Zero fields take the documented
+// defaults.
+type BreakerConfig struct {
+	// Failures is how many consecutive failures open the breaker (default 3).
+	Failures int
+	// Cooldown is the base open→probe delay (default 2s). Each re-opening
+	// grows the actual cooldown by decorrelated jitter up to CooldownMax, so
+	// repeated probes against a dead peer back off instead of hammering it.
+	Cooldown time.Duration
+	// CooldownMax caps the jittered cooldown (default 30s).
+	CooldownMax time.Duration
+	// Seed drives the cooldown jitter stream. The schedule — the sequence of
+	// cooldown durations across re-openings — is a pure function of the seed.
+	Seed uint64
+	// Now is the clock (default time.Now; tests inject a fake).
+	Now func() time.Time
+	// OnTransition, when non-nil, observes every state change. It is called
+	// outside the breaker's lock, in transition order per breaker.
+	OnTransition func(from, to State)
+}
+
+func (c *BreakerConfig) fill() {
+	if c.Failures <= 0 {
+		c.Failures = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.CooldownMax <= 0 {
+		c.CooldownMax = 30 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Breaker is a circuit breaker guarding one peer. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    State
+	failures int           // consecutive failures while Closed
+	probeAt  time.Time     // when Open, the scheduled probe time
+	cooldown time.Duration // last cooldown drawn (the jitter recurrence input)
+	src      *rng.Source
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.fill()
+	return &Breaker{cfg: cfg, src: rng.New(cfg.Seed)}
+}
+
+// State returns the breaker's current position. An Open breaker whose probe
+// time has arrived still reports Open — the transition to HalfOpen happens
+// on the Allow call that takes the probe slot, so state observation never
+// races a probe into existence.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a call may proceed. While Open it returns false
+// until the scheduled probe time, then flips to HalfOpen and returns true
+// for exactly one caller (the probe); everyone else keeps failing fast until
+// that probe's Record settles the state.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	switch b.state {
+	case Closed:
+		b.mu.Unlock()
+		return true
+	case HalfOpen:
+		b.mu.Unlock()
+		return false // a probe is already out
+	default: // Open
+		if b.cfg.Now().Before(b.probeAt) {
+			b.mu.Unlock()
+			return false
+		}
+		fn := b.transitionLocked(HalfOpen)
+		b.mu.Unlock()
+		if fn != nil {
+			fn()
+		}
+		return true
+	}
+}
+
+// Record folds one call outcome in. A success closes the breaker from any
+// state (evidence the peer is back); a failure counts toward the threshold
+// while Closed, re-opens immediately from HalfOpen (the probe failed), and
+// re-arms the cooldown while Open (a straggler failing after the breaker
+// already opened must not pull the probe earlier).
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	var fn func()
+	if ok {
+		b.failures = 0
+		if b.state != Closed {
+			b.cooldown = 0 // healthy again: next opening starts from base
+			fn = b.transitionLocked(Closed)
+		}
+	} else {
+		switch b.state {
+		case Closed:
+			b.failures++
+			if b.failures >= b.cfg.Failures {
+				b.armLocked()
+				fn = b.transitionLocked(Open)
+			}
+		case HalfOpen:
+			b.armLocked()
+			fn = b.transitionLocked(Open)
+		case Open:
+			// Already open: no new schedule draw, the probe stays put.
+		}
+	}
+	b.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// armLocked draws the next cooldown from the seeded schedule and sets the
+// probe time. Decorrelated jitter (base + U[0,1)·3·prev, clamped to
+// [base, max]) spreads repeated probes without synchronizing them across
+// peers, and the draw sequence is deterministic per seed.
+func (b *Breaker) armLocked() {
+	next := b.cfg.Cooldown
+	if b.cooldown > 0 {
+		next += time.Duration(b.src.Float64() * 3 * float64(b.cooldown))
+	} else {
+		// First opening: jitter within one base interval.
+		next += time.Duration(b.src.Float64() * float64(b.cfg.Cooldown))
+	}
+	if next > b.cfg.CooldownMax {
+		next = b.cfg.CooldownMax
+	}
+	b.cooldown = next
+	b.probeAt = b.cfg.Now().Add(next)
+	b.failures = 0
+}
+
+// transitionLocked moves to the new state and returns the callback to run
+// after the lock is released (nil when no observer is installed).
+func (b *Breaker) transitionLocked(to State) func() {
+	from := b.state
+	b.state = to
+	if b.cfg.OnTransition == nil || from == to {
+		return nil
+	}
+	fn := b.cfg.OnTransition
+	return func() { fn(from, to) }
+}

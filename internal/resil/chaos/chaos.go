@@ -1,0 +1,323 @@
+// Package chaos is the fault-injection harness for the serving cluster: an
+// http.RoundTripper that injects latency, connection refusals, synthesized
+// 5xx responses, mid-body cuts, and per-peer blackout windows — plus crash
+// faults for the store's append log (torn tails, flipped bits). It exists so
+// the recovery paths in internal/resil, internal/serve and internal/store
+// are exercised in-process and in CI, not just reasoned about.
+//
+// Every decision is deterministic: fault draws are a pure function of
+// (seed, host, request index), where the index counts requests per host in
+// arrival order. Concurrent requests may interleave, but request k to host h
+// always sees the same verdict, so a chaos scenario replays the same faults
+// run after run. Blackout windows are expressed on the request index — the
+// same timeline idiom internal/hazard uses for droop events — rather than
+// wall clock, for the same reason.
+//
+// A zero Plan injects nothing and the transport is a pass-through, so chaos
+// plumbing can stay permanently installed and cost nothing when idle.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tvsched/internal/rng"
+)
+
+// ErrRefused is the synthetic connect failure: the request never left the
+// transport, as if the peer's port refused the connection. Callers classify
+// it (via errors.Is through url.Error wrapping) as a connect-class fault,
+// which is always safe to retry.
+var ErrRefused = errors.New("chaos: connection refused")
+
+// ErrBlackout marks a refusal caused by a blackout window. It unwraps to
+// ErrRefused so retry classification treats both the same.
+var ErrBlackout = fmt.Errorf("chaos: peer blacked out: %w", ErrRefused)
+
+// Blackout refuses every request to Host whose per-host request index n
+// satisfies From <= n < To. An empty Host matches every host.
+type Blackout struct {
+	Host     string
+	From, To int
+}
+
+// Plan is one chaos scenario. Probabilities are per-request and evaluated
+// in precedence order: blackout, refuse, 5xx, then (on requests that really
+// go out) latency and mid-body cut.
+type Plan struct {
+	// Seed drives every fault draw. Two transports with equal plans make
+	// identical per-(host, index) decisions.
+	Seed uint64
+	// RefuseP is the probability of a synthetic connection refusal.
+	RefuseP float64
+	// FiveXXP is the probability of a synthesized 503 (headers arrive,
+	// status is an error — the "5xx before body" class).
+	FiveXXP float64
+	// CutP is the probability the response body is severed halfway through
+	// (io.ErrUnexpectedEOF mid-read — the class Forward must NOT retry).
+	CutP float64
+	// LatencyP is the probability of injected latency; LatencyMax bounds the
+	// uniform draw.
+	LatencyP   float64
+	LatencyMax time.Duration
+	// Blackouts are per-host refusal windows on the request-index timeline.
+	Blackouts []Blackout
+}
+
+// Active reports whether the plan injects anything at all.
+func (p Plan) Active() bool {
+	return p.RefuseP > 0 || p.FiveXXP > 0 || p.CutP > 0 || p.LatencyP > 0 || len(p.Blackouts) > 0
+}
+
+// Counts is a snapshot of injected faults.
+type Counts struct {
+	Requests  int64 // total requests seen
+	Blackouts int64 // refused by a blackout window
+	Refusals  int64 // refused by RefuseP
+	FiveXX    int64 // synthesized 503s
+	Cuts      int64 // bodies severed mid-read
+	Latencies int64 // latency injections
+}
+
+// Transport is the chaos RoundTripper. Install it under an http.Client (or
+// hand it to serve.Config.PeerTransport) wrapping the real transport.
+type Transport struct {
+	plan Plan
+	next http.RoundTripper
+
+	mu  sync.Mutex
+	idx map[string]int // per-host request index, next to assign
+
+	requests, blackouts, refusals, fiveXX, cuts, latencies atomic.Int64
+}
+
+// NewTransport wraps next (nil means http.DefaultTransport) with the plan.
+func NewTransport(plan Plan, next http.RoundTripper) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Transport{plan: plan, next: next, idx: make(map[string]int)}
+}
+
+// Counts snapshots the injected-fault tallies.
+func (t *Transport) Counts() Counts {
+	return Counts{
+		Requests:  t.requests.Load(),
+		Blackouts: t.blackouts.Load(),
+		Refusals:  t.refusals.Load(),
+		FiveXX:    t.fiveXX.Load(),
+		Cuts:      t.cuts.Load(),
+		Latencies: t.latencies.Load(),
+	}
+}
+
+// take assigns the next request index for host.
+func (t *Transport) take(host string) int {
+	t.mu.Lock()
+	n := t.idx[host]
+	t.idx[host] = n + 1
+	t.mu.Unlock()
+	return n
+}
+
+func hashHost(host string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, host)
+	return h.Sum64()
+}
+
+// RoundTrip injects the plan's faults for this (host, index) pair, then
+// delegates to the wrapped transport for requests that survive.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	n := t.take(host)
+	t.requests.Add(1)
+
+	for _, b := range t.plan.Blackouts {
+		if (b.Host == "" || b.Host == "*" || b.Host == host) && n >= b.From && n < b.To {
+			t.blackouts.Add(1)
+			return nil, ErrBlackout
+		}
+	}
+
+	// One source per (seed, host, index): draws are position-independent of
+	// every other request, so concurrency cannot reorder verdicts. The draw
+	// order below is fixed — changing one probability never shifts another
+	// fault's dice.
+	src := rng.New(t.plan.Seed).Derive(hashHost(host)).Derive(uint64(n))
+	refuse := src.Float64()
+	fiveXX := src.Float64()
+	cut := src.Float64()
+	lat := src.Float64()
+	latFrac := src.Float64()
+
+	if refuse < t.plan.RefuseP {
+		t.refusals.Add(1)
+		return nil, ErrRefused
+	}
+	if fiveXX < t.plan.FiveXXP {
+		t.fiveXX.Add(1)
+		body := "chaos: injected 503\n"
+		resp := &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}
+		return resp, nil
+	}
+	if lat < t.plan.LatencyP && t.plan.LatencyMax > 0 {
+		t.latencies.Add(1)
+		d := time.Duration(latFrac * float64(t.plan.LatencyMax))
+		timer := time.NewTimer(d)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if cut < t.plan.CutP {
+		t.cuts.Add(1)
+		after := resp.ContentLength / 2
+		if after < 1 {
+			after = 1
+		}
+		resp.Body = &cutBody{rc: resp.Body, remaining: after}
+	}
+	return resp, nil
+}
+
+// cutBody severs a response body after remaining bytes, surfacing
+// io.ErrUnexpectedEOF exactly as a dropped connection mid-transfer would.
+type cutBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.rc.Read(p)
+	c.remaining -= int64(n)
+	if err == nil && c.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }
+
+// ParsePlan parses the compact flag syntax used by tvservd -chaos:
+//
+//	seed=42,refuse=0.05,5xx=0.1,cut=0.02,latency=0.2:50ms,blackout=HOST@FROM:TO
+//
+// Fields are comma-separated and order-free; blackout may repeat; HOST may
+// be * (or empty) for all hosts and may contain colons (host:port), which is
+// why the window is attached with @. An empty string parses to the zero
+// (inactive) plan.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("chaos: field %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "refuse":
+			p.RefuseP, err = parseProb(val)
+		case "5xx":
+			p.FiveXXP, err = parseProb(val)
+		case "cut":
+			p.CutP, err = parseProb(val)
+		case "latency":
+			probStr, durStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return Plan{}, fmt.Errorf("chaos: latency %q is not P:DURATION", val)
+			}
+			if p.LatencyP, err = parseProb(probStr); err != nil {
+				break
+			}
+			p.LatencyMax, err = time.ParseDuration(durStr)
+		case "blackout":
+			var b Blackout
+			if b, err = parseBlackout(val); err == nil {
+				p.Blackouts = append(p.Blackouts, b)
+			}
+		default:
+			return Plan{}, fmt.Errorf("chaos: unknown field %q", key)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("chaos: field %q: %w", field, err)
+		}
+	}
+	return p, nil
+}
+
+func parseProb(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("probability %v outside [0, 1]", v)
+	}
+	return v, nil
+}
+
+func parseBlackout(s string) (Blackout, error) {
+	host, window, ok := strings.Cut(s, "@")
+	if !ok {
+		return Blackout{}, fmt.Errorf("blackout %q is not HOST@FROM:TO", s)
+	}
+	if host == "*" {
+		host = ""
+	}
+	fromStr, toStr, ok := strings.Cut(window, ":")
+	if !ok {
+		return Blackout{}, fmt.Errorf("blackout window %q is not FROM:TO", window)
+	}
+	from, err := strconv.Atoi(fromStr)
+	if err != nil {
+		return Blackout{}, err
+	}
+	to, err := strconv.Atoi(toStr)
+	if err != nil {
+		return Blackout{}, err
+	}
+	if from < 0 || to < from {
+		return Blackout{}, fmt.Errorf("blackout window [%d, %d) is not a valid half-open range", from, to)
+	}
+	return Blackout{Host: host, From: from, To: to}, nil
+}

@@ -1,0 +1,284 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// verdictFor replays one request through a fresh client and classifies the
+// outcome.
+func verdictFor(t *testing.T, client *http.Client, url string) string {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		if errors.Is(err, ErrBlackout) {
+			return "blackout"
+		}
+		if errors.Is(err, ErrRefused) {
+			return "refused"
+		}
+		t.Fatalf("unexpected transport error: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return "503"
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return "cut"
+		}
+		t.Fatalf("unexpected body error: %v", err)
+	}
+	return "ok"
+}
+
+func TestZeroPlanIsPassThrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello from the real server")
+	}))
+	defer srv.Close()
+	tr := NewTransport(Plan{Seed: 1}, nil)
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 10; i++ {
+		if v := verdictFor(t, client, srv.URL); v != "ok" {
+			t.Fatalf("request %d: verdict %q from an inactive plan", i, v)
+		}
+	}
+	if (Plan{}).Active() {
+		t.Fatal("zero plan reports active")
+	}
+	c := tr.Counts()
+	if c.Requests != 10 || c.Refusals+c.FiveXX+c.Cuts+c.Blackouts+c.Latencies != 0 {
+		t.Fatalf("counts %+v after pass-through traffic", c)
+	}
+}
+
+// TestFaultSequenceDeterministic pins the core contract: the verdict for
+// request k to a host is a pure function of (seed, host, k), so two
+// transports with the same plan replay the identical fault sequence — and a
+// different seed produces a different one.
+func TestFaultSequenceDeterministic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "0123456789abcdef0123456789abcdef")
+	}))
+	defer srv.Close()
+
+	walk := func(seed uint64) []string {
+		plan := Plan{Seed: seed, RefuseP: 0.2, FiveXXP: 0.2, CutP: 0.2}
+		client := &http.Client{Transport: NewTransport(plan, nil)}
+		var verdicts []string
+		for i := 0; i < 40; i++ {
+			verdicts = append(verdicts, verdictFor(t, client, srv.URL))
+		}
+		return verdicts
+	}
+	a1, a2, other := walk(42), walk(42), walk(43)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("request %d: same seed gave %q vs %q", i, a1[i], a2[i])
+		}
+	}
+	same := true
+	for i := range a1 {
+		if a1[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical fault sequence")
+	}
+	// With P=0.2 each over 40 requests, every fault class should have fired
+	// at least once; a silent class means the draws are miswired.
+	seen := map[string]bool{}
+	for _, v := range a1 {
+		seen[v] = true
+	}
+	for _, want := range []string{"ok", "refused", "503", "cut"} {
+		if !seen[want] {
+			t.Fatalf("fault class %q never fired in 40 draws at P=0.2 (saw %v)", want, seen)
+		}
+	}
+}
+
+func TestBlackoutWindow(t *testing.T) {
+	var arrived atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		arrived.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	host := srv.Listener.Addr().String()
+
+	plan := Plan{Seed: 1, Blackouts: []Blackout{{Host: host, From: 3, To: 7}}}
+	tr := NewTransport(plan, nil)
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 10; i++ {
+		v := verdictFor(t, client, srv.URL)
+		inWindow := i >= 3 && i < 7
+		if inWindow && v != "blackout" {
+			t.Fatalf("request %d: verdict %q inside the blackout window", i, v)
+		}
+		if !inWindow && v != "ok" {
+			t.Fatalf("request %d: verdict %q outside the blackout window", i, v)
+		}
+	}
+	if got := arrived.Load(); got != 6 {
+		t.Fatalf("%d requests reached the server, want 6 (10 minus the [3,7) window)", got)
+	}
+	if c := tr.Counts(); c.Blackouts != 4 {
+		t.Fatalf("Blackouts count %d, want 4", c.Blackouts)
+	}
+
+	// A blackout against a different host never fires.
+	other := NewTransport(Plan{Seed: 1, Blackouts: []Blackout{{Host: "elsewhere:1", From: 0, To: 100}}}, nil)
+	if v := verdictFor(t, &http.Client{Transport: other}, srv.URL); v != "ok" {
+		t.Fatalf("verdict %q under a blackout scoped to another host", v)
+	}
+	// An empty host matches everything.
+	all := NewTransport(Plan{Seed: 1, Blackouts: []Blackout{{From: 0, To: 100}}}, nil)
+	if v := verdictFor(t, &http.Client{Transport: all}, srv.URL); v != "blackout" {
+		t.Fatalf("verdict %q under a wildcard blackout", v)
+	}
+}
+
+func TestSynthesized503NeverReachesServer(t *testing.T) {
+	var arrived atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		arrived.Add(1)
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: NewTransport(Plan{Seed: 1, FiveXXP: 1}, nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading the synthetic body: %v", err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || len(body) == 0 {
+		t.Fatalf("status %d body %q, want a readable 503", resp.StatusCode, body)
+	}
+	if arrived.Load() != 0 {
+		t.Fatal("a synthesized 503 let the request through to the server")
+	}
+}
+
+func TestMidBodyCut(t *testing.T) {
+	payload := "this body will be severed halfway through transfer"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: NewTransport(Plan{Seed: 1, CutP: 1}, nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d before the cut, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("body read error %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(body) == 0 || len(body) >= len(payload) {
+		t.Fatalf("read %d bytes before the cut, want a strict partial of %d", len(body), len(payload))
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=42,refuse=0.05,5xx=0.1,cut=0.02,latency=0.2:50ms,blackout=127.0.0.1:8902@5:40,blackout=*@100:110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.RefuseP != 0.05 || p.FiveXXP != 0.1 || p.CutP != 0.02 {
+		t.Fatalf("parsed probabilities wrong: %+v", p)
+	}
+	if p.LatencyP != 0.2 || p.LatencyMax != 50*time.Millisecond {
+		t.Fatalf("parsed latency wrong: %+v", p)
+	}
+	want := []Blackout{{Host: "127.0.0.1:8902", From: 5, To: 40}, {Host: "", From: 100, To: 110}}
+	if len(p.Blackouts) != 2 || p.Blackouts[0] != want[0] || p.Blackouts[1] != want[1] {
+		t.Fatalf("parsed blackouts %+v, want %+v", p.Blackouts, want)
+	}
+	if !p.Active() {
+		t.Fatal("parsed plan reports inactive")
+	}
+
+	if p, err := ParsePlan(""); err != nil || p.Active() {
+		t.Fatalf("empty spec: plan %+v err %v, want inactive zero plan", p, err)
+	}
+	for _, bad := range []string{
+		"refuse=1.5",         // probability out of range
+		"latency=0.1",        // missing duration
+		"blackout=5:40",      // missing @
+		"blackout=h@40:5",    // inverted window
+		"nonsense",           // not key=value
+		"warp=0.1",           // unknown key
+		"seed=not-a-number",  // bad integer
+		"blackout=h@one:two", // bad window bounds
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Fatalf("ParsePlan(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestStoreFaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.log")
+	orig := []byte("0123456789abcdef")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := TearTail(path, 6); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "0123456789" {
+		t.Fatalf("after TearTail(6): %q", got)
+	}
+	if err := TearTail(path, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = os.ReadFile(path); len(got) != 0 {
+		t.Fatalf("over-long tear left %d bytes", len(got))
+	}
+	if err := TearTail(path, -1); err == nil {
+		t.Fatal("negative tear accepted")
+	}
+
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(path, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(path, -1, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if got[0] != orig[0]^1 || got[len(got)-1] != orig[len(orig)-1]^0x80 {
+		t.Fatalf("FlipBit result %q", got)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("FlipBit changed the length: %d", len(got))
+	}
+	if err := FlipBit(path, int64(len(orig)), 0); err == nil {
+		t.Fatal("out-of-range offset accepted")
+	}
+	if err := FlipBit(path, 0, 8); err == nil {
+		t.Fatal("out-of-range bit accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+)
+
+// Store crash faults. These mutate a store log file the way real crashes
+// and media errors do — a torn tail from a crash mid-append, a flipped bit
+// from corruption under an intact length frame — so store.Open's rebuild
+// and truncation accounting can be tested against the honest artifacts.
+
+// TearTail truncates n bytes off the end of the file at path, simulating a
+// crash that interrupted the final append. Tearing more bytes than the file
+// holds truncates it to empty.
+func TearTail(path string, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("chaos: TearTail of %d bytes", n)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := fi.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// FlipBit flips bit (0–7) of the byte at offset off, corrupting content
+// under an intact framing so CRC verification — not length checks — must
+// catch it. A negative off counts back from the end of the file, so
+// FlipBit(path, -1, 0) hits the last byte.
+func FlipBit(path string, off int64, bit uint) error {
+	if bit > 7 {
+		return fmt.Errorf("chaos: FlipBit bit %d out of range", bit)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if off < 0 {
+		off += fi.Size()
+	}
+	if off < 0 || off >= fi.Size() {
+		return fmt.Errorf("chaos: FlipBit offset %d outside file of %d bytes", off, fi.Size())
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << bit
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,234 @@
+package resil
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func breakerAt(c *fakeClock, seed uint64) *Breaker {
+	return NewBreaker(BreakerConfig{Failures: 3, Cooldown: time.Second, CooldownMax: 10 * time.Second, Seed: seed, Now: c.now})
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	c := newFakeClock()
+	b := breakerAt(c, 1)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied call %d", i)
+		}
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state %v after 2 failures (threshold 3), want closed", b.State())
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state %v after 3rd failure, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before its probe time")
+	}
+	// A success interleaved with failures resets the consecutive count.
+	c2 := newFakeClock()
+	b2 := breakerAt(c2, 1)
+	b2.Record(false)
+	b2.Record(false)
+	b2.Record(true)
+	b2.Record(false)
+	b2.Record(false)
+	if b2.State() != Closed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	c := newFakeClock()
+	b := breakerAt(c, 1)
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	// Jittered cooldown is in [1s, 2s): past 2s the probe must be due.
+	c.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe denied after the cooldown elapsed")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v after the probe left, want half_open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller got through while the probe was out")
+	}
+	// Probe fails: re-open with a fresh (longer) schedule.
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state %v after a failed probe, want open", b.State())
+	}
+	// Probe succeeds next time: closed.
+	c.advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe denied after the grown cooldown elapsed")
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state %v after a successful probe, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denied a call")
+	}
+}
+
+// TestBreakerScheduleDeterministic pins the probe schedule to the seed: two
+// breakers walked through the same outcome sequence schedule identical probe
+// times, and a different seed schedules different ones.
+func TestBreakerScheduleDeterministic(t *testing.T) {
+	walk := func(seed uint64) []time.Duration {
+		c := newFakeClock()
+		b := breakerAt(c, seed)
+		var cooldowns []time.Duration
+		for round := 0; round < 5; round++ {
+			for i := 0; i < 3; i++ {
+				b.Record(false)
+			}
+			b.mu.Lock()
+			cooldowns = append(cooldowns, b.probeAt.Sub(c.t))
+			b.mu.Unlock()
+			c.advance(b.cfg.CooldownMax)
+			if !b.Allow() {
+				t.Fatal("probe denied after max cooldown")
+			}
+			b.Record(true) // close again for the next round
+		}
+		return cooldowns
+	}
+	a1, a2, other := walk(7), walk(7), walk(8)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed diverged at round %d: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+	same := true
+	for i := range a1 {
+		if a1[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical probe schedule")
+	}
+}
+
+func TestBreakerTransitionCallback(t *testing.T) {
+	c := newFakeClock()
+	var seen []string
+	b := NewBreaker(BreakerConfig{
+		Failures: 1, Cooldown: time.Second, Seed: 1, Now: c.now,
+		OnTransition: func(from, to State) { seen = append(seen, from.String()+">"+to.String()) },
+	})
+	b.Record(false)
+	c.advance(3 * time.Second)
+	b.Allow()
+	b.Record(true)
+	want := []string{"closed>open", "open>half_open", "half_open>closed"}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{Base: 10 * time.Millisecond, Max: 200 * time.Millisecond, Seed: 3}
+	b1, b2 := p.NewBackoff(), p.NewBackoff()
+	prevGrewOnce := false
+	var prev time.Duration
+	for i := 0; i < 20; i++ {
+		d1, d2 := b1.Next(), b2.Next()
+		if d1 != d2 {
+			t.Fatalf("draw %d: same seed gave %v vs %v", i, d1, d2)
+		}
+		if d1 < p.Base || d1 > p.Max {
+			t.Fatalf("draw %d: %v outside [%v, %v]", i, d1, p.Base, p.Max)
+		}
+		if d1 > prev {
+			prevGrewOnce = true
+		}
+		prev = d1
+	}
+	if !prevGrewOnce {
+		t.Fatal("backoff never grew")
+	}
+}
+
+func TestDoRetriesAndStops(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond, Seed: 1}
+	transient := errors.New("transient")
+	fatal := errors.New("fatal")
+	retryable := func(err error) bool { return errors.Is(err, transient) }
+
+	// Succeeds on the last allowed attempt.
+	calls := 0
+	err := Do(context.Background(), p, retryable, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return transient
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on attempt 3", err, calls)
+	}
+
+	// Exhausts the budget and reports the last error.
+	calls = 0
+	err = Do(context.Background(), p, retryable, func(context.Context) error { calls++; return transient })
+	if !errors.Is(err, transient) || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want transient after exactly 3 attempts", err, calls)
+	}
+
+	// A non-retryable error stops immediately.
+	calls = 0
+	err = Do(context.Background(), p, retryable, func(context.Context) error { calls++; return fatal })
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want fatal after 1 attempt", err, calls)
+	}
+}
+
+// TestDoHonorsDeadlineBudget pins the budget rule: when the remaining
+// deadline cannot fit the next backoff, Do returns the last real error
+// instead of sleeping through (and past) the caller's promise.
+func TestDoHonorsDeadlineBudget(t *testing.T) {
+	transient := errors.New("transient")
+	p := RetryPolicy{Attempts: 10, Base: 200 * time.Millisecond, Max: 300 * time.Millisecond, Seed: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	calls := 0
+	err := Do(ctx, p, nil, func(context.Context) error { calls++; return transient })
+	if !errors.Is(err, transient) {
+		t.Fatalf("err=%v, want the attempt's error, not the context's", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1 (no backoff fits a 50ms budget)", calls)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("Do slept %v past a 50ms budget", elapsed)
+	}
+
+	// A context canceled before the first attempt surfaces the context error.
+	canceled, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := Do(canceled, p, nil, func(context.Context) error { return transient }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}

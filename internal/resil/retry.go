@@ -1,0 +1,108 @@
+package resil
+
+import (
+	"context"
+	"time"
+
+	"tvsched/internal/rng"
+)
+
+// RetryPolicy bounds a retried operation: at most Attempts tries, separated
+// by decorrelated-jitter backoff, never outliving the caller's context
+// deadline — the deadline is the budget the retries must fit inside, so a
+// caller that promised its own client an answer by T never blows that
+// promise waiting out a backoff.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, first call included
+	// (default 3).
+	Attempts int
+	// Base is the first backoff (default 50ms).
+	Base time.Duration
+	// Max caps each backoff draw (default 2s).
+	Max time.Duration
+	// Seed drives the jitter stream; the backoff sequence is a pure
+	// function of it.
+	Seed uint64
+}
+
+func (p *RetryPolicy) fill() {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+}
+
+// Backoff is one seeded decorrelated-jitter sequence: each delay is drawn
+// as base + U[0,1)·3·prev, clamped to [base, max] ("decorrelated jitter",
+// Brooker's formulation), so consecutive delays grow unevenly instead of
+// marching in lockstep with every other retrying caller.
+type Backoff struct {
+	base, max, prev time.Duration
+	src             *rng.Source
+}
+
+// NewBackoff builds the sequence for one logical operation.
+func (p RetryPolicy) NewBackoff() *Backoff {
+	p.fill()
+	return &Backoff{base: p.Base, max: p.Max, src: rng.New(p.Seed)}
+}
+
+// Next draws the next delay.
+func (b *Backoff) Next() time.Duration {
+	d := b.base
+	if b.prev > 0 {
+		d += time.Duration(b.src.Float64() * 3 * float64(b.prev))
+	} else {
+		d += time.Duration(b.src.Float64() * float64(b.base))
+	}
+	if d > b.max {
+		d = b.max
+	}
+	b.prev = d
+	return d
+}
+
+// Do runs attempt up to p.Attempts times, sleeping a jittered backoff
+// between tries. It retries only errors retryable reports true for (a nil
+// retryable retries everything), and stops early — returning the last
+// error — when the context is done or its deadline cannot fit the next
+// backoff plus one more try. A nil error returns immediately.
+func Do(ctx context.Context, p RetryPolicy, retryable func(error) bool, attempt func(ctx context.Context) error) error {
+	p.fill()
+	bo := p.NewBackoff()
+	var err error
+	for i := 0; i < p.Attempts; i++ {
+		if ctx.Err() != nil {
+			if err == nil {
+				err = ctx.Err()
+			}
+			return err
+		}
+		if err = attempt(ctx); err == nil {
+			return nil
+		}
+		if retryable != nil && !retryable(err) {
+			return err
+		}
+		if i == p.Attempts-1 {
+			break
+		}
+		d := bo.Next()
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < d {
+			return err // the budget cannot fit the sleep, let alone the retry
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+	}
+	return err
+}

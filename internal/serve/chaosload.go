@@ -1,0 +1,423 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ChaosLoadReportSchema tags the chaos drill artifact (cmd/tvload -chaos).
+// Documented in EXPERIMENTS.md alongside cluster-load-report/v1.
+const ChaosLoadReportSchema = "tvsched/chaos-load-report/v1"
+
+// ChaosLoadConfig parameterizes a chaos drill: the same sprayed seeded mix
+// as ClusterLoadConfig, against a cluster whose nodes are running with
+// fault injection (tvservd -chaos) — typically a peer blackout window. The
+// drill measures what clients experienced (availability, degraded serving),
+// then drives anti-entropy over HTTP and re-audits every digest across all
+// nodes for byte divergence.
+type ChaosLoadConfig struct {
+	// URLs are the base URLs of every cluster node (at least one).
+	URLs []string
+	// Load shapes the request mix; Load.URL is ignored.
+	Load LoadConfig
+	// RepairRounds is how many anti-entropy passes to drive per node after
+	// the load (default 2: the first may repair or replicate, the second
+	// confirms convergence).
+	RepairRounds int
+}
+
+// ChaosLoadReport is the machine-readable outcome of a chaos drill (schema
+// tvsched/chaos-load-report/v1). The headline numbers are Availability —
+// the fraction of requests answered 200 despite the injected faults —
+// Degraded (answers a non-owner computed because the owner was dark; the
+// mechanism that keeps availability up), and PostRepairDivergences, which
+// must be zero: after the drill and anti-entropy, every node holds
+// byte-identical replicas. cmd/tvgate -chaos gates on all three.
+type ChaosLoadReport struct {
+	Schema      string  `json:"schema"`
+	Nodes       int     `json:"nodes"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Population  int     `json:"population"`
+	ZipfS       float64 `json:"zipf_s"`
+	Seed        uint64  `json:"seed"`
+	DurationSec float64 `json:"duration_sec"`
+
+	// OK counts 200 answers; Availability is OK over all completed
+	// requests (200 + 429 + errors).
+	OK           uint64  `json:"ok"`
+	Availability float64 `json:"availability"`
+	Hits         uint64  `json:"hits"`
+	Shared       uint64  `json:"shared"`
+	Misses       uint64  `json:"misses"`
+	// Degraded is the subset of misses a node computed on behalf of an
+	// unreachable owner (X-Tvsched-Source: compute-degraded); Stolen is the
+	// subset served by another node's bytes (forward or peer).
+	Degraded uint64 `json:"degraded"`
+	Stolen   uint64 `json:"stolen"`
+	Rejected uint64 `json:"rejected"`
+	Errors   uint64 `json:"errors"`
+	// Divergences is the client-side byte-consistency count during the
+	// load (responses disagreeing with earlier bytes for their digest).
+	Divergences uint64         `json:"divergences"`
+	Latency     LatencySummary `json:"latency_us"`
+
+	// The anti-entropy accounting, summed over RepairRounds passes driven
+	// on every node (POST /v1/anti-entropy).
+	RepairChecked  uint64 `json:"repair_checked"`
+	RepairDiverged uint64 `json:"repair_diverged"`
+	Repaired       uint64 `json:"repaired"`
+	// PostRepairDivergences counts digests for which two nodes still hold
+	// different bytes after the repair passes. Determinism makes the only
+	// acceptable value zero.
+	PostRepairDigests     int    `json:"post_repair_digests"`
+	PostRepairDivergences uint64 `json:"post_repair_divergences"`
+
+	// BreakerTransitions is each node's circuit-breaker activity, scraped
+	// from /metrics: "peer→state" → transition count, summed across nodes.
+	BreakerTransitions map[string]uint64 `json:"breaker_transitions,omitempty"`
+}
+
+// RunChaosLoad drives the drill: sprayed load, per-node anti-entropy, then
+// a full cross-node byte audit of every digest the load touched.
+func RunChaosLoad(ctx context.Context, cfg ChaosLoadConfig) (*ChaosLoadReport, error) {
+	if len(cfg.URLs) == 0 {
+		return nil, fmt.Errorf("chaos: no cluster URLs")
+	}
+	rounds := cfg.RepairRounds
+	if rounds <= 0 {
+		rounds = 2
+	}
+	load := cfg.Load
+	load.fill()
+	cells := load.population()
+	bodies := make([][]byte, len(cells))
+	for i, cell := range cells {
+		b, err := json.Marshal(cell)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	type tally struct {
+		ok, hits, shared, misses, degraded, stolen, rejected, errors uint64
+		lat                                                          []float64 // µs
+	}
+	tallies := make([]tally, load.Concurrency)
+	var (
+		seenMu      sync.Mutex
+		seen        = make(map[string]uint64) // digest → first body hash
+		divergences uint64
+	)
+	checkBytes := func(digest string, body []byte) {
+		if digest == "" {
+			return
+		}
+		h := fnv.New64a()
+		h.Write(body)
+		sum := h.Sum64()
+		seenMu.Lock()
+		if prev, ok := seen[digest]; !ok {
+			seen[digest] = sum
+		} else if prev != sum {
+			divergences++
+		}
+		seenMu.Unlock()
+	}
+
+	var issued int64
+	var issuedMu sync.Mutex
+	next := func() bool {
+		issuedMu.Lock()
+		defer issuedMu.Unlock()
+		if issued >= int64(load.Requests) {
+			return false
+		}
+		issued++
+		return true
+	}
+
+	client := &http.Client{Timeout: load.Timeout}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < load.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(load.Seed) + int64(w)))
+			var zipf *rand.Zipf
+			if load.ZipfS > 1 && len(cells) > 1 {
+				zipf = rand.NewZipf(rng, load.ZipfS, 1, uint64(len(cells)-1))
+			}
+			ta := &tallies[w]
+			for next() {
+				if ctx.Err() != nil {
+					return
+				}
+				idx := 0
+				if zipf != nil {
+					idx = int(zipf.Uint64())
+				} else if len(cells) > 1 {
+					idx = rng.Intn(len(cells))
+				}
+				node := rng.Intn(len(cfg.URLs))
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					cfg.URLs[node]+"/v1/run", bytes.NewReader(bodies[idx]))
+				if err != nil {
+					ta.errors++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					ta.errors++
+					continue
+				}
+				body, readErr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				ta.lat = append(ta.lat, float64(time.Since(t0).Microseconds()))
+				switch {
+				case readErr != nil:
+					ta.errors++
+				case resp.StatusCode == http.StatusTooManyRequests:
+					ta.rejected++
+				case resp.StatusCode != http.StatusOK:
+					ta.errors++
+				default:
+					ta.ok++
+					checkBytes(resp.Header.Get("X-Tvsched-Digest"), body)
+					switch resp.Header.Get("X-Tvsched-Cache") {
+					case "hit":
+						ta.hits++
+					case "shared":
+						ta.shared++
+					default:
+						ta.misses++
+						switch resp.Header.Get(SourceHeader) {
+						case "compute-degraded":
+							ta.degraded++
+						case "forward", "peer":
+							ta.stolen++
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	rep := &ChaosLoadReport{
+		Schema:      ChaosLoadReportSchema,
+		Nodes:       len(cfg.URLs),
+		Concurrency: load.Concurrency,
+		Requests:    load.Requests,
+		Population:  load.Population,
+		ZipfS:       load.ZipfS,
+		Seed:        load.Seed,
+		DurationSec: dur.Seconds(),
+		Divergences: divergences,
+	}
+	var allLat []float64
+	for w := range tallies {
+		ta := &tallies[w]
+		rep.OK += ta.ok
+		rep.Hits += ta.hits
+		rep.Shared += ta.shared
+		rep.Misses += ta.misses
+		rep.Degraded += ta.degraded
+		rep.Stolen += ta.stolen
+		rep.Rejected += ta.rejected
+		rep.Errors += ta.errors
+		allLat = append(allLat, ta.lat...)
+	}
+	rep.Latency = summarize(allLat)
+	if done := rep.OK + rep.Rejected + rep.Errors; done > 0 {
+		rep.Availability = float64(rep.OK) / float64(done)
+	}
+
+	// Anti-entropy: drive the sweep on every node, twice by default — the
+	// first pass flushes owed replicas and repairs divergences, the second
+	// confirms the cluster converged (and should check clean).
+	for round := 0; round < rounds; round++ {
+		for _, u := range cfg.URLs {
+			checked, diverged, repaired, err := postAntiEntropy(ctx, client, u)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: anti-entropy on %s: %w", u, err)
+			}
+			rep.RepairChecked += checked
+			rep.RepairDiverged += diverged
+			rep.Repaired += repaired
+		}
+	}
+
+	// Post-repair audit: re-fetch every digest the load touched from every
+	// node and require all replicas (wherever they exist) byte-identical.
+	digests := make([]string, 0, len(seen))
+	for d := range seen {
+		digests = append(digests, d)
+	}
+	sort.Strings(digests)
+	rep.PostRepairDigests = len(digests)
+	for _, d := range digests {
+		var sums []uint64
+		for _, u := range cfg.URLs {
+			body, ok, err := fetchResult(ctx, client, u, d)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: audit fetch %s from %s: %w", d, u, err)
+			}
+			if !ok {
+				continue // this node never held the digest; not a divergence
+			}
+			h := fnv.New64a()
+			h.Write(body)
+			sums = append(sums, h.Sum64())
+		}
+		for _, sum := range sums[1:] {
+			if sum != sums[0] {
+				rep.PostRepairDivergences++
+				break
+			}
+		}
+	}
+
+	// Breaker telemetry, straight from each node's exposition.
+	rep.BreakerTransitions = make(map[string]uint64)
+	for _, u := range cfg.URLs {
+		if err := scrapeBreakerTransitions(ctx, client, u, rep.BreakerTransitions); err != nil {
+			return nil, fmt.Errorf("chaos: metrics scrape on %s: %w", u, err)
+		}
+	}
+	if len(rep.BreakerTransitions) == 0 {
+		rep.BreakerTransitions = nil
+	}
+	return rep, nil
+}
+
+// postAntiEntropy triggers one sweep on a node and decodes its accounting.
+func postAntiEntropy(ctx context.Context, client *http.Client, url string) (checked, diverged, repaired uint64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/anti-entropy", nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Checked  uint64 `json:"checked"`
+		Diverged uint64 `json:"diverged"`
+		Repaired uint64 `json:"repaired"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, 0, 0, err
+	}
+	return out.Checked, out.Diverged, out.Repaired, nil
+}
+
+// fetchResult reads one digest's bytes from a node's peer endpoint; a 404
+// is a clean miss, not an error.
+func fetchResult(ctx context.Context, client *http.Client, url, digest string) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/result/"+digest, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return body, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+// scrapeBreakerTransitions folds one node's serve_breaker_transitions_total
+// samples into sums, keyed "peer→state". The parse is deliberately loose on
+// the metric-name prefix (the namespace is a deploy choice) and strict on
+// the label shape the exposition writes.
+func scrapeBreakerTransitions(ctx context.Context, client *http.Client, url string, into map[string]uint64) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		idx := strings.Index(line, "serve_breaker_transitions_total{peer=\"")
+		if idx < 0 || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest := line[idx+len("serve_breaker_transitions_total{peer=\""):]
+		q := strings.Index(rest, "\"")
+		if q < 0 {
+			continue
+		}
+		peer := rest[:q]
+		rest = rest[q:]
+		const toKey = ",to=\""
+		ti := strings.Index(rest, toKey)
+		if ti < 0 {
+			continue
+		}
+		rest = rest[ti+len(toKey):]
+		q = strings.Index(rest, "\"")
+		if q < 0 {
+			continue
+		}
+		state := rest[:q]
+		fields := strings.Fields(strings.TrimPrefix(rest[q+1:], "}"))
+		if len(fields) < 1 {
+			continue
+		}
+		v, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			continue
+		}
+		into[peer+"→"+state] += v
+	}
+	return nil
+}
+
+// WriteJSON emits the report with stable indentation.
+func (r *ChaosLoadReport) WriteJSON(w io.Writer) error {
+	if r.Schema == "" {
+		r.Schema = ChaosLoadReportSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

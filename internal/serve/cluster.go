@@ -11,6 +11,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"tvsched/internal/cluster"
 	"tvsched/internal/obs"
 	"tvsched/internal/obs/span"
+	"tvsched/internal/resil"
 )
 
 // SourceHeader names where a /v1/run answer's bytes came from: "memory",
@@ -34,15 +36,16 @@ const SourceHeader = "X-Tvsched-Source"
 type source int
 
 const (
-	srcNone    source = iota // no bytes (errors, rejections)
-	srcCompute               // simulated on this node
-	srcMemory                // in-memory LRU hit
-	srcStore                 // persistent store hit
-	srcPeer                  // read through a peer's cache (owner path)
-	srcForward               // forwarded to the digest's owner
+	srcNone            source = iota // no bytes (errors, rejections)
+	srcCompute                       // simulated on this node
+	srcMemory                        // in-memory LRU hit
+	srcStore                         // persistent store hit
+	srcPeer                          // read through a peer's cache (owner path)
+	srcForward                       // forwarded to the digest's owner
+	srcComputeDegraded               // simulated here because the owner was unreachable
 )
 
-var sourceNames = [...]string{"", "compute", "memory", "store", "peer", "forward"}
+var sourceNames = [...]string{"", "compute", "memory", "store", "peer", "forward", "compute-degraded"}
 
 func (s source) String() string {
 	if s < 0 || int(s) >= len(sourceNames) {
@@ -64,7 +67,7 @@ func (s *Server) SetPeers(nodeID string, peers []cluster.Peer) error {
 	}
 	s.clMu.Lock()
 	s.ring = ring
-	s.peerClient = cluster.NewClient(nodeID)
+	s.peerClient = cluster.NewClientWith(nodeID, s.cfg.PeerTransport)
 	s.clMu.Unlock()
 	if s.cfg.AntiEntropyInterval > 0 {
 		s.aeOnce.Do(func() { go s.antiEntropyLoop() })
@@ -104,12 +107,23 @@ func requestFor(cfg tvsched.Config) RunRequest {
 }
 
 // forwardToOwner routes one run to the node owning its digest and returns
-// the owner's bytes. Any failure — transport, non-200, or a digest
-// disagreement — reports false and the caller computes locally.
+// the owner's bytes. The call is gated by the owner's circuit breaker
+// (an open breaker fails fast into degraded local compute, and the one
+// half-open probe per cooldown is a real forward) and retried on faults
+// where the owner provably did not accept the work — connect errors and
+// 5xx-before-body — with seeded decorrelated-jitter backoff inside the
+// ForwardTimeout budget. Any terminal failure — transport, non-200, or a
+// digest disagreement — reports false and the caller computes locally.
 func (s *Server) forwardToOwner(digest string, cfg tvsched.Config, owner cluster.Peer, parent span.Context) ([]byte, bool) {
 	fs := s.tracer.StartRoot("forward", parent)
 	fs.SetAttr("peer", owner.ID)
 	defer fs.End()
+	brk := s.breakerFor(owner.ID)
+	if !brk.Allow() {
+		s.sm.PeerOp(owner.ID, obs.PeerBreakerDenied)
+		fs.SetAttr("error", "breaker open")
+		return nil, false
+	}
 	reqBody, err := json.Marshal(requestFor(cfg))
 	if err != nil {
 		fs.SetAttr("error", err.Error())
@@ -117,7 +131,22 @@ func (s *Server) forwardToOwner(digest string, cfg tvsched.Config, owner cluster
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.ForwardTimeout)
 	defer cancel()
-	body, hdr, err := s.client().Forward(ctx, owner, reqBody)
+	var body []byte
+	var hdr http.Header
+	attempts := 0
+	err = resil.Do(ctx, s.retryPolicy(owner.ID, digest), cluster.ForwardRetryable,
+		func(ctx context.Context) error {
+			attempts++
+			if attempts > 1 {
+				s.sm.PeerOp(owner.ID, obs.PeerRetry)
+			}
+			var aerr error
+			body, hdr, aerr = s.client().Forward(ctx, owner, reqBody)
+			return aerr
+		})
+	// The breaker watches reachability: any completed exchange — success or
+	// a protocol-level disagreement below — is evidence the peer is up.
+	brk.Record(err == nil || !cluster.ForwardRetryable(err))
 	if err == nil {
 		if got := hdr.Get("X-Tvsched-Digest"); got != digest {
 			err = fmt.Errorf("owner answered digest %q, want %q (version skew?)", got, digest)
@@ -141,16 +170,37 @@ func (s *Server) forwardToOwner(digest string, cfg tvsched.Config, owner cluster
 // peerReadThrough is the owner's last stop before paying for a simulation:
 // ask each peer for its cached bytes of digest. Misses are cheap 404s;
 // transport errors are skipped, not surfaced — an unreachable peer only
-// means computing something it might have had.
+// means computing something it might have had. Each peer's call is gated by
+// its circuit breaker (a dead peer costs nothing once its breaker opens)
+// and retried — Fetch is idempotent, so any fault class but a mid-body cut
+// retries — within the PeerTimeout budget.
 func (s *Server) peerReadThrough(digest string, parent span.Context) ([]byte, bool) {
 	ring := s.ringView()
 	cl := s.client()
 	for _, p := range ring.Peers() {
+		brk := s.breakerFor(p.ID)
+		if !brk.Allow() {
+			s.sm.PeerOp(p.ID, obs.PeerBreakerDenied)
+			continue
+		}
 		ps := s.tracer.StartRoot("peer_fetch", parent)
 		ps.SetAttr("peer", p.ID)
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.PeerTimeout)
-		body, ok, err := cl.Fetch(ctx, p, digest)
+		var body []byte
+		var ok bool
+		attempts := 0
+		err := resil.Do(ctx, s.retryPolicy(p.ID, digest), cluster.Retryable,
+			func(ctx context.Context) error {
+				attempts++
+				if attempts > 1 {
+					s.sm.PeerOp(p.ID, obs.PeerRetry)
+				}
+				var aerr error
+				body, ok, aerr = cl.Fetch(ctx, p, digest)
+				return aerr
+			})
 		cancel()
+		brk.Record(err == nil || !cluster.Retryable(err))
 		ps.SetAttr("hit", fmt.Sprintf("%v", ok))
 		ps.End()
 		if ok {
@@ -201,30 +251,65 @@ func (s *Server) lookupLocal(digest string) ([]byte, bool) {
 	return b, ok
 }
 
-// handleResult is the peer-facing read endpoint: GET /v1/result/{digest}
+// handleResult is the peer-facing replica endpoint. GET /v1/result/{digest}
 // answers locally held bytes or 404, and never computes — the cluster's
 // loop-freedom rests on this path being a pure lookup. Misses are routine
 // (every read-through probe that precedes a computation lands here), so
-// they are not logged or counted as request failures.
+// they are not logged or counted as request failures. PUT /v1/result/{digest}
+// accepts a replica from a peer — a degraded-mode result coming home to its
+// owner, or a repaired replacement for diverged bytes. Either way the digest
+// must have the exact 64-hex shape: garbage keys answer 400 before any store
+// lookup or write happens.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
+	digest := strings.TrimPrefix(r.URL.Path, "/v1/result/")
+	if !validDigest(digest) {
+		s.fail(w, r, "", digest, http.StatusBadRequest,
+			fmt.Errorf("%w: want /v1/result/{digest} with a 64-char lowercase-hex digest", ErrBadRequest))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		body, ok := s.lookupLocal(digest)
+		if !ok {
+			http.Error(w, "result not held locally", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Tvsched-Digest", digest)
+		_, _ = w.Write(body)
+	case http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil || len(body) == 0 {
+			s.fail(w, r, "", digest, http.StatusBadRequest,
+				fmt.Errorf("%w: empty or unreadable replica body", ErrBadRequest))
+			return
+		}
+		s.mu.Lock()
+		s.cache.put(digest, body)
+		s.mu.Unlock()
+		s.storePut(digest, body)
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "replica accepted",
+			slog.String("digest", digest),
+			slog.String("from", r.Header.Get(cluster.ForwardHeader)),
+			slog.Int("bytes", len(body)),
+		)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		s.fail(w, r, "", digest, http.StatusMethodNotAllowed, errMethod)
+	}
+}
+
+// handleAntiEntropy runs one sweep on demand (POST /v1/anti-entropy) and
+// answers its accounting as JSON — the hook chaos scenarios use to drive
+// repair at a known point and then assert zero remaining divergences.
+func (s *Server) handleAntiEntropy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
 		s.fail(w, r, "", "", http.StatusMethodNotAllowed, errMethod)
 		return
 	}
-	digest := strings.TrimPrefix(r.URL.Path, "/v1/result/")
-	if digest == "" || strings.Contains(digest, "/") {
-		s.fail(w, r, "", digest, http.StatusBadRequest,
-			fmt.Errorf("%w: want /v1/result/{digest}", ErrBadRequest))
-		return
-	}
-	body, ok := s.lookupLocal(digest)
-	if !ok {
-		http.Error(w, "result not held locally", http.StatusNotFound)
-		return
-	}
+	checked, diverged, repaired := s.AntiEntropySweep(r.Context())
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Tvsched-Digest", digest)
-	_, _ = w.Write(body)
+	fmt.Fprintf(w, "{\"checked\":%d,\"diverged\":%d,\"repaired\":%d}\n", checked, diverged, repaired)
 }
 
 // antiEntropyLoop drives periodic divergence sweeps until the server
@@ -249,14 +334,26 @@ func (s *Server) antiEntropyLoop() {
 // under the determinism contract a divergence is a bug (version skew,
 // corruption), never an acceptable inconsistency. A peer not holding a
 // digest is fine (replication here is opportunistic, by forwarding and
-// read-through), as is an unreachable peer. Returns the number of
-// cross-checks performed and how many diverged.
-func (s *Server) AntiEntropySweep(ctx context.Context) (checked, diverged int) {
+// read-through), as is an unreachable peer; a peer whose breaker is not
+// closed is skipped entirely, so hygiene never steals the half-open probe
+// slot from real traffic. With Config.Repair set, each divergence is healed
+// on the spot: the digest is re-simulated locally (the deterministic
+// oracle) and the disagreeing replica — local, remote, or both — is
+// overwritten. The sweep also flushes any replication debt owed to
+// reachable peers, catching flapping peers whose breaker-close callback
+// fired while they were still down. Returns the number of cross-checks
+// performed, how many diverged, and how many divergences were repaired.
+func (s *Server) AntiEntropySweep(ctx context.Context) (checked, diverged, repaired int) {
 	ring := s.ringView()
 	if ring == nil {
-		return 0, 0
+		return 0, 0, 0
 	}
 	cl := s.client()
+	for _, p := range ring.Peers() {
+		if s.breakerFor(p.ID).State() == resil.Closed {
+			s.flushOwed(p.ID)
+		}
+	}
 	for _, digest := range s.localDigests(s.cfg.AntiEntropyBatch) {
 		local, ok := s.lookupLocal(digest)
 		if !ok {
@@ -264,7 +361,10 @@ func (s *Server) AntiEntropySweep(ctx context.Context) (checked, diverged int) {
 		}
 		for _, p := range ring.Peers() {
 			if ctx.Err() != nil {
-				return checked, diverged
+				return checked, diverged, repaired
+			}
+			if s.breakerFor(p.ID).State() != resil.Closed {
+				continue
 			}
 			fctx, cancel := context.WithTimeout(ctx, s.cfg.PeerTimeout)
 			remote, ok, err := cl.Fetch(fctx, p, digest)
@@ -285,9 +385,12 @@ func (s *Server) AntiEntropySweep(ctx context.Context) (checked, diverged int) {
 				slog.Int("local_bytes", len(local)),
 				slog.Int("peer_bytes", len(remote)),
 			)
+			if s.cfg.Repair && s.repairDivergence(ctx, digest, local, remote, p) {
+				repaired++
+			}
 		}
 	}
-	return checked, diverged
+	return checked, diverged, repaired
 }
 
 // localDigests samples up to max digests this node holds, memory first

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -184,15 +185,21 @@ func TestAntiEntropySweep(t *testing.T) {
 		n.srv.cache.put(digest, body)
 		n.srv.mu.Unlock()
 	}
-	inject(a, "same", []byte("agreed\n"))
-	inject(b, "same", []byte("agreed\n"))
-	inject(a, "split", []byte("mine\n"))
-	inject(b, "split", []byte("yours\n"))
-	inject(a, "lonely", []byte("unreplicated\n")) // only a holds it: skipped
+	same := strings.Repeat("aa", 32)
+	split := strings.Repeat("bb", 32)
+	lonely := strings.Repeat("cc", 32)
+	inject(a, same, []byte("agreed\n"))
+	inject(b, same, []byte("agreed\n"))
+	inject(a, split, []byte("mine\n"))
+	inject(b, split, []byte("yours\n"))
+	inject(a, lonely, []byte("unreplicated\n")) // only a holds it: skipped
 
-	checked, diverged := a.srv.AntiEntropySweep(context.Background())
+	checked, diverged, repaired := a.srv.AntiEntropySweep(context.Background())
 	if checked != 2 || diverged != 1 {
 		t.Fatalf("sweep checked=%d diverged=%d, want 2 checked with 1 divergence", checked, diverged)
+	}
+	if repaired != 0 {
+		t.Fatalf("sweep repaired=%d without -repair, want 0", repaired)
 	}
 	ops := a.srv.Metrics().Snapshot().PeerOps["b"]
 	if ops[obs.PeerCheckOK] != 1 || ops[obs.PeerDiverged] != 1 {
@@ -201,12 +208,13 @@ func TestAntiEntropySweep(t *testing.T) {
 }
 
 // TestResultEndpointNeverComputes pins the loop-freedom invariant: the peer
-// read endpoint answers 404 for anything not held locally — it must not
-// fall back to simulating or forwarding.
+// read endpoint answers 404 for any well-formed digest not held locally —
+// it must not fall back to simulating or forwarding — and 400 for anything
+// that is not a 64-char lowercase-hex digest at all.
 func TestResultEndpointNeverComputes(t *testing.T) {
 	var runs atomic.Int64
 	_, ts := newTestServer(t, Config{Workers: 1, Runner: stubRunner(&runs, nil)})
-	resp, err := http.Get(ts.URL + "/v1/result/sha256:deadbeef")
+	resp, err := http.Get(ts.URL + "/v1/result/" + strings.Repeat("0", 64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,6 +224,23 @@ func TestResultEndpointNeverComputes(t *testing.T) {
 	}
 	if runs.Load() != 0 {
 		t.Fatal("a result lookup triggered a simulation")
+	}
+	for _, bad := range []string{
+		"sha256:deadbeef",                // prefixed, wrong length
+		strings.Repeat("0", 63),          // one short
+		strings.Repeat("0", 65),          // one long
+		strings.Repeat("A", 64),          // uppercase hex
+		strings.Repeat("z", 64),          // not hex
+		strings.Repeat("0", 60) + "../a", // traversal-looking
+	} {
+		resp, err := http.Get(ts.URL + "/v1/result/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("malformed digest %q: status %d, want 400", bad, resp.StatusCode)
+		}
 	}
 	resp, err = http.Get(ts.URL + "/v1/result/")
 	if err != nil {

@@ -61,6 +61,7 @@ import (
 	"tvsched/internal/experiments"
 	"tvsched/internal/obs"
 	"tvsched/internal/obs/span"
+	"tvsched/internal/resil"
 	"tvsched/internal/store"
 )
 
@@ -115,6 +116,8 @@ func provenance(outcome obs.ServeOutcome, src source, restored bool) string {
 			return "forward"
 		case srcPeer:
 			return "peer"
+		case srcComputeDegraded:
+			return "degraded"
 		}
 		if restored {
 			return "restored"
@@ -183,6 +186,31 @@ type Config struct {
 	AntiEntropyInterval time.Duration
 	// AntiEntropyBatch caps the digests cross-checked per sweep (default 64).
 	AntiEntropyBatch int
+	// BreakerFailures is how many consecutive failures open a peer's circuit
+	// breaker (default 3); BreakerCooldown/BreakerCooldownMax bound the
+	// seeded decorrelated-jitter probe schedule (defaults 2s/30s).
+	BreakerFailures    int
+	BreakerCooldown    time.Duration
+	BreakerCooldownMax time.Duration
+	// PeerRetries is the total attempts (first try included) for one peer
+	// operation (default 2); PeerRetryBase is the first backoff between them
+	// (default 50ms). Retries always fit inside the operation's deadline.
+	PeerRetries   int
+	PeerRetryBase time.Duration
+	// ResilSeed drives every breaker probe schedule and retry backoff, so a
+	// chaos scenario's resilience decisions replay deterministically.
+	ResilSeed uint64
+	// Repair opts the anti-entropy sweep into healing divergences: the
+	// losing replica is overwritten with a locally re-simulated oracle
+	// result. Off by default — detection always runs, repair is a decision.
+	Repair bool
+	// PeerTransport, when non-nil, replaces the peer client's transport —
+	// the seam the chaos harness injects faults through.
+	PeerTransport http.RoundTripper
+	// ReadyzProbeTimeout bounds each concurrent per-peer health probe a
+	// /readyz answer waits for (default 500ms), so one black-holed peer
+	// cannot stall the readiness check past the prober's patience.
+	ReadyzProbeTimeout time.Duration
 	// Runner overrides the simulation executor (tests only).
 	Runner Runner
 }
@@ -229,6 +257,24 @@ func (c *Config) fill() {
 	}
 	if c.AntiEntropyBatch <= 0 {
 		c.AntiEntropyBatch = 64
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.BreakerCooldownMax <= 0 {
+		c.BreakerCooldownMax = 30 * time.Second
+	}
+	if c.PeerRetries <= 0 {
+		c.PeerRetries = 2
+	}
+	if c.PeerRetryBase <= 0 {
+		c.PeerRetryBase = 50 * time.Millisecond
+	}
+	if c.ReadyzProbeTimeout <= 0 {
+		c.ReadyzProbeTimeout = 500 * time.Millisecond
 	}
 }
 
@@ -284,6 +330,17 @@ type Server struct {
 	peerClient *cluster.Client
 	aeOnce     sync.Once // starts the anti-entropy loop at most once
 
+	// The resilience layer: per-peer circuit breakers, the replication debt
+	// owed to owners that were unreachable when their results were computed
+	// here (degraded mode), and the configs behind locally led digests —
+	// the repair oracle's only road back from a digest to a simulation.
+	brkMu     sync.Mutex
+	breakers  map[string]*resil.Breaker
+	owedMu    sync.Mutex
+	owed      map[string][]string
+	cfgMu     sync.Mutex
+	knownCfgs *lruCache
+
 	store *store.Store // nil means memory-only
 
 	mux *http.ServeMux
@@ -314,6 +371,9 @@ func New(cfg Config) *Server {
 		flight:     make(map[string]*call),
 		snapCache:  newLRU(cfg.SnapshotEntries),
 		snapFlight: make(map[string]*snapCall),
+		breakers:   make(map[string]*resil.Breaker),
+		owed:       make(map[string][]string),
+		knownCfgs:  newLRU(cfg.CacheEntries),
 		store:      cfg.Store,
 	}
 	s.snapProduce = produceSnapshot
@@ -327,6 +387,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/result/", s.handleResult)
+	mux.HandleFunc("/v1/anti-entropy", s.handleAntiEntropy)
 	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -606,6 +667,9 @@ func (s *Server) result(ctx context.Context, cfg tvsched.Config, admit, checkpoi
 // stays valid).
 func (s *Server) compute(digest string, cfg tvsched.Config, c *call, checkpoint, forwarded bool, parent span.Context) {
 	defer s.wg.Done()
+	// Leaders remember the config behind the digest: if this digest ever
+	// diverges across replicas, the repair oracle re-simulates from here.
+	s.recordConfig(digest, cfg)
 	body, src, status, info, err := s.obtain(digest, cfg, checkpoint, forwarded, parent)
 	s.mu.Lock()
 	if err == nil {
@@ -632,7 +696,10 @@ func (s *Server) compute(digest string, cfg tvsched.Config, c *call, checkpoint,
 //  3. a local simulation on the bounded worker pool.
 //
 // Cluster failures always degrade to layer 3: an unreachable peer costs
-// latency and a duplicated computation, never a wrong or failed answer.
+// latency and a duplicated computation, never a wrong or failed answer. A
+// non-owner that computes because its owner was unreachable (breaker open,
+// forward budget exhausted) serves the result as "compute-degraded" and owes
+// the owner a replica, delivered when the breaker closes again.
 func (s *Server) obtain(digest string, cfg tvsched.Config, checkpoint, forwarded bool, parent span.Context) (body []byte, src source, status int, info RunInfo, err error) {
 	if s.store != nil {
 		ls := s.tracer.StartRoot("store_lookup", parent)
@@ -649,6 +716,7 @@ func (s *Server) obtain(digest string, cfg tvsched.Config, checkpoint, forwarded
 				slog.String("digest", digest), slog.String("cause", serr.Error()))
 		}
 	}
+	degradedOwner := "" // set when this node stands in for an unreachable owner
 	if ring := s.ringView(); ring != nil && !forwarded {
 		if owner, self := ring.Owner(digest); !self {
 			if b, ok := s.forwardToOwner(digest, cfg, owner, parent); ok {
@@ -656,12 +724,21 @@ func (s *Server) obtain(digest string, cfg tvsched.Config, checkpoint, forwarded
 			}
 			// Owner unreachable or disagreeing: compute locally. Wasteful,
 			// never wrong — anti-entropy would surface diverging bytes.
+			degradedOwner = owner.ID
 		} else if b, ok := s.peerReadThrough(digest, parent); ok {
 			return b, srcPeer, http.StatusOK, RunInfo{}, nil
 		}
 	}
 	body, status, info, err = s.runLocal(digest, cfg, checkpoint, parent)
-	return body, srcCompute, status, info, err
+	src = srcCompute
+	if degradedOwner != "" && err == nil {
+		src = srcComputeDegraded
+		s.sm.PeerOp(degradedOwner, obs.PeerDegraded)
+		s.owe(degradedOwner, digest)
+		s.log.LogAttrs(s.baseCtx, slog.LevelWarn, "served degraded: computed for unreachable owner",
+			slog.String("digest", digest), slog.String("owner", degradedOwner))
+	}
+	return body, src, status, info, err
 }
 
 // runLocal queues for a worker slot, runs the simulation, and renders the
@@ -1186,10 +1263,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleReadyz answers load-balancer readiness. A clustered node also
-// reports one line per peer — informational only: an unreachable peer
-// degrades the cluster to duplicated computation, it does not make this
-// node unfit to serve, so readiness stays 200.
+// handleReadyz answers load-balancer readiness. A clustered node probes its
+// peers concurrently, each under its own bounded timeout, so one
+// black-holed peer delays the whole check by at most ReadyzProbeTimeout
+// instead of a full sequential walk. An unreachable peer (or an open
+// breaker) flips the first line from "ready" to "degraded" — informational
+// only: degraded mode means duplicated computation, not an unfit node, so
+// readiness stays 200 and load balancers keep routing here.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -1198,20 +1278,46 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	fmt.Fprintln(w, "ready")
 	ring := s.ringView()
 	if ring == nil {
+		fmt.Fprintln(w, "ready")
 		return
 	}
 	cl := s.client()
-	for _, p := range ring.Peers() {
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.PeerTimeout)
-		err := cl.Health(ctx, p)
-		cancel()
-		if err != nil {
-			fmt.Fprintf(w, "peer %s unreachable: %v\n", p.ID, err)
-		} else {
-			fmt.Fprintf(w, "peer %s ok\n", p.ID)
+	peers := ring.Peers()
+	lines := make([]string, len(peers))
+	degraded := false
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p cluster.Peer) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ReadyzProbeTimeout)
+			err := cl.Health(ctx, p)
+			cancel()
+			if err != nil {
+				lines[i] = fmt.Sprintf("peer %s unreachable: %v", p.ID, err)
+				mu.Lock()
+				degraded = true
+				mu.Unlock()
+			} else {
+				lines[i] = fmt.Sprintf("peer %s ok", p.ID)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, p := range peers {
+		if s.breakerFor(p.ID).State() != resil.Closed {
+			degraded = true
 		}
+	}
+	if degraded {
+		fmt.Fprintln(w, "degraded")
+	} else {
+		fmt.Fprintln(w, "ready")
+	}
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
 	}
 }
