@@ -1,4 +1,4 @@
-package tvsched
+package tvsched_test
 
 // One benchmark per table and figure of the paper. Each bench regenerates
 // its artifact end-to-end (workload generation, pipeline simulation, energy
@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"tvsched"
 	"tvsched/internal/core"
 	"tvsched/internal/experiments"
 	"tvsched/internal/fault"
@@ -214,12 +215,12 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 func BenchmarkObserverOverhead(b *testing.B) {
 	cases := []struct {
 		name string
-		mk   func() Observer
+		mk   func() tvsched.Observer
 	}{
-		{"disabled", func() Observer { return nil }},
-		{"noop", func() Observer { return ObserverFunc(func(Event) {}) }},
-		{"metrics", func() Observer { return NewMetrics() }},
-		{"chrometrace", func() Observer { return NewChromeTracer() }},
+		{"disabled", func() tvsched.Observer { return nil }},
+		{"noop", func() tvsched.Observer { return tvsched.ObserverFunc(func(tvsched.Event) {}) }},
+		{"metrics", func() tvsched.Observer { return tvsched.NewMetrics() }},
+		{"chrometrace", func() tvsched.Observer { return tvsched.NewChromeTracer() }},
 	}
 	prof, _ := workload.ByName("bzip2")
 	for _, tc := range cases {
@@ -257,7 +258,7 @@ func TestObserverDisabledOverheadGuard(t *testing.T) {
 		t.Skip("timing-sensitive in -short mode")
 	}
 	prof, _ := workload.ByName("bzip2")
-	once := func(o Observer) time.Duration {
+	once := func(o tvsched.Observer) time.Duration {
 		gen, err := workload.NewGenerator(prof, 1)
 		if err != nil {
 			t.Fatal(err)
@@ -280,7 +281,7 @@ func TestObserverDisabledOverheadGuard(t *testing.T) {
 		}
 		return time.Since(start)
 	}
-	noop := ObserverFunc(func(Event) {})
+	noop := tvsched.ObserverFunc(func(tvsched.Event) {})
 	disabled, attached := time.Duration(1<<62), time.Duration(1<<62)
 	for trial := 0; trial < 5; trial++ {
 		if d := once(nil); d < disabled {
@@ -452,11 +453,11 @@ func BenchmarkAblationPredictor(b *testing.B) {
 // -sweepbench) times at full scale, shrunk so the pair completes in seconds.
 // Every cell shares one warm state, which is what makes a single checkpoint
 // serve all ten.
-func sweepBenchCells() []Config {
-	var cells []Config
-	for _, scheme := range []Scheme{Razor, EP, ABS, FFS, CDS} {
-		for _, vdd := range []float64{VLowFault, VHighFault} {
-			cells = append(cells, Config{
+func sweepBenchCells() []tvsched.Config {
+	var cells []tvsched.Config
+	for _, scheme := range []tvsched.Scheme{tvsched.Razor, tvsched.EP, tvsched.ABS, tvsched.FFS, tvsched.CDS} {
+		for _, vdd := range []float64{tvsched.VLowFault, tvsched.VHighFault} {
+			cells = append(cells, tvsched.Config{
 				Benchmark:    "bzip2",
 				Scheme:       scheme,
 				VDD:          vdd,
@@ -477,14 +478,14 @@ func BenchmarkSweepCold(b *testing.B) {
 	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
 		for _, cfg := range sweepBenchCells() {
-			sess, err := NewSession(cfg)
+			sess, err := tvsched.NewSession(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
 			if err := sess.WarmupNeutral(ctx); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := sess.Run(ctx, RunOpts{}); err != nil {
+			if _, err := sess.Run(ctx, tvsched.RunOpts{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -498,7 +499,7 @@ func BenchmarkSweepWarm(b *testing.B) {
 	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
 		cells := sweepBenchCells()
-		donor, err := NewSession(cells[0])
+		donor, err := tvsched.NewSession(cells[0])
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -510,14 +511,14 @@ func BenchmarkSweepWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, cfg := range cells {
-			sess, err := NewSession(cfg)
+			sess, err := tvsched.NewSession(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
 			if err := sess.Restore(snap); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := sess.Run(ctx, RunOpts{}); err != nil {
+			if _, err := sess.Run(ctx, tvsched.RunOpts{}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -12,6 +12,7 @@
 //	tvgate -sweep sweepbench.json -min-speedup 2.0
 //	tvgate -cluster clusterload.json -min-steals 1
 //	tvgate -chaos chaosload.json -min-availability 0.99 -min-degraded 1
+//	tvgate -campaign summary.json -min-skip 0.5
 //
 // With -sweep, tvgate instead gates a sweep-bench/v1 artifact (tvload
 // -sweepbench): the checkpointed sweep must be at least -min-speedup times
@@ -28,6 +29,11 @@
 // (proof the drill exercised the fallback), and zero byte divergences left
 // after anti-entropy.
 //
+// With -campaign, tvgate gates a campaign-summary/v1 artifact (tvplan
+// -summary): the campaign must be complete, error-free, and have skipped —
+// via journal replay, result-cache hits or collapsed duplicates — at least
+// -min-skip of its cells.
+//
 // The comparison is on the scheme's performance overhead versus fault-free
 // execution (perf_pct in the report): the gate fails when
 //
@@ -43,6 +49,7 @@ import (
 	"fmt"
 	"os"
 
+	"tvsched/internal/campaign"
 	"tvsched/internal/obs"
 	"tvsched/internal/serve"
 )
@@ -65,8 +72,15 @@ func main() {
 		chaosF          = flag.String("chaos", "", "chaos-load-report JSON (tvload -chaos) to gate instead of a RunReport pair")
 		minAvailability = flag.Float64("min-availability", 0.99, "minimum fraction of 200 answers required by -chaos")
 		minDegraded     = flag.Uint64("min-degraded", 1, "minimum degraded-mode answers required by -chaos (proof the drill actually bit)")
+
+		campaignF = flag.String("campaign", "", "campaign-summary or campaign-bench JSON to gate instead of a RunReport pair")
+		minSkip   = flag.Float64("min-skip", 0.5, "minimum cached-cell skip ratio required by -campaign")
 	)
 	flag.Parse()
+	if *campaignF != "" {
+		gateCampaign(*campaignF, *minSkip, *minSpeedup)
+		return
+	}
 	if *sweepF != "" {
 		gateSweep(*sweepF, *minSpeedup)
 		return
@@ -204,6 +218,85 @@ func gateChaos(path string, minAvailability float64, minDegraded uint64) {
 	}
 	if rep.PostRepairDivergences > 0 {
 		fmt.Fprintf(os.Stderr, "tvgate: FAIL: %d digests still byte-divergent after anti-entropy\n", rep.PostRepairDivergences)
+		bad = true
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Println("tvgate: OK")
+}
+
+// gateCampaign gates a campaign artifact, dispatched on its schema tag: a
+// campaign-summary/v1 (tvplan -summary, mirrored by a finished /v1/campaign)
+// must be complete, error-free, and have a cached-cell skip ratio at or
+// above the floor — proof a resumed or re-run campaign actually reused
+// prior work; a campaign-bench/v1 (tvload -campaignbench) must additionally
+// show the engine's shared-prefix execution beating cell-independent
+// execution by at least -min-speedup.
+func gateCampaign(path string, minSkip, minSpeedup float64) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(blob, &probe); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if probe.Schema == serve.CampaignBenchSchema {
+		gateCampaignBench(path, blob, minSkip, minSpeedup)
+		return
+	}
+	var sum campaign.Summary
+	if err := json.Unmarshal(blob, &sum); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if sum.Schema != campaign.SummarySchema {
+		fatal(fmt.Errorf("%s: schema %q, want %q or %q", path, sum.Schema, campaign.SummarySchema, serve.CampaignBenchSchema))
+	}
+	fmt.Printf("tvgate: campaign %.12s: %d/%d cells (%d replayed, %d errors), skip ratio %.2f (floor %.2f)\n",
+		sum.Plan, sum.Done, sum.Cells, sum.Replayed, sum.Errors, sum.SkipRatio, minSkip)
+	bad := false
+	if sum.Done != sum.Cells {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: campaign incomplete: %d of %d cells done\n", sum.Done, sum.Cells)
+		bad = true
+	}
+	if sum.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: %d cells failed\n", sum.Errors)
+		bad = true
+	}
+	if sum.SkipRatio < minSkip {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: skip ratio %.2f below floor %.2f — the campaign re-simulated cells it should have reused\n",
+			sum.SkipRatio, minSkip)
+		bad = true
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Println("tvgate: OK")
+}
+
+// gateCampaignBench enforces the campaign-engine throughput and caching
+// floors on a campaign-bench/v1 artifact: the shared-prefix engine pass must
+// beat cell-independent execution by -min-speedup, and the cached
+// re-campaign must have skipped at least -min-skip of its cells.
+func gateCampaignBench(path string, blob []byte, minSkip, minSpeedup float64) {
+	var rep serve.CampaignBenchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	fmt.Printf("tvgate: campaign engine %.2fx faster than cell-independent (%d cells, warmup %d; floor %.2fx), cached skip ratio %.2f (floor %.2f)\n",
+		rep.Speedup, rep.Cells, rep.Warmup, minSpeedup, rep.CachedSkipRatio, minSkip)
+	bad := false
+	if rep.Speedup < minSpeedup {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: engine speedup %.2fx below floor %.2fx\n",
+			rep.Speedup, minSpeedup)
+		bad = true
+	}
+	if rep.CachedSkipRatio < minSkip {
+		fmt.Fprintf(os.Stderr, "tvgate: FAIL: cached campaign skip ratio %.2f below floor %.2f\n",
+			rep.CachedSkipRatio, minSkip)
 		bad = true
 	}
 	if bad {

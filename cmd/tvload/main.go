@@ -26,6 +26,13 @@
 // of the mid-stream ETAs against the wall time the sweep actually took.
 // Emits a sweep-probe/v1 JSON.
 //
+// With -campaignbench, tvload times the same warm-prefix-heavy grid as
+// three asynchronous campaigns against a server started with -campaign-dir
+// — cell-independent execution, the campaign engine's shared-prefix
+// execution, and a cached re-campaign — and emits a campaign-bench/v1 JSON
+// ({independent_ns, engine_ns, cached_ns, speedup, cached_skip_ratio});
+// cmd/tvgate -campaign gates on it.
+//
 // With -urls (comma-separated base URLs), tvload sprays the same seeded mix
 // across every node of a tvservd cluster and emits a cluster-load-report/v1
 // JSON instead: per-node hit/miss/stolen breakdowns (stolen = the answer's
@@ -79,6 +86,10 @@ func main() {
 		sweepWarmup = flag.Uint64("sweep-warmup", 120000, "sweepbench: warmup instructions per cell")
 		sweepInsts  = flag.Uint64("sweep-insts", 8000, "sweepbench: measured instructions per cell")
 
+		campaignBench  = flag.Bool("campaignbench", false, "time independent vs engine vs cached campaigns instead of generating load (server needs -campaign-dir)")
+		campaignWarmup = flag.Uint64("campaign-warmup", 120000, "campaignbench: warmup instructions per cell")
+		campaignInsts  = flag.Uint64("campaign-insts", 8000, "campaignbench: measured instructions per cell")
+
 		chaosMode = flag.Bool("chaos", false, "with -urls: run the chaos drill (availability, degraded serving, anti-entropy, post-repair byte audit) and emit chaos-load-report/v1")
 
 		sweepProbe  = flag.Bool("sweepprobe", false, "measure a progress-enabled sweep's heartbeat telemetry instead of generating load")
@@ -93,6 +104,10 @@ func main() {
 	}
 	if *sweepProbe {
 		runSweepProbe(strings.TrimRight(*url, "/"), *benches, *seed, *probeWarmup, *probeInsts, *timeout, *out)
+		return
+	}
+	if *campaignBench {
+		runCampaignBench(strings.TrimRight(*url, "/"), *benches, *seed, *campaignWarmup, *campaignInsts, *timeout, *out)
 		return
 	}
 
@@ -250,6 +265,35 @@ func runSweepProbe(url, bench string, seed, warmup, insts uint64, timeout time.D
 		"tvload: sweepprobe %s: %d cells in %.2fs, first cell after %.0fms, %d heartbeats (%d hit / %d shared / %d restored / %d cold), ETA MAE %.2fs over %d samples\n",
 		rep.Benchmark, rep.Cells, float64(rep.TotalNS)/1e9, float64(rep.TimeToFirstCellNS)/1e6,
 		rep.Heartbeats, rep.Hit, rep.Shared, rep.Restored, rep.Cold, rep.EtaMAESec, rep.EtaSamples)
+	writeJSON(rep, out)
+}
+
+// runCampaignBench drives the -campaignbench mode: the same warm-prefix-heavy
+// grid as three campaigns — cell-independent, engine (shared warm prefixes),
+// and cached (re-POSTed over a warm result cache) — reported as
+// campaign-bench/v1 JSON. cmd/tvgate -campaign gates on it.
+func runCampaignBench(url, bench string, seed, warmup, insts uint64, timeout time.Duration, out string) {
+	cfg := serve.CampaignBenchConfig{
+		URL:          url,
+		Warmup:       warmup,
+		Instructions: insts,
+		Seed:         seed,
+		Timeout:      timeout,
+	}
+	if bench != "" {
+		cfg.Benchmark = strings.Split(bench, ",")[0]
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := serve.RunCampaignBench(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvload:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"tvload: campaignbench %s: %d cells: independent %.2fs, engine %.2fs (%.2fx), cached %.2fs (skip ratio %.2f)\n",
+		rep.Benchmark, rep.Cells, float64(rep.IndependentNS)/1e9, float64(rep.EngineNS)/1e9,
+		rep.Speedup, float64(rep.CachedNS)/1e9, rep.CachedSkipRatio)
 	writeJSON(rep, out)
 }
 

@@ -11,6 +11,13 @@
 //	POST /v1/run          one simulation (JSON in, run-report/v1 out)
 //	POST /v1/sweep        cross-product sweep, NDJSON stream in cell order;
 //	                      "progress": true interleaves progress/v1 heartbeats
+//	POST /v1/campaign     admit an asynchronous journaled campaign (with
+//	                      -campaign-dir): answers 202 + a status document
+//	                      immediately, executes in the background, journals
+//	                      every finished cell, and resumes after restarts
+//	GET  /v1/campaign/{id}         campaign status (campaign-status/v1)
+//	GET  /v1/campaign/{id}/report  journaled report prefix, NDJSON in cell
+//	                      order (for a finished campaign: the full report)
 //	GET  /v1/trace/{id}   flight-recorder timeline of a recent request
 //	                      (Chrome/Perfetto trace JSON; id = X-Request-Id)
 //	GET  /healthz         liveness
@@ -107,6 +114,8 @@ func main() {
 		traceSpans   = flag.Int("trace-spans", 4096, "flight-recorder capacity in spans (GET /v1/trace/{id})")
 		heartbeat    = flag.Duration("heartbeat", 2*time.Second, "progress/v1 heartbeat cadence on progress-enabled sweeps")
 		pprofOn      = flag.Bool("pprof", false, "mount the Go profiler at /debug/pprof (off by default: it exposes internals)")
+		campaignDir  = flag.String("campaign-dir", "", "campaign journal directory; enables POST /v1/campaign and resume-on-restart (empty = disabled)")
+		maxCampCells = flag.Int("max-campaign-cells", 1<<20, "per-campaign cell cap (400 beyond it)")
 		storeDir     = flag.String("store", "", "persistent result store directory (empty = memory-only)")
 		storeBytes   = flag.Int64("store-bytes", 0, "persistent store size bound in bytes (0 = 256 MiB default)")
 		nodeID       = flag.String("node-id", "", "this node's cluster identity (required with -peers)")
@@ -187,6 +196,8 @@ func main() {
 		Logger:              logger,
 		TraceSpans:          *traceSpans,
 		HeartbeatInterval:   *heartbeat,
+		CampaignDir:         *campaignDir,
+		MaxCampaignCells:    *maxCampCells,
 		Store:               st,
 		AntiEntropyInterval: *antiEntropy,
 		Repair:              *repair,
@@ -197,6 +208,16 @@ func main() {
 		if err := srv.SetPeers(*nodeID, peers); err != nil {
 			fatal("bad cluster config", err)
 		}
+	}
+	if *campaignDir != "" {
+		n, err := srv.ResumeCampaigns()
+		if err != nil {
+			fatal("campaign resume failed", err)
+		}
+		logger.Info("campaign API enabled",
+			slog.String("dir", *campaignDir),
+			slog.Int("resumed", n),
+		)
 	}
 	handler := srv.Handler()
 	if *pprofOn {

@@ -1,0 +1,179 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tvsched"
+)
+
+// TestEnumerateOrderGolden pins the canonical cross-product walk: first axis
+// outermost, last fastest, flat indices ascending with no gaps.
+func TestEnumerateOrderGolden(t *testing.T) {
+	var got []string
+	Enumerate([]int{2, 3}, func(cell int, idx []int) bool {
+		got = append(got, fmt.Sprintf("%d:%d,%d", cell, idx[0], idx[1]))
+		return true
+	})
+	want := []string{"0:0,0", "1:0,1", "2:0,2", "3:1,0", "4:1,1", "5:1,2"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("enumerate order:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestUnrankInvertsEnumerate(t *testing.T) {
+	lens := []int{3, 1, 4, 2}
+	Enumerate(lens, func(cell int, idx []int) bool {
+		var back [4]int
+		Unrank(lens, cell, back[:])
+		for ax := range idx {
+			if back[ax] != idx[ax] {
+				t.Fatalf("cell %d: Unrank %v, Enumerate %v", cell, back, idx)
+			}
+		}
+		return true
+	})
+}
+
+func TestCountOverflowAndEmpty(t *testing.T) {
+	if n := Count([]int{4, 0, 2}); n != 0 {
+		t.Fatalf("empty axis: Count = %d, want 0", n)
+	}
+	if n := Count([]int{1 << 31, 1 << 31, 1 << 31}); n != -1 {
+		t.Fatalf("overflow: Count = %d, want -1", n)
+	}
+}
+
+// TestPlanCellOrderGolden pins the campaign cell order to the exact sequence
+// /v1/sweep has always promised: benchmarks × schemes × VDDs × seeds, each
+// axis in spec order, seeds varying fastest. The axes are deliberately not
+// sorted so the test catches any accidental canonicalization.
+func TestPlanCellOrderGolden(t *testing.T) {
+	plan, err := NewPlan(Spec{
+		Benchmarks: []string{"sjeng", "bzip2"},
+		Schemes:    []string{"CDS", "ABS"},
+		VDDs:       []float64{0.97, 1.10},
+		Seeds:      []uint64{2, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"sjeng/CDS/0.97/2", "sjeng/CDS/0.97/1",
+		"sjeng/CDS/1.10/2", "sjeng/CDS/1.10/1",
+		"sjeng/ABS/0.97/2", "sjeng/ABS/0.97/1",
+		"sjeng/ABS/1.10/2", "sjeng/ABS/1.10/1",
+		"bzip2/CDS/0.97/2", "bzip2/CDS/0.97/1",
+		"bzip2/CDS/1.10/2", "bzip2/CDS/1.10/1",
+		"bzip2/ABS/0.97/2", "bzip2/ABS/0.97/1",
+		"bzip2/ABS/1.10/2", "bzip2/ABS/1.10/1",
+	}
+	if plan.Total() != len(want) {
+		t.Fatalf("Total = %d, want %d", plan.Total(), len(want))
+	}
+	for i, w := range want {
+		c := plan.Cell(i)
+		if c.Index != i {
+			t.Fatalf("Cell(%d).Index = %d", i, c.Index)
+		}
+		got := fmt.Sprintf("%s/%s/%.2f/%d", c.Config.Benchmark, c.Config.Scheme, c.Config.VDD, c.Config.Seed)
+		if got != w {
+			t.Fatalf("cell %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+// TestPlanHashIdentity: omitted axes and their explicit defaults are the same
+// campaign; a tag (or any axis change) is a different one.
+func TestPlanHashIdentity(t *testing.T) {
+	def, err := NewPlan(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := NewPlan(Spec{
+		Schema:     SpecSchema,
+		Benchmarks: []string{"bzip2"},
+		Schemes:    []string{"ABS"},
+		VDDs:       []float64{tvsched.VHighFault},
+		Seeds:      []uint64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Hash() != explicit.Hash() {
+		t.Fatalf("default and explicit-default specs hash differently:\n%s\n%s", def.Hash(), explicit.Hash())
+	}
+	tagged, err := NewPlan(Spec{Tag: "probe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagged.Hash() == def.Hash() {
+		t.Fatal("tag did not change the plan hash")
+	}
+	// The tag must not leak into cell identity: re-tagged campaigns hit the
+	// same result cache entries.
+	if tagged.Cell(0).Config.Digest() != def.Cell(0).Config.Digest() {
+		t.Fatal("tag changed a cell digest")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	for _, spec := range []Spec{
+		{Schema: "tvsched/elsewhere/v1"},
+		{Benchmarks: []string{"nope"}},
+		{Schemes: []string{"NOPE"}},
+	} {
+		if _, err := NewPlan(spec); err == nil {
+			t.Fatalf("NewPlan(%+v) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestPlanWarmGroups(t *testing.T) {
+	plan, err := NewPlan(Spec{
+		Benchmarks: []string{"bzip2", "sjeng", "bzip2"},
+		Schemes:    []string{"ABS", "FFS", "CDS"},
+		VDDs:       []float64{0.97, 1.04},
+		Seeds:      []uint64{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 distinct benchmarks × 2 seeds: schemes and VDDs never split a group.
+	if g := plan.WarmGroups(); g != 4 {
+		t.Fatalf("WarmGroups = %d, want 4", g)
+	}
+}
+
+// TestPlanAllocsIndependentOfCells pins the lazy-planning contract: building
+// a million-cell plan and addressing a cell must not allocate anything
+// proportional to the cross product — only to the axes. This is the memory
+// bound that lets /v1/sweep plan huge sweeps without materializing them.
+func TestPlanAllocsIndependentOfCells(t *testing.T) {
+	seeds := make([]uint64, 50000)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	spec := Spec{
+		Benchmarks: []string{"bzip2", "sjeng"},
+		Schemes:    []string{"ABS", "FFS"},
+		VDDs:       []float64{0.97, 1.00, 1.04, 1.07, 1.10},
+		Seeds:      seeds, // 2×2×5×50000 = 1,000,000 cells
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		plan, err := NewPlan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Total() != 1_000_000 {
+			t.Fatalf("Total = %d", plan.Total())
+		}
+		_ = plan.Cell(999_999)
+	})
+	// Planning costs O(axes): spec copies, scheme parses, one hash. The
+	// bound is generous; what matters is that it is not O(10^6).
+	if allocs > 200 {
+		t.Fatalf("planning a 1M-cell campaign cost %.0f allocations — enumeration is no longer lazy", allocs)
+	}
+}

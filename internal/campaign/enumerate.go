@@ -1,0 +1,73 @@
+// Package campaign is the sweep planner/executor behind POST /v1/campaign,
+// cmd/tvplan and the lazy /v1/sweep path: it expands a campaign spec (the
+// cross product of benchmark × scheme × VDD × seed axes) into a deterministic
+// cell sequence without ever materializing it, groups cells by shared
+// warm-prefix (tvsched.Config.WarmKey) so each warm snapshot is produced once
+// and fanned out, executes ready cells on a bounded worker pool streaming
+// campaign-report/v1 NDJSON in ascending index order, and checkpoints
+// completed cells to an append-only journal so a killed campaign resumes
+// exactly where it stopped — byte-identical to an uninterrupted run.
+//
+// The determinism contract mirrors /v1/sweep's: the stream carries exactly
+// one line per cell in the canonical cross-product order (first axis
+// outermost, seeds fastest), cells simulate concurrently but emission always
+// waits for the next index, and only the per-line Cache annotation may vary
+// with scheduling when a plan contains duplicate digests. Heartbeats reuse
+// the tvsched/progress/v1 schema and are strictly opt-in, because they carry
+// wall-clock timings.
+package campaign
+
+import "math"
+
+// Enumerate walks the cross product of axes with the given lengths in the
+// canonical campaign order: the first axis varies slowest, the last fastest.
+// fn receives the flat cell index (ascending from 0, no gaps) and the per-axis
+// indices; returning false stops the walk. idx is reused between calls — copy
+// it to retain. This single definition is the cell order /v1/sweep, tvstorm
+// and every campaign promise; golden tests pin it.
+func Enumerate(lens []int, fn func(cell int, idx []int) bool) {
+	total := Count(lens)
+	if total <= 0 {
+		return
+	}
+	idx := make([]int, len(lens))
+	for cell := 0; cell < total; cell++ {
+		if !fn(cell, idx) {
+			return
+		}
+		for ax := len(lens) - 1; ax >= 0; ax-- {
+			idx[ax]++
+			if idx[ax] < lens[ax] {
+				break
+			}
+			idx[ax] = 0
+		}
+	}
+}
+
+// Unrank converts a flat cell index back to per-axis indices (the inverse of
+// the Enumerate order), filling idx, which must have len(lens) elements. It is
+// how a plan addresses one cell in O(axes) without enumerating its
+// predecessors.
+func Unrank(lens []int, cell int, idx []int) {
+	for ax := len(lens) - 1; ax >= 0; ax-- {
+		idx[ax] = cell % lens[ax]
+		cell /= lens[ax]
+	}
+}
+
+// Count returns the cross-product size, or -1 on overflow (a campaign that
+// cannot be addressed with int indices). An empty axis makes the product 0.
+func Count(lens []int) int {
+	total := 1
+	for _, n := range lens {
+		if n <= 0 {
+			return 0
+		}
+		if total > math.MaxInt/n {
+			return -1
+		}
+		total *= n
+	}
+	return total
+}

@@ -1,0 +1,269 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tvsched/internal/resil/chaos"
+)
+
+// fakeRunner resolves cells instantly with bytes that are a pure function of
+// the cell — the determinism the real runners guarantee — while counting
+// executions so resume tests can prove completed cells never re-run.
+func fakeRunner(execs *atomic.Int64) Runner {
+	return func(ctx context.Context, cell Cell) CellResult {
+		execs.Add(1)
+		body := fmt.Sprintf(`{"digest":%q,"seed":%d}`, cell.Config.Digest()[:12], cell.Config.Seed)
+		return CellResult{Class: ClassRestored, Cache: "restored", Body: []byte(body)}
+	}
+}
+
+func execPlan(t *testing.T) *Plan {
+	t.Helper()
+	plan, err := NewPlan(Spec{
+		Benchmarks: []string{"bzip2", "sjeng"},
+		Schemes:    []string{"ABS", "FFS"},
+		Seeds:      []uint64{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestExecuteOrderedDeterministicStream: cells resolve concurrently and out
+// of order, but the stream is index-ascending, gap-free, and byte-identical
+// across runs.
+func TestExecuteOrderedDeterministicStream(t *testing.T) {
+	plan := execPlan(t)
+	var first []byte
+	for round := 0; round < 2; round++ {
+		var execs atomic.Int64
+		var out bytes.Buffer
+		stats, err := Execute(context.Background(), plan, nil, fakeRunner(&execs), &out, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Done != plan.Total() || stats.Errors() != 0 {
+			t.Fatalf("stats: %+v", stats)
+		}
+		if execs.Load() != int64(plan.Total()) {
+			t.Fatalf("executions = %d, want %d", execs.Load(), plan.Total())
+		}
+		lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+		if len(lines) != plan.Total() {
+			t.Fatalf("lines = %d, want %d", len(lines), plan.Total())
+		}
+		for i, raw := range lines {
+			var l Line
+			if err := json.Unmarshal([]byte(raw), &l); err != nil {
+				t.Fatalf("line %d: %v", i, err)
+			}
+			if l.Index != i {
+				t.Fatalf("line %d carries index %d", i, l.Index)
+			}
+			if want := plan.Cell(i).Config.Digest(); l.Digest != want {
+				t.Fatalf("line %d digest mismatch", i)
+			}
+		}
+		if round == 0 {
+			first = append([]byte(nil), out.Bytes()...)
+		} else if !bytes.Equal(first, out.Bytes()) {
+			t.Fatal("two runs of the same plan produced different streams")
+		}
+	}
+}
+
+// TestExecuteResumeByteIdentical is the resume contract end to end: run a
+// journaled campaign, tear the journal's tail (a SIGKILL mid-append), and
+// re-execute. The resumed stream must equal the uninterrupted one
+// byte-for-byte, and only the cells the tear reverted may execute again.
+func TestExecuteResumeByteIdentical(t *testing.T) {
+	plan := execPlan(t)
+	dir := t.TempDir()
+
+	// Uninterrupted reference run, journal-less.
+	var refExecs atomic.Int64
+	var ref bytes.Buffer
+	if _, err := Execute(context.Background(), plan, nil, fakeRunner(&refExecs), &ref, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Journaled run, then a torn tail.
+	path := filepath.Join(dir, "c.tvcj")
+	j, err := OpenJournal(path, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs1 atomic.Int64
+	var out1 bytes.Buffer
+	if _, err := Execute(context.Background(), plan, j, fakeRunner(&execs1), &out1, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if !bytes.Equal(ref.Bytes(), out1.Bytes()) {
+		t.Fatal("journaled and journal-less streams differ")
+	}
+	if err := chaos.TearTail(path, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: the torn cell re-executes, every other cell replays.
+	j2, err := OpenJournal(path, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := j2.DoneCount()
+	if completed != plan.Total()-1 {
+		t.Fatalf("tear reverted %d cells, want 1", plan.Total()-completed)
+	}
+	var execs2 atomic.Int64
+	var out2 bytes.Buffer
+	stats, err := Execute(context.Background(), plan, j2, fakeRunner(&execs2), &out2, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if !bytes.Equal(ref.Bytes(), out2.Bytes()) {
+		t.Fatalf("resumed stream diverges from uninterrupted run:\n--- want\n%s\n--- got\n%s", ref.String(), out2.String())
+	}
+	if got := execs2.Load(); got != 1 {
+		t.Fatalf("resume re-executed %d cells, want exactly the torn one", got)
+	}
+	if stats.Replayed != completed || stats.Done != plan.Total() {
+		t.Fatalf("resume stats: %+v (want replayed %d)", stats, completed)
+	}
+
+	// A second resume is a pure replay: zero executions, same bytes.
+	j3, err := OpenJournal(path, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs3 atomic.Int64
+	var out3 bytes.Buffer
+	if _, err := Execute(context.Background(), plan, j3, fakeRunner(&execs3), &out3, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	if execs3.Load() != 0 {
+		t.Fatalf("pure replay executed %d cells", execs3.Load())
+	}
+	if !bytes.Equal(ref.Bytes(), out3.Bytes()) {
+		t.Fatal("pure replay diverges from uninterrupted run")
+	}
+}
+
+// TestExecuteErrorCellsBecomeLines: a failing cell is a line with an error
+// field and an accounting entry, never an Execute error.
+func TestExecuteErrorCellsBecomeLines(t *testing.T) {
+	plan := execPlan(t)
+	runner := func(ctx context.Context, cell Cell) CellResult {
+		if cell.Index == 3 {
+			return CellResult{Class: ClassError, Cache: "error", Err: fmt.Errorf("boom %d", cell.Index)}
+		}
+		return CellResult{Class: ClassCold, Cache: "miss", Body: []byte(`{"ok":true}`)}
+	}
+	var out bytes.Buffer
+	stats, err := Execute(context.Background(), plan, nil, runner, &out, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errors() != 1 {
+		t.Fatalf("errors = %d, want 1", stats.Errors())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	var l Line
+	if err := json.Unmarshal([]byte(lines[3]), &l); err != nil {
+		t.Fatal(err)
+	}
+	if l.Error != "boom 3" || l.Report != nil {
+		t.Fatalf("error line: %+v", l)
+	}
+}
+
+// TestExecuteHeartbeats: opt-in heartbeats interleave progress/v1 records on
+// the heartbeat writer and always close with done == total; the cell stream
+// stays untouched when heartbeats go to a side writer.
+func TestExecuteHeartbeats(t *testing.T) {
+	plan := execPlan(t)
+	slow := func(ctx context.Context, cell Cell) CellResult {
+		time.Sleep(5 * time.Millisecond)
+		return CellResult{Class: ClassCold, Cache: "miss", Body: []byte(`{"ok":true}`)}
+	}
+	var out, hb bytes.Buffer
+	_, err := Execute(context.Background(), plan, nil, slow, &out, Options{
+		Workers: 2, Heartbeat: 3 * time.Millisecond, HeartbeatW: &hb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(out.String()), "\n")); got != plan.Total() {
+		t.Fatalf("cell stream carries %d lines, want %d", got, plan.Total())
+	}
+	hbLines := strings.Split(strings.TrimSpace(hb.String()), "\n")
+	if len(hbLines) == 0 || hb.Len() == 0 {
+		t.Fatal("no heartbeats emitted")
+	}
+	var last ProgressLine
+	if err := json.Unmarshal([]byte(hbLines[len(hbLines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Schema != ProgressSchema || last.Done != plan.Total() || last.Total != plan.Total() || last.EtaSec != 0 {
+		t.Fatalf("final heartbeat: %+v", last)
+	}
+}
+
+// TestExecuteCancelStops: canceling the context aborts the campaign with the
+// context error; the journal keeps what finished.
+func TestExecuteCancelStops(t *testing.T) {
+	plan := execPlan(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	block := make(chan struct{})
+	runner := func(rctx context.Context, cell Cell) CellResult {
+		if cell.Index >= 2 {
+			<-block
+		}
+		return CellResult{Class: ClassCold, Cache: "miss", Body: []byte(`{"ok":true}`)}
+	}
+	path := filepath.Join(t.TempDir(), "c.tvcj")
+	j, err := OpenJournal(path, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		_, err := Execute(ctx, plan, j, runner, &out, Options{Workers: 2})
+		done <- err
+	}()
+	// Let the first cells land, then cancel mid-flight.
+	deadline := time.After(5 * time.Second)
+	for j.DoneCount() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("first cells never completed")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("canceled Execute returned nil")
+	}
+	close(block)
+	j.Close()
+
+	_, plan2, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Hash() != plan.Hash() {
+		t.Fatal("journal identity lost across cancel")
+	}
+}

@@ -1,0 +1,385 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// JournalSchema tags the header frame of a campaign journal file.
+const JournalSchema = "tvsched/campaign-journal/v1"
+
+// The journal is an append-only log of CRC-framed JSON payloads — the same
+// discipline as the persistent result store (internal/store): every frame is
+// `magic | payload length | CRC32(payload) | payload`, a torn or corrupted
+// tail is truncated back to the last intact frame on open, and nothing is
+// trusted until its checksum passes. The first frame is the header (schema,
+// plan hash, cell total, the full normalized spec — enough to rebuild the
+// plan with no side channel); every later frame is one completed cell: its
+// index, its provenance class, and the exact rendered NDJSON line bytes.
+//
+// Because the executor journals a cell at emission time — and emission is
+// strictly index-ascending — an intact journal always holds a prefix of the
+// report. Replaying that prefix verbatim and executing the rest is what makes
+// a resumed campaign byte-identical to an uninterrupted one.
+const (
+	journalMagic   = 0x5456434A // "TVCJ"
+	frameHeaderLen = 4 + 4 + 4
+	maxFrameLen    = 16 << 20 // sanity bound; one cell line is ~1 KiB
+)
+
+// ErrJournalMismatch reports a journal that belongs to a different plan than
+// the one being executed — resuming it would corrupt both campaigns.
+var ErrJournalMismatch = errors.New("campaign journal belongs to a different plan")
+
+// errNoHeader reports a journal file with no intact header frame.
+var errNoHeader = errors.New("campaign journal has no intact header")
+
+type journalHeader struct {
+	Schema string `json:"schema"`
+	Plan   string `json:"plan"`
+	Total  int    `json:"total"`
+	Spec   Spec   `json:"spec"`
+}
+
+type journalRecord struct {
+	Index int             `json:"index"`
+	Class int             `json:"class"`
+	Line  json.RawMessage `json:"line"`
+}
+
+// Journal is the on-disk completed-cell log of one campaign. All methods are
+// safe for concurrent use; reads (ReadLine, Done) may run while the executor
+// appends.
+type Journal struct {
+	f    *os.File
+	w    *bufio.Writer
+	path string
+
+	hdr     journalHeader
+	mu      sync.Mutex
+	end     int64   // append offset
+	offsets []int64 // cell index → frame offset, -1 when absent
+	doneN   int
+	appends int // appends since the last fsync
+
+	// Truncated is how many torn-tail bytes open discarded (diagnostics).
+	Truncated int64
+}
+
+// OpenJournal creates or resumes the journal for one plan. A fresh (or
+// headerless, e.g. torn-at-birth) file is initialized with a header frame; an
+// existing one is scanned, its torn tail truncated, and its identity checked:
+// a plan-hash or total mismatch is ErrJournalMismatch, never silent reuse.
+func OpenJournal(path string, plan *Plan) (*Journal, error) {
+	j, err := openJournalFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if j.hdr.Schema == "" {
+		// New file: write the header.
+		j.hdr = journalHeader{Schema: JournalSchema, Plan: plan.Hash(), Total: plan.Total(), Spec: plan.Spec()}
+		j.offsets = newOffsets(plan.Total())
+		payload, err := json.Marshal(&j.hdr)
+		if err != nil {
+			j.f.Close()
+			return nil, err
+		}
+		if err := j.appendFrame(payload); err != nil {
+			j.f.Close()
+			return nil, fmt.Errorf("campaign journal %s: %w", path, err)
+		}
+		if err := j.sync(); err != nil {
+			j.f.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+	if j.hdr.Plan != plan.Hash() || j.hdr.Total != plan.Total() {
+		j.f.Close()
+		return nil, fmt.Errorf("%w: journal %s holds plan %s (%d cells), want %s (%d cells)",
+			ErrJournalMismatch, path, j.hdr.Plan, j.hdr.Total, plan.Hash(), plan.Total())
+	}
+	return j, nil
+}
+
+// LoadJournal opens an existing journal standalone — the resume-on-restart
+// scan path, where the journal itself is the only record of what the campaign
+// was. The embedded spec rebuilds the plan; OpenJournal semantics otherwise.
+func LoadJournal(path string) (*Journal, *Plan, error) {
+	j, err := openJournalFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if j.hdr.Schema == "" {
+		j.f.Close()
+		return nil, nil, fmt.Errorf("campaign journal %s: %w", path, errNoHeader)
+	}
+	plan, err := NewPlan(j.hdr.Spec)
+	if err != nil {
+		j.f.Close()
+		return nil, nil, fmt.Errorf("campaign journal %s: embedded spec: %w", path, err)
+	}
+	if plan.Hash() != j.hdr.Plan || plan.Total() != j.hdr.Total {
+		j.f.Close()
+		return nil, nil, fmt.Errorf("%w: journal %s header says %s (%d cells) but its spec plans %s (%d cells)",
+			ErrJournalMismatch, path, j.hdr.Plan, j.hdr.Total, plan.Hash(), plan.Total())
+	}
+	return j, plan, nil
+}
+
+// openJournalFile opens path and scans every intact frame, truncating the
+// torn tail. A missing or empty file (or one whose very first frame is
+// corrupt) comes back with a zero header for the caller to initialize.
+func openJournalFile(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, path: path}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r := bufio.NewReader(io.NewSectionReader(f, 0, size))
+	var off int64
+	for {
+		payload, n, err := readFrame(r, size-off)
+		if err != nil {
+			// Torn or corrupt tail: everything from off on is discarded.
+			j.Truncated = size - off
+			break
+		}
+		if off == 0 {
+			var hdr journalHeader
+			if err := json.Unmarshal(payload, &hdr); err != nil || hdr.Schema != JournalSchema || hdr.Total < 0 {
+				j.Truncated = size
+				break
+			}
+			j.hdr = hdr
+			j.offsets = newOffsets(hdr.Total)
+		} else {
+			var rec journalRecord
+			if err := json.Unmarshal(payload, &rec); err == nil &&
+				rec.Index >= 0 && rec.Index < len(j.offsets) && j.offsets[rec.Index] < 0 {
+				j.offsets[rec.Index] = off
+				j.doneN++
+			}
+		}
+		off += n
+		if off >= size {
+			break
+		}
+	}
+	if j.Truncated > 0 {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.end = off
+	j.w = bufio.NewWriter(f)
+	if j.hdr.Schema == "" {
+		// Nothing intact: restart the file from byte zero.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		j.end, j.doneN, j.offsets = 0, 0, nil
+	}
+	return j, nil
+}
+
+func newOffsets(total int) []int64 {
+	offs := make([]int64, total)
+	for i := range offs {
+		offs[i] = -1
+	}
+	return offs
+}
+
+// readFrame reads one frame from r, which has remain bytes left. It returns
+// the payload and the frame's total length, or an error for any torn or
+// corrupt frame.
+func readFrame(r *bufio.Reader, remain int64) ([]byte, int64, error) {
+	if remain < frameHeaderLen {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != journalMagic {
+		return nil, 0, errors.New("bad frame magic")
+	}
+	n := int64(binary.BigEndian.Uint32(hdr[4:8]))
+	if n > maxFrameLen || frameHeaderLen+n > remain {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[8:12]) {
+		return nil, 0, errors.New("frame checksum mismatch")
+	}
+	return payload, frameHeaderLen + n, nil
+}
+
+// appendFrame writes one framed payload and flushes the buffer, so the bytes
+// survive a SIGKILL of this process (fsync — surviving a machine crash — is
+// amortized; see Append). Callers hold mu (or have exclusive access).
+func (j *Journal) appendFrame(payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], journalMagic)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	if _, err := j.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := j.w.Write(payload); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	j.end += int64(frameHeaderLen + len(payload))
+	return nil
+}
+
+// Append journals one completed cell: its index, provenance class, and the
+// exact line bytes the stream emitted (sans trailing newline). Duplicate
+// appends for a completed index are no-ops. Every append is flushed to the
+// kernel; an fsync lands every 64 appends and on Close, so a machine crash
+// costs at most a tail of re-runs, never a corrupt prefix.
+func (j *Journal) Append(index int, class Class, line []byte) error {
+	if index < 0 || index >= len(j.offsets) {
+		return fmt.Errorf("campaign journal %s: index %d out of range [0,%d)", j.path, index, len(j.offsets))
+	}
+	rec := journalRecord{Index: index, Class: int(class), Line: json.RawMessage(line)}
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.offsets[index] >= 0 {
+		return nil
+	}
+	off := j.end
+	if err := j.appendFrame(payload); err != nil {
+		return fmt.Errorf("campaign journal %s: %w", j.path, err)
+	}
+	j.offsets[index] = off
+	j.doneN++
+	j.appends++
+	if j.appends >= 64 {
+		j.appends = 0
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// Done reports whether the cell at index has a journaled line.
+func (j *Journal) Done(index int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return index >= 0 && index < len(j.offsets) && j.offsets[index] >= 0
+}
+
+// DoneCount is the number of journaled cells.
+func (j *Journal) DoneCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.doneN
+}
+
+// Complete reports whether every cell is journaled.
+func (j *Journal) Complete() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.doneN == j.hdr.Total
+}
+
+// PlanHash returns the plan identity the journal belongs to.
+func (j *Journal) PlanHash() string { return j.hdr.Plan }
+
+// Spec returns the normalized campaign spec embedded in the header.
+func (j *Journal) Spec() Spec { return j.hdr.Spec }
+
+// Total returns the campaign's cell count.
+func (j *Journal) Total() int { return j.hdr.Total }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// ReadLine returns the journaled class and line bytes for one completed cell
+// index; ok is false when the cell has no record. Reads go through ReadAt, so
+// they are safe alongside concurrent appends (appends only ever add frames
+// past every published offset).
+func (j *Journal) ReadLine(index int) (Class, []byte, bool, error) {
+	j.mu.Lock()
+	if index < 0 || index >= len(j.offsets) || j.offsets[index] < 0 {
+		j.mu.Unlock()
+		return 0, nil, false, nil
+	}
+	off := j.offsets[index]
+	j.mu.Unlock()
+
+	var hdr [frameHeaderLen]byte
+	if _, err := j.f.ReadAt(hdr[:], off); err != nil {
+		return 0, nil, false, err
+	}
+	n := binary.BigEndian.Uint32(hdr[4:8])
+	payload := make([]byte, n)
+	if _, err := j.f.ReadAt(payload, off+frameHeaderLen); err != nil {
+		return 0, nil, false, err
+	}
+	var rec journalRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return 0, nil, false, fmt.Errorf("campaign journal %s: record at %d: %w", j.path, off, err)
+	}
+	return Class(rec.Class), []byte(rec.Line), true, nil
+}
+
+// sync flushes buffered frames and fsyncs. Callers hold mu (or have
+// exclusive access).
+func (j *Journal) sync() error {
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Sync forces buffered frames to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sync()
+}
+
+// Close syncs and closes the file. The journal is unusable afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

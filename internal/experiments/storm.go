@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"tvsched/internal/campaign"
 	"tvsched/internal/core"
 	"tvsched/internal/fault"
 	"tvsched/internal/hazard"
@@ -286,8 +287,13 @@ func RunStorm(ctx context.Context, cfg StormConfig) (*StormReport, error) {
 		window = cfg.Policy.Window
 	}
 
-	var cells []StormCell
-	for _, name := range scenarios {
+	// The cell sequence is the shared campaign cross product (scenario ×
+	// scheme × seed, seeds fastest) — the same enumerator /v1/sweep and
+	// tvplan use — then stably sorted by name so curated and ad-hoc scenario
+	// lists produce the same report layout.
+	type hazardSpan struct{ onset, end uint64 }
+	spans := make([]hazardSpan, len(scenarios))
+	for i, name := range scenarios {
 		sc, err := hazard.Lookup(name)
 		if err != nil {
 			return nil, err
@@ -300,15 +306,21 @@ func RunStorm(ctx context.Context, cfg StormConfig) (*StormReport, error) {
 		if end == ^uint64(0) {
 			end = 0 // "never": omitted from the report
 		}
-		for _, scheme := range schemes {
-			for _, seed := range seeds {
-				cells = append(cells, StormCell{
-					Scenario: name, Scheme: scheme.String(), Seed: seed,
-					HazardOnset: onset, HazardEnd: end,
-				})
-			}
-		}
+		spans[i] = hazardSpan{onset, end}
 	}
+	lens := []int{len(scenarios), len(schemes), len(seeds)}
+	total := campaign.Count(lens)
+	if total < 0 {
+		return nil, fmt.Errorf("storm campaign cross product overflows int")
+	}
+	cells := make([]StormCell, 0, total)
+	campaign.Enumerate(lens, func(_ int, idx []int) bool {
+		cells = append(cells, StormCell{
+			Scenario: scenarios[idx[0]], Scheme: schemes[idx[1]].String(), Seed: seeds[idx[2]],
+			HazardOnset: spans[idx[0]].onset, HazardEnd: spans[idx[0]].end,
+		})
+		return true
+	})
 	sort.SliceStable(cells, func(i, j int) bool {
 		if cells[i].Scenario != cells[j].Scenario {
 			return cells[i].Scenario < cells[j].Scenario

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -127,5 +128,44 @@ func TestStormUnknownScenario(t *testing.T) {
 	cfg.Scenarios = []string{"nope"}
 	if _, err := RunStorm(context.Background(), cfg); err == nil {
 		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestStormCellOrderGolden pins the report's cell order now that the cross
+// product comes from the shared campaign enumerator: enumeration runs
+// scenarios × schemes × seeds (seeds fastest, axes as given), then the
+// stable sort normalizes to scenario < scheme < seed ascending. The axes
+// here are deliberately unsorted so the test catches an enumerator that
+// stops feeding the sort every cell.
+func TestStormCellOrderGolden(t *testing.T) {
+	cfg := DefaultStormConfig()
+	cfg.Insts = 2000
+	cfg.Warmup = 500
+	cfg.Horizon = 2000
+	cfg.Scenarios = []string{"quiet", "droop-storm"}
+	cfg.Schemes = []core.Scheme{core.Razor, core.ABS}
+	cfg.Seeds = []uint64{2, 1}
+	r, err := RunStorm(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"droop-storm/ABS/1",
+		"droop-storm/ABS/2",
+		"droop-storm/Razor/1",
+		"droop-storm/Razor/2",
+		"quiet/ABS/1",
+		"quiet/ABS/2",
+		"quiet/Razor/1",
+		"quiet/Razor/2",
+	}
+	if len(r.Cells) != len(want) {
+		t.Fatalf("%d cells, want %d", len(r.Cells), len(want))
+	}
+	for i, c := range r.Cells {
+		got := fmt.Sprintf("%s/%s/%d", c.Scenario, c.Scheme, c.Seed)
+		if got != want[i] {
+			t.Errorf("cell %d = %s, want %s", i, got, want[i])
+		}
 	}
 }

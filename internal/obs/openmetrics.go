@@ -316,6 +316,47 @@ func (e *Exposition) writeServe(w io.Writer) error {
 		}
 	}
 
+	// Campaign lifecycle counters, per-class cell counters, and the active
+	// gauge, rendered only once a campaign has been admitted.
+	var campaignTouched uint64
+	for _, c := range snap.CampaignEvents {
+		campaignTouched += c
+	}
+	if campaignTouched > 0 {
+		name = e.ns + "_serve_campaigns_total"
+		if err := head(w, name, "Campaign lifecycle events (started/resumed/completed/suspended/failed).", "counter"); err != nil {
+			return err
+		}
+		for ev := CampaignEvent(0); ev < NumCampaignEvents; ev++ {
+			if _, err := fmt.Fprintf(w, "%s{event=%q} %d\n", name, ev.String(), snap.CampaignEvents[ev]); err != nil {
+				return err
+			}
+		}
+		if len(snap.CampaignCells) > 0 {
+			name = e.ns + "_serve_campaign_cells_total"
+			if err := head(w, name, "Campaign cells executed, by provenance class (hit/shared/restored/cold/stolen/error).", "counter"); err != nil {
+				return err
+			}
+			classes := make([]string, 0, len(snap.CampaignCells))
+			for c := range snap.CampaignCells {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			for _, c := range classes {
+				if _, err := fmt.Fprintf(w, "%s{class=%q} %d\n", name, c, snap.CampaignCells[c]); err != nil {
+					return err
+				}
+			}
+		}
+		name = e.ns + "_serve_campaigns_active"
+		if err := head(w, name, "Campaigns executing right now.", "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, snap.CampaignsActive); err != nil {
+			return err
+		}
+	}
+
 	// Persistent-store counters and gauges, rendered only once the store
 	// has been touched.
 	var storeTouched uint64

@@ -47,11 +47,12 @@ const (
 	RouteRun ServeRoute = iota
 	RouteSweep
 	RouteTrace
+	RouteCampaign
 	RouteOther
 	NumServeRoutes
 )
 
-var serveRouteNames = [NumServeRoutes]string{"run", "sweep", "trace", "other"}
+var serveRouteNames = [NumServeRoutes]string{"run", "sweep", "trace", "campaign", "other"}
 
 // String returns the Prometheus label value for the route.
 func (r ServeRoute) String() string {
@@ -101,6 +102,36 @@ func (o PeerOp) String() string {
 		return "unknown"
 	}
 	return peerOpNames[o]
+}
+
+// CampaignEvent classifies one lifecycle transition of an asynchronous
+// campaign (POST /v1/campaign or a journal resumed at startup).
+type CampaignEvent int
+
+// The campaign lifecycle events: Started is a fresh campaign admitted,
+// Resumed is a journal picked back up (after a restart or a suspension),
+// Completed/Failed are terminal, and Suspended means the server shut down
+// (or the run was canceled) with cells still pending — the journal keeps
+// the finished prefix for the next resume.
+const (
+	CampaignStarted CampaignEvent = iota
+	CampaignResumed
+	CampaignCompleted
+	CampaignSuspended
+	CampaignFailed
+	NumCampaignEvents
+)
+
+var campaignEventNames = [NumCampaignEvents]string{
+	"started", "resumed", "completed", "suspended", "failed",
+}
+
+// String returns the Prometheus label value for the campaign event.
+func (e CampaignEvent) String() string {
+	if e < 0 || e >= NumCampaignEvents {
+		return "unknown"
+	}
+	return campaignEventNames[e]
 }
 
 // StoreOp classifies one access to the persistent result store.
@@ -153,6 +184,13 @@ type ServeMetrics struct {
 	// and the current state (a label-valued gauge in the exposition).
 	breakerTrans map[string]map[string]uint64
 	breakerState map[string]string
+
+	// Campaign telemetry: lifecycle events, per-class cell counts (class is
+	// the campaign provenance label — hit/shared/restored/cold/stolen/error),
+	// and the number of campaigns executing right now.
+	campaignEvents  [NumCampaignEvents]uint64
+	campaignCells   map[string]uint64
+	campaignsActive int64
 }
 
 // NewServeMetrics builds an empty serving registry.
@@ -236,6 +274,37 @@ func (s *ServeMetrics) BreakerTransition(peer, to string) {
 	s.mu.Unlock()
 }
 
+// CampaignEvent records one campaign lifecycle transition.
+func (s *ServeMetrics) CampaignEvent(e CampaignEvent) {
+	if e < 0 || e >= NumCampaignEvents {
+		return
+	}
+	s.mu.Lock()
+	s.campaignEvents[e]++
+	s.mu.Unlock()
+}
+
+// CampaignCell records one executed campaign cell under its provenance class
+// label (hit/shared/restored/cold/stolen/error).
+func (s *ServeMetrics) CampaignCell(class string) {
+	if class == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.campaignCells == nil {
+		s.campaignCells = make(map[string]uint64)
+	}
+	s.campaignCells[class]++
+	s.mu.Unlock()
+}
+
+// AddCampaignsActive moves the running-campaigns gauge by delta.
+func (s *ServeMetrics) AddCampaignsActive(delta int64) {
+	s.mu.Lock()
+	s.campaignsActive += delta
+	s.mu.Unlock()
+}
+
 // StoreOp records one persistent-store access.
 func (s *ServeMetrics) StoreOp(op StoreOp) {
 	if op < 0 || op >= NumStoreOps {
@@ -268,6 +337,12 @@ type ServeSnapshot struct {
 	// peer → state name; BreakerStates is each peer's current state.
 	BreakerTransitions map[string]map[string]uint64
 	BreakerStates      map[string]string
+	// CampaignEvents counts campaign lifecycle transitions, CampaignCells
+	// executed cells per provenance class, CampaignsActive the campaigns
+	// running right now.
+	CampaignEvents  [NumCampaignEvents]uint64
+	CampaignCells   map[string]uint64
+	CampaignsActive int64
 }
 
 // ReqLatencyTotal folds the route × outcome latency matrix into one
@@ -292,14 +367,22 @@ func (s *ServeMetrics) Snapshot() ServeSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := ServeSnapshot{
-		Outcomes:     s.outcomes,
-		QueueDepth:   s.queueDepth,
-		InFlight:     s.inFlight,
-		ReqLatency:   s.reqLat,
-		RunLatency:   s.runLat,
-		StoreOps:     s.storeOps,
-		StoreEntries: s.storeEntries,
-		StoreBytes:   s.storeBytes,
+		Outcomes:        s.outcomes,
+		QueueDepth:      s.queueDepth,
+		InFlight:        s.inFlight,
+		ReqLatency:      s.reqLat,
+		RunLatency:      s.runLat,
+		StoreOps:        s.storeOps,
+		StoreEntries:    s.storeEntries,
+		StoreBytes:      s.storeBytes,
+		CampaignEvents:  s.campaignEvents,
+		CampaignsActive: s.campaignsActive,
+	}
+	if len(s.campaignCells) > 0 {
+		snap.CampaignCells = make(map[string]uint64, len(s.campaignCells))
+		for class, n := range s.campaignCells {
+			snap.CampaignCells[class] = n
+		}
 	}
 	if len(s.peerOps) > 0 {
 		snap.PeerOps = make(map[string][NumPeerOps]uint64, len(s.peerOps))

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tvsched/internal/campaign"
+)
+
+// CampaignBenchSchema tags the campaign-engine benchmark artifact
+// (cmd/tvload -campaignbench); cmd/tvgate -campaign gates it.
+const CampaignBenchSchema = "tvsched/campaign-bench/v1"
+
+// CampaignBenchConfig parameterizes one three-pass campaign comparison
+// against a running tvservd started with -campaign-dir. The grid is the
+// sweepbench scheme×voltage cross (ten cells, one shared warm prefix) with
+// the same warmup-heavy default geometry, so the engine's shared-prefix
+// execution has something concrete to save.
+type CampaignBenchConfig struct {
+	// URL is the server base URL.
+	URL string
+	// Benchmark names the workload every cell simulates (default bzip2).
+	Benchmark string
+	// Warmup / Instructions shape each cell (defaults 120000 / 8000).
+	Warmup       uint64
+	Instructions uint64
+	// Seed is the independent pass's seed; the engine and cached passes use
+	// Seed+1 so the independent pass shares no digests or warm keys with
+	// them (default 1).
+	Seed uint64
+	// Timeout bounds each campaign, admission to completion (default 10m).
+	Timeout time.Duration
+}
+
+func (c *CampaignBenchConfig) fill() {
+	if c.Benchmark == "" {
+		c.Benchmark = "bzip2"
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 120000
+	}
+	if c.Instructions == 0 {
+		c.Instructions = 8000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Minute
+	}
+}
+
+// CampaignBenchReport is the machine-readable outcome (schema
+// tvsched/campaign-bench/v1): wall time of the same warm-prefix-heavy grid
+// executed three ways. IndependentNS is cell-independent execution (no
+// snapshot sharing — every cell pays its own warmup), EngineNS is the
+// campaign engine's shared-prefix execution, CachedNS a re-campaign over
+// already-computed cells. Speedup = IndependentNS / EngineNS is the
+// engine's throughput win; CachedSkipRatio is the fraction of the cached
+// pass's cells that cost no simulation (wanted: 1.0).
+type CampaignBenchReport struct {
+	Schema       string `json:"schema"`
+	URL          string `json:"url"`
+	Benchmark    string `json:"benchmark"`
+	Cells        int    `json:"cells"`
+	Warmup       uint64 `json:"warmup"`
+	Instructions uint64 `json:"instructions"`
+	// The three campaign ids, for cross-checking against server logs.
+	IndependentID string `json:"independent_id"`
+	EngineID      string `json:"engine_id"`
+	CachedID      string `json:"cached_id"`
+
+	IndependentNS   int64   `json:"independent_ns"`
+	EngineNS        int64   `json:"engine_ns"`
+	CachedNS        int64   `json:"cached_ns"`
+	Speedup         float64 `json:"speedup"`
+	CachedSkipRatio float64 `json:"cached_skip_ratio"`
+}
+
+// campaignBenchStatus mirrors the fields of the serve campaignStatus
+// document this benchmark reads. Kept separate so the client side only
+// depends on the wire contract.
+type campaignBenchStatus struct {
+	Schema   string                 `json:"schema"`
+	ID       string                 `json:"id"`
+	State    string                 `json:"state"`
+	Total    int                    `json:"total"`
+	Done     int                    `json:"done"`
+	Error    string                 `json:"error"`
+	Progress *campaign.ProgressLine `json:"progress"`
+}
+
+// RunCampaignBench times the same ten-cell warm-prefix-heavy grid as three
+// campaigns: cell-independent (checkpoint sharing off), engine (shared
+// warm-prefix snapshots, distinct seed so nothing carries over), and cached
+// (the engine grid re-POSTed under a different tag, so every cell is
+// already in the server's result cache). Campaign tags keep the three plans
+// distinct; only the cached pass intentionally shares cell digests with the
+// engine pass.
+func RunCampaignBench(ctx context.Context, cfg CampaignBenchConfig) (*CampaignBenchReport, error) {
+	cfg.fill()
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("campaignbench: no server URL")
+	}
+	schemes, vdds := sweepBenchCells()
+	client := &http.Client{Timeout: cfg.Timeout}
+	off, on := false, true
+
+	pass := func(tag string, seed uint64, checkpoint *bool) (string, time.Duration, *campaign.ProgressLine, error) {
+		spec := campaign.Spec{
+			Schema:       campaign.SpecSchema,
+			Tag:          tag,
+			Benchmarks:   []string{cfg.Benchmark},
+			Schemes:      schemes,
+			VDDs:         vdds,
+			Seeds:        []uint64{seed},
+			Instructions: cfg.Instructions,
+			Warmup:       cfg.Warmup,
+			Checkpoint:   checkpoint,
+		}
+		blob, err := json.Marshal(&spec)
+		if err != nil {
+			return "", 0, nil, err
+		}
+		deadline := time.Now().Add(cfg.Timeout)
+		start := time.Now()
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			cfg.URL+"/v1/campaign", bytes.NewReader(blob))
+		if err != nil {
+			return "", 0, nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return "", 0, nil, err
+		}
+		var st campaignBenchStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			return "", 0, nil, fmt.Errorf("campaignbench: campaign %s admission status %d", tag, resp.StatusCode)
+		}
+		if err != nil {
+			return "", 0, nil, fmt.Errorf("campaignbench: campaign %s status: %w", tag, err)
+		}
+		for st.State == campaignRunning {
+			if time.Now().After(deadline) {
+				return "", 0, nil, fmt.Errorf("campaignbench: campaign %s still running after %s", tag, cfg.Timeout)
+			}
+			select {
+			case <-ctx.Done():
+				return "", 0, nil, ctx.Err()
+			case <-time.After(20 * time.Millisecond):
+			}
+			sresp, err := client.Get(cfg.URL + "/v1/campaign/" + st.ID)
+			if err != nil {
+				return "", 0, nil, err
+			}
+			err = json.NewDecoder(sresp.Body).Decode(&st)
+			sresp.Body.Close()
+			if err != nil {
+				return "", 0, nil, fmt.Errorf("campaignbench: campaign %s status: %w", tag, err)
+			}
+		}
+		elapsed := time.Since(start)
+		if st.State != campaignDone || st.Error != "" {
+			return "", 0, nil, fmt.Errorf("campaignbench: campaign %s ended %s: %s", tag, st.State, st.Error)
+		}
+		if want := len(schemes) * len(vdds); st.Done != want {
+			return "", 0, nil, fmt.Errorf("campaignbench: campaign %s finished %d cells, want %d", tag, st.Done, want)
+		}
+		return st.ID, elapsed, st.Progress, nil
+	}
+
+	indepID, indep, _, err := pass("campaignbench-independent", cfg.Seed, &off)
+	if err != nil {
+		return nil, err
+	}
+	engineID, engine, _, err := pass("campaignbench-engine", cfg.Seed+1, &on)
+	if err != nil {
+		return nil, err
+	}
+	cachedID, cached, prog, err := pass("campaignbench-cached", cfg.Seed+1, &on)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &CampaignBenchReport{
+		Schema:        CampaignBenchSchema,
+		URL:           cfg.URL,
+		Benchmark:     cfg.Benchmark,
+		Cells:         len(schemes) * len(vdds),
+		Warmup:        cfg.Warmup,
+		Instructions:  cfg.Instructions,
+		IndependentID: indepID,
+		EngineID:      engineID,
+		CachedID:      cachedID,
+		IndependentNS: indep.Nanoseconds(),
+		EngineNS:      engine.Nanoseconds(),
+		CachedNS:      cached.Nanoseconds(),
+	}
+	if engine > 0 {
+		rep.Speedup = float64(indep) / float64(engine)
+	}
+	if prog != nil && prog.Done > 0 {
+		rep.CachedSkipRatio = float64(prog.Hit+prog.Shared+prog.Stolen) / float64(prog.Done)
+	}
+	return rep, nil
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"tvsched"
+	"tvsched/internal/campaign"
 )
 
 // slowRunner fakes a simulation taking d of wall time, so heartbeat and
@@ -117,7 +118,7 @@ func TestSweepHeartbeats(t *testing.T) {
 	}
 	body := postSweep(t, ts.URL, sweep)
 
-	var beats []progressLine
+	var beats []campaign.ProgressLine
 	var cellIdx []int
 	sc := bufio.NewScanner(bytes.NewReader(body))
 	lastLineWasBeat := false
@@ -129,7 +130,7 @@ func TestSweepHeartbeats(t *testing.T) {
 			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
 		}
 		if probe.Schema == ProgressSchema {
-			var b progressLine
+			var b campaign.ProgressLine
 			if err := json.Unmarshal(sc.Bytes(), &b); err != nil {
 				t.Fatal(err)
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"tvsched"
+	"tvsched/internal/campaign"
 )
 
 // The wire schemas this package speaks. Like obs.RunReportSchema, these are
@@ -108,50 +109,56 @@ type SweepRequest struct {
 	Progress bool `json:"progress,omitempty"`
 }
 
-// Cells expands the sweep into per-cell run requests, in deterministic
-// benchmark-major order: the cross product iterates benchmarks × schemes ×
-// VDDs × seeds with each axis in its requested order and seeds varying
-// fastest. This order — pinned by a golden test — defines the NDJSON line
-// order and the line Index of the /v1/sweep response. The caller bounds the
-// cell count.
-func (s *SweepRequest) Cells() ([]RunRequest, error) {
+// Plan converts the request into a lazy campaign plan — the one cross-product
+// enumerator the whole repo shares (internal/campaign). The plan is O(axes) in
+// memory no matter how many cells it describes; handleSweep bounds the cell
+// count against the server cap, and plan.Cell(i) materializes one cell at a
+// time. The cell order is campaign's canonical order, which is exactly the
+// order this endpoint has always promised: benchmarks × schemes × VDDs ×
+// seeds, each axis as requested, seeds varying fastest. All failures wrap
+// ErrBadRequest.
+func (s *SweepRequest) Plan() (*campaign.Plan, error) {
 	if s.Schema != "" && s.Schema != SweepRequestSchema {
 		return nil, fmt.Errorf("%w: schema %q, want %q", ErrBadRequest, s.Schema, SweepRequestSchema)
 	}
-	benches := s.Benchmarks
-	if len(benches) == 0 {
-		benches = []string{"bzip2"}
+	plan, err := campaign.NewPlan(campaign.Spec{
+		Benchmarks:   s.Benchmarks,
+		Schemes:      s.Schemes,
+		VDDs:         s.VDDs,
+		Seeds:        s.Seeds,
+		Instructions: s.Instructions,
+		Warmup:       s.Warmup,
+		FaultBias:    s.FaultBias,
+		Checkpoint:   s.Checkpoint,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	schemes := s.Schemes
-	if len(schemes) == 0 {
-		schemes = []string{"ABS"}
+	return plan, nil
+}
+
+// Cells expands the sweep into per-cell run requests, in the deterministic
+// benchmark-major order Plan documents. It materializes every cell — clients
+// that only need the order one cell at a time should walk Plan().Cell(i)
+// instead.
+func (s *SweepRequest) Cells() ([]RunRequest, error) {
+	plan, err := s.Plan()
+	if err != nil {
+		return nil, err
 	}
-	vdds := s.VDDs
-	if len(vdds) == 0 {
-		vdds = []float64{tvsched.VHighFault}
-	}
-	seeds := s.Seeds
-	if len(seeds) == 0 {
-		seeds = []uint64{1}
-	}
-	cells := make([]RunRequest, 0, len(benches)*len(schemes)*len(vdds)*len(seeds))
-	for _, b := range benches {
-		for _, sch := range schemes {
-			for _, v := range vdds {
-				for _, seed := range seeds {
-					cells = append(cells, RunRequest{
-						Schema:       RunRequestSchema,
-						Benchmark:    b,
-						Scheme:       sch,
-						VDD:          v,
-						Seed:         seed,
-						Instructions: s.Instructions,
-						Warmup:       s.Warmup,
-						FaultBias:    s.FaultBias,
-					})
-				}
-			}
-		}
+	cells := make([]RunRequest, 0, plan.Total())
+	for i := 0; i < plan.Total(); i++ {
+		cfg := plan.Cell(i).Config
+		cells = append(cells, RunRequest{
+			Schema:       RunRequestSchema,
+			Benchmark:    cfg.Benchmark,
+			Scheme:       cfg.Scheme.String(),
+			VDD:          cfg.VDD,
+			Seed:         cfg.Seed,
+			Instructions: s.Instructions,
+			Warmup:       s.Warmup,
+			FaultBias:    s.FaultBias,
+		})
 	}
 	return cells, nil
 }

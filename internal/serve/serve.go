@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"tvsched"
+	"tvsched/internal/campaign"
 	"tvsched/internal/cluster"
 	"tvsched/internal/experiments"
 	"tvsched/internal/obs"
@@ -168,6 +169,16 @@ type Config struct {
 	// HeartbeatInterval is the cadence of progress/v1 heartbeat records on
 	// /v1/sweep streams that opt in with "progress": true (default 2s).
 	HeartbeatInterval time.Duration
+	// CampaignDir, when non-empty, enables the asynchronous campaign API
+	// (POST /v1/campaign): every admitted campaign journals its completed
+	// cells to <CampaignDir>/<plan-hash>.tvcj, and ResumeCampaigns picks
+	// unfinished journals back up after a restart. Empty disables the API
+	// (503) — a campaign without a journal cannot honour the resume contract.
+	CampaignDir string
+	// MaxCampaignCells caps the cross-product size of one campaign (default
+	// 1<<20). Campaigns stream nothing and buffer O(window), so the cap is
+	// about simulation budget, not memory — hence far above MaxSweepCells.
+	MaxCampaignCells int
 	// Store, when non-nil, persists results (digest → response bytes) across
 	// restarts: LRU misses read through it and every computed or
 	// cluster-obtained result is written back. The caller owns the Store's
@@ -248,6 +259,9 @@ func (c *Config) fill() {
 	}
 	if c.HeartbeatInterval <= 0 {
 		c.HeartbeatInterval = 2 * time.Second
+	}
+	if c.MaxCampaignCells <= 0 {
+		c.MaxCampaignCells = 1 << 20
 	}
 	if c.PeerTimeout <= 0 {
 		c.PeerTimeout = 2 * time.Second
@@ -343,6 +357,10 @@ type Server struct {
 
 	store *store.Store // nil means memory-only
 
+	// The campaign layer: asynchronous journaled runs keyed by plan hash.
+	campMu    sync.Mutex
+	campaigns map[string]*campaignRun
+
 	mux *http.ServeMux
 }
 
@@ -375,6 +393,7 @@ func New(cfg Config) *Server {
 		owed:       make(map[string][]string),
 		knownCfgs:  newLRU(cfg.CacheEntries),
 		store:      cfg.Store,
+		campaigns:  make(map[string]*campaignRun),
 	}
 	s.snapProduce = produceSnapshot
 	if s.cfg.Runner == nil {
@@ -386,6 +405,8 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/campaign", s.handleCampaignPost)
+	mux.HandleFunc("/v1/campaign/", s.handleCampaignGet)
 	mux.HandleFunc("/v1/result/", s.handleResult)
 	mux.HandleFunc("/v1/anti-entropy", s.handleAntiEntropy)
 	mux.HandleFunc("/v1/trace/", s.handleTrace)
@@ -982,110 +1003,68 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	)
 }
 
-// sweepLine is one NDJSON record of a sweep response.
+// sweepLine is one NDJSON record of a sweep response — the campaign engine's
+// line type, shared with /v1/campaign reports and cmd/tvplan.
 //
 // Ordering contract (pinned by a golden test): the stream carries exactly one
-// line per cell, in the cell order SweepRequest.Cells defines — benchmarks ×
-// schemes × VDDs × seeds, each axis in its requested order, seeds innermost —
-// and Index is the cell's position in that order, ascending from 0 with no
-// gaps. Cells simulate concurrently, but emission always waits for the next
-// index, so the stream is deterministic end to end (only the per-line Cache
-// annotation may vary with scheduling).
-type sweepLine struct {
-	Index     int             `json:"index"`
-	Benchmark string          `json:"benchmark"`
-	Scheme    string          `json:"scheme"`
-	VDD       float64         `json:"vdd"`
-	Seed      uint64          `json:"seed"`
-	Digest    string          `json:"digest"`
-	Cache     string          `json:"cache"`
-	Report    json.RawMessage `json:"report,omitempty"`
-	Error     string          `json:"error,omitempty"`
-}
+// line per cell, in the canonical campaign cell order — benchmarks × schemes ×
+// VDDs × seeds, each axis in its requested order, seeds innermost — and Index
+// is the cell's position in that order, ascending from 0 with no gaps. Cells
+// simulate concurrently, but emission always waits for the next index, so the
+// stream is deterministic end to end (only the per-line Cache annotation may
+// vary with scheduling).
+type sweepLine = campaign.Line
 
 // ProgressSchema tags the heartbeat records a progress-enabled sweep stream
 // interleaves with its cell lines. Cell lines never carry a schema field, so
 // `"schema":"tvsched/progress/v1"` is the discriminator.
-const ProgressSchema = "tvsched/progress/v1"
+const ProgressSchema = campaign.ProgressSchema
 
-// progressLine is one live-campaign heartbeat: cumulative cell accounting by
-// provenance plus an ETA extrapolated from an EWMA of cell latency.
-type progressLine struct {
-	Schema      string  `json:"schema"`
-	Done        int     `json:"done"`
-	Total       int     `json:"total"`
-	Hit         int     `json:"hit"`
-	Shared      int     `json:"shared"`
-	Restored    int     `json:"restored"`
-	Cold        int     `json:"cold"`
-	Stolen      int     `json:"stolen"`
-	Errors      int     `json:"errors"`
-	ElapsedSec  float64 `json:"elapsed_sec"`
-	CellEwmaSec float64 `json:"cell_ewma_sec"`
-	EtaSec      float64 `json:"eta_sec"`
-}
-
-// progress accumulates per-cell completions for one sweep's heartbeats. Cell
-// goroutines write, the emission loop reads; the mutex is the only coupling.
-type progress struct {
-	mu                                        sync.Mutex
-	total, done                               int
-	hit, shared, restored, cold, stolen, errs int
-	ewma                                      float64 // seconds per cell
-}
-
-// observe folds one finished cell in. The EWMA (α=0.3) tracks recent cell
-// latency so the ETA adapts as a sweep transitions cold → warm. Cells whose
-// bytes came from the cluster (forwarded to the owner or read through a
-// peer) count as stolen — another node paid for the simulation.
-func (p *progress) observe(ans answer, d time.Duration) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.done++
+// classFor folds one resolved answer into the campaign provenance classes the
+// progress accounting speaks. Cells whose bytes came from the cluster
+// (forwarded to the owner or read through a peer) count as stolen — another
+// node paid for the simulation.
+func classFor(ans answer) campaign.Class {
 	switch {
 	case ans.err != nil:
-		p.errs++
+		return campaign.ClassError
 	case ans.outcome == obs.ServeHit:
-		p.hit++
+		return campaign.ClassHit
 	case ans.outcome == obs.ServeShared:
-		p.shared++
+		return campaign.ClassShared
 	case ans.src == srcForward || ans.src == srcPeer:
-		p.stolen++
+		return campaign.ClassStolen
 	case ans.restored:
-		p.restored++
+		return campaign.ClassRestored
 	default:
-		p.cold++
-	}
-	const alpha = 0.3
-	if sec := d.Seconds(); p.ewma == 0 {
-		p.ewma = sec
-	} else {
-		p.ewma = alpha*sec + (1-alpha)*p.ewma
+		return campaign.ClassCold
 	}
 }
 
-// line renders the current heartbeat. The ETA assumes the remaining cells run
-// at the EWMA latency across min(workers, remaining) lanes.
-func (p *progress) line(start time.Time, workers int) *progressLine {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	l := &progressLine{
-		Schema: ProgressSchema,
-		Done:   p.done, Total: p.total,
-		Hit: p.hit, Shared: p.shared, Restored: p.restored, Cold: p.cold,
-		Stolen:      p.stolen,
-		Errors:      p.errs,
-		ElapsedSec:  time.Since(start).Seconds(),
-		CellEwmaSec: p.ewma,
-	}
-	if remaining := p.total - p.done; remaining > 0 {
-		lanes := workers
-		if remaining < lanes {
-			lanes = remaining
+// cellRunner adapts the server's result pipeline (LRU → singleflight → store
+// → cluster → local simulation) to the campaign executor: one runner call is
+// one cell resolved through s.result with sweep-cell admission (admit=false —
+// the worker pool is the throttle, cells wait rather than bounce). Cell spans
+// parent under parent, a value-copied span context, because cells may outlive
+// the request that launched them.
+func (s *Server) cellRunner(route obs.ServeRoute, parent span.Context, checkpoint bool) campaign.Runner {
+	return func(ctx context.Context, cell campaign.Cell) campaign.CellResult {
+		cs := s.tracer.StartRoot("cell", parent)
+		cs.SetAttr("digest", cell.Config.Digest())
+		cs.SetAttr("index", strconv.Itoa(cell.Index))
+		cellStart := time.Now()
+		ans := s.result(ctx, cell.Config, false, checkpoint, false, cs)
+		cs.SetAttr("outcome", ans.provenance())
+		cs.End()
+		s.sm.Outcome(ans.outcome)
+		s.sm.ObserveRequest(route, ans.outcome, uint64(time.Since(cellStart).Microseconds()))
+		return campaign.CellResult{
+			Class: classFor(ans),
+			Cache: ans.outcome.String(),
+			Body:  ans.body,
+			Err:   ans.err,
 		}
-		l.EtaSec = p.ewma * float64(remaining) / float64(lanes)
 	}
-	return l
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -1101,26 +1080,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, reqID, "", http.StatusMethodNotAllowed, errMethod)
 		return
 	}
+	// Planning is lazy: the plan is O(axes) in memory however many cells the
+	// cross product describes, the cap check is arithmetic on the total, and
+	// cells materialize one at a time as the executor reaches them. Peak
+	// memory is bounded by the executor's reorder window, never the sweep
+	// size.
 	var req SweepRequest
-	var cells []RunRequest
+	var plan *campaign.Plan
 	err := decode(w, r, &req)
 	if err == nil {
-		cells, err = req.Cells()
+		plan, err = req.Plan()
 	}
-	if err == nil && len(cells) > s.cfg.MaxSweepCells {
-		err = fmt.Errorf("%w: %d cells over server cap %d", ErrBadRequest, len(cells), s.cfg.MaxSweepCells)
+	if err == nil && plan.Total() > s.cfg.MaxSweepCells {
+		err = fmt.Errorf("%w: %d cells over server cap %d", ErrBadRequest, plan.Total(), s.cfg.MaxSweepCells)
 	}
-	var cfgs []tvsched.Config
 	if err == nil {
-		cfgs = make([]tvsched.Config, len(cells))
-		for i := range cells {
-			if cfgs[i], err = cells[i].Config(); err != nil {
-				break
-			}
-			if err = s.checkPolicy(cfgs[i]); err != nil {
-				break
-			}
-		}
+		// Instructions/Warmup are sweep-wide, so policy holds for every cell
+		// iff it holds for the first.
+		err = s.checkPolicy(plan.Cell(0).Config)
 	}
 	if err != nil {
 		s.sm.Outcome(obs.ServeBadRequest)
@@ -1128,99 +1105,34 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, reqID, "", http.StatusBadRequest, err)
 		return
 	}
-	sp.SetAttr("cells", strconv.Itoa(len(cells)))
-
-	checkpoint := req.Checkpoint == nil || *req.Checkpoint
-	prog := &progress{total: len(cells)}
-	results := make([]chan answer, len(cells))
-	// Fan out, bounded: the pool itself is the throttle (admit=false), the
-	// limiter just keeps goroutine count proportional to capacity rather
-	// than sweep size. Cell goroutines may outlive this handler when the
-	// client disconnects, so they parent their spans under a value copy of
-	// the sweep span's context, never the live span.
-	sweepCtx := sp.Context()
-	limiter := make(chan struct{}, s.cfg.Workers+s.cfg.QueueDepth)
-	for i := range cells {
-		results[i] = make(chan answer, 1)
-		go func(i int) {
-			limiter <- struct{}{}
-			defer func() { <-limiter }()
-			cs := s.tracer.StartRoot("cell", sweepCtx)
-			cs.SetAttr("digest", cfgs[i].Digest())
-			cs.SetAttr("index", strconv.Itoa(i))
-			cellStart := time.Now()
-			ans := s.result(r.Context(), cfgs[i], false, checkpoint, false, cs)
-			cs.SetAttr("outcome", ans.provenance())
-			cs.End()
-			s.sm.Outcome(ans.outcome)
-			s.sm.ObserveRequest(obs.RouteSweep, ans.outcome, uint64(time.Since(cellStart).Microseconds()))
-			prog.observe(ans, time.Since(cellStart))
-			results[i] <- ans
-		}(i)
-	}
+	sp.SetAttr("cells", strconv.Itoa(plan.Total()))
 
 	h.Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	emit := func(v any) bool {
-		if err := enc.Encode(v); err != nil {
-			return false // client is gone
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		return true
+	opts := campaign.Options{
+		// The worker pool is the real throttle; the executor's concurrency
+		// just keeps in-flight cells proportional to capacity rather than
+		// sweep size, exactly like the old per-sweep goroutine limiter.
+		Workers: s.cfg.Workers + s.cfg.QueueDepth,
+		Lanes:   s.cfg.Workers,
+		Start:   start,
+	}
+	if flusher != nil {
+		opts.Flush = func() { flusher.Flush() }
 	}
 	// Heartbeats are strictly opt-in: they carry wall-clock timings, and the
 	// default stream must stay a pure function of the request (the
-	// determinism contract CI enforces byte-for-byte). A nil ticker channel
-	// blocks forever, collapsing the select to plain emission.
-	var tick <-chan time.Time
+	// determinism contract CI enforces byte-for-byte).
 	if req.Progress {
-		t := time.NewTicker(s.cfg.HeartbeatInterval)
-		defer t.Stop()
-		tick = t.C
+		opts.Heartbeat = s.cfg.HeartbeatInterval
 	}
-	for i := range cells {
-	emitCell:
-		for {
-			select {
-			case res := <-results[i]:
-				line := sweepLine{
-					Index:     i,
-					Benchmark: cfgs[i].Benchmark,
-					Scheme:    cfgs[i].Scheme.String(),
-					VDD:       cfgs[i].VDD,
-					Seed:      cfgs[i].Seed,
-					Digest:    cfgs[i].Digest(),
-					Cache:     res.outcome.String(),
-				}
-				if res.err != nil {
-					line.Error = res.err.Error()
-				} else {
-					line.Report = json.RawMessage(trimNewline(res.body))
-				}
-				if !emit(&line) {
-					return
-				}
-				break emitCell
-			case <-tick:
-				if !emit(prog.line(start, s.cfg.Workers)) {
-					return
-				}
-			}
-		}
-	}
-	// A final heartbeat closes the accounting (done == total, ETA 0) so a
-	// consumer never has to infer completion from a stale extrapolation.
-	if req.Progress {
-		if !emit(prog.line(start, s.cfg.Workers)) {
-			return
-		}
+	runner := s.cellRunner(obs.RouteSweep, sp.Context(), plan.Checkpoint())
+	if _, err := campaign.Execute(r.Context(), plan, nil, runner, w, opts); err != nil {
+		return // client gone or canceled mid-stream; headers are already out
 	}
 	s.log.LogAttrs(r.Context(), slog.LevelInfo, "sweep served",
 		slog.String("request_id", reqID),
-		slog.Int("cells", len(cells)),
+		slog.Int("cells", plan.Total()),
 		slog.Duration("elapsed", time.Since(start)),
 	)
 }
@@ -1250,13 +1162,6 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = span.WriteChromeTrace(w, spans)
-}
-
-func trimNewline(b []byte) []byte {
-	if n := len(b); n > 0 && b[n-1] == '\n' {
-		return b[:n-1]
-	}
-	return b
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

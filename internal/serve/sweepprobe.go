@@ -9,6 +9,8 @@ import (
 	"math"
 	"net/http"
 	"time"
+
+	"tvsched/internal/campaign"
 )
 
 // SweepProbeSchema tags the live-telemetry probe artifact (cmd/tvload
@@ -141,7 +143,7 @@ func RunSweepProbe(ctx context.Context, cfg SweepProbeConfig) (*SweepProbeReport
 		eta float64
 	}
 	var samples []etaSample
-	var last progressLine
+	var last campaign.ProgressLine
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -153,7 +155,7 @@ func RunSweepProbe(ctx context.Context, cfg SweepProbeConfig) (*SweepProbeReport
 			return nil, fmt.Errorf("sweepprobe: bad NDJSON line: %w", err)
 		}
 		if probe.Schema == ProgressSchema {
-			var b progressLine
+			var b campaign.ProgressLine
 			if err := json.Unmarshal(sc.Bytes(), &b); err != nil {
 				return nil, fmt.Errorf("sweepprobe: bad heartbeat: %w", err)
 			}

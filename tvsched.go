@@ -320,6 +320,18 @@ func (c Config) Digest() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// WarmKey is the content address of the neutral warm state a session with
+// this config would produce — the same key Session.WarmKey reports, computed
+// without constructing a session. It covers the workload profile, seed,
+// warmup length and machine geometry but excludes scheme and VDD, so every
+// cell of a scheme×voltage sweep that shares (benchmark, seed, warmup) shares
+// one key: the grouping the campaign planner (internal/campaign) fans warm
+// snapshots out by.
+func (c Config) WarmKey() string {
+	c.fill()
+	return sim.WarmKey(c.simConfig())
+}
+
 // Result is the outcome of one simulation.
 type Result struct {
 	// IPC is committed instructions per cycle.

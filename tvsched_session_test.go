@@ -1,4 +1,4 @@
-package tvsched
+package tvsched_test
 
 import (
 	"bytes"
@@ -6,6 +6,7 @@ import (
 	"errors"
 	"testing"
 
+	"tvsched"
 	"tvsched/internal/experiments"
 	"tvsched/internal/obs"
 )
@@ -13,7 +14,7 @@ import (
 // report renders the run-report/v1 JSON a tool like tvsim would emit for the
 // result, so wrapper-vs-session identity is checked on the wire bytes the
 // checklist cares about, not just on in-memory structs.
-func report(t *testing.T, cfg Config, res Result) []byte {
+func report(t *testing.T, cfg tvsched.Config, res tvsched.Result) []byte {
 	t.Helper()
 	rep := &obs.RunReport{
 		Tool:         "test",
@@ -37,21 +38,21 @@ func report(t *testing.T, cfg Config, res Result) []byte {
 // free functions are thin wrappers over Session and their output — down to
 // run-report/v1 bytes — is identical to driving the Session directly.
 func TestSessionWrapperIdentity(t *testing.T) {
-	cfg := Config{Benchmark: "sjeng", Scheme: FFS, VDD: VHighFault,
+	cfg := tvsched.Config{Benchmark: "sjeng", Scheme: tvsched.FFS, VDD: tvsched.VHighFault,
 		Instructions: 60000, Seed: 5}
-	old, err := Run(cfg)
+	old, err := tvsched.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	s, err := NewSession(cfg)
+	s, err := tvsched.NewSession(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Warmup(ctx); err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run(ctx, RunOpts{})
+	res, err := s.Run(ctx, tvsched.RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +70,11 @@ func TestSessionWrapperIdentity(t *testing.T) {
 // of a different scheme and reproduces that scheme's run exactly.
 func TestSessionCheckpointLifecycle(t *testing.T) {
 	ctx := context.Background()
-	cfg := Config{Benchmark: "bzip2", Scheme: CDS, VDD: VHighFault,
+	cfg := tvsched.Config{Benchmark: "bzip2", Scheme: tvsched.CDS, VDD: tvsched.VHighFault,
 		Instructions: 50000, Seed: 9}
 
-	donor, err := NewSession(Config{Benchmark: cfg.Benchmark, Scheme: ABS,
-		VDD: VLowFault, Instructions: cfg.Instructions, Seed: cfg.Seed})
+	donor, err := tvsched.NewSession(tvsched.Config{Benchmark: cfg.Benchmark, Scheme: tvsched.ABS,
+		VDD: tvsched.VLowFault, Instructions: cfg.Instructions, Seed: cfg.Seed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestSessionCheckpointLifecycle(t *testing.T) {
 
 	// The warm key is scheme- and VDD-independent: the donor (ABS at the low
 	// supply) and the target (CDS at the high supply) share it.
-	native, err := NewSession(cfg)
+	native, err := tvsched.NewSession(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,19 +101,19 @@ func TestSessionCheckpointLifecycle(t *testing.T) {
 	if err := native.WarmupNeutral(ctx); err != nil {
 		t.Fatal(err)
 	}
-	want, err := native.Run(ctx, RunOpts{})
+	want, err := native.Run(ctx, tvsched.RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	restored, err := NewSession(cfg)
+	restored, err := tvsched.NewSession(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := restored.Restore(snap); err != nil {
 		t.Fatal(err)
 	}
-	got, err := restored.Run(ctx, RunOpts{})
+	got, err := restored.Run(ctx, tvsched.RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,9 +125,9 @@ func TestSessionCheckpointLifecycle(t *testing.T) {
 // TestSessionMisuse pins the lifecycle refusals.
 func TestSessionMisuse(t *testing.T) {
 	ctx := context.Background()
-	cfg := Config{Benchmark: "bzip2", Instructions: 20000, VDD: VHighFault, Seed: 2}
+	cfg := tvsched.Config{Benchmark: "bzip2", Instructions: 20000, VDD: tvsched.VHighFault, Seed: 2}
 
-	s, err := NewSession(cfg)
+	s, err := tvsched.NewSession(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,14 +142,14 @@ func TestSessionMisuse(t *testing.T) {
 	if _, err := s.Snapshot(); err == nil {
 		t.Fatal("snapshot of non-neutral warm state accepted")
 	}
-	if err := s.Restore(&Snapshot{}); err == nil {
+	if err := s.Restore(&tvsched.Snapshot{}); err == nil {
 		t.Fatal("restore into a warmed session accepted")
 	}
 
 	// Key mismatch: a snapshot from another seed must be refused by Restore
 	// before the machine even parses the bytes.
-	donor, err := NewSession(Config{Benchmark: "bzip2", Instructions: 20000,
-		VDD: VNominal, Seed: 3})
+	donor, err := tvsched.NewSession(tvsched.Config{Benchmark: "bzip2", Instructions: 20000,
+		VDD: tvsched.VNominal, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,11 +160,11 @@ func TestSessionMisuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	target, err := NewSession(cfg)
+	target, err := tvsched.NewSession(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := target.Restore(snap); !errors.Is(err, ErrSnapshotUnsupported) {
+	if err := target.Restore(snap); !errors.Is(err, tvsched.ErrSnapshotUnsupported) {
 		t.Fatalf("mismatched warm key: got %v", err)
 	}
 }
